@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation: speedup vs call size across placements — the quantitative
+ * version of Section 3.5.1's argument that per-invocation overhead is
+ * only amortized over the payload, so the fleet's small calls decide
+ * where the CDPU can live.
+ */
+
+#include "bench_common.h"
+#include "baseline/xeon_cost_model.h"
+#include "cdpu/snappy_pu.h"
+#include "common/table.h"
+#include "corpus/generators.h"
+#include "snappy/compress.h"
+
+using namespace cdpu;
+
+int
+main()
+{
+    bench::banner("Ablation: speedup vs call size by placement",
+                  "Section 3.5.1 (call granularity vs placement)");
+
+    baseline::XeonCostModel xeon;
+    TablePrinter table({"Call size", "RoCC", "Chiplet", "PCIeNoCache"});
+
+    for (std::size_t size :
+         {4 * kKiB, 16 * kKiB, 64 * kKiB, 256 * kKiB, 1 * kMiB,
+          4 * kMiB}) {
+        Rng rng(size);
+        Bytes data = corpus::generateMixed(size, rng, 8 * kKiB);
+        Bytes compressed = snappy::compress(data);
+        double xeon_seconds =
+            xeon.seconds(baseline::Algorithm::snappy,
+                         baseline::Direction::decompress, size);
+
+        std::vector<std::string> row = {TablePrinter::bytes(size)};
+        for (auto placement :
+             {sim::Placement::rocc, sim::Placement::chiplet,
+              sim::Placement::pcieNoCache}) {
+            hw::CdpuConfig config;
+            config.placement = placement;
+            hw::SnappyDecompressorPU pu(config);
+            auto result = pu.run(compressed);
+            double speedup =
+                xeon_seconds /
+                result.value().seconds(config.clockGhz);
+            row.push_back(TablePrinter::num(speedup, 2) + "x");
+        }
+        table.addRow(std::move(row));
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nPCIe closes the gap only at multi-MiB calls; the "
+                "fleet's median decompression call is ~100 KiB "
+                "(Figure 3), which is why Figure 11 favors near-core "
+                "placement.\n");
+    return 0;
+}

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the codec kernels on the host
+ * machine: Snappy/ZstdLite compress+decompress across data classes,
+ * plus the Huffman, FSE, and LZ77 stages in isolation.
+ *
+ * These measure THIS machine (the honest lzbench analogue); the
+ * paper's Xeon numbers come from baseline::XeonCostModel and are
+ * printed by the figure benches.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "corpus/generators.h"
+#include "fse/decoder.h"
+#include "fse/encoder.h"
+#include "huffman/decoder.h"
+#include "huffman/encoder.h"
+#include "lz77/match_finder.h"
+#include "snappy/compress.h"
+#include "snappy/decompress.h"
+#include "zstdlite/compress.h"
+#include "zstdlite/decompress.h"
+
+namespace
+{
+
+using namespace cdpu;
+
+Bytes
+makeData(int cls_index, std::size_t size)
+{
+    Rng rng(42 + cls_index);
+    auto classes = corpus::allDataClasses();
+    return corpus::generate(classes[cls_index], size, rng);
+}
+
+void
+BM_SnappyCompress(benchmark::State &state)
+{
+    Bytes data = makeData(static_cast<int>(state.range(0)), 256 * kKiB);
+    for (auto _ : state) {
+        Bytes out = snappy::compress(data);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<i64>(state.iterations() * data.size()));
+    state.SetLabel(corpus::dataClassName(
+        corpus::allDataClasses()[state.range(0)]));
+}
+BENCHMARK(BM_SnappyCompress)->DenseRange(0, 5);
+
+void
+BM_SnappyDecompress(benchmark::State &state)
+{
+    Bytes data = makeData(static_cast<int>(state.range(0)), 256 * kKiB);
+    Bytes compressed = snappy::compress(data);
+    for (auto _ : state) {
+        auto out = snappy::decompress(compressed);
+        benchmark::DoNotOptimize(out.value().data());
+    }
+    state.SetBytesProcessed(
+        static_cast<i64>(state.iterations() * data.size()));
+    state.SetLabel(corpus::dataClassName(
+        corpus::allDataClasses()[state.range(0)]));
+}
+BENCHMARK(BM_SnappyDecompress)->DenseRange(0, 5);
+
+void
+BM_ZstdLiteCompress(benchmark::State &state)
+{
+    Bytes data = makeData(0, 256 * kKiB); // text
+    zstdlite::CompressorConfig config;
+    config.level = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        auto out = zstdlite::compress(data, config);
+        benchmark::DoNotOptimize(out.value().data());
+    }
+    state.SetBytesProcessed(
+        static_cast<i64>(state.iterations() * data.size()));
+}
+BENCHMARK(BM_ZstdLiteCompress)->Arg(1)->Arg(3)->Arg(9)->Arg(19);
+
+void
+BM_ZstdLiteDecompress(benchmark::State &state)
+{
+    Bytes data = makeData(1, 256 * kKiB); // log
+    auto compressed = zstdlite::compress(data);
+    for (auto _ : state) {
+        auto out = zstdlite::decompress(compressed.value());
+        benchmark::DoNotOptimize(out.value().data());
+    }
+    state.SetBytesProcessed(
+        static_cast<i64>(state.iterations() * data.size()));
+}
+BENCHMARK(BM_ZstdLiteDecompress);
+
+void
+BM_Lz77Parse(benchmark::State &state)
+{
+    Bytes data = makeData(0, 256 * kKiB);
+    lz77::MatchFinderConfig config;
+    config.hashTable.log2Entries =
+        static_cast<unsigned>(state.range(0));
+    lz77::MatchFinder finder(config);
+    for (auto _ : state) {
+        lz77::Parse parse = finder.parse(data);
+        benchmark::DoNotOptimize(parse.sequences.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<i64>(state.iterations() * data.size()));
+}
+BENCHMARK(BM_Lz77Parse)->Arg(9)->Arg(14)->Arg(17);
+
+void
+BM_HuffmanRoundTrip(benchmark::State &state)
+{
+    Bytes data = makeData(0, 128 * kKiB);
+    auto freqs = huffman::countFrequencies(data);
+    auto table = huffman::buildCodeTable(freqs).value();
+    auto decoder = huffman::Decoder::build(table).value();
+    for (auto _ : state) {
+        BitWriter writer;
+        (void)huffman::encode(table, data, writer);
+        Bytes stream = writer.finish();
+        BitReader reader(stream);
+        Bytes out;
+        (void)decoder.decode(reader, data.size(), out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<i64>(state.iterations() * data.size()));
+}
+BENCHMARK(BM_HuffmanRoundTrip);
+
+void
+BM_FseRoundTrip(benchmark::State &state)
+{
+    // Skewed 16-symbol stream.
+    Rng rng(7);
+    Bytes symbols;
+    for (int i = 0; i < 64 * 1024; ++i) {
+        double u = rng.uniform();
+        symbols.push_back(static_cast<u8>(u * u * 16));
+    }
+    std::vector<u64> freqs(16, 0);
+    for (u8 s : symbols)
+        ++freqs[s];
+    auto norm = fse::normalizeCounts(freqs, 9).value();
+    auto enc = fse::buildEncodeTable(norm).value();
+    auto dec = fse::buildDecodeTable(norm).value();
+    for (auto _ : state) {
+        BitWriter writer;
+        (void)fse::encodeAll(enc, symbols, writer);
+        Bytes stream = writer.finish();
+        auto reader = BackwardBitReader::open(stream).value();
+        Bytes out;
+        (void)fse::decodeAll(dec, reader, symbols.size(), out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<i64>(state.iterations() * symbols.size()));
+}
+BENCHMARK(BM_FseRoundTrip);
+
+} // namespace
+
+BENCHMARK_MAIN();

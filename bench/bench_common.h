@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction bench binaries.
+ */
+
+#ifndef CDPU_BENCH_BENCH_COMMON_H_
+#define CDPU_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/cli.h"
+#include "hyperbench/suite_generator.h"
+
+namespace cdpu::bench
+{
+
+/** Prints the standard bench banner. */
+inline void
+banner(const std::string &title, const std::string &paper_reference)
+{
+    std::printf("=======================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces: %s\n", paper_reference.c_str());
+    std::printf("=======================================================\n");
+}
+
+/** Standard suite configuration, overridable via --files / --cap. */
+inline hcb::SuiteConfig
+suiteConfigFromArgs(int argc, const char *const *argv)
+{
+    CliArgs args;
+    hcb::SuiteConfig config;
+    if (args.parse(argc, argv, {"files", "cap", "seed"})) {
+        config.filesPerSuite =
+            static_cast<std::size_t>(args.getInt("files", 48));
+        config.maxFileBytes = static_cast<std::size_t>(
+            args.getInt("cap", static_cast<i64>(2 * kMiB)));
+        config.seed = static_cast<u64>(args.getInt("seed", 2023));
+    }
+    return config;
+}
+
+} // namespace cdpu::bench
+
+#endif // CDPU_BENCH_BENCH_COMMON_H_

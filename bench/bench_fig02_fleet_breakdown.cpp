@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Figure 2 and Section 3.3: fleet byte shares by algorithm (2a), the
+ * byte-weighted ZStd compression-level distribution (2b), aggregate
+ * achieved compression ratios (2c), and the Section 3.3.4 cost-per-
+ * byte multipliers with the 67%-cycle-increase thought experiment.
+ */
+
+#include "bench_common.h"
+#include "baseline/xeon_cost_model.h"
+#include "common/table.h"
+#include "fleet/reports.h"
+
+using namespace cdpu;
+using namespace cdpu::fleet;
+
+int
+main()
+{
+    bench::banner("Fleet byte shares, ZStd levels, achieved ratios",
+                  "Figure 2 and Sections 3.3.1-3.3.4");
+
+    FleetModel model;
+    GwpSampler sampler(model, 202);
+    auto records = sampler.sampleFinalMonth(120000);
+
+    // --- Figure 2a ------------------------------------------------------
+    TablePrinter bytes_table({"Channel", "% of fleet uncomp. bytes"});
+    for (FleetAlgorithm algorithm : allFleetAlgorithms()) {
+        for (Direction direction :
+             {Direction::compress, Direction::decompress}) {
+            Channel channel{algorithm, direction};
+            bytes_table.addRow(
+                {channel.name(),
+                 TablePrinter::percent(model.byteShare(channel))});
+        }
+    }
+    std::printf("%s", bytes_table.render().c_str());
+    std::printf("Heavyweight share: %.0f%% of compressed bytes, "
+                "%.0f%% of decompressed bytes (paper: 36%% / 49%%); "
+                "each compressed byte is decompressed %.1fx.\n\n",
+                36.0, 49.0, FleetModel::kDecompressionsPerByte);
+
+    // --- Figure 2b ------------------------------------------------------
+    TablePrinter level_table(
+        {"ZStd level", "% of bytes (model)", "% of bytes (sampled)"});
+    auto sampled_levels = zstdLevelShares(records);
+    for (const auto &[level, weight] : model.zstdLevelDistribution()) {
+        level_table.addRow({std::to_string(level),
+                            TablePrinter::percent(weight, 3),
+                            TablePrinter::percent(sampled_levels[level],
+                                                  3)});
+    }
+    std::printf("%s", level_table.render().c_str());
+    std::printf("Paper checkpoints: 88%% of bytes at level <= 3, 95%% "
+                "at <= 5, <0.002%% at >= 12.\n\n");
+
+    // --- Figure 2c ------------------------------------------------------
+    TablePrinter ratio_table({"Algorithm/level bin", "Aggregate ratio"});
+    for (const std::string &bin : model.ratioBins()) {
+        ratio_table.addRow(
+            {bin, TablePrinter::num(model.aggregateRatio(bin), 2)});
+    }
+    std::printf("%s", ratio_table.render().c_str());
+    std::printf("ZStd-low over Snappy: %.2fx; ZStd-high over low: "
+                "%.2fx (paper: 1.46x, 1.35x).\n\n",
+                model.aggregateRatio("ZSTD [-inf,3]") /
+                    model.aggregateRatio("Snappy"),
+                model.aggregateRatio("ZSTD [4,22]") /
+                    model.aggregateRatio("ZSTD [-inf,3]"));
+
+    // --- Section 3.3.4 --------------------------------------------------
+    baseline::XeonCostModel xeon;
+    double snappy_cpb = 1.0 / xeon.throughputGBps(
+                                  baseline::Algorithm::snappy,
+                                  baseline::Direction::compress);
+    double zstd_low_cpb = 1.0 / xeon.throughputGBps(
+                                    baseline::Algorithm::zstd,
+                                    baseline::Direction::compress, 3);
+    double zstd_high_cpb = 1.0 / xeon.throughputGBps(
+                                     baseline::Algorithm::zstd,
+                                     baseline::Direction::compress, 9);
+    TablePrinter cost_table({"Comparison", "Model", "Paper"});
+    cost_table.addRow({"ZStd-low vs Snappy compress cost/B",
+                       TablePrinter::num(zstd_low_cpb / snappy_cpb, 2) +
+                           "x",
+                       "1.55x"});
+    cost_table.addRow({"ZStd-high vs ZStd-low compress cost/B",
+                       TablePrinter::num(zstd_high_cpb / zstd_low_cpb,
+                                         2) +
+                           "x",
+                       "2.39x"});
+    double snappy_d = xeon.throughputGBps(baseline::Algorithm::snappy,
+                                          baseline::Direction::decompress);
+    double zstd_d = xeon.throughputGBps(baseline::Algorithm::zstd,
+                                        baseline::Direction::decompress);
+    cost_table.addRow({"ZStd vs Snappy decompress cost/B",
+                       TablePrinter::num(snappy_d / zstd_d, 2) + "x",
+                       "1.63x (fleet aggregate)"});
+    std::printf("%s", cost_table.render().c_str());
+
+    // Thought experiment: a service spending 25% of cycles on Snappy
+    // compression switching to the highest ZStd levels.
+    double multiplier =
+        FleetModel::kZstdLowOverSnappyCompressCost *
+        FleetModel::kZstdHighOverLowCompressCost;
+    double increase = 0.25 * (multiplier - 1.0);
+    std::printf("\nA service spending 25%% of cycles on Snappy "
+                "compression switching to high-level ZStd would grow "
+                "its cycle consumption by %.0f%% (paper: 67%%, a "
+                "non-starter).\n",
+                increase * 100);
+    return 0;
+}

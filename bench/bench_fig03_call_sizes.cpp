@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 3: cumulative call-size distributions for Snappy/ZStd
+ * (de)compression, byte-weighted, reconstructed from sampled records.
+ */
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "fleet/reports.h"
+
+using namespace cdpu;
+using namespace cdpu::fleet;
+
+int
+main()
+{
+    bench::banner("Fleet call-size CDFs", "Figure 3 and Section 3.5.1");
+
+    FleetModel model;
+    GwpSampler sampler(model, 303);
+    auto records = sampler.sampleFinalMonth(150000);
+
+    std::vector<Channel> channels = {
+        {FleetAlgorithm::snappy, Direction::compress},
+        {FleetAlgorithm::zstd, Direction::compress},
+        {FleetAlgorithm::snappy, Direction::decompress},
+        {FleetAlgorithm::zstd, Direction::decompress},
+    };
+
+    TablePrinter table({"ceil(lg2(B))", "Snappy-C", "ZSTD-C",
+                        "Snappy-D", "ZSTD-D"});
+    std::vector<WeightedHistogram> histograms;
+    for (const auto &channel : channels)
+        histograms.push_back(callSizeHistogram(records, channel));
+
+    for (int bin = 10; bin <= 26; ++bin) {
+        std::vector<std::string> row = {std::to_string(bin)};
+        for (auto &histogram : histograms) {
+            double cum = 0;
+            for (const auto &point : histogram.cdf()) {
+                if (point.x <= bin)
+                    cum = point.cumFraction;
+            }
+            row.push_back(TablePrinter::percent(cum, 0));
+        }
+        table.addRow(std::move(row));
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    auto median = [&](std::size_t i) {
+        return histograms[i].quantile(0.5);
+    };
+    std::printf("Medians (bin): Snappy-C %.0f, ZSTD-C %.0f, Snappy-D "
+                "%.0f, ZSTD-D %.0f\n",
+                median(0), median(1), median(2), median(3));
+    std::printf("Paper checkpoints: compression medians in the 64-128 "
+                "KiB bin (17) for both algorithms; Snappy-C has 24%% "
+                "of bytes <= 32 KiB vs 8%% for ZStd-C; Snappy-D: 62%% "
+                "< 128 KiB, 80%% < 256 KiB; ZStd-D median in 1-2 MiB "
+                "(21).\n");
+    return 0;
+}

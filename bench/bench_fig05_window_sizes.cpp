@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 5: ZStd window-size distributions in the fleet, byte-
+ * weighted, with the Section 3.6 32-KiB observation (half the calls
+ * exceed what a z15-class 32 KiB on-chip window could serve).
+ */
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "fleet/reports.h"
+
+using namespace cdpu;
+using namespace cdpu::fleet;
+
+int
+main()
+{
+    bench::banner("ZStd window-size distributions",
+                  "Figure 5 and Section 3.6");
+
+    FleetModel model;
+    GwpSampler sampler(model, 505);
+    auto records = sampler.sampleFinalMonth(150000);
+
+    WeightedHistogram compress =
+        windowSizeHistogram(records, Direction::compress);
+    WeightedHistogram decompress =
+        windowSizeHistogram(records, Direction::decompress);
+
+    TablePrinter table({"lg2(window)", "ZSTD-C cum %", "ZSTD-D cum %"});
+    for (int bin = 10; bin <= 24; ++bin) {
+        auto cum_at = [bin](const WeightedHistogram &histogram) {
+            double cum = 0;
+            for (const auto &point : histogram.cdf())
+                if (point.x <= bin)
+                    cum = point.cumFraction;
+            return cum;
+        };
+        table.addRow({std::to_string(bin),
+                      TablePrinter::percent(cum_at(compress), 0),
+                      TablePrinter::percent(cum_at(decompress), 0)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    double beyond_32k = 0;
+    for (const auto &point : compress.cdf())
+        if (point.x <= 15)
+            beyond_32k = point.cumFraction;
+    std::printf("Compression windows <= 32 KiB: %s (paper: ~50%%); a "
+                "32 KiB on-accelerator window (IBM z15) could not "
+                "serve the other %s of calls — the argument for the "
+                "off-chip history fallback (Section 3.6).\n",
+                TablePrinter::percent(beyond_32k).c_str(),
+                TablePrinter::percent(1 - beyond_32k).c_str());
+    std::printf("Decompression median window: 2^%.0f bytes "
+                "(paper: 1 MiB).\n",
+                decompress.quantile(0.5));
+    return 0;
+}

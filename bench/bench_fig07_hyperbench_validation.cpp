@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 7 / Section 4.1: HyperCompressBench validation — the
+ * generated suites' call-size CDFs against the fleet distributions,
+ * and achieved compression ratios against the fleet aggregates.
+ */
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "hyperbench/suite_validator.h"
+
+using namespace cdpu;
+using namespace cdpu::hcb;
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("HyperCompressBench validation",
+                  "Figure 7 and Section 4.1");
+
+    fleet::FleetModel fleet;
+    SuiteConfig config = bench::suiteConfigFromArgs(argc, argv);
+    SuiteGenerator generator(fleet, config);
+
+    TablePrinter summary({"Suite", "Files", "Total bytes",
+                          "KS dist vs fleet", "Achieved ratio",
+                          "Fleet ratio", "Ratio error"});
+
+    for (Algorithm algorithm : {Algorithm::snappy, Algorithm::zstd}) {
+        for (Direction direction :
+             {Direction::compress, Direction::decompress}) {
+            Suite suite = generator.generate(algorithm, direction);
+            ValidationReport report =
+                validateSuite(suite, fleet, config.maxFileBytes);
+
+            std::string name = baseline::algorithmName(algorithm) +
+                               "-" +
+                               baseline::directionName(direction);
+            summary.addRow(
+                {name, std::to_string(suite.files.size()),
+                 TablePrinter::bytes(suite.totalBytes()),
+                 TablePrinter::num(report.callSizeKsDistance, 3),
+                 TablePrinter::num(report.achievedRatio, 2),
+                 TablePrinter::num(report.fleetRatio, 2),
+                 TablePrinter::percent(report.ratioError())});
+
+            // Per-bin CDF comparison (the Figure 7 curves).
+            fleet::Channel channel =
+                toFleetChannel(algorithm, direction);
+            WeightedHistogram fleet_capped = cappedFleetCallSizes(
+                fleet, channel, config.maxFileBytes);
+            TablePrinter cdf({"ceil(lg2(B))", "Suite cum %",
+                              "Fleet cum %"});
+            for (int bin = 10;
+                 bin <= static_cast<int>(ceilLog2(config.maxFileBytes));
+                 ++bin) {
+                auto cum_at = [bin](const WeightedHistogram &h) {
+                    double cum = 0;
+                    for (const auto &point : h.cdf())
+                        if (point.x <= bin)
+                            cum = point.cumFraction;
+                    return cum;
+                };
+                cdf.addRow(
+                    {std::to_string(bin),
+                     TablePrinter::percent(
+                         cum_at(report.suiteCallSizes), 0),
+                     TablePrinter::percent(cum_at(fleet_capped), 0)});
+            }
+            std::printf("%s suite call-size CDF:\n%s\n", name.c_str(),
+                        cdf.render().c_str());
+        }
+    }
+    std::printf("%s\n", summary.render().c_str());
+    std::printf("Paper checkpoints: suite distributions line up with "
+                "the fleet's (Fig 7); achieved ratios within 5-10%% "
+                "of fleet ratios. Call sizes are capped at %s here "
+                "(README: scaled-down suite).\n",
+                TablePrinter::bytes(config.maxFileBytes).c_str());
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 11: Snappy decompression CDPU speedup vs Xeon across
+ * placements and history SRAM sizes, with normalized area.
+ */
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "dse/figure_tables.h"
+
+using namespace cdpu;
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Snappy decompression design-space exploration",
+                  "Figure 11 and Section 6.2");
+
+    fleet::FleetModel fleet;
+    hcb::SuiteGenerator generator(
+        fleet, bench::suiteConfigFromArgs(argc, argv));
+    hcb::Suite suite = generator.generate(
+        baseline::Algorithm::snappy, baseline::Direction::decompress);
+    std::printf("Suite: %zu files, %s uncompressed\n\n",
+                suite.files.size(),
+                TablePrinter::bytes(suite.totalBytes()).c_str());
+
+    dse::SweepRunner runner(suite);
+    std::printf("%s\n", dse::figure11(runner).c_str());
+
+    dse::DsePoint flagship = dse::flagshipPoint(runner);
+    std::printf("Flagship (RoCC, 64K): %.1fx vs Xeon, %.2f GB/s "
+                "accelerated, %.3f mm^2 = %.1f%% of a Xeon core tile.\n"
+                "Paper: 10.4x (11.4 GB/s vs 1.1 GB/s), 0.431 mm^2 = "
+                "2.4%% of a Xeon core.\n",
+                flagship.speedup(),
+                flagship.accelGBps(runner.totalBytes()),
+                flagship.areaMm2,
+                100 * flagship.areaMm2 / hw::kXeonCoreTileMm2);
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 12: Snappy compression CDPU speedup, compression ratio vs
+ * software, and area across placements and history SRAM sizes.
+ */
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "dse/figure_tables.h"
+
+using namespace cdpu;
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Snappy compression design-space exploration",
+                  "Figure 12 and Section 6.3");
+
+    fleet::FleetModel fleet;
+    hcb::SuiteGenerator generator(
+        fleet, bench::suiteConfigFromArgs(argc, argv));
+    hcb::Suite suite = generator.generate(
+        baseline::Algorithm::snappy, baseline::Direction::compress);
+    std::printf("Suite: %zu files, %s uncompressed\n\n",
+                suite.files.size(),
+                TablePrinter::bytes(suite.totalBytes()).c_str());
+
+    dse::SweepRunner runner(suite);
+    std::printf("%s\n", dse::figure12(runner).c_str());
+
+    dse::DsePoint flagship = dse::flagshipPoint(runner);
+    std::printf("Flagship (RoCC, 64K, 2^14 hash): %.1fx vs Xeon, "
+                "%.2f GB/s, ratio vs SW %.3f, %.3f mm^2 = %.1f%% of a "
+                "Xeon core.\nPaper: 16.2x (5.84 GB/s vs 0.36 GB/s), "
+                "ratio 1.011x SW, 0.851 mm^2 = 4.7%%.\n",
+                flagship.speedup(),
+                flagship.accelGBps(runner.totalBytes()),
+                flagship.ratioVsSw(), flagship.areaMm2,
+                100 * flagship.areaMm2 / hw::kXeonCoreTileMm2);
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 13: Snappy compression with a 2^9-entry hash table — the
+ * "how small can a useful Snappy accelerator be" experiment.
+ */
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "dse/figure_tables.h"
+
+using namespace cdpu;
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("Snappy compression with 2^9 hash-table entries",
+                  "Figure 13 and Section 6.3");
+
+    fleet::FleetModel fleet;
+    hcb::SuiteGenerator generator(
+        fleet, bench::suiteConfigFromArgs(argc, argv));
+    hcb::Suite suite = generator.generate(
+        baseline::Algorithm::snappy, baseline::Direction::compress);
+    std::printf("Suite: %zu files, %s uncompressed\n\n",
+                suite.files.size(),
+                TablePrinter::bytes(suite.totalBytes()).c_str());
+
+    dse::SweepRunner runner(suite);
+    std::printf("%s\n", dse::figure13(runner).c_str());
+
+    hw::CdpuConfig tiny;
+    tiny.historySramBytes = 2 * kKiB;
+    tiny.hashTable.log2Entries = 9;
+    dse::DsePoint point = runner.run(tiny);
+    hw::CdpuConfig full;
+    std::printf("Minimal design (2K history, 2^9 hash): %.1fx vs "
+                "Xeon, ratio vs SW %.3f, area %.3f mm^2 = %.0f%% of "
+                "the full design (%.1f%% of a Xeon core).\n"
+                "Paper: negligible speedup loss, 34%% of full area, "
+                "1.6%% of a Xeon core.\n",
+                point.speedup(), point.ratioVsSw(), point.areaMm2,
+                100 * point.areaMm2 /
+                    hw::snappyCompressorAreaMm2(full),
+                100 * point.areaMm2 / hw::kXeonCoreTileMm2);
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 14 + Section 6.4: ZStd decompression CDPU sweep across
+ * placements/history SRAM, plus the Huffman speculation sweep.
+ */
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "dse/figure_tables.h"
+
+using namespace cdpu;
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("ZStd decompression design-space exploration",
+                  "Figure 14 and Section 6.4");
+
+    fleet::FleetModel fleet;
+    hcb::SuiteGenerator generator(
+        fleet, bench::suiteConfigFromArgs(argc, argv));
+    hcb::Suite suite = generator.generate(
+        baseline::Algorithm::zstd, baseline::Direction::decompress);
+    std::printf("Suite: %zu files, %s uncompressed\n\n",
+                suite.files.size(),
+                TablePrinter::bytes(suite.totalBytes()).c_str());
+
+    dse::SweepRunner runner(suite);
+    std::printf("%s\n", dse::figure14(runner).c_str());
+
+    dse::DsePoint flagship = dse::flagshipPoint(runner);
+    std::printf("Flagship (RoCC, 64K, 16 spec): %.1fx vs Xeon, "
+                "%.2f GB/s, %.2f mm^2.\nPaper: 4.2x (3.95 GB/s vs "
+                "0.94 GB/s), 1.9 mm^2; speculation 4/16/32 -> "
+                "2.11x/4.2x/5.64x.\n",
+                flagship.speedup(),
+                flagship.accelGBps(runner.totalBytes()),
+                flagship.areaMm2);
+    return 0;
+}

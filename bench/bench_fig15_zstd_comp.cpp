@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 15: ZStd compression CDPU sweep across placements and
+ * history SRAM sizes, with ratio vs software.
+ */
+
+#include "bench_common.h"
+#include "common/table.h"
+#include "dse/figure_tables.h"
+
+using namespace cdpu;
+
+int
+main(int argc, char **argv)
+{
+    bench::banner("ZStd compression design-space exploration",
+                  "Figure 15 and Section 6.5");
+
+    fleet::FleetModel fleet;
+    hcb::SuiteGenerator generator(
+        fleet, bench::suiteConfigFromArgs(argc, argv));
+    hcb::Suite suite = generator.generate(
+        baseline::Algorithm::zstd, baseline::Direction::compress);
+    std::printf("Suite: %zu files, %s uncompressed\n\n",
+                suite.files.size(),
+                TablePrinter::bytes(suite.totalBytes()).c_str());
+
+    dse::SweepRunner runner(suite);
+    std::printf("%s\n", dse::figure15(runner).c_str());
+
+    dse::DsePoint flagship = dse::flagshipPoint(runner);
+    std::printf("Flagship (RoCC, 64K, 2^14 hash): %.1fx vs Xeon, "
+                "%.2f GB/s, ratio vs SW %.3f, %.2f mm^2.\n"
+                "Paper: 15.8x (3.5 GB/s vs 0.22 GB/s), ratio 84%% of "
+                "SW, 3.48 mm^2.\n",
+                flagship.speedup(),
+                flagship.accelGBps(runner.totalBytes()),
+                flagship.ratioVsSw(), flagship.areaMm2);
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Interactive design-space exploration: evaluate one CDPU
+ * configuration of your choosing against a HyperCompressBench suite —
+ * the "what if" tool Section 6 motivates.
+ *
+ *   ./build/examples/dse_explorer --algo zstd --dir decompress \
+ *       --placement chiplet --sram 16384 --spec 32 --ht 9
+ */
+
+#include <cstdio>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "dse/figure_tables.h"
+
+using namespace cdpu;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args;
+    if (!args.parse(argc, argv,
+                    {"algo", "dir", "placement", "sram", "spec", "ht",
+                     "ways", "files", "cap", "seed"})) {
+        return 1;
+    }
+
+    baseline::Algorithm algorithm =
+        args.getString("algo", "snappy") == "zstd"
+            ? baseline::Algorithm::zstd
+            : baseline::Algorithm::snappy;
+    baseline::Direction direction =
+        args.getString("dir", "decompress") == "compress"
+            ? baseline::Direction::compress
+            : baseline::Direction::decompress;
+
+    hw::CdpuConfig config;
+    std::string placement = args.getString("placement", "rocc");
+    if (placement == "chiplet")
+        config.placement = sim::Placement::chiplet;
+    else if (placement == "pcielocal")
+        config.placement = sim::Placement::pcieLocalCache;
+    else if (placement == "pcienocache")
+        config.placement = sim::Placement::pcieNoCache;
+    config.historySramBytes = static_cast<std::size_t>(
+        args.getInt("sram", static_cast<i64>(64 * kKiB)));
+    config.huffSpeculations =
+        static_cast<unsigned>(args.getInt("spec", 16));
+    config.hashTable.log2Entries =
+        static_cast<unsigned>(args.getInt("ht", 14));
+    config.hashTable.ways =
+        static_cast<unsigned>(args.getInt("ways", 1));
+
+    hcb::SuiteConfig suite_config;
+    suite_config.filesPerSuite =
+        static_cast<std::size_t>(args.getInt("files", 48));
+    suite_config.maxFileBytes = static_cast<std::size_t>(
+        args.getInt("cap", static_cast<i64>(2 * kMiB)));
+    suite_config.seed = static_cast<u64>(args.getInt("seed", 2023));
+
+    fleet::FleetModel fleet;
+    hcb::SuiteGenerator generator(fleet, suite_config);
+    hcb::Suite suite = generator.generate(algorithm, direction);
+    std::printf("Evaluating %s on %s-%s (%zu files, %s)\n",
+                config.label().c_str(),
+                baseline::algorithmName(algorithm).c_str(),
+                baseline::directionName(direction).c_str(),
+                suite.files.size(),
+                TablePrinter::bytes(suite.totalBytes()).c_str());
+
+    dse::SweepRunner runner(suite);
+    dse::DsePoint point = runner.run(config);
+
+    TablePrinter table({"Metric", "Value"});
+    table.addRow({"Speedup vs Xeon",
+                  TablePrinter::num(point.speedup(), 2) + "x"});
+    table.addRow({"Accelerated throughput",
+                  TablePrinter::num(
+                      point.accelGBps(runner.totalBytes()), 2) +
+                      " GB/s"});
+    table.addRow(
+        {"Silicon area", TablePrinter::num(point.areaMm2, 3) + " mm^2"});
+    table.addRow({"Area vs Xeon core",
+                  TablePrinter::percent(point.areaMm2 /
+                                        hw::kXeonCoreTileMm2)});
+    table.addRow({"History fallbacks",
+                  std::to_string(point.historyFallbacks)});
+    if (point.swRatio > 0) {
+        table.addRow({"HW compression ratio",
+                      TablePrinter::num(point.hwRatio, 3)});
+        table.addRow({"Ratio vs software",
+                      TablePrinter::num(point.ratioVsSw(), 3)});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,95 @@
+#include "baseline/lzbench_harness.h"
+
+#include <chrono>
+
+#include "snappy/compress.h"
+#include "snappy/decompress.h"
+#include "zstdlite/compress.h"
+#include "zstdlite/decompress.h"
+
+namespace cdpu::baseline
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+} // namespace
+
+Result<LzBenchResult>
+runLzBench(Algorithm algorithm, Direction direction, int level,
+           ByteSpan data, unsigned iterations)
+{
+    if (iterations == 0)
+        return Status::invalid("iterations must be positive");
+
+    LzBenchResult result;
+    result.algorithm = algorithm;
+    result.direction = direction;
+    result.level = level;
+    result.uncompressedBytes = data.size();
+    result.iterations = iterations;
+
+    // Produce the compressed form once (also the decompress input).
+    Bytes compressed;
+    if (algorithm == Algorithm::snappy) {
+        compressed = snappy::compress(data);
+    } else {
+        zstdlite::CompressorConfig config;
+        config.level = level;
+        auto out = zstdlite::compress(data, config);
+        if (!out.ok())
+            return out.status();
+        compressed = std::move(out).value();
+    }
+    result.compressedBytes = compressed.size();
+
+    auto verify = [&](const Bytes &roundtrip) -> Status {
+        if (roundtrip.size() != data.size() ||
+            !std::equal(roundtrip.begin(), roundtrip.end(),
+                        data.begin())) {
+            return Status::internal("lzbench round-trip mismatch");
+        }
+        return Status::okStatus();
+    };
+
+    auto start = Clock::now();
+    for (unsigned i = 0; i < iterations; ++i) {
+        if (direction == Direction::compress) {
+            if (algorithm == Algorithm::snappy) {
+                Bytes out = snappy::compress(data);
+                result.compressedBytes = out.size();
+            } else {
+                zstdlite::CompressorConfig config;
+                config.level = level;
+                auto out = zstdlite::compress(data, config);
+                if (!out.ok())
+                    return out.status();
+                result.compressedBytes = out.value().size();
+            }
+        } else {
+            if (algorithm == Algorithm::snappy) {
+                auto out = snappy::decompress(compressed);
+                if (!out.ok())
+                    return out.status();
+                CDPU_RETURN_IF_ERROR(verify(out.value()));
+            } else {
+                auto out = zstdlite::decompress(compressed);
+                if (!out.ok())
+                    return out.status();
+                CDPU_RETURN_IF_ERROR(verify(out.value()));
+            }
+        }
+    }
+    result.hostSeconds = secondsSince(start);
+    return result;
+}
+
+} // namespace cdpu::baseline

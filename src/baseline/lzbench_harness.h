@@ -1,0 +1,60 @@
+/**
+ * @file
+ * lzbench-style in-memory benchmarking harness (the paper measures its
+ * Xeon baseline with lzbench [55]).
+ *
+ * Unlike XeonCostModel — which reports the paper's calibrated Xeon
+ * numbers — this harness genuinely runs this repository's codecs on
+ * the host and measures wall time, verifying round-trips as it goes.
+ * The codec-kernel benchmark binary reports both, clearly labeled.
+ */
+
+#ifndef CDPU_BASELINE_LZBENCH_HARNESS_H_
+#define CDPU_BASELINE_LZBENCH_HARNESS_H_
+
+#include "baseline/xeon_cost_model.h"
+#include "common/error.h"
+#include "common/types.h"
+
+namespace cdpu::baseline
+{
+
+/** One measured (algorithm, direction, level) datapoint. */
+struct LzBenchResult
+{
+    Algorithm algorithm = Algorithm::snappy;
+    Direction direction = Direction::compress;
+    int level = 3;
+    std::size_t uncompressedBytes = 0;
+    std::size_t compressedBytes = 0;
+    double hostSeconds = 0;     ///< Measured on this machine.
+    unsigned iterations = 0;
+
+    double
+    ratio() const
+    {
+        return compressedBytes == 0
+                   ? 0.0
+                   : static_cast<double>(uncompressedBytes) /
+                         static_cast<double>(compressedBytes);
+    }
+
+    double
+    hostGBps() const
+    {
+        return hostSeconds <= 0
+                   ? 0.0
+                   : static_cast<double>(uncompressedBytes) *
+                         iterations / (hostSeconds * 1e9);
+    }
+};
+
+/** Runs compress (and optionally decompress) of @p data, verifying the
+ *  round trip; @p iterations repeats for timing stability. */
+Result<LzBenchResult> runLzBench(Algorithm algorithm,
+                                 Direction direction, int level,
+                                 ByteSpan data, unsigned iterations = 3);
+
+} // namespace cdpu::baseline
+
+#endif // CDPU_BASELINE_LZBENCH_HARNESS_H_

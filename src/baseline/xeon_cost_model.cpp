@@ -1,0 +1,58 @@
+#include "baseline/xeon_cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdpu::baseline
+{
+
+std::string
+algorithmName(Algorithm algorithm)
+{
+    return algorithm == Algorithm::snappy ? "Snappy" : "ZStd";
+}
+
+std::string
+directionName(Direction direction)
+{
+    return direction == Direction::compress ? "compress" : "decompress";
+}
+
+double
+XeonCostModel::throughputGBps(Algorithm algorithm, Direction direction,
+                              int level) const
+{
+    if (algorithm == Algorithm::snappy) {
+        // Snappy has no levels.
+        return direction == Direction::compress ? 0.36 : 1.1;
+    }
+
+    if (direction == Direction::decompress) {
+        // ZStd decode speed is nearly level-independent; high levels
+        // decode marginally faster (fewer, longer matches).
+        return level > 5 ? 0.99 : 0.94;
+    }
+
+    // ZStd compression: anchored at level 3; negative/fast levels are
+    // cheaper, and the low->high step costs 2.39x per byte in the
+    // fleet (Section 3.3.4), ramping further toward level 22.
+    const double base = 0.22;
+    if (level <= 0)
+        return base * 1.6;
+    if (level <= 3)
+        return base * (1.0 + 0.1 * (3 - level));
+    // Smooth ramp: level 9 ~ 2.4x slower, level 22 ~ 6x slower.
+    double slowdown = 1.0 + 0.23 * (level - 3);
+    return base / std::min(slowdown, 6.0);
+}
+
+double
+XeonCostModel::seconds(Algorithm algorithm, Direction direction,
+                       std::size_t uncompressed_bytes, int level) const
+{
+    double gbps = throughputGBps(algorithm, direction, level);
+    return callOverheadSeconds() +
+           static_cast<double>(uncompressed_bytes) / (gbps * 1e9);
+}
+
+} // namespace cdpu::baseline

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Software-baseline cost model for one Xeon core.
+ *
+ * The paper's baseline is one core (2 HT) of a Xeon E5-2686 v4 at
+ * 2.3/2.7 GHz running lzbench (Section 6.1). Our host is not that
+ * machine, so baseline *throughput* comes from this calibrated model
+ * (DESIGN.md §2 item 5), anchored to the paper's measured numbers:
+ *
+ *   Snappy decompress 1.1  GB/s     Snappy compress 0.36 GB/s
+ *   ZStd  decompress  0.94 GB/s     ZStd  compress  0.22 GB/s
+ *
+ * and to the fleet cost multipliers of Section 3.3.4 for level scaling
+ * (ZStd-high pays 2.39x the per-byte cost of ZStd-low).
+ */
+
+#ifndef CDPU_BASELINE_XEON_COST_MODEL_H_
+#define CDPU_BASELINE_XEON_COST_MODEL_H_
+
+#include <cstddef>
+#include <string>
+
+namespace cdpu::baseline
+{
+
+/** The two algorithms the evaluation focuses on (Section 3.2). */
+enum class Algorithm
+{
+    snappy,
+    zstd,
+};
+
+enum class Direction
+{
+    compress,
+    decompress,
+};
+
+std::string algorithmName(Algorithm algorithm);
+std::string directionName(Direction direction);
+
+/** Calibrated single-core Xeon throughput model. */
+class XeonCostModel
+{
+  public:
+    /** Sustained throughput over uncompressed bytes, in GB/s. */
+    double throughputGBps(Algorithm algorithm, Direction direction,
+                          int level = 3) const;
+
+    /** Wall time to process @p uncompressed_bytes. */
+    double seconds(Algorithm algorithm, Direction direction,
+                   std::size_t uncompressed_bytes, int level = 3) const;
+
+    /** Per-call fixed software overhead (dispatch, allocation). */
+    double callOverheadSeconds() const { return 250e-9; }
+};
+
+} // namespace cdpu::baseline
+
+#endif // CDPU_BASELINE_XEON_COST_MODEL_H_

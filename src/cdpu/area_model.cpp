@@ -1,0 +1,94 @@
+#include "cdpu/area_model.h"
+
+namespace cdpu::hw
+{
+
+namespace
+{
+
+// Solved from the anchors in the header comment.
+constexpr double kSramMm2PerKiB = 0.002645;      // Fig 11: 38% @ 62 KiB
+constexpr double kHashMm2PerKiB = 0.003125;      // Fig 13: 2^14 -> 0.40
+constexpr double kHashEntryBytes = 8.0;          // tag + position
+
+// Per-unit logic blocks.
+constexpr double kLz77DecoderLogic = 0.262;      // 0.431 - 64K SRAM
+constexpr double kLz77EncoderLogic = 0.280;
+constexpr double kHuffExpanderBase = 0.345;
+constexpr double kHuffExpanderPerSpec = 0.0195;
+constexpr double kFseExpanderLogic = 0.455;
+constexpr double kZstdDecompControl = 0.350;
+constexpr double kHuffCompressorLogic = 0.750;
+constexpr double kFseCompressorLogic = 1.500;    // 3 dict builders + enc
+constexpr double kZstdCompControl = 0.380;
+
+} // namespace
+
+double
+sramAreaMm2(std::size_t bytes)
+{
+    return kSramMm2PerKiB * static_cast<double>(bytes) / kKiB;
+}
+
+double
+hashTableAreaMm2(const lz77::HashTableConfig &config)
+{
+    double bytes = static_cast<double>(config.entries()) * config.ways *
+                   kHashEntryBytes;
+    return kHashMm2PerKiB * bytes / kKiB;
+}
+
+double
+huffmanExpanderAreaMm2(unsigned speculations)
+{
+    return kHuffExpanderBase + kHuffExpanderPerSpec * speculations;
+}
+
+double
+snappyDecompressorAreaMm2(const CdpuConfig &config)
+{
+    return kLz77DecoderLogic + sramAreaMm2(config.historySramBytes);
+}
+
+double
+snappyCompressorAreaMm2(const CdpuConfig &config)
+{
+    return kLz77EncoderLogic + sramAreaMm2(config.historySramBytes) +
+           hashTableAreaMm2(config.hashTable);
+}
+
+double
+zstdDecompressorAreaMm2(const CdpuConfig &config)
+{
+    return kLz77DecoderLogic + sramAreaMm2(config.historySramBytes) +
+           huffmanExpanderAreaMm2(config.huffSpeculations) +
+           kFseExpanderLogic + kZstdDecompControl;
+}
+
+double
+zstdCompressorAreaMm2(const CdpuConfig &config)
+{
+    return kLz77EncoderLogic + sramAreaMm2(config.historySramBytes) +
+           hashTableAreaMm2(config.hashTable) + kHuffCompressorLogic +
+           kFseCompressorLogic + kZstdCompControl;
+}
+
+double
+flateDecompressorAreaMm2(const CdpuConfig &config)
+{
+    // ZStd decompressor minus the FSE expander, with lighter control.
+    return kLz77DecoderLogic + sramAreaMm2(config.historySramBytes) +
+           huffmanExpanderAreaMm2(config.huffSpeculations) +
+           kZstdDecompControl * 0.6;
+}
+
+double
+flateCompressorAreaMm2(const CdpuConfig &config)
+{
+    // ZStd compressor minus the three FSE dictionary builders.
+    return kLz77EncoderLogic + sramAreaMm2(config.historySramBytes) +
+           hashTableAreaMm2(config.hashTable) + kHuffCompressorLogic +
+           kZstdCompControl * 0.6;
+}
+
+} // namespace cdpu::hw

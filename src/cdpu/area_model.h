@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Analytic 16 nm silicon-area model for generated CDPU instances.
+ *
+ * Substitutes the paper's ASIC synthesis flow (DESIGN.md §2 item 3).
+ * Constants are solved from the paper's published anchor points:
+ *
+ *   Snappy decompressor, 64 KiB history          : 0.431 mm^2
+ *   Snappy decompressor, 2 KiB history           : 62% of the above
+ *   Snappy compressor, 64K hist + 2^14 entries   : 0.851 mm^2
+ *   Snappy compressor, 2K hist + 2^9 entries     : 34% of the above
+ *   ZStd decompressor, 64K hist, 16 speculations : 1.9 mm^2
+ *   ZStd decompressor, 2K history                : -8.6% vs 64K
+ *   ZStd decompressor, 32/4 speculations         : +18% / -10%
+ *   ZStd compressor, 64K hist + 2^14 entries     : 3.48 mm^2
+ *   Snappy C+D pair ~1.3 mm^2, ZStd pair ~5.7 mm^2 (Section 7)
+ *
+ * The derived decomposition: plain history SRAM at ~0.00264 mm^2/KiB,
+ * hash-table storage (8-byte tag+position entries, multi-ported) at a
+ * slightly higher per-KiB cost, per-unit logic blocks as fixed
+ * constants, and the Huffman expander scaling near-linearly with its
+ * speculation count.
+ */
+
+#ifndef CDPU_CDPU_AREA_MODEL_H_
+#define CDPU_CDPU_AREA_MODEL_H_
+
+#include "cdpu/cdpu_config.h"
+
+namespace cdpu::hw
+{
+
+/** Area of a plain single-port SRAM macro. */
+double sramAreaMm2(std::size_t bytes);
+
+/** Area of the match-finder hash table (entries x ways, ~8B each,
+ *  multi-ported). */
+double hashTableAreaMm2(const lz77::HashTableConfig &config);
+
+/** Area of the Huffman expander at a given speculation width. */
+double huffmanExpanderAreaMm2(unsigned speculations);
+
+/** Complete single-pipeline instances (Figures 11/12/14/15). */
+double snappyDecompressorAreaMm2(const CdpuConfig &config);
+double snappyCompressorAreaMm2(const CdpuConfig &config);
+double zstdDecompressorAreaMm2(const CdpuConfig &config);
+double zstdCompressorAreaMm2(const CdpuConfig &config);
+
+/** Flate instances: the ZStd pipelines minus their FSE blocks
+ *  (Section 3.4's unit-reuse argument; see cdpu/flate_pu.h). */
+double flateDecompressorAreaMm2(const CdpuConfig &config);
+double flateCompressorAreaMm2(const CdpuConfig &config);
+
+/** Reference: one Skylake-class Xeon core tile (the paper cites
+ *  17.98 mm^2 in 14 nm [63]); used for the "% of a Xeon core" rows. */
+inline constexpr double kXeonCoreTileMm2 = 17.98;
+
+} // namespace cdpu::hw
+
+#endif // CDPU_CDPU_AREA_MODEL_H_

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Microarchitectural calibration constants for the CDPU cycle models.
+ *
+ * The models are mechanistic — every swept parameter acts through a
+ * mechanism (SRAM fallbacks, hash probes, speculation width, link
+ * round-trips) — but absolute rates need pipeline-width constants. The
+ * values here are set so the flagship configurations land on the
+ * paper's measured anchors (Section 6):
+ *
+ *   Snappy decompress, RoCC, 64 KiB history : 11.4 GB/s  (10.4x Xeon)
+ *   Snappy compress,  RoCC, 64K/2^14 hash   :  5.84 GB/s (16.2x Xeon)
+ *   ZStd decompress,  RoCC, 64K, 16 spec    :  3.95 GB/s ( 4.2x Xeon)
+ *   ZStd compress,    RoCC, 64K/2^14 hash   :  3.5  GB/s (15.8x Xeon)
+ *
+ * All widths are per accelerator clock (2 GHz in the evaluation).
+ */
+
+#ifndef CDPU_CDPU_CALIBRATION_H_
+#define CDPU_CDPU_CALIBRATION_H_
+
+#include "common/types.h"
+
+namespace cdpu::hw
+{
+
+// --- System interface (Section 5.1) --------------------------------------
+
+/** Fixed RoCC dispatch + configuration cost per accelerator call. */
+inline constexpr u64 kCallSetupCycles = 220;
+
+/** Compressed-input bytes between serialized pointer-chase fetches in
+ *  the decompressors (tag streams are data-dependent, so the loader
+ *  periodically stalls for the next line before decode can proceed). */
+inline constexpr std::size_t kSerialFetchStride = 8192;
+
+// --- LZ77 decoder unit (Section 5.2) --------------------------------------
+
+/** Literal copy width (bytes/cycle) through the LZ77 writer. */
+inline constexpr double kLitCopyBytesPerCycle = 20.0;
+
+/** Match copy width (bytes/cycle) from the history SRAM. */
+inline constexpr double kMatchCopyBytesPerCycle = 15.0;
+
+/** Per-element tag decode cost (cycles). */
+inline constexpr double kElementDecodeCycles = 0.88;
+
+/** Outstanding off-chip history reads the decoder sustains: the
+ *  sequence stream is decoded ahead of the writer, so a few fallback
+ *  fetches overlap; each exposes 1/overlap of its latency. */
+inline constexpr double kFallbackOverlap = 8.0;
+
+// --- LZ77 encoder unit (Section 5.5) --------------------------------------
+
+/** Input positions hashed per cycle by the hash-matcher pipeline. */
+inline constexpr double kHashPositionsPerCycle = 4.4;
+
+/** Candidate verifications per cycle (byte-compare units). */
+inline constexpr double kProbeChecksPerCycle = 4.0;
+
+/** Match-extension compare width (bytes/cycle). */
+inline constexpr double kMatchExtendBytesPerCycle = 16.0;
+
+/** Literal emission width (bytes/cycle) on the encode path. */
+inline constexpr double kLitEmitBytesPerCycle = 16.0;
+
+// --- Huffman expander (Section 5.3) ---------------------------------------
+
+/** Speculative decode: `speculations` table lookups are issued per
+ *  cycle at consecutive bit offsets; on average window /
+ *  avg-code-length symbols commit, up to the writeback width. The
+ *  sublinear exponent models wasted speculations (lookups landing
+ *  mid-code) growing with window width (z15-style, Section 6.4). */
+inline constexpr double kHuffCommitWidthCap = 16.0;
+inline constexpr double kHuffSpecExponent = 0.8;
+
+/** Fraction of speculative lookups that survive bank conflicts and
+ *  commit-port limits; scales the committed rate down uniformly. */
+inline constexpr double kHuffLaneEfficiency = 0.29;
+
+/** Decode-table build: entries filled per cycle. */
+inline constexpr double kHuffTableFillPerCycle = 4.0;
+
+// --- Huffman compressor (Section 5.6) --------------------------------------
+
+/** Encode width (symbols/cycle) once the dictionary is built. */
+inline constexpr double kHuffEncodeSymbolsPerCycle = 4.0;
+
+// --- FSE units (Sections 5.4 and 5.7) ---------------------------------------
+
+/** Sequences decoded per cycle (three parallel table readers). */
+inline constexpr double kFseSequencesPerCycle = 2.0;
+
+/** FSE encode width (sequences/cycle, three parallel encoders). */
+inline constexpr double kFseEncodeSequencesPerCycle = 1.0;
+
+/** Table spread/build fill rate (entries/cycle). */
+inline constexpr double kFseTableFillPerCycle = 2.0;
+
+// --- Entropy-stage block overheads -----------------------------------------
+
+/** Per-block control cost in the ZStd paths (header parse, unit
+ *  handoff, context switch between literals and sequences stages). */
+inline constexpr u64 kZstdBlockOverheadCycles = 160;
+
+} // namespace cdpu::hw
+
+#endif // CDPU_CDPU_CALIBRATION_H_

@@ -1,0 +1,61 @@
+#include "cdpu/call_assembly.h"
+
+#include <algorithm>
+
+#include "cdpu/calibration.h"
+#include "sim/stream_model.h"
+
+namespace cdpu::hw
+{
+
+PuResult
+assembleCall(const CdpuConfig &config, const sim::PlacementModel &model,
+             sim::MemoryHierarchy &memory, sim::Tlb &tlb,
+             const CallShape &shape)
+{
+    PuResult result;
+    result.inputBytes = shape.inBytes;
+    result.outputBytes = shape.outBytes;
+    result.computeCycles = shape.computeCycles;
+
+    const sim::MemoryConfig &mem_config = memory.config();
+    const u64 mem_latency = mem_config.l2LatencyCycles;
+    result.streamInCycles = sim::streamCyclesAnalytic(
+        shape.inBytes, model, mem_config.busBytesPerCycle, mem_latency);
+    result.streamOutCycles = sim::streamCyclesAnalytic(
+        shape.outBytes, model, mem_config.busBytesPerCycle,
+        mem_latency);
+
+    // Data-dependent fetches on the compressed stream periodically
+    // expose the full round trip (the tag/entropy decoder cannot run
+    // ahead of the loader); one stall per kSerialFetchStride bytes.
+    u64 stalls = shape.serializedStreamBytes / kSerialFetchStride;
+    u64 stall_latency = mem_latency + 2 * model.linkLatencyCycles;
+    result.serialStallCycles = stalls * stall_latency;
+
+    // Address translation: input and output buffers live in distinct
+    // regions; each TLB miss costs a serialized two-level page walk.
+    // Buffers are placed at call-unique base addresses so reuse across
+    // calls is conservative (no accidental page sharing).
+    u64 base = shape.callSequence << 30; // 1 GiB apart per call
+    u64 misses =
+        tlb.accessRange(0x100000000000ull + base, shape.inBytes) +
+        tlb.accessRange(0x200000000000ull + base, shape.outBytes);
+    // Page walks go through the host-side PTW in every placement
+    // (PCIe DMA windows are translated by the host driver), so the
+    // cost does not cross the link.
+    u64 ptw_latency = 2 * mem_latency;
+    result.translationCycles = misses * ptw_latency;
+    result.tlbMisses = misses;
+
+    result.cycles = kCallSetupCycles + 2 * model.linkLatencyCycles +
+                    std::max({result.computeCycles,
+                              result.streamInCycles,
+                              result.streamOutCycles}) +
+                    result.serialStallCycles +
+                    result.translationCycles;
+    (void)config;
+    return result;
+}
+
+} // namespace cdpu::hw

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shared per-call cycle assembly for all processing units.
+ *
+ * Combines the compute stage with the memloader/memwriter streams
+ * (overlapped; the slowest wins), adds serialized pointer-chase stalls
+ * on data-dependent compressed-input fetches, address-translation
+ * costs through the accelerator TLB (Figure 8), the RoCC dispatch
+ * overhead, and the placement link round trip.
+ */
+
+#ifndef CDPU_CDPU_CALL_ASSEMBLY_H_
+#define CDPU_CDPU_CALL_ASSEMBLY_H_
+
+#include "cdpu/cdpu_config.h"
+#include "sim/memory_hierarchy.h"
+#include "sim/tlb.h"
+
+namespace cdpu::hw
+{
+
+/** Per-call inputs to the assembly. */
+struct CallShape
+{
+    u64 computeCycles = 0;
+    std::size_t inBytes = 0;
+    std::size_t outBytes = 0;
+    /** Bytes of the data-dependent (serially fetched) stream. */
+    std::size_t serializedStreamBytes = 0;
+    /** Monotonic per-PU call number; separates buffer addresses so
+     *  consecutive calls do not accidentally share TLB pages. */
+    u64 callSequence = 0;
+};
+
+/** Assembles the final PuResult for one accelerator call. */
+PuResult assembleCall(const CdpuConfig &config,
+                      const sim::PlacementModel &model,
+                      sim::MemoryHierarchy &memory, sim::Tlb &tlb,
+                      const CallShape &shape);
+
+} // namespace cdpu::hw
+
+#endif // CDPU_CDPU_CALL_ASSEMBLY_H_

@@ -1,0 +1,18 @@
+#include "cdpu/cdpu_config.h"
+
+#include <cstdio>
+
+namespace cdpu::hw
+{
+
+std::string
+CdpuConfig::label() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s/%zuK/ht%u",
+                  sim::placementName(placement).c_str(),
+                  historySramBytes / kKiB, hashTable.log2Entries);
+    return buf;
+}
+
+} // namespace cdpu::hw

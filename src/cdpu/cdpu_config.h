@@ -1,0 +1,93 @@
+/**
+ * @file
+ * CDPU configuration: every parameter from Section 5.8 of the paper.
+ *
+ * In the paper some of these are compile-time (Chisel generator
+ * parameters) and some runtime; in this software model all are runtime
+ * so sweeps are cheap, and the RunT/CompileT classification is kept in
+ * the comments for fidelity.
+ */
+
+#ifndef CDPU_CDPU_CDPU_CONFIG_H_
+#define CDPU_CDPU_CDPU_CONFIG_H_
+
+#include <string>
+
+#include "lz77/hash_table.h"
+#include "sim/placement.h"
+
+namespace cdpu::hw
+{
+
+/** Full parameter set for one generated CDPU instance. */
+struct CdpuConfig
+{
+    // (1) Accelerator placement [CompileT].
+    sim::Placement placement = sim::Placement::rocc;
+
+    // (3)/(4) History window SRAM bytes [RunT & CompileT]; bounds
+    // on-accelerator match offsets for both directions.
+    std::size_t historySramBytes = 64 * kKiB;
+
+    // (5)-(8) LZ77 encoder hash table [RunT & CompileT].
+    lz77::HashTableConfig hashTable{
+        .log2Entries = 14,
+        .ways = 1,
+        .hashFunction = lz77::HashFunction::multiplicative,
+        .minMatch = 4,
+    };
+
+    // (9) Huffman expander speculation count [CompileT].
+    unsigned huffSpeculations = 16;
+
+    // (10) Huffman compressor stats-collection width [CompileT].
+    unsigned huffStatBytesPerCycle = 8;
+
+    // (11) FSE compressor stats-collection width [CompileT].
+    unsigned fseStatBytesPerCycle = 8;
+
+    // (12) Max accuracy (table log) of FSE compression tables
+    // [CompileT].
+    unsigned fseMaxAccuracyLog = 9;
+
+    // (2) Algorithm support is expressed by which PU class is
+    // instantiated (SnappyDecompressorPU, ZstdCompressorPU, ...).
+
+    /** Accelerator TLB entries (Figure 8's TLBs; fully associative). */
+    unsigned tlbEntries = 32;
+
+    /** Accelerator clock; the evaluation models 2 GHz. */
+    double clockGhz = 2.0;
+
+    /** Short label like "RoCC/64K/ht14" for report rows. */
+    std::string label() const;
+};
+
+/** Result of one accelerated (de)compression call. */
+struct PuResult
+{
+    u64 cycles = 0;
+    std::size_t inputBytes = 0;
+    std::size_t outputBytes = 0;
+
+    // Model-internal accounting, surfaced for ablation reports.
+    u64 computeCycles = 0;
+    u64 streamInCycles = 0;
+    u64 streamOutCycles = 0;
+    u64 historyFallbacks = 0;
+    u64 fallbackCycles = 0;
+    u64 serialStallCycles = 0;
+    u64 tlbMisses = 0;
+    u64 translationCycles = 0;
+
+    /** Wall time at the configured clock. */
+    double
+    seconds(double clock_ghz) const
+    {
+        return static_cast<double>(cycles) / (clock_ghz * 1e9);
+    }
+};
+
+} // namespace cdpu::hw
+
+#endif // CDPU_CDPU_CDPU_CONFIG_H_

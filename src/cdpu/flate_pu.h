@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Flate processing units, composed from the same generator unit
+ * library as the Snappy/ZStd PUs (Section 3.4's agile-hardware
+ * argument: the Flate decompressor is the ZStd decompressor minus the
+ * FSE expander, and moving from Flate to ZStd "would mostly entail
+ * adding an FSE module").
+ */
+
+#ifndef CDPU_CDPU_FLATE_PU_H_
+#define CDPU_CDPU_FLATE_PU_H_
+
+#include "cdpu/cdpu_config.h"
+#include "flatelite/compress.h"
+#include "flatelite/decompress.h"
+#include "sim/memory_hierarchy.h"
+#include "sim/tlb.h"
+
+namespace cdpu::hw
+{
+
+/** Flate decompressor PU: Huffman expander + LZ77 decoder. */
+class FlateDecompressorPU
+{
+  public:
+    explicit FlateDecompressorPU(const CdpuConfig &config);
+
+    Result<PuResult> run(ByteSpan compressed, Bytes *output = nullptr);
+
+    /** Cycle model over a previously captured decode trace. */
+    PuResult runFromTrace(const flatelite::FileTrace &trace,
+                          std::size_t compressed_bytes);
+
+  private:
+    CdpuConfig config_;
+    sim::PlacementModel model_;
+    sim::MemoryHierarchy memory_;
+    sim::Tlb tlb_;
+    u64 calls_ = 0;
+};
+
+/** Flate compressor PU: LZ77 encoder + Huffman compressor. */
+class FlateCompressorPU
+{
+  public:
+    explicit FlateCompressorPU(const CdpuConfig &config);
+
+    Result<PuResult> run(ByteSpan input, Bytes *output = nullptr);
+
+  private:
+    CdpuConfig config_;
+    sim::PlacementModel model_;
+    sim::MemoryHierarchy memory_;
+    sim::Tlb tlb_;
+    u64 calls_ = 0;
+};
+
+} // namespace cdpu::hw
+
+#endif // CDPU_CDPU_FLATE_PU_H_

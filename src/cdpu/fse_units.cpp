@@ -1,0 +1,54 @@
+#include "cdpu/fse_units.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cdpu/calibration.h"
+
+namespace cdpu::hw
+{
+
+u64
+FseExpanderUnit::tableBuildCycles(bool dynamic, bool first_block) const
+{
+    if (!dynamic && !first_block)
+        return 0; // predefined tables stay resident in the table SRAM
+    double entries = dynamic
+                         ? 3.0 * (1u << config_.fseMaxAccuracyLog)
+                         : (1u << 6) + (1u << 6) + (1u << 5);
+    return static_cast<u64>(
+        std::ceil(entries / kFseTableFillPerCycle));
+}
+
+u64
+FseExpanderUnit::decodeCycles(std::size_t num_sequences) const
+{
+    return static_cast<u64>(std::ceil(
+        static_cast<double>(num_sequences) / kFseSequencesPerCycle));
+}
+
+u64
+FseCompressorUnit::statsCycles(std::size_t num_sequences) const
+{
+    return num_sequences / std::max(1u, config_.fseStatBytesPerCycle) +
+           1;
+}
+
+u64
+FseCompressorUnit::tableBuildCycles() const
+{
+    double entries = 3.0 * (1u << config_.fseMaxAccuracyLog);
+    return static_cast<u64>(
+        std::ceil(entries / kFseTableFillPerCycle)) +
+           256; // normalization pass
+}
+
+u64
+FseCompressorUnit::encodeCycles(std::size_t num_sequences) const
+{
+    return static_cast<u64>(
+        std::ceil(static_cast<double>(num_sequences) /
+                  kFseEncodeSequencesPerCycle));
+}
+
+} // namespace cdpu::hw

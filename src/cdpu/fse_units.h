@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Cycle models of the FSE expander (Section 5.4) and FSE compressor
+ * (Section 5.7).
+ *
+ * The expander builds decode tables from transmitted normalized counts
+ * and then walks the three interleaved state machines; the compressor
+ * runs three dictionary builders fed by the SeqToCode converter and an
+ * encoder that drains them.
+ */
+
+#ifndef CDPU_CDPU_FSE_UNITS_H_
+#define CDPU_CDPU_FSE_UNITS_H_
+
+#include "cdpu/cdpu_config.h"
+
+namespace cdpu::hw
+{
+
+/** FSE expander: table build + sequence decode cycles. */
+class FseExpanderUnit
+{
+  public:
+    explicit FseExpanderUnit(const CdpuConfig &config) : config_(config)
+    {}
+
+    /** Cycles to build the three decode tables for one block.
+     *  @p dynamic selects transmitted tables (bigger, rebuilt per
+     *  block) vs predefined ones (built once, then cached). */
+    u64 tableBuildCycles(bool dynamic, bool first_block) const;
+
+    /** Cycles to decode @p num_sequences through the three readers. */
+    u64 decodeCycles(std::size_t num_sequences) const;
+
+  private:
+    CdpuConfig config_;
+};
+
+/** FSE compressor: three dict builders + encoder. */
+class FseCompressorUnit
+{
+  public:
+    explicit FseCompressorUnit(const CdpuConfig &config)
+        : config_(config)
+    {}
+
+    /** Cycles for statistics collection over @p num_sequences (the
+     *  three builders run in parallel on the SeqToCode stream). */
+    u64 statsCycles(std::size_t num_sequences) const;
+
+    /** Cycles to normalize counts and fill the encode tables. */
+    u64 tableBuildCycles() const;
+
+    /** Cycles to encode @p num_sequences. */
+    u64 encodeCycles(std::size_t num_sequences) const;
+
+  private:
+    CdpuConfig config_;
+};
+
+} // namespace cdpu::hw
+
+#endif // CDPU_CDPU_FSE_UNITS_H_

@@ -1,0 +1,66 @@
+#include "cdpu/huffman_units.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cdpu/calibration.h"
+#include "huffman/code_builder.h"
+
+namespace cdpu::hw
+{
+
+u64
+HuffmanExpanderUnit::tableBuildCycles() const
+{
+    double table_entries =
+        static_cast<double>(1u << huffman::kDefaultMaxBits);
+    return static_cast<u64>(256 +
+                            table_entries / kHuffTableFillPerCycle);
+}
+
+double
+HuffmanExpanderUnit::commitRate(double avg_code_bits) const
+{
+    avg_code_bits = std::max(avg_code_bits, 1.0);
+    double window = std::pow(
+        static_cast<double>(config_.huffSpeculations),
+        kHuffSpecExponent);
+    return std::clamp(kHuffLaneEfficiency * window / avg_code_bits,
+                      0.25, kHuffCommitWidthCap);
+}
+
+u64
+HuffmanExpanderUnit::decodeCycles(std::size_t symbol_count,
+                                  std::size_t stream_bytes) const
+{
+    if (symbol_count == 0)
+        return 0;
+    double avg_bits = static_cast<double>(stream_bytes) * 8 /
+                      static_cast<double>(symbol_count);
+    return static_cast<u64>(std::ceil(
+        static_cast<double>(symbol_count) / commitRate(avg_bits)));
+}
+
+u64
+HuffmanCompressorUnit::statsCycles(std::size_t symbol_count) const
+{
+    return symbol_count / std::max(1u, config_.huffStatBytesPerCycle) +
+           1;
+}
+
+u64
+HuffmanCompressorUnit::dictBuildCycles() const
+{
+    // Sorting network over 256 symbols plus canonical assignment.
+    return 256 * 8 + (1u << huffman::kDefaultMaxBits) / 4;
+}
+
+u64
+HuffmanCompressorUnit::encodeCycles(std::size_t symbol_count) const
+{
+    return static_cast<u64>(std::ceil(
+        static_cast<double>(symbol_count) /
+        kHuffEncodeSymbolsPerCycle));
+}
+
+} // namespace cdpu::hw

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Cycle models of the Huffman expander (Section 5.3) and the Huffman
+ * compressor (Section 5.6).
+ *
+ * Huffman decoding is serial in the bit stream; the expander issues
+ * speculative decode-table lookups at `speculations` consecutive bit
+ * offsets per cycle (the z15-style scheme the paper adopts), so the
+ * committed symbol rate scales with the speculation window divided by
+ * the stream's average code length.
+ */
+
+#ifndef CDPU_CDPU_HUFFMAN_UNITS_H_
+#define CDPU_CDPU_HUFFMAN_UNITS_H_
+
+#include "cdpu/cdpu_config.h"
+
+namespace cdpu::hw
+{
+
+/** Huffman expander: table build + speculative decode cycles. */
+class HuffmanExpanderUnit
+{
+  public:
+    explicit HuffmanExpanderUnit(const CdpuConfig &config)
+        : config_(config)
+    {}
+
+    /** Cycles to build the decode table (256-entry length scan plus
+     *  2^maxBits-entry table fill). */
+    u64 tableBuildCycles() const;
+
+    /**
+     * Cycles to decode @p symbol_count symbols from a stream of
+     * @p stream_bytes bytes (their ratio gives the average code
+     * length, which sets the committed symbols per cycle).
+     */
+    u64 decodeCycles(std::size_t symbol_count,
+                     std::size_t stream_bytes) const;
+
+    /** Committed symbols per cycle at this speculation width. */
+    double commitRate(double avg_code_bits) const;
+
+  private:
+    CdpuConfig config_;
+};
+
+/** Huffman compressor: stats pass + dictionary build + encode pass. */
+class HuffmanCompressorUnit
+{
+  public:
+    explicit HuffmanCompressorUnit(const CdpuConfig &config)
+        : config_(config)
+    {}
+
+    /** Cycles for the symbol-statistics collection pass. */
+    u64 statsCycles(std::size_t symbol_count) const;
+
+    /** Cycles to build the code table (sort + canonical assign). */
+    u64 dictBuildCycles() const;
+
+    /** Cycles for the encode pass. */
+    u64 encodeCycles(std::size_t symbol_count) const;
+
+  private:
+    CdpuConfig config_;
+};
+
+} // namespace cdpu::hw
+
+#endif // CDPU_CDPU_HUFFMAN_UNITS_H_

@@ -1,0 +1,84 @@
+#include "cdpu/lz77_decoder_unit.h"
+
+#include <cmath>
+
+#include "cdpu/calibration.h"
+
+namespace cdpu::hw
+{
+
+void
+Lz77DecoderUnit::advanceOutput(std::size_t length)
+{
+    outPos_ += length;
+    // Warm the cache model in 4 KiB chunks: the writer streams output
+    // through the L2 (Figure 8), so recent history stays resident.
+    if (outPos_ - touchedUpTo_ >= 4096) {
+        memory_.touchStream(touchedUpTo_, outPos_ - touchedUpTo_);
+        touchedUpTo_ = outPos_;
+    }
+}
+
+void
+Lz77DecoderUnit::literal(std::size_t length)
+{
+    cyclesAcc_ += kElementDecodeCycles +
+                  static_cast<double>(length) / kLitCopyBytesPerCycle;
+    advanceOutput(length);
+}
+
+void
+Lz77DecoderUnit::copy(std::size_t length, std::size_t offset)
+{
+    double copy_cycles =
+        kElementDecodeCycles +
+        static_cast<double>(length) / kMatchCopyBytesPerCycle;
+
+    if (offset > config_.historySramBytes) {
+        // Off-chip history: a dependent read of the match source
+        // through L2/LLC/DRAM; PCIeNoCache and Chiplet placements also
+        // pay the link round-trip (PCIeLocalCache serves it from the
+        // card-local cache/DRAM at local latency).
+        u64 addr = outPos_ >= offset ? outPos_ - offset : 0;
+        u64 latency = memory_.access(addr, length) +
+                      model_.intermediateExtraCycles;
+        if (model_.intermediateCrossesLink)
+            latency += 2 * model_.linkLatencyCycles;
+        // A few fallback fetches stay in flight concurrently.
+        latency = static_cast<u64>(
+            static_cast<double>(latency) / kFallbackOverlap);
+        ++fallbacks_;
+        fallbackCycles_ += latency;
+        copy_cycles += static_cast<double>(latency);
+    }
+    cyclesAcc_ += copy_cycles;
+    advanceOutput(length);
+}
+
+void
+Lz77DecoderUnit::sequence(std::size_t literal_len, std::size_t match_len,
+                          std::size_t offset)
+{
+    double seq_cycles =
+        kElementDecodeCycles +
+        static_cast<double>(literal_len) / kLitCopyBytesPerCycle +
+        static_cast<double>(match_len) / kMatchCopyBytesPerCycle;
+    advanceOutput(literal_len);
+
+    if (offset > config_.historySramBytes) {
+        u64 addr = outPos_ >= offset ? outPos_ - offset : 0;
+        u64 latency = memory_.access(addr, match_len) +
+                      model_.intermediateExtraCycles;
+        if (model_.intermediateCrossesLink)
+            latency += 2 * model_.linkLatencyCycles;
+        latency = static_cast<u64>(
+            static_cast<double>(latency) / kFallbackOverlap);
+        ++fallbacks_;
+        fallbackCycles_ += latency;
+        seq_cycles += static_cast<double>(latency);
+    }
+    cyclesAcc_ += seq_cycles;
+    advanceOutput(match_len);
+}
+
+} // namespace cdpu::hw

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Cycle model of the LZ77 decoder unit (Section 5.2): history-window
+ * SRAM with off-chip fallback through the shared memory hierarchy.
+ *
+ * The unit replays (literal, copy) elements in output order, tracking
+ * the output cursor itself. Copies whose offset fits the
+ * on-accelerator history SRAM complete at the SRAM copy width; larger
+ * offsets issue a dependent memory request through the modeled
+ * L2/LLC/DRAM, crossing the placement link when the placement exposes
+ * intermediate accesses (Figure 11's PCIeNoCache vs PCIeLocalCache
+ * distinction). Output writes stream through the L2, keeping recent
+ * history cache-resident for those fallbacks.
+ */
+
+#ifndef CDPU_CDPU_LZ77_DECODER_UNIT_H_
+#define CDPU_CDPU_LZ77_DECODER_UNIT_H_
+
+#include "cdpu/cdpu_config.h"
+#include "sim/memory_hierarchy.h"
+
+namespace cdpu::hw
+{
+
+/** Accumulates replay cycles for one accelerator call. */
+class Lz77DecoderUnit
+{
+  public:
+    Lz77DecoderUnit(const CdpuConfig &config, sim::MemoryHierarchy &memory)
+        : config_(config),
+          model_(sim::placementModel(config.placement, config.clockGhz)),
+          memory_(memory)
+    {}
+
+    /** Replays a literal run of @p length bytes. */
+    void literal(std::size_t length);
+
+    /** Replays a copy of @p length bytes from @p offset back. */
+    void copy(std::size_t length, std::size_t offset);
+
+    /**
+     * Replays one ZStd sequence (literal run + match) as a single
+     * pipelined writer operation: the per-element tag decode is paid
+     * once, because the sequence was already expanded by the FSE stage
+     * (whose cycles are accounted separately).
+     */
+    void sequence(std::size_t literal_len, std::size_t match_len,
+                  std::size_t offset);
+
+    u64
+    cycles() const
+    {
+        return static_cast<u64>(cyclesAcc_);
+    }
+    u64 outputPos() const { return outPos_; }
+    u64 fallbacks() const { return fallbacks_; }
+    u64 fallbackCycles() const { return fallbackCycles_; }
+
+  private:
+    /** Streams newly produced output lines into the cache model. */
+    void advanceOutput(std::size_t length);
+
+    const CdpuConfig &config_;
+    sim::PlacementModel model_;
+    sim::MemoryHierarchy &memory_;
+    double cyclesAcc_ = 0; ///< Fractional per-element costs add up.
+    u64 outPos_ = 0;
+    u64 touchedUpTo_ = 0;
+    u64 fallbacks_ = 0;
+    u64 fallbackCycles_ = 0;
+};
+
+} // namespace cdpu::hw
+
+#endif // CDPU_CDPU_LZ77_DECODER_UNIT_H_

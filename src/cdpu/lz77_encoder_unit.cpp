@@ -1,0 +1,29 @@
+#include "cdpu/lz77_encoder_unit.h"
+
+#include <cmath>
+
+#include "cdpu/calibration.h"
+
+namespace cdpu::hw
+{
+
+u64
+Lz77EncoderUnit::cycles(const lz77::MatchFinderStats &stats,
+                        std::size_t input_bytes) const
+{
+    double hash_cycles =
+        static_cast<double>(input_bytes) / kHashPositionsPerCycle;
+    double probe_cycles =
+        static_cast<double>(stats.candidateProbes) /
+        kProbeChecksPerCycle;
+    double extend_cycles =
+        static_cast<double>(stats.matchBytes) /
+        kMatchExtendBytesPerCycle;
+    double literal_cycles =
+        static_cast<double>(stats.literalBytes) /
+        kLitEmitBytesPerCycle;
+    return static_cast<u64>(std::ceil(hash_cycles + probe_cycles +
+                                      extend_cycles + literal_cycles));
+}
+
+} // namespace cdpu::hw

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Cycle model of the LZ77 encoder unit (Section 5.5): hash matcher +
+ * literal/length injector.
+ *
+ * Compression history checking is necessarily serial (Section 6.3), so
+ * there is no off-chip fallback here: offsets beyond the history SRAM
+ * are simply not found, which costs compression ratio, not cycles —
+ * the functional side enforces that by running the shared match finder
+ * with the hardware window/hash geometry.
+ */
+
+#ifndef CDPU_CDPU_LZ77_ENCODER_UNIT_H_
+#define CDPU_CDPU_LZ77_ENCODER_UNIT_H_
+
+#include "cdpu/cdpu_config.h"
+#include "lz77/match_finder.h"
+
+namespace cdpu::hw
+{
+
+/** Converts a parse's work counters into encode-pipeline cycles. */
+class Lz77EncoderUnit
+{
+  public:
+    explicit Lz77EncoderUnit(const CdpuConfig &config) : config_(config)
+    {}
+
+    /**
+     * Cycles to run the hash-match pipeline over one parsed buffer of
+     * @p input_bytes bytes. The streaming hash stage touches every
+     * input position regardless of match structure (which is why
+     * Figure 12's speedup barely moves with history size); probe
+     * verifications and match extension add data-dependent work.
+     */
+    u64 cycles(const lz77::MatchFinderStats &stats,
+               std::size_t input_bytes) const;
+
+  private:
+    const CdpuConfig &config_;
+};
+
+} // namespace cdpu::hw
+
+#endif // CDPU_CDPU_LZ77_ENCODER_UNIT_H_

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Complete Snappy compression/decompression processing units
+ * (Figures 9 and 10, Snappy paths): functional codec + cycle model.
+ *
+ * Both PUs perform the real transformation — the decompressor verifies
+ * and produces the actual output, the compressor emits real Snappy
+ * bytes with the hardware's window/hash geometry — while accounting
+ * cycles through the unit models, the streaming model, and the
+ * placement link.
+ */
+
+#ifndef CDPU_CDPU_SNAPPY_PU_H_
+#define CDPU_CDPU_SNAPPY_PU_H_
+
+#include "cdpu/cdpu_config.h"
+#include "sim/memory_hierarchy.h"
+#include "sim/tlb.h"
+#include "snappy/compress.h"
+#include "snappy/decompress.h"
+
+namespace cdpu::hw
+{
+
+/** Snappy decompressor PU (Figure 9 with Snappy control). */
+class SnappyDecompressorPU
+{
+  public:
+    explicit SnappyDecompressorPU(const CdpuConfig &config);
+
+    /**
+     * Decompresses @p compressed; returns output + cycle accounting.
+     * Corrupt input fails exactly like the software decoder.
+     */
+    Result<PuResult> run(ByteSpan compressed, Bytes *output = nullptr);
+
+    const sim::MemoryHierarchy &memory() const { return memory_; }
+
+  private:
+    CdpuConfig config_;
+    sim::PlacementModel model_;
+    sim::MemoryHierarchy memory_;
+    sim::Tlb tlb_;
+    u64 calls_ = 0;
+};
+
+/** Snappy compressor PU (Figure 10 with Snappy control). */
+class SnappyCompressorPU
+{
+  public:
+    explicit SnappyCompressorPU(const CdpuConfig &config);
+
+    /** Compresses @p input with hardware parameters. */
+    Result<PuResult> run(ByteSpan input, Bytes *output = nullptr);
+
+  private:
+    CdpuConfig config_;
+    sim::PlacementModel model_;
+    sim::MemoryHierarchy memory_;
+    sim::Tlb tlb_;
+    u64 calls_ = 0;
+};
+
+} // namespace cdpu::hw
+
+#endif // CDPU_CDPU_SNAPPY_PU_H_

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Complete ZStd compression/decompression processing units (Figures 9
+ * and 10, ZStd paths): functional ZstdLite codec + cycle model over
+ * the LZ77, Huffman, and FSE unit models.
+ */
+
+#ifndef CDPU_CDPU_ZSTD_PU_H_
+#define CDPU_CDPU_ZSTD_PU_H_
+
+#include "cdpu/cdpu_config.h"
+#include "sim/memory_hierarchy.h"
+#include "sim/tlb.h"
+#include "zstdlite/compress.h"
+#include "zstdlite/decompress.h"
+
+namespace cdpu::hw
+{
+
+/** ZStd decompressor PU. */
+class ZstdDecompressorPU
+{
+  public:
+    explicit ZstdDecompressorPU(const CdpuConfig &config);
+
+    /** Full run: functional decode + cycle model. */
+    Result<PuResult> run(ByteSpan compressed, Bytes *output = nullptr);
+
+    /**
+     * Cycle model only, replaying a trace captured by a previous
+     * functional decode. Sweeps use this so each suite file is decoded
+     * once, not once per configuration.
+     */
+    PuResult runFromTrace(const zstdlite::FileTrace &trace,
+                          std::size_t compressed_bytes);
+
+  private:
+    CdpuConfig config_;
+    sim::PlacementModel model_;
+    sim::MemoryHierarchy memory_;
+    sim::Tlb tlb_;
+    u64 calls_ = 0;
+    bool builtPredefined_ = false;
+};
+
+/** ZStd compressor PU. */
+class ZstdCompressorPU
+{
+  public:
+    explicit ZstdCompressorPU(const CdpuConfig &config);
+
+    /**
+     * Compresses @p input with hardware parameters: the LZ77 encoder
+     * block is reused from the Snappy compressor (Section 6.5), so the
+     * match finder runs with the Snappy-style hash and a window equal
+     * to the history SRAM.
+     */
+    Result<PuResult> run(ByteSpan input, Bytes *output = nullptr);
+
+  private:
+    CdpuConfig config_;
+    sim::PlacementModel model_;
+    sim::MemoryHierarchy memory_;
+    sim::Tlb tlb_;
+    u64 calls_ = 0;
+};
+
+} // namespace cdpu::hw
+
+#endif // CDPU_CDPU_ZSTD_PU_H_

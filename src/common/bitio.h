@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Bit-granular stream writers/readers used by the entropy coders.
+ *
+ * Two disciplines are provided:
+ *  - BitWriter/BitReader: LSB-first forward streams (Huffman literals).
+ *  - BackwardBitReader: reads a finished BitWriter stream from the end,
+ *    which is the natural direction for tANS/FSE decoding (the encoder
+ *    emits bits forward while consuming symbols backward, so the decoder
+ *    consumes bits from the tail).
+ */
+
+#ifndef CDPU_COMMON_BITIO_H_
+#define CDPU_COMMON_BITIO_H_
+
+#include <cassert>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace cdpu
+{
+
+/**
+ * Accumulates bits LSB-first into a byte buffer.
+ *
+ * Bits are appended into a 64-bit accumulator and flushed to the output a
+ * byte at a time. finish() pads the final partial byte with a terminating
+ * 1-bit followed by zeros, exactly like zstd's bitstream, so a backward
+ * reader can locate the last valid bit.
+ */
+class BitWriter
+{
+  public:
+    /** Appends the low @p nbits bits of @p value. @pre nbits <= 56. */
+    void
+    put(u64 value, unsigned nbits)
+    {
+        assert(nbits <= 56);
+        assert(nbits == 64 || (value >> nbits) == 0);
+        acc_ |= value << filled_;
+        filled_ += nbits;
+        while (filled_ >= 8) {
+            bytes_.push_back(static_cast<u8>(acc_));
+            acc_ >>= 8;
+            filled_ -= 8;
+        }
+    }
+
+    /** Number of bits written so far (excluding the terminator). */
+    u64 bitCount() const { return bytes_.size() * 8 + filled_; }
+
+    /**
+     * Terminates the stream with a marker 1-bit and returns the bytes.
+     * The writer is left empty and reusable.
+     */
+    Bytes
+    finish()
+    {
+        put(1, 1);
+        if (filled_ > 0) {
+            bytes_.push_back(static_cast<u8>(acc_));
+            acc_ = 0;
+            filled_ = 0;
+        }
+        Bytes out = std::move(bytes_);
+        bytes_.clear();
+        return out;
+    }
+
+  private:
+    Bytes bytes_;
+    u64 acc_ = 0;
+    unsigned filled_ = 0;
+};
+
+/** Reads an LSB-first forward bit stream produced by BitWriter::put. */
+class BitReader
+{
+  public:
+    explicit BitReader(ByteSpan data) : data_(data) {}
+
+    /** True when at least @p nbits remain. */
+    bool
+    hasBits(unsigned nbits) const
+    {
+        return bitPos_ + nbits <= data_.size() * 8;
+    }
+
+    /** Reads @p nbits (<= 56) LSB-first; corrupt if the stream is short. */
+    Result<u64>
+    read(unsigned nbits)
+    {
+        if (!hasBits(nbits))
+            return Status::corrupt("bit stream truncated");
+        u64 value = peekUnchecked(nbits);
+        bitPos_ += nbits;
+        return value;
+    }
+
+    u64 bitPos() const { return bitPos_; }
+
+    /**
+     * Returns the next @p nbits without consuming them; bits past the
+     * end of the stream read as zero. Used by table-driven decoders
+     * that peek a fixed window and then advance by the decoded length.
+     */
+    u64
+    peek(unsigned nbits) const
+    {
+        u64 avail = data_.size() * 8 - bitPos_;
+        unsigned take = static_cast<unsigned>(
+            std::min<u64>(nbits, avail));
+        return take == 0 ? 0 : peekUnchecked(take);
+    }
+
+    /** Consumes @p nbits; corrupt if fewer remain. */
+    Status
+    advance(unsigned nbits)
+    {
+        if (!hasBits(nbits))
+            return Status::corrupt("bit stream truncated");
+        bitPos_ += nbits;
+        return Status::okStatus();
+    }
+
+  private:
+    u64
+    peekUnchecked(unsigned nbits) const
+    {
+        u64 acc = 0;
+        unsigned got = 0;
+        u64 pos = bitPos_;
+        while (got < nbits) {
+            u64 byte = data_[pos >> 3];
+            unsigned offset = pos & 7;
+            unsigned take = std::min<unsigned>(8 - offset, nbits - got);
+            acc |= ((byte >> offset) & ((1ull << take) - 1)) << got;
+            got += take;
+            pos += take;
+        }
+        return acc;
+    }
+
+    ByteSpan data_;
+    u64 bitPos_ = 0;
+};
+
+/**
+ * Reads a finish()ed BitWriter stream starting from the final bit.
+ *
+ * init() locates the terminating 1-bit in the last byte; subsequent read()
+ * calls return the most recently written bits first, which reverses the
+ * encoder's order — the FSE decoder relies on this.
+ */
+class BackwardBitReader
+{
+  public:
+    /** Positions the cursor just below the terminator bit. */
+    static Result<BackwardBitReader>
+    open(ByteSpan data)
+    {
+        if (data.empty())
+            return Status::corrupt("empty backward bit stream");
+        u8 last = data[data.size() - 1];
+        if (last == 0)
+            return Status::corrupt("missing bit stream terminator");
+        unsigned top = 7;
+        while (((last >> top) & 1) == 0)
+            --top;
+        BackwardBitReader reader;
+        reader.data_ = data;
+        reader.bitsLeft_ = (data.size() - 1) * 8 + top;
+        return reader;
+    }
+
+    /** Bits still unread. */
+    u64 bitsLeft() const { return bitsLeft_; }
+
+    /**
+     * Reads @p nbits in write order (the value reassembles exactly what
+     * BitWriter::put received). Reading past the start is corrupt.
+     */
+    Result<u64>
+    read(unsigned nbits)
+    {
+        if (nbits > bitsLeft_)
+            return Status::corrupt("backward bit stream underflow");
+        bitsLeft_ -= nbits;
+        u64 acc = 0;
+        for (unsigned got = 0; got < nbits;) {
+            u64 pos = bitsLeft_ + got;
+            u64 byte = data_[pos >> 3];
+            unsigned offset = pos & 7;
+            unsigned take = std::min<unsigned>(8 - offset, nbits - got);
+            acc |= ((byte >> offset) & ((1ull << take) - 1)) << got;
+            got += take;
+        }
+        return acc;
+    }
+
+    /** Constructs an empty reader; use open() to create a usable one. */
+    BackwardBitReader() = default;
+
+  private:
+    ByteSpan data_;
+    u64 bitsLeft_ = 0;
+};
+
+} // namespace cdpu
+
+#endif // CDPU_COMMON_BITIO_H_

@@ -1,0 +1,90 @@
+#include "common/cli.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cdpu
+{
+
+bool
+CliArgs::parse(int argc, const char *const *argv,
+               const std::vector<std::string> &known)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(std::move(arg));
+            continue;
+        }
+        std::string body = arg.substr(2);
+        std::string name;
+        std::string value;
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            name = body.substr(0, eq);
+            value = body.substr(eq + 1);
+        } else {
+            name = body;
+            // Consume the next token as a value unless it is also a flag.
+            if (i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                value = argv[++i];
+            } else {
+                value = "true";
+            }
+        }
+        if (std::find(known.begin(), known.end(), name) == known.end()) {
+            std::fprintf(stderr, "unknown flag --%s; known flags:",
+                         name.c_str());
+            for (const auto &k : known)
+                std::fprintf(stderr, " --%s", k.c_str());
+            std::fprintf(stderr, "\n");
+            return false;
+        }
+        flags_[name] = std::move(value);
+    }
+    return true;
+}
+
+bool
+CliArgs::has(const std::string &name) const
+{
+    return flags_.count(name) > 0;
+}
+
+std::string
+CliArgs::getString(const std::string &name, const std::string &fallback) const
+{
+    auto it = flags_.find(name);
+    return it == flags_.end() ? fallback : it->second;
+}
+
+i64
+CliArgs::getInt(const std::string &name, i64 fallback) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return fallback;
+    return std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double
+CliArgs::getDouble(const std::string &name, double fallback) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return fallback;
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool
+CliArgs::getBool(const std::string &name, bool fallback) const
+{
+    auto it = flags_.find(name);
+    if (it == flags_.end())
+        return fallback;
+    return it->second != "false" && it->second != "0";
+}
+
+} // namespace cdpu

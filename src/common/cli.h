@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal command-line flag parsing for the example and bench binaries.
+ *
+ * Flags take the form --name=value or --name value; bare --name sets a
+ * boolean flag. Unknown flags are an error so typos fail loudly.
+ */
+
+#ifndef CDPU_COMMON_CLI_H_
+#define CDPU_COMMON_CLI_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cdpu
+{
+
+/** Parsed command line with typed accessors and defaults. */
+class CliArgs
+{
+  public:
+    /**
+     * Parses argv. @p known lists the accepted flag names; an unknown
+     * flag prints usage to stderr and returns false.
+     */
+    bool parse(int argc, const char *const *argv,
+               const std::vector<std::string> &known);
+
+    bool has(const std::string &name) const;
+    std::string getString(const std::string &name,
+                          const std::string &fallback) const;
+    i64 getInt(const std::string &name, i64 fallback) const;
+    double getDouble(const std::string &name, double fallback) const;
+    bool getBool(const std::string &name, bool fallback) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string> &positional() const { return positional_; }
+
+  private:
+    std::map<std::string, std::string> flags_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace cdpu
+
+#endif // CDPU_COMMON_CLI_H_

@@ -1,0 +1,62 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace cdpu
+{
+
+namespace
+{
+
+/** Byte-at-a-time table for the reflected Castagnoli polynomial. */
+std::array<u32, 256>
+makeTable()
+{
+    std::array<u32, 256> table{};
+    for (u32 i = 0; i < 256; ++i) {
+        u32 crc = i;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0);
+        table[i] = crc;
+    }
+    return table;
+}
+
+const std::array<u32, 256> &
+table()
+{
+    static const std::array<u32, 256> kTable = makeTable();
+    return kTable;
+}
+
+} // namespace
+
+u32
+crc32cUpdate(u32 crc, ByteSpan data)
+{
+    crc = ~crc;
+    for (u8 byte : data)
+        crc = (crc >> 8) ^ table()[(crc ^ byte) & 0xff];
+    return ~crc;
+}
+
+u32
+crc32c(ByteSpan data)
+{
+    return crc32cUpdate(0, data);
+}
+
+u32
+maskCrc(u32 crc)
+{
+    return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+u32
+unmaskCrc(u32 masked)
+{
+    u32 rot = masked - 0xa282ead8u;
+    return (rot >> 17) | (rot << 15);
+}
+
+} // namespace cdpu

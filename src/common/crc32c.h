@@ -1,0 +1,34 @@
+/**
+ * @file
+ * CRC-32C (Castagnoli) checksums, as used by the Snappy framing format
+ * and most storage-path integrity checks in hyperscale systems.
+ */
+
+#ifndef CDPU_COMMON_CRC32C_H_
+#define CDPU_COMMON_CRC32C_H_
+
+#include "common/types.h"
+
+namespace cdpu
+{
+
+/** CRC-32C of @p data (reflected polynomial 0x82f63b78). */
+u32 crc32c(ByteSpan data);
+
+/** Incremental update: feeds @p data into a running CRC state.
+ *  Start from 0; the final value equals crc32c() of the whole input. */
+u32 crc32cUpdate(u32 crc, ByteSpan data);
+
+/**
+ * Snappy's masked CRC: rotates and offsets the raw CRC so that
+ * checksumming data that embeds CRCs stays well-conditioned
+ * (google/snappy framing_format.txt, section 3).
+ */
+u32 maskCrc(u32 crc);
+
+/** Inverse of maskCrc(). */
+u32 unmaskCrc(u32 masked);
+
+} // namespace cdpu
+
+#endif // CDPU_COMMON_CRC32C_H_

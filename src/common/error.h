@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Lightweight Status/Result error propagation used by every decoder path.
+ *
+ * Decoders must never crash on corrupt input; they return a Status carrying
+ * a category and a human-readable message instead. Result<T> couples a value
+ * with a Status for fallible producers.
+ */
+
+#ifndef CDPU_COMMON_ERROR_H_
+#define CDPU_COMMON_ERROR_H_
+
+#include <string>
+#include <utility>
+
+namespace cdpu
+{
+
+/** Coarse failure categories for fallible operations. */
+enum class StatusCode
+{
+    ok,
+    corruptData,     ///< Malformed or truncated compressed stream.
+    bufferTooSmall,  ///< Destination capacity insufficient.
+    invalidArgument, ///< Caller supplied an out-of-range parameter.
+    unsupported,     ///< Valid input requesting an unimplemented feature.
+    internal,        ///< Invariant violation inside the library.
+};
+
+/** Success-or-error value for operations without a payload. */
+class Status
+{
+  public:
+    /** Constructs an OK status. */
+    Status() = default;
+
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {}
+
+    static Status okStatus() { return Status(); }
+
+    static Status
+    corrupt(std::string message)
+    {
+        return Status(StatusCode::corruptData, std::move(message));
+    }
+
+    static Status
+    invalid(std::string message)
+    {
+        return Status(StatusCode::invalidArgument, std::move(message));
+    }
+
+    static Status
+    unsupported(std::string message)
+    {
+        return Status(StatusCode::unsupported, std::move(message));
+    }
+
+    static Status
+    internal(std::string message)
+    {
+        return Status(StatusCode::internal, std::move(message));
+    }
+
+    bool ok() const { return code_ == StatusCode::ok; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** Renders "OK" or "<category>: <message>" for logs and tests. */
+    std::string
+    toString() const
+    {
+        if (ok())
+            return "OK";
+        return categoryName() + ": " + message_;
+    }
+
+  private:
+    std::string
+    categoryName() const
+    {
+        switch (code_) {
+          case StatusCode::ok: return "OK";
+          case StatusCode::corruptData: return "CORRUPT_DATA";
+          case StatusCode::bufferTooSmall: return "BUFFER_TOO_SMALL";
+          case StatusCode::invalidArgument: return "INVALID_ARGUMENT";
+          case StatusCode::unsupported: return "UNSUPPORTED";
+          case StatusCode::internal: return "INTERNAL";
+        }
+        return "UNKNOWN";
+    }
+
+    StatusCode code_ = StatusCode::ok;
+    std::string message_;
+};
+
+/**
+ * Value-or-error wrapper. Access value() only after checking ok();
+ * accessing the value of a failed Result is undefined.
+ */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : value_(std::move(value)) {}
+    Result(Status status) : status_(std::move(status)) {}
+
+    bool ok() const { return status_.ok(); }
+    const Status &status() const { return status_; }
+
+    T &value() & { return value_; }
+    const T &value() const & { return value_; }
+    T &&value() && { return std::move(value_); }
+
+  private:
+    Status status_;
+    T value_{};
+};
+
+/** Propagates a non-OK status from the current function. */
+#define CDPU_RETURN_IF_ERROR(expr)                                           \
+    do {                                                                     \
+        ::cdpu::Status cdpu_status_ = (expr);                                \
+        if (!cdpu_status_.ok())                                              \
+            return cdpu_status_;                                             \
+    } while (false)
+
+} // namespace cdpu
+
+#endif // CDPU_COMMON_ERROR_H_

@@ -1,0 +1,39 @@
+#include "common/hexdump.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace cdpu
+{
+
+std::string
+hexDump(ByteSpan data, std::size_t max_bytes)
+{
+    std::ostringstream out;
+    std::size_t n = std::min(data.size(), max_bytes);
+    char buf[24];
+    for (std::size_t base = 0; base < n; base += 16) {
+        std::snprintf(buf, sizeof(buf), "%08zx  ", base);
+        out << buf;
+        for (std::size_t i = 0; i < 16; ++i) {
+            if (base + i < n) {
+                std::snprintf(buf, sizeof(buf), "%02x ", data[base + i]);
+                out << buf;
+            } else {
+                out << "   ";
+            }
+        }
+        out << ' ';
+        for (std::size_t i = 0; i < 16 && base + i < n; ++i) {
+            u8 c = data[base + i];
+            out << (std::isprint(c) ? static_cast<char>(c) : '.');
+        }
+        out << '\n';
+    }
+    if (n < data.size())
+        out << "... (" << data.size() - n << " more bytes)\n";
+    return out.str();
+}
+
+} // namespace cdpu

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Hex-dump helpers for debugging compressed stream layouts in tests.
+ */
+
+#ifndef CDPU_COMMON_HEXDUMP_H_
+#define CDPU_COMMON_HEXDUMP_H_
+
+#include <string>
+
+#include "common/types.h"
+
+namespace cdpu
+{
+
+/** Renders @p data as a classic 16-bytes-per-line hex+ASCII dump. */
+std::string hexDump(ByteSpan data, std::size_t max_bytes = 256);
+
+} // namespace cdpu
+
+#endif // CDPU_COMMON_HEXDUMP_H_

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (SplitMix64 seeded
+ * xoshiro256**). Every stochastic component in the repository draws from
+ * this generator so results are reproducible from a single seed.
+ */
+
+#ifndef CDPU_COMMON_RNG_H_
+#define CDPU_COMMON_RNG_H_
+
+#include <cassert>
+#include <cmath>
+
+#include "common/types.h"
+
+namespace cdpu
+{
+
+/** xoshiro256** PRNG with SplitMix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull)
+    {
+        u64 x = seed;
+        for (auto &word : state_) {
+            // SplitMix64 step.
+            x += 0x9e3779b97f4a7c15ull;
+            u64 z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next 64 uniformly random bits. */
+    u64
+    next()
+    {
+        u64 result = rotl(state_[1] * 5, 7) * 9;
+        u64 t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    u64
+    below(u64 bound)
+    {
+        assert(bound > 0);
+        // Rejection sampling to avoid modulo bias.
+        u64 threshold = (0 - bound) % bound;
+        for (;;) {
+            u64 r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    u64
+    range(u64 lo, u64 hi)
+    {
+        assert(lo <= hi);
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with success probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Standard normal variate (Box-Muller). */
+    double
+    normal()
+    {
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        return std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(2.0 * M_PI * u2);
+    }
+
+    /** Log-normal variate with the given parameters of the underlying
+     *  normal distribution. */
+    double
+    logNormal(double mu, double sigma)
+    {
+        return std::exp(mu + sigma * normal());
+    }
+
+    /** Geometric-ish exponential variate with the given mean. */
+    double
+    exponential(double mean)
+    {
+        double u = uniform();
+        if (u < 1e-300)
+            u = 1e-300;
+        return -mean * std::log(u);
+    }
+
+  private:
+    static u64
+    rotl(u64 x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    u64 state_[4];
+};
+
+} // namespace cdpu
+
+#endif // CDPU_COMMON_RNG_H_

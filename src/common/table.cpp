@@ -1,0 +1,80 @@
+#include "common/table.h"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace cdpu
+{
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header))
+{}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    assert(row.size() == header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TablePrinter::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << (c == 0 ? "| " : " | ");
+            out << row[c];
+            out << std::string(widths[c] - row[c].size(), ' ');
+        }
+        out << " |\n";
+    };
+
+    emit_row(header_);
+    out << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        out << std::string(widths[c] + 2, '-') << '|';
+    out << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+    return out.str();
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::bytes(std::size_t n)
+{
+    char buf[64];
+    if (n >= 1024 * 1024 && n % (1024 * 1024) == 0)
+        std::snprintf(buf, sizeof(buf), "%zu MiB", n / (1024 * 1024));
+    else if (n >= 1024 && n % 1024 == 0)
+        std::snprintf(buf, sizeof(buf), "%zu KiB", n / 1024);
+    else
+        std::snprintf(buf, sizeof(buf), "%zu B", n);
+    return buf;
+}
+
+std::string
+TablePrinter::percent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+} // namespace cdpu

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Plain-text table rendering for benchmark and report binaries.
+ *
+ * Every figure-reproduction bench prints its series through TablePrinter so
+ * the output rows can be compared against the paper directly.
+ */
+
+#ifndef CDPU_COMMON_TABLE_H_
+#define CDPU_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace cdpu
+{
+
+/** Column-aligned ASCII table with a header row. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> header);
+
+    /** Appends one row; it must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Renders the table with aligned columns and a separator rule. */
+    std::string render() const;
+
+    /** Formats a double with @p precision fractional digits. */
+    static std::string num(double v, int precision = 2);
+
+    /** Formats a byte count as "4 KiB" / "2 MiB" / "123 B". */
+    static std::string bytes(std::size_t n);
+
+    /** Formats a fraction as a percentage string, e.g. "12.3%". */
+    static std::string percent(double fraction, int precision = 1);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cdpu
+
+#endif // CDPU_COMMON_TABLE_H_

@@ -1,0 +1,44 @@
+#include "common/varint.h"
+
+namespace cdpu
+{
+
+void
+putVarint(Bytes &out, u64 value)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<u8>(value) | 0x80);
+        value >>= 7;
+    }
+    out.push_back(static_cast<u8>(value));
+}
+
+Result<u64>
+getVarint(ByteSpan data, std::size_t &pos)
+{
+    u64 value = 0;
+    unsigned shift = 0;
+    for (std::size_t n = 0; n < 10; ++n) {
+        if (pos >= data.size())
+            return Status::corrupt("varint truncated");
+        u8 byte = data[pos++];
+        value |= static_cast<u64>(byte & 0x7f) << shift;
+        if ((byte & 0x80) == 0)
+            return value;
+        shift += 7;
+    }
+    return Status::corrupt("varint longer than 10 bytes");
+}
+
+std::size_t
+varintSize(u64 value)
+{
+    std::size_t n = 1;
+    while (value >= 0x80) {
+        value >>= 7;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace cdpu

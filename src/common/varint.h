@@ -1,0 +1,32 @@
+/**
+ * @file
+ * LEB128-style varint encoding shared by the Snappy preamble and the
+ * ZstdLite frame header.
+ */
+
+#ifndef CDPU_COMMON_VARINT_H_
+#define CDPU_COMMON_VARINT_H_
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace cdpu
+{
+
+/** Appends @p value to @p out as a little-endian base-128 varint. */
+void putVarint(Bytes &out, u64 value);
+
+/**
+ * Decodes a varint from @p data starting at @p pos.
+ *
+ * On success advances @p pos past the varint and returns the value. Fails
+ * on truncation or on encodings longer than 10 bytes.
+ */
+Result<u64> getVarint(ByteSpan data, std::size_t &pos);
+
+/** Number of bytes putVarint would emit for @p value. */
+std::size_t varintSize(u64 value);
+
+} // namespace cdpu
+
+#endif // CDPU_COMMON_VARINT_H_

@@ -1,0 +1,24 @@
+#include "corpus/chunker.h"
+
+namespace cdpu::corpus
+{
+
+std::vector<Chunk>
+chunk(ByteSpan input, std::size_t chunk_size)
+{
+    std::vector<Chunk> chunks;
+    if (chunk_size == 0)
+        return chunks;
+    for (std::size_t base = 0; base < input.size(); base += chunk_size) {
+        std::size_t len = std::min(chunk_size, input.size() - base);
+        if (len < chunk_size && len < chunk_size / 2)
+            break;
+        Chunk c;
+        c.data.assign(input.begin() + base, input.begin() + base + len);
+        c.sourceOffset = base;
+        chunks.push_back(std::move(c));
+    }
+    return chunks;
+}
+
+} // namespace cdpu::corpus

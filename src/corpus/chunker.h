@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fixed-size chunking of corpus buffers, mirroring the first step of the
+ * paper's HyperCompressBench generator (Section 4: "breaking all files
+ * ... into fixed-size chunks").
+ */
+
+#ifndef CDPU_CORPUS_CHUNKER_H_
+#define CDPU_CORPUS_CHUNKER_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace cdpu::corpus
+{
+
+/** A chunk: a copy of one fixed-size slice of a corpus buffer. */
+struct Chunk
+{
+    Bytes data;
+    std::size_t sourceOffset = 0;
+};
+
+/**
+ * Splits @p input into chunks of @p chunk_size bytes. A final partial
+ * chunk shorter than chunk_size / 2 is dropped (it would skew per-chunk
+ * ratio statistics); otherwise it is kept.
+ */
+std::vector<Chunk> chunk(ByteSpan input, std::size_t chunk_size);
+
+} // namespace cdpu::corpus
+
+#endif // CDPU_CORPUS_CHUNKER_H_

@@ -1,0 +1,276 @@
+#include "corpus/generators.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+namespace cdpu::corpus
+{
+
+namespace
+{
+
+/** Zipf-weighted vocabulary. A small core of function words plus a
+ *  few hundred procedurally generated content words: large enough that
+ *  literals remain a substantial fraction of an LZ parse, as in real
+ *  prose. */
+class Vocabulary
+{
+  public:
+    explicit Vocabulary(Rng &rng)
+    {
+        static const char *const kCore[] = {
+            "the", "of", "and", "to", "a", "in", "is", "that", "it",
+            "for", "was", "on", "are", "as", "with", "they", "at",
+            "be", "this", "have", "from", "or", "one", "had", "by",
+            "but", "not", "what", "all", "were", "when", "your",
+            "can", "said", "there", "use", "an", "each", "which",
+            "she", "do", "how", "their", "if", "will", "up", "other",
+            "about", "out", "many", "then", "them", "these", "so",
+            "some", "her", "would", "make", "like", "him", "into",
+        };
+        for (const char *word : kCore)
+            words_.emplace_back(word);
+        // Content words: random letter sequences, length 3-11.
+        static const char kLetters[] = "etaoinshrdlucmfwypvbgkqjxz";
+        for (int i = 0; i < 540; ++i) {
+            std::size_t len = 3 + rng.below(9);
+            std::string word;
+            for (std::size_t c = 0; c < len; ++c)
+                word.push_back(kLetters[static_cast<std::size_t>(
+                    rng.uniform() * rng.uniform() * 26)]);
+            words_.push_back(std::move(word));
+        }
+    }
+
+    const std::string &at(std::size_t i) const { return words_[i]; }
+    std::size_t size() const { return words_.size(); }
+
+  private:
+    std::vector<std::string> words_;
+};
+
+std::size_t
+zipfIndex(Rng &rng, std::size_t n)
+{
+    // Approximate Zipf via inverse-power transform of a uniform draw.
+    double u = rng.uniform();
+    double x = std::pow(static_cast<double>(n) + 1.0, u) - 1.0;
+    std::size_t idx = static_cast<std::size_t>(x);
+    return idx >= n ? n - 1 : idx;
+}
+
+Bytes
+makeTextLike(std::size_t size, Rng &rng)
+{
+    Vocabulary vocab(rng);
+    Bytes out;
+    out.reserve(size + 16);
+    std::size_t sentence_len = 0;
+    static const char kLetters[] = "etaoinshrdlucmfwypvbgkqjxz";
+    std::string fresh;
+    while (out.size() < size) {
+        // Occasionally emit a never-seen token (names, numbers, ids):
+        // these keep the literal fraction of an LZ parse realistic.
+        if (rng.chance(0.15)) {
+            fresh.clear();
+            std::size_t len = 6 + rng.below(10);
+            for (std::size_t c = 0; c < len; ++c)
+                fresh.push_back(rng.chance(0.2)
+                                    ? static_cast<char>('0' + rng.below(10))
+                                    : kLetters[rng.below(26)]);
+            out.insert(out.end(), fresh.begin(), fresh.end());
+            out.push_back(' ');
+            ++sentence_len;
+            continue;
+        }
+        const std::string &word = vocab.at(zipfIndex(rng, vocab.size()));
+        std::size_t len = word.size();
+        if (sentence_len == 0 && len > 0 && word[0] >= 'a' &&
+            word[0] <= 'z') {
+            out.push_back(static_cast<u8>(word[0] - 'a' + 'A'));
+            out.insert(out.end(), word.begin() + 1, word.end());
+        } else {
+            out.insert(out.end(), word.begin(), word.end());
+        }
+        ++sentence_len;
+        if (sentence_len > 8 && rng.chance(0.2)) {
+            out.push_back('.');
+            out.push_back(' ');
+            sentence_len = 0;
+        } else {
+            out.push_back(' ');
+        }
+    }
+    out.resize(size);
+    return out;
+}
+
+Bytes
+makeLogLike(std::size_t size, Rng &rng)
+{
+    static const std::array<const char *, 6> kTemplates = {
+        "INFO rpc_server handled request id=%llu latency_us=%llu ok\n",
+        "WARN cache_shard evicted key=%llu size=%llu reason=pressure\n",
+        "INFO storage_gc compacted level=%llu bytes=%llu\n",
+        "DEBUG scheduler placed task=%llu on cell=%llu\n",
+        "ERROR netstack retry conn=%llu attempt=%llu backoff\n",
+        "INFO quota_check user=%llu usage=%llu within_limits\n",
+    };
+    Bytes out;
+    out.reserve(size + 128);
+    u64 ts = 1670000000000ull;
+    char line[192];
+    while (out.size() < size) {
+        ts += rng.range(1, 5000);
+        int n = std::snprintf(line, sizeof(line), "%llu ",
+                              static_cast<unsigned long long>(ts));
+        out.insert(out.end(), line, line + n);
+        const char *tmpl = kTemplates[rng.below(kTemplates.size())];
+        n = std::snprintf(
+            line, sizeof(line), tmpl,
+            static_cast<unsigned long long>(rng.below(5000)),
+            static_cast<unsigned long long>(rng.below(100000)));
+        out.insert(out.end(), line, line + n);
+    }
+    out.resize(size);
+    return out;
+}
+
+Bytes
+makeNumericTabular(std::size_t size, Rng &rng)
+{
+    Bytes out;
+    out.reserve(size + 64);
+    char field[64];
+    while (out.size() < size) {
+        for (int col = 0; col < 6; ++col) {
+            double v = 100.0 * rng.uniform() + col * 1000;
+            int n = std::snprintf(field, sizeof(field), "%.3f%c", v,
+                                  col == 5 ? '\n' : ',');
+            out.insert(out.end(), field, field + n);
+        }
+    }
+    out.resize(size);
+    return out;
+}
+
+Bytes
+makeProtobufLike(std::size_t size, Rng &rng)
+{
+    Bytes out;
+    out.reserve(size + 64);
+    auto put_varint = [&](u64 v) {
+        while (v >= 0x80) {
+            out.push_back(static_cast<u8>(v) | 0x80);
+            v >>= 7;
+        }
+        out.push_back(static_cast<u8>(v));
+    };
+    while (out.size() < size) {
+        // A "message": a handful of tagged fields with small varints and
+        // one short length-delimited string from a tiny pool.
+        for (u32 field = 1; field <= 5; ++field) {
+            put_varint((field << 3) | 0); // varint wire type
+            put_varint(rng.below(1 << (4 + 2 * field)));
+        }
+        put_varint((6 << 3) | 2); // length-delimited
+        static const std::array<const char *, 4> kPool = {
+            "us-central1", "prod", "replica-set-a", "default-profile",
+        };
+        const char *s = kPool[rng.below(kPool.size())];
+        std::size_t len = std::strlen(s);
+        put_varint(len);
+        out.insert(out.end(), s, s + len);
+    }
+    out.resize(size);
+    return out;
+}
+
+Bytes
+makeRandomBytes(std::size_t size, Rng &rng)
+{
+    Bytes out(size);
+    std::size_t i = 0;
+    for (; i + 8 <= size; i += 8) {
+        u64 v = rng.next();
+        std::memcpy(out.data() + i, &v, 8);
+    }
+    for (; i < size; ++i)
+        out[i] = static_cast<u8>(rng.next());
+    return out;
+}
+
+Bytes
+makeRepetitive(std::size_t size, Rng &rng)
+{
+    // A short random motif tiled with occasional single-byte mutations.
+    std::size_t motif_len = 64 + rng.below(192);
+    Bytes motif = makeRandomBytes(motif_len, rng);
+    Bytes out;
+    out.reserve(size + motif_len);
+    while (out.size() < size) {
+        out.insert(out.end(), motif.begin(), motif.end());
+        if (rng.chance(0.05))
+            out[out.size() - 1 - rng.below(motif_len)] ^= 0x5a;
+    }
+    out.resize(size);
+    return out;
+}
+
+} // namespace
+
+std::vector<DataClass>
+allDataClasses()
+{
+    return {DataClass::textLike, DataClass::logLike,
+            DataClass::numericTabular, DataClass::protobufLike,
+            DataClass::randomBytes, DataClass::repetitive};
+}
+
+std::string
+dataClassName(DataClass cls)
+{
+    switch (cls) {
+      case DataClass::textLike: return "text";
+      case DataClass::logLike: return "log";
+      case DataClass::numericTabular: return "numeric";
+      case DataClass::protobufLike: return "protobuf";
+      case DataClass::randomBytes: return "random";
+      case DataClass::repetitive: return "repetitive";
+    }
+    return "unknown";
+}
+
+Bytes
+generate(DataClass cls, std::size_t size, Rng &rng)
+{
+    switch (cls) {
+      case DataClass::textLike: return makeTextLike(size, rng);
+      case DataClass::logLike: return makeLogLike(size, rng);
+      case DataClass::numericTabular: return makeNumericTabular(size, rng);
+      case DataClass::protobufLike: return makeProtobufLike(size, rng);
+      case DataClass::randomBytes: return makeRandomBytes(size, rng);
+      case DataClass::repetitive: return makeRepetitive(size, rng);
+    }
+    return {};
+}
+
+Bytes
+generateMixed(std::size_t size, Rng &rng, std::size_t mean_run)
+{
+    auto classes = allDataClasses();
+    Bytes out;
+    out.reserve(size + mean_run);
+    while (out.size() < size) {
+        DataClass cls = classes[rng.below(classes.size())];
+        auto run_len = static_cast<std::size_t>(
+            rng.exponential(static_cast<double>(mean_run))) + 256;
+        Bytes run = generate(cls, run_len, rng);
+        out.insert(out.end(), run.begin(), run.end());
+    }
+    out.resize(size);
+    return out;
+}
+
+} // namespace cdpu::corpus

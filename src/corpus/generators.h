@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Synthetic corpus generation.
+ *
+ * Substitutes the Silesia/Canterbury/Calgary/SnappyFiles corpora the
+ * paper's HyperCompressBench generator chunks (Section 4). Each data
+ * class produces a different compressibility profile so per-chunk
+ * compression ratios span roughly 1.0x (random) to 8x+ (repetitive),
+ * giving the greedy assembler a wide ratio lookup table to draw from —
+ * which is the only property of the corpora the pipeline depends on.
+ */
+
+#ifndef CDPU_CORPUS_GENERATORS_H_
+#define CDPU_CORPUS_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace cdpu::corpus
+{
+
+/** Data classes with distinct entropy/duplication profiles. */
+enum class DataClass
+{
+    textLike,      ///< Word-sampled English-ish prose (ratio ~2-3x).
+    logLike,       ///< Timestamped, highly templated lines (ratio ~4-8x).
+    numericTabular,///< CSV-ish decimal columns (ratio ~2-4x).
+    protobufLike,  ///< Varint/tag-heavy binary records (ratio ~1.5-3x).
+    randomBytes,   ///< Incompressible (ratio ~1.0x).
+    repetitive,    ///< Long exact repeats (ratio >> 4x).
+};
+
+/** All classes, for iteration in tests and the chunk library. */
+std::vector<DataClass> allDataClasses();
+
+/** Human-readable class name. */
+std::string dataClassName(DataClass cls);
+
+/** Generates @p size bytes of the given class using @p rng. */
+Bytes generate(DataClass cls, std::size_t size, Rng &rng);
+
+/**
+ * Generates a blended buffer: contiguous runs of random classes with
+ * run lengths around @p mean_run bytes. Exercises codecs on inputs whose
+ * compressibility shifts mid-stream.
+ */
+Bytes generateMixed(std::size_t size, Rng &rng,
+                    std::size_t mean_run = 8 * kKiB);
+
+} // namespace cdpu::corpus
+
+#endif // CDPU_CORPUS_GENERATORS_H_

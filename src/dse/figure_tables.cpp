@@ -1,0 +1,163 @@
+#include "dse/figure_tables.h"
+
+#include <sstream>
+
+#include "common/table.h"
+
+namespace cdpu::dse
+{
+
+std::vector<std::size_t>
+sramSweepBytes()
+{
+    return {64 * kKiB, 32 * kKiB, 16 * kKiB, 8 * kKiB, 4 * kKiB,
+            2 * kKiB};
+}
+
+namespace
+{
+
+/** Runs the placement x SRAM grid and renders the figure table. */
+std::string
+placementSramTable(SweepRunner &runner,
+                   const std::vector<sim::Placement> &placements,
+                   const hw::CdpuConfig &base, bool with_ratio,
+                   double full_area)
+{
+    std::vector<std::string> header = {"SRAM"};
+    for (sim::Placement placement : placements)
+        header.push_back(sim::placementName(placement));
+    header.push_back("Area/Full");
+    if (with_ratio)
+        header.push_back("Ratio vs SW");
+
+    TablePrinter table(std::move(header));
+    for (std::size_t sram : sramSweepBytes()) {
+        hw::CdpuConfig config = base;
+        config.historySramBytes = sram;
+
+        std::vector<std::string> row = {TablePrinter::bytes(sram)};
+        DsePoint last;
+        double area = 0;
+        for (sim::Placement placement : placements) {
+            config.placement = placement;
+            last = runner.run(config);
+            area = last.areaMm2;
+            row.push_back(TablePrinter::num(last.speedup(), 2) + "x");
+        }
+        row.push_back(TablePrinter::num(area / full_area, 3));
+        if (with_ratio)
+            row.push_back(TablePrinter::num(last.ratioVsSw(), 3));
+        table.addRow(std::move(row));
+    }
+    return table.render();
+}
+
+} // namespace
+
+std::string
+figure11(SweepRunner &runner)
+{
+    hw::CdpuConfig base;
+    double full_area = hw::snappyDecompressorAreaMm2(base);
+    std::ostringstream out;
+    out << "Figure 11: Snappy decompression speedup vs Xeon "
+           "(HyperCompressBench)\n";
+    out << "Area normalized to the 64K-history accelerator ("
+        << TablePrinter::num(full_area, 3) << " mm^2 in 16nm)\n";
+    out << placementSramTable(runner, sim::allPlacements(), base,
+                              /*with_ratio=*/false, full_area);
+    return out.str();
+}
+
+std::string
+figure12(SweepRunner &runner)
+{
+    hw::CdpuConfig base; // 2^14 hash entries
+    double full_area = hw::snappyCompressorAreaMm2(base);
+    std::ostringstream out;
+    out << "Figure 12: Snappy compression speedup/ratio/area "
+           "(2^14 hash entries)\n";
+    out << "Area normalized to the 64K14HT accelerator ("
+        << TablePrinter::num(full_area, 3) << " mm^2 in 16nm)\n";
+    out << placementSramTable(
+        runner,
+        {sim::Placement::rocc, sim::Placement::chiplet,
+         sim::Placement::pcieNoCache},
+        base, /*with_ratio=*/true, full_area);
+    return out.str();
+}
+
+std::string
+figure13(SweepRunner &runner)
+{
+    hw::CdpuConfig base;
+    base.hashTable.log2Entries = 9;
+    // Normalized against the full-size (2^14) design, as the paper does.
+    hw::CdpuConfig full;
+    double full_area = hw::snappyCompressorAreaMm2(full);
+    std::ostringstream out;
+    out << "Figure 13: Snappy compression with 2^9 hash-table entries\n";
+    out << "Area normalized to the 64K14HT accelerator ("
+        << TablePrinter::num(full_area, 3) << " mm^2 in 16nm)\n";
+    out << placementSramTable(
+        runner,
+        {sim::Placement::rocc, sim::Placement::chiplet,
+         sim::Placement::pcieNoCache},
+        base, /*with_ratio=*/true, full_area);
+    return out.str();
+}
+
+std::string
+figure14(SweepRunner &runner)
+{
+    hw::CdpuConfig base; // 16 speculations
+    double full_area = hw::zstdDecompressorAreaMm2(base);
+    std::ostringstream out;
+    out << "Figure 14: ZStd decompression speedup vs Xeon "
+           "(16 speculations)\n";
+    out << "Area normalized to the 64K-history accelerator ("
+        << TablePrinter::num(full_area, 3) << " mm^2 in 16nm)\n";
+    out << placementSramTable(runner, sim::allPlacements(), base,
+                              /*with_ratio=*/false, full_area);
+
+    // Section 6.4: Huffman speculation sweep at 64K history, RoCC.
+    out << "\nSection 6.4: speculation sweep (RoCC, 64K history)\n";
+    TablePrinter spec_table(
+        {"Speculations", "Speedup", "Area mm^2", "Area vs spec16"});
+    for (unsigned spec : {4u, 16u, 32u}) {
+        hw::CdpuConfig config;
+        config.huffSpeculations = spec;
+        DsePoint point = runner.run(config);
+        spec_table.addRow(
+            {std::to_string(spec),
+             TablePrinter::num(point.speedup(), 2) + "x",
+             TablePrinter::num(point.areaMm2, 2),
+             TablePrinter::num(point.areaMm2 / full_area, 3)});
+    }
+    out << spec_table.render();
+    return out.str();
+}
+
+std::string
+figure15(SweepRunner &runner)
+{
+    hw::CdpuConfig base;
+    double full_area = hw::zstdCompressorAreaMm2(base);
+    std::ostringstream out;
+    out << "Figure 15: ZStd compression speedup/ratio/area "
+           "(2^14 hash entries)\n";
+    out << "Area normalized to the 64K14HT accelerator ("
+        << TablePrinter::num(full_area, 3) << " mm^2 in 16nm)\n";
+    out << placementSramTable(runner, sim::allPlacements(), base,
+                              /*with_ratio=*/true, full_area);
+    return out.str();
+}
+
+DsePoint
+flagshipPoint(SweepRunner &runner)
+{
+    return runner.run(hw::CdpuConfig{});
+}
+
+} // namespace cdpu::dse

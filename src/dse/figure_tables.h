@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure/table emitters for the design-space exploration: each
+ * function reproduces one evaluation figure of the paper as an ASCII
+ * table over the canonical sweeps (history SRAM {64K..2K} x placement,
+ * plus the hash-table and speculation sweeps).
+ */
+
+#ifndef CDPU_DSE_FIGURE_TABLES_H_
+#define CDPU_DSE_FIGURE_TABLES_H_
+
+#include <string>
+
+#include "dse/sweep_runner.h"
+
+namespace cdpu::dse
+{
+
+/** The history-SRAM sweep of Figures 11/12/13/14/15. */
+std::vector<std::size_t> sramSweepBytes();
+
+/** Figure 11: Snappy decompression speedup/area across placements and
+ *  history SRAM sizes. @p suite must be the Snappy-decompress suite. */
+std::string figure11(SweepRunner &runner);
+
+/** Figure 12: Snappy compression speedup/ratio/area (2^14 hash). */
+std::string figure12(SweepRunner &runner);
+
+/** Figure 13: Snappy compression with 2^9 hash-table entries. */
+std::string figure13(SweepRunner &runner);
+
+/** Figure 14 + Section 6.4: ZStd decompression sweep, including the
+ *  4/16/32 speculation design points at 64K history. */
+std::string figure14(SweepRunner &runner);
+
+/** Figure 15: ZStd compression sweep (2^14 hash). */
+std::string figure15(SweepRunner &runner);
+
+/** A single flagship design point (used by the summary bench). */
+DsePoint flagshipPoint(SweepRunner &runner);
+
+} // namespace cdpu::dse
+
+#endif // CDPU_DSE_FIGURE_TABLES_H_

@@ -1,0 +1,167 @@
+#include "dse/sweep_runner.h"
+
+#include <cassert>
+
+#include "snappy/compress.h"
+#include "zstdlite/compress.h"
+#include "zstdlite/decompress.h"
+
+namespace cdpu::dse
+{
+
+using baseline::Algorithm;
+using baseline::Direction;
+
+SweepRunner::SweepRunner(const hcb::Suite &suite) : suite_(&suite)
+{
+    for (const auto &file : suite.files) {
+        totalBytes_ += file.data.size();
+
+        if (suite.direction == Direction::decompress) {
+            // Software-compress once: this is the accelerator input.
+            if (suite.algorithm == Algorithm::snappy) {
+                compressedInputs_.push_back(
+                    snappy::compress(file.data));
+            } else {
+                zstdlite::CompressorConfig config;
+                config.level = file.level;
+                config.windowLog = file.windowLog;
+                auto out = zstdlite::compress(file.data, config);
+                assert(out.ok());
+                compressedInputs_.push_back(std::move(out).value());
+                zstdlite::FileTrace trace;
+                auto decoded =
+                    zstdlite::decompress(compressedInputs_.back(),
+                                         &trace);
+                assert(decoded.ok());
+                traces_.push_back(std::move(trace));
+            }
+            totalSwCompressed_ += compressedInputs_.back().size();
+        } else {
+            // Compression suites: software-reference size for the
+            // ratio-vs-SW series.
+            if (suite.algorithm == Algorithm::snappy) {
+                totalSwCompressed_ +=
+                    snappy::compress(file.data).size();
+            } else {
+                zstdlite::CompressorConfig config;
+                config.level = file.level;
+                config.windowLog = file.windowLog;
+                auto out = zstdlite::compress(file.data, config);
+                assert(out.ok());
+                totalSwCompressed_ += out.value().size();
+            }
+        }
+    }
+}
+
+double
+SweepRunner::softwareRatio() const
+{
+    return totalSwCompressed_ > 0
+               ? static_cast<double>(totalBytes_) /
+                     static_cast<double>(totalSwCompressed_)
+               : 0.0;
+}
+
+DsePoint
+SweepRunner::run(const hw::CdpuConfig &config)
+{
+    if (suite_->algorithm == Algorithm::snappy) {
+        return suite_->direction == Direction::decompress
+                   ? runSnappyDecompress(config)
+                   : runSnappyCompress(config);
+    }
+    return suite_->direction == Direction::decompress
+               ? runZstdDecompress(config)
+               : runZstdCompress(config);
+}
+
+DsePoint
+SweepRunner::runSnappyDecompress(const hw::CdpuConfig &config)
+{
+    DsePoint point;
+    point.config = config;
+    point.areaMm2 = hw::snappyDecompressorAreaMm2(config);
+
+    hw::SnappyDecompressorPU pu(config);
+    for (std::size_t i = 0; i < suite_->files.size(); ++i) {
+        auto result = pu.run(compressedInputs_[i]);
+        assert(result.ok());
+        point.accelSeconds += result.value().seconds(config.clockGhz);
+        point.historyFallbacks += result.value().historyFallbacks;
+        point.xeonSeconds += xeon_.seconds(
+            Algorithm::snappy, Direction::decompress,
+            suite_->files[i].data.size());
+    }
+    return point;
+}
+
+DsePoint
+SweepRunner::runSnappyCompress(const hw::CdpuConfig &config)
+{
+    DsePoint point;
+    point.config = config;
+    point.areaMm2 = hw::snappyCompressorAreaMm2(config);
+
+    hw::SnappyCompressorPU pu(config);
+    std::size_t hw_compressed = 0;
+    for (const auto &file : suite_->files) {
+        auto result = pu.run(file.data);
+        assert(result.ok());
+        point.accelSeconds += result.value().seconds(config.clockGhz);
+        hw_compressed += result.value().outputBytes;
+        point.xeonSeconds += xeon_.seconds(
+            Algorithm::snappy, Direction::compress, file.data.size());
+    }
+    point.hwRatio = static_cast<double>(totalBytes_) /
+                    static_cast<double>(hw_compressed);
+    point.swRatio = softwareRatio();
+    return point;
+}
+
+DsePoint
+SweepRunner::runZstdDecompress(const hw::CdpuConfig &config)
+{
+    DsePoint point;
+    point.config = config;
+    point.areaMm2 = hw::zstdDecompressorAreaMm2(config);
+
+    hw::ZstdDecompressorPU pu(config);
+    for (std::size_t i = 0; i < suite_->files.size(); ++i) {
+        hw::PuResult result =
+            pu.runFromTrace(traces_[i], compressedInputs_[i].size());
+        point.accelSeconds += result.seconds(config.clockGhz);
+        point.historyFallbacks += result.historyFallbacks;
+        point.xeonSeconds += xeon_.seconds(
+            Algorithm::zstd, Direction::decompress,
+            suite_->files[i].data.size(), suite_->files[i].level);
+    }
+    return point;
+}
+
+DsePoint
+SweepRunner::runZstdCompress(const hw::CdpuConfig &config)
+{
+    DsePoint point;
+    point.config = config;
+    point.areaMm2 = hw::zstdCompressorAreaMm2(config);
+
+    hw::ZstdCompressorPU pu(config);
+    std::size_t hw_compressed = 0;
+    for (const auto &file : suite_->files) {
+        auto result = pu.run(file.data);
+        assert(result.ok());
+        point.accelSeconds += result.value().seconds(config.clockGhz);
+        hw_compressed += result.value().outputBytes;
+        point.xeonSeconds += xeon_.seconds(Algorithm::zstd,
+                                           Direction::compress,
+                                           file.data.size(), file.level);
+    }
+    point.hwRatio = static_cast<double>(totalBytes_) /
+                    static_cast<double>(hw_compressed);
+    point.swRatio = softwareRatio();
+    return point;
+}
+
+} // namespace cdpu::dse

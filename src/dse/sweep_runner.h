@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Design-space-exploration runner (Section 6): executes one
+ * HyperCompressBench suite through a CDPU configuration and the Xeon
+ * baseline model, producing the speedup/ratio/area points behind
+ * Figures 11-15.
+ *
+ * A suite's aggregate metric is the total time to process every file
+ * (Section 6.1); speedup is Xeon total over accelerator total.
+ */
+
+#ifndef CDPU_DSE_SWEEP_RUNNER_H_
+#define CDPU_DSE_SWEEP_RUNNER_H_
+
+#include "baseline/xeon_cost_model.h"
+#include "cdpu/area_model.h"
+#include "cdpu/snappy_pu.h"
+#include "cdpu/zstd_pu.h"
+#include "hyperbench/suite_generator.h"
+
+namespace cdpu::dse
+{
+
+/** One evaluated design point. */
+struct DsePoint
+{
+    hw::CdpuConfig config;
+    double accelSeconds = 0;
+    double xeonSeconds = 0;
+    double areaMm2 = 0;
+    u64 historyFallbacks = 0;
+
+    /** Compression ratios (compression sweeps only; 0 otherwise). */
+    double hwRatio = 0;
+    double swRatio = 0;
+
+    double
+    speedup() const
+    {
+        return accelSeconds > 0 ? xeonSeconds / accelSeconds : 0.0;
+    }
+
+    double
+    accelGBps(std::size_t total_bytes) const
+    {
+        return accelSeconds > 0
+                   ? static_cast<double>(total_bytes) /
+                         (accelSeconds * 1e9)
+                   : 0.0;
+    }
+
+    /** HW ratio relative to the software library (Figures 12/13/15). */
+    double
+    ratioVsSw() const
+    {
+        return swRatio > 0 ? hwRatio / swRatio : 0.0;
+    }
+};
+
+/**
+ * Runs CDPU configurations against one suite.
+ *
+ * Construction performs the per-file preprocessing that is
+ * configuration-independent exactly once: decompression suites are
+ * compressed with the software library (producing the accelerator's
+ * inputs and the ZStd decode traces); compression suites compute the
+ * software-reference compressed sizes.
+ */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(const hcb::Suite &suite);
+
+    /** Evaluates one configuration over the whole suite. */
+    DsePoint run(const hw::CdpuConfig &config);
+
+    /** Total uncompressed bytes in the suite. */
+    std::size_t totalBytes() const { return totalBytes_; }
+
+    /** Aggregate software compression ratio of the suite. */
+    double softwareRatio() const;
+
+  private:
+    DsePoint runSnappyDecompress(const hw::CdpuConfig &config);
+    DsePoint runSnappyCompress(const hw::CdpuConfig &config);
+    DsePoint runZstdDecompress(const hw::CdpuConfig &config);
+    DsePoint runZstdCompress(const hw::CdpuConfig &config);
+
+    const hcb::Suite *suite_;
+    baseline::XeonCostModel xeon_;
+    std::size_t totalBytes_ = 0;
+    std::size_t totalSwCompressed_ = 0;
+
+    /** Decompression suites: per-file compressed input. */
+    std::vector<Bytes> compressedInputs_;
+    /** ZStd decompression: per-file decode trace. */
+    std::vector<zstdlite::FileTrace> traces_;
+};
+
+} // namespace cdpu::dse
+
+#endif // CDPU_DSE_SWEEP_RUNNER_H_

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * FlateLite compressor: LZ77 parse + dynamic canonical Huffman blocks.
+ */
+
+#ifndef CDPU_FLATELITE_COMPRESS_H_
+#define CDPU_FLATELITE_COMPRESS_H_
+
+#include "lz77/match_finder.h"
+#include "flatelite/format.h"
+
+namespace cdpu::flatelite
+{
+
+/** Compressor tuning (Flate's compression levels map to LZ77 effort,
+ *  exactly like zlib's). */
+struct CompressorConfig
+{
+    int level = 6;               ///< 1 (fast) .. 9 (best), zlib-style.
+    unsigned windowLog = kMaxWindowLog;
+
+    /** CDPU hook: impose hardware match-finder geometry. */
+    bool overrideMatchFinder = false;
+    lz77::HashTableConfig matchFinderOverride{};
+};
+
+/** Level-derived match-finder parameters. */
+lz77::MatchFinderConfig flateLevelParameters(int level,
+                                             unsigned window_log);
+
+/** Compresses @p input into a self-contained FlateLite frame. */
+Result<Bytes> compress(ByteSpan input, const CompressorConfig &config = {},
+                       FileTrace *trace = nullptr,
+                       lz77::MatchFinderStats *stats = nullptr);
+
+} // namespace cdpu::flatelite
+
+#endif // CDPU_FLATELITE_COMPRESS_H_

@@ -1,0 +1,219 @@
+#include "flatelite/decompress.h"
+
+#include <algorithm>
+
+#include "common/bitio.h"
+#include "common/varint.h"
+#include "huffman/code_builder.h"
+#include "huffman/decoder.h"
+
+namespace cdpu::flatelite
+{
+
+Result<FrameHeader>
+peekFrameHeader(ByteSpan data)
+{
+    std::size_t pos = 0;
+    return readFrameHeader(data, pos);
+}
+
+namespace
+{
+
+std::vector<u8>
+unpackLengths(ByteSpan packed, std::size_t count)
+{
+    std::vector<u8> lengths(count, 0);
+    for (std::size_t i = 0; i < count; ++i) {
+        u8 byte = packed[i / 2];
+        lengths[i] = (i % 2) ? (byte >> 4) : (byte & 0x0f);
+    }
+    return lengths;
+}
+
+/** Table-driven decode of one symbol from an LSB-first stream.
+ *  Returns a 16-bit symbol (the lit/len alphabet exceeds a byte). */
+Result<u16>
+decodeSymbol(const huffman::Decoder &decoder, BitReader &reader)
+{
+    u32 prefix = static_cast<u32>(reader.peek(decoder.maxBits()));
+    const auto &entry = decoder.entryAt(prefix);
+    if (entry.length == 0)
+        return Status::corrupt("invalid flate code");
+    CDPU_RETURN_IF_ERROR(reader.advance(entry.length));
+    return entry.symbol;
+}
+
+} // namespace
+
+Result<Bytes>
+decompress(ByteSpan data, FileTrace *trace)
+{
+    std::size_t pos = 0;
+    auto header = readFrameHeader(data, pos);
+    if (!header.ok())
+        return header.status();
+    if (header.value().contentSize > (1ull << 32))
+        return Status::corrupt("implausible flate content size");
+    const u64 window = 1ull << header.value().windowLog;
+
+    if (trace) {
+        *trace = FileTrace{};
+        trace->contentSize = header.value().contentSize;
+        trace->compressedSize = data.size();
+    }
+
+    Bytes out;
+    // Reserve conservatively: the claimed size is untrusted until the
+    // stream fully decodes, so cap the up-front allocation.
+    out.reserve(std::min<u64>(header.value().contentSize, 64 * kMiB));
+
+    bool saw_last = false;
+    while (!saw_last) {
+        if (pos >= data.size())
+            return Status::corrupt("missing flate last block");
+        u8 block_header = data[pos++];
+        saw_last = block_header & 1;
+        bool compressed = block_header & 2;
+        if (block_header > 3)
+            return Status::corrupt("bad flate block header");
+
+        auto regen = getVarint(data, pos);
+        if (!regen.ok())
+            return regen.status();
+        if (out.size() + regen.value() > header.value().contentSize)
+            return Status::corrupt("flate blocks exceed content size");
+        std::size_t regen_size = regen.value();
+
+        BlockTrace block_trace;
+        block_trace.regenSize = regen_size;
+        block_trace.compressed = compressed;
+
+        if (!compressed) {
+            if (pos + regen_size > data.size())
+                return Status::corrupt("flate raw block truncated");
+            out.insert(out.end(), data.begin() + pos,
+                       data.begin() + pos + regen_size);
+            pos += regen_size;
+            if (trace)
+                trace->blocks.push_back(std::move(block_trace));
+            continue;
+        }
+
+        // Dynamic Huffman tables.
+        std::size_t litlen_bytes = (kLitLenAlphabet + 1) / 2;
+        std::size_t dist_bytes = kDistanceAlphabet / 2;
+        if (pos + litlen_bytes + dist_bytes > data.size())
+            return Status::corrupt("flate tables truncated");
+        auto litlen_lengths = unpackLengths(
+            data.subspan(pos, litlen_bytes), kLitLenAlphabet);
+        pos += litlen_bytes;
+        auto dist_lengths = unpackLengths(
+            data.subspan(pos, dist_bytes), kDistanceAlphabet);
+        pos += dist_bytes;
+
+        auto litlen_codes = huffman::codesFromLengths(litlen_lengths);
+        if (!litlen_codes.ok())
+            return litlen_codes.status();
+        auto litlen_decoder =
+            huffman::Decoder::build(litlen_codes.value());
+        if (!litlen_decoder.ok())
+            return litlen_decoder.status();
+
+        bool has_distances =
+            std::any_of(dist_lengths.begin(), dist_lengths.end(),
+                        [](u8 len) { return len != 0; });
+        huffman::Decoder dist_decoder;
+        if (has_distances) {
+            auto dist_codes = huffman::codesFromLengths(dist_lengths);
+            if (!dist_codes.ok())
+                return dist_codes.status();
+            auto built = huffman::Decoder::build(dist_codes.value());
+            if (!built.ok())
+                return built.status();
+            dist_decoder = std::move(built).value();
+        }
+
+        auto stream_bytes = getVarint(data, pos);
+        if (!stream_bytes.ok())
+            return stream_bytes.status();
+        if (pos + stream_bytes.value() > data.size())
+            return Status::corrupt("flate stream truncated");
+        ByteSpan stream = data.subspan(pos, stream_bytes.value());
+        pos += stream_bytes.value();
+        block_trace.streamBytes = stream.size();
+
+        BitReader reader(stream);
+        std::size_t produced_before = out.size();
+        std::size_t pending_literals = 0;
+        for (;;) {
+            auto symbol = decodeSymbol(litlen_decoder.value(), reader);
+            if (!symbol.ok())
+                return symbol.status();
+            ++block_trace.symbolCount;
+            if (symbol.value() == kEndOfBlock)
+                break;
+            if (symbol.value() < 256) {
+                out.push_back(static_cast<u8>(symbol.value()));
+                ++pending_literals;
+                ++block_trace.literalBytes;
+                if (out.size() - produced_before > regen_size)
+                    return Status::corrupt("flate block overruns");
+                continue;
+            }
+            auto len_bin = lengthFromCode(symbol.value());
+            if (!len_bin.ok())
+                return len_bin.status();
+            auto len_extra = reader.read(len_bin.value().extraBits);
+            if (!len_extra.ok())
+                return len_extra.status();
+            u32 length = len_bin.value().baseline +
+                         static_cast<u32>(len_extra.value());
+
+            if (!has_distances)
+                return Status::corrupt("match without distance table");
+            auto dist_symbol = decodeSymbol(dist_decoder, reader);
+            if (!dist_symbol.ok())
+                return dist_symbol.status();
+            ++block_trace.symbolCount;
+            auto dist_bin = distanceFromCode(dist_symbol.value());
+            if (!dist_bin.ok())
+                return dist_bin.status();
+            auto dist_extra = reader.read(dist_bin.value().extraBits);
+            if (!dist_extra.ok())
+                return dist_extra.status();
+            u32 distance = dist_bin.value().baseline +
+                           static_cast<u32>(dist_extra.value());
+
+            if (distance == 0 || distance > out.size())
+                return Status::corrupt("flate distance exceeds history");
+            if (distance > window)
+                return Status::corrupt("flate distance exceeds window");
+            if (out.size() - produced_before + length > regen_size)
+                return Status::corrupt("flate block overruns");
+
+            lz77::Sequence seq;
+            seq.literalLength = static_cast<u32>(pending_literals);
+            seq.matchLength = length;
+            seq.offset = distance;
+            block_trace.sequences.push_back(seq);
+            pending_literals = 0;
+
+            std::size_t from = out.size() - distance;
+            for (u32 i = 0; i < length; ++i)
+                out.push_back(out[from + i]);
+        }
+        if (out.size() - produced_before != regen_size)
+            return Status::corrupt("flate block size mismatch");
+        if (trace)
+            trace->blocks.push_back(std::move(block_trace));
+    }
+
+    if (out.size() != header.value().contentSize)
+        return Status::corrupt("flate content size mismatch");
+    if (pos != data.size())
+        return Status::corrupt("trailing bytes after flate frame");
+    return out;
+}
+
+} // namespace cdpu::flatelite

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * FlateLite decompressor with full corruption checking.
+ */
+
+#ifndef CDPU_FLATELITE_DECOMPRESS_H_
+#define CDPU_FLATELITE_DECOMPRESS_H_
+
+#include "flatelite/format.h"
+
+namespace cdpu::flatelite
+{
+
+/** Parses only the frame header. */
+Result<FrameHeader> peekFrameHeader(ByteSpan data);
+
+/**
+ * Decompresses a FlateLite frame; validates window-bounded distances,
+ * history bounds, block sizes and the content-size claim. Optionally
+ * records the per-block trace for the Flate CDPU model.
+ */
+Result<Bytes> decompress(ByteSpan data, FileTrace *trace = nullptr);
+
+} // namespace cdpu::flatelite
+
+#endif // CDPU_FLATELITE_DECOMPRESS_H_

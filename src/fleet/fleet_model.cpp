@@ -1,0 +1,382 @@
+#include "fleet/fleet_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace cdpu::fleet
+{
+
+std::vector<FleetAlgorithm>
+allFleetAlgorithms()
+{
+    return {FleetAlgorithm::snappy, FleetAlgorithm::zstd,
+            FleetAlgorithm::flate, FleetAlgorithm::brotli,
+            FleetAlgorithm::gipfeli, FleetAlgorithm::lzo};
+}
+
+std::string
+fleetAlgorithmName(FleetAlgorithm algorithm)
+{
+    switch (algorithm) {
+      case FleetAlgorithm::snappy: return "Snappy";
+      case FleetAlgorithm::zstd: return "ZSTD";
+      case FleetAlgorithm::flate: return "Flate";
+      case FleetAlgorithm::brotli: return "Brotli";
+      case FleetAlgorithm::gipfeli: return "Gipfeli";
+      case FleetAlgorithm::lzo: return "LZO";
+    }
+    return "unknown";
+}
+
+std::string
+directionPrefix(Direction direction)
+{
+    return direction == Direction::compress ? "C" : "D";
+}
+
+bool
+isHeavyweight(FleetAlgorithm algorithm)
+{
+    switch (algorithm) {
+      case FleetAlgorithm::zstd:
+      case FleetAlgorithm::flate:
+      case FleetAlgorithm::brotli:
+        return true;
+      case FleetAlgorithm::snappy:
+      case FleetAlgorithm::gipfeli:
+      case FleetAlgorithm::lzo:
+        return false;
+    }
+    return false;
+}
+
+std::vector<std::string>
+libraryCategories()
+{
+    return {"RPC",          "Filetype1",  "Other",
+            "Unknown",      "Filetype3.1", "Filetype2",
+            "MixedResourceShuffle", "Filetype4", "Filetype3",
+            "Filetype5",    "InMemShuffle", "InMemMap",
+            "Filetype7",    "Filetype8",  "InStorageShuffle",
+            "Filetype6"};
+}
+
+namespace
+{
+
+/** Fills a histogram from parallel (bin, fraction) arrays. */
+void
+fillHistogram(WeightedHistogram &histogram,
+              std::initializer_list<std::pair<int, double>> bins)
+{
+    for (const auto &[bin, weight] : bins)
+        histogram.add(bin, weight);
+}
+
+/** Logistic adoption curve in [0, 1]. */
+double
+logistic(double month, double midpoint, double steepness)
+{
+    return 1.0 / (1.0 + std::exp(-(month - midpoint) / steepness));
+}
+
+} // namespace
+
+FleetModel::FleetModel()
+{
+    using A = FleetAlgorithm;
+    using D = Direction;
+
+    // Figure 1 legend: final-slice cycle shares (percent / 100).
+    finalCycleShares_ = {
+        {{A::snappy, D::compress}, 0.195},
+        {{A::zstd, D::compress}, 0.154},
+        {{A::flate, D::compress}, 0.059},
+        {{A::brotli, D::compress}, 0.033},
+        {{A::gipfeli, D::compress}, 0.001},
+        {{A::lzo, D::compress}, 0.0005},
+        {{A::snappy, D::decompress}, 0.203},
+        {{A::zstd, D::decompress}, 0.258},
+        {{A::flate, D::decompress}, 0.052},
+        {{A::brotli, D::decompress}, 0.040},
+        {{A::gipfeli, D::decompress}, 0.004},
+        {{A::lzo, D::decompress}, 0.001},
+    };
+
+    // Figure 2a: share of all fleet uncompressed bytes per channel.
+    // Compression handles 1/(1+3.3) of bytes (each compressed byte is
+    // decompressed 3.3x); heavyweight algorithms cover 36% of
+    // compressed and 49% of decompressed bytes.
+    const double comp_total = 1.0 / (1.0 + kDecompressionsPerByte);
+    const double deco_total = 1.0 - comp_total;
+    const std::map<A, double> comp_within = {
+        {A::snappy, 0.58}, {A::zstd, 0.26},    {A::flate, 0.06},
+        {A::brotli, 0.04}, {A::gipfeli, 0.04}, {A::lzo, 0.02},
+    };
+    const std::map<A, double> deco_within = {
+        {A::snappy, 0.43}, {A::zstd, 0.38},    {A::flate, 0.07},
+        {A::brotli, 0.04}, {A::gipfeli, 0.05}, {A::lzo, 0.03},
+    };
+    for (const auto &[algo, frac] : comp_within)
+        byteShares_[{algo, D::compress}] = frac * comp_total;
+    for (const auto &[algo, frac] : deco_within)
+        byteShares_[{algo, D::decompress}] = frac * deco_total;
+
+    // Figure 2b: byte-weighted ZStd level distribution. 88% at <= 3,
+    // 95% at <= 5, < 0.002% at >= 12.
+    zstdLevels_ = {
+        {-3, 0.04}, {-1, 0.06}, {1, 0.08},  {2, 0.10},
+        {3, 0.60},  {4, 0.04},  {5, 0.03},  {6, 0.02},
+        {7, 0.013}, {9, 0.012}, {11, 0.00498}, {12, 0.00001},
+        {19, 0.00001},
+    };
+
+    // Figure 2c: aggregate achieved ratios. ZStd-low is 1.46x Snappy;
+    // ZStd-high a further 1.35x; everything >= 2.
+    ratios_ = {
+        {"Flate All", 3.3},    {"ZSTD [4,22]", 4.05},
+        {"ZSTD [-inf,3]", 3.0}, {"Snappy", 2.05},
+        {"Brotli All", 2.3},
+    };
+
+    // Figure 4: cycle share by calling library (percent / 100).
+    libraries_ = {
+        {"RPC", 0.139},          {"Filetype1", 0.132},
+        {"Other", 0.130},        {"Unknown", 0.112},
+        {"Filetype3.1", 0.097},  {"Filetype2", 0.095},
+        {"MixedResourceShuffle", 0.093}, {"Filetype4", 0.069},
+        {"Filetype3", 0.060},    {"Filetype5", 0.027},
+        {"InMemShuffle", 0.017}, {"InMemMap", 0.015},
+        {"Filetype7", 0.006},    {"Filetype8", 0.004},
+        {"InStorageShuffle", 0.002}, {"Filetype6", 0.001},
+    };
+
+    // Figure 3: byte-weighted call sizes, bin = ceil(log2(bytes)).
+    // Snappy-C: 24% <= 32 KiB, median in (64, 128] KiB, 16.8% in
+    // (2, 4] MiB.
+    fillHistogram(callSizes_[{A::snappy, D::compress}],
+                  {{10, 0.010}, {11, 0.015}, {12, 0.020}, {13, 0.035},
+                   {14, 0.060}, {15, 0.100}, {16, 0.130}, {17, 0.140},
+                   {18, 0.090}, {19, 0.080}, {20, 0.070}, {21, 0.060},
+                   {22, 0.168}, {23, 0.010}, {24, 0.005}, {25, 0.004},
+                   {26, 0.003}});
+    // ZStd-C: 8% <= 32 KiB, 28% in (32, 64] KiB, median in (64, 128].
+    fillHistogram(callSizes_[{A::zstd, D::compress}],
+                  {{10, 0.005}, {11, 0.005}, {12, 0.010}, {13, 0.015},
+                   {14, 0.020}, {15, 0.025}, {16, 0.280}, {17, 0.160},
+                   {18, 0.054}, {19, 0.053}, {20, 0.053}, {21, 0.053},
+                   {22, 0.053}, {23, 0.053}, {24, 0.053}, {25, 0.053},
+                   {26, 0.055}});
+    // Snappy-D: 62% < 128 KiB, 80% < 256 KiB.
+    fillHistogram(callSizes_[{A::snappy, D::decompress}],
+                  {{10, 0.020}, {11, 0.030}, {12, 0.050}, {13, 0.070},
+                   {14, 0.090}, {15, 0.110}, {16, 0.120}, {17, 0.130},
+                   {18, 0.180}, {19, 0.050}, {20, 0.045}, {21, 0.035},
+                   {22, 0.030}, {23, 0.020}, {24, 0.010}, {25, 0.006},
+                   {26, 0.004}});
+    // ZStd-D: median in (1, 2] MiB.
+    fillHistogram(callSizes_[{A::zstd, D::decompress}],
+                  {{10, 0.005}, {11, 0.005}, {12, 0.005}, {13, 0.005},
+                   {14, 0.005}, {15, 0.005}, {16, 0.030}, {17, 0.050},
+                   {18, 0.080}, {19, 0.120}, {20, 0.150}, {21, 0.170},
+                   {22, 0.130}, {23, 0.090}, {24, 0.070}, {25, 0.050},
+                   {26, 0.030}});
+    // The other four algorithms reuse the shape of their weight class
+    // (no per-call sampling exists for them; Section 3.1.2).
+    for (A algo : {A::flate, A::brotli}) {
+        callSizes_[{algo, D::compress}] =
+            callSizes_[{A::zstd, D::compress}];
+        callSizes_[{algo, D::decompress}] =
+            callSizes_[{A::zstd, D::decompress}];
+    }
+    for (A algo : {A::gipfeli, A::lzo}) {
+        callSizes_[{algo, D::compress}] =
+            callSizes_[{A::snappy, D::compress}];
+        callSizes_[{algo, D::decompress}] =
+            callSizes_[{A::snappy, D::decompress}];
+    }
+
+    // Call-count distributions: byte mass divided by a bin's
+    // representative size gives the relative number of calls.
+    for (const auto &[channel, histogram] : callSizes_) {
+        WeightedHistogram &counts = callCounts_[channel];
+        for (const auto &[bin, weight] : histogram.bins())
+            counts.add(bin, weight / std::pow(2.0, bin));
+    }
+
+    // Figure 5: ZStd window sizes, bin = log2(bytes).
+    // Compression: ~50% <= 32 KiB, 75th pct in (512 KiB, 1 MiB].
+    fillHistogram(windowCompress_,
+                  {{10, 0.02}, {11, 0.04}, {12, 0.07}, {13, 0.10},
+                   {14, 0.12}, {15, 0.16}, {16, 0.06}, {17, 0.05},
+                   {18, 0.05}, {19, 0.07}, {20, 0.08}, {21, 0.06},
+                   {22, 0.05}, {23, 0.04}, {24, 0.03}});
+    // Decompression: median 1 MiB.
+    fillHistogram(windowDecompress_,
+                  {{10, 0.01}, {11, 0.01}, {12, 0.02}, {13, 0.03},
+                   {14, 0.05}, {15, 0.08}, {16, 0.06}, {17, 0.06},
+                   {18, 0.08}, {19, 0.09}, {20, 0.11}, {21, 0.12},
+                   {22, 0.11}, {23, 0.09}, {24, 0.08}});
+}
+
+double
+FleetModel::cycleShare(const Channel &channel) const
+{
+    auto it = finalCycleShares_.find(channel);
+    return it == finalCycleShares_.end() ? 0.0 : it->second;
+}
+
+double
+FleetModel::cycleShareAt(const Channel &channel, unsigned month) const
+{
+    // Adoption multipliers per algorithm over the Figure 1 series:
+    // ZStd appears around month 48 and reaches a large share within
+    // ~a year; Brotli ramps slowly; Gipfeli/LZO/Flate decline; Snappy
+    // absorbs the remainder early on.
+    auto adoption = [month](FleetAlgorithm algorithm) {
+        double m = month;
+        switch (algorithm) {
+          case FleetAlgorithm::zstd:
+            return logistic(m, 57.0, 4.0);
+          case FleetAlgorithm::brotli:
+            return logistic(m, 60.0, 14.0);
+          case FleetAlgorithm::gipfeli:
+            return 1.0 + 24.0 * (1.0 - logistic(m, 30.0, 10.0));
+          case FleetAlgorithm::lzo:
+            return 1.0 + 30.0 * (1.0 - logistic(m, 24.0, 10.0));
+          case FleetAlgorithm::flate:
+            return 1.0 + 2.5 * (1.0 - logistic(m, 40.0, 16.0));
+          case FleetAlgorithm::snappy:
+            return 1.0 + 0.8 * (1.0 - logistic(m, 44.0, 18.0));
+        }
+        return 1.0;
+    };
+
+    double weighted = cycleShare(channel) * adoption(channel.algorithm);
+    double total = 0;
+    for (FleetAlgorithm algorithm : allFleetAlgorithms()) {
+        for (Direction direction :
+             {Direction::compress, Direction::decompress}) {
+            Channel other{algorithm, direction};
+            total += cycleShare(other) * adoption(algorithm);
+        }
+    }
+    return total > 0 ? weighted / total : 0.0;
+}
+
+double
+FleetModel::byteShare(const Channel &channel) const
+{
+    auto it = byteShares_.find(channel);
+    return it == byteShares_.end() ? 0.0 : it->second;
+}
+
+double
+FleetModel::aggregateRatio(const std::string &bin) const
+{
+    auto it = ratios_.find(bin);
+    return it == ratios_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::string>
+FleetModel::ratioBins() const
+{
+    return {"Flate All", "ZSTD [4,22]", "ZSTD [-inf,3]", "Snappy",
+            "Brotli All"};
+}
+
+const WeightedHistogram &
+FleetModel::callSizeDistribution(const Channel &channel) const
+{
+    return callSizes_.at(channel);
+}
+
+const WeightedHistogram &
+FleetModel::windowSizeDistribution(Direction direction) const
+{
+    return direction == Direction::compress ? windowCompress_
+                                            : windowDecompress_;
+}
+
+Channel
+FleetModel::sampleChannel(Rng &rng) const
+{
+    double u = rng.uniform();
+    double cum = 0;
+    for (const auto &[channel, share] : finalCycleShares_) {
+        cum += share;
+        if (u < cum)
+            return channel;
+    }
+    return finalCycleShares_.rbegin()->first;
+}
+
+Channel
+FleetModel::sampleChannelAt(unsigned month, Rng &rng) const
+{
+    double u = rng.uniform();
+    double cum = 0;
+    Channel last{};
+    for (const auto &[channel, share] : finalCycleShares_) {
+        double month_share = cycleShareAt(channel, month);
+        cum += month_share;
+        last = channel;
+        if (u < cum)
+            return channel;
+    }
+    return last;
+}
+
+std::string
+FleetModel::sampleLibrary(Rng &rng) const
+{
+    double u = rng.uniform();
+    double cum = 0;
+    for (const auto &[library, share] : libraries_) {
+        cum += share;
+        if (u < cum)
+            return library;
+    }
+    return libraries_.rbegin()->first;
+}
+
+std::size_t
+FleetModel::sampleCallSize(const Channel &channel, Rng &rng,
+                           std::size_t cap_bytes) const
+{
+    const WeightedHistogram &histogram = callCounts_.at(channel);
+    double bin = histogram.quantile(rng.uniform());
+    // Bin b covers (2^(b-1), 2^b]; draw log-uniform within it.
+    double hi = std::pow(2.0, bin);
+    double lo = hi / 2.0;
+    double size = lo * std::pow(2.0, rng.uniform());
+    auto bytes = static_cast<std::size_t>(size);
+    if (cap_bytes != 0)
+        bytes = std::min(bytes, cap_bytes);
+    return std::max<std::size_t>(bytes, 1);
+}
+
+int
+FleetModel::sampleZstdLevel(Rng &rng) const
+{
+    double u = rng.uniform();
+    double cum = 0;
+    for (const auto &[level, weight] : zstdLevels_) {
+        cum += weight;
+        if (u < cum)
+            return level;
+    }
+    return zstdLevels_.rbegin()->first;
+}
+
+std::size_t
+FleetModel::sampleWindowSize(Direction direction, Rng &rng) const
+{
+    const WeightedHistogram &histogram =
+        windowSizeDistribution(direction);
+    double bin = histogram.quantile(rng.uniform());
+    return static_cast<std::size_t>(std::pow(2.0, bin));
+}
+
+} // namespace cdpu::fleet

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Synthetic fleet model: the ground-truth distributions of a simulated
+ * hyperscale fleet's (de)compression usage.
+ *
+ * Substitutes Google's private GWP profiling data (DESIGN.md §2
+ * item 1). Every constant here is taken from a number the paper
+ * publishes (Figures 1-5, Sections 3.2-3.6); the GWP-style sampler
+ * (gwp_sampler.h) then re-derives the paper's figures by sampling this
+ * model, demonstrating the full profiling pipeline end-to-end.
+ */
+
+#ifndef CDPU_FLEET_FLEET_MODEL_H_
+#define CDPU_FLEET_FLEET_MODEL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace cdpu::fleet
+{
+
+/** All six fleet algorithms (Section 2.2). */
+enum class FleetAlgorithm
+{
+    snappy,
+    zstd,
+    flate,
+    brotli,
+    gipfeli,
+    lzo,
+};
+
+enum class Direction
+{
+    compress,
+    decompress,
+};
+
+std::vector<FleetAlgorithm> allFleetAlgorithms();
+std::string fleetAlgorithmName(FleetAlgorithm algorithm);
+std::string directionPrefix(Direction direction); ///< "C" or "D".
+
+/** Whether the taxonomy of Section 2.2 calls this heavyweight. */
+bool isHeavyweight(FleetAlgorithm algorithm);
+
+/** One (algorithm, direction) usage channel. */
+struct Channel
+{
+    FleetAlgorithm algorithm = FleetAlgorithm::snappy;
+    Direction direction = Direction::compress;
+
+    bool operator<(const Channel &other) const
+    {
+        if (algorithm != other.algorithm)
+            return algorithm < other.algorithm;
+        return direction < other.direction;
+    }
+
+    std::string
+    name() const
+    {
+        return directionPrefix(direction) + "-" +
+               fleetAlgorithmName(algorithm);
+    }
+};
+
+/** Calling-library categories of Figure 4. */
+std::vector<std::string> libraryCategories();
+
+/** The fleet's ground truth. */
+class FleetModel
+{
+  public:
+    FleetModel();
+
+    /** Months covered by the Figure 1 time series (8 years). */
+    static constexpr unsigned kMonths = 96;
+
+    /** Fraction of fleet-wide CPU cycles spent in (de)compression
+     *  (Section 3.2). */
+    static constexpr double kFleetCycleFraction = 0.029;
+
+    /** Fraction of (de)compression cycles spent decompressing. */
+    static constexpr double kDecompressCycleShare = 0.56;
+
+    /** Times each compressed byte is decompressed (Section 3.3.1). */
+    static constexpr double kDecompressionsPerByte = 3.3;
+
+    /** Final-month cycle share of @p channel within all
+     *  (de)compression cycles (Figure 1 legend). */
+    double cycleShare(const Channel &channel) const;
+
+    /** Cycle share of @p channel in a given month, normalized within
+     *  the month (Figure 1 series). */
+    double cycleShareAt(const Channel &channel, unsigned month) const;
+
+    /** Share of fleet uncompressed bytes handled by @p channel
+     *  (Figure 2a; compression inputs / decompression outputs). */
+    double byteShare(const Channel &channel) const;
+
+    /** Byte-weighted ZStd compression-level distribution (Figure 2b);
+     *  keys are levels, values are fractions. */
+    const std::map<int, double> &zstdLevelDistribution() const
+    {
+        return zstdLevels_;
+    }
+
+    /** Aggregate achieved compression ratio for Figure 2c bins. */
+    double aggregateRatio(const std::string &bin) const;
+    std::vector<std::string> ratioBins() const;
+
+    /** Relative cost-per-byte multipliers (Section 3.3.4). */
+    static constexpr double kZstdLowOverSnappyCompressCost = 1.55;
+    static constexpr double kZstdHighOverLowCompressCost = 2.39;
+    static constexpr double kZstdOverSnappyDecompressCost = 1.63;
+
+    /** Byte-weighted call-size distribution for @p channel, binned by
+     *  ceil(log2(bytes)) (Figure 3). */
+    const WeightedHistogram &callSizeDistribution(
+        const Channel &channel) const;
+
+    /** Cycle share by calling library (Figure 4). */
+    const std::map<std::string, double> &libraryShares() const
+    {
+        return libraries_;
+    }
+
+    /** Byte-weighted ZStd window-size distribution, binned by
+     *  log2(bytes) (Figure 5). */
+    const WeightedHistogram &windowSizeDistribution(
+        Direction direction) const;
+
+    // --- Sampling helpers (used by GwpSampler and HyperCompressBench) --
+
+    /** Draws a channel with probability equal to its cycle share. */
+    Channel sampleChannel(Rng &rng) const;
+
+    /** Draws a channel for a given month of the Figure 1 series. */
+    Channel sampleChannelAt(unsigned month, Rng &rng) const;
+
+    /** Draws a library category per Figure 4. */
+    std::string sampleLibrary(Rng &rng) const;
+
+    /**
+     * Draws one call's size (bytes) for @p channel, log-uniform within
+     * a bin drawn from the *call-count* distribution (byte weight
+     * divided by bin size). Byte-weighted histograms of such draws
+     * converge to callSizeDistribution(), matching how GWP samples
+     * calls while the paper plots byte-weighted CDFs.
+     */
+    std::size_t sampleCallSize(const Channel &channel, Rng &rng,
+                               std::size_t cap_bytes = 0) const;
+
+    /** Draws a ZStd compression level per Figure 2b. */
+    int sampleZstdLevel(Rng &rng) const;
+
+    /** Draws a ZStd window size (bytes) per Figure 5. */
+    std::size_t sampleWindowSize(Direction direction, Rng &rng) const;
+
+  private:
+    std::map<Channel, double> finalCycleShares_;
+    std::map<Channel, double> byteShares_;
+    std::map<int, double> zstdLevels_;
+    std::map<std::string, double> ratios_;
+    std::map<std::string, double> libraries_;
+    std::map<Channel, WeightedHistogram> callSizes_;
+    std::map<Channel, WeightedHistogram> callCounts_;
+    WeightedHistogram windowCompress_;
+    WeightedHistogram windowDecompress_;
+};
+
+} // namespace cdpu::fleet
+
+#endif // CDPU_FLEET_FLEET_MODEL_H_

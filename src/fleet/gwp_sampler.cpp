@@ -1,0 +1,43 @@
+#include "fleet/gwp_sampler.h"
+
+namespace cdpu::fleet
+{
+
+ProfileRecord
+GwpSampler::sampleAt(unsigned month)
+{
+    ProfileRecord record;
+    record.month = month;
+    record.channel = model_->sampleChannelAt(month, rng_);
+    record.library = model_->sampleLibrary(rng_);
+    record.callBytes = model_->sampleCallSize(record.channel, rng_);
+    if (record.channel.algorithm == FleetAlgorithm::zstd) {
+        record.zstdLevel = model_->sampleZstdLevel(rng_);
+        record.windowBytes =
+            model_->sampleWindowSize(record.channel.direction, rng_);
+    }
+    return record;
+}
+
+std::vector<ProfileRecord>
+GwpSampler::sampleFinalMonth(std::size_t count)
+{
+    std::vector<ProfileRecord> records;
+    records.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        records.push_back(sampleAt(FleetModel::kMonths - 1));
+    return records;
+}
+
+std::vector<ProfileRecord>
+GwpSampler::sampleTimeline(std::size_t per_month)
+{
+    std::vector<ProfileRecord> records;
+    records.reserve(per_month * FleetModel::kMonths);
+    for (unsigned month = 0; month < FleetModel::kMonths; ++month)
+        for (std::size_t i = 0; i < per_month; ++i)
+            records.push_back(sampleAt(month));
+    return records;
+}
+
+} // namespace cdpu::fleet

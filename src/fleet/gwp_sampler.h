@@ -1,0 +1,55 @@
+/**
+ * @file
+ * GWP-style sampling profiler over the synthetic fleet.
+ *
+ * Google-Wide Profiling (Section 3.1) randomly samples servers and
+ * records where cycles go. This sampler draws the same record types
+ * from the FleetModel ground truth; the report builders then
+ * reconstruct every figure from samples alone, so the whole
+ * profiling-to-analysis pipeline is exercised, not just tabulated.
+ */
+
+#ifndef CDPU_FLEET_GWP_SAMPLER_H_
+#define CDPU_FLEET_GWP_SAMPLER_H_
+
+#include "fleet/fleet_model.h"
+
+namespace cdpu::fleet
+{
+
+/** One sampled (de)compression profile record. */
+struct ProfileRecord
+{
+    Channel channel;
+    unsigned month = 0;       ///< Slot in the Figure 1 series.
+    std::string library;      ///< Calling library (Figure 4).
+    std::size_t callBytes = 0;///< Uncompressed bytes of the call.
+    int zstdLevel = 0;        ///< Valid when channel.algorithm==zstd.
+    std::size_t windowBytes = 0; ///< Valid for ZStd channels.
+};
+
+/** Batch sampler with a deterministic seed. */
+class GwpSampler
+{
+  public:
+    GwpSampler(const FleetModel &model, u64 seed)
+        : model_(&model), rng_(seed)
+    {}
+
+    /** Samples one cycle-weighted record for @p month. */
+    ProfileRecord sampleAt(unsigned month);
+
+    /** Samples @p count records for the final month. */
+    std::vector<ProfileRecord> sampleFinalMonth(std::size_t count);
+
+    /** Samples @p per_month records for every month of the series. */
+    std::vector<ProfileRecord> sampleTimeline(std::size_t per_month);
+
+  private:
+    const FleetModel *model_;
+    Rng rng_;
+};
+
+} // namespace cdpu::fleet
+
+#endif // CDPU_FLEET_GWP_SAMPLER_H_

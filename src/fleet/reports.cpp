@@ -1,0 +1,154 @@
+#include "fleet/reports.h"
+
+#include <algorithm>
+
+namespace cdpu::fleet
+{
+
+std::vector<ShareRow>
+channelCycleShares(const std::vector<ProfileRecord> &records,
+                   const FleetModel &model)
+{
+    std::map<std::string, std::size_t> counts;
+    for (const auto &record : records)
+        ++counts[record.channel.name()];
+
+    std::vector<ShareRow> rows;
+    for (FleetAlgorithm algorithm : allFleetAlgorithms()) {
+        for (Direction direction :
+             {Direction::compress, Direction::decompress}) {
+            Channel channel{algorithm, direction};
+            ShareRow row;
+            row.label = channel.name();
+            row.measured = records.empty()
+                               ? 0.0
+                               : static_cast<double>(
+                                     counts[channel.name()]) /
+                                     static_cast<double>(records.size());
+            row.groundTruth = model.cycleShare(channel);
+            rows.push_back(std::move(row));
+        }
+    }
+    return rows;
+}
+
+std::vector<double>
+channelTimeline(const std::vector<ProfileRecord> &records,
+                const Channel &channel)
+{
+    std::vector<std::size_t> hits(FleetModel::kMonths, 0);
+    std::vector<std::size_t> totals(FleetModel::kMonths, 0);
+    for (const auto &record : records) {
+        if (record.month >= FleetModel::kMonths)
+            continue;
+        ++totals[record.month];
+        if (record.channel.algorithm == channel.algorithm &&
+            record.channel.direction == channel.direction) {
+            ++hits[record.month];
+        }
+    }
+    std::vector<double> shares(FleetModel::kMonths, 0.0);
+    for (unsigned month = 0; month < FleetModel::kMonths; ++month) {
+        if (totals[month] > 0)
+            shares[month] = static_cast<double>(hits[month]) /
+                            static_cast<double>(totals[month]);
+    }
+    return shares;
+}
+
+std::map<int, double>
+zstdLevelShares(const std::vector<ProfileRecord> &records)
+{
+    // Levels are sampled from the byte-weighted Figure 2b
+    // distribution, so unweighted record counts already estimate byte
+    // shares (re-weighting by call size would double-count bytes).
+    std::map<int, double> byte_mass;
+    double total = 0;
+    for (const auto &record : records) {
+        if (record.channel.algorithm != FleetAlgorithm::zstd ||
+            record.channel.direction != Direction::compress) {
+            continue;
+        }
+        byte_mass[record.zstdLevel] += 1.0;
+        total += 1.0;
+    }
+    if (total > 0) {
+        for (auto &[level, mass] : byte_mass)
+            mass /= total;
+    }
+    return byte_mass;
+}
+
+WeightedHistogram
+callSizeHistogram(const std::vector<ProfileRecord> &records,
+                  const Channel &channel)
+{
+    WeightedHistogram histogram;
+    for (const auto &record : records) {
+        if (record.channel.algorithm != channel.algorithm ||
+            record.channel.direction != channel.direction) {
+            continue;
+        }
+        histogram.add(ceilLog2(record.callBytes),
+                      static_cast<double>(record.callBytes));
+    }
+    return histogram;
+}
+
+std::vector<ShareRow>
+libraryShares(const std::vector<ProfileRecord> &records,
+              const FleetModel &model)
+{
+    std::map<std::string, std::size_t> counts;
+    for (const auto &record : records)
+        ++counts[record.library];
+
+    std::vector<ShareRow> rows;
+    for (const std::string &library : libraryCategories()) {
+        ShareRow row;
+        row.label = library;
+        row.measured =
+            records.empty()
+                ? 0.0
+                : static_cast<double>(counts[library]) /
+                      static_cast<double>(records.size());
+        row.groundTruth = model.libraryShares().at(library);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+WeightedHistogram
+windowSizeHistogram(const std::vector<ProfileRecord> &records,
+                    Direction direction)
+{
+    WeightedHistogram histogram;
+    for (const auto &record : records) {
+        if (record.channel.algorithm != FleetAlgorithm::zstd ||
+            record.channel.direction != direction ||
+            record.windowBytes == 0) {
+            continue;
+        }
+        histogram.add(floorLog2(record.windowBytes),
+                      static_cast<double>(record.callBytes));
+    }
+    return histogram;
+}
+
+double
+heavyweightByteShare(const std::vector<ProfileRecord> &records,
+                     Direction direction)
+{
+    double heavy = 0;
+    double total = 0;
+    for (const auto &record : records) {
+        if (record.channel.direction != direction)
+            continue;
+        total += static_cast<double>(record.callBytes);
+        if (isHeavyweight(record.channel.algorithm))
+            heavy += static_cast<double>(record.callBytes);
+    }
+    return total > 0 ? heavy / total : 0.0;
+}
+
+} // namespace cdpu::fleet

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Report builders: reconstruct the paper's profiling figures from
+ * sampled GWP records (and, where the paper reports ground truth, from
+ * the model directly for side-by-side comparison).
+ */
+
+#ifndef CDPU_FLEET_REPORTS_H_
+#define CDPU_FLEET_REPORTS_H_
+
+#include "fleet/gwp_sampler.h"
+
+namespace cdpu::fleet
+{
+
+/** Measured vs ground-truth share for one label. */
+struct ShareRow
+{
+    std::string label;
+    double measured = 0;
+    double groundTruth = 0;
+};
+
+/** Figure 1 (final slice): cycle share per channel from samples. */
+std::vector<ShareRow> channelCycleShares(
+    const std::vector<ProfileRecord> &records, const FleetModel &model);
+
+/** Figure 1 (series): per-month share for one channel. */
+std::vector<double> channelTimeline(
+    const std::vector<ProfileRecord> &records, const Channel &channel);
+
+/** Figure 2b: byte-weighted ZStd level distribution from samples. */
+std::map<int, double> zstdLevelShares(
+    const std::vector<ProfileRecord> &records);
+
+/** Figure 3: byte-weighted call-size CDF for one channel. */
+WeightedHistogram callSizeHistogram(
+    const std::vector<ProfileRecord> &records, const Channel &channel);
+
+/** Figure 4: cycle share per calling library. */
+std::vector<ShareRow> libraryShares(
+    const std::vector<ProfileRecord> &records, const FleetModel &model);
+
+/** Figure 5: byte-weighted ZStd window-size CDF. */
+WeightedHistogram windowSizeHistogram(
+    const std::vector<ProfileRecord> &records, Direction direction);
+
+/** Heavyweight share of sampled bytes for @p direction (Fig 2a). */
+double heavyweightByteShare(const std::vector<ProfileRecord> &records,
+                            Direction direction);
+
+} // namespace cdpu::fleet
+
+#endif // CDPU_FLEET_REPORTS_H_

@@ -1,0 +1,42 @@
+#include "fse/decoder.h"
+
+namespace cdpu::fse
+{
+
+Status
+Decoder::initState(BackwardBitReader &reader)
+{
+    auto bits = reader.read(table_->tableLog);
+    if (!bits.ok())
+        return bits.status();
+    state_ = static_cast<u32>(bits.value());
+    return Status::okStatus();
+}
+
+Status
+Decoder::update(BackwardBitReader &reader)
+{
+    const DecodeEntry &entry = table_->entries[state_];
+    auto bits = reader.read(entry.nbBits);
+    if (!bits.ok())
+        return bits.status();
+    state_ = entry.nextStateBase + static_cast<u32>(bits.value());
+    return Status::okStatus();
+}
+
+Status
+decodeAll(const DecodeTable &table, BackwardBitReader &reader,
+          std::size_t count, Bytes &out)
+{
+    Decoder decoder(table);
+    CDPU_RETURN_IF_ERROR(decoder.initState(reader));
+    for (std::size_t i = 0; i < count; ++i) {
+        out.push_back(decoder.peekSymbol());
+        CDPU_RETURN_IF_ERROR(decoder.update(reader));
+    }
+    if (!decoder.atCleanEnd(reader))
+        return Status::corrupt("fse stream did not end cleanly");
+    return Status::okStatus();
+}
+
+} // namespace cdpu::fse

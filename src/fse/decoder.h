@@ -1,0 +1,57 @@
+/**
+ * @file
+ * FSE (tANS) stream decoder, reading a BackwardBitReader.
+ */
+
+#ifndef CDPU_FSE_DECODER_H_
+#define CDPU_FSE_DECODER_H_
+
+#include "common/bitio.h"
+#include "fse/table.h"
+
+namespace cdpu::fse
+{
+
+/** Incremental decoder: mirrors Encoder state-for-state. */
+class Decoder
+{
+  public:
+    explicit Decoder(const DecodeTable &table) : table_(&table) {}
+
+    /** Reads the initial state (tableLog bits); call once, first. */
+    Status initState(BackwardBitReader &reader);
+
+    /** Current symbol, determined by the state alone (no bits read). */
+    u8 peekSymbol() const { return table_->entries[state_].symbol; }
+
+    /** Bits the next update() will consume. */
+    unsigned nextBits() const { return table_->entries[state_].nbBits; }
+
+    /** Advances the state by reading nbBits from @p reader. */
+    Status update(BackwardBitReader &reader);
+
+    /**
+     * True once the decoder has returned to the encoder's start state
+     * with no bits left — the stream-integrity check applied after the
+     * last expected symbol.
+     */
+    bool atCleanEnd(const BackwardBitReader &reader) const
+    {
+        return state_ == 0 && reader.bitsLeft() == 0;
+    }
+
+  private:
+    const DecodeTable *table_;
+    u32 state_ = 0;
+};
+
+/**
+ * Convenience: decodes exactly @p count symbols written by encodeAll().
+ * Checks the clean-end invariant.
+ */
+Status decodeAll(const DecodeTable &table, BackwardBitReader &reader,
+                 std::size_t count, Bytes &out);
+
+} // namespace cdpu::fse
+
+#endif // CDPU_FSE_DECODER_H_

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Count normalization for Finite State Entropy tables.
+ *
+ * FSE requires symbol counts that sum exactly to the table size
+ * (1 << tableLog) with every present symbol receiving at least one slot.
+ * normalizeCounts() deterministically scales raw frequencies into that
+ * form; serialize/deserialize move the normalized counts through block
+ * headers so the decoder rebuilds the identical table.
+ */
+
+#ifndef CDPU_FSE_NORMALIZE_H_
+#define CDPU_FSE_NORMALIZE_H_
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace cdpu::fse
+{
+
+/** Bounds accepted for table logs (zstd accepts 5..12 for sequences). */
+inline constexpr unsigned kMinTableLog = 5;
+inline constexpr unsigned kMaxTableLog = 12;
+
+/** Normalized counts plus the table log they were normalized for. */
+struct NormalizedCounts
+{
+    std::vector<u32> counts; ///< Per symbol; sums to 1 << tableLog.
+    unsigned tableLog = 0;
+
+    std::size_t alphabetSize() const { return counts.size(); }
+};
+
+/**
+ * Scales raw frequencies to sum to 1 << table_log.
+ *
+ * Every nonzero raw count maps to >= 1; the residual is absorbed by the
+ * most frequent symbol. Fails if no symbol occurs or the alphabet has
+ * more used symbols than table slots.
+ */
+Result<NormalizedCounts> normalizeCounts(const std::vector<u64> &freqs,
+                                         unsigned table_log);
+
+/**
+ * Picks a table log for the given stream: large enough for the used
+ * alphabet, small enough not to dominate short streams, clamped to
+ * [kMinTableLog, max_log].
+ */
+unsigned suggestTableLog(const std::vector<u64> &freqs, u64 total,
+                         unsigned max_log = 9);
+
+/** Appends a serialized representation (tableLog, alphabet, counts). */
+void serializeCounts(const NormalizedCounts &norm, Bytes &out);
+
+/** Parses serializeCounts() output and validates the invariants. */
+Result<NormalizedCounts> deserializeCounts(ByteSpan data,
+                                           std::size_t &pos);
+
+} // namespace cdpu::fse
+
+#endif // CDPU_FSE_NORMALIZE_H_

@@ -1,0 +1,206 @@
+#include "huffman/code_builder.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace cdpu::huffman
+{
+
+u16
+reverseBits(u16 v, unsigned nbits)
+{
+    u16 r = 0;
+    for (unsigned i = 0; i < nbits; ++i) {
+        r = static_cast<u16>((r << 1) | (v & 1));
+        v >>= 1;
+    }
+    return r;
+}
+
+namespace
+{
+
+/** Computes raw (unlimited) Huffman code lengths via a pairing heap. */
+std::vector<u8>
+rawLengths(const std::vector<u64> &freqs)
+{
+    struct Node
+    {
+        u64 weight;
+        i32 parent = -1;
+        u8 depth = 0;
+    };
+    std::vector<Node> nodes;
+    std::vector<std::size_t> leaf_node; // symbol -> node index
+    leaf_node.assign(freqs.size(), static_cast<std::size_t>(-1));
+
+    using HeapItem = std::pair<u64, std::size_t>; // (weight, node index)
+    std::priority_queue<HeapItem, std::vector<HeapItem>,
+                        std::greater<HeapItem>> heap;
+
+    for (std::size_t sym = 0; sym < freqs.size(); ++sym) {
+        if (freqs[sym] == 0)
+            continue;
+        leaf_node[sym] = nodes.size();
+        nodes.push_back({freqs[sym]});
+        heap.push({freqs[sym], nodes.size() - 1});
+    }
+
+    if (nodes.size() == 1) {
+        // Degenerate single-symbol alphabet: one 1-bit code.
+        std::vector<u8> lengths(freqs.size(), 0);
+        for (std::size_t sym = 0; sym < freqs.size(); ++sym)
+            if (freqs[sym] != 0)
+                lengths[sym] = 1;
+        return lengths;
+    }
+
+    while (heap.size() > 1) {
+        auto [wa, a] = heap.top();
+        heap.pop();
+        auto [wb, b] = heap.top();
+        heap.pop();
+        std::size_t parent = nodes.size();
+        nodes.push_back({wa + wb});
+        nodes[a].parent = static_cast<i32>(parent);
+        nodes[b].parent = static_cast<i32>(parent);
+        heap.push({wa + wb, parent});
+    }
+
+    // Depth of each leaf = code length. Walk parents top-down: parents
+    // always have higher indices than children, so iterate descending.
+    for (std::size_t i = nodes.size(); i-- > 0;) {
+        if (nodes[i].parent >= 0)
+            nodes[i].depth =
+                static_cast<u8>(nodes[nodes[i].parent].depth + 1);
+    }
+
+    std::vector<u8> lengths(freqs.size(), 0);
+    for (std::size_t sym = 0; sym < freqs.size(); ++sym)
+        if (leaf_node[sym] != static_cast<std::size_t>(-1))
+            lengths[sym] = nodes[leaf_node[sym]].depth;
+    return lengths;
+}
+
+/** Clamps lengths to @p max_bits and repairs the Kraft sum. */
+void
+limitLengths(std::vector<u8> &lengths, unsigned max_bits)
+{
+    u64 kraft = 0; // scaled by 2^max_bits
+    for (u8 &len : lengths) {
+        if (len == 0)
+            continue;
+        if (len > max_bits)
+            len = static_cast<u8>(max_bits);
+        kraft += 1ull << (max_bits - len);
+    }
+    const u64 budget = 1ull << max_bits;
+    // Overfull: lengthen the shortest over-cheap codes until it fits.
+    // Deterministic scan keeps the table reproducible.
+    while (kraft > budget) {
+        // Find the symbol with the largest length < max_bits (cheapest
+        // ratio loss per unit of Kraft mass released).
+        std::size_t best = lengths.size();
+        for (std::size_t sym = 0; sym < lengths.size(); ++sym) {
+            if (lengths[sym] == 0 || lengths[sym] >= max_bits)
+                continue;
+            if (best == lengths.size() || lengths[sym] > lengths[best])
+                best = sym;
+        }
+        // Guaranteed to exist while overfull (all-at-max fits by
+        // construction for alphabets <= 2^max_bits).
+        kraft -= 1ull << (max_bits - lengths[best] - 1);
+        ++lengths[best];
+    }
+    // The loop can overshoot below the budget when only short codes
+    // remain below max_bits; shorten codes to restore completeness.
+    while (kraft < budget) {
+        u64 deficit = budget - kraft;
+        // Decrementing length l adds 2^(max_bits - l); pick the symbol
+        // giving the largest addition that still fits the deficit.
+        std::size_t best = lengths.size();
+        for (std::size_t sym = 0; sym < lengths.size(); ++sym) {
+            if (lengths[sym] <= 1)
+                continue;
+            u64 addition = 1ull << (max_bits - lengths[sym]);
+            if (addition > deficit)
+                continue;
+            if (best == lengths.size() || lengths[sym] < lengths[best])
+                best = sym;
+        }
+        // A max-length symbol always adds exactly 1 <= deficit, so this
+        // terminates; `best` can only be missing for degenerate
+        // single-symbol tables, which are complete by convention.
+        if (best == lengths.size())
+            break;
+        kraft += 1ull << (max_bits - lengths[best]);
+        --lengths[best];
+    }
+}
+
+} // namespace
+
+Result<CodeTable>
+buildCodeTable(const std::vector<u64> &freqs, unsigned max_bits)
+{
+    if (max_bits < 1 || max_bits > 15)
+        return Status::invalid("huffman max_bits out of range");
+    std::size_t used = 0;
+    for (u64 f : freqs)
+        used += f != 0;
+    if (used == 0)
+        return Status::invalid("huffman alphabet is empty");
+    if (used > (1ull << max_bits))
+        return Status::invalid("alphabet too large for max_bits");
+
+    std::vector<u8> lengths = rawLengths(freqs);
+    limitLengths(lengths, max_bits);
+    return codesFromLengths(lengths);
+}
+
+Result<CodeTable>
+codesFromLengths(const std::vector<u8> &lengths)
+{
+    CodeTable table;
+    table.lengths = lengths;
+    table.codes.assign(lengths.size(), 0);
+
+    unsigned max_bits = 0;
+    for (u8 len : lengths)
+        max_bits = std::max<unsigned>(max_bits, len);
+    if (max_bits == 0)
+        return Status::corrupt("no huffman code lengths");
+    if (max_bits > 15)
+        return Status::corrupt("huffman length exceeds 15");
+    table.maxBits = max_bits;
+
+    // Canonical assignment: count lengths, derive first code per length.
+    std::vector<u32> bl_count(max_bits + 1, 0);
+    for (u8 len : lengths)
+        if (len)
+            ++bl_count[len];
+
+    std::vector<u32> next_code(max_bits + 2, 0);
+    u32 code = 0;
+    u64 kraft = 0;
+    for (unsigned bits = 1; bits <= max_bits; ++bits) {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+        kraft += static_cast<u64>(bl_count[bits]) << (max_bits - bits);
+    }
+    // A single-symbol table (one 1-bit code) is deliberately incomplete;
+    // everything else must satisfy Kraft with equality.
+    const bool degenerate = bl_count[1] == 1 && kraft == (1ull << max_bits) / 2;
+    if (!degenerate && kraft != (1ull << max_bits))
+        return Status::corrupt("huffman lengths not a complete code");
+
+    for (std::size_t sym = 0; sym < lengths.size(); ++sym) {
+        if (lengths[sym] == 0)
+            continue;
+        u16 canonical = static_cast<u16>(next_code[lengths[sym]]++);
+        table.codes[sym] = reverseBits(canonical, lengths[sym]);
+    }
+    return table;
+}
+
+} // namespace cdpu::huffman

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Canonical, length-limited Huffman code construction.
+ *
+ * Codes are built from symbol frequencies with a binary-heap Huffman
+ * tree, clamped to a maximum bit length (Kraft-sum repair, as zlib
+ * does), and assigned canonically so a table can be reconstructed from
+ * code lengths alone — which is exactly what the hardware Huffman Table
+ * Builder unit (Section 5.3) consumes.
+ */
+
+#ifndef CDPU_HUFFMAN_CODE_BUILDER_H_
+#define CDPU_HUFFMAN_CODE_BUILDER_H_
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace cdpu::huffman
+{
+
+/** Default bit-length cap; matches zstd's literal-table limit. */
+inline constexpr unsigned kDefaultMaxBits = 11;
+
+/** A canonical Huffman code: one (length, code) pair per symbol. */
+struct CodeTable
+{
+    /** Code length per symbol; 0 means the symbol does not occur. */
+    std::vector<u8> lengths;
+    /** Canonical code per symbol, stored bit-reversed so it can be
+     *  emitted directly into an LSB-first BitWriter. */
+    std::vector<u16> codes;
+    unsigned maxBits = 0; ///< Longest assigned length.
+
+    std::size_t numSymbols() const { return lengths.size(); }
+};
+
+/**
+ * Builds a length-limited canonical code from frequencies.
+ *
+ * @param freqs     Occurrence count per symbol (size = alphabet size).
+ * @param max_bits  Length cap, [1, 15].
+ * @return The code table; fails if no symbol has a nonzero count or the
+ *         alphabet cannot fit in max_bits.
+ */
+Result<CodeTable> buildCodeTable(const std::vector<u64> &freqs,
+                                 unsigned max_bits = kDefaultMaxBits);
+
+/**
+ * Reconstructs canonical codes from lengths alone (decoder side / table
+ * transmission). Fails if the lengths violate the Kraft inequality or
+ * describe an incomplete code.
+ */
+Result<CodeTable> codesFromLengths(const std::vector<u8> &lengths);
+
+/** Reverses the low @p nbits bits of @p v. */
+u16 reverseBits(u16 v, unsigned nbits);
+
+} // namespace cdpu::huffman
+
+#endif // CDPU_HUFFMAN_CODE_BUILDER_H_

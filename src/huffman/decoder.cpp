@@ -1,0 +1,46 @@
+#include "huffman/decoder.h"
+
+namespace cdpu::huffman
+{
+
+Result<Decoder>
+Decoder::build(const CodeTable &table)
+{
+    if (table.maxBits == 0 || table.maxBits > 15)
+        return Status::invalid("bad huffman table");
+    Decoder decoder;
+    decoder.maxBits_ = table.maxBits;
+    decoder.table_.assign(std::size_t{1} << table.maxBits, Entry{});
+
+    for (std::size_t sym = 0; sym < table.numSymbols(); ++sym) {
+        u8 len = table.lengths[sym];
+        if (len == 0)
+            continue;
+        // The stored code is already bit-reversed (LSB-first); every
+        // index whose low `len` bits equal it decodes to this symbol.
+        u32 stride = 1u << len;
+        for (u32 idx = table.codes[sym];
+             idx < decoder.table_.size(); idx += stride) {
+            decoder.table_[idx] = {static_cast<u16>(sym), len};
+        }
+    }
+    return decoder;
+}
+
+Status
+Decoder::decode(BitReader &reader, std::size_t count, Bytes &out) const
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        // Peek a full maxBits window (zero-padded near the end) and
+        // advance by the matched code's length.
+        u32 prefix = static_cast<u32>(reader.peek(maxBits_));
+        const Entry &entry = table_[prefix];
+        if (entry.length == 0)
+            return Status::corrupt("invalid huffman code");
+        CDPU_RETURN_IF_ERROR(reader.advance(entry.length));
+        out.push_back(static_cast<u8>(entry.symbol));
+    }
+    return Status::okStatus();
+}
+
+} // namespace cdpu::huffman

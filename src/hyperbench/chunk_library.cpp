@@ -1,0 +1,91 @@
+#include "hyperbench/chunk_library.h"
+
+#include <algorithm>
+
+#include "corpus/generators.h"
+#include "snappy/compress.h"
+#include "zstdlite/compress.h"
+
+namespace cdpu::hcb
+{
+
+namespace
+{
+
+double
+measureRatio(Algorithm algorithm, ByteSpan chunk, int zstd_level)
+{
+    std::size_t compressed_size;
+    if (algorithm == Algorithm::snappy) {
+        compressed_size = snappy::compress(chunk).size();
+    } else {
+        zstdlite::CompressorConfig config;
+        config.level = zstd_level;
+        auto out = zstdlite::compress(chunk, config);
+        // Synthetic chunks with valid parameters cannot fail.
+        compressed_size = out.value().size();
+    }
+    return compressed_size == 0
+               ? 1.0
+               : static_cast<double>(chunk.size()) /
+                     static_cast<double>(compressed_size);
+}
+
+} // namespace
+
+ChunkLibrary::ChunkLibrary(const ChunkLibraryConfig &config, Rng &rng)
+{
+    for (corpus::DataClass cls : corpus::allDataClasses()) {
+        Bytes buffer = corpus::generate(cls, config.perClassBytes, rng);
+        for (auto &chunk : corpus::chunk(buffer, config.chunkBytes)) {
+            RatedChunk snappy_chunk;
+            snappy_chunk.ratio = measureRatio(
+                Algorithm::snappy, chunk.data, config.zstdLevel);
+            RatedChunk zstd_chunk;
+            zstd_chunk.ratio = measureRatio(Algorithm::zstd, chunk.data,
+                                            config.zstdLevel);
+            zstd_chunk.data = chunk.data;
+            snappy_chunk.data = std::move(chunk.data);
+            snappyTable_.push_back(std::move(snappy_chunk));
+            zstdTable_.push_back(std::move(zstd_chunk));
+        }
+    }
+    auto by_ratio = [](const RatedChunk &a, const RatedChunk &b) {
+        return a.ratio < b.ratio;
+    };
+    std::sort(snappyTable_.begin(), snappyTable_.end(), by_ratio);
+    std::sort(zstdTable_.begin(), zstdTable_.end(), by_ratio);
+}
+
+const std::vector<RatedChunk> &
+ChunkLibrary::table(Algorithm algorithm) const
+{
+    return algorithm == Algorithm::snappy ? snappyTable_ : zstdTable_;
+}
+
+std::size_t
+ChunkLibrary::closestIndex(Algorithm algorithm, double target) const
+{
+    const auto &chunks = table(algorithm);
+    auto it = std::lower_bound(
+        chunks.begin(), chunks.end(), target,
+        [](const RatedChunk &chunk, double t) { return chunk.ratio < t; });
+    if (it == chunks.end())
+        return chunks.size() - 1;
+    if (it == chunks.begin())
+        return 0;
+    // Pick the closer of the two neighbours.
+    auto prev = std::prev(it);
+    return (target - prev->ratio) <= (it->ratio - target)
+               ? static_cast<std::size_t>(prev - chunks.begin())
+               : static_cast<std::size_t>(it - chunks.begin());
+}
+
+std::pair<double, double>
+ChunkLibrary::ratioRange(Algorithm algorithm) const
+{
+    const auto &chunks = table(algorithm);
+    return {chunks.front().ratio, chunks.back().ratio};
+}
+
+} // namespace cdpu::hcb

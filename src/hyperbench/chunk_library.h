@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Chunk library: the ratio lookup table at the heart of the paper's
+ * HyperCompressBench generator (Section 4).
+ *
+ * Corpus buffers are split into fixed-size chunks; every chunk is run
+ * through the supported algorithm/parameter pairs to obtain its
+ * compression ratio, and the chunks are indexed by ratio so the greedy
+ * assembler can select the chunk closest to a target.
+ */
+
+#ifndef CDPU_HYPERBENCH_CHUNK_LIBRARY_H_
+#define CDPU_HYPERBENCH_CHUNK_LIBRARY_H_
+
+#include "baseline/xeon_cost_model.h"
+#include "common/rng.h"
+#include "corpus/chunker.h"
+
+namespace cdpu::hcb
+{
+
+using baseline::Algorithm;
+
+/** A chunk with its measured per-algorithm compression ratio. */
+struct RatedChunk
+{
+    Bytes data;
+    double ratio = 1.0;
+};
+
+/** Configuration for library construction. */
+struct ChunkLibraryConfig
+{
+    std::size_t chunkBytes = 8 * kKiB;
+    /** Bytes of each corpus class to generate and chunk. Large enough
+     *  that multi-MiB benchmark files need not repeat chunks, which
+     *  would fabricate long-range redundancy the fleet data lacks. */
+    std::size_t perClassBytes = 2 * kMiB;
+    /** ZStd level used for the ZStd ratio measurement. */
+    int zstdLevel = 3;
+};
+
+/**
+ * Ratio-sorted chunk store, one table per algorithm.
+ *
+ * Construction compresses every chunk with both algorithms, exactly as
+ * the paper's generator runs each chunk through all supported
+ * algorithm/parameter pairs.
+ */
+class ChunkLibrary
+{
+  public:
+    /** Builds the library from the synthetic corpora. */
+    ChunkLibrary(const ChunkLibraryConfig &config, Rng &rng);
+
+    /** Chunks sorted ascending by ratio under @p algorithm. */
+    const std::vector<RatedChunk> &table(Algorithm algorithm) const;
+
+    /** Index of the chunk whose ratio is closest to @p target. */
+    std::size_t closestIndex(Algorithm algorithm, double target) const;
+
+    /** Ratio span available for @p algorithm (min, max). */
+    std::pair<double, double> ratioRange(Algorithm algorithm) const;
+
+  private:
+    std::vector<RatedChunk> snappyTable_;
+    std::vector<RatedChunk> zstdTable_;
+};
+
+} // namespace cdpu::hcb
+
+#endif // CDPU_HYPERBENCH_CHUNK_LIBRARY_H_

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Greedy benchmark-file assembly (Section 4): walk the ratio lookup
+ * table, append the chunk closest to the current ratio need, re-
+ * evaluate, and shuffle to avoid pathological sequences.
+ */
+
+#ifndef CDPU_HYPERBENCH_GREEDY_ASSEMBLER_H_
+#define CDPU_HYPERBENCH_GREEDY_ASSEMBLER_H_
+
+#include "hyperbench/chunk_library.h"
+
+namespace cdpu::hcb
+{
+
+/** Target parameters for one benchmark file. */
+struct FileTarget
+{
+    Algorithm algorithm = Algorithm::snappy;
+    std::size_t sizeBytes = 64 * kKiB;
+    double targetRatio = 2.0;
+};
+
+/**
+ * Assembles one benchmark file.
+ *
+ * Chunks are chosen so the file's overall compression ratio tracks the
+ * target: after each chunk the assembler computes the ratio still
+ * needed and selects the closest available chunk, with a small random
+ * index jitter (the paper's "random shuffles") to decorrelate
+ * neighbouring files.
+ */
+Bytes assembleFile(const ChunkLibrary &library, const FileTarget &target,
+                   Rng &rng);
+
+} // namespace cdpu::hcb
+
+#endif // CDPU_HYPERBENCH_GREEDY_ASSEMBLER_H_

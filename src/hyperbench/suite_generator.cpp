@@ -1,0 +1,161 @@
+#include "hyperbench/suite_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/histogram.h"
+#include "zstdlite/compress.h"
+
+namespace cdpu::hcb
+{
+
+std::size_t
+Suite::totalBytes() const
+{
+    std::size_t total = 0;
+    for (const auto &file : files)
+        total += file.data.size();
+    return total;
+}
+
+fleet::Channel
+toFleetChannel(Algorithm algorithm, Direction direction)
+{
+    fleet::Channel channel;
+    channel.algorithm = algorithm == Algorithm::snappy
+                            ? fleet::FleetAlgorithm::snappy
+                            : fleet::FleetAlgorithm::zstd;
+    channel.direction = direction == Direction::compress
+                            ? fleet::Direction::compress
+                            : fleet::Direction::decompress;
+    return channel;
+}
+
+SuiteGenerator::SuiteGenerator(const fleet::FleetModel &fleet,
+                               const SuiteConfig &config)
+    : fleet_(&fleet), config_(config), rng_(config.seed),
+      library_(ChunkLibraryConfig{}, rng_)
+{}
+
+namespace
+{
+
+/**
+ * Plans file sizes so the suite's byte-weighted call-size histogram
+ * matches the (capped) fleet distribution by construction: each bin
+ * receives its byte share of the suite's total budget, emitted as
+ * log-uniform sizes within the bin. IID draws would need thousands of
+ * files to tame the heavy tail; the plan achieves Figure 7's fit at
+ * laptop-scale file counts.
+ */
+std::vector<std::size_t>
+planFileSizes(const fleet::FleetModel &fleet,
+              const fleet::Channel &channel, const SuiteConfig &config,
+              Rng &rng)
+{
+    const WeightedHistogram &distribution =
+        fleet.callSizeDistribution(channel);
+    const double cap_bin = ceilLog2(config.maxFileBytes);
+
+    // Fold byte mass above the cap into the cap bin.
+    std::map<double, double> bins;
+    double total_weight = 0;
+    for (const auto &[bin, weight] : distribution.bins()) {
+        bins[std::min(bin, cap_bin)] += weight;
+        total_weight += weight;
+    }
+
+    // Choose the total byte budget: large enough for the configured
+    // file count AND for every significant bin to receive at least one
+    // file of its size class (otherwise the heavy tail of the byte
+    // distribution would be silently dropped).
+    double inv_mean = 0; // expected files per byte
+    for (const auto &[bin, weight] : bins)
+        inv_mean += (weight / total_weight) / std::pow(2.0, bin - 0.5);
+    double total_bytes =
+        static_cast<double>(config.filesPerSuite) / inv_mean;
+    for (const auto &[bin, weight] : bins) {
+        double fraction = weight / total_weight;
+        if (fraction < 0.01)
+            continue;
+        double representative = 0.75 * std::pow(2.0, bin);
+        total_bytes = std::max(total_bytes, representative / fraction);
+    }
+
+    std::vector<std::size_t> sizes;
+    for (const auto &[bin, weight] : bins) {
+        double budget = total_bytes * weight / total_weight;
+        double bin_hi = std::pow(2.0, bin);
+        while (budget >= 0.375 * bin_hi) {
+            double size = bin_hi / 2.0 * std::pow(2.0, rng.uniform());
+            size = std::min(
+                size, static_cast<double>(config.maxFileBytes));
+            sizes.push_back(
+                std::max<std::size_t>(static_cast<std::size_t>(size),
+                                      1024));
+            budget -= size;
+        }
+    }
+    // Shuffle so suite order carries no size trend.
+    for (std::size_t i = sizes.size(); i > 1; --i)
+        std::swap(sizes[i - 1], sizes[rng.below(i)]);
+    return sizes;
+}
+
+} // namespace
+
+Suite
+SuiteGenerator::generate(Algorithm algorithm, Direction direction)
+{
+    Suite suite;
+    suite.algorithm = algorithm;
+    suite.direction = direction;
+
+    fleet::Channel channel = toFleetChannel(algorithm, direction);
+    auto [min_ratio, max_ratio] = library_.ratioRange(algorithm);
+    const double fleet_ratio =
+        algorithm == Algorithm::snappy
+            ? fleet_->aggregateRatio("Snappy")
+            : fleet_->aggregateRatio("ZSTD [-inf,3]");
+
+    std::vector<std::size_t> sizes =
+        planFileSizes(*fleet_, channel, config_, rng_);
+    suite.files.reserve(sizes.size());
+
+    for (std::size_t file_size : sizes) {
+        BenchmarkFile file;
+        file.algorithm = algorithm;
+        file.direction = direction;
+
+        FileTarget target;
+        target.algorithm = algorithm;
+        target.sizeBytes = file_size;
+
+        // Per-file ratio: log-normal spread around the fleet aggregate
+        // (individual calls vary widely; the aggregate must match).
+        double spread = std::exp(0.35 * rng_.normal());
+        target.targetRatio =
+            std::clamp(fleet_ratio * spread, min_ratio, max_ratio);
+        file.targetRatio = target.targetRatio;
+
+        if (algorithm == Algorithm::zstd) {
+            file.level = std::clamp(fleet_->sampleZstdLevel(rng_),
+                                    zstdlite::kMinLevel,
+                                    zstdlite::kMaxLevel);
+            std::size_t window = fleet_->sampleWindowSize(
+                direction == Direction::compress
+                    ? fleet::Direction::compress
+                    : fleet::Direction::decompress,
+                rng_);
+            file.windowLog = std::clamp<unsigned>(
+                ceilLog2(window), zstdlite::kMinWindowLog,
+                zstdlite::kMaxWindowLog);
+        }
+
+        file.data = assembleFile(library_, target, rng_);
+        suite.files.push_back(std::move(file));
+    }
+    return suite;
+}
+
+} // namespace cdpu::hcb

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * HyperCompressBench suite generation.
+ *
+ * For each (algorithm, direction) pair, the generator samples target
+ * parameters (call size, ZStd level, window size, target ratio) from
+ * the fleet model's published distributions and assembles benchmark
+ * files from the chunk library until the suite represents the fleet's
+ * byte-weighted call distribution (Section 4).
+ */
+
+#ifndef CDPU_HYPERBENCH_SUITE_GENERATOR_H_
+#define CDPU_HYPERBENCH_SUITE_GENERATOR_H_
+
+#include "fleet/fleet_model.h"
+#include "hyperbench/greedy_assembler.h"
+
+namespace cdpu::hcb
+{
+
+using baseline::Direction;
+
+/** One generated benchmark file with its application parameters. */
+struct BenchmarkFile
+{
+    Bytes data;              ///< Uncompressed content.
+    Algorithm algorithm = Algorithm::snappy;
+    Direction direction = Direction::compress;
+    int level = 3;           ///< ZStd level to apply.
+    unsigned windowLog = 16; ///< ZStd window log to apply.
+    double targetRatio = 2.0;
+};
+
+/** One (algorithm, direction) suite. */
+struct Suite
+{
+    Algorithm algorithm = Algorithm::snappy;
+    Direction direction = Direction::compress;
+    std::vector<BenchmarkFile> files;
+
+    std::size_t totalBytes() const;
+};
+
+/** Generation knobs. The paper generates 8,000-10,000 files per suite
+ *  with calls up to 64 MiB; the defaults scale that down for laptop
+ *  runs while preserving every distribution's shape (README). */
+struct SuiteConfig
+{
+    std::size_t filesPerSuite = 120;
+    std::size_t maxFileBytes = 2 * kMiB; ///< Call-size cap.
+    u64 seed = 2023;
+};
+
+/** Generates the four suites: (Snappy, ZStd) x (compress, decompress). */
+class SuiteGenerator
+{
+  public:
+    SuiteGenerator(const fleet::FleetModel &fleet,
+                   const SuiteConfig &config);
+
+    /** Builds one suite (deterministic given the config seed). */
+    Suite generate(Algorithm algorithm, Direction direction);
+
+    const ChunkLibrary &library() const { return library_; }
+
+  private:
+    const fleet::FleetModel *fleet_;
+    SuiteConfig config_;
+    Rng rng_;
+    ChunkLibrary library_;
+};
+
+/** Maps a baseline algorithm to its fleet channel. */
+fleet::Channel toFleetChannel(Algorithm algorithm, Direction direction);
+
+} // namespace cdpu::hcb
+
+#endif // CDPU_HYPERBENCH_SUITE_GENERATOR_H_

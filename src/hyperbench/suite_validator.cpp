@@ -1,0 +1,64 @@
+#include "hyperbench/suite_validator.h"
+
+#include "snappy/compress.h"
+#include "zstdlite/compress.h"
+
+namespace cdpu::hcb
+{
+
+WeightedHistogram
+cappedFleetCallSizes(const fleet::FleetModel &fleet,
+                     const fleet::Channel &channel, std::size_t cap_bytes)
+{
+    const WeightedHistogram &full =
+        fleet.callSizeDistribution(channel);
+    double cap_bin = ceilLog2(cap_bytes);
+    WeightedHistogram capped;
+    for (const auto &[bin, weight] : full.bins())
+        capped.add(std::min(bin, cap_bin), weight);
+    return capped;
+}
+
+ValidationReport
+validateSuite(const Suite &suite, const fleet::FleetModel &fleet,
+              std::size_t cap_bytes)
+{
+    ValidationReport report;
+
+    std::size_t total_raw = 0;
+    std::size_t total_compressed = 0;
+    for (const auto &file : suite.files) {
+        report.suiteCallSizes.add(
+            ceilLog2(file.data.size()),
+            static_cast<double>(file.data.size()));
+        total_raw += file.data.size();
+        if (file.algorithm == Algorithm::snappy) {
+            total_compressed += snappy::compress(file.data).size();
+        } else {
+            zstdlite::CompressorConfig config;
+            config.level = file.level;
+            config.windowLog = file.windowLog;
+            auto out = zstdlite::compress(file.data, config);
+            total_compressed += out.value().size();
+        }
+    }
+    report.achievedRatio =
+        total_compressed == 0
+            ? 0.0
+            : static_cast<double>(total_raw) /
+                  static_cast<double>(total_compressed);
+
+    fleet::Channel channel =
+        toFleetChannel(suite.algorithm, suite.direction);
+    WeightedHistogram fleet_capped =
+        cappedFleetCallSizes(fleet, channel, cap_bytes);
+    report.callSizeKsDistance = WeightedHistogram::ksDistance(
+        report.suiteCallSizes, fleet_capped);
+
+    report.fleetRatio = suite.algorithm == Algorithm::snappy
+                            ? fleet.aggregateRatio("Snappy")
+                            : fleet.aggregateRatio("ZSTD [-inf,3]");
+    return report;
+}
+
+} // namespace cdpu::hcb

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Suite validation (Section 4.1): compares a generated suite's
+ * call-size distribution and achieved compression ratios against the
+ * fleet model, reproducing Figure 7 and the "within 5-10% of fleet
+ * ratios" check.
+ */
+
+#ifndef CDPU_HYPERBENCH_SUITE_VALIDATOR_H_
+#define CDPU_HYPERBENCH_SUITE_VALIDATOR_H_
+
+#include "hyperbench/suite_generator.h"
+
+namespace cdpu::hcb
+{
+
+/** Validation summary for one suite. */
+struct ValidationReport
+{
+    /** Byte-weighted call-size histogram of the generated files. */
+    WeightedHistogram suiteCallSizes;
+    /** Max CDF distance vs the (capped) fleet distribution. */
+    double callSizeKsDistance = 0;
+    /** Aggregate achieved ratio of the suite under its algorithm. */
+    double achievedRatio = 0;
+    /** Fleet aggregate ratio for the matching Figure 2c bin. */
+    double fleetRatio = 0;
+
+    double
+    ratioError() const
+    {
+        return fleetRatio == 0
+                   ? 0.0
+                   : std::abs(achievedRatio - fleetRatio) / fleetRatio;
+    }
+};
+
+/**
+ * Validates @p suite against @p fleet. Compresses every file with its
+ * designated algorithm/parameters to compute the aggregate ratio.
+ * @p cap_bytes must match the generator's call-size cap so the fleet
+ * CDF is renormalized over the same support.
+ */
+ValidationReport validateSuite(const Suite &suite,
+                               const fleet::FleetModel &fleet,
+                               std::size_t cap_bytes);
+
+/** The fleet call-size histogram with bins above the cap folded into
+ *  the cap bin (exposed for the Figure 7 bench). */
+WeightedHistogram cappedFleetCallSizes(const fleet::FleetModel &fleet,
+                                       const fleet::Channel &channel,
+                                       std::size_t cap_bytes);
+
+} // namespace cdpu::hcb
+
+#endif // CDPU_HYPERBENCH_SUITE_VALIDATOR_H_

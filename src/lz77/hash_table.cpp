@@ -1,0 +1,104 @@
+#include "lz77/hash_table.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace cdpu::lz77
+{
+
+namespace
+{
+
+u32
+load32(ByteSpan data, std::size_t pos)
+{
+    u32 v;
+    std::memcpy(&v, data.data() + pos, sizeof(v));
+    return v;
+}
+
+u64
+load64(ByteSpan data, std::size_t pos)
+{
+    u64 v;
+    std::memcpy(&v, data.data() + pos, sizeof(v));
+    return v;
+}
+
+} // namespace
+
+MatchHashTable::MatchHashTable(const HashTableConfig &config)
+    : config_(config),
+      slots_(config.entries() * config.ways, kEmpty),
+      nextVictim_(config.entries(), 0)
+{
+    assert(config.ways >= 1);
+    assert(config.log2Entries >= 4 && config.log2Entries <= 24);
+    assert(config.minMatch >= 4 && config.minMatch <= 8);
+}
+
+void
+MatchHashTable::reset()
+{
+    std::fill(slots_.begin(), slots_.end(), kEmpty);
+    std::fill(nextVictim_.begin(), nextVictim_.end(), 0);
+    probes_ = 0;
+}
+
+u32
+MatchHashTable::hashAt(ByteSpan data, std::size_t pos) const
+{
+    unsigned shift = 32 - config_.log2Entries;
+    switch (config_.hashFunction) {
+      case HashFunction::multiplicative:
+        return (load32(data, pos) * 0x1e35a7bdu) >> shift;
+      case HashFunction::xorShift: {
+        u32 x = load32(data, pos);
+        x ^= x >> 15;
+        x *= 0x2c1b3c6du;
+        x ^= x >> 12;
+        return x >> shift;
+      }
+      case HashFunction::fibonacci64: {
+        // Hash 5 bytes with the 64-bit golden ratio, as zstd does for
+        // its fast match finder.
+        u64 x = load64(data, pos) << 24 >> 24;
+        return static_cast<u32>((x * 0x9e3779b185ebca87ull) >>
+                                (64 - config_.log2Entries));
+      }
+    }
+    return 0;
+}
+
+void
+MatchHashTable::lookupAndInsert(ByteSpan data, std::size_t pos,
+                                std::vector<u32> &candidates_out)
+{
+    candidates_out.clear();
+    u32 hash = hashAt(data, pos);
+    u32 *set = &slots_[static_cast<std::size_t>(hash) * config_.ways];
+    // Most-recent-first: walk backwards from the slot before the FIFO
+    // victim pointer.
+    u8 victim = nextVictim_[hash];
+    for (unsigned i = 0; i < config_.ways; ++i) {
+        unsigned way = (victim + config_.ways - 1 - i) % config_.ways;
+        if (set[way] != kEmpty) {
+            candidates_out.push_back(set[way]);
+            ++probes_;
+        }
+    }
+    set[victim] = static_cast<u32>(pos);
+    nextVictim_[hash] = static_cast<u8>((victim + 1) % config_.ways);
+}
+
+void
+MatchHashTable::insert(ByteSpan data, std::size_t pos)
+{
+    u32 hash = hashAt(data, pos);
+    u32 *set = &slots_[static_cast<std::size_t>(hash) * config_.ways];
+    u8 victim = nextVictim_[hash];
+    set[victim] = static_cast<u32>(pos);
+    nextVictim_[hash] = static_cast<u8>((victim + 1) % config_.ways);
+}
+
+} // namespace cdpu::lz77

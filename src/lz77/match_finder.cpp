@@ -1,0 +1,151 @@
+#include "lz77/match_finder.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cdpu::lz77
+{
+
+Bytes
+reconstruct(const Parse &parse, ByteSpan input)
+{
+    Bytes out;
+    out.reserve(parse.inputSize);
+    std::size_t cursor = 0;
+    for (const auto &seq : parse.sequences) {
+        out.insert(out.end(), input.begin() + cursor,
+                   input.begin() + cursor + seq.literalLength);
+        cursor += seq.literalLength;
+        assert(seq.offset >= 1 && seq.offset <= out.size());
+        std::size_t from = out.size() - seq.offset;
+        for (u32 i = 0; i < seq.matchLength; ++i)
+            out.push_back(out[from + i]); // Overlapping copies are legal.
+        cursor += seq.matchLength;
+    }
+    out.insert(out.end(), input.begin() + parse.literalTailStart,
+               input.begin() + parse.inputSize);
+    return out;
+}
+
+MatchFinder::MatchFinder(const MatchFinderConfig &config)
+    : config_(config), table_(config.hashTable)
+{}
+
+u32
+MatchFinder::matchLengthAt(ByteSpan input, std::size_t a, std::size_t b,
+                           u32 cap)
+{
+    u32 len = 0;
+    std::size_t limit = input.size();
+    while (b + len < limit && len < cap && input[a + len] == input[b + len])
+        ++len;
+    return len;
+}
+
+MatchFinder::Candidate
+MatchFinder::bestMatchAt(ByteSpan input, std::size_t pos,
+                         MatchFinderStats &stats)
+{
+    table_.lookupAndInsert(input, pos, scratchCandidates_);
+    ++stats.positionsHashed;
+    Candidate best;
+    for (u32 cand : scratchCandidates_) {
+        ++stats.candidateProbes;
+        if (cand >= pos)
+            continue; // Stale entry from a previous buffer position.
+        std::size_t offset = pos - cand;
+        if (offset > config_.windowSize)
+            continue; // Beyond the history SRAM: unusable in hardware.
+        u32 cap = static_cast<u32>(
+            std::min<u64>(config_.maxMatchLength, input.size() - pos));
+        u32 len = matchLengthAt(input, cand, pos, cap);
+        if (len >= config_.minMatchLength && len > best.length) {
+            best.position = cand;
+            best.length = len;
+        }
+    }
+    return best;
+}
+
+Parse
+MatchFinder::parse(ByteSpan input, MatchFinderStats *stats_out)
+{
+    table_.reset();
+    MatchFinderStats stats;
+    Parse parse;
+    parse.inputSize = input.size();
+
+    // Need minMatch hashable bytes plus slack for the 64-bit loads used
+    // by the fibonacci64 hash.
+    const std::size_t hash_bytes =
+        config_.hashTable.hashFunction == HashFunction::fibonacci64 ? 8 : 4;
+    if (input.size() < hash_bytes + 1) {
+        parse.literalTailStart = 0;
+        stats.literalBytes = input.size();
+        if (stats_out)
+            *stats_out = stats;
+        return parse;
+    }
+    const std::size_t hash_limit = input.size() - hash_bytes;
+
+    std::size_t literal_start = 0;
+    std::size_t pos = 0;
+    u32 miss_streak = 0;
+
+    while (pos <= hash_limit) {
+        Candidate best = bestMatchAt(input, pos, stats);
+
+        if (best.length == 0) {
+            ++miss_streak;
+            // Snappy-style acceleration: step further through data that
+            // keeps missing, trading ratio for speed (software only).
+            std::size_t step = 1;
+            if (config_.skipAcceleration)
+                step = 1 + (miss_streak >> 5);
+            pos += step;
+            continue;
+        }
+
+        if (config_.lazyMatching && pos + 1 <= hash_limit &&
+            best.length < 64) {
+            // Peek one position ahead; prefer a strictly longer match
+            // there (classic one-step lazy evaluation).
+            Candidate next = bestMatchAt(input, pos + 1, stats);
+            if (next.length > best.length + 1) {
+                ++pos;
+                best = next;
+            }
+        }
+
+        miss_streak = 0;
+        Sequence seq;
+        seq.literalLength = static_cast<u32>(pos - literal_start);
+        seq.matchLength = best.length;
+        seq.offset = static_cast<u32>(pos - best.position);
+        parse.sequences.push_back(seq);
+        stats.literalBytes += seq.literalLength;
+        stats.matchBytes += seq.matchLength;
+        ++stats.matchesEmitted;
+
+        // Insert a few positions inside the match so future data can
+        // reference it, then jump past it (greedy codecs insert sparsely;
+        // inserting every position is the chain-table regime).
+        std::size_t match_end = pos + best.length;
+        std::size_t insert_stride = best.length >= 64 ? 8 : 2;
+        for (std::size_t p = pos + 1;
+             p < match_end && p <= hash_limit;
+             p += insert_stride) {
+            table_.insert(input, p);
+        }
+        pos = match_end;
+        literal_start = pos;
+    }
+
+    parse.literalTailStart = literal_start;
+    stats.literalBytes += input.size() - literal_start;
+    if (stats_out)
+        *stats_out = stats;
+    return parse;
+}
+
+} // namespace cdpu::lz77

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The (literal-run, match) sequence representation shared by the LZ77
+ * parser, both codec back-ends, and the CDPU hardware models.
+ *
+ * A parse of the input is a list of Sequence records followed by a final
+ * run of trailing literals. Each Sequence says: copy literalLength bytes
+ * verbatim from the input cursor, then copy matchLength bytes from
+ * `offset` bytes back in the output produced so far. This mirrors the
+ * (offset, length, literal) triple format in Section 2.1 of the paper.
+ */
+
+#ifndef CDPU_LZ77_SEQUENCE_H_
+#define CDPU_LZ77_SEQUENCE_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace cdpu::lz77
+{
+
+/** One literal-run + back-reference step of an LZ77 parse. */
+struct Sequence
+{
+    u32 literalLength = 0; ///< Bytes emitted verbatim before the match.
+    u32 matchLength = 0;   ///< Bytes copied from history (0 only at tail).
+    u32 offset = 0;        ///< Distance back into produced output; >= 1.
+
+    bool operator==(const Sequence &) const = default;
+};
+
+/** Complete parse: sequences plus the index where trailing literals
+ *  begin (the tail [literalTailStart, inputSize) is emitted verbatim). */
+struct Parse
+{
+    std::vector<Sequence> sequences;
+    std::size_t literalTailStart = 0;
+    std::size_t inputSize = 0;
+};
+
+/**
+ * Reconstructs the original input from a parse and the literal bytes.
+ * Used by tests to check parser correctness independent of any format.
+ */
+Bytes reconstruct(const Parse &parse, ByteSpan input);
+
+} // namespace cdpu::lz77
+
+#endif // CDPU_LZ77_SEQUENCE_H_

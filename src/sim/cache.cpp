@@ -1,0 +1,76 @@
+#include "sim/cache.h"
+
+#include <cassert>
+
+namespace cdpu::sim
+{
+
+SetAssocCache::SetAssocCache(const CacheConfig &config)
+    : config_(config), lines_(config.sets() * config.ways)
+{
+    assert(config.sets() >= 1);
+    assert((config.sets() & (config.sets() - 1)) == 0 &&
+           "set count must be a power of two");
+}
+
+std::size_t
+SetAssocCache::setIndex(u64 addr) const
+{
+    return (addr / config_.lineBytes) & (config_.sets() - 1);
+}
+
+u64
+SetAssocCache::tagOf(u64 addr) const
+{
+    return (addr / config_.lineBytes) / config_.sets();
+}
+
+bool
+SetAssocCache::access(u64 addr)
+{
+    Line *set = &lines_[setIndex(addr) * config_.ways];
+    u64 tag = tagOf(addr);
+    ++useCounter_;
+
+    Line *victim = set;
+    for (unsigned way = 0; way < config_.ways; ++way) {
+        if (set[way].valid && set[way].tag == tag) {
+            set[way].lastUse = useCounter_;
+            ++stats_.hits;
+            return true;
+        }
+        if (!set[way].valid) {
+            victim = &set[way];
+        } else if (victim->valid && set[way].lastUse < victim->lastUse) {
+            victim = &set[way];
+        }
+    }
+    ++stats_.misses;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useCounter_;
+    return false;
+}
+
+bool
+SetAssocCache::probe(u64 addr) const
+{
+    const Line *set = &lines_[setIndex(addr) * config_.ways];
+    u64 tag = tagOf(addr);
+    for (unsigned way = 0; way < config_.ways; ++way) {
+        if (set[way].valid && set[way].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+SetAssocCache::reset()
+{
+    for (Line &line : lines_)
+        line.valid = false;
+    useCounter_ = 0;
+    stats_ = CacheStats{};
+}
+
+} // namespace cdpu::sim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement.
+ *
+ * Used by the memory hierarchy (Figure 8: CDPU memory accesses go
+ * through the shared L2 and LLC) to decide where an off-chip history
+ * lookup lands, which sets the fallback latency for small on-CDPU
+ * history SRAMs (Sections 3.6 and 6.2).
+ */
+
+#ifndef CDPU_SIM_CACHE_H_
+#define CDPU_SIM_CACHE_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace cdpu::sim
+{
+
+/** Cache geometry. */
+struct CacheConfig
+{
+    std::size_t sizeBytes = 1 * kMiB;
+    unsigned ways = 8;
+    unsigned lineBytes = 64;
+
+    std::size_t sets() const { return sizeBytes / (ways * lineBytes); }
+};
+
+/** Hit/miss counters. */
+struct CacheStats
+{
+    u64 hits = 0;
+    u64 misses = 0;
+
+    double
+    hitRate() const
+    {
+        u64 total = hits + misses;
+        return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+};
+
+/** Tag-only set-associative LRU cache. */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheConfig &config);
+
+    /**
+     * Accesses the line containing @p addr; allocates on miss.
+     * @return true on hit.
+     */
+    bool access(u64 addr);
+
+    /** True if the line is resident (no allocation, no LRU update). */
+    bool probe(u64 addr) const;
+
+    /** Invalidates all lines and clears statistics. */
+    void reset();
+
+    const CacheConfig &config() const { return config_; }
+    const CacheStats &stats() const { return stats_; }
+
+  private:
+    struct Line
+    {
+        u64 tag = 0;
+        u64 lastUse = 0;
+        bool valid = false;
+    };
+
+    std::size_t setIndex(u64 addr) const;
+    u64 tagOf(u64 addr) const;
+
+    CacheConfig config_;
+    std::vector<Line> lines_; ///< sets() * ways entries.
+    u64 useCounter_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace cdpu::sim
+
+#endif // CDPU_SIM_CACHE_H_

@@ -1,0 +1,40 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+
+namespace cdpu::sim
+{
+
+void
+EventQueue::schedule(Tick when, Callback callback)
+{
+    assert(when >= now_);
+    events_.push({when, nextSequence_++, std::move(callback)});
+}
+
+void
+EventQueue::scheduleIn(Tick delay, Callback callback)
+{
+    schedule(now_ + delay, std::move(callback));
+}
+
+void
+EventQueue::step()
+{
+    assert(!events_.empty());
+    // Copy out before popping: the callback may schedule new events.
+    Event event = events_.top();
+    events_.pop();
+    now_ = event.when;
+    event.callback();
+}
+
+Tick
+EventQueue::runToCompletion()
+{
+    while (!events_.empty())
+        step();
+    return now_;
+}
+
+} // namespace cdpu::sim

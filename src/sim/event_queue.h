@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal discrete-event simulation kernel.
+ *
+ * The CDPU evaluation substitutes the paper's FireSim RTL simulation
+ * with a transaction-level model (DESIGN.md §2). The kernel here orders
+ * request completions inside that model: the memory-port stream model
+ * (stream_model.h) uses it to simulate a memloader with a bounded
+ * number of outstanding line requests, which is what exposes link
+ * latency on PCIe/chiplet placements.
+ */
+
+#ifndef CDPU_SIM_EVENT_QUEUE_H_
+#define CDPU_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cdpu::sim
+{
+
+/** Simulation time in accelerator clock cycles. */
+using Tick = u64;
+
+/** Priority queue of (tick, sequence, callback) events. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedules @p callback at absolute time @p when (>= now). */
+    void schedule(Tick when, Callback callback);
+
+    /** Schedules @p callback @p delay ticks from now. */
+    void scheduleIn(Tick delay, Callback callback);
+
+    /** Current simulation time. */
+    Tick now() const { return now_; }
+
+    /** True when no events are pending. */
+    bool empty() const { return events_.empty(); }
+
+    /** Pops and runs the next event; advances now(). */
+    void step();
+
+    /** Runs until the queue drains; returns the final time. */
+    Tick runToCompletion();
+
+  private:
+    struct Event
+    {
+        Tick when;
+        u64 sequence; ///< FIFO tie-break for same-tick events.
+        Callback callback;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    Tick now_ = 0;
+    u64 nextSequence_ = 0;
+};
+
+} // namespace cdpu::sim
+
+#endif // CDPU_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,59 @@
+#include "sim/memory_hierarchy.h"
+
+#include <cmath>
+
+namespace cdpu::sim
+{
+
+MemoryHierarchy::MemoryHierarchy(const MemoryConfig &config)
+    : config_(config), l2_(config.l2), llc_(config.llc)
+{}
+
+u64
+MemoryHierarchy::access(u64 addr, std::size_t bytes)
+{
+    ++stats_.accesses;
+    stats_.bytesTouched += bytes;
+
+    u64 latency;
+    if (l2_.access(addr)) {
+        ++stats_.l2Hits;
+        latency = config_.l2LatencyCycles;
+    } else if (llc_.access(addr)) {
+        ++stats_.llcHits;
+        latency = config_.l2LatencyCycles + config_.llcLatencyCycles;
+    } else {
+        // The LLC miss above already allocated the line there.
+        ++stats_.dramAccesses;
+        latency = config_.l2LatencyCycles + config_.llcLatencyCycles +
+                  config_.dramLatencyCycles;
+    }
+
+    // Burst occupancy beyond the first line.
+    latency += static_cast<u64>(
+        std::ceil(static_cast<double>(bytes) / config_.busBytesPerCycle));
+    stats_.totalLatencyCycles += latency;
+    return latency;
+}
+
+void
+MemoryHierarchy::touchStream(u64 addr, std::size_t bytes)
+{
+    stats_.bytesTouched += bytes;
+    unsigned line = config_.l2.lineBytes;
+    for (u64 a = addr & ~static_cast<u64>(line - 1); a < addr + bytes;
+         a += line) {
+        if (!l2_.access(a))
+            llc_.access(a);
+    }
+}
+
+void
+MemoryHierarchy::reset()
+{
+    l2_.reset();
+    llc_.reset();
+    stats_ = MemoryStats{};
+}
+
+} // namespace cdpu::sim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * L2 / LLC / DRAM latency model behind the CDPU's memory port.
+ *
+ * Figure 8: all CDPU memory traffic goes through the shared L2 and
+ * LLC over a 256-bit TileLink bus. This model returns per-access
+ * latencies using the set-associative cache models and counts traffic
+ * for the DSE reports.
+ */
+
+#ifndef CDPU_SIM_MEMORY_HIERARCHY_H_
+#define CDPU_SIM_MEMORY_HIERARCHY_H_
+
+#include "sim/cache.h"
+
+namespace cdpu::sim
+{
+
+/** Latency and geometry parameters (defaults model the paper's SoC:
+ *  BOOM-class core complex at 2 GHz with 256-bit system bus). */
+struct MemoryConfig
+{
+    CacheConfig l2{.sizeBytes = 1 * kMiB, .ways = 8, .lineBytes = 64};
+    CacheConfig llc{.sizeBytes = 4 * kMiB, .ways = 16, .lineBytes = 64};
+    u64 l2LatencyCycles = 20;
+    u64 llcLatencyCycles = 45;
+    u64 dramLatencyCycles = 160;
+    /** 256-bit bus at core clock. */
+    double busBytesPerCycle = 32.0;
+};
+
+/** Aggregate traffic counters. */
+struct MemoryStats
+{
+    u64 accesses = 0;
+    u64 l2Hits = 0;
+    u64 llcHits = 0;
+    u64 dramAccesses = 0;
+    u64 bytesTouched = 0;
+    u64 totalLatencyCycles = 0;
+};
+
+/** Two-level cache + DRAM latency model. */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const MemoryConfig &config = {});
+
+    /**
+     * A dependent (serialized) access of @p bytes at @p addr.
+     * @return Latency in cycles for the critical word, plus occupancy
+     *         for the burst length.
+     */
+    u64 access(u64 addr, std::size_t bytes);
+
+    /**
+     * Marks @p bytes at @p addr as streamed through the hierarchy
+     * (fills cache state, counts traffic) without a latency result;
+     * bulk streams are bandwidth- not latency-bound.
+     */
+    void touchStream(u64 addr, std::size_t bytes);
+
+    /** Invalidates caches and clears statistics. */
+    void reset();
+
+    const MemoryConfig &config() const { return config_; }
+    const MemoryStats &stats() const { return stats_; }
+
+  private:
+    MemoryConfig config_;
+    SetAssocCache l2_;
+    SetAssocCache llc_;
+    MemoryStats stats_;
+};
+
+} // namespace cdpu::sim
+
+#endif // CDPU_SIM_MEMORY_HIERARCHY_H_

@@ -1,0 +1,57 @@
+#include "sim/placement.h"
+
+#include <cmath>
+
+namespace cdpu::sim
+{
+
+std::vector<Placement>
+allPlacements()
+{
+    return {Placement::rocc, Placement::chiplet,
+            Placement::pcieLocalCache, Placement::pcieNoCache};
+}
+
+std::string
+placementName(Placement placement)
+{
+    switch (placement) {
+      case Placement::rocc: return "RoCC";
+      case Placement::chiplet: return "Chiplet";
+      case Placement::pcieLocalCache: return "PCIeLocalCache";
+      case Placement::pcieNoCache: return "PCIeNoCache";
+    }
+    return "unknown";
+}
+
+PlacementModel
+placementModel(Placement placement, double clock_ghz)
+{
+    auto ns_to_cycles = [clock_ghz](double ns) {
+        return static_cast<u64>(std::llround(ns * clock_ghz));
+    };
+
+    PlacementModel model;
+    switch (placement) {
+      case Placement::rocc:
+        model.linkLatencyCycles = 0;
+        model.intermediateCrossesLink = false;
+        break;
+      case Placement::chiplet:
+        model.linkLatencyCycles = ns_to_cycles(25.0);
+        model.intermediateCrossesLink = true;
+        break;
+      case Placement::pcieLocalCache:
+        model.linkLatencyCycles = ns_to_cycles(200.0);
+        model.intermediateCrossesLink = false;
+        model.intermediateExtraCycles = ns_to_cycles(60.0);
+        break;
+      case Placement::pcieNoCache:
+        model.linkLatencyCycles = ns_to_cycles(200.0);
+        model.intermediateCrossesLink = true;
+        break;
+    }
+    return model;
+}
+
+} // namespace cdpu::sim

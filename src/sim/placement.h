@@ -1,0 +1,82 @@
+/**
+ * @file
+ * CDPU placement models (Section 5.8, parameter 1).
+ *
+ * Each placement injects latency on accelerator<->memory crossings,
+ * replicating the paper's FireSim latency-injection methodology:
+ *   - RoCC:            near-core, no injected latency
+ *   - Chiplet:         25 ns per crossing
+ *   - PCIeLocalCache:  200 ns for raw input + final output only; the
+ *                      card's local SRAM/DRAM absorbs intermediate
+ *                      accesses (history fallbacks)
+ *   - PCIeNoCache:     200 ns for every request
+ * Latencies follow the paper's citations ([48] for PCIe).
+ */
+
+#ifndef CDPU_SIM_PLACEMENT_H_
+#define CDPU_SIM_PLACEMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cdpu::sim
+{
+
+/** Where the CDPU sits in the system. */
+enum class Placement
+{
+    rocc,
+    chiplet,
+    pcieLocalCache,
+    pcieNoCache,
+};
+
+/** All placements, in the paper's plotting order. */
+std::vector<Placement> allPlacements();
+
+/** Display name matching the paper's figure legends. */
+std::string placementName(Placement placement);
+
+/** Per-placement latency/queueing parameters. */
+struct PlacementModel
+{
+    /** Injected one-way latency per crossing, in accelerator cycles. */
+    u64 linkLatencyCycles = 0;
+    /** Outstanding line requests the interface sustains; bounds how
+     *  much of the link latency pipelining can hide. */
+    unsigned maxOutstanding = 16;
+    /** Whether intermediate (history-fallback) accesses also cross the
+     *  link (false for PCIeLocalCache, which has on-card storage). */
+    bool intermediateCrossesLink = true;
+
+    /** Extra latency for intermediate accesses served by placement-
+     *  local storage (PCIeLocalCache's on-card DRAM is slower than the
+     *  host L2 the near-core designs use). */
+    u64 intermediateExtraCycles = 0;
+
+    /** Effective streaming throughput in bytes/cycle for bulk
+     *  transfers of @p line_bytes-byte requests, given the underlying
+     *  memory system sustains @p mem_bytes_per_cycle. */
+    double
+    streamBandwidth(unsigned line_bytes,
+                    double mem_bytes_per_cycle) const
+    {
+        if (linkLatencyCycles == 0)
+            return mem_bytes_per_cycle;
+        double link_bw =
+            static_cast<double>(maxOutstanding) * line_bytes /
+            static_cast<double>(linkLatencyCycles);
+        return std::min(mem_bytes_per_cycle, link_bw);
+    }
+};
+
+/** The paper's model for @p placement at @p clock_ghz (default 2 GHz,
+ *  the evaluation's CDPU clock). */
+PlacementModel placementModel(Placement placement,
+                              double clock_ghz = 2.0);
+
+} // namespace cdpu::sim
+
+#endif // CDPU_SIM_PLACEMENT_H_

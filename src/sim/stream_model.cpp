@@ -1,0 +1,67 @@
+#include "sim/stream_model.h"
+
+#include <cmath>
+
+namespace cdpu::sim
+{
+
+Tick
+simulateStreamDes(std::size_t bytes, const PlacementModel &model,
+                  MemoryHierarchy &memory, u64 base_addr,
+                  unsigned line_bytes)
+{
+    if (bytes == 0)
+        return 0;
+    const std::size_t lines = (bytes + line_bytes - 1) / line_bytes;
+
+    EventQueue queue;
+    std::size_t issued = 0;
+    std::size_t completed = 0;
+    unsigned in_flight = 0;
+    Tick finish = 0;
+
+    // Issue requests up to the outstanding window; each completion
+    // frees a slot and issues the next line.
+    std::function<void()> issue_more = [&]() {
+        while (in_flight < model.maxOutstanding && issued < lines) {
+            u64 addr = base_addr + issued * line_bytes;
+            ++issued;
+            ++in_flight;
+            u64 mem_latency = memory.access(addr, line_bytes);
+            Tick total = 2 * model.linkLatencyCycles + mem_latency;
+            queue.scheduleIn(total, [&]() {
+                --in_flight;
+                ++completed;
+                if (completed == lines)
+                    finish = queue.now();
+                issue_more();
+            });
+        }
+    };
+    issue_more();
+    queue.runToCompletion();
+    return finish;
+}
+
+Tick
+streamCyclesAnalytic(std::size_t bytes, const PlacementModel &model,
+                     double mem_bytes_per_cycle, u64 mem_latency_cycles,
+                     unsigned line_bytes)
+{
+    if (bytes == 0)
+        return 0;
+    // Startup: one full round trip for the first line.
+    Tick startup = 2 * model.linkLatencyCycles + mem_latency_cycles;
+    // Steady state: bounded outstanding window over the round-trip
+    // time, capped by the memory bus.
+    double round_trip = static_cast<double>(2 * model.linkLatencyCycles +
+                                            mem_latency_cycles);
+    double window_bw =
+        static_cast<double>(model.maxOutstanding) * line_bytes /
+        round_trip;
+    double bw = std::min(mem_bytes_per_cycle, window_bw);
+    return startup +
+           static_cast<Tick>(std::ceil(static_cast<double>(bytes) / bw));
+}
+
+} // namespace cdpu::sim

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Memloader/Memwriter streaming model.
+ *
+ * The paper's system-interface blocks (Section 5.1) stream data between
+ * the CDPU and the L2 over TileLink. Two implementations are provided:
+ *
+ *  - simulateStreamDes(): a discrete-event simulation of a loader with
+ *    a bounded number of outstanding 64-byte line requests, each
+ *    completing after (link latency + memory latency). This is the
+ *    reference model.
+ *  - streamCyclesAnalytic(): the closed form the CDPU models use in
+ *    design-space sweeps (identical asymptotics; validated against the
+ *    DES model by tests/sim_test.cpp).
+ *
+ * Both expose the effect the paper measures: with a 200 ns PCIe link
+ * the bounded request window caps effective bandwidth well below the
+ * bus, which is what collapses decompression speedups for the fleet's
+ * small calls (Section 6.2).
+ */
+
+#ifndef CDPU_SIM_STREAM_MODEL_H_
+#define CDPU_SIM_STREAM_MODEL_H_
+
+#include "sim/event_queue.h"
+#include "sim/memory_hierarchy.h"
+#include "sim/placement.h"
+
+namespace cdpu::sim
+{
+
+/** DES reference: cycles to stream @p bytes through a loader with
+ *  @p model's link and @p line_bytes requests over @p memory. */
+Tick simulateStreamDes(std::size_t bytes, const PlacementModel &model,
+                       MemoryHierarchy &memory, u64 base_addr,
+                       unsigned line_bytes = 64);
+
+/** Closed form used in sweeps: startup latency + bandwidth-bound
+ *  transfer at the placement's effective stream bandwidth. */
+Tick streamCyclesAnalytic(std::size_t bytes, const PlacementModel &model,
+                          double mem_bytes_per_cycle,
+                          u64 mem_latency_cycles,
+                          unsigned line_bytes = 64);
+
+} // namespace cdpu::sim
+
+#endif // CDPU_SIM_STREAM_MODEL_H_

@@ -1,0 +1,46 @@
+#include "sim/tlb.h"
+
+namespace cdpu::sim
+{
+
+bool
+Tlb::access(u64 addr)
+{
+    u64 page = addr >> pageLog_;
+    auto it = map_.find(page);
+    if (it != map_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ++stats_.hits;
+        return true;
+    }
+    ++stats_.misses;
+    if (map_.size() >= entries_) {
+        map_.erase(lru_.back());
+        lru_.pop_back();
+    }
+    lru_.push_front(page);
+    map_[page] = lru_.begin();
+    return false;
+}
+
+u64
+Tlb::accessRange(u64 addr, std::size_t bytes)
+{
+    if (bytes == 0)
+        return 0;
+    u64 misses = 0;
+    u64 first = addr >> pageLog_;
+    u64 last = (addr + bytes - 1) >> pageLog_;
+    for (u64 page = first; page <= last; ++page)
+        misses += access(page << pageLog_) ? 0 : 1;
+    return misses;
+}
+
+void
+Tlb::flush()
+{
+    lru_.clear();
+    map_.clear();
+}
+
+} // namespace cdpu::sim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Accelerator TLB model (Figure 8: the CDPU issues virtually-addressed
+ * requests through TLBs backed by the page-table walker).
+ *
+ * Fully-associative LRU over page numbers. Misses cost page-table
+ * walks through the memory hierarchy; for streaming accelerators the
+ * page-crossing rate is low (one per 4 KiB), but small TLBs interact
+ * with the fleet's many-small-calls profile — an ablation the
+ * bench_ablation_tlb binary explores.
+ */
+
+#ifndef CDPU_SIM_TLB_H_
+#define CDPU_SIM_TLB_H_
+
+#include <list>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace cdpu::sim
+{
+
+/** TLB statistics. */
+struct TlbStats
+{
+    u64 hits = 0;
+    u64 misses = 0;
+};
+
+/** Fully-associative LRU TLB. */
+class Tlb
+{
+  public:
+    explicit Tlb(unsigned entries, unsigned page_log = 12)
+        : entries_(entries), pageLog_(page_log)
+    {}
+
+    /** Translates the page containing @p addr. @return true on hit. */
+    bool access(u64 addr);
+
+    /**
+     * Touches every page in [addr, addr + bytes); returns the number
+     * of misses (used for bulk stream transfers).
+     */
+    u64 accessRange(u64 addr, std::size_t bytes);
+
+    /** Flushes all entries (context switch between calls, when the
+     *  accelerator is shared across address spaces). */
+    void flush();
+
+    const TlbStats &stats() const { return stats_; }
+    unsigned entries() const { return entries_; }
+    std::size_t pageBytes() const { return std::size_t{1} << pageLog_; }
+
+  private:
+    unsigned entries_;
+    unsigned pageLog_;
+    std::list<u64> lru_; ///< Front = most recent.
+    std::unordered_map<u64, std::list<u64>::iterator> map_;
+    TlbStats stats_;
+};
+
+} // namespace cdpu::sim
+
+#endif // CDPU_SIM_TLB_H_

@@ -1,0 +1,130 @@
+#include "snappy/decompress.h"
+
+#include <algorithm>
+
+#include "common/varint.h"
+
+namespace cdpu::snappy
+{
+
+Status
+decodeElements(ByteSpan data, std::size_t pos, u64 expected,
+               std::vector<Element> &elements)
+{
+    u64 produced = 0;
+    while (pos < data.size()) {
+        u8 tag = data[pos++];
+        Element el;
+        el.type = static_cast<ElementType>(tag & 3);
+        switch (el.type) {
+          case ElementType::literal: {
+            u32 n = tag >> 2;
+            if (n >= kMaxInlineLiteral) {
+                unsigned extra = n - kMaxInlineLiteral + 1; // 1..4 bytes
+                if (pos + extra > data.size())
+                    return Status::corrupt("literal length truncated");
+                n = 0;
+                for (unsigned i = 0; i < extra; ++i)
+                    n |= static_cast<u32>(data[pos++]) << (8 * i);
+            }
+            el.length = n + 1;
+            el.src = pos;
+            if (pos + el.length > data.size())
+                return Status::corrupt("literal body truncated");
+            pos += el.length;
+            break;
+          }
+          case ElementType::copy1: {
+            if (pos + 1 > data.size())
+                return Status::corrupt("copy1 truncated");
+            el.length = 4 + ((tag >> 2) & 0x7);
+            el.offset = (static_cast<u32>(tag >> 5) << 8) | data[pos++];
+            break;
+          }
+          case ElementType::copy2: {
+            if (pos + 2 > data.size())
+                return Status::corrupt("copy2 truncated");
+            el.length = (tag >> 2) + 1;
+            el.offset = static_cast<u32>(data[pos]) |
+                        (static_cast<u32>(data[pos + 1]) << 8);
+            pos += 2;
+            break;
+          }
+          case ElementType::copy4: {
+            if (pos + 4 > data.size())
+                return Status::corrupt("copy4 truncated");
+            el.length = (tag >> 2) + 1;
+            el.offset = 0;
+            for (unsigned i = 0; i < 4; ++i)
+                el.offset |= static_cast<u32>(data[pos++]) << (8 * i);
+            break;
+          }
+        }
+        if (el.type != ElementType::literal) {
+            if (el.offset == 0)
+                return Status::corrupt("copy with zero offset");
+            if (el.offset > produced)
+                return Status::corrupt("copy offset exceeds history");
+        }
+        produced += el.length;
+        if (produced > expected)
+            return Status::corrupt("stream produces more than preamble");
+        elements.push_back(el);
+    }
+    if (produced != expected)
+        return Status::corrupt("stream produces less than preamble");
+    return Status::okStatus();
+}
+
+Result<u64>
+uncompressedLength(ByteSpan data)
+{
+    std::size_t pos = 0;
+    return getVarint(data, pos);
+}
+
+Status
+applyElements(ByteSpan data, const std::vector<Element> &elements,
+              u64 expected_size, Bytes &out)
+{
+    out.clear();
+    // Reserve conservatively: the preamble is untrusted until the
+    // element stream fully validates.
+    out.reserve(std::min<u64>(expected_size, 64 * kMiB));
+    for (const auto &el : elements) {
+        if (el.type == ElementType::literal) {
+            out.insert(out.end(), data.begin() + el.src,
+                       data.begin() + el.src + el.length);
+        } else {
+            if (el.offset > out.size())
+                return Status::corrupt("copy offset exceeds history");
+            std::size_t from = out.size() - el.offset;
+            for (u32 i = 0; i < el.length; ++i)
+                out.push_back(out[from + i]);
+        }
+    }
+    if (out.size() != expected_size)
+        return Status::internal("element replay size mismatch");
+    return Status::okStatus();
+}
+
+Result<Bytes>
+decompress(ByteSpan data)
+{
+    std::size_t pos = 0;
+    auto length = getVarint(data, pos);
+    if (!length.ok())
+        return length.status();
+    if (length.value() > (1ull << 32))
+        return Status::corrupt("implausible uncompressed length");
+
+    std::vector<Element> elements;
+    CDPU_RETURN_IF_ERROR(
+        decodeElements(data, pos, length.value(), elements));
+
+    Bytes out;
+    CDPU_RETURN_IF_ERROR(applyElements(data, elements, length.value(), out));
+    return out;
+}
+
+} // namespace cdpu::snappy

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Snappy decompressor with full corruption checking.
+ */
+
+#ifndef CDPU_SNAPPY_DECOMPRESS_H_
+#define CDPU_SNAPPY_DECOMPRESS_H_
+
+#include "snappy/format.h"
+
+namespace cdpu::snappy
+{
+
+/** Returns the uncompressed length claimed by @p data's preamble. */
+Result<u64> uncompressedLength(ByteSpan data);
+
+/**
+ * Decompresses a buffer produced by compress().
+ *
+ * Corrupt input (bad varint, out-of-range offsets, truncated literals,
+ * or length mismatch) yields a corruptData status; the function never
+ * reads outside @p data.
+ */
+Result<Bytes> decompress(ByteSpan data);
+
+/**
+ * Applies a decoded element stream to produce output. Shared between the
+ * software decoder and the CDPU decompressor model, which replays the
+ * same elements through its history-SRAM cycle model.
+ */
+Status applyElements(ByteSpan data, const std::vector<Element> &elements,
+                     u64 expected_size, Bytes &out);
+
+} // namespace cdpu::snappy
+
+#endif // CDPU_SNAPPY_DECOMPRESS_H_

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Snappy wire-format definitions.
+ *
+ * Implemented from the published format description
+ * (google/snappy format_description.txt): a varint uncompressed-length
+ * preamble followed by tagged elements. The low two bits of each tag byte
+ * select the element type; literals of up to 60 bytes encode their length
+ * in the tag, longer literals use 1-4 extra length bytes. Copies come in
+ * 1-, 2- and 4-byte-offset flavors.
+ */
+
+#ifndef CDPU_SNAPPY_FORMAT_H_
+#define CDPU_SNAPPY_FORMAT_H_
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace cdpu::snappy
+{
+
+/** Element tag types (low 2 bits of the tag byte). */
+enum class ElementType : u8
+{
+    literal = 0,
+    copy1 = 1, ///< 4-11 byte length, 11-bit offset.
+    copy2 = 2, ///< 1-64 byte length, 16-bit offset.
+    copy4 = 3, ///< 1-64 byte length, 32-bit offset.
+};
+
+/** One decoded stream element, consumed by both the software decoder and
+ *  the CDPU decompressor model. */
+struct Element
+{
+    ElementType type = ElementType::literal;
+    u32 length = 0;     ///< Bytes produced by this element.
+    u32 offset = 0;     ///< Copy distance (0 for literals).
+    std::size_t src = 0; ///< For literals: position of the bytes in the
+                         ///< compressed stream.
+};
+
+/** Snappy compresses in independent 64 KiB fragments; matches never span
+ *  a fragment boundary and offsets never exceed this. */
+inline constexpr std::size_t kBlockSize = 64 * kKiB;
+
+/** Longest literal length encodable in the tag byte alone. */
+inline constexpr u32 kMaxInlineLiteral = 60;
+
+/**
+ * Parses the element stream following the preamble.
+ *
+ * @param data        Full compressed buffer.
+ * @param pos         Offset of the first tag byte (past the preamble).
+ * @param expected    Claimed uncompressed size (bounds validation).
+ * @param elements    Output element list, appended in stream order.
+ * @return OK, or a corruption status describing the first defect.
+ */
+Status decodeElements(ByteSpan data, std::size_t pos, u64 expected,
+                      std::vector<Element> &elements);
+
+} // namespace cdpu::snappy
+
+#endif // CDPU_SNAPPY_FORMAT_H_

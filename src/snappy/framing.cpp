@@ -1,0 +1,179 @@
+#include "snappy/framing.h"
+
+#include "common/crc32c.h"
+#include "snappy/decompress.h"
+
+namespace cdpu::snappy
+{
+
+namespace
+{
+
+const char kStreamIdentifier[] = "sNaPpY";
+
+void
+putChunkHeader(Bytes &out, ChunkType type, std::size_t length)
+{
+    out.push_back(static_cast<u8>(type));
+    out.push_back(static_cast<u8>(length & 0xff));
+    out.push_back(static_cast<u8>((length >> 8) & 0xff));
+    out.push_back(static_cast<u8>((length >> 16) & 0xff));
+}
+
+void
+putLe32(Bytes &out, u32 value)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        out.push_back(static_cast<u8>(value >> (8 * i)));
+}
+
+u32
+getLe32(ByteSpan data, std::size_t pos)
+{
+    u32 value = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        value |= static_cast<u32>(data[pos + i]) << (8 * i);
+    return value;
+}
+
+} // namespace
+
+FrameWriter::FrameWriter()
+{
+    putChunkHeader(out_, ChunkType::streamIdentifier, 6);
+    out_.insert(out_.end(), kStreamIdentifier, kStreamIdentifier + 6);
+}
+
+void
+FrameWriter::write(ByteSpan data)
+{
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+        std::size_t take = std::min(kMaxChunkPayload - pending_.size(),
+                                    data.size() - pos);
+        pending_.insert(pending_.end(), data.begin() + pos,
+                        data.begin() + pos + take);
+        pos += take;
+        if (pending_.size() == kMaxChunkPayload) {
+            emitChunk(pending_);
+            pending_.clear();
+        }
+    }
+}
+
+void
+FrameWriter::emitChunk(ByteSpan payload)
+{
+    u32 masked = maskCrc(crc32c(payload));
+    Bytes compressed = compress(payload, config_);
+    if (compressed.size() < payload.size()) {
+        putChunkHeader(out_, ChunkType::compressedData,
+                       4 + compressed.size());
+        putLe32(out_, masked);
+        out_.insert(out_.end(), compressed.begin(), compressed.end());
+    } else {
+        putChunkHeader(out_, ChunkType::uncompressedData,
+                       4 + payload.size());
+        putLe32(out_, masked);
+        out_.insert(out_.end(), payload.begin(), payload.end());
+    }
+}
+
+Bytes
+FrameWriter::finish()
+{
+    if (!pending_.empty()) {
+        emitChunk(pending_);
+        pending_.clear();
+    }
+    Bytes result = std::move(out_);
+    out_.clear();
+    putChunkHeader(out_, ChunkType::streamIdentifier, 6);
+    out_.insert(out_.end(), kStreamIdentifier, kStreamIdentifier + 6);
+    return result;
+}
+
+Bytes
+frameCompress(ByteSpan data)
+{
+    FrameWriter writer;
+    writer.write(data);
+    return writer.finish();
+}
+
+Result<Bytes>
+frameDecompress(ByteSpan framed)
+{
+    std::size_t pos = 0;
+    Bytes out;
+    bool saw_identifier = false;
+
+    while (pos < framed.size()) {
+        if (pos + 4 > framed.size())
+            return Status::corrupt("framing chunk header truncated");
+        u8 type_byte = framed[pos];
+        std::size_t length = framed[pos + 1] |
+                             (static_cast<std::size_t>(framed[pos + 2])
+                              << 8) |
+                             (static_cast<std::size_t>(framed[pos + 3])
+                              << 16);
+        pos += 4;
+        if (pos + length > framed.size())
+            return Status::corrupt("framing chunk body truncated");
+        ByteSpan body = framed.subspan(pos, length);
+        pos += length;
+
+        if (type_byte ==
+            static_cast<u8>(ChunkType::streamIdentifier)) {
+            if (length != 6 ||
+                !std::equal(body.begin(), body.end(),
+                            kStreamIdentifier)) {
+                return Status::corrupt("bad stream identifier");
+            }
+            saw_identifier = true;
+            continue;
+        }
+        if (!saw_identifier)
+            return Status::corrupt("data before stream identifier");
+
+        switch (type_byte) {
+          case static_cast<u8>(ChunkType::compressedData): {
+            if (length < 4)
+                return Status::corrupt("compressed chunk too short");
+            u32 expected = unmaskCrc(getLe32(body, 0));
+            auto payload = decompress(body.subspan(4));
+            if (!payload.ok())
+                return payload.status();
+            if (payload.value().size() > kMaxChunkPayload)
+                return Status::corrupt("chunk exceeds 64 KiB limit");
+            if (crc32c(payload.value()) != expected)
+                return Status::corrupt("chunk CRC mismatch");
+            out.insert(out.end(), payload.value().begin(),
+                       payload.value().end());
+            break;
+          }
+          case static_cast<u8>(ChunkType::uncompressedData): {
+            if (length < 4)
+                return Status::corrupt("uncompressed chunk too short");
+            ByteSpan payload = body.subspan(4);
+            if (payload.size() > kMaxChunkPayload)
+                return Status::corrupt("chunk exceeds 64 KiB limit");
+            if (crc32c(payload) != unmaskCrc(getLe32(body, 0)))
+                return Status::corrupt("chunk CRC mismatch");
+            out.insert(out.end(), payload.begin(), payload.end());
+            break;
+          }
+          default:
+            // Spec: 0x02-0x7f are unskippable, 0x80-0xfd and padding
+            // are skippable.
+            if (type_byte >= 0x02 && type_byte <= 0x7f)
+                return Status::corrupt("unskippable unknown chunk");
+            break; // skip
+        }
+    }
+    if (!saw_identifier)
+        return Status::corrupt("missing stream identifier");
+    return out;
+}
+
+} // namespace cdpu::snappy

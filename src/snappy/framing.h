@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Snappy framing format: the streaming equivalent of the buffer API
+ * (the paper's Section 3.4 notes compression APIs come in stateless
+ * buffer form "and a streaming equivalent").
+ *
+ * Implements google/snappy framing_format.txt: a stream-identifier
+ * chunk followed by compressed/uncompressed data chunks of at most
+ * 64 KiB of source data, each carrying a masked CRC-32C. Arbitrary
+ * skippable and padding chunks are tolerated on decode.
+ */
+
+#ifndef CDPU_SNAPPY_FRAMING_H_
+#define CDPU_SNAPPY_FRAMING_H_
+
+#include "snappy/compress.h"
+
+namespace cdpu::snappy
+{
+
+/** Chunk type bytes from the framing spec. */
+enum class ChunkType : u8
+{
+    compressedData = 0x00,
+    uncompressedData = 0x01,
+    padding = 0xfe,
+    streamIdentifier = 0xff,
+};
+
+/** Maximum uncompressed payload per data chunk (spec: 65536). */
+inline constexpr std::size_t kMaxChunkPayload = 65536;
+
+/**
+ * Incremental framed compressor. Feed any amount of data through
+ * write(); each internal 64 KiB window becomes one chunk (compressed
+ * when that wins, uncompressed otherwise, as the spec recommends).
+ */
+class FrameWriter
+{
+  public:
+    FrameWriter();
+
+    /** Appends more source data. */
+    void write(ByteSpan data);
+
+    /** Flushes buffered data into a final chunk and returns the
+     *  complete framed stream. The writer resets for reuse. */
+    Bytes finish();
+
+  private:
+    void emitChunk(ByteSpan payload);
+
+    Bytes out_;
+    Bytes pending_;
+    CompressorConfig config_;
+};
+
+/** One-shot framed compression. */
+Bytes frameCompress(ByteSpan data);
+
+/**
+ * Decodes a framed stream, verifying the stream identifier and every
+ * chunk CRC. Returns the reassembled source data; corrupt framing,
+ * bad CRCs, or truncated chunks fail with corruptData.
+ */
+Result<Bytes> frameDecompress(ByteSpan framed);
+
+} // namespace cdpu::snappy
+
+#endif // CDPU_SNAPPY_FRAMING_H_

@@ -1,0 +1,162 @@
+#include "zstdlite/decompress.h"
+
+#include <algorithm>
+
+#include "common/varint.h"
+#include "zstdlite/literals.h"
+#include "zstdlite/sequences.h"
+
+namespace cdpu::zstdlite
+{
+
+Result<FrameHeader>
+peekFrameHeader(ByteSpan data)
+{
+    std::size_t pos = 0;
+    return readFrameHeader(data, pos);
+}
+
+namespace
+{
+
+/** Replays one compressed block's literals + sequences into @p out. */
+Status
+executeBlock(const DecodedLiterals &literals,
+             const std::vector<lz77::Sequence> &sequences,
+             std::size_t regen_size, u64 window_size, Bytes &out)
+{
+    std::size_t lit_cursor = 0;
+    std::size_t produced_before = out.size();
+    for (const auto &seq : sequences) {
+        if (lit_cursor + seq.literalLength > literals.bytes.size())
+            return Status::corrupt("sequence literal budget exceeded");
+        out.insert(out.end(), literals.bytes.begin() + lit_cursor,
+                   literals.bytes.begin() + lit_cursor +
+                       seq.literalLength);
+        lit_cursor += seq.literalLength;
+
+        if (seq.offset == 0 || seq.offset > out.size())
+            return Status::corrupt("match offset exceeds history");
+        if (seq.offset > window_size)
+            return Status::corrupt("match offset exceeds window");
+        std::size_t from = out.size() - seq.offset;
+        for (u32 i = 0; i < seq.matchLength; ++i)
+            out.push_back(out[from + i]); // Overlap is legal (RLE-ish).
+    }
+    // Remaining literals are the block's tail.
+    out.insert(out.end(), literals.bytes.begin() + lit_cursor,
+               literals.bytes.end());
+
+    if (out.size() - produced_before != regen_size)
+        return Status::corrupt("block regenerated size mismatch");
+    return Status::okStatus();
+}
+
+} // namespace
+
+Result<Bytes>
+decompress(ByteSpan data, FileTrace *trace)
+{
+    std::size_t pos = 0;
+    auto header = readFrameHeader(data, pos);
+    if (!header.ok())
+        return header.status();
+    const u64 window_size = 1ull << header.value().windowLog;
+    if (header.value().contentSize > (1ull << 32))
+        return Status::corrupt("content size beyond 4 GiB bound");
+
+    if (trace) {
+        *trace = FileTrace{};
+        trace->contentSize = header.value().contentSize;
+        trace->compressedSize = data.size();
+    }
+
+    Bytes out;
+    // Reserve conservatively: the claimed size is untrusted until the
+    // stream fully decodes, so cap the up-front allocation.
+    out.reserve(std::min<u64>(header.value().contentSize, 64 * kMiB));
+
+    bool saw_last = false;
+    while (!saw_last) {
+        if (pos >= data.size())
+            return Status::corrupt("missing last block");
+        u8 block_header = data[pos++];
+        saw_last = block_header & 1;
+        u8 type_bits = (block_header >> 1) & 3;
+        if (type_bits > static_cast<u8>(BlockType::compressed))
+            return Status::corrupt("bad block type");
+        auto type = static_cast<BlockType>(type_bits);
+
+        auto regen = getVarint(data, pos);
+        if (!regen.ok())
+            return regen.status();
+        if (out.size() + regen.value() > header.value().contentSize)
+            return Status::corrupt("blocks exceed content size");
+        std::size_t regen_size = regen.value();
+
+        BlockTrace block_trace;
+        block_trace.type = type;
+        block_trace.regenSize = regen_size;
+
+        switch (type) {
+          case BlockType::raw: {
+            if (pos + regen_size > data.size())
+                return Status::corrupt("raw block truncated");
+            out.insert(out.end(), data.begin() + pos,
+                       data.begin() + pos + regen_size);
+            pos += regen_size;
+            break;
+          }
+          case BlockType::rle: {
+            if (pos >= data.size())
+                return Status::corrupt("rle block truncated");
+            out.insert(out.end(), regen_size, data[pos++]);
+            break;
+          }
+          case BlockType::compressed: {
+            auto comp_size = getVarint(data, pos);
+            if (!comp_size.ok())
+                return comp_size.status();
+            if (pos + comp_size.value() > data.size())
+                return Status::corrupt("compressed block truncated");
+            ByteSpan body = data.subspan(pos, comp_size.value());
+            pos += comp_size.value();
+
+            std::size_t body_pos = 0;
+            auto literals = decodeLiteralsSection(body, body_pos);
+            if (!literals.ok())
+                return literals.status();
+            auto sequences = decodeSequencesSection(body, body_pos);
+            if (!sequences.ok())
+                return sequences.status();
+            if (body_pos != body.size())
+                return Status::corrupt("trailing bytes in block body");
+
+            CDPU_RETURN_IF_ERROR(executeBlock(
+                literals.value(), sequences.value().sequences,
+                regen_size, window_size, out));
+
+            block_trace.literalsMode = literals.value().mode;
+            block_trace.litCount = literals.value().bytes.size();
+            block_trace.litStreamBytes = literals.value().streamBytes;
+            block_trace.numSequences =
+                sequences.value().sequences.size();
+            block_trace.seqStreamBytes = sequences.value().streamBytes;
+            block_trace.dynamicTables = sequences.value().dynamicTables;
+            block_trace.sequences =
+                std::move(sequences.value().sequences);
+            break;
+          }
+        }
+        if (trace)
+            trace->blocks.push_back(std::move(block_trace));
+    }
+
+    if (out.size() != header.value().contentSize)
+        return Status::corrupt("content size mismatch");
+    if (pos != data.size())
+        return Status::corrupt("trailing bytes after last block");
+    return out;
+}
+
+} // namespace cdpu::zstdlite

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * ZstdLite decompressor with window validation and full corruption
+ * checking.
+ */
+
+#ifndef CDPU_ZSTDLITE_DECOMPRESS_H_
+#define CDPU_ZSTDLITE_DECOMPRESS_H_
+
+#include "zstdlite/format.h"
+
+namespace cdpu::zstdlite
+{
+
+/** Parses only the frame header (size probing). */
+Result<FrameHeader> peekFrameHeader(ByteSpan data);
+
+/**
+ * Decompresses a ZstdLite frame.
+ *
+ * Validates magic, window-bounded offsets, history bounds, literal
+ * budgets, and the content-size claim; never reads outside @p data.
+ * Optionally records a per-block trace for the CDPU cycle models.
+ */
+Result<Bytes> decompress(ByteSpan data, FileTrace *trace = nullptr);
+
+} // namespace cdpu::zstdlite
+
+#endif // CDPU_ZSTDLITE_DECOMPRESS_H_

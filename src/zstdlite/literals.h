@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Literals-section encode/decode (raw / RLE / Huffman-compressed).
+ */
+
+#ifndef CDPU_ZSTDLITE_LITERALS_H_
+#define CDPU_ZSTDLITE_LITERALS_H_
+
+#include "zstdlite/format.h"
+
+namespace cdpu::zstdlite
+{
+
+/** Result of decoding one literals section. */
+struct DecodedLiterals
+{
+    Bytes bytes;
+    LiteralsMode mode = LiteralsMode::raw;
+    std::size_t streamBytes = 0; ///< Huffman bitstream length (0 else).
+};
+
+/**
+ * Encodes @p literals picking the cheapest mode: RLE when uniform,
+ * Huffman when it wins over raw (including its 128-byte table), raw
+ * otherwise. Appends to @p out; reports the chosen mode/stream size.
+ */
+void encodeLiteralsSection(ByteSpan literals, Bytes &out,
+                           LiteralsMode *mode_out = nullptr,
+                           std::size_t *stream_bytes_out = nullptr);
+
+/** Decodes one literals section starting at @p pos (advanced past it). */
+Result<DecodedLiterals> decodeLiteralsSection(ByteSpan data,
+                                              std::size_t &pos);
+
+} // namespace cdpu::zstdlite
+
+#endif // CDPU_ZSTDLITE_LITERALS_H_

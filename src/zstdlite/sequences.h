@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Sequences-section encode/decode: three interleaved FSE streams.
+ *
+ * Encoding walks the sequence list backward. Per sequence it writes
+ * [ll extra bits, ml extra bits, of extra bits] then the state-
+ * transition bits for [offset, match-length, literal-length] encoders;
+ * after all sequences it flushes the ll, ml, of states. The decoder
+ * therefore (reading the stream from its tail) reads the of, ml, ll
+ * initial states, then per sequence takes the three symbols from the
+ * current states, updates ll, ml, of, and reads of/ml/ll extra bits.
+ */
+
+#ifndef CDPU_ZSTDLITE_SEQUENCES_H_
+#define CDPU_ZSTDLITE_SEQUENCES_H_
+
+#include "fse/table.h"
+#include "zstdlite/format.h"
+
+namespace cdpu::zstdlite
+{
+
+/** The fixed table distributions shared by encoder and decoder. */
+const fse::NormalizedCounts &predefinedLLCounts();
+const fse::NormalizedCounts &predefinedOFCounts();
+const fse::NormalizedCounts &predefinedMLCounts();
+
+/**
+ * Encodes @p sequences as a sequences section appended to @p out.
+ * Dynamic FSE tables are transmitted when the sequence count justifies
+ * them. Reports the bitstream length and table mode for the trace.
+ */
+Status encodeSequencesSection(const std::vector<lz77::Sequence> &sequences,
+                              Bytes &out,
+                              std::size_t *stream_bytes_out = nullptr,
+                              bool *dynamic_out = nullptr);
+
+/** Decoded sequences plus trace numbers. */
+struct DecodedSequences
+{
+    std::vector<lz77::Sequence> sequences;
+    std::size_t streamBytes = 0;
+    bool dynamicTables = false;
+};
+
+/** Decodes one sequences section starting at @p pos (advanced). */
+Result<DecodedSequences> decodeSequencesSection(ByteSpan data,
+                                                std::size_t &pos);
+
+} // namespace cdpu::zstdlite
+
+#endif // CDPU_ZSTDLITE_SEQUENCES_H_

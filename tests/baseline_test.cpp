@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Baseline tests: Xeon cost-model anchors and level scaling, plus the
+ * lzbench-style harness actually running the codecs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/lzbench_harness.h"
+#include "baseline/xeon_cost_model.h"
+#include "corpus/generators.h"
+
+namespace cdpu::baseline
+{
+namespace
+{
+
+TEST(XeonCostModelTest, PaperAnchorsAtDefaultLevel)
+{
+    XeonCostModel model;
+    EXPECT_DOUBLE_EQ(
+        model.throughputGBps(Algorithm::snappy, Direction::decompress),
+        1.1);
+    EXPECT_DOUBLE_EQ(
+        model.throughputGBps(Algorithm::snappy, Direction::compress),
+        0.36);
+    EXPECT_DOUBLE_EQ(
+        model.throughputGBps(Algorithm::zstd, Direction::decompress),
+        0.94);
+    EXPECT_DOUBLE_EQ(
+        model.throughputGBps(Algorithm::zstd, Direction::compress),
+        0.22);
+}
+
+TEST(XeonCostModelTest, ZstdCompressSlowsWithLevel)
+{
+    XeonCostModel model;
+    double prev = 1e18;
+    for (int level : {-1, 1, 3, 5, 9, 15, 22}) {
+        double gbps = model.throughputGBps(Algorithm::zstd,
+                                           Direction::compress, level);
+        EXPECT_LT(gbps, prev) << level;
+        EXPECT_GT(gbps, 0.0);
+        prev = gbps;
+    }
+}
+
+TEST(XeonCostModelTest, HighLevelCostMultiplierNearPaper)
+{
+    // Section 3.3.4: ZStd high-level compression pays ~2.39x the
+    // per-byte cost of low-level. Compare level 9 (the byte-weighted
+    // centre of the [4,22] bin is low) against level 3.
+    XeonCostModel model;
+    double low = model.throughputGBps(Algorithm::zstd,
+                                      Direction::compress, 3);
+    double high = model.throughputGBps(Algorithm::zstd,
+                                       Direction::compress, 9);
+    EXPECT_NEAR(low / high, 2.39, 0.6);
+}
+
+TEST(XeonCostModelTest, SnappyVsZstdDecompressRelation)
+{
+    XeonCostModel model;
+    double snappy = model.throughputGBps(Algorithm::snappy,
+                                         Direction::decompress);
+    double zstd = model.throughputGBps(Algorithm::zstd,
+                                       Direction::decompress);
+    EXPECT_GT(snappy, zstd); // lightweight decodes faster
+}
+
+TEST(XeonCostModelTest, SecondsScaleLinearly)
+{
+    XeonCostModel model;
+    double one = model.seconds(Algorithm::snappy, Direction::decompress,
+                               1 * kMiB);
+    double two = model.seconds(Algorithm::snappy, Direction::decompress,
+                               2 * kMiB);
+    EXPECT_NEAR(two - one, one - model.callOverheadSeconds(), 1e-9);
+}
+
+TEST(LzBenchHarnessTest, MeasuresAndVerifies)
+{
+    Rng rng(1);
+    Bytes data = corpus::generate(corpus::DataClass::logLike, 256 * kKiB,
+                                  rng);
+    for (Algorithm algorithm : {Algorithm::snappy, Algorithm::zstd}) {
+        for (Direction direction :
+             {Direction::compress, Direction::decompress}) {
+            auto result = runLzBench(algorithm, direction, 3, data, 2);
+            ASSERT_TRUE(result.ok()) << result.status().toString();
+            EXPECT_GT(result.value().ratio(), 1.5);
+            EXPECT_GT(result.value().hostGBps(), 0.0);
+            EXPECT_EQ(result.value().uncompressedBytes, data.size());
+        }
+    }
+}
+
+TEST(LzBenchHarnessTest, RejectsZeroIterations)
+{
+    Bytes data = {1, 2, 3};
+    EXPECT_FALSE(
+        runLzBench(Algorithm::snappy, Direction::compress, 3, data, 0)
+            .ok());
+}
+
+} // namespace
+} // namespace cdpu::baseline

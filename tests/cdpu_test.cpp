@@ -1,0 +1,414 @@
+/**
+ * @file
+ * CDPU model tests: functional equivalence with the software codecs,
+ * area-model anchor points from the paper, and cycle-model monotonicity
+ * across every swept parameter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cdpu/area_model.h"
+#include "cdpu/snappy_pu.h"
+#include "cdpu/zstd_pu.h"
+#include "corpus/generators.h"
+
+namespace cdpu::hw
+{
+namespace
+{
+
+Bytes
+testData(std::size_t size = 256 * kKiB, u64 seed = 1234)
+{
+    Rng rng(seed);
+    return corpus::generateMixed(size, rng, 16 * kKiB);
+}
+
+// --- Area model ------------------------------------------------------------
+
+TEST(AreaModelTest, PaperAnchorPoints)
+{
+    CdpuConfig full; // 64K history, 2^14 hash entries, 16 speculations
+    EXPECT_NEAR(snappyDecompressorAreaMm2(full), 0.431, 0.01);
+    EXPECT_NEAR(snappyCompressorAreaMm2(full), 0.851, 0.02);
+    EXPECT_NEAR(zstdDecompressorAreaMm2(full), 1.90, 0.04);
+    EXPECT_NEAR(zstdCompressorAreaMm2(full), 3.48, 0.05);
+}
+
+TEST(AreaModelTest, SnappyDecompShrinkMatchesFigure11)
+{
+    CdpuConfig full;
+    CdpuConfig small = full;
+    small.historySramBytes = 2 * kKiB;
+    double ratio = snappyDecompressorAreaMm2(small) /
+                   snappyDecompressorAreaMm2(full);
+    EXPECT_NEAR(ratio, 0.62, 0.03); // paper: 38% area reduction
+}
+
+TEST(AreaModelTest, SnappyCompShrinkMatchesFigure13)
+{
+    CdpuConfig full;
+    CdpuConfig tiny = full;
+    tiny.historySramBytes = 2 * kKiB;
+    tiny.hashTable.log2Entries = 9;
+    double ratio =
+        snappyCompressorAreaMm2(tiny) / snappyCompressorAreaMm2(full);
+    EXPECT_NEAR(ratio, 0.34, 0.03);
+}
+
+TEST(AreaModelTest, ZstdDecompSramShrinkMatchesSection64)
+{
+    CdpuConfig full;
+    CdpuConfig small = full;
+    small.historySramBytes = 2 * kKiB;
+    double saving = 1.0 - zstdDecompressorAreaMm2(small) /
+                              zstdDecompressorAreaMm2(full);
+    EXPECT_NEAR(saving, 0.086, 0.01);
+}
+
+TEST(AreaModelTest, SpeculationSweepMatchesSection64)
+{
+    CdpuConfig spec16;
+    CdpuConfig spec32 = spec16;
+    spec32.huffSpeculations = 32;
+    CdpuConfig spec4 = spec16;
+    spec4.huffSpeculations = 4;
+    double up = zstdDecompressorAreaMm2(spec32) /
+                    zstdDecompressorAreaMm2(spec16) - 1.0;
+    double down = 1.0 - zstdDecompressorAreaMm2(spec4) /
+                            zstdDecompressorAreaMm2(spec16);
+    EXPECT_NEAR(up, 0.18, 0.05);   // paper: +18%
+    EXPECT_NEAR(down, 0.10, 0.04); // paper: -10%
+}
+
+TEST(AreaModelTest, PairTotalsMatchRelatedWorkSection)
+{
+    CdpuConfig full;
+    double snappy_pair = snappyDecompressorAreaMm2(full) +
+                         snappyCompressorAreaMm2(full);
+    double zstd_pair = zstdDecompressorAreaMm2(full) +
+                       zstdCompressorAreaMm2(full);
+    EXPECT_NEAR(snappy_pair, 1.3, 0.1); // paper: ~1.3 mm^2
+    EXPECT_NEAR(zstd_pair, 5.7, 0.5);   // paper: ~5.7 mm^2
+    // Abstract: as little as 2.4%-4.7% of a Xeon core.
+    EXPECT_NEAR(snappyDecompressorAreaMm2(full) / kXeonCoreTileMm2,
+                0.024, 0.003);
+    EXPECT_NEAR(snappyCompressorAreaMm2(full) / kXeonCoreTileMm2,
+                0.047, 0.005);
+}
+
+// --- Snappy decompressor PU -------------------------------------------------
+
+TEST(SnappyDecompPuTest, MatchesSoftwareDecoder)
+{
+    Bytes data = testData();
+    Bytes compressed = snappy::compress(data);
+    SnappyDecompressorPU pu{CdpuConfig{}};
+    Bytes out;
+    auto result = pu.run(compressed, &out);
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    EXPECT_EQ(out, data);
+    EXPECT_EQ(result.value().outputBytes, data.size());
+    EXPECT_GT(result.value().cycles, 0u);
+}
+
+TEST(SnappyDecompPuTest, RejectsCorruptInput)
+{
+    Bytes garbage = {0x50, 0x04, 'a'};
+    SnappyDecompressorPU pu{CdpuConfig{}};
+    EXPECT_FALSE(pu.run(garbage).ok());
+}
+
+TEST(SnappyDecompPuTest, SmallerSramMeansMoreFallbacks)
+{
+    Bytes data = testData(512 * kKiB, 77);
+    Bytes compressed = snappy::compress(data);
+
+    u64 prev_fallbacks = 0;
+    u64 prev_cycles = 0;
+    bool first = true;
+    for (std::size_t sram : {64 * kKiB, 8 * kKiB, 2 * kKiB}) {
+        CdpuConfig config;
+        config.historySramBytes = sram;
+        SnappyDecompressorPU pu{config};
+        auto result = pu.run(compressed);
+        ASSERT_TRUE(result.ok());
+        if (!first) {
+            EXPECT_GE(result.value().historyFallbacks, prev_fallbacks);
+            EXPECT_GE(result.value().cycles, prev_cycles);
+        }
+        prev_fallbacks = result.value().historyFallbacks;
+        prev_cycles = result.value().cycles;
+        first = false;
+    }
+    EXPECT_GT(prev_fallbacks, 0u); // 2K SRAM must fall back sometimes
+}
+
+TEST(SnappyDecompPuTest, PlacementOrderingHolds)
+{
+    Bytes data = testData(128 * kKiB, 88);
+    Bytes compressed = snappy::compress(data);
+
+    u64 prev = 0;
+    for (auto placement :
+         {sim::Placement::rocc, sim::Placement::chiplet,
+          sim::Placement::pcieNoCache}) {
+        CdpuConfig config;
+        config.placement = placement;
+        SnappyDecompressorPU pu{config};
+        auto result = pu.run(compressed);
+        ASSERT_TRUE(result.ok());
+        EXPECT_GT(result.value().cycles, prev)
+            << sim::placementName(placement);
+        prev = result.value().cycles;
+    }
+}
+
+TEST(SnappyDecompPuTest, PcieLocalCacheShieldsFallbacks)
+{
+    Bytes data = testData(512 * kKiB, 99);
+    Bytes compressed = snappy::compress(data);
+
+    CdpuConfig local;
+    local.placement = sim::Placement::pcieLocalCache;
+    local.historySramBytes = 2 * kKiB;
+    CdpuConfig nocache = local;
+    nocache.placement = sim::Placement::pcieNoCache;
+
+    SnappyDecompressorPU pu_local{local};
+    SnappyDecompressorPU pu_nocache{nocache};
+    auto r_local = pu_local.run(compressed);
+    auto r_nocache = pu_nocache.run(compressed);
+    ASSERT_TRUE(r_local.ok());
+    ASSERT_TRUE(r_nocache.ok());
+    // Same fallback count, but the no-cache card pays the link on each.
+    EXPECT_EQ(r_local.value().historyFallbacks,
+              r_nocache.value().historyFallbacks);
+    EXPECT_LT(r_local.value().fallbackCycles,
+              r_nocache.value().fallbackCycles);
+}
+
+// --- Snappy compressor PU ----------------------------------------------------
+
+TEST(SnappyCompPuTest, OutputDecompressesCorrectly)
+{
+    Bytes data = testData();
+    SnappyCompressorPU pu{CdpuConfig{}};
+    Bytes compressed;
+    auto result = pu.run(data, &compressed);
+    ASSERT_TRUE(result.ok());
+    auto out = snappy::decompress(compressed);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.value(), data);
+}
+
+TEST(SnappyCompPuTest, FullConfigBeatsSoftwareRatioSlightly)
+{
+    // Section 6.3: no skip-acceleration in hardware -> ratio >= SW.
+    Bytes data = testData(1 * kMiB, 111);
+    SnappyCompressorPU pu{CdpuConfig{}};
+    Bytes hw_out;
+    ASSERT_TRUE(pu.run(data, &hw_out).ok());
+    Bytes sw_out = snappy::compress(data);
+    EXPECT_LE(hw_out.size(), sw_out.size());
+}
+
+TEST(SnappyCompPuTest, SmallerSramLosesRatioNotSpeed)
+{
+    Bytes data = testData(1 * kMiB, 222);
+    CdpuConfig full;
+    CdpuConfig small = full;
+    small.historySramBytes = 2 * kKiB;
+
+    Bytes out_full;
+    Bytes out_small;
+    SnappyCompressorPU pu_full{full};
+    SnappyCompressorPU pu_small{small};
+    auto r_full = pu_full.run(data, &out_full);
+    auto r_small = pu_small.run(data, &out_small);
+    ASSERT_TRUE(r_full.ok());
+    ASSERT_TRUE(r_small.ok());
+    EXPECT_GE(out_small.size(), out_full.size());
+    // Fig 12: negligible speed loss -- the streaming hash stage costs
+    // the same regardless of window; only the larger output moves.
+    double cycle_ratio = static_cast<double>(r_small.value().cycles) /
+                         static_cast<double>(r_full.value().cycles);
+    EXPECT_LT(cycle_ratio, 1.15);
+    EXPECT_GT(cycle_ratio, 0.75);
+}
+
+TEST(SnappyCompPuTest, FewerHashEntriesLoseRatio)
+{
+    Bytes data = testData(1 * kMiB, 333);
+    CdpuConfig full;
+    CdpuConfig tiny = full;
+    tiny.hashTable.log2Entries = 9;
+
+    Bytes out_full;
+    Bytes out_tiny;
+    SnappyCompressorPU{full}.run(data, &out_full);
+    SnappyCompressorPU{tiny}.run(data, &out_tiny);
+    EXPECT_GE(out_tiny.size(), out_full.size());
+}
+
+// --- ZStd decompressor PU -----------------------------------------------------
+
+TEST(ZstdDecompPuTest, MatchesSoftwareDecoder)
+{
+    Bytes data = testData();
+    auto compressed = zstdlite::compress(data);
+    ASSERT_TRUE(compressed.ok());
+    ZstdDecompressorPU pu{CdpuConfig{}};
+    Bytes out;
+    auto result = pu.run(compressed.value(), &out);
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    EXPECT_EQ(out, data);
+}
+
+TEST(ZstdDecompPuTest, MoreSpeculationIsFaster)
+{
+    // Text-like data: literal-heavy, ~5-bit average codes, so the
+    // Huffman expander is the bottleneck the speculation width moves.
+    Rng rng(444);
+    Bytes data = corpus::generate(corpus::DataClass::textLike,
+                                  512 * kKiB, rng);
+    auto compressed = zstdlite::compress(data);
+    ASSERT_TRUE(compressed.ok());
+
+    u64 prev = std::numeric_limits<u64>::max();
+    for (unsigned spec : {4u, 16u, 32u}) {
+        CdpuConfig config;
+        config.huffSpeculations = spec;
+        ZstdDecompressorPU pu{config};
+        auto result = pu.run(compressed.value());
+        ASSERT_TRUE(result.ok());
+        EXPECT_LT(result.value().cycles, prev) << spec;
+        prev = result.value().cycles;
+    }
+}
+
+TEST(ZstdDecompPuTest, TraceReplayMatchesFullRun)
+{
+    Bytes data = testData(256 * kKiB, 555);
+    auto compressed = zstdlite::compress(data);
+    ASSERT_TRUE(compressed.ok());
+
+    zstdlite::FileTrace trace;
+    auto decoded = zstdlite::decompress(compressed.value(), &trace);
+    ASSERT_TRUE(decoded.ok());
+
+    CdpuConfig config;
+    ZstdDecompressorPU pu_full{config};
+    ZstdDecompressorPU pu_trace{config};
+    auto full = pu_full.run(compressed.value());
+    ASSERT_TRUE(full.ok());
+    PuResult replay =
+        pu_trace.runFromTrace(trace, compressed.value().size());
+    EXPECT_EQ(full.value().cycles, replay.cycles);
+    EXPECT_EQ(full.value().historyFallbacks, replay.historyFallbacks);
+}
+
+// --- ZStd compressor PU --------------------------------------------------------
+
+TEST(ZstdCompPuTest, OutputDecompressesCorrectly)
+{
+    Bytes data = testData();
+    ZstdCompressorPU pu{CdpuConfig{}};
+    Bytes compressed;
+    auto result = pu.run(data, &compressed);
+    ASSERT_TRUE(result.ok());
+    auto out = zstdlite::decompress(compressed);
+    ASSERT_TRUE(out.ok()) << out.status().toString();
+    EXPECT_EQ(out.value(), data);
+}
+
+TEST(ZstdCompPuTest, RatioTrailsSoftware)
+{
+    // Section 6.5: the reused Snappy-configured LZ77 encoder costs
+    // compression ratio vs the software library.
+    Bytes data = testData(1 * kMiB, 666);
+    ZstdCompressorPU pu{CdpuConfig{}};
+    Bytes hw_out;
+    ASSERT_TRUE(pu.run(data, &hw_out).ok());
+    auto sw_out = zstdlite::compress(data, {.level = 9, .windowLog = 17});
+    ASSERT_TRUE(sw_out.ok());
+    EXPECT_GE(hw_out.size(), sw_out.value().size());
+}
+
+TEST(ZstdCompPuTest, WindowFollowsHistorySram)
+{
+    // Repeats at ~48 KiB distance: reachable by the 64K history SRAM,
+    // invisible to a 2K one.
+    Rng rng(777);
+    Bytes motif = corpus::generate(corpus::DataClass::textLike,
+                                   48 * kKiB, rng);
+    Bytes data;
+    for (int i = 0; i < 8; ++i)
+        data.insert(data.end(), motif.begin(), motif.end());
+    CdpuConfig small;
+    small.historySramBytes = 2 * kKiB;
+    ZstdCompressorPU pu_small{small};
+    ZstdCompressorPU pu_full{CdpuConfig{}};
+    Bytes out_small;
+    Bytes out_full;
+    ASSERT_TRUE(pu_small.run(data, &out_small).ok());
+    ASSERT_TRUE(pu_full.run(data, &out_full).ok());
+    EXPECT_GT(out_small.size(), out_full.size());
+}
+
+// --- Cross-parameter property sweep ------------------------------------------
+
+struct MonotoneCase
+{
+    sim::Placement placement;
+    std::size_t sramBytes;
+};
+
+class PlacementSramSweep : public ::testing::TestWithParam<MonotoneCase>
+{};
+
+TEST_P(PlacementSramSweep, AllPusCompleteAndAccount)
+{
+    const auto &param = GetParam();
+    CdpuConfig config;
+    config.placement = param.placement;
+    config.historySramBytes = param.sramBytes;
+
+    Bytes data = testData(128 * kKiB, 31337);
+    Bytes snappy_comp = snappy::compress(data);
+    auto zstd_comp = zstdlite::compress(data);
+    ASSERT_TRUE(zstd_comp.ok());
+
+    SnappyDecompressorPU sd{config};
+    SnappyCompressorPU sc{config};
+    ZstdDecompressorPU zd{config};
+    ZstdCompressorPU zc{config};
+
+    auto r1 = sd.run(snappy_comp);
+    auto r2 = sc.run(data);
+    auto r3 = zd.run(zstd_comp.value());
+    auto r4 = zc.run(data);
+    for (const auto *r : {&r1, &r2, &r3, &r4}) {
+        ASSERT_TRUE(r->ok());
+        EXPECT_GT(r->value().cycles, 0u);
+        EXPECT_GE(r->value().cycles, r->value().computeCycles);
+    }
+    // Decompressors produce the content size.
+    EXPECT_EQ(r1.value().outputBytes, data.size());
+    EXPECT_EQ(r3.value().outputBytes, data.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PlacementSramSweep,
+    ::testing::Values(
+        MonotoneCase{sim::Placement::rocc, 64 * kKiB},
+        MonotoneCase{sim::Placement::rocc, 2 * kKiB},
+        MonotoneCase{sim::Placement::chiplet, 64 * kKiB},
+        MonotoneCase{sim::Placement::chiplet, 2 * kKiB},
+        MonotoneCase{sim::Placement::pcieLocalCache, 64 * kKiB},
+        MonotoneCase{sim::Placement::pcieLocalCache, 2 * kKiB},
+        MonotoneCase{sim::Placement::pcieNoCache, 64 * kKiB},
+        MonotoneCase{sim::Placement::pcieNoCache, 2 * kKiB}));
+
+} // namespace
+} // namespace cdpu::hw

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Unit tests for the common utilities: bit I/O, varints, histograms,
+ * RNG determinism, CLI parsing, and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitio.h"
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/hexdump.h"
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/varint.h"
+
+namespace cdpu
+{
+namespace
+{
+
+TEST(StatusTest, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.toString(), "OK");
+}
+
+TEST(StatusTest, CorruptCarriesMessage)
+{
+    Status s = Status::corrupt("bad tag");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::corruptData);
+    EXPECT_EQ(s.toString(), "CORRUPT_DATA: bad tag");
+}
+
+TEST(ResultTest, ValueAndErrorPaths)
+{
+    Result<int> good(42);
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good.value(), 42);
+
+    Result<int> bad(Status::invalid("nope"));
+    EXPECT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::invalidArgument);
+}
+
+TEST(VarintTest, RoundTripsBoundaryValues)
+{
+    const u64 cases[] = {0, 1, 127, 128, 255, 16383, 16384,
+                         0xffffffffull, 0xffffffffffffffffull};
+    for (u64 v : cases) {
+        Bytes buf;
+        putVarint(buf, v);
+        EXPECT_EQ(buf.size(), varintSize(v));
+        std::size_t pos = 0;
+        auto decoded = getVarint(buf, pos);
+        ASSERT_TRUE(decoded.ok()) << v;
+        EXPECT_EQ(decoded.value(), v);
+        EXPECT_EQ(pos, buf.size());
+    }
+}
+
+TEST(VarintTest, TruncatedFails)
+{
+    Bytes buf;
+    putVarint(buf, 1u << 20);
+    buf.pop_back();
+    std::size_t pos = 0;
+    EXPECT_FALSE(getVarint(buf, pos).ok());
+}
+
+TEST(VarintTest, OverlongFails)
+{
+    Bytes buf(11, 0x80);
+    std::size_t pos = 0;
+    EXPECT_FALSE(getVarint(buf, pos).ok());
+}
+
+TEST(BitIoTest, ForwardRoundTrip)
+{
+    BitWriter writer;
+    writer.put(0b101, 3);
+    writer.put(0xffff, 16);
+    writer.put(0, 5);
+    writer.put(0x123456789abull, 48);
+    Bytes stream = writer.finish();
+
+    BitReader reader(stream);
+    EXPECT_EQ(reader.read(3).value(), 0b101u);
+    EXPECT_EQ(reader.read(16).value(), 0xffffu);
+    EXPECT_EQ(reader.read(5).value(), 0u);
+    EXPECT_EQ(reader.read(48).value(), 0x123456789abull);
+}
+
+TEST(BitIoTest, ForwardTruncationDetected)
+{
+    BitWriter writer;
+    writer.put(0xff, 8);
+    Bytes stream = writer.finish();
+    BitReader reader(stream);
+    ASSERT_TRUE(reader.read(8).ok());
+    // Terminator adds < 8 further bits; a 64-bit read must fail.
+    EXPECT_FALSE(reader.read(56).ok());
+}
+
+TEST(BitIoTest, BackwardReaderReversesWriteOrder)
+{
+    BitWriter writer;
+    writer.put(0x5, 4);   // first written
+    writer.put(0x3a, 7);
+    writer.put(0x1, 2);   // last written
+    Bytes stream = writer.finish();
+
+    auto reader = BackwardBitReader::open(stream);
+    ASSERT_TRUE(reader.ok());
+    // Backward reader returns most recently written first.
+    EXPECT_EQ(reader.value().read(2).value(), 0x1u);
+    EXPECT_EQ(reader.value().read(7).value(), 0x3au);
+    EXPECT_EQ(reader.value().read(4).value(), 0x5u);
+    EXPECT_EQ(reader.value().bitsLeft(), 0u);
+}
+
+TEST(BitIoTest, BackwardUnderflowDetected)
+{
+    BitWriter writer;
+    writer.put(0x7, 3);
+    Bytes stream = writer.finish();
+    auto reader = BackwardBitReader::open(stream);
+    ASSERT_TRUE(reader.ok());
+    EXPECT_FALSE(reader.value().read(10).ok());
+}
+
+TEST(BitIoTest, BackwardRejectsMissingTerminator)
+{
+    Bytes zeros(4, 0);
+    EXPECT_FALSE(BackwardBitReader::open(zeros).ok());
+    EXPECT_FALSE(BackwardBitReader::open({}).ok());
+}
+
+TEST(RngTest, DeterministicForSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(RngTest, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(10), 10u);
+}
+
+TEST(RngTest, UniformMeanNearHalf)
+{
+    Rng rng(99);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(HistogramTest, CdfAndQuantiles)
+{
+    WeightedHistogram h;
+    h.add(1, 10);
+    h.add(2, 30);
+    h.add(3, 60);
+    EXPECT_DOUBLE_EQ(h.totalWeight(), 100);
+    EXPECT_DOUBLE_EQ(h.fractionAt(2), 0.3);
+    EXPECT_DOUBLE_EQ(h.quantile(0.05), 1);
+    EXPECT_DOUBLE_EQ(h.quantile(0.4), 2);
+    EXPECT_DOUBLE_EQ(h.quantile(0.95), 3);
+    auto cdf = h.cdf();
+    ASSERT_EQ(cdf.size(), 3u);
+    EXPECT_DOUBLE_EQ(cdf[1].cumFraction, 0.4);
+}
+
+TEST(HistogramTest, KsDistanceIdenticalIsZero)
+{
+    WeightedHistogram a;
+    a.add(1, 5);
+    a.add(4, 5);
+    EXPECT_DOUBLE_EQ(WeightedHistogram::ksDistance(a, a), 0);
+}
+
+TEST(HistogramTest, KsDistanceDisjointIsOne)
+{
+    WeightedHistogram a;
+    a.add(1, 1);
+    WeightedHistogram b;
+    b.add(10, 1);
+    EXPECT_DOUBLE_EQ(WeightedHistogram::ksDistance(a, b), 1);
+}
+
+TEST(HistogramTest, CeilFloorLog2)
+{
+    EXPECT_EQ(ceilLog2(0), 0u);
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+}
+
+TEST(CliTest, ParsesFlagsAndPositionals)
+{
+    const char *argv[] = {"prog", "--size=42", "--name", "abc",
+                          "file.txt", "--verbose"};
+    CliArgs args;
+    ASSERT_TRUE(args.parse(6, argv, {"size", "name", "verbose"}));
+    EXPECT_EQ(args.getInt("size", 0), 42);
+    EXPECT_EQ(args.getString("name", ""), "abc");
+    EXPECT_TRUE(args.getBool("verbose", false));
+    ASSERT_EQ(args.positional().size(), 1u);
+    EXPECT_EQ(args.positional()[0], "file.txt");
+}
+
+TEST(CliTest, RejectsUnknownFlag)
+{
+    const char *argv[] = {"prog", "--bogus=1"};
+    CliArgs args;
+    EXPECT_FALSE(args.parse(2, argv, {"size"}));
+}
+
+TEST(CliTest, DefaultsWhenAbsent)
+{
+    const char *argv[] = {"prog"};
+    CliArgs args;
+    ASSERT_TRUE(args.parse(1, argv, {"size"}));
+    EXPECT_EQ(args.getInt("size", 7), 7);
+    EXPECT_FALSE(args.has("size"));
+}
+
+TEST(TableTest, RendersAlignedColumns)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+    EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+}
+
+TEST(TableTest, Formatters)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::bytes(64 * 1024), "64 KiB");
+    EXPECT_EQ(TablePrinter::bytes(2 * 1024 * 1024), "2 MiB");
+    EXPECT_EQ(TablePrinter::bytes(100), "100 B");
+    EXPECT_EQ(TablePrinter::percent(0.123, 1), "12.3%");
+}
+
+TEST(HexDumpTest, ShowsOffsetsAndAscii)
+{
+    Bytes data = {'H', 'i', 0x00, 0xff};
+    std::string dump = hexDump(data);
+    EXPECT_NE(dump.find("00000000"), std::string::npos);
+    EXPECT_NE(dump.find("48 69 00 ff"), std::string::npos);
+    EXPECT_NE(dump.find("Hi.."), std::string::npos);
+}
+
+} // namespace
+} // namespace cdpu

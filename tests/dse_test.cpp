@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Design-space-exploration tests: sweep mechanics, figure-table
+ * emission, and the qualitative orderings the paper's evaluation
+ * establishes (placement ordering, SRAM monotonicity, speculation
+ * scaling), on a reduced suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dse/figure_tables.h"
+
+namespace cdpu::dse
+{
+namespace
+{
+
+using baseline::Algorithm;
+using baseline::Direction;
+
+/** Small suites shared by all DSE tests (expensive to build). */
+class DseTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        fleet_ = new fleet::FleetModel();
+        hcb::SuiteConfig config;
+        config.filesPerSuite = 24;
+        config.maxFileBytes = 512 * kKiB;
+        config.seed = 99;
+        generator_ = new hcb::SuiteGenerator(*fleet_, config);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete generator_;
+        delete fleet_;
+    }
+
+    static fleet::FleetModel *fleet_;
+    static hcb::SuiteGenerator *generator_;
+};
+
+fleet::FleetModel *DseTest::fleet_ = nullptr;
+hcb::SuiteGenerator *DseTest::generator_ = nullptr;
+
+TEST_F(DseTest, SnappyDecompressPlacementOrdering)
+{
+    hcb::Suite suite =
+        generator_->generate(Algorithm::snappy, Direction::decompress);
+    SweepRunner runner(suite);
+
+    std::map<sim::Placement, double> speedups;
+    for (sim::Placement placement : sim::allPlacements()) {
+        hw::CdpuConfig config;
+        config.placement = placement;
+        speedups[placement] = runner.run(config).speedup();
+    }
+    // Figure 11 ordering at 64K history: RoCC > Chiplet > PCIe*.
+    EXPECT_GT(speedups[sim::Placement::rocc],
+              speedups[sim::Placement::chiplet]);
+    EXPECT_GT(speedups[sim::Placement::chiplet],
+              speedups[sim::Placement::pcieNoCache]);
+    // At 64K there are no fallbacks, so the PCIe variants coincide.
+    EXPECT_NEAR(speedups[sim::Placement::pcieLocalCache],
+                speedups[sim::Placement::pcieNoCache],
+                speedups[sim::Placement::pcieNoCache] * 0.05);
+    // All placements still beat the Xeon for Snappy decompression.
+    EXPECT_GT(speedups[sim::Placement::rocc], 4.0);
+}
+
+TEST_F(DseTest, SnappyDecompressSramMonotonicity)
+{
+    hcb::Suite suite =
+        generator_->generate(Algorithm::snappy, Direction::decompress);
+    SweepRunner runner(suite);
+
+    double prev = 1e18;
+    for (std::size_t sram : sramSweepBytes()) {
+        hw::CdpuConfig config;
+        config.historySramBytes = sram;
+        DsePoint point = runner.run(config);
+        EXPECT_LE(point.speedup(), prev * 1.02)
+            << sram; // shrinking SRAM never helps
+        prev = point.speedup();
+    }
+}
+
+TEST_F(DseTest, SnappyCompressRatioAndSpeed)
+{
+    hcb::Suite suite =
+        generator_->generate(Algorithm::snappy, Direction::compress);
+    SweepRunner runner(suite);
+
+    hw::CdpuConfig full;
+    DsePoint full_point = runner.run(full);
+    // Section 6.3: hardware slightly beats software ratio at 64K.
+    EXPECT_GE(full_point.ratioVsSw(), 0.99);
+    EXPECT_GT(full_point.speedup(), 5.0);
+
+    hw::CdpuConfig tiny;
+    tiny.historySramBytes = 2 * kKiB;
+    tiny.hashTable.log2Entries = 9;
+    DsePoint tiny_point = runner.run(tiny);
+    EXPECT_LT(tiny_point.ratioVsSw(), full_point.ratioVsSw());
+    EXPECT_LT(tiny_point.areaMm2, full_point.areaMm2 * 0.4);
+    // Fig 12/13: negligible speed loss from shrinking the tables.
+    EXPECT_GT(tiny_point.speedup(), full_point.speedup() * 0.7);
+}
+
+TEST_F(DseTest, ZstdDecompressSpeculationScaling)
+{
+    hcb::Suite suite =
+        generator_->generate(Algorithm::zstd, Direction::decompress);
+    SweepRunner runner(suite);
+
+    std::map<unsigned, double> speedups;
+    for (unsigned spec : {4u, 16u, 32u}) {
+        hw::CdpuConfig config;
+        config.huffSpeculations = spec;
+        speedups[spec] = runner.run(config).speedup();
+    }
+    EXPECT_LT(speedups[4], speedups[16]);
+    EXPECT_LT(speedups[16], speedups[32]);
+    // Section 6.4 magnitudes: spec4 about half of spec16.
+    EXPECT_NEAR(speedups[4] / speedups[16], 0.5, 0.25);
+}
+
+TEST_F(DseTest, ZstdCompressRatioTrailsSoftware)
+{
+    hcb::Suite suite =
+        generator_->generate(Algorithm::zstd, Direction::compress);
+    SweepRunner runner(suite);
+    DsePoint point = runner.run(hw::CdpuConfig{});
+    // Section 6.5: the accelerator reaches only part of the software
+    // ratio (paper: 84%).
+    EXPECT_LT(point.ratioVsSw(), 1.0);
+    EXPECT_GT(point.ratioVsSw(), 0.6);
+    EXPECT_GT(point.speedup(), 5.0);
+}
+
+TEST_F(DseTest, FigureTablesRenderAllRows)
+{
+    hcb::Suite suite =
+        generator_->generate(Algorithm::snappy, Direction::decompress);
+    SweepRunner runner(suite);
+    std::string table = figure11(runner);
+    EXPECT_NE(table.find("RoCC"), std::string::npos);
+    EXPECT_NE(table.find("PCIeNoCache"), std::string::npos);
+    EXPECT_NE(table.find("64 KiB"), std::string::npos);
+    EXPECT_NE(table.find("2 KiB"), std::string::npos);
+    // Six SRAM rows.
+    EXPECT_EQ(sramSweepBytes().size(), 6u);
+}
+
+TEST_F(DseTest, AreaNumbersFlowThroughPoints)
+{
+    hcb::Suite suite =
+        generator_->generate(Algorithm::zstd, Direction::compress);
+    SweepRunner runner(suite);
+    DsePoint point = runner.run(hw::CdpuConfig{});
+    EXPECT_NEAR(point.areaMm2, 3.48, 0.05);
+}
+
+} // namespace
+} // namespace cdpu::dse

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Fleet-model tests: every published statistic the model encodes, and
+ * convergence of the GWP sampler's reconstructions to ground truth.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fleet/reports.h"
+
+namespace cdpu::fleet
+{
+namespace
+{
+
+class FleetModelTest : public ::testing::Test
+{
+  protected:
+    FleetModel model_;
+};
+
+TEST_F(FleetModelTest, FinalCycleSharesMatchFigure1Legend)
+{
+    EXPECT_NEAR(model_.cycleShare(
+                    {FleetAlgorithm::snappy, Direction::compress}),
+                0.195, 1e-9);
+    EXPECT_NEAR(model_.cycleShare(
+                    {FleetAlgorithm::zstd, Direction::decompress}),
+                0.258, 1e-9);
+    // All shares sum to ~1.
+    double total = 0;
+    for (FleetAlgorithm algorithm : allFleetAlgorithms())
+        for (Direction direction :
+             {Direction::compress, Direction::decompress})
+            total += model_.cycleShare({algorithm, direction});
+    EXPECT_NEAR(total, 1.0, 0.01);
+}
+
+TEST_F(FleetModelTest, DecompressShareNearPaper)
+{
+    // Section 3.2: 56% of (de)compression cycles are decompression.
+    double decompress = 0;
+    for (FleetAlgorithm algorithm : allFleetAlgorithms())
+        decompress +=
+            model_.cycleShare({algorithm, Direction::decompress});
+    EXPECT_NEAR(decompress, 0.56, 0.01);
+}
+
+TEST_F(FleetModelTest, MonthlySharesNormalizePerMonth)
+{
+    for (unsigned month : {0u, 30u, 60u, 95u}) {
+        double total = 0;
+        for (FleetAlgorithm algorithm : allFleetAlgorithms())
+            for (Direction direction :
+                 {Direction::compress, Direction::decompress})
+                total +=
+                    model_.cycleShareAt({algorithm, direction}, month);
+        EXPECT_NEAR(total, 1.0, 1e-6) << month;
+    }
+}
+
+TEST_F(FleetModelTest, ZstdAdoptionTakesAboutAYearTo10Percent)
+{
+    // Section 3.4 / Figure 1: ZStd goes from ~0% to 10% of
+    // (de)compression cycles in roughly a year.
+    auto zstd_share = [&](unsigned month) {
+        return model_.cycleShareAt(
+                   {FleetAlgorithm::zstd, Direction::compress}, month) +
+               model_.cycleShareAt(
+                   {FleetAlgorithm::zstd, Direction::decompress},
+                   month);
+    };
+    EXPECT_LT(zstd_share(40), 0.02);  // pre-introduction
+    unsigned month_at_10 = 0;
+    for (unsigned month = 40; month < FleetModel::kMonths; ++month) {
+        if (zstd_share(month) >= 0.10) {
+            month_at_10 = month;
+            break;
+        }
+    }
+    ASSERT_GT(month_at_10, 40u);
+    unsigned month_at_1 = 0;
+    for (unsigned month = 30; month < month_at_10; ++month) {
+        if (zstd_share(month) >= 0.01) {
+            month_at_1 = month;
+            break;
+        }
+    }
+    EXPECT_LE(month_at_10 - month_at_1, 18u); // about a year
+    EXPECT_GT(zstd_share(95), 0.35);          // final: 41.2%
+}
+
+TEST_F(FleetModelTest, ByteSharesMatchSection331)
+{
+    // Heavyweight: 36% of compressed bytes, 49% of decompressed.
+    double heavy_comp = 0;
+    double total_comp = 0;
+    double heavy_deco = 0;
+    double total_deco = 0;
+    for (FleetAlgorithm algorithm : allFleetAlgorithms()) {
+        double c =
+            model_.byteShare({algorithm, Direction::compress});
+        double d =
+            model_.byteShare({algorithm, Direction::decompress});
+        total_comp += c;
+        total_deco += d;
+        if (isHeavyweight(algorithm)) {
+            heavy_comp += c;
+            heavy_deco += d;
+        }
+    }
+    EXPECT_NEAR(heavy_comp / total_comp, 0.36, 0.01);
+    EXPECT_NEAR(heavy_deco / total_deco, 0.49, 0.01);
+    // Each compressed byte decompressed 3.3x.
+    EXPECT_NEAR(total_deco / total_comp,
+                FleetModel::kDecompressionsPerByte, 0.01);
+}
+
+TEST_F(FleetModelTest, ZstdLevelDistributionMatchesFigure2b)
+{
+    const auto &levels = model_.zstdLevelDistribution();
+    double le3 = 0;
+    double le5 = 0;
+    double ge12 = 0;
+    double total = 0;
+    for (const auto &[level, weight] : levels) {
+        total += weight;
+        if (level <= 3)
+            le3 += weight;
+        if (level <= 5)
+            le5 += weight;
+        if (level >= 12)
+            ge12 += weight;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-6);
+    EXPECT_NEAR(le3, 0.88, 0.005);
+    EXPECT_NEAR(le5, 0.95, 0.005);
+    EXPECT_LT(ge12, 0.0002); // paper: fewer than 0.002% of bytes
+}
+
+TEST_F(FleetModelTest, RatiosMatchFigure2c)
+{
+    EXPECT_GE(model_.aggregateRatio("Snappy"), 2.0);
+    double snappy = model_.aggregateRatio("Snappy");
+    double zstd_low = model_.aggregateRatio("ZSTD [-inf,3]");
+    double zstd_high = model_.aggregateRatio("ZSTD [4,22]");
+    EXPECT_NEAR(zstd_low / snappy, 1.46, 0.03);  // Section 3.3.3
+    EXPECT_NEAR(zstd_high / zstd_low, 1.35, 0.02);
+    for (const std::string &bin : model_.ratioBins())
+        EXPECT_GE(model_.aggregateRatio(bin), 2.0) << bin;
+}
+
+TEST_F(FleetModelTest, LibrarySharesMatchFigure4)
+{
+    const auto &shares = model_.libraryShares();
+    EXPECT_NEAR(shares.at("RPC"), 0.139, 1e-9);
+    double filetypes = 0;
+    double total = 0;
+    for (const auto &[library, share] : shares) {
+        total += share;
+        if (library.rfind("Filetype", 0) == 0)
+            filetypes += share;
+    }
+    EXPECT_NEAR(total, 1.0, 0.01);
+    // Section 3.5.2: file formats invoke ~49% of cycles.
+    EXPECT_NEAR(filetypes, 0.49, 0.01);
+}
+
+TEST_F(FleetModelTest, CallSizeMediansMatchFigure3)
+{
+    using A = FleetAlgorithm;
+    auto median_bin = [&](A algorithm, Direction direction) {
+        return model_
+            .callSizeDistribution({algorithm, direction})
+            .quantile(0.5);
+    };
+    // Compression medians fall in the (64, 128] KiB bin (17) for both.
+    EXPECT_EQ(median_bin(A::snappy, Direction::compress), 17);
+    EXPECT_EQ(median_bin(A::zstd, Direction::compress), 17);
+    // ZStd decompression median in (1, 2] MiB (21).
+    EXPECT_EQ(median_bin(A::zstd, Direction::decompress), 21);
+
+    // Snappy-C: 24% of bytes from calls <= 32 KiB; ZStd-C: 8%.
+    auto cum_at = [&](A algorithm, Direction direction, double bin) {
+        double cum = 0;
+        for (const auto &p :
+             model_.callSizeDistribution({algorithm, direction}).cdf())
+            if (p.x <= bin)
+                cum = p.cumFraction;
+        return cum;
+    };
+    EXPECT_NEAR(cum_at(A::snappy, Direction::compress, 15), 0.24, 0.01);
+    EXPECT_NEAR(cum_at(A::zstd, Direction::compress, 15), 0.08, 0.01);
+    // Snappy-D: 62% below 128 KiB, 80% below 256 KiB.
+    EXPECT_NEAR(cum_at(A::snappy, Direction::decompress, 17), 0.62,
+                0.01);
+    EXPECT_NEAR(cum_at(A::snappy, Direction::decompress, 18), 0.80,
+                0.01);
+}
+
+TEST_F(FleetModelTest, WindowMediansMatchFigure5)
+{
+    // Compression: ~50% at <= 32 KiB; decompression: median 1 MiB.
+    EXPECT_NEAR(
+        model_.windowSizeDistribution(Direction::compress).quantile(0.5),
+        15, 1);
+    EXPECT_NEAR(model_.windowSizeDistribution(Direction::decompress)
+                    .quantile(0.5),
+                20, 1);
+}
+
+// --- Sampler convergence ---------------------------------------------------
+
+TEST(GwpSamplerTest, DeterministicForSeed)
+{
+    FleetModel model;
+    GwpSampler a(model, 42);
+    GwpSampler b(model, 42);
+    for (int i = 0; i < 50; ++i) {
+        ProfileRecord ra = a.sampleAt(95);
+        ProfileRecord rb = b.sampleAt(95);
+        EXPECT_EQ(ra.channel.name(), rb.channel.name());
+        EXPECT_EQ(ra.callBytes, rb.callBytes);
+    }
+}
+
+TEST(GwpSamplerTest, CycleSharesConverge)
+{
+    FleetModel model;
+    GwpSampler sampler(model, 7);
+    auto records = sampler.sampleFinalMonth(60000);
+    for (const auto &row : channelCycleShares(records, model))
+        EXPECT_NEAR(row.measured, row.groundTruth, 0.01) << row.label;
+}
+
+TEST(GwpSamplerTest, LibrarySharesConverge)
+{
+    FleetModel model;
+    GwpSampler sampler(model, 9);
+    auto records = sampler.sampleFinalMonth(60000);
+    for (const auto &row : libraryShares(records, model))
+        EXPECT_NEAR(row.measured, row.groundTruth, 0.01) << row.label;
+}
+
+TEST(GwpSamplerTest, CallSizeCdfConverges)
+{
+    FleetModel model;
+    GwpSampler sampler(model, 11);
+    auto records = sampler.sampleFinalMonth(120000);
+    Channel channel{FleetAlgorithm::snappy, Direction::decompress};
+    WeightedHistogram measured = callSizeHistogram(records, channel);
+    double distance = WeightedHistogram::ksDistance(
+        measured, model.callSizeDistribution(channel));
+    EXPECT_LT(distance, 0.05);
+}
+
+TEST(GwpSamplerTest, ZstdLevelSharesConverge)
+{
+    FleetModel model;
+    GwpSampler sampler(model, 13);
+    auto records = sampler.sampleFinalMonth(120000);
+    auto levels = zstdLevelShares(records);
+    double le3 = 0;
+    for (const auto &[level, share] : levels)
+        if (level <= 3)
+            le3 += share;
+    EXPECT_NEAR(le3, 0.88, 0.04);
+}
+
+TEST(GwpSamplerTest, TimelineShowsZstdAdoption)
+{
+    FleetModel model;
+    GwpSampler sampler(model, 15);
+    auto records = sampler.sampleTimeline(600);
+    auto series = channelTimeline(
+        records, {FleetAlgorithm::zstd, Direction::decompress});
+    ASSERT_EQ(series.size(), FleetModel::kMonths);
+    EXPECT_LT(series[24], 0.02);
+    EXPECT_GT(series[95], 0.18);
+}
+
+TEST(GwpSamplerTest, HeavyweightByteShareIsPlausible)
+{
+    // Cycle-weighted sampling does not reproduce byte shares exactly
+    // (heavier algorithms burn more cycles per byte), but the result
+    // must land in a sane band.
+    FleetModel model;
+    GwpSampler sampler(model, 17);
+    auto records = sampler.sampleFinalMonth(60000);
+    double heavy =
+        heavyweightByteShare(records, Direction::decompress);
+    EXPECT_GT(heavy, 0.20);
+    EXPECT_LT(heavy, 0.97);
+}
+
+} // namespace
+} // namespace cdpu::fleet

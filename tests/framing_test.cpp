@@ -1,0 +1,193 @@
+/**
+ * @file
+ * CRC-32C and Snappy framing-format tests: known-answer vectors,
+ * streaming round trips, chunking behaviour, and corruption detection
+ * (the framing layer, unlike raw Snappy, must catch payload bit
+ * flips via its CRCs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "corpus/generators.h"
+#include "snappy/framing.h"
+
+namespace cdpu::snappy
+{
+namespace
+{
+
+TEST(Crc32cTest, KnownAnswerVectors)
+{
+    // RFC 3720 / common CRC-32C test vectors.
+    const char *numbers = "123456789";
+    Bytes data(numbers, numbers + 9);
+    EXPECT_EQ(crc32c(data), 0xe3069283u);
+
+    Bytes zeros(32, 0);
+    EXPECT_EQ(crc32c(zeros), 0x8a9136aau);
+
+    Bytes ffs(32, 0xff);
+    EXPECT_EQ(crc32c(ffs), 0x62a8ab43u);
+}
+
+TEST(Crc32cTest, EmptyIsZero)
+{
+    EXPECT_EQ(crc32c({}), 0u);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot)
+{
+    Rng rng(1);
+    Bytes data = corpus::generateMixed(10000, rng);
+    u32 whole = crc32c(data);
+    u32 incremental = 0;
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+        std::size_t take = std::min<std::size_t>(
+            1 + rng.below(700), data.size() - pos);
+        incremental = crc32cUpdate(
+            incremental, ByteSpan(data.data() + pos, take));
+        pos += take;
+    }
+    EXPECT_EQ(incremental, whole);
+}
+
+TEST(Crc32cTest, MaskRoundTrips)
+{
+    Rng rng(2);
+    for (int i = 0; i < 100; ++i) {
+        u32 crc = static_cast<u32>(rng.next());
+        EXPECT_EQ(unmaskCrc(maskCrc(crc)), crc);
+    }
+    // Spec example property: masking is not the identity.
+    EXPECT_NE(maskCrc(0), 0u);
+}
+
+TEST(FramingTest, EmptyStreamIsJustIdentifier)
+{
+    Bytes framed = frameCompress({});
+    EXPECT_EQ(framed.size(), 10u); // header(4) + "sNaPpY"(6)
+    EXPECT_EQ(framed[0], 0xff);
+    auto out = frameDecompress(framed);
+    ASSERT_TRUE(out.ok());
+    EXPECT_TRUE(out.value().empty());
+}
+
+TEST(FramingTest, RoundTripsAcrossChunkBoundaries)
+{
+    Rng rng(3);
+    for (std::size_t size :
+         {1u, 100u, 65535u, 65536u, 65537u, 200000u}) {
+        Bytes data = corpus::generateMixed(size, rng);
+        Bytes framed = frameCompress(data);
+        auto out = frameDecompress(framed);
+        ASSERT_TRUE(out.ok()) << size << ": "
+                              << out.status().toString();
+        EXPECT_EQ(out.value(), data) << size;
+    }
+}
+
+TEST(FramingTest, IncrementalWritesEqualOneShot)
+{
+    Rng rng(4);
+    Bytes data = corpus::generate(corpus::DataClass::logLike,
+                                  150 * kKiB, rng);
+    FrameWriter writer;
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+        std::size_t take = std::min<std::size_t>(
+            1 + rng.below(30000), data.size() - pos);
+        writer.write(ByteSpan(data.data() + pos, take));
+        pos += take;
+    }
+    Bytes streamed = writer.finish();
+    EXPECT_EQ(streamed, frameCompress(data));
+}
+
+TEST(FramingTest, IncompressibleChunksStayUncompressed)
+{
+    Rng rng(5);
+    Bytes data = corpus::generate(corpus::DataClass::randomBytes,
+                                  64 * kKiB, rng);
+    Bytes framed = frameCompress(data);
+    // identifier(10) + header(4) + crc(4) + raw payload
+    EXPECT_EQ(framed.size(), 10 + 4 + 4 + data.size());
+    EXPECT_EQ(framed[10],
+              static_cast<u8>(ChunkType::uncompressedData));
+}
+
+TEST(FramingTest, SkippableChunksAreSkipped)
+{
+    Bytes framed = frameCompress({});
+    // Append a padding chunk and a skippable user chunk.
+    framed.push_back(0xfe);
+    framed.insert(framed.end(), {3, 0, 0, 'p', 'a', 'd'});
+    framed.push_back(0x80);
+    framed.insert(framed.end(), {1, 0, 0, 'x'});
+    auto out = frameDecompress(framed);
+    ASSERT_TRUE(out.ok()) << out.status().toString();
+    EXPECT_TRUE(out.value().empty());
+}
+
+TEST(FramingTest, UnskippableUnknownChunkRejected)
+{
+    Bytes framed = frameCompress({});
+    framed.push_back(0x02); // reserved unskippable
+    framed.insert(framed.end(), {1, 0, 0, 'x'});
+    EXPECT_FALSE(frameDecompress(framed).ok());
+}
+
+TEST(FramingTest, MissingIdentifierRejected)
+{
+    Rng rng(6);
+    Bytes data = corpus::generateMixed(1000, rng);
+    Bytes framed = frameCompress(data);
+    Bytes headless(framed.begin() + 10, framed.end());
+    EXPECT_FALSE(frameDecompress(headless).ok());
+    EXPECT_FALSE(frameDecompress({}).ok());
+}
+
+TEST(FramingTest, PayloadBitFlipsAreCaughtByCrc)
+{
+    // Raw Snappy cannot detect literal-byte flips; the framing CRC
+    // must catch essentially all of them.
+    Rng rng(7);
+    Bytes data = corpus::generate(corpus::DataClass::textLike,
+                                  32 * kKiB, rng);
+    Bytes framed = frameCompress(data);
+    int undetected = 0;
+    for (int trial = 0; trial < 120; ++trial) {
+        Bytes mutated = framed;
+        // Flip inside chunk bodies only (past the identifier).
+        std::size_t where = 14 + rng.below(mutated.size() - 14);
+        mutated[where] ^= static_cast<u8>(1u << rng.below(8));
+        auto out = frameDecompress(mutated);
+        if (out.ok() && out.value() == data)
+            ++undetected;
+    }
+    EXPECT_EQ(undetected, 0);
+}
+
+TEST(FramingTest, TruncationRejected)
+{
+    Rng rng(8);
+    Bytes data = corpus::generateMixed(100 * kKiB, rng);
+    Bytes framed = frameCompress(data);
+    for (int trial = 0; trial < 40; ++trial) {
+        std::size_t keep = 11 + rng.below(framed.size() - 11);
+        if (keep >= framed.size())
+            continue;
+        Bytes cut(framed.begin(), framed.begin() + keep);
+        auto out = frameDecompress(cut);
+        // Either an error, or (if cut exactly between chunks) a prefix.
+        if (out.ok()) {
+            EXPECT_LT(out.value().size(), data.size());
+        }
+    }
+}
+
+} // namespace
+} // namespace cdpu::snappy

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * GipfeliLite codec tests: literal-class coding, round trips,
+ * taxonomy position (between no compression and Snappy-or-better on
+ * text), and corruption rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "corpus/generators.h"
+#include "gipfeli/gipfeli.h"
+#include "snappy/compress.h"
+
+namespace cdpu::gipfeli
+{
+namespace
+{
+
+class GipfeliRoundTrip
+    : public ::testing::TestWithParam<corpus::DataClass>
+{};
+
+TEST_P(GipfeliRoundTrip, CompressDecompressIsIdentity)
+{
+    Rng rng(static_cast<u64>(GetParam()) + 50);
+    for (std::size_t size : {0u, 1u, 333u, 100 * 1024u, 300 * 1024u}) {
+        Bytes data = corpus::generate(GetParam(), size, rng);
+        Bytes compressed = compress(data);
+        auto out = decompress(compressed);
+        ASSERT_TRUE(out.ok()) << size << ": "
+                              << out.status().toString();
+        EXPECT_EQ(out.value(), data) << size;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, GipfeliRoundTrip,
+    ::testing::Values(corpus::DataClass::textLike,
+                      corpus::DataClass::logLike,
+                      corpus::DataClass::numericTabular,
+                      corpus::DataClass::protobufLike,
+                      corpus::DataClass::randomBytes,
+                      corpus::DataClass::repetitive));
+
+TEST(GipfeliTest, EntropyCodingBeatsPlainLiteralsOnText)
+{
+    // Section 2.2: Gipfeli = Snappy-class LZ77 plus simple entropy
+    // coding, so on literal-heavy text it should compress better than
+    // Snappy (which stores literals raw).
+    Rng rng(11);
+    Bytes data = corpus::generate(corpus::DataClass::textLike,
+                                  512 * kKiB, rng);
+    std::size_t gipfeli_size = compress(data).size();
+    std::size_t snappy_size = snappy::compress(data).size();
+    EXPECT_LT(gipfeli_size, snappy_size);
+}
+
+TEST(GipfeliTest, IncompressibleCostsAtMostTwentyFivePercent)
+{
+    // Worst case: every literal in class C costs 10 bits.
+    Rng rng(13);
+    Bytes data = corpus::generate(corpus::DataClass::randomBytes,
+                                  64 * kKiB, rng);
+    std::size_t size = compress(data).size();
+    EXPECT_LT(size, data.size() + data.size() / 3);
+}
+
+TEST(GipfeliTest, CorruptionNeverCrashes)
+{
+    Rng rng(17);
+    Bytes data = corpus::generateMixed(64 * kKiB, rng);
+    Bytes compressed = compress(data);
+    for (int trial = 0; trial < 150; ++trial) {
+        Bytes mutated = compressed;
+        mutated[rng.below(mutated.size())] ^=
+            static_cast<u8>(1u << rng.below(8));
+        auto out = decompress(mutated); // must not crash or over-read
+        if (out.ok()) {
+            EXPECT_EQ(out.value().size(), data.size());
+        }
+    }
+    for (int trial = 0; trial < 60; ++trial) {
+        std::size_t keep = rng.below(compressed.size());
+        Bytes cut(compressed.begin(), compressed.begin() + keep);
+        EXPECT_FALSE(decompress(cut).ok());
+    }
+}
+
+TEST(GipfeliTest, BadMagicRejected)
+{
+    Bytes data = {1, 2, 3};
+    Bytes compressed = compress(data);
+    compressed[0] = 'X';
+    EXPECT_FALSE(decompress(compressed).ok());
+}
+
+} // namespace
+} // namespace cdpu::gipfeli

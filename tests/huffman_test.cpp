@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Huffman code construction, encode/decode round-trips, length limiting,
+ * and canonical-code invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "corpus/generators.h"
+#include "huffman/decoder.h"
+#include "huffman/encoder.h"
+
+namespace cdpu::huffman
+{
+namespace
+{
+
+double
+kraftSum(const CodeTable &table)
+{
+    double sum = 0;
+    for (u8 len : table.lengths)
+        if (len)
+            sum += std::pow(2.0, -static_cast<double>(len));
+    return sum;
+}
+
+TEST(CodeBuilderTest, RejectsEmptyAlphabet)
+{
+    std::vector<u64> freqs(256, 0);
+    EXPECT_FALSE(buildCodeTable(freqs).ok());
+}
+
+TEST(CodeBuilderTest, SingleSymbolGetsOneBit)
+{
+    std::vector<u64> freqs(256, 0);
+    freqs['z'] = 10;
+    auto table = buildCodeTable(freqs);
+    ASSERT_TRUE(table.ok());
+    EXPECT_EQ(table.value().lengths['z'], 1);
+    EXPECT_EQ(table.value().maxBits, 1u);
+}
+
+TEST(CodeBuilderTest, SkewedFrequenciesGetShortCodes)
+{
+    std::vector<u64> freqs(256, 0);
+    freqs['a'] = 1000;
+    freqs['b'] = 10;
+    freqs['c'] = 10;
+    freqs['d'] = 1;
+    auto table = buildCodeTable(freqs);
+    ASSERT_TRUE(table.ok());
+    EXPECT_LT(table.value().lengths['a'], table.value().lengths['d']);
+    EXPECT_NEAR(kraftSum(table.value()), 1.0, 1e-9);
+}
+
+TEST(CodeBuilderTest, LengthLimitIsEnforced)
+{
+    // Fibonacci-ish frequencies force very deep unconstrained trees.
+    std::vector<u64> freqs(256, 0);
+    u64 a = 1;
+    u64 b = 1;
+    for (int sym = 0; sym < 40; ++sym) {
+        freqs[sym] = a;
+        u64 next = a + b;
+        a = b;
+        b = next;
+    }
+    for (unsigned max_bits : {11u, 12u, 15u}) {
+        auto table = buildCodeTable(freqs, max_bits);
+        ASSERT_TRUE(table.ok()) << max_bits;
+        for (u8 len : table.value().lengths)
+            EXPECT_LE(len, max_bits);
+        EXPECT_LE(kraftSum(table.value()), 1.0 + 1e-9);
+    }
+}
+
+TEST(CodeBuilderTest, RejectsAlphabetTooLargeForMaxBits)
+{
+    std::vector<u64> freqs(256, 1); // 256 symbols cannot fit in 7 bits
+    EXPECT_FALSE(buildCodeTable(freqs, 7).ok());
+    EXPECT_TRUE(buildCodeTable(freqs, 8).ok());
+}
+
+TEST(CodeBuilderTest, UniformFrequenciesGiveFlatCode)
+{
+    std::vector<u64> freqs(16, 5);
+    auto table = buildCodeTable(freqs, 11);
+    ASSERT_TRUE(table.ok());
+    for (u8 len : table.value().lengths)
+        EXPECT_EQ(len, 4);
+}
+
+TEST(CodeBuilderTest, CodesFromLengthsMatchesBuild)
+{
+    std::vector<u64> freqs(256, 0);
+    for (int sym = 0; sym < 20; ++sym)
+        freqs[sym] = 1 + sym * sym;
+    auto built = buildCodeTable(freqs);
+    ASSERT_TRUE(built.ok());
+    auto rebuilt = codesFromLengths(built.value().lengths);
+    ASSERT_TRUE(rebuilt.ok());
+    EXPECT_EQ(built.value().codes, rebuilt.value().codes);
+    EXPECT_EQ(built.value().maxBits, rebuilt.value().maxBits);
+}
+
+TEST(CodeBuilderTest, CodesFromLengthsRejectsOverfull)
+{
+    std::vector<u8> lengths = {1, 1, 1}; // Kraft sum 1.5
+    EXPECT_FALSE(codesFromLengths(lengths).ok());
+}
+
+TEST(CodeBuilderTest, CodesFromLengthsRejectsIncomplete)
+{
+    std::vector<u8> lengths = {2, 2, 2}; // Kraft sum 0.75
+    EXPECT_FALSE(codesFromLengths(lengths).ok());
+}
+
+TEST(CodeBuilderTest, ReverseBits)
+{
+    EXPECT_EQ(reverseBits(0b1, 1), 0b1);
+    EXPECT_EQ(reverseBits(0b110, 3), 0b011);
+    EXPECT_EQ(reverseBits(0b10000000, 8), 0b00000001);
+}
+
+TEST(EncoderTest, BitCostMatchesLengths)
+{
+    std::vector<u64> freqs(256, 0);
+    freqs['x'] = 3;
+    freqs['y'] = 1;
+    auto table = buildCodeTable(freqs);
+    ASSERT_TRUE(table.ok());
+    Bytes stream = {'x', 'x', 'y'};
+    auto cost = encodedBitCost(table.value(), stream);
+    ASSERT_TRUE(cost.ok());
+    u64 expected = 2 * table.value().lengths['x'] +
+                   table.value().lengths['y'];
+    EXPECT_EQ(cost.value(), expected);
+}
+
+TEST(EncoderTest, RejectsUncodedSymbol)
+{
+    std::vector<u64> freqs(256, 0);
+    freqs['x'] = 1;
+    freqs['y'] = 1;
+    auto table = buildCodeTable(freqs);
+    ASSERT_TRUE(table.ok());
+    BitWriter writer;
+    Bytes stream = {'z'};
+    EXPECT_FALSE(encode(table.value(), stream, writer).ok());
+}
+
+TEST(DecoderTest, InvalidPrefixRejected)
+{
+    // Incomplete-by-design single symbol table: pattern "1" never maps
+    // to a symbol when the code for 'q' is "0".
+    std::vector<u64> freqs(256, 0);
+    freqs['q'] = 7;
+    auto table = buildCodeTable(freqs);
+    ASSERT_TRUE(table.ok());
+    auto decoder = Decoder::build(table.value());
+    ASSERT_TRUE(decoder.ok());
+
+    BitWriter writer;
+    writer.put(1, 1); // not 'q''s code if its code is 0
+    Bytes stream = writer.finish();
+    BitReader reader(stream);
+    Bytes out;
+    u16 code = table.value().codes['q'];
+    if (code == 0) {
+        EXPECT_FALSE(decoder.value().decode(reader, 1, out).ok());
+    }
+}
+
+class HuffmanRoundTrip
+    : public ::testing::TestWithParam<corpus::DataClass>
+{};
+
+TEST_P(HuffmanRoundTrip, EncodeDecodeIsIdentity)
+{
+    Rng rng(static_cast<u64>(GetParam()) + 100);
+    Bytes data = corpus::generate(GetParam(), 64 * kKiB, rng);
+
+    auto freqs = countFrequencies(data);
+    auto table = buildCodeTable(freqs);
+    ASSERT_TRUE(table.ok());
+
+    BitWriter writer;
+    ASSERT_TRUE(encode(table.value(), data, writer).ok());
+    Bytes stream = writer.finish();
+
+    auto decoder = Decoder::build(table.value());
+    ASSERT_TRUE(decoder.ok());
+    BitReader reader(stream);
+    Bytes out;
+    ASSERT_TRUE(decoder.value().decode(reader, data.size(), out).ok());
+    EXPECT_EQ(out, data);
+
+    // Entropy sanity: text must compress, random must not beat 8b/sym
+    // by much.
+    double bits_per_symbol =
+        static_cast<double>(stream.size()) * 8 / data.size();
+    if (GetParam() == corpus::DataClass::textLike) {
+        EXPECT_LT(bits_per_symbol, 5.0);
+    }
+    EXPECT_GT(bits_per_symbol, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, HuffmanRoundTrip,
+    ::testing::Values(corpus::DataClass::textLike,
+                      corpus::DataClass::logLike,
+                      corpus::DataClass::numericTabular,
+                      corpus::DataClass::protobufLike,
+                      corpus::DataClass::randomBytes,
+                      corpus::DataClass::repetitive));
+
+TEST(HuffmanPropertyTest, RandomAlphabetsRoundTrip)
+{
+    Rng rng(777);
+    for (int trial = 0; trial < 30; ++trial) {
+        // Random sparse alphabet and random stream over it.
+        std::size_t alphabet = 2 + rng.below(200);
+        std::vector<u8> symbols;
+        for (std::size_t s = 0; s < alphabet; ++s)
+            if (rng.chance(0.7))
+                symbols.push_back(static_cast<u8>(s));
+        if (symbols.size() < 2)
+            symbols = {0, 1};
+
+        Bytes stream_data;
+        for (int i = 0; i < 2000; ++i) {
+            // Skewed pick: favor low indices.
+            std::size_t idx = static_cast<std::size_t>(
+                rng.uniform() * rng.uniform() * symbols.size());
+            stream_data.push_back(symbols[std::min(idx,
+                                                   symbols.size() - 1)]);
+        }
+
+        auto freqs = countFrequencies(stream_data);
+        auto table = buildCodeTable(freqs);
+        ASSERT_TRUE(table.ok());
+        BitWriter writer;
+        ASSERT_TRUE(encode(table.value(), stream_data, writer).ok());
+        Bytes bits = writer.finish();
+        auto decoder = Decoder::build(table.value());
+        ASSERT_TRUE(decoder.ok());
+        BitReader reader(bits);
+        Bytes out;
+        ASSERT_TRUE(
+            decoder.value().decode(reader, stream_data.size(), out).ok());
+        EXPECT_EQ(out, stream_data) << "trial " << trial;
+    }
+}
+
+} // namespace
+} // namespace cdpu::huffman

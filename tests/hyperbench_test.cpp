@@ -1,0 +1,216 @@
+/**
+ * @file
+ * HyperCompressBench generator tests: chunk-library ratio coverage,
+ * greedy assembly accuracy, suite generation, and the Section 4.1
+ * validation criteria (call-size distribution shape, ratio within
+ * 5-10% of the fleet aggregate).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hyperbench/suite_validator.h"
+#include "snappy/compress.h"
+#include "snappy/decompress.h"
+#include "zstdlite/compress.h"
+
+namespace cdpu::hcb
+{
+namespace
+{
+
+/** Shared expensive fixtures (library + generator), built once. */
+class HyperBenchTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        rng_ = new Rng(777);
+        library_ = new ChunkLibrary(ChunkLibraryConfig{}, *rng_);
+        fleet_ = new fleet::FleetModel();
+        SuiteConfig config;
+        config.filesPerSuite = 40;
+        config.maxFileBytes = 1 * kMiB;
+        generator_ = new SuiteGenerator(*fleet_, config);
+        suiteConfig_ = config;
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete generator_;
+        delete fleet_;
+        delete library_;
+        delete rng_;
+    }
+
+    static Rng *rng_;
+    static ChunkLibrary *library_;
+    static fleet::FleetModel *fleet_;
+    static SuiteGenerator *generator_;
+    static SuiteConfig suiteConfig_;
+};
+
+Rng *HyperBenchTest::rng_ = nullptr;
+ChunkLibrary *HyperBenchTest::library_ = nullptr;
+fleet::FleetModel *HyperBenchTest::fleet_ = nullptr;
+SuiteGenerator *HyperBenchTest::generator_ = nullptr;
+SuiteConfig HyperBenchTest::suiteConfig_;
+
+TEST_F(HyperBenchTest, LibraryCoversAWideRatioRange)
+{
+    for (Algorithm algorithm : {Algorithm::snappy, Algorithm::zstd}) {
+        auto [lo, hi] = library_->ratioRange(algorithm);
+        EXPECT_LT(lo, 1.1) << "random chunks must be incompressible";
+        EXPECT_GT(hi, 4.0) << "repetitive chunks must compress well";
+        EXPECT_GT(library_->table(algorithm).size(), 300u);
+    }
+}
+
+TEST_F(HyperBenchTest, LibraryTablesAreSortedByRatio)
+{
+    for (Algorithm algorithm : {Algorithm::snappy, Algorithm::zstd}) {
+        const auto &table = library_->table(algorithm);
+        for (std::size_t i = 1; i < table.size(); ++i)
+            EXPECT_GE(table[i].ratio, table[i - 1].ratio);
+    }
+}
+
+TEST_F(HyperBenchTest, ClosestIndexFindsNearestRatio)
+{
+    const auto &table = library_->table(Algorithm::snappy);
+    for (double target : {1.0, 2.0, 3.5, 100.0}) {
+        std::size_t index =
+            library_->closestIndex(Algorithm::snappy, target);
+        ASSERT_LT(index, table.size());
+        // No other chunk is strictly closer.
+        double best = std::abs(table[index].ratio - target);
+        for (std::size_t i = 0; i < table.size(); ++i)
+            EXPECT_GE(std::abs(table[i].ratio - target) + 1e-12, best);
+    }
+}
+
+TEST_F(HyperBenchTest, AssembledFileHitsSizeExactly)
+{
+    Rng rng(5);
+    for (std::size_t size : {3 * kKiB, 100 * kKiB, 777 * kKiB}) {
+        FileTarget target;
+        target.sizeBytes = size;
+        target.targetRatio = 2.0;
+        Bytes file = assembleFile(*library_, target, rng);
+        EXPECT_EQ(file.size(), size);
+    }
+}
+
+TEST_F(HyperBenchTest, AssembledFileTracksTargetRatio)
+{
+    Rng rng(9);
+    for (double target_ratio : {1.2, 2.0, 3.5}) {
+        FileTarget target;
+        target.algorithm = Algorithm::snappy;
+        target.sizeBytes = 512 * kKiB;
+        target.targetRatio = target_ratio;
+        Bytes file = assembleFile(*library_, target, rng);
+        double achieved =
+            static_cast<double>(file.size()) /
+            static_cast<double>(snappy::compress(file).size());
+        EXPECT_NEAR(achieved, target_ratio, target_ratio * 0.25)
+            << target_ratio;
+    }
+}
+
+TEST_F(HyperBenchTest, SuitesHaveRequestedShape)
+{
+    Suite suite =
+        generator_->generate(Algorithm::zstd, Direction::compress);
+    // The size plan targets the configured count approximately.
+    EXPECT_GE(suite.files.size(), suiteConfig_.filesPerSuite / 3);
+    EXPECT_LE(suite.files.size(), suiteConfig_.filesPerSuite * 20);
+    for (const auto &file : suite.files) {
+        EXPECT_LE(file.data.size(), suiteConfig_.maxFileBytes);
+        EXPECT_GE(file.data.size(), 512u);
+        EXPECT_GE(file.level, zstdlite::kMinLevel);
+        EXPECT_LE(file.level, zstdlite::kMaxLevel);
+        EXPECT_GE(file.windowLog, zstdlite::kMinWindowLog);
+        EXPECT_LE(file.windowLog, zstdlite::kMaxWindowLog);
+        // Files must be compressible with their own parameters.
+        zstdlite::CompressorConfig config;
+        config.level = file.level;
+        config.windowLog = file.windowLog;
+        EXPECT_TRUE(zstdlite::compress(file.data, config).ok());
+    }
+}
+
+TEST_F(HyperBenchTest, GenerationIsDeterministicForSeed)
+{
+    SuiteConfig config;
+    config.filesPerSuite = 6;
+    config.seed = 4242;
+    SuiteGenerator g1(*fleet_, config);
+    SuiteGenerator g2(*fleet_, config);
+    Suite s1 = g1.generate(Algorithm::snappy, Direction::decompress);
+    Suite s2 = g2.generate(Algorithm::snappy, Direction::decompress);
+    ASSERT_EQ(s1.files.size(), s2.files.size());
+    for (std::size_t i = 0; i < s1.files.size(); ++i)
+        EXPECT_EQ(s1.files[i].data, s2.files[i].data);
+}
+
+TEST_F(HyperBenchTest, ValidationReproducesFigure7)
+{
+    // Section 4.1: generated call-size distributions line up with the
+    // fleet distributions, and achieved ratios land within 5-10%.
+    // With laptop-scale file counts we allow a slightly wider band for
+    // the KS distance (the paper uses 8,000-10,000 files).
+    for (Algorithm algorithm : {Algorithm::snappy, Algorithm::zstd}) {
+        for (Direction direction :
+             {Direction::compress, Direction::decompress}) {
+            Suite suite = generator_->generate(algorithm, direction);
+            ValidationReport report = validateSuite(
+                suite, *fleet_, suiteConfig_.maxFileBytes);
+            EXPECT_LT(report.callSizeKsDistance, 0.12)
+                << algorithmName(algorithm) << " "
+                << directionName(direction);
+            EXPECT_GT(report.achievedRatio, 1.2);
+        }
+    }
+}
+
+TEST_F(HyperBenchTest, SnappySuiteRatioNearFleetAggregate)
+{
+    Suite suite =
+        generator_->generate(Algorithm::snappy, Direction::compress);
+    ValidationReport report =
+        validateSuite(suite, *fleet_, suiteConfig_.maxFileBytes);
+    // Paper: within 5-10% of fleet ratios; allow 15% at this scale.
+    EXPECT_LT(report.ratioError(), 0.15)
+        << report.achievedRatio << " vs " << report.fleetRatio;
+}
+
+TEST_F(HyperBenchTest, CappedFleetHistogramFoldsTail)
+{
+    fleet::Channel channel = toFleetChannel(Algorithm::snappy,
+                                            Direction::compress);
+    WeightedHistogram capped =
+        cappedFleetCallSizes(*fleet_, channel, 1 * kMiB);
+    for (const auto &[bin, weight] : capped.bins())
+        EXPECT_LE(bin, 20.0); // ceil(log2(1 MiB)) == 20
+    EXPECT_NEAR(capped.totalWeight(),
+                fleet_->callSizeDistribution(channel).totalWeight(),
+                1e-9);
+}
+
+TEST_F(HyperBenchTest, SuiteFilesRoundTrip)
+{
+    Suite suite =
+        generator_->generate(Algorithm::snappy, Direction::decompress);
+    for (std::size_t i = 0; i < std::min<std::size_t>(5, suite.files.size());
+         ++i) {
+        Bytes compressed = snappy::compress(suite.files[i].data);
+        auto out = snappy::decompress(compressed);
+        ASSERT_TRUE(out.ok());
+        EXPECT_EQ(out.value(), suite.files[i].data);
+    }
+}
+
+} // namespace
+} // namespace cdpu::hcb

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * End-to-end integration tests: the full pipeline (fleet model ->
+ * HyperCompressBench suite -> CDPU sweep), cross-codec properties
+ * (taxonomy ordering, format confusion safety), hardware/software
+ * interchangeability, and model determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cdpu/flate_pu.h"
+#include "cdpu/snappy_pu.h"
+#include "cdpu/zstd_pu.h"
+#include "corpus/generators.h"
+#include "dse/figure_tables.h"
+#include "flatelite/compress.h"
+#include "flatelite/decompress.h"
+#include "gipfeli/gipfeli.h"
+#include "snappy/decompress.h"
+#include "snappy/framing.h"
+#include "zstdlite/decompress.h"
+
+namespace cdpu
+{
+namespace
+{
+
+Bytes
+textData(std::size_t size = 512 * kKiB, u64 seed = 9001)
+{
+    Rng rng(seed);
+    return corpus::generate(corpus::DataClass::textLike, size, rng);
+}
+
+TEST(CrossCodecTest, TaxonomyRatioOrderingOnText)
+{
+    // Section 2.2 taxonomy on literal-heavy text: heavyweight codecs
+    // (ZStd, Flate) beat lightweight ones (Snappy, Gipfeli), and
+    // Gipfeli's entropy coding beats plain Snappy.
+    Bytes data = textData();
+    std::size_t snappy_size = snappy::compress(data).size();
+    std::size_t gipfeli_size = gipfeli::compress(data).size();
+    std::size_t flate_size = flatelite::compress(data).value().size();
+    std::size_t zstd_size = zstdlite::compress(data).value().size();
+
+    EXPECT_LT(gipfeli_size, snappy_size);
+    EXPECT_LT(flate_size, gipfeli_size);
+    EXPECT_LT(zstd_size, snappy_size);
+    // Heavyweight codecs clear 2x on this text; lightweight ones
+    // clear ~1.4x (the fleet's >= 2 aggregates in Figure 2c reflect
+    // fleet data, which is more compressible than this corpus).
+    EXPECT_GT(data.size(), 2 * flate_size);
+    EXPECT_GT(data.size(), 2 * zstd_size);
+    EXPECT_GT(data.size() * 10, 14 * snappy_size);
+    EXPECT_GT(data.size() * 10, 14 * gipfeli_size);
+}
+
+TEST(CrossCodecTest, FormatConfusionFailsCleanly)
+{
+    // Feeding one codec's output to another must error, not crash.
+    Bytes data = textData(64 * kKiB);
+    Bytes snappy_stream = snappy::compress(data);
+    Bytes zstd_stream = zstdlite::compress(data).value();
+    Bytes flate_stream = flatelite::compress(data).value();
+    Bytes gipfeli_stream = gipfeli::compress(data);
+
+    EXPECT_FALSE(zstdlite::decompress(snappy_stream).ok());
+    EXPECT_FALSE(zstdlite::decompress(gipfeli_stream).ok());
+    EXPECT_FALSE(flatelite::decompress(snappy_stream).ok());
+    EXPECT_FALSE(flatelite::decompress(zstd_stream).ok());
+    EXPECT_FALSE(gipfeli::decompress(zstd_stream).ok());
+    EXPECT_FALSE(gipfeli::decompress(flate_stream).ok());
+    EXPECT_FALSE(snappy::frameDecompress(snappy_stream).ok());
+}
+
+TEST(CrossCodecTest, AllCodecsRoundTripAllClasses)
+{
+    // One sweep across every codec x every data class.
+    for (corpus::DataClass cls : corpus::allDataClasses()) {
+        Rng rng(static_cast<u64>(cls) + 777);
+        Bytes data = corpus::generate(cls, 96 * kKiB, rng);
+        std::string name = corpus::dataClassName(cls);
+
+        auto s = snappy::decompress(snappy::compress(data));
+        ASSERT_TRUE(s.ok()) << name;
+        EXPECT_EQ(s.value(), data) << name;
+
+        auto z =
+            zstdlite::decompress(zstdlite::compress(data).value());
+        ASSERT_TRUE(z.ok()) << name;
+        EXPECT_EQ(z.value(), data) << name;
+
+        auto f =
+            flatelite::decompress(flatelite::compress(data).value());
+        ASSERT_TRUE(f.ok()) << name;
+        EXPECT_EQ(f.value(), data) << name;
+
+        auto g = gipfeli::decompress(gipfeli::compress(data));
+        ASSERT_TRUE(g.ok()) << name;
+        EXPECT_EQ(g.value(), data) << name;
+
+        auto framed = snappy::frameDecompress(
+            snappy::frameCompress(data));
+        ASSERT_TRUE(framed.ok()) << name;
+        EXPECT_EQ(framed.value(), data) << name;
+    }
+}
+
+TEST(HwSwInteropTest, HardwareOutputsAreSoftwareReadable)
+{
+    // Every compressor PU's bytes decode with the software library,
+    // and every decompressor PU accepts software-compressed bytes —
+    // the contract that lets services adopt the CDPU transparently.
+    Bytes data = textData(256 * kKiB, 555);
+    hw::CdpuConfig config;
+
+    Bytes hw_snappy;
+    hw::SnappyCompressorPU{config}.run(data, &hw_snappy);
+    EXPECT_EQ(snappy::decompress(hw_snappy).value(), data);
+
+    Bytes hw_zstd;
+    hw::ZstdCompressorPU{config}.run(data, &hw_zstd);
+    EXPECT_EQ(zstdlite::decompress(hw_zstd).value(), data);
+
+    Bytes hw_flate;
+    hw::FlateCompressorPU{config}.run(data, &hw_flate);
+    EXPECT_EQ(flatelite::decompress(hw_flate).value(), data);
+
+    Bytes out;
+    hw::SnappyDecompressorPU{config}.run(snappy::compress(data), &out);
+    EXPECT_EQ(out, data);
+}
+
+TEST(HwSwInteropTest, PuCycleModelIsDeterministic)
+{
+    Bytes data = textData(128 * kKiB, 321);
+    Bytes compressed = snappy::compress(data);
+    hw::CdpuConfig config;
+    hw::SnappyDecompressorPU pu_a{config};
+    hw::SnappyDecompressorPU pu_b{config};
+    auto a = pu_a.run(compressed);
+    auto b = pu_b.run(compressed);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value().cycles, b.value().cycles);
+    EXPECT_EQ(a.value().tlbMisses, b.value().tlbMisses);
+}
+
+TEST(HwSwInteropTest, RepeatedCallsAccumulateWarmth)
+{
+    // A second identical call on the same PU instance can only be
+    // same-or-faster: caches and TLBs are warm (the model keeps
+    // state across calls like the real shared accelerator would).
+    Bytes data = textData(256 * kKiB, 99);
+    Bytes compressed = snappy::compress(data);
+    hw::CdpuConfig config;
+    config.historySramBytes = 2 * kKiB; // force fallbacks -> caches
+    hw::SnappyDecompressorPU pu{config};
+    auto first = pu.run(compressed);
+    auto second = pu.run(compressed);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(second.ok());
+    EXPECT_LE(second.value().fallbackCycles,
+              first.value().fallbackCycles);
+}
+
+TEST(PipelineTest, FleetToSuiteToSweep)
+{
+    // The complete evaluation pipeline at miniature scale.
+    fleet::FleetModel fleet;
+    hcb::SuiteConfig config;
+    config.filesPerSuite = 8;
+    config.maxFileBytes = 256 * kKiB;
+    config.seed = 31415;
+    hcb::SuiteGenerator generator(fleet, config);
+    hcb::Suite suite = generator.generate(
+        baseline::Algorithm::snappy, baseline::Direction::decompress);
+    ASSERT_FALSE(suite.files.empty());
+
+    dse::SweepRunner runner(suite);
+    dse::DsePoint rocc = runner.run(hw::CdpuConfig{});
+    hw::CdpuConfig pcie;
+    pcie.placement = sim::Placement::pcieNoCache;
+    dse::DsePoint pcie_point = runner.run(pcie);
+
+    EXPECT_GT(rocc.speedup(), 1.0);
+    EXPECT_GT(rocc.speedup(), pcie_point.speedup());
+    EXPECT_NEAR(rocc.areaMm2, 0.431, 0.01);
+}
+
+TEST(PipelineTest, SweepIsDeterministic)
+{
+    fleet::FleetModel fleet;
+    hcb::SuiteConfig config;
+    config.filesPerSuite = 6;
+    config.seed = 2718;
+    hcb::SuiteGenerator g1(fleet, config);
+    hcb::SuiteGenerator g2(fleet, config);
+    hcb::Suite s1 = g1.generate(baseline::Algorithm::zstd,
+                                baseline::Direction::decompress);
+    hcb::Suite s2 = g2.generate(baseline::Algorithm::zstd,
+                                baseline::Direction::decompress);
+    dse::SweepRunner r1(s1);
+    dse::SweepRunner r2(s2);
+    EXPECT_DOUBLE_EQ(r1.run(hw::CdpuConfig{}).accelSeconds,
+                     r2.run(hw::CdpuConfig{}).accelSeconds);
+}
+
+TEST(PipelineTest, FramingOverSuiteFiles)
+{
+    // The streaming format handles generated benchmark files intact.
+    fleet::FleetModel fleet;
+    hcb::SuiteConfig config;
+    config.filesPerSuite = 4;
+    config.maxFileBytes = 256 * kKiB;
+    config.seed = 12;
+    hcb::SuiteGenerator generator(fleet, config);
+    hcb::Suite suite = generator.generate(
+        baseline::Algorithm::snappy, baseline::Direction::compress);
+    for (std::size_t i = 0;
+         i < std::min<std::size_t>(4, suite.files.size()); ++i) {
+        const Bytes &data = suite.files[i].data;
+        auto out = snappy::frameDecompress(snappy::frameCompress(data));
+        ASSERT_TRUE(out.ok());
+        EXPECT_EQ(out.value(), data);
+    }
+}
+
+} // namespace
+} // namespace cdpu

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Simulation-substrate tests: event queue ordering, cache behaviour,
+ * memory-hierarchy latencies, placement models, and agreement between
+ * the DES and analytic streaming models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/stream_model.h"
+#include "sim/tlb.h"
+
+namespace cdpu::sim
+{
+namespace
+{
+
+TEST(EventQueueTest, RunsInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(30, [&] { order.push_back(3); });
+    queue.schedule(10, [&] { order.push_back(1); });
+    queue.schedule(20, [&] { order.push_back(2); });
+    queue.runToCompletion();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(queue.now(), 30u);
+}
+
+TEST(EventQueueTest, SameTickIsFifo)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(5, [&] { order.push_back(1); });
+    queue.schedule(5, [&] { order.push_back(2); });
+    queue.schedule(5, [&] { order.push_back(3); });
+    queue.runToCompletion();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, CallbacksMayScheduleMore)
+{
+    EventQueue queue;
+    int fired = 0;
+    std::function<void()> chain = [&]() {
+        ++fired;
+        if (fired < 5)
+            queue.scheduleIn(7, chain);
+    };
+    queue.schedule(0, chain);
+    Tick end = queue.runToCompletion();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(end, 28u);
+}
+
+TEST(CacheTest, HitsAfterFill)
+{
+    SetAssocCache cache({.sizeBytes = 4096, .ways = 2, .lineBytes = 64});
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_TRUE(cache.access(0));
+    EXPECT_TRUE(cache.access(63));   // same line
+    EXPECT_FALSE(cache.access(64));  // next line
+    EXPECT_EQ(cache.stats().hits, 2u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(CacheTest, LruEvictsOldest)
+{
+    // 2 ways, 64B lines, 2 sets -> addresses 0, 256, 512 map to set 0.
+    SetAssocCache cache({.sizeBytes = 256, .ways = 2, .lineBytes = 64});
+    ASSERT_EQ(cache.config().sets(), 2u);
+    cache.access(0);
+    cache.access(256);
+    cache.access(0);    // refresh 0
+    cache.access(512);  // evicts 256 (LRU)
+    EXPECT_TRUE(cache.probe(0));
+    EXPECT_FALSE(cache.probe(256));
+    EXPECT_TRUE(cache.probe(512));
+}
+
+TEST(CacheTest, ProbeDoesNotAllocate)
+{
+    SetAssocCache cache({.sizeBytes = 4096, .ways = 2, .lineBytes = 64});
+    EXPECT_FALSE(cache.probe(128));
+    EXPECT_FALSE(cache.probe(128));
+    EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(CacheTest, ResetClears)
+{
+    SetAssocCache cache({.sizeBytes = 4096, .ways = 2, .lineBytes = 64});
+    cache.access(0);
+    cache.reset();
+    EXPECT_FALSE(cache.probe(0));
+    EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(MemoryHierarchyTest, LatencyGrowsDownTheHierarchy)
+{
+    MemoryHierarchy memory;
+    // Cold: DRAM.
+    u64 cold = memory.access(0, 64);
+    // Warm: L2.
+    u64 warm = memory.access(0, 64);
+    EXPECT_GT(cold, warm);
+    EXPECT_EQ(memory.stats().dramAccesses, 1u);
+    EXPECT_EQ(memory.stats().l2Hits, 1u);
+}
+
+TEST(MemoryHierarchyTest, LlcCatchesL2Evictions)
+{
+    MemoryConfig config;
+    config.l2.sizeBytes = 8 * kKiB; // tiny L2, default LLC
+    MemoryHierarchy memory(config);
+    // Touch 32 KiB: overflows L2 but fits LLC.
+    for (u64 addr = 0; addr < 32 * kKiB; addr += 64)
+        memory.access(addr, 64);
+    u64 dram_before = memory.stats().dramAccesses;
+    // Re-walk: mostly LLC hits, no new DRAM traffic.
+    for (u64 addr = 0; addr < 32 * kKiB; addr += 64)
+        memory.access(addr, 64);
+    EXPECT_EQ(memory.stats().dramAccesses, dram_before);
+    EXPECT_GT(memory.stats().llcHits, 100u);
+}
+
+TEST(MemoryHierarchyTest, BiggerBurstsCostMoreOccupancy)
+{
+    MemoryHierarchy memory;
+    memory.access(0, 64);
+    u64 small = memory.access(0, 64);
+    u64 big = memory.access(0, 1024);
+    EXPECT_GT(big, small);
+}
+
+TEST(PlacementTest, ModelsMatchPaperLatencies)
+{
+    // 2 GHz: 25 ns -> 50 cycles, 200 ns -> 400 cycles.
+    EXPECT_EQ(placementModel(Placement::rocc).linkLatencyCycles, 0u);
+    EXPECT_EQ(placementModel(Placement::chiplet).linkLatencyCycles, 50u);
+    EXPECT_EQ(placementModel(Placement::pcieNoCache).linkLatencyCycles,
+              400u);
+    EXPECT_EQ(
+        placementModel(Placement::pcieLocalCache).linkLatencyCycles,
+        400u);
+    EXPECT_FALSE(placementModel(Placement::pcieLocalCache)
+                     .intermediateCrossesLink);
+    EXPECT_TRUE(
+        placementModel(Placement::pcieNoCache).intermediateCrossesLink);
+    EXPECT_EQ(allPlacements().size(), 4u);
+    EXPECT_EQ(placementName(Placement::rocc), "RoCC");
+}
+
+TEST(StreamModelTest, RoccStreamsAtBusBandwidth)
+{
+    PlacementModel model = placementModel(Placement::rocc);
+    Tick cycles = streamCyclesAnalytic(64 * kKiB, model, 32.0, 20);
+    // ~64Ki/32 = 2048 cycles + startup.
+    EXPECT_NEAR(static_cast<double>(cycles), 2048 + 20, 64);
+}
+
+TEST(StreamModelTest, PcieBandwidthCollapses)
+{
+    PlacementModel rocc = placementModel(Placement::rocc);
+    PlacementModel pcie = placementModel(Placement::pcieNoCache);
+    Tick fast = streamCyclesAnalytic(256 * kKiB, rocc, 32.0, 20);
+    Tick slow = streamCyclesAnalytic(256 * kKiB, pcie, 32.0, 20);
+    EXPECT_GT(slow, 3 * fast);
+}
+
+TEST(StreamModelTest, DesAndAnalyticAgree)
+{
+    Rng rng(2024);
+    for (Placement placement : allPlacements()) {
+        PlacementModel model = placementModel(placement);
+        for (int trial = 0; trial < 4; ++trial) {
+            std::size_t bytes = 1 * kKiB + rng.below(512 * kKiB);
+            MemoryHierarchy memory;
+            // Warm the caches so DES sees mostly-L2 latencies, which is
+            // what the analytic form assumes for streamed buffers.
+            memory.touchStream(0, bytes);
+            Tick des = simulateStreamDes(bytes, model, memory, 0);
+            Tick analytic = streamCyclesAnalytic(
+                bytes, model, memory.config().busBytesPerCycle,
+                memory.config().l2LatencyCycles);
+            double ratio = static_cast<double>(des) /
+                           static_cast<double>(analytic);
+            EXPECT_GT(ratio, 0.5)
+                << placementName(placement) << " " << bytes;
+            EXPECT_LT(ratio, 2.0)
+                << placementName(placement) << " " << bytes;
+        }
+    }
+}
+
+TEST(StreamModelTest, ZeroBytesCostNothing)
+{
+    PlacementModel model = placementModel(Placement::pcieNoCache);
+    MemoryHierarchy memory;
+    EXPECT_EQ(streamCyclesAnalytic(0, model, 32.0, 20), 0u);
+    EXPECT_EQ(simulateStreamDes(0, model, memory, 0), 0u);
+}
+
+TEST(TlbTest, HitsAfterFill)
+{
+    Tlb tlb(4);
+    EXPECT_FALSE(tlb.access(0x1000));
+    EXPECT_TRUE(tlb.access(0x1abc)); // same 4 KiB page
+    EXPECT_FALSE(tlb.access(0x2000));
+    EXPECT_EQ(tlb.stats().hits, 1u);
+    EXPECT_EQ(tlb.stats().misses, 2u);
+}
+
+TEST(TlbTest, LruEviction)
+{
+    Tlb tlb(2);
+    tlb.access(0x1000);
+    tlb.access(0x2000);
+    tlb.access(0x1000); // refresh page 1
+    tlb.access(0x3000); // evicts page 2
+    EXPECT_TRUE(tlb.access(0x1000));
+    EXPECT_FALSE(tlb.access(0x2000));
+}
+
+TEST(TlbTest, AccessRangeCountsPages)
+{
+    Tlb tlb(64);
+    // 3 pages: [0x0fff, 0x3000] spans pages 0,1,2,3.
+    EXPECT_EQ(tlb.accessRange(0x0fff, 0x2002), 4u);
+    EXPECT_EQ(tlb.accessRange(0x0fff, 0x2002), 0u); // all warm
+    EXPECT_EQ(tlb.accessRange(0x0, 0), 0u);
+}
+
+TEST(TlbTest, FlushForgets)
+{
+    Tlb tlb(8);
+    tlb.access(0x5000);
+    tlb.flush();
+    EXPECT_FALSE(tlb.access(0x5000));
+}
+
+TEST(TlbTest, SmallTlbThrashesOnWideRanges)
+{
+    Tlb small(4);
+    Tlb big(256);
+    u64 small_misses = 0;
+    u64 big_misses = 0;
+    // Two passes over 64 pages: the big TLB keeps them all.
+    for (int pass = 0; pass < 2; ++pass) {
+        small_misses += small.accessRange(0, 64 * 4096);
+        big_misses += big.accessRange(0, 64 * 4096);
+    }
+    EXPECT_EQ(big_misses, 64u);
+    EXPECT_EQ(small_misses, 128u);
+}
+
+} // namespace
+} // namespace cdpu::sim

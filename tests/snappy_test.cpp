@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Snappy codec tests: format-level golden vectors, round-trip properties
+ * across data classes and sizes, and corruption rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "corpus/generators.h"
+#include "snappy/compress.h"
+#include "snappy/decompress.h"
+
+namespace cdpu::snappy
+{
+namespace
+{
+
+Bytes
+ascii(const char *s)
+{
+    return Bytes(s, s + std::strlen(s));
+}
+
+TEST(SnappyFormatTest, EmptyInput)
+{
+    Bytes compressed = compress({});
+    ASSERT_EQ(compressed.size(), 1u); // just the varint preamble "0"
+    EXPECT_EQ(compressed[0], 0u);
+    auto out = decompress(compressed);
+    ASSERT_TRUE(out.ok());
+    EXPECT_TRUE(out.value().empty());
+}
+
+TEST(SnappyFormatTest, ShortLiteralGoldenBytes)
+{
+    // "abc": preamble 0x03, literal tag (len-1)<<2 = 0x08, then bytes.
+    Bytes compressed = compress(ascii("abc"));
+    const Bytes expected = {0x03, 0x08, 'a', 'b', 'c'};
+    EXPECT_EQ(compressed, expected);
+}
+
+TEST(SnappyFormatTest, RepeatUsesCopy)
+{
+    // 4-byte motif repeated: after the first literal run the stream must
+    // contain a copy element.
+    Bytes data;
+    for (int i = 0; i < 16; ++i) {
+        data.push_back('w');
+        data.push_back('x');
+        data.push_back('y');
+        data.push_back('z');
+    }
+    Bytes compressed = compress(data);
+    EXPECT_LT(compressed.size(), data.size() / 2);
+
+    std::vector<Element> elements;
+    std::size_t pos = 0;
+    auto len = uncompressedLength(compressed);
+    ASSERT_TRUE(len.ok());
+    pos = 1; // single-byte preamble for size 64
+    ASSERT_TRUE(decodeElements(compressed, pos, len.value(), elements)
+                    .ok());
+    bool has_copy = false;
+    for (const auto &el : elements)
+        has_copy |= el.type != ElementType::literal;
+    EXPECT_TRUE(has_copy);
+}
+
+TEST(SnappyFormatTest, LongLiteralUsesExtensionBytes)
+{
+    // 100 incompressible bytes: literal length needs one extra byte
+    // (tag 60) since 100 > 60.
+    Rng rng(3);
+    Bytes data = corpus::generate(corpus::DataClass::randomBytes, 100,
+                                  rng);
+    Bytes compressed = compress(data);
+    // preamble(1) + tag(1) + len(1) + 100 literal bytes
+    EXPECT_EQ(compressed.size(), 103u);
+    EXPECT_EQ(compressed[1] >> 2, 60u);
+    EXPECT_EQ(compressed[2], 99u);
+    auto out = decompress(compressed);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.value(), data);
+}
+
+TEST(SnappyFormatTest, OverlappingCopyDecodesRle)
+{
+    // Hand-built stream: literal 'A', then copy offset=1 length=10,
+    // classic RLE via overlapping copy.
+    Bytes stream;
+    stream.push_back(11);           // preamble: 11 bytes
+    stream.push_back(0x00);         // literal, length 1
+    stream.push_back('A');
+    // copy2: tag = type 2 | (len-1)<<2 ; len 10 -> 9<<2.
+    stream.push_back(static_cast<u8>(2 | (9 << 2)));
+    stream.push_back(1);            // offset lo
+    stream.push_back(0);            // offset hi
+    auto out = decompress(stream);
+    ASSERT_TRUE(out.ok()) << out.status().toString();
+    EXPECT_EQ(out.value(), ascii("AAAAAAAAAAA"));
+}
+
+TEST(SnappyFormatTest, MaxCompressedSizeIsHonored)
+{
+    Rng rng(17);
+    for (std::size_t size : {0u, 1u, 100u, 70000u}) {
+        Bytes data =
+            corpus::generate(corpus::DataClass::randomBytes, size, rng);
+        Bytes compressed = compress(data);
+        EXPECT_LE(compressed.size(), maxCompressedSize(size));
+    }
+}
+
+// --- Corruption rejection ----------------------------------------------
+
+TEST(SnappyCorruptionTest, TruncatedPreamble)
+{
+    EXPECT_FALSE(decompress({}).ok());
+    Bytes only_continuation = {0x80};
+    EXPECT_FALSE(decompress(only_continuation).ok());
+}
+
+TEST(SnappyCorruptionTest, BodyShorterThanPreamble)
+{
+    Bytes stream = {0x0a, 0x04, 'a', 'b'}; // claims 10, literal of 2
+    EXPECT_FALSE(decompress(stream).ok());
+}
+
+TEST(SnappyCorruptionTest, BodyLongerThanPreamble)
+{
+    Bytes stream = {0x01, 0x04, 'a', 'b'}; // claims 1, literal of 2
+    EXPECT_FALSE(decompress(stream).ok());
+}
+
+TEST(SnappyCorruptionTest, CopyBeyondHistory)
+{
+    Bytes stream;
+    stream.push_back(8);
+    stream.push_back(0x00); // literal len 1
+    stream.push_back('A');
+    stream.push_back(static_cast<u8>(2 | (6 << 2))); // copy2 len 7
+    stream.push_back(200); // offset 200 >> history of 1
+    stream.push_back(0);
+    EXPECT_FALSE(decompress(stream).ok());
+}
+
+TEST(SnappyCorruptionTest, ZeroOffsetCopy)
+{
+    Bytes stream;
+    stream.push_back(8);
+    stream.push_back(0x00);
+    stream.push_back('A');
+    stream.push_back(static_cast<u8>(2 | (6 << 2)));
+    stream.push_back(0); // offset 0: invalid
+    stream.push_back(0);
+    EXPECT_FALSE(decompress(stream).ok());
+}
+
+TEST(SnappyCorruptionTest, TruncatedCopyOperand)
+{
+    Bytes stream;
+    stream.push_back(8);
+    stream.push_back(0x00);
+    stream.push_back('A');
+    stream.push_back(static_cast<u8>(2 | (6 << 2))); // copy2 needs 2 more
+    stream.push_back(1);
+    EXPECT_FALSE(decompress(stream).ok());
+}
+
+TEST(SnappyCorruptionTest, RandomBitFlipsNeverCrash)
+{
+    Rng rng(23);
+    Bytes data = corpus::generate(corpus::DataClass::textLike, 8 * kKiB,
+                                  rng);
+    Bytes compressed = compress(data);
+    for (int trial = 0; trial < 200; ++trial) {
+        Bytes mutated = compressed;
+        std::size_t where = rng.below(mutated.size());
+        mutated[where] ^= static_cast<u8>(1u << rng.below(8));
+        auto out = decompress(mutated); // must not crash or over-read
+        if (out.ok()) {
+            // A flip may land in literal bytes and still "succeed";
+            // size must still match the preamble then.
+            EXPECT_EQ(out.value().size(), data.size());
+        }
+    }
+}
+
+TEST(SnappyCorruptionTest, RandomTruncationNeverCrashes)
+{
+    Rng rng(29);
+    Bytes data = corpus::generate(corpus::DataClass::logLike, 8 * kKiB,
+                                  rng);
+    Bytes compressed = compress(data);
+    for (int trial = 0; trial < 100; ++trial) {
+        std::size_t keep = rng.below(compressed.size());
+        Bytes cut(compressed.begin(), compressed.begin() + keep);
+        EXPECT_FALSE(decompress(cut).ok());
+    }
+}
+
+// --- Round-trip properties ----------------------------------------------
+
+struct SnappyCase
+{
+    corpus::DataClass cls;
+    std::size_t size;
+    u64 seed;
+};
+
+class SnappyRoundTrip : public ::testing::TestWithParam<SnappyCase>
+{};
+
+TEST_P(SnappyRoundTrip, CompressDecompressIsIdentity)
+{
+    const auto &param = GetParam();
+    Rng rng(param.seed);
+    Bytes data = corpus::generate(param.cls, param.size, rng);
+    Bytes compressed = compress(data);
+    auto out = decompress(compressed);
+    ASSERT_TRUE(out.ok()) << out.status().toString();
+    EXPECT_EQ(out.value(), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndClasses, SnappyRoundTrip,
+    ::testing::Values(
+        SnappyCase{corpus::DataClass::textLike, 1, 1},
+        SnappyCase{corpus::DataClass::textLike, 4 * kKiB, 2},
+        SnappyCase{corpus::DataClass::textLike, 300 * kKiB, 3},
+        SnappyCase{corpus::DataClass::logLike, 64 * kKiB, 4},
+        SnappyCase{corpus::DataClass::logLike, 1 * kMiB, 5},
+        SnappyCase{corpus::DataClass::numericTabular, 100 * kKiB, 6},
+        SnappyCase{corpus::DataClass::protobufLike, 100 * kKiB, 7},
+        SnappyCase{corpus::DataClass::randomBytes, 64 * kKiB + 1, 8},
+        SnappyCase{corpus::DataClass::repetitive, 256 * kKiB, 9},
+        SnappyCase{corpus::DataClass::repetitive, 65, 10}));
+
+TEST(SnappyConfigTest, SmallWindowStillRoundTrips)
+{
+    Rng rng(41);
+    Bytes data = corpus::generateMixed(200 * kKiB, rng);
+    for (std::size_t window : {2 * kKiB, 8 * kKiB, 64 * kKiB}) {
+        CompressorConfig config;
+        config.windowSize = window;
+        Bytes compressed = compress(data, config);
+        auto out = decompress(compressed);
+        ASSERT_TRUE(out.ok()) << window;
+        EXPECT_EQ(out.value(), data);
+    }
+}
+
+TEST(SnappyConfigTest, SmallerWindowNeverCompressesBetter)
+{
+    // Figure 12's ratio series: shrinking the history window can only
+    // lose matches (modulo small hash interactions).
+    Rng rng(43);
+    Bytes data = corpus::generateMixed(512 * kKiB, rng, 32 * kKiB);
+    std::size_t prev = 0;
+    for (std::size_t window : {64 * kKiB, 8 * kKiB, 2 * kKiB}) {
+        CompressorConfig config;
+        config.windowSize = window;
+        config.skipAcceleration = false;
+        std::size_t size = compress(data, config).size();
+        // Shrinking the window can only lose matches, so the compressed
+        // size must be monotonically non-decreasing (small slack).
+        EXPECT_GE(size + size / 50, prev) << window;
+        prev = size;
+    }
+}
+
+TEST(SnappyConfigTest, HashEntriesSweepRoundTrips)
+{
+    Rng rng(47);
+    Bytes data = corpus::generateMixed(128 * kKiB, rng);
+    for (unsigned log2_entries : {9u, 11u, 14u}) {
+        CompressorConfig config;
+        config.hashTable.log2Entries = log2_entries;
+        auto out = decompress(compress(data, config));
+        ASSERT_TRUE(out.ok());
+        EXPECT_EQ(out.value(), data);
+    }
+}
+
+TEST(SnappyConfigTest, NoSkipAccelerationImprovesRatioOnMixedData)
+{
+    // Section 6.3: the hardware keeps probing where software skips,
+    // gaining ~1% compression ratio. Verify the direction.
+    Rng rng(53);
+    Bytes data = corpus::generateMixed(512 * kKiB, rng, 16 * kKiB);
+    CompressorConfig with_skip;
+    CompressorConfig no_skip;
+    no_skip.skipAcceleration = false;
+    std::size_t skip_size = compress(data, with_skip).size();
+    std::size_t noskip_size = compress(data, no_skip).size();
+    EXPECT_LE(noskip_size, skip_size);
+}
+
+TEST(SnappyStatsTest, StatsReflectWork)
+{
+    Rng rng(59);
+    Bytes data = corpus::generate(corpus::DataClass::logLike, 256 * kKiB,
+                                  rng);
+    lz77::MatchFinderStats stats;
+    compress(data, {}, &stats);
+    EXPECT_EQ(stats.matchBytes + stats.literalBytes, data.size());
+    EXPECT_GT(stats.matchBytes, data.size() / 2); // logs are templated
+}
+
+} // namespace
+} // namespace cdpu::snappy
