@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_generator_reuse.dir/bench/bench_ablation_generator_reuse.cpp.o"
+  "CMakeFiles/bench_ablation_generator_reuse.dir/bench/bench_ablation_generator_reuse.cpp.o.d"
+  "bench/bench_ablation_generator_reuse"
+  "bench/bench_ablation_generator_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_generator_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

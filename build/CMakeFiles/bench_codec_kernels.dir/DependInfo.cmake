@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_codec_kernels.cpp" "CMakeFiles/bench_codec_kernels.dir/bench/bench_codec_kernels.cpp.o" "gcc" "CMakeFiles/bench_codec_kernels.dir/bench/bench_codec_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdpu_snappy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdpu_zstdlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdpu_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdpu_lz77.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdpu_huffman.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdpu_fse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

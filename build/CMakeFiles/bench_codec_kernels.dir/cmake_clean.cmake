@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_codec_kernels.dir/bench/bench_codec_kernels.cpp.o"
+  "CMakeFiles/bench_codec_kernels.dir/bench/bench_codec_kernels.cpp.o.d"
+  "bench/bench_codec_kernels"
+  "bench/bench_codec_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codec_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

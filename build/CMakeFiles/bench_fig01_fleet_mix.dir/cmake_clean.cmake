@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_fleet_mix.dir/bench/bench_fig01_fleet_mix.cpp.o"
+  "CMakeFiles/bench_fig01_fleet_mix.dir/bench/bench_fig01_fleet_mix.cpp.o.d"
+  "bench/bench_fig01_fleet_mix"
+  "bench/bench_fig01_fleet_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_fleet_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

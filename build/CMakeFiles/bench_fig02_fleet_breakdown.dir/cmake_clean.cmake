@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_fleet_breakdown.dir/bench/bench_fig02_fleet_breakdown.cpp.o"
+  "CMakeFiles/bench_fig02_fleet_breakdown.dir/bench/bench_fig02_fleet_breakdown.cpp.o.d"
+  "bench/bench_fig02_fleet_breakdown"
+  "bench/bench_fig02_fleet_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_fleet_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_call_sizes.dir/bench/bench_fig03_call_sizes.cpp.o"
+  "CMakeFiles/bench_fig03_call_sizes.dir/bench/bench_fig03_call_sizes.cpp.o.d"
+  "bench/bench_fig03_call_sizes"
+  "bench/bench_fig03_call_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_call_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig06_oss_call_sizes.cpp" "CMakeFiles/bench_fig06_oss_call_sizes.dir/bench/bench_fig06_oss_call_sizes.cpp.o" "gcc" "CMakeFiles/bench_fig06_oss_call_sizes.dir/bench/bench_fig06_oss_call_sizes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdpu_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdpu_hyperbench.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdpu_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdpu_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdpu_snappy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdpu_zstdlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdpu_lz77.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdpu_huffman.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdpu_fse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

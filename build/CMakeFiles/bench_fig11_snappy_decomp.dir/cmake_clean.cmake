@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_snappy_decomp.dir/bench/bench_fig11_snappy_decomp.cpp.o"
+  "CMakeFiles/bench_fig11_snappy_decomp.dir/bench/bench_fig11_snappy_decomp.cpp.o.d"
+  "bench/bench_fig11_snappy_decomp"
+  "bench/bench_fig11_snappy_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_snappy_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_snappy_comp.dir/bench/bench_fig12_snappy_comp.cpp.o"
+  "CMakeFiles/bench_fig12_snappy_comp.dir/bench/bench_fig12_snappy_comp.cpp.o.d"
+  "bench/bench_fig12_snappy_comp"
+  "bench/bench_fig12_snappy_comp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_snappy_comp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_snappy_comp_ht9.dir/bench/bench_fig13_snappy_comp_ht9.cpp.o"
+  "CMakeFiles/bench_fig13_snappy_comp_ht9.dir/bench/bench_fig13_snappy_comp_ht9.cpp.o.d"
+  "bench/bench_fig13_snappy_comp_ht9"
+  "bench/bench_fig13_snappy_comp_ht9.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_snappy_comp_ht9.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

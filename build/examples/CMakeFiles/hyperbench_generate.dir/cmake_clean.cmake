@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperbench_generate.dir/hyperbench_generate.cpp.o"
+  "CMakeFiles/hyperbench_generate.dir/hyperbench_generate.cpp.o.d"
+  "hyperbench_generate"
+  "hyperbench_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperbench_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

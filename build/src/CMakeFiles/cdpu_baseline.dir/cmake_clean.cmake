@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_baseline.dir/baseline/lzbench_harness.cpp.o"
+  "CMakeFiles/cdpu_baseline.dir/baseline/lzbench_harness.cpp.o.d"
+  "CMakeFiles/cdpu_baseline.dir/baseline/xeon_cost_model.cpp.o"
+  "CMakeFiles/cdpu_baseline.dir/baseline/xeon_cost_model.cpp.o.d"
+  "libcdpu_baseline.a"
+  "libcdpu_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/cli.cpp" "src/CMakeFiles/cdpu_common.dir/common/cli.cpp.o" "gcc" "src/CMakeFiles/cdpu_common.dir/common/cli.cpp.o.d"
+  "/root/repo/src/common/crc32c.cpp" "src/CMakeFiles/cdpu_common.dir/common/crc32c.cpp.o" "gcc" "src/CMakeFiles/cdpu_common.dir/common/crc32c.cpp.o.d"
+  "/root/repo/src/common/hexdump.cpp" "src/CMakeFiles/cdpu_common.dir/common/hexdump.cpp.o" "gcc" "src/CMakeFiles/cdpu_common.dir/common/hexdump.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "src/CMakeFiles/cdpu_common.dir/common/histogram.cpp.o" "gcc" "src/CMakeFiles/cdpu_common.dir/common/histogram.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/cdpu_common.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/cdpu_common.dir/common/table.cpp.o.d"
+  "/root/repo/src/common/varint.cpp" "src/CMakeFiles/cdpu_common.dir/common/varint.cpp.o" "gcc" "src/CMakeFiles/cdpu_common.dir/common/varint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

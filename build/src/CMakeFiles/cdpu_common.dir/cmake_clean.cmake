@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_common.dir/common/cli.cpp.o"
+  "CMakeFiles/cdpu_common.dir/common/cli.cpp.o.d"
+  "CMakeFiles/cdpu_common.dir/common/crc32c.cpp.o"
+  "CMakeFiles/cdpu_common.dir/common/crc32c.cpp.o.d"
+  "CMakeFiles/cdpu_common.dir/common/hexdump.cpp.o"
+  "CMakeFiles/cdpu_common.dir/common/hexdump.cpp.o.d"
+  "CMakeFiles/cdpu_common.dir/common/histogram.cpp.o"
+  "CMakeFiles/cdpu_common.dir/common/histogram.cpp.o.d"
+  "CMakeFiles/cdpu_common.dir/common/table.cpp.o"
+  "CMakeFiles/cdpu_common.dir/common/table.cpp.o.d"
+  "CMakeFiles/cdpu_common.dir/common/varint.cpp.o"
+  "CMakeFiles/cdpu_common.dir/common/varint.cpp.o.d"
+  "libcdpu_common.a"
+  "libcdpu_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/chunker.cpp" "src/CMakeFiles/cdpu_corpus.dir/corpus/chunker.cpp.o" "gcc" "src/CMakeFiles/cdpu_corpus.dir/corpus/chunker.cpp.o.d"
+  "/root/repo/src/corpus/generators.cpp" "src/CMakeFiles/cdpu_corpus.dir/corpus/generators.cpp.o" "gcc" "src/CMakeFiles/cdpu_corpus.dir/corpus/generators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_corpus.dir/corpus/chunker.cpp.o"
+  "CMakeFiles/cdpu_corpus.dir/corpus/chunker.cpp.o.d"
+  "CMakeFiles/cdpu_corpus.dir/corpus/generators.cpp.o"
+  "CMakeFiles/cdpu_corpus.dir/corpus/generators.cpp.o.d"
+  "libcdpu_corpus.a"
+  "libcdpu_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

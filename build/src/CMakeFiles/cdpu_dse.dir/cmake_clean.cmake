@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_dse.dir/dse/figure_tables.cpp.o"
+  "CMakeFiles/cdpu_dse.dir/dse/figure_tables.cpp.o.d"
+  "CMakeFiles/cdpu_dse.dir/dse/sweep_runner.cpp.o"
+  "CMakeFiles/cdpu_dse.dir/dse/sweep_runner.cpp.o.d"
+  "libcdpu_dse.a"
+  "libcdpu_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_flatelite.dir/flatelite/compress.cpp.o"
+  "CMakeFiles/cdpu_flatelite.dir/flatelite/compress.cpp.o.d"
+  "CMakeFiles/cdpu_flatelite.dir/flatelite/decompress.cpp.o"
+  "CMakeFiles/cdpu_flatelite.dir/flatelite/decompress.cpp.o.d"
+  "CMakeFiles/cdpu_flatelite.dir/flatelite/format.cpp.o"
+  "CMakeFiles/cdpu_flatelite.dir/flatelite/format.cpp.o.d"
+  "libcdpu_flatelite.a"
+  "libcdpu_flatelite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_flatelite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fleet/fleet_model.cpp" "src/CMakeFiles/cdpu_fleet.dir/fleet/fleet_model.cpp.o" "gcc" "src/CMakeFiles/cdpu_fleet.dir/fleet/fleet_model.cpp.o.d"
+  "/root/repo/src/fleet/gwp_sampler.cpp" "src/CMakeFiles/cdpu_fleet.dir/fleet/gwp_sampler.cpp.o" "gcc" "src/CMakeFiles/cdpu_fleet.dir/fleet/gwp_sampler.cpp.o.d"
+  "/root/repo/src/fleet/reports.cpp" "src/CMakeFiles/cdpu_fleet.dir/fleet/reports.cpp.o" "gcc" "src/CMakeFiles/cdpu_fleet.dir/fleet/reports.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

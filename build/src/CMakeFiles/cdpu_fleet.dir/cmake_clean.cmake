@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_fleet.dir/fleet/fleet_model.cpp.o"
+  "CMakeFiles/cdpu_fleet.dir/fleet/fleet_model.cpp.o.d"
+  "CMakeFiles/cdpu_fleet.dir/fleet/gwp_sampler.cpp.o"
+  "CMakeFiles/cdpu_fleet.dir/fleet/gwp_sampler.cpp.o.d"
+  "CMakeFiles/cdpu_fleet.dir/fleet/reports.cpp.o"
+  "CMakeFiles/cdpu_fleet.dir/fleet/reports.cpp.o.d"
+  "libcdpu_fleet.a"
+  "libcdpu_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

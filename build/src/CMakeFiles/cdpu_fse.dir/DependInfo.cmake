@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fse/decoder.cpp" "src/CMakeFiles/cdpu_fse.dir/fse/decoder.cpp.o" "gcc" "src/CMakeFiles/cdpu_fse.dir/fse/decoder.cpp.o.d"
+  "/root/repo/src/fse/encoder.cpp" "src/CMakeFiles/cdpu_fse.dir/fse/encoder.cpp.o" "gcc" "src/CMakeFiles/cdpu_fse.dir/fse/encoder.cpp.o.d"
+  "/root/repo/src/fse/normalize.cpp" "src/CMakeFiles/cdpu_fse.dir/fse/normalize.cpp.o" "gcc" "src/CMakeFiles/cdpu_fse.dir/fse/normalize.cpp.o.d"
+  "/root/repo/src/fse/table.cpp" "src/CMakeFiles/cdpu_fse.dir/fse/table.cpp.o" "gcc" "src/CMakeFiles/cdpu_fse.dir/fse/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

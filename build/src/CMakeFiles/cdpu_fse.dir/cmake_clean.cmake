@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_fse.dir/fse/decoder.cpp.o"
+  "CMakeFiles/cdpu_fse.dir/fse/decoder.cpp.o.d"
+  "CMakeFiles/cdpu_fse.dir/fse/encoder.cpp.o"
+  "CMakeFiles/cdpu_fse.dir/fse/encoder.cpp.o.d"
+  "CMakeFiles/cdpu_fse.dir/fse/normalize.cpp.o"
+  "CMakeFiles/cdpu_fse.dir/fse/normalize.cpp.o.d"
+  "CMakeFiles/cdpu_fse.dir/fse/table.cpp.o"
+  "CMakeFiles/cdpu_fse.dir/fse/table.cpp.o.d"
+  "libcdpu_fse.a"
+  "libcdpu_fse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_fse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_gipfeli.dir/gipfeli/gipfeli.cpp.o"
+  "CMakeFiles/cdpu_gipfeli.dir/gipfeli/gipfeli.cpp.o.d"
+  "libcdpu_gipfeli.a"
+  "libcdpu_gipfeli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_gipfeli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

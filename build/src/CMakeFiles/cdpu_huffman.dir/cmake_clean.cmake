@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_huffman.dir/huffman/code_builder.cpp.o"
+  "CMakeFiles/cdpu_huffman.dir/huffman/code_builder.cpp.o.d"
+  "CMakeFiles/cdpu_huffman.dir/huffman/decoder.cpp.o"
+  "CMakeFiles/cdpu_huffman.dir/huffman/decoder.cpp.o.d"
+  "CMakeFiles/cdpu_huffman.dir/huffman/encoder.cpp.o"
+  "CMakeFiles/cdpu_huffman.dir/huffman/encoder.cpp.o.d"
+  "libcdpu_huffman.a"
+  "libcdpu_huffman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_huffman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

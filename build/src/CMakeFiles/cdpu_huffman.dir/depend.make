@@ -1,0 +1,2 @@
+# Empty dependencies file for cdpu_huffman.
+# This may be replaced when dependencies are built.

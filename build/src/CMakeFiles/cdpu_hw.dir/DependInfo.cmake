@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdpu/area_model.cpp" "src/CMakeFiles/cdpu_hw.dir/cdpu/area_model.cpp.o" "gcc" "src/CMakeFiles/cdpu_hw.dir/cdpu/area_model.cpp.o.d"
+  "/root/repo/src/cdpu/call_assembly.cpp" "src/CMakeFiles/cdpu_hw.dir/cdpu/call_assembly.cpp.o" "gcc" "src/CMakeFiles/cdpu_hw.dir/cdpu/call_assembly.cpp.o.d"
+  "/root/repo/src/cdpu/cdpu_config.cpp" "src/CMakeFiles/cdpu_hw.dir/cdpu/cdpu_config.cpp.o" "gcc" "src/CMakeFiles/cdpu_hw.dir/cdpu/cdpu_config.cpp.o.d"
+  "/root/repo/src/cdpu/flate_pu.cpp" "src/CMakeFiles/cdpu_hw.dir/cdpu/flate_pu.cpp.o" "gcc" "src/CMakeFiles/cdpu_hw.dir/cdpu/flate_pu.cpp.o.d"
+  "/root/repo/src/cdpu/fse_units.cpp" "src/CMakeFiles/cdpu_hw.dir/cdpu/fse_units.cpp.o" "gcc" "src/CMakeFiles/cdpu_hw.dir/cdpu/fse_units.cpp.o.d"
+  "/root/repo/src/cdpu/huffman_units.cpp" "src/CMakeFiles/cdpu_hw.dir/cdpu/huffman_units.cpp.o" "gcc" "src/CMakeFiles/cdpu_hw.dir/cdpu/huffman_units.cpp.o.d"
+  "/root/repo/src/cdpu/lz77_decoder_unit.cpp" "src/CMakeFiles/cdpu_hw.dir/cdpu/lz77_decoder_unit.cpp.o" "gcc" "src/CMakeFiles/cdpu_hw.dir/cdpu/lz77_decoder_unit.cpp.o.d"
+  "/root/repo/src/cdpu/lz77_encoder_unit.cpp" "src/CMakeFiles/cdpu_hw.dir/cdpu/lz77_encoder_unit.cpp.o" "gcc" "src/CMakeFiles/cdpu_hw.dir/cdpu/lz77_encoder_unit.cpp.o.d"
+  "/root/repo/src/cdpu/snappy_pu.cpp" "src/CMakeFiles/cdpu_hw.dir/cdpu/snappy_pu.cpp.o" "gcc" "src/CMakeFiles/cdpu_hw.dir/cdpu/snappy_pu.cpp.o.d"
+  "/root/repo/src/cdpu/zstd_pu.cpp" "src/CMakeFiles/cdpu_hw.dir/cdpu/zstd_pu.cpp.o" "gcc" "src/CMakeFiles/cdpu_hw.dir/cdpu/zstd_pu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdpu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdpu_snappy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdpu_zstdlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdpu_flatelite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdpu_fse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdpu_lz77.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdpu_huffman.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

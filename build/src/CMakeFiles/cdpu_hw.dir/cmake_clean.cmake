@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_hw.dir/cdpu/area_model.cpp.o"
+  "CMakeFiles/cdpu_hw.dir/cdpu/area_model.cpp.o.d"
+  "CMakeFiles/cdpu_hw.dir/cdpu/call_assembly.cpp.o"
+  "CMakeFiles/cdpu_hw.dir/cdpu/call_assembly.cpp.o.d"
+  "CMakeFiles/cdpu_hw.dir/cdpu/cdpu_config.cpp.o"
+  "CMakeFiles/cdpu_hw.dir/cdpu/cdpu_config.cpp.o.d"
+  "CMakeFiles/cdpu_hw.dir/cdpu/flate_pu.cpp.o"
+  "CMakeFiles/cdpu_hw.dir/cdpu/flate_pu.cpp.o.d"
+  "CMakeFiles/cdpu_hw.dir/cdpu/fse_units.cpp.o"
+  "CMakeFiles/cdpu_hw.dir/cdpu/fse_units.cpp.o.d"
+  "CMakeFiles/cdpu_hw.dir/cdpu/huffman_units.cpp.o"
+  "CMakeFiles/cdpu_hw.dir/cdpu/huffman_units.cpp.o.d"
+  "CMakeFiles/cdpu_hw.dir/cdpu/lz77_decoder_unit.cpp.o"
+  "CMakeFiles/cdpu_hw.dir/cdpu/lz77_decoder_unit.cpp.o.d"
+  "CMakeFiles/cdpu_hw.dir/cdpu/lz77_encoder_unit.cpp.o"
+  "CMakeFiles/cdpu_hw.dir/cdpu/lz77_encoder_unit.cpp.o.d"
+  "CMakeFiles/cdpu_hw.dir/cdpu/snappy_pu.cpp.o"
+  "CMakeFiles/cdpu_hw.dir/cdpu/snappy_pu.cpp.o.d"
+  "CMakeFiles/cdpu_hw.dir/cdpu/zstd_pu.cpp.o"
+  "CMakeFiles/cdpu_hw.dir/cdpu/zstd_pu.cpp.o.d"
+  "libcdpu_hw.a"
+  "libcdpu_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

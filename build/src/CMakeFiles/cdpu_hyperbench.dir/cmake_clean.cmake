@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_hyperbench.dir/hyperbench/chunk_library.cpp.o"
+  "CMakeFiles/cdpu_hyperbench.dir/hyperbench/chunk_library.cpp.o.d"
+  "CMakeFiles/cdpu_hyperbench.dir/hyperbench/greedy_assembler.cpp.o"
+  "CMakeFiles/cdpu_hyperbench.dir/hyperbench/greedy_assembler.cpp.o.d"
+  "CMakeFiles/cdpu_hyperbench.dir/hyperbench/suite_generator.cpp.o"
+  "CMakeFiles/cdpu_hyperbench.dir/hyperbench/suite_generator.cpp.o.d"
+  "CMakeFiles/cdpu_hyperbench.dir/hyperbench/suite_validator.cpp.o"
+  "CMakeFiles/cdpu_hyperbench.dir/hyperbench/suite_validator.cpp.o.d"
+  "libcdpu_hyperbench.a"
+  "libcdpu_hyperbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_hyperbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

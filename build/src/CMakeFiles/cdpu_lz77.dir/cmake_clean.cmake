@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_lz77.dir/lz77/hash_table.cpp.o"
+  "CMakeFiles/cdpu_lz77.dir/lz77/hash_table.cpp.o.d"
+  "CMakeFiles/cdpu_lz77.dir/lz77/match_finder.cpp.o"
+  "CMakeFiles/cdpu_lz77.dir/lz77/match_finder.cpp.o.d"
+  "libcdpu_lz77.a"
+  "libcdpu_lz77.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_lz77.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cpp" "src/CMakeFiles/cdpu_sim.dir/sim/cache.cpp.o" "gcc" "src/CMakeFiles/cdpu_sim.dir/sim/cache.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/cdpu_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/cdpu_sim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/memory_hierarchy.cpp" "src/CMakeFiles/cdpu_sim.dir/sim/memory_hierarchy.cpp.o" "gcc" "src/CMakeFiles/cdpu_sim.dir/sim/memory_hierarchy.cpp.o.d"
+  "/root/repo/src/sim/placement.cpp" "src/CMakeFiles/cdpu_sim.dir/sim/placement.cpp.o" "gcc" "src/CMakeFiles/cdpu_sim.dir/sim/placement.cpp.o.d"
+  "/root/repo/src/sim/stream_model.cpp" "src/CMakeFiles/cdpu_sim.dir/sim/stream_model.cpp.o" "gcc" "src/CMakeFiles/cdpu_sim.dir/sim/stream_model.cpp.o.d"
+  "/root/repo/src/sim/tlb.cpp" "src/CMakeFiles/cdpu_sim.dir/sim/tlb.cpp.o" "gcc" "src/CMakeFiles/cdpu_sim.dir/sim/tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_sim.dir/sim/cache.cpp.o"
+  "CMakeFiles/cdpu_sim.dir/sim/cache.cpp.o.d"
+  "CMakeFiles/cdpu_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/cdpu_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/cdpu_sim.dir/sim/memory_hierarchy.cpp.o"
+  "CMakeFiles/cdpu_sim.dir/sim/memory_hierarchy.cpp.o.d"
+  "CMakeFiles/cdpu_sim.dir/sim/placement.cpp.o"
+  "CMakeFiles/cdpu_sim.dir/sim/placement.cpp.o.d"
+  "CMakeFiles/cdpu_sim.dir/sim/stream_model.cpp.o"
+  "CMakeFiles/cdpu_sim.dir/sim/stream_model.cpp.o.d"
+  "CMakeFiles/cdpu_sim.dir/sim/tlb.cpp.o"
+  "CMakeFiles/cdpu_sim.dir/sim/tlb.cpp.o.d"
+  "libcdpu_sim.a"
+  "libcdpu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

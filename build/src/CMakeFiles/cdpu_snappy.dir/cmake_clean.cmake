@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_snappy.dir/snappy/compress.cpp.o"
+  "CMakeFiles/cdpu_snappy.dir/snappy/compress.cpp.o.d"
+  "CMakeFiles/cdpu_snappy.dir/snappy/decompress.cpp.o"
+  "CMakeFiles/cdpu_snappy.dir/snappy/decompress.cpp.o.d"
+  "CMakeFiles/cdpu_snappy.dir/snappy/framing.cpp.o"
+  "CMakeFiles/cdpu_snappy.dir/snappy/framing.cpp.o.d"
+  "libcdpu_snappy.a"
+  "libcdpu_snappy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_snappy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zstdlite/compress.cpp" "src/CMakeFiles/cdpu_zstdlite.dir/zstdlite/compress.cpp.o" "gcc" "src/CMakeFiles/cdpu_zstdlite.dir/zstdlite/compress.cpp.o.d"
+  "/root/repo/src/zstdlite/decompress.cpp" "src/CMakeFiles/cdpu_zstdlite.dir/zstdlite/decompress.cpp.o" "gcc" "src/CMakeFiles/cdpu_zstdlite.dir/zstdlite/decompress.cpp.o.d"
+  "/root/repo/src/zstdlite/format.cpp" "src/CMakeFiles/cdpu_zstdlite.dir/zstdlite/format.cpp.o" "gcc" "src/CMakeFiles/cdpu_zstdlite.dir/zstdlite/format.cpp.o.d"
+  "/root/repo/src/zstdlite/literals.cpp" "src/CMakeFiles/cdpu_zstdlite.dir/zstdlite/literals.cpp.o" "gcc" "src/CMakeFiles/cdpu_zstdlite.dir/zstdlite/literals.cpp.o.d"
+  "/root/repo/src/zstdlite/sequences.cpp" "src/CMakeFiles/cdpu_zstdlite.dir/zstdlite/sequences.cpp.o" "gcc" "src/CMakeFiles/cdpu_zstdlite.dir/zstdlite/sequences.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdpu_lz77.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdpu_huffman.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdpu_fse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_zstdlite.dir/zstdlite/compress.cpp.o"
+  "CMakeFiles/cdpu_zstdlite.dir/zstdlite/compress.cpp.o.d"
+  "CMakeFiles/cdpu_zstdlite.dir/zstdlite/decompress.cpp.o"
+  "CMakeFiles/cdpu_zstdlite.dir/zstdlite/decompress.cpp.o.d"
+  "CMakeFiles/cdpu_zstdlite.dir/zstdlite/format.cpp.o"
+  "CMakeFiles/cdpu_zstdlite.dir/zstdlite/format.cpp.o.d"
+  "CMakeFiles/cdpu_zstdlite.dir/zstdlite/literals.cpp.o"
+  "CMakeFiles/cdpu_zstdlite.dir/zstdlite/literals.cpp.o.d"
+  "CMakeFiles/cdpu_zstdlite.dir/zstdlite/sequences.cpp.o"
+  "CMakeFiles/cdpu_zstdlite.dir/zstdlite/sequences.cpp.o.d"
+  "libcdpu_zstdlite.a"
+  "libcdpu_zstdlite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_zstdlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

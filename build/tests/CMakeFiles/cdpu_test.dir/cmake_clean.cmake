@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpu_test.dir/cdpu_test.cpp.o"
+  "CMakeFiles/cdpu_test.dir/cdpu_test.cpp.o.d"
+  "cdpu_test"
+  "cdpu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

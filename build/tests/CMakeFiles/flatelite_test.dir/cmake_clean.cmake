@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flatelite_test.dir/flatelite_test.cpp.o"
+  "CMakeFiles/flatelite_test.dir/flatelite_test.cpp.o.d"
+  "flatelite_test"
+  "flatelite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flatelite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fse_test.dir/fse_test.cpp.o"
+  "CMakeFiles/fse_test.dir/fse_test.cpp.o.d"
+  "fse_test"
+  "fse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gipfeli_test.dir/gipfeli_test.cpp.o"
+  "CMakeFiles/gipfeli_test.dir/gipfeli_test.cpp.o.d"
+  "gipfeli_test"
+  "gipfeli_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gipfeli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

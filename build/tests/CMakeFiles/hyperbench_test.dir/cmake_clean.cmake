@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperbench_test.dir/hyperbench_test.cpp.o"
+  "CMakeFiles/hyperbench_test.dir/hyperbench_test.cpp.o.d"
+  "hyperbench_test"
+  "hyperbench_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperbench_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

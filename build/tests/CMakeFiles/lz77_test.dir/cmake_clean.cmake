@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lz77_test.dir/lz77_test.cpp.o"
+  "CMakeFiles/lz77_test.dir/lz77_test.cpp.o.d"
+  "lz77_test"
+  "lz77_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lz77_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zstdlite_test.dir/zstdlite_test.cpp.o"
+  "CMakeFiles/zstdlite_test.dir/zstdlite_test.cpp.o.d"
+  "zstdlite_test"
+  "zstdlite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zstdlite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
