@@ -16,11 +16,12 @@
 using namespace cdpu;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Ablation: speedup vs call size by placement",
                   "Section 3.5.1 (call granularity vs placement)");
 
+    bench::BenchReport report("ablation_call_size", argc, argv);
     baseline::XeonCostModel xeon;
     TablePrinter table({"Call size", "RoCC", "Chiplet", "PCIeNoCache"});
 
@@ -45,6 +46,10 @@ main()
             double speedup =
                 xeon_seconds /
                 result.value().seconds(config.clockGhz);
+            report.metric(sim::placementName(placement) + "_" +
+                              std::to_string(size / kKiB) +
+                              "kib_speedup",
+                          speedup);
             row.push_back(TablePrinter::num(speedup, 2) + "x");
         }
         table.addRow(std::move(row));
@@ -54,5 +59,9 @@ main()
                 "fleet's median decompression call is ~100 KiB "
                 "(Figure 3), which is why Figure 11 favors near-core "
                 "placement.\n");
+    if (auto status = report.write(); !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.toString().c_str());
+        return 1;
+    }
     return 0;
 }

@@ -24,11 +24,12 @@
 using namespace cdpu;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Ablation: unit reuse across algorithm PUs",
                   "Section 3.4 (agile CDPU generator)");
 
+    bench::BenchReport report("ablation_generator_reuse", argc, argv);
     Rng rng(2026);
     Bytes data = corpus::generateMixed(1 * kMiB, rng, 16 * kKiB);
     hw::CdpuConfig config;
@@ -43,53 +44,56 @@ main()
     };
 
     TablePrinter table({"PU", "Units composed", "Area mm^2", "GB/s"});
+    auto add = [&](const char *pu, const char *units, double area,
+                   double throughput) {
+        std::string key(pu);
+        for (char &c : key)
+            if (c == ' ')
+                c = '_';
+        report.metric(key + "_area_mm2", area);
+        report.metric(key + "_gbps", throughput);
+        table.addRow({pu, units, TablePrinter::num(area, 3),
+                      TablePrinter::num(throughput, 2)});
+    };
 
     hw::SnappyDecompressorPU sd(config);
-    table.addRow({"Snappy decompress", "LZ77-D",
-                  TablePrinter::num(
-                      hw::snappyDecompressorAreaMm2(config), 3),
-                  TablePrinter::num(
-                      gbps(sd.run(snappy_c).value(), data.size()), 2)});
+    add("Snappy decompress", "LZ77-D",
+        hw::snappyDecompressorAreaMm2(config),
+        gbps(sd.run(snappy_c).value(), data.size()));
 
     hw::FlateDecompressorPU fd(config);
-    table.addRow(
-        {"Flate decompress", "LZ77-D + Huff-E",
-         TablePrinter::num(hw::flateDecompressorAreaMm2(config), 3),
-         TablePrinter::num(
-             gbps(fd.run(flate_c.value()).value(), data.size()), 2)});
+    add("Flate decompress", "LZ77-D + Huff-E",
+        hw::flateDecompressorAreaMm2(config),
+        gbps(fd.run(flate_c.value()).value(), data.size()));
 
     hw::ZstdDecompressorPU zd(config);
-    table.addRow(
-        {"ZStd decompress", "LZ77-D + Huff-E + FSE-E",
-         TablePrinter::num(hw::zstdDecompressorAreaMm2(config), 3),
-         TablePrinter::num(
-             gbps(zd.run(zstd_c.value()).value(), data.size()), 2)});
+    add("ZStd decompress", "LZ77-D + Huff-E + FSE-E",
+        hw::zstdDecompressorAreaMm2(config),
+        gbps(zd.run(zstd_c.value()).value(), data.size()));
 
     hw::SnappyCompressorPU sc(config);
-    table.addRow({"Snappy compress", "LZ77-C",
-                  TablePrinter::num(
-                      hw::snappyCompressorAreaMm2(config), 3),
-                  TablePrinter::num(
-                      gbps(sc.run(data).value(), data.size()), 2)});
+    add("Snappy compress", "LZ77-C",
+        hw::snappyCompressorAreaMm2(config),
+        gbps(sc.run(data).value(), data.size()));
 
     hw::FlateCompressorPU fc(config);
-    table.addRow(
-        {"Flate compress", "LZ77-C + Huff-C",
-         TablePrinter::num(hw::flateCompressorAreaMm2(config), 3),
-         TablePrinter::num(gbps(fc.run(data).value(), data.size()),
-                           2)});
+    add("Flate compress", "LZ77-C + Huff-C",
+        hw::flateCompressorAreaMm2(config),
+        gbps(fc.run(data).value(), data.size()));
 
     hw::ZstdCompressorPU zc(config);
-    table.addRow(
-        {"ZStd compress", "LZ77-C + Huff-C + FSE-C",
-         TablePrinter::num(hw::zstdCompressorAreaMm2(config), 3),
-         TablePrinter::num(gbps(zc.run(data).value(), data.size()),
-                           2)});
+    add("ZStd compress", "LZ77-C + Huff-C + FSE-C",
+        hw::zstdCompressorAreaMm2(config),
+        gbps(zc.run(data).value(), data.size()));
 
     std::printf("%s", table.render().c_str());
     std::printf("\nEach added entropy stage costs area and throughput "
                 "but buys compression ratio — the exact modularity "
                 "the paper's Chisel generator provides (Sections 5.2-"
                 "5.7).\n");
+    if (auto status = report.write(); !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.toString().c_str());
+        return 1;
+    }
     return 0;
 }

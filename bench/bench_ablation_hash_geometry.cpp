@@ -6,6 +6,7 @@
  */
 
 #include "bench_common.h"
+#include "bench_dse_common.h"
 #include "common/table.h"
 #include "dse/figure_tables.h"
 
@@ -33,6 +34,7 @@ main(int argc, char **argv)
         return "?";
     };
 
+    bench::BenchReport report("ablation_hash_geometry", argc, argv);
     TablePrinter table({"Entries", "Ways", "Hash fn", "Speedup",
                         "Ratio vs SW", "Area mm^2"});
     for (unsigned log2_entries : {9u, 12u, 14u}) {
@@ -44,6 +46,12 @@ main(int argc, char **argv)
                 config.hashTable.ways = ways;
                 config.hashTable.hashFunction = fn;
                 dse::DsePoint point = runner.run(config);
+                std::string key = "ht" +
+                                  std::to_string(log2_entries) + "_w" +
+                                  std::to_string(ways) + "_" +
+                                  fn_name(fn);
+                report.metric(key + "_speedup", point.speedup());
+                report.metric(key + "_ratio_vs_sw", point.ratioVsSw());
                 table.addRow(
                     {"2^" + std::to_string(log2_entries),
                      std::to_string(ways), fn_name(fn),
@@ -57,5 +65,5 @@ main(int argc, char **argv)
     std::printf("\nMore ways recover the ratio lost to a small table "
                 "at a fraction of the area of more entries; the hash "
                 "function matters far less than the geometry.\n");
-    return 0;
+    return bench::finishReport(report);
 }

@@ -7,6 +7,7 @@
  */
 
 #include "bench_common.h"
+#include "bench_dse_common.h"
 #include "common/table.h"
 #include "dse/figure_tables.h"
 
@@ -25,11 +26,16 @@ main(int argc, char **argv)
         baseline::Algorithm::snappy, baseline::Direction::decompress);
     dse::SweepRunner runner(suite);
 
+    bench::BenchReport report("ablation_tlb", argc, argv);
     TablePrinter table({"TLB entries", "Speedup vs Xeon"});
     for (unsigned entries : {4u, 8u, 16u, 32u, 64u, 128u}) {
         hw::CdpuConfig config;
         config.tlbEntries = entries;
         dse::DsePoint point = runner.run(config);
+        report.metric("speedup_tlb" + std::to_string(entries),
+                      point.speedup());
+        report.metric("tlb_misses_tlb" + std::to_string(entries),
+                      point.counters.at("tlb.misses"));
         table.addRow({std::to_string(entries),
                       TablePrinter::num(point.speedup(), 2) + "x"});
     }
@@ -37,5 +43,5 @@ main(int argc, char **argv)
     std::printf("\nStreaming accelerators touch pages sequentially, "
                 "so even small TLBs capture the locality; the page-"
                 "walk cost on cold buffers is the floor.\n");
-    return 0;
+    return bench::finishReport(report);
 }

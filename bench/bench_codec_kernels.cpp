@@ -11,6 +11,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "corpus/generators.h"
 #include "fse/decoder.h"
 #include "fse/encoder.h"
@@ -165,4 +168,38 @@ BENCHMARK(BM_FseRoundTrip);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main so this binary honors the repo-wide `--json <path>`
+ * telemetry flag: it is translated into google-benchmark's native
+ * `--benchmark_out` / `--benchmark_out_format=json` pair before
+ * benchmark::Initialize consumes argv.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> arg_storage;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string path;
+        if (arg.rfind("--json=", 0) == 0) {
+            path = arg.substr(7);
+        } else if (arg == "--json" && i + 1 < argc) {
+            path = argv[++i];
+        } else {
+            arg_storage.push_back(std::move(arg));
+            continue;
+        }
+        arg_storage.push_back("--benchmark_out=" + path);
+        arg_storage.push_back("--benchmark_out_format=json");
+    }
+    std::vector<char *> args;
+    for (std::string &arg : arg_storage)
+        args.push_back(arg.data());
+    int args_count = static_cast<int>(args.size());
+    benchmark::Initialize(&args_count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

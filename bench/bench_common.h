@@ -1,16 +1,25 @@
 /**
  * @file
  * Shared helpers for the figure-reproduction bench binaries.
+ *
+ * Every bench binary accepts `--json <path>` and, when given, writes a
+ * stable machine-readable record via BenchReport next to its human
+ * output. The record is the repo's perf trajectory format
+ * (BENCH_*.json): benchmark id, config, metrics, and the counter
+ * snapshot of the measured PU.
  */
 
 #ifndef CDPU_BENCH_BENCH_COMMON_H_
 #define CDPU_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "common/cli.h"
 #include "hyperbench/suite_generator.h"
+#include "obs/counters.h"
+#include "obs/json.h"
 
 namespace cdpu::bench
 {
@@ -31,7 +40,7 @@ suiteConfigFromArgs(int argc, const char *const *argv)
 {
     CliArgs args;
     hcb::SuiteConfig config;
-    if (args.parse(argc, argv, {"files", "cap", "seed"})) {
+    if (args.parse(argc, argv, {"files", "cap", "seed", "json"})) {
         config.filesPerSuite =
             static_cast<std::size_t>(args.getInt("files", 48));
         config.maxFileBytes = static_cast<std::size_t>(
@@ -40,6 +49,85 @@ suiteConfigFromArgs(int argc, const char *const *argv)
     }
     return config;
 }
+
+/**
+ * Machine-readable telemetry record for one bench run.
+ *
+ * Scans argv itself for `--json <path>` / `--json=<path>` so binaries
+ * that do not otherwise parse flags still emit telemetry. write() is a
+ * no-op when the flag is absent, so mains call it unconditionally.
+ */
+class BenchReport
+{
+  public:
+    BenchReport(std::string benchmark_id, int argc,
+                const char *const *argv)
+        : id_(std::move(benchmark_id))
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind("--json=", 0) == 0)
+                path_ = arg.substr(7);
+            else if (arg == "--json" && i + 1 < argc)
+                path_ = argv[++i];
+        }
+    }
+
+    bool enabled() const { return !path_.empty(); }
+    const std::string &path() const { return path_; }
+
+    /** Records a configuration input (suite size, placement, ...). */
+    void
+    config(const std::string &key, obs::JsonValue value)
+    {
+        config_.set(key, std::move(value));
+    }
+
+    /** Records a measured output (throughput, speedup, cycles, ...). */
+    void
+    metric(const std::string &key, obs::JsonValue value)
+    {
+        metrics_.set(key, std::move(value));
+    }
+
+    /** Accumulates a PU counter snapshot into the record. */
+    void
+    counters(const obs::CounterSnapshot &snapshot)
+    {
+        counters_.merge(snapshot);
+    }
+
+    /** Writes the record to --json's path (no-op without the flag). */
+    Status
+    write() const
+    {
+        if (!enabled())
+            return Status::okStatus();
+        obs::JsonValue record = obs::JsonValue::object();
+        record.set("benchmark", id_);
+        record.set("schema_version", u64{1});
+        record.set("config", config_);
+        record.set("metrics", metrics_);
+        obs::JsonValue snapshot_json = counters_.toJson();
+        record.set("counters", snapshot_json.at("counters"));
+        record.set("histograms", snapshot_json.at("histograms"));
+        std::ofstream out(path_, std::ios::binary);
+        if (!out)
+            return Status::io("cannot open report file: " + path_);
+        out << record.dump(1) << '\n';
+        if (!out)
+            return Status::io("short write to report file: " + path_);
+        std::printf("\n[telemetry] wrote %s\n", path_.c_str());
+        return Status::okStatus();
+    }
+
+  private:
+    std::string id_;
+    std::string path_;
+    obs::JsonValue config_ = obs::JsonValue::object();
+    obs::JsonValue metrics_ = obs::JsonValue::object();
+    obs::CounterSnapshot counters_;
+};
 
 } // namespace cdpu::bench
 

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Telemetry helper shared by the design-space-exploration benches
+ * (Figures 11-15, summary, ablations): records the flagship design
+ * point's metrics and counters into a BenchReport.
+ */
+
+#ifndef CDPU_BENCH_BENCH_DSE_COMMON_H_
+#define CDPU_BENCH_BENCH_DSE_COMMON_H_
+
+#include "bench_common.h"
+#include "dse/sweep_runner.h"
+
+namespace cdpu::bench
+{
+
+/** Fills @p report with one design point's outputs and counters. */
+inline void
+recordDsePoint(BenchReport &report, const dse::DsePoint &point,
+               std::size_t total_bytes)
+{
+    report.config("flagship", point.config.label());
+    report.metric("total_bytes", static_cast<u64>(total_bytes));
+    report.metric("throughput_gbps", point.accelGBps(total_bytes));
+    report.metric("speedup", point.speedup());
+    report.metric("total_cycles", point.accelCycles);
+    report.metric("area_mm2", point.areaMm2);
+    report.metric("history_fallbacks", point.historyFallbacks);
+    if (point.hwRatio > 0) {
+        report.metric("hw_ratio", point.hwRatio);
+        report.metric("ratio_vs_sw", point.ratioVsSw());
+    }
+    report.counters(point.counters);
+}
+
+/** Writes @p report; prints the error and returns 1 on failure. */
+inline int
+finishReport(const BenchReport &report)
+{
+    if (auto status = report.write(); !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.toString().c_str());
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace cdpu::bench
+
+#endif // CDPU_BENCH_BENCH_DSE_COMMON_H_

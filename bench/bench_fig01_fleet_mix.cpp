@@ -13,11 +13,12 @@ using namespace cdpu;
 using namespace cdpu::fleet;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Fleet (de)compression cycle mix over time",
                   "Figure 1 and Section 3.2");
 
+    bench::BenchReport report("fig01_fleet_mix", argc, argv);
     FleetModel model;
     GwpSampler sampler(model, 101);
     auto timeline = sampler.sampleTimeline(2500);
@@ -26,6 +27,11 @@ main()
     // Final-slice legend: measured vs the paper's numbers.
     TablePrinter legend({"Channel", "Sampled", "Paper (Fig 1 legend)"});
     for (const auto &row : channelCycleShares(final_records, model)) {
+        std::string key = row.label;
+        for (char &c : key)
+            if (c == '-' || c == ' ')
+                c = '_';
+        report.metric(key + "_cycle_share", row.measured);
         legend.addRow({row.label, TablePrinter::percent(row.measured),
                        TablePrinter::percent(row.groundTruth)});
     }
@@ -62,5 +68,13 @@ main()
                 "year after introduction.\n",
                 FleetModel::kFleetCycleFraction * 100,
                 FleetModel::kDecompressCycleShare * 100);
+    report.metric("fleet_cycle_fraction",
+                  FleetModel::kFleetCycleFraction);
+    report.metric("decompress_cycle_share",
+                  FleetModel::kDecompressCycleShare);
+    if (auto status = report.write(); !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.toString().c_str());
+        return 1;
+    }
     return 0;
 }

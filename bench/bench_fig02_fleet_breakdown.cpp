@@ -15,11 +15,12 @@ using namespace cdpu;
 using namespace cdpu::fleet;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Fleet byte shares, ZStd levels, achieved ratios",
                   "Figure 2 and Sections 3.3.1-3.3.4");
 
+    bench::BenchReport report("fig02_fleet_breakdown", argc, argv);
     FleetModel model;
     GwpSampler sampler(model, 202);
     auto records = sampler.sampleFinalMonth(120000);
@@ -110,5 +111,15 @@ main()
                 "its cycle consumption by %.0f%% (paper: 67%%, a "
                 "non-starter).\n",
                 increase * 100);
+    report.metric("zstd_low_vs_snappy_compress_cost",
+                  zstd_low_cpb / snappy_cpb);
+    report.metric("zstd_high_vs_low_compress_cost",
+                  zstd_high_cpb / zstd_low_cpb);
+    report.metric("zstd_vs_snappy_decompress_cost", snappy_d / zstd_d);
+    report.metric("switch_cycle_increase", increase);
+    if (auto status = report.write(); !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.toString().c_str());
+        return 1;
+    }
     return 0;
 }

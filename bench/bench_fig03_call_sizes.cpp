@@ -12,10 +12,11 @@ using namespace cdpu;
 using namespace cdpu::fleet;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Fleet call-size CDFs", "Figure 3 and Section 3.5.1");
 
+    bench::BenchReport report("fig03_call_sizes", argc, argv);
     FleetModel model;
     GwpSampler sampler(model, 303);
     auto records = sampler.sampleFinalMonth(150000);
@@ -53,10 +54,18 @@ main()
     std::printf("Medians (bin): Snappy-C %.0f, ZSTD-C %.0f, Snappy-D "
                 "%.0f, ZSTD-D %.0f\n",
                 median(0), median(1), median(2), median(3));
+    report.metric("snappy_c_median_bin", median(0));
+    report.metric("zstd_c_median_bin", median(1));
+    report.metric("snappy_d_median_bin", median(2));
+    report.metric("zstd_d_median_bin", median(3));
     std::printf("Paper checkpoints: compression medians in the 64-128 "
                 "KiB bin (17) for both algorithms; Snappy-C has 24%% "
                 "of bytes <= 32 KiB vs 8%% for ZStd-C; Snappy-D: 62%% "
                 "< 128 KiB, 80%% < 256 KiB; ZStd-D median in 1-2 MiB "
                 "(21).\n");
+    if (auto status = report.write(); !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.toString().c_str());
+        return 1;
+    }
     return 0;
 }

@@ -12,11 +12,12 @@ using namespace cdpu;
 using namespace cdpu::fleet;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("(De)compression cycles by calling library",
                   "Figure 4 and Section 3.5.2");
 
+    bench::BenchReport report("fig04_library_mix", argc, argv);
     FleetModel model;
     GwpSampler sampler(model, 404);
     auto records = sampler.sampleFinalMonth(120000);
@@ -34,5 +35,10 @@ main()
                 "cycles (paper: 49.2%%) — the chaining argument of "
                 "Section 3.5.2 for near-core placement.\n",
                 TablePrinter::percent(filetype_share).c_str());
+    report.metric("filetype_share", filetype_share);
+    if (auto status = report.write(); !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.toString().c_str());
+        return 1;
+    }
     return 0;
 }

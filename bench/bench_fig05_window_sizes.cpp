@@ -13,11 +13,12 @@ using namespace cdpu;
 using namespace cdpu::fleet;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("ZStd window-size distributions",
                   "Figure 5 and Section 3.6");
 
+    bench::BenchReport report("fig05_window_sizes", argc, argv);
     FleetModel model;
     GwpSampler sampler(model, 505);
     auto records = sampler.sampleFinalMonth(150000);
@@ -55,5 +56,12 @@ main()
     std::printf("Decompression median window: 2^%.0f bytes "
                 "(paper: 1 MiB).\n",
                 decompress.quantile(0.5));
+    report.metric("compress_windows_le_32k", beyond_32k);
+    report.metric("decompress_median_window_log2",
+                  decompress.quantile(0.5));
+    if (auto status = report.write(); !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.toString().c_str());
+        return 1;
+    }
     return 0;
 }

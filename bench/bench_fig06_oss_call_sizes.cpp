@@ -42,11 +42,12 @@ openSourceBenchmarkFileSizes()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Open-source benchmark call sizes vs the fleet",
                   "Figure 6 and Section 3.7");
 
+    bench::BenchReport report("fig06_oss_call_sizes", argc, argv);
     WeightedHistogram oss;
     for (std::size_t size : openSourceBenchmarkFileSizes())
         oss.add(ceilLog2(size), static_cast<double>(size));
@@ -77,5 +78,12 @@ main()
                 "fleet %.0f KiB -> %.0fx gap (paper: ~256x).\n",
                 oss_median / (1 << 20), fleet_median / 1024,
                 oss_median / fleet_median);
+    report.metric("oss_median_bytes", oss_median);
+    report.metric("fleet_median_bytes", fleet_median);
+    report.metric("median_gap", oss_median / fleet_median);
+    if (auto status = report.write(); !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.toString().c_str());
+        return 1;
+    }
     return 0;
 }

@@ -21,6 +21,11 @@ main(int argc, char **argv)
     fleet::FleetModel fleet;
     SuiteConfig config = bench::suiteConfigFromArgs(argc, argv);
     SuiteGenerator generator(fleet, config);
+    bench::BenchReport telemetry("fig07_hyperbench_validation", argc,
+                                 argv);
+    telemetry.config("files", static_cast<u64>(config.filesPerSuite));
+    telemetry.config("cap_bytes",
+                     static_cast<u64>(config.maxFileBytes));
 
     TablePrinter summary({"Suite", "Files", "Total bytes",
                           "KS dist vs fleet", "Achieved ratio",
@@ -36,6 +41,10 @@ main(int argc, char **argv)
             std::string name = baseline::algorithmName(algorithm) +
                                "-" +
                                baseline::directionName(direction);
+            telemetry.metric(name + "_ks_distance",
+                             report.callSizeKsDistance);
+            telemetry.metric(name + "_ratio_error",
+                             report.ratioError());
             summary.addRow(
                 {name, std::to_string(suite.files.size()),
                  TablePrinter::bytes(suite.totalBytes()),
@@ -77,5 +86,9 @@ main(int argc, char **argv)
                 "of fleet ratios. Call sizes are capped at %s here "
                 "(README: scaled-down suite).\n",
                 TablePrinter::bytes(config.maxFileBytes).c_str());
+    if (auto status = telemetry.write(); !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.toString().c_str());
+        return 1;
+    }
     return 0;
 }

@@ -5,6 +5,7 @@
  */
 
 #include "bench_common.h"
+#include "bench_dse_common.h"
 #include "common/table.h"
 #include "dse/figure_tables.h"
 
@@ -16,9 +17,10 @@ main(int argc, char **argv)
     bench::banner("Snappy decompression design-space exploration",
                   "Figure 11 and Section 6.2");
 
+    hcb::SuiteConfig suite_config =
+        bench::suiteConfigFromArgs(argc, argv);
     fleet::FleetModel fleet;
-    hcb::SuiteGenerator generator(
-        fleet, bench::suiteConfigFromArgs(argc, argv));
+    hcb::SuiteGenerator generator(fleet, suite_config);
     hcb::Suite suite = generator.generate(
         baseline::Algorithm::snappy, baseline::Direction::decompress);
     std::printf("Suite: %zu files, %s uncompressed\n\n",
@@ -37,5 +39,12 @@ main(int argc, char **argv)
                 flagship.accelGBps(runner.totalBytes()),
                 flagship.areaMm2,
                 100 * flagship.areaMm2 / hw::kXeonCoreTileMm2);
-    return 0;
+
+    bench::BenchReport report("fig11_snappy_decomp", argc, argv);
+    report.config("files", static_cast<u64>(suite.files.size()));
+    report.config("cap_bytes",
+                  static_cast<u64>(suite_config.maxFileBytes));
+    report.config("seed", suite_config.seed);
+    bench::recordDsePoint(report, flagship, runner.totalBytes());
+    return bench::finishReport(report);
 }

@@ -10,6 +10,7 @@
 #include <algorithm>
 
 #include "bench_common.h"
+#include "bench_dse_common.h"
 #include "common/table.h"
 #include "dse/figure_tables.h"
 
@@ -47,6 +48,12 @@ main(int argc, char **argv)
 
     double min_speedup = 1e18;
     double max_speedup = 0;
+    bench::BenchReport report("summary_claims", argc, argv);
+    report.config("files",
+                  static_cast<u64>(suite_config.filesPerSuite));
+    report.config("cap_bytes",
+                  static_cast<u64>(suite_config.maxFileBytes));
+    report.config("seed", suite_config.seed);
 
     TablePrinter table({"PU (RoCC, 64K, 2^14, 16 spec)", "Speedup",
                         "Paper", "Area mm^2", "Paper", "% Xeon core"});
@@ -83,6 +90,11 @@ main(int argc, char **argv)
         }
 
         dse::DsePoint flagship = dse::flagshipPoint(runner);
+        std::string key = std::string(entry.name);
+        std::replace(key.begin(), key.end(), ' ', '_');
+        report.metric(key + "_speedup", flagship.speedup());
+        report.metric(key + "_area_mm2", flagship.areaMm2);
+        report.counters(flagship.counters);
         table.addRow(
             {entry.name,
              TablePrinter::num(flagship.speedup(), 1) + "x",
@@ -112,5 +124,10 @@ main(int argc, char **argv)
     std::printf("Final instances are up to 10-16x faster than a "
                 "single Xeon core at 2.4-4.7%% of its area "
                 "(abstract).\n");
-    return 0;
+
+    report.metric("min_speedup", min_speedup);
+    report.metric("max_speedup", max_speedup);
+    report.metric("speedup_range", max_speedup / min_speedup);
+    report.metric("pipeline_area_range", area_range);
+    return bench::finishReport(report);
 }

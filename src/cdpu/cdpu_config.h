@@ -14,6 +14,7 @@
 #include <string>
 
 #include "lz77/hash_table.h"
+#include "obs/counters.h"
 #include "sim/placement.h"
 
 namespace cdpu::hw
@@ -63,22 +64,50 @@ struct CdpuConfig
     std::string label() const;
 };
 
-/** Result of one accelerated (de)compression call. */
+/**
+ * Result of one accelerated (de)compression call.
+ *
+ * Model-internal accounting lives in a counter snapshot (the diff of
+ * the PU's registry across the call) instead of loose fields; the
+ * accessors below name the entries ablation reports care about, and
+ * everything else — per-level cache hits, TLB traffic, link crossings,
+ * call-size histograms — rides along in @ref counters.
+ */
 struct PuResult
 {
     u64 cycles = 0;
     std::size_t inputBytes = 0;
     std::size_t outputBytes = 0;
 
-    // Model-internal accounting, surfaced for ablation reports.
-    u64 computeCycles = 0;
-    u64 streamInCycles = 0;
-    u64 streamOutCycles = 0;
-    u64 historyFallbacks = 0;
-    u64 fallbackCycles = 0;
-    u64 serialStallCycles = 0;
-    u64 tlbMisses = 0;
-    u64 translationCycles = 0;
+    /** Per-call delta of every "pu.*" / "mem.*" / "tlb.*" counter. */
+    obs::CounterSnapshot counters;
+
+    u64 computeCycles() const { return counters.at("pu.compute_cycles"); }
+    u64 streamInCycles() const
+    {
+        return counters.at("pu.stream_in_cycles");
+    }
+    u64 streamOutCycles() const
+    {
+        return counters.at("pu.stream_out_cycles");
+    }
+    u64 historyFallbacks() const
+    {
+        return counters.at("pu.history_fallbacks");
+    }
+    u64 fallbackCycles() const
+    {
+        return counters.at("pu.fallback_cycles");
+    }
+    u64 serialStallCycles() const
+    {
+        return counters.at("pu.serial_stall_cycles");
+    }
+    u64 tlbMisses() const { return counters.at("tlb.misses"); }
+    u64 translationCycles() const
+    {
+        return counters.at("pu.translation_cycles");
+    }
 
     /** Wall time at the configured clock. */
     double

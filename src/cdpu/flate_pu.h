@@ -13,6 +13,8 @@
 #include "cdpu/cdpu_config.h"
 #include "flatelite/compress.h"
 #include "flatelite/decompress.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "sim/memory_hierarchy.h"
 #include "sim/tlb.h"
 
@@ -31,11 +33,16 @@ class FlateDecompressorPU
     PuResult runFromTrace(const flatelite::FileTrace &trace,
                           std::size_t compressed_bytes);
 
+    void attachTrace(obs::TraceSession *session) { trace_ = session; }
+    obs::CounterSnapshot counters() const { return registry_.snapshot(); }
+
   private:
     CdpuConfig config_;
     sim::PlacementModel model_;
     sim::MemoryHierarchy memory_;
     sim::Tlb tlb_;
+    obs::CounterRegistry registry_;
+    obs::TraceSession *trace_ = nullptr;
     u64 calls_ = 0;
 };
 
@@ -47,11 +54,16 @@ class FlateCompressorPU
 
     Result<PuResult> run(ByteSpan input, Bytes *output = nullptr);
 
+    void attachTrace(obs::TraceSession *session) { trace_ = session; }
+    obs::CounterSnapshot counters() const { return registry_.snapshot(); }
+
   private:
     CdpuConfig config_;
     sim::PlacementModel model_;
     sim::MemoryHierarchy memory_;
     sim::Tlb tlb_;
+    obs::CounterRegistry registry_;
+    obs::TraceSession *trace_ = nullptr;
     u64 calls_ = 0;
 };
 

@@ -46,10 +46,11 @@ SnappyDecompressorPU::run(ByteSpan compressed, Bytes *output)
     shape.outBytes = expected.value();
     shape.serializedStreamBytes = compressed.size();
     shape.callSequence = calls_++;
-    PuResult result =
-        assembleCall(config_, model_, memory_, tlb_, shape);
-    result.historyFallbacks = lz77.fallbacks();
-    result.fallbackCycles = lz77.fallbackCycles();
+    shape.historyFallbacks = lz77.fallbacks();
+    shape.fallbackCycles = lz77.fallbackCycles();
+    PuResult result = assembleCall(config_, model_, memory_, tlb_,
+                                   shape, registry_, trace_,
+                                   "snappy_decomp");
 
     if (output) {
         CDPU_RETURN_IF_ERROR(snappy::applyElements(
@@ -85,8 +86,9 @@ SnappyCompressorPU::run(ByteSpan input, Bytes *output)
     shape.inBytes = input.size();
     shape.outBytes = compressed.size();
     shape.callSequence = calls_++;
-    PuResult result =
-        assembleCall(config_, model_, memory_, tlb_, shape);
+    PuResult result = assembleCall(config_, model_, memory_, tlb_,
+                                   shape, registry_, trace_,
+                                   "snappy_comp");
 
     if (output)
         *output = std::move(compressed);

@@ -14,6 +14,8 @@
 #define CDPU_CDPU_SNAPPY_PU_H_
 
 #include "cdpu/cdpu_config.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "sim/memory_hierarchy.h"
 #include "sim/tlb.h"
 #include "snappy/compress.h"
@@ -36,11 +38,20 @@ class SnappyDecompressorPU
 
     const sim::MemoryHierarchy &memory() const { return memory_; }
 
+    /** Mirrors every call's phases into @p session (nullptr detaches).
+     *  The session must outlive this PU or be detached first. */
+    void attachTrace(obs::TraceSession *session) { trace_ = session; }
+
+    /** Cumulative counters across every call on this PU. */
+    obs::CounterSnapshot counters() const { return registry_.snapshot(); }
+
   private:
     CdpuConfig config_;
     sim::PlacementModel model_;
     sim::MemoryHierarchy memory_;
     sim::Tlb tlb_;
+    obs::CounterRegistry registry_;
+    obs::TraceSession *trace_ = nullptr;
     u64 calls_ = 0;
 };
 
@@ -53,11 +64,16 @@ class SnappyCompressorPU
     /** Compresses @p input with hardware parameters. */
     Result<PuResult> run(ByteSpan input, Bytes *output = nullptr);
 
+    void attachTrace(obs::TraceSession *session) { trace_ = session; }
+    obs::CounterSnapshot counters() const { return registry_.snapshot(); }
+
   private:
     CdpuConfig config_;
     sim::PlacementModel model_;
     sim::MemoryHierarchy memory_;
     sim::Tlb tlb_;
+    obs::CounterRegistry registry_;
+    obs::TraceSession *trace_ = nullptr;
     u64 calls_ = 0;
 };
 

@@ -93,11 +93,10 @@ ZstdDecompressorPU::runFromTrace(const zstdlite::FileTrace &trace,
     shape.outBytes = trace.contentSize;
     shape.serializedStreamBytes = compressed_bytes;
     shape.callSequence = calls_++;
-    PuResult result =
-        assembleCall(config_, model_, memory_, tlb_, shape);
-    result.historyFallbacks = lz77.fallbacks();
-    result.fallbackCycles = lz77.fallbackCycles();
-    return result;
+    shape.historyFallbacks = lz77.fallbacks();
+    shape.fallbackCycles = lz77.fallbackCycles();
+    return assembleCall(config_, model_, memory_, tlb_, shape,
+                        registry_, trace_, "zstd_decomp");
 }
 
 ZstdCompressorPU::ZstdCompressorPU(const CdpuConfig &config)
@@ -157,8 +156,9 @@ ZstdCompressorPU::run(ByteSpan input, Bytes *output)
     shape.inBytes = input.size();
     shape.outBytes = compressed.value().size();
     shape.callSequence = calls_++;
-    PuResult result =
-        assembleCall(config_, model_, memory_, tlb_, shape);
+    PuResult result = assembleCall(config_, model_, memory_, tlb_,
+                                   shape, registry_, trace_,
+                                   "zstd_comp");
     if (output)
         *output = std::move(compressed).value();
     return result;

@@ -9,6 +9,8 @@
 #define CDPU_CDPU_ZSTD_PU_H_
 
 #include "cdpu/cdpu_config.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "sim/memory_hierarchy.h"
 #include "sim/tlb.h"
 #include "zstdlite/compress.h"
@@ -34,11 +36,16 @@ class ZstdDecompressorPU
     PuResult runFromTrace(const zstdlite::FileTrace &trace,
                           std::size_t compressed_bytes);
 
+    void attachTrace(obs::TraceSession *session) { trace_ = session; }
+    obs::CounterSnapshot counters() const { return registry_.snapshot(); }
+
   private:
     CdpuConfig config_;
     sim::PlacementModel model_;
     sim::MemoryHierarchy memory_;
     sim::Tlb tlb_;
+    obs::CounterRegistry registry_;
+    obs::TraceSession *trace_ = nullptr;
     u64 calls_ = 0;
     bool builtPredefined_ = false;
 };
@@ -57,11 +64,16 @@ class ZstdCompressorPU
      */
     Result<PuResult> run(ByteSpan input, Bytes *output = nullptr);
 
+    void attachTrace(obs::TraceSession *session) { trace_ = session; }
+    obs::CounterSnapshot counters() const { return registry_.snapshot(); }
+
   private:
     CdpuConfig config_;
     sim::PlacementModel model_;
     sim::MemoryHierarchy memory_;
     sim::Tlb tlb_;
+    obs::CounterRegistry registry_;
+    obs::TraceSession *trace_ = nullptr;
     u64 calls_ = 0;
 };
 

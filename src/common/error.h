@@ -25,6 +25,7 @@ enum class StatusCode
     invalidArgument, ///< Caller supplied an out-of-range parameter.
     unsupported,     ///< Valid input requesting an unimplemented feature.
     internal,        ///< Invariant violation inside the library.
+    ioError,         ///< Filesystem read/write failure (traces, reports).
 };
 
 /** Success-or-error value for operations without a payload. */
@@ -64,6 +65,12 @@ class Status
         return Status(StatusCode::internal, std::move(message));
     }
 
+    static Status
+    io(std::string message)
+    {
+        return Status(StatusCode::ioError, std::move(message));
+    }
+
     bool ok() const { return code_ == StatusCode::ok; }
     StatusCode code() const { return code_; }
     const std::string &message() const { return message_; }
@@ -88,6 +95,7 @@ class Status
           case StatusCode::invalidArgument: return "INVALID_ARGUMENT";
           case StatusCode::unsupported: return "UNSUPPORTED";
           case StatusCode::internal: return "INTERNAL";
+          case StatusCode::ioError: return "IO_ERROR";
         }
         return "UNKNOWN";
     }

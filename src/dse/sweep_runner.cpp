@@ -89,11 +89,13 @@ SweepRunner::runSnappyDecompress(const hw::CdpuConfig &config)
         auto result = pu.run(compressedInputs_[i]);
         assert(result.ok());
         point.accelSeconds += result.value().seconds(config.clockGhz);
-        point.historyFallbacks += result.value().historyFallbacks;
+        point.accelCycles += result.value().cycles;
+        point.historyFallbacks += result.value().historyFallbacks();
         point.xeonSeconds += xeon_.seconds(
             Algorithm::snappy, Direction::decompress,
             suite_->files[i].data.size());
     }
+    point.counters = pu.counters();
     return point;
 }
 
@@ -110,10 +112,12 @@ SweepRunner::runSnappyCompress(const hw::CdpuConfig &config)
         auto result = pu.run(file.data);
         assert(result.ok());
         point.accelSeconds += result.value().seconds(config.clockGhz);
+        point.accelCycles += result.value().cycles;
         hw_compressed += result.value().outputBytes;
         point.xeonSeconds += xeon_.seconds(
             Algorithm::snappy, Direction::compress, file.data.size());
     }
+    point.counters = pu.counters();
     point.hwRatio = static_cast<double>(totalBytes_) /
                     static_cast<double>(hw_compressed);
     point.swRatio = softwareRatio();
@@ -132,11 +136,13 @@ SweepRunner::runZstdDecompress(const hw::CdpuConfig &config)
         hw::PuResult result =
             pu.runFromTrace(traces_[i], compressedInputs_[i].size());
         point.accelSeconds += result.seconds(config.clockGhz);
-        point.historyFallbacks += result.historyFallbacks;
+        point.accelCycles += result.cycles;
+        point.historyFallbacks += result.historyFallbacks();
         point.xeonSeconds += xeon_.seconds(
             Algorithm::zstd, Direction::decompress,
             suite_->files[i].data.size(), suite_->files[i].level);
     }
+    point.counters = pu.counters();
     return point;
 }
 
@@ -153,11 +159,13 @@ SweepRunner::runZstdCompress(const hw::CdpuConfig &config)
         auto result = pu.run(file.data);
         assert(result.ok());
         point.accelSeconds += result.value().seconds(config.clockGhz);
+        point.accelCycles += result.value().cycles;
         hw_compressed += result.value().outputBytes;
         point.xeonSeconds += xeon_.seconds(Algorithm::zstd,
                                            Direction::compress,
                                            file.data.size(), file.level);
     }
+    point.counters = pu.counters();
     point.hwRatio = static_cast<double>(totalBytes_) /
                     static_cast<double>(hw_compressed);
     point.swRatio = softwareRatio();

@@ -29,6 +29,10 @@ struct DsePoint
     double xeonSeconds = 0;
     double areaMm2 = 0;
     u64 historyFallbacks = 0;
+    /** Total accelerator cycles across the suite. */
+    u64 accelCycles = 0;
+    /** Cumulative PU counters across the suite (mem/tlb/pu/link). */
+    obs::CounterSnapshot counters;
 
     /** Compression ratios (compression sweeps only; 0 otherwise). */
     double hwRatio = 0;

@@ -1,0 +1,425 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace cdpu::obs
+{
+
+JsonValue &
+JsonValue::set(const std::string &key, JsonValue value)
+{
+    type_ = Type::object;
+    for (auto &[name, member] : members_) {
+        if (name == key) {
+            member = std::move(value);
+            return *this;
+        }
+    }
+    members_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &[name, member] : members_) {
+        if (name == key)
+            return &member;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    static const JsonValue kNull;
+    const JsonValue *member = find(key);
+    return member ? *member : kNull;
+}
+
+void
+JsonValue::push(JsonValue value)
+{
+    type_ = Type::array;
+    items_.push_back(std::move(value));
+}
+
+std::size_t
+JsonValue::size() const
+{
+    if (type_ == Type::array)
+        return items_.size();
+    if (type_ == Type::object)
+        return members_.size();
+    return 0;
+}
+
+const JsonValue &
+JsonValue::at(std::size_t index) const
+{
+    return items_[index];
+}
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    out.push_back('"');
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                out += buffer;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+namespace
+{
+
+void
+appendNumber(std::string &out, double value, u64 uint_value,
+             bool is_uint)
+{
+    if (is_uint) {
+        out += std::to_string(uint_value);
+        return;
+    }
+    if (std::isfinite(value) &&
+        value == std::floor(value) && std::fabs(value) < 1e15) {
+        out += std::to_string(static_cast<long long>(value));
+        return;
+    }
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+    out += buffer;
+}
+
+void
+appendIndent(std::string &out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+} // namespace
+
+void
+JsonValue::dumpTo(std::string &out, int indent, int depth) const
+{
+    switch (type_) {
+      case Type::null: out += "null"; break;
+      case Type::boolean: out += bool_ ? "true" : "false"; break;
+      case Type::number:
+        appendNumber(out, double_, uint_, isUint_);
+        break;
+      case Type::string: out += jsonEscape(string_); break;
+      case Type::array: {
+        out.push_back('[');
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            appendIndent(out, indent, depth + 1);
+            items_[i].dumpTo(out, indent, depth + 1);
+        }
+        if (!items_.empty())
+            appendIndent(out, indent, depth);
+        out.push_back(']');
+        break;
+      }
+      case Type::object: {
+        out.push_back('{');
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i)
+                out.push_back(',');
+            appendIndent(out, indent, depth + 1);
+            out += jsonEscape(members_[i].first);
+            out += indent > 0 ? ": " : ":";
+            members_[i].second.dumpTo(out, indent, depth + 1);
+        }
+        if (!members_.empty())
+            appendIndent(out, indent, depth);
+        out.push_back('}');
+        break;
+      }
+    }
+}
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a string_view cursor. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Result<JsonValue>
+    parseDocument()
+    {
+        auto value = parseValue();
+        if (!value.ok())
+            return value;
+        skipWhitespace();
+        if (pos_ != text_.size())
+            return fail("trailing characters after JSON value");
+        return value;
+    }
+
+  private:
+    Status
+    failStatus(const std::string &message) const
+    {
+        return Status::corrupt("JSON: " + message + " at offset " +
+                               std::to_string(pos_));
+    }
+
+    Result<JsonValue>
+    fail(const std::string &message) const
+    {
+        return Result<JsonValue>(failStatus(message));
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeLiteral(std::string_view literal)
+    {
+        if (text_.substr(pos_, literal.size()) == literal) {
+            pos_ += literal.size();
+            return true;
+        }
+        return false;
+    }
+
+    Result<JsonValue>
+    parseValue()
+    {
+        skipWhitespace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"') {
+            auto text = parseString();
+            if (!text.ok())
+                return Result<JsonValue>(text.status());
+            return Result<JsonValue>(
+                JsonValue(std::move(text).value()));
+        }
+        if (consumeLiteral("true"))
+            return Result<JsonValue>(JsonValue(true));
+        if (consumeLiteral("false"))
+            return Result<JsonValue>(JsonValue(false));
+        if (consumeLiteral("null"))
+            return Result<JsonValue>(JsonValue());
+        return parseNumber();
+    }
+
+    Result<JsonValue>
+    parseObject()
+    {
+        ++pos_; // '{'
+        JsonValue object = JsonValue::object();
+        skipWhitespace();
+        if (consume('}'))
+            return object;
+        while (true) {
+            skipWhitespace();
+            auto key = parseString();
+            if (!key.ok())
+                return Result<JsonValue>(key.status());
+            skipWhitespace();
+            if (!consume(':'))
+                return fail("expected ':' in object");
+            auto value = parseValue();
+            if (!value.ok())
+                return value;
+            object.set(key.value(), std::move(value).value());
+            skipWhitespace();
+            if (consume('}'))
+                return object;
+            if (!consume(','))
+                return fail("expected ',' or '}' in object");
+        }
+    }
+
+    Result<JsonValue>
+    parseArray()
+    {
+        ++pos_; // '['
+        JsonValue array = JsonValue::array();
+        skipWhitespace();
+        if (consume(']'))
+            return array;
+        while (true) {
+            auto value = parseValue();
+            if (!value.ok())
+                return value;
+            array.push(std::move(value).value());
+            skipWhitespace();
+            if (consume(']'))
+                return array;
+            if (!consume(','))
+                return fail("expected ',' or ']' in array");
+        }
+    }
+
+    Result<std::string>
+    parseString()
+    {
+        if (!consume('"'))
+            return Result<std::string>(failStatus("expected string"));
+        std::string out;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            char escape = text_[pos_++];
+            switch (escape) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return Result<std::string>(
+                        failStatus("truncated \\u escape"));
+                unsigned code = 0;
+                auto [ptr, ec] = std::from_chars(
+                    text_.data() + pos_, text_.data() + pos_ + 4,
+                    code, 16);
+                if (ec != std::errc() ||
+                    ptr != text_.data() + pos_ + 4)
+                    return Result<std::string>(
+                        failStatus("bad \\u escape"));
+                pos_ += 4;
+                // Basic-multilingual-plane only; encode as UTF-8.
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xC0 | (code >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xE0 | (code >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+              }
+              default:
+                return Result<std::string>(
+                    failStatus("unknown escape"));
+            }
+        }
+        return Result<std::string>(failStatus("unterminated string"));
+    }
+
+    Result<JsonValue>
+    parseNumber()
+    {
+        std::size_t start = pos_;
+        bool is_uint = true;
+        if (consume('-'))
+            is_uint = false;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            if (!std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])))
+                is_uint = false;
+            ++pos_;
+        }
+        std::string_view token = text_.substr(start, pos_ - start);
+        if (token.empty())
+            return fail("expected a value");
+        if (is_uint) {
+            u64 uint_value = 0;
+            auto [ptr, ec] = std::from_chars(
+                token.data(), token.data() + token.size(), uint_value);
+            if (ec == std::errc() && ptr == token.data() + token.size())
+                return Result<JsonValue>(JsonValue(uint_value));
+        }
+        double value = 0;
+        auto [ptr, ec] = std::from_chars(
+            token.data(), token.data() + token.size(), value);
+        if (ec != std::errc() || ptr != token.data() + token.size())
+            return fail("malformed number");
+        return Result<JsonValue>(JsonValue(value));
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Result<JsonValue>
+JsonValue::parse(std::string_view text)
+{
+    return Parser(text).parseDocument();
+}
+
+} // namespace cdpu::obs

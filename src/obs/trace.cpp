@@ -1,0 +1,101 @@
+#include "obs/trace.h"
+
+#include <fstream>
+
+namespace cdpu::obs
+{
+
+void
+TraceSession::span(const std::string &name,
+                   const std::string &category, Tick start,
+                   Tick duration, u32 track)
+{
+    events_.push_back(
+        {'X', name, category, start, duration, 0, track});
+}
+
+void
+TraceSession::instant(const std::string &name,
+                      const std::string &category, Tick when,
+                      u32 track)
+{
+    events_.push_back({'i', name, category, when, 0, 0, track});
+}
+
+void
+TraceSession::counterSample(const std::string &name, Tick when,
+                            u64 value)
+{
+    events_.push_back({'C', name, "counter", when, 0, value, 0});
+}
+
+void
+TraceSession::setTrackName(u32 track, const std::string &name)
+{
+    trackNames_[track] = name;
+}
+
+void
+TraceSession::clear()
+{
+    events_.clear();
+    trackNames_.clear();
+}
+
+JsonValue
+TraceSession::toJson() const
+{
+    // One cycle is rendered as one microsecond (the format's native
+    // unit); displayTimeUnit only affects the viewer's label.
+    JsonValue trace_events = JsonValue::array();
+    for (const auto &[track, name] : trackNames_) {
+        JsonValue meta = JsonValue::object();
+        meta.set("name", "thread_name");
+        meta.set("ph", "M");
+        meta.set("pid", u64{1});
+        meta.set("tid", static_cast<u64>(track));
+        meta.set("args", JsonValue::object().set("name", name));
+        trace_events.push(std::move(meta));
+    }
+    for (const auto &event : events_) {
+        JsonValue out = JsonValue::object();
+        out.set("name", event.name);
+        out.set("cat", event.category);
+        out.set("ph", std::string(1, event.phase));
+        out.set("ts", event.start);
+        if (event.phase == 'X')
+            out.set("dur", event.duration);
+        out.set("pid", u64{1});
+        out.set("tid", static_cast<u64>(event.track));
+        if (event.phase == 'i')
+            out.set("s", "t"); // thread-scoped instant
+        if (event.phase == 'C')
+            out.set("args",
+                    JsonValue::object().set("value", event.value));
+        trace_events.push(std::move(out));
+    }
+    JsonValue document = JsonValue::object();
+    document.set("traceEvents", std::move(trace_events));
+    document.set("displayTimeUnit", "ns");
+    return document;
+}
+
+std::string
+TraceSession::toJsonString(int indent) const
+{
+    return toJson().dump(indent);
+}
+
+Status
+TraceSession::writeFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return Status::io("cannot open trace file: " + path);
+    out << toJsonString(1) << '\n';
+    if (!out)
+        return Status::io("short write to trace file: " + path);
+    return Status::okStatus();
+}
+
+} // namespace cdpu::obs

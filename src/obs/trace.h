@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Cycle-level trace recording with Chrome trace_event export.
+ *
+ * A TraceSession collects span ("X"), instant ("i"), and counter ("C")
+ * events stamped with sim::Tick-compatible u64 timestamps and
+ * serializes them to the Chrome trace_event JSON format, so a recorded
+ * `.trace.json` opens directly in Perfetto or chrome://tracing. Tracks
+ * map onto the format's thread lanes (one pid, tid = track), letting a
+ * PU lay its fetch / compute / writeback phases out on parallel lanes
+ * the way the co-designed pipeline overlaps them in hardware.
+ *
+ * Tracing is optional everywhere: instrumented code takes a
+ * TraceSession pointer and does nothing when it is null.
+ */
+
+#ifndef CDPU_OBS_TRACE_H_
+#define CDPU_OBS_TRACE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+#include "obs/json.h"
+
+namespace cdpu::obs
+{
+
+/** Timestamp type; mirrors sim::Tick (cycles since simulation start). */
+using Tick = u64;
+
+/** Records trace events and exports Chrome trace_event JSON. */
+class TraceSession
+{
+  public:
+    /** Adds a complete span: [start, start + duration) on @p track. */
+    void span(const std::string &name, const std::string &category,
+              Tick start, Tick duration, u32 track = 0);
+
+    /** Adds an instant event at @p when on @p track. */
+    void instant(const std::string &name, const std::string &category,
+                 Tick when, u32 track = 0);
+
+    /** Adds a counter sample (rendered as a value track). */
+    void counterSample(const std::string &name, Tick when, u64 value);
+
+    /** Names @p track's lane in the viewer (thread_name metadata). */
+    void setTrackName(u32 track, const std::string &name);
+
+    std::size_t size() const { return events_.size(); }
+    bool empty() const { return events_.empty(); }
+    void clear();
+
+    /** {"traceEvents": [...], "displayTimeUnit": "ns"}. */
+    JsonValue toJson() const;
+    std::string toJsonString(int indent = 0) const;
+
+    /** Writes toJsonString() to @p path. */
+    Status writeFile(const std::string &path) const;
+
+  private:
+    struct TraceEvent
+    {
+        char phase; // 'X', 'i', or 'C'
+        std::string name;
+        std::string category;
+        Tick start = 0;
+        Tick duration = 0;
+        u64 value = 0;
+        u32 track = 0;
+    };
+
+    std::vector<TraceEvent> events_;
+    std::map<u32, std::string> trackNames_;
+};
+
+/**
+ * RAII span tied to a live clock: records the clock value at
+ * construction and emits a span up to the clock value at destruction.
+ * For event-driven code, pass `queue.nowRef()` as the clock.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(TraceSession *session, const Tick &clock,
+               std::string name, std::string category, u32 track = 0)
+        : session_(session), clock_(clock), start_(clock),
+          name_(std::move(name)), category_(std::move(category)),
+          track_(track)
+    {}
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    ~ScopedSpan()
+    {
+        if (session_)
+            session_->span(name_, category_, start_, clock_ - start_,
+                           track_);
+    }
+
+  private:
+    TraceSession *session_;
+    const Tick &clock_;
+    Tick start_;
+    std::string name_;
+    std::string category_;
+    u32 track_;
+};
+
+} // namespace cdpu::obs
+
+#endif // CDPU_OBS_TRACE_H_

@@ -73,4 +73,12 @@ SetAssocCache::reset()
     stats_ = CacheStats{};
 }
 
+void
+SetAssocCache::exportCounters(obs::CounterRegistry &registry,
+                              const std::string &prefix) const
+{
+    registry.counter(prefix + ".hits").set(stats_.hits);
+    registry.counter(prefix + ".misses").set(stats_.misses);
+}
+
 } // namespace cdpu::sim

@@ -11,9 +11,11 @@
 #ifndef CDPU_SIM_CACHE_H_
 #define CDPU_SIM_CACHE_H_
 
+#include <string>
 #include <vector>
 
 #include "common/types.h"
+#include "obs/counters.h"
 
 namespace cdpu::sim
 {
@@ -62,6 +64,10 @@ class SetAssocCache
 
     const CacheConfig &config() const { return config_; }
     const CacheStats &stats() const { return stats_; }
+
+    /** Publishes stats as "<prefix>.hits" / "<prefix>.misses". */
+    void exportCounters(obs::CounterRegistry &registry,
+                        const std::string &prefix) const;
 
   private:
     struct Line

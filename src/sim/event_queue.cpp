@@ -1,6 +1,7 @@
 #include "sim/event_queue.h"
 
 #include <cassert>
+#include <limits>
 
 namespace cdpu::sim
 {
@@ -9,13 +10,38 @@ void
 EventQueue::schedule(Tick when, Callback callback)
 {
     assert(when >= now_);
-    events_.push({when, nextSequence_++, std::move(callback)});
+    events_.push({when, nextSequence_++, {}, std::move(callback)});
+}
+
+void
+EventQueue::schedule(Tick when, std::string label, Callback callback)
+{
+    assert(when >= now_);
+    events_.push(
+        {when, nextSequence_++, std::move(label), std::move(callback)});
 }
 
 void
 EventQueue::scheduleIn(Tick delay, Callback callback)
 {
+    assert(delay <= std::numeric_limits<Tick>::max() - now_);
     schedule(now_ + delay, std::move(callback));
+}
+
+void
+EventQueue::scheduleIn(Tick delay, std::string label,
+                       Callback callback)
+{
+    assert(delay <= std::numeric_limits<Tick>::max() - now_);
+    schedule(now_ + delay, std::move(label), std::move(callback));
+}
+
+void
+EventQueue::attachTrace(obs::TraceSession *session,
+                        std::string category)
+{
+    trace_ = session;
+    traceCategory_ = std::move(category);
 }
 
 void
@@ -26,6 +52,8 @@ EventQueue::step()
     Event event = events_.top();
     events_.pop();
     now_ = event.when;
+    if (trace_ && !event.label.empty())
+        trace_->instant(event.label, traceCategory_, now_);
     event.callback();
 }
 

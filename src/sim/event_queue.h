@@ -8,6 +8,12 @@
  * (stream_model.h) uses it to simulate a memloader with a bounded
  * number of outstanding line requests, which is what exposes link
  * latency on PCIe/chiplet placements.
+ *
+ * Ordering contract: events run in ascending tick order, and events
+ * scheduled for the same tick run in the order they were scheduled
+ * (FIFO). This holds across schedule()/scheduleIn() and for events
+ * scheduled by a running callback for the current tick — those run
+ * after every previously scheduled same-tick event.
  */
 
 #ifndef CDPU_SIM_EVENT_QUEUE_H_
@@ -16,9 +22,11 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
+#include "obs/trace.h"
 
 namespace cdpu::sim
 {
@@ -35,11 +43,35 @@ class EventQueue
     /** Schedules @p callback at absolute time @p when (>= now). */
     void schedule(Tick when, Callback callback);
 
-    /** Schedules @p callback @p delay ticks from now. */
+    /**
+     * As schedule(), tagging the event with @p label. When a trace
+     * session is attached, running a labeled event emits an instant.
+     */
+    void schedule(Tick when, std::string label, Callback callback);
+
+    /** Schedules @p callback @p delay ticks from now.
+     *  @pre now() + delay does not overflow Tick. */
     void scheduleIn(Tick delay, Callback callback);
+
+    /** Labeled variant of scheduleIn(). */
+    void scheduleIn(Tick delay, std::string label, Callback callback);
 
     /** Current simulation time. */
     Tick now() const { return now_; }
+
+    /**
+     * Stable reference to the simulation clock, for obs::ScopedSpan
+     * and other observers that sample time at destruction.
+     */
+    const Tick &nowRef() const { return now_; }
+
+    /**
+     * Mirrors labeled events into @p session as instant events under
+     * @p category as they run. Pass nullptr to detach. The session
+     * must outlive this queue (or be detached first).
+     */
+    void attachTrace(obs::TraceSession *session,
+                     std::string category = "event");
 
     /** True when no events are pending. */
     bool empty() const { return events_.empty(); }
@@ -55,6 +87,7 @@ class EventQueue
     {
         Tick when;
         u64 sequence; ///< FIFO tie-break for same-tick events.
+        std::string label;
         Callback callback;
     };
 
@@ -72,6 +105,8 @@ class EventQueue
     std::priority_queue<Event, std::vector<Event>, Later> events_;
     Tick now_ = 0;
     u64 nextSequence_ = 0;
+    obs::TraceSession *trace_ = nullptr;
+    std::string traceCategory_;
 };
 
 } // namespace cdpu::sim

@@ -56,4 +56,21 @@ MemoryHierarchy::reset()
     stats_ = MemoryStats{};
 }
 
+void
+MemoryHierarchy::exportCounters(obs::CounterRegistry &registry,
+                                const std::string &prefix) const
+{
+    l2_.exportCounters(registry, prefix + ".l2");
+    llc_.exportCounters(registry, prefix + ".llc");
+    registry.counter(prefix + ".accesses").set(stats_.accesses);
+    registry.counter(prefix + ".l2.serviced").set(stats_.l2Hits);
+    registry.counter(prefix + ".llc.serviced").set(stats_.llcHits);
+    registry.counter(prefix + ".dram.accesses")
+        .set(stats_.dramAccesses);
+    registry.counter(prefix + ".bytes_touched")
+        .set(stats_.bytesTouched);
+    registry.counter(prefix + ".latency_cycles")
+        .set(stats_.totalLatencyCycles);
+}
+
 } // namespace cdpu::sim

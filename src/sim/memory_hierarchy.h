@@ -66,6 +66,16 @@ class MemoryHierarchy
     const MemoryConfig &config() const { return config_; }
     const MemoryStats &stats() const { return stats_; }
 
+    /**
+     * Publishes cumulative traffic under "<prefix>.*": per-level cache
+     * hit/miss counts ("<prefix>.l2.hits", ...), accesses serviced at
+     * each level, bytes touched, and total latency. Counters are
+     * set(), not added, so repeated exports stay idempotent and a
+     * snapshot diff across a call isolates that call's traffic.
+     */
+    void exportCounters(obs::CounterRegistry &registry,
+                        const std::string &prefix) const;
+
   private:
     MemoryConfig config_;
     SetAssocCache l2_;

@@ -8,7 +8,7 @@ namespace cdpu::sim
 Tick
 simulateStreamDes(std::size_t bytes, const PlacementModel &model,
                   MemoryHierarchy &memory, u64 base_addr,
-                  unsigned line_bytes)
+                  unsigned line_bytes, obs::CounterRegistry *registry)
 {
     if (bytes == 0)
         return 0;
@@ -27,6 +27,11 @@ simulateStreamDes(std::size_t bytes, const PlacementModel &model,
             u64 addr = base_addr + issued * line_bytes;
             ++issued;
             ++in_flight;
+            if (registry) {
+                registry->counter("stream.lines").increment();
+                registry->histogram("stream.in_flight")
+                    .record(in_flight);
+            }
             u64 mem_latency = memory.access(addr, line_bytes);
             Tick total = 2 * model.linkLatencyCycles + mem_latency;
             queue.scheduleIn(total, [&]() {
@@ -37,6 +42,9 @@ simulateStreamDes(std::size_t bytes, const PlacementModel &model,
                 issue_more();
             });
         }
+        if (registry && issued < lines &&
+            in_flight >= model.maxOutstanding)
+            registry->counter("stream.window_full_stalls").increment();
     };
     issue_more();
     queue.runToCompletion();

@@ -29,11 +29,19 @@
 namespace cdpu::sim
 {
 
-/** DES reference: cycles to stream @p bytes through a loader with
- *  @p model's link and @p line_bytes requests over @p memory. */
+/**
+ * DES reference: cycles to stream @p bytes through a loader with
+ * @p model's link and @p line_bytes requests over @p memory.
+ *
+ * When @p registry is non-null, the run records "stream.lines" (line
+ * requests issued), "stream.window_full_stalls" (times the bounded
+ * outstanding window blocked the next issue), and a "stream.in_flight"
+ * occupancy histogram sampled at each issue.
+ */
 Tick simulateStreamDes(std::size_t bytes, const PlacementModel &model,
                        MemoryHierarchy &memory, u64 base_addr,
-                       unsigned line_bytes = 64);
+                       unsigned line_bytes = 64,
+                       obs::CounterRegistry *registry = nullptr);
 
 /** Closed form used in sweeps: startup latency + bandwidth-bound
  *  transfer at the placement's effective stream bandwidth. */

@@ -43,4 +43,12 @@ Tlb::flush()
     map_.clear();
 }
 
+void
+Tlb::exportCounters(obs::CounterRegistry &registry,
+                    const std::string &prefix) const
+{
+    registry.counter(prefix + ".hits").set(stats_.hits);
+    registry.counter(prefix + ".misses").set(stats_.misses);
+}
+
 } // namespace cdpu::sim

@@ -14,9 +14,11 @@
 #define CDPU_SIM_TLB_H_
 
 #include <list>
+#include <string>
 #include <unordered_map>
 
 #include "common/types.h"
+#include "obs/counters.h"
 
 namespace cdpu::sim
 {
@@ -51,6 +53,10 @@ class Tlb
 
     const TlbStats &stats() const { return stats_; }
     unsigned entries() const { return entries_; }
+
+    /** Publishes stats as "<prefix>.hits" / "<prefix>.misses". */
+    void exportCounters(obs::CounterRegistry &registry,
+                        const std::string &prefix) const;
     std::size_t pageBytes() const { return std::size_t{1} << pageLog_; }
 
   private:

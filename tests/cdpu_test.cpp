@@ -134,10 +134,10 @@ TEST(SnappyDecompPuTest, SmallerSramMeansMoreFallbacks)
         auto result = pu.run(compressed);
         ASSERT_TRUE(result.ok());
         if (!first) {
-            EXPECT_GE(result.value().historyFallbacks, prev_fallbacks);
+            EXPECT_GE(result.value().historyFallbacks(), prev_fallbacks);
             EXPECT_GE(result.value().cycles, prev_cycles);
         }
-        prev_fallbacks = result.value().historyFallbacks;
+        prev_fallbacks = result.value().historyFallbacks();
         prev_cycles = result.value().cycles;
         first = false;
     }
@@ -182,10 +182,10 @@ TEST(SnappyDecompPuTest, PcieLocalCacheShieldsFallbacks)
     ASSERT_TRUE(r_local.ok());
     ASSERT_TRUE(r_nocache.ok());
     // Same fallback count, but the no-cache card pays the link on each.
-    EXPECT_EQ(r_local.value().historyFallbacks,
-              r_nocache.value().historyFallbacks);
-    EXPECT_LT(r_local.value().fallbackCycles,
-              r_nocache.value().fallbackCycles);
+    EXPECT_EQ(r_local.value().historyFallbacks(),
+              r_nocache.value().historyFallbacks());
+    EXPECT_LT(r_local.value().fallbackCycles(),
+              r_nocache.value().fallbackCycles());
 }
 
 // --- Snappy compressor PU ----------------------------------------------------
@@ -305,7 +305,7 @@ TEST(ZstdDecompPuTest, TraceReplayMatchesFullRun)
     PuResult replay =
         pu_trace.runFromTrace(trace, compressed.value().size());
     EXPECT_EQ(full.value().cycles, replay.cycles);
-    EXPECT_EQ(full.value().historyFallbacks, replay.historyFallbacks);
+    EXPECT_EQ(full.value().historyFallbacks(), replay.historyFallbacks());
 }
 
 // --- ZStd compressor PU --------------------------------------------------------
@@ -358,6 +358,104 @@ TEST(ZstdCompPuTest, WindowFollowsHistorySram)
 
 // --- Cross-parameter property sweep ------------------------------------------
 
+TEST(ObservabilityTest, PuResultCarriesPerCallCounters)
+{
+    Bytes data = testData();
+    Bytes compressed = snappy::compress(data);
+    SnappyDecompressorPU pu{CdpuConfig{}};
+    auto result = pu.run(compressed);
+    ASSERT_TRUE(result.ok());
+    const obs::CounterSnapshot &counters = result.value().counters;
+
+    EXPECT_EQ(counters.at("pu.calls"), 1u);
+    EXPECT_EQ(counters.at("pu.cycles"), result.value().cycles);
+    EXPECT_EQ(counters.at("pu.input_bytes"), compressed.size());
+    EXPECT_EQ(counters.at("pu.output_bytes"), data.size());
+    EXPECT_GT(counters.at("pu.compute_cycles"), 0u);
+    EXPECT_GT(counters.at("pu.stream_in_cycles"), 0u);
+    // The memory/TLB hierarchy is exported alongside the PU's own
+    // accounting (the bench acceptance set: L2/LLC/DRAM/TLB).
+    EXPECT_TRUE(counters.has("mem.l2.hits"));
+    EXPECT_TRUE(counters.has("mem.llc.hits"));
+    EXPECT_TRUE(counters.has("mem.dram.accesses"));
+    EXPECT_TRUE(counters.has("tlb.misses"));
+    // Per-call histograms carry exactly this call.
+    const obs::HistogramSnapshot &call_bytes =
+        counters.histograms.at("pu.call_bytes");
+    EXPECT_EQ(call_bytes.count, 1u);
+    EXPECT_EQ(call_bytes.sum, compressed.size());
+}
+
+TEST(ObservabilityTest, FallbacksShowUpInMemoryCounters)
+{
+    // A 2 KiB history SRAM forces off-chip fallbacks, the only PU
+    // path that touches the memory hierarchy during compute — the
+    // per-call diff must attribute that traffic to this call.
+    Bytes data = testData(512 * kKiB, 77);
+    Bytes compressed = snappy::compress(data);
+    CdpuConfig config;
+    config.historySramBytes = 2 * kKiB;
+    SnappyDecompressorPU pu{config};
+    auto result = pu.run(compressed);
+    ASSERT_TRUE(result.ok());
+    const obs::CounterSnapshot &counters = result.value().counters;
+    EXPECT_GT(counters.at("pu.history_fallbacks"), 0u);
+    EXPECT_GT(counters.at("mem.accesses"), 0u);
+    EXPECT_EQ(result.value().historyFallbacks(),
+              counters.at("pu.history_fallbacks"));
+}
+
+TEST(ObservabilityTest, CumulativeCountersSpanCalls)
+{
+    Bytes data = testData();
+    Bytes compressed = snappy::compress(data);
+    SnappyDecompressorPU pu{CdpuConfig{}};
+    auto first = pu.run(compressed);
+    auto second = pu.run(compressed);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(second.ok());
+
+    obs::CounterSnapshot total = pu.counters();
+    EXPECT_EQ(total.at("pu.calls"), 2u);
+    EXPECT_EQ(total.at("pu.cycles"),
+              first.value().cycles + second.value().cycles);
+    EXPECT_EQ(total.at("pu.input_bytes"), 2 * compressed.size());
+    EXPECT_EQ(total.histograms.at("pu.call_cycles").count, 2u);
+}
+
+TEST(ObservabilityTest, AttachTraceEmitsPhaseSpans)
+{
+    Bytes data = testData();
+    Bytes compressed = snappy::compress(data);
+    obs::TraceSession session;
+    SnappyDecompressorPU pu{CdpuConfig{}};
+    pu.attachTrace(&session);
+    ASSERT_TRUE(pu.run(compressed).ok());
+    ASSERT_TRUE(pu.run(compressed).ok());
+    ASSERT_FALSE(session.empty());
+
+    auto parsed = obs::JsonValue::parse(session.toJsonString(1));
+    ASSERT_TRUE(parsed.ok());
+    unsigned calls = 0;
+    unsigned computes = 0;
+    u64 last_call_ts = 0;
+    for (const obs::JsonValue &event :
+         parsed.value().at("traceEvents").items()) {
+        const std::string &name = event.at("name").asString();
+        if (name == "snappy_decomp.call") {
+            ++calls;
+            // Calls are laid back-to-back on the cycle timeline.
+            EXPECT_GE(event.at("ts").asU64(), last_call_ts);
+            last_call_ts = event.at("ts").asU64() +
+                           event.at("dur").asU64();
+        } else if (name == "snappy_decomp.compute") {
+            ++computes;
+        }
+    }
+    EXPECT_EQ(calls, 2u);
+    EXPECT_EQ(computes, 2u);
+}
+
 struct MonotoneCase
 {
     sim::Placement placement;
@@ -391,7 +489,7 @@ TEST_P(PlacementSramSweep, AllPusCompleteAndAccount)
     for (const auto *r : {&r1, &r2, &r3, &r4}) {
         ASSERT_TRUE(r->ok());
         EXPECT_GT(r->value().cycles, 0u);
-        EXPECT_GE(r->value().cycles, r->value().computeCycles);
+        EXPECT_GE(r->value().cycles, r->value().computeCycles());
     }
     // Decompressors produce the content size.
     EXPECT_EQ(r1.value().outputBytes, data.size());

@@ -143,7 +143,7 @@ TEST(HwSwInteropTest, PuCycleModelIsDeterministic)
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(b.ok());
     EXPECT_EQ(a.value().cycles, b.value().cycles);
-    EXPECT_EQ(a.value().tlbMisses, b.value().tlbMisses);
+    EXPECT_EQ(a.value().tlbMisses(), b.value().tlbMisses());
 }
 
 TEST(HwSwInteropTest, RepeatedCallsAccumulateWarmth)
@@ -160,8 +160,8 @@ TEST(HwSwInteropTest, RepeatedCallsAccumulateWarmth)
     auto second = pu.run(compressed);
     ASSERT_TRUE(first.ok());
     ASSERT_TRUE(second.ok());
-    EXPECT_LE(second.value().fallbackCycles,
-              first.value().fallbackCycles);
+    EXPECT_LE(second.value().fallbackCycles(),
+              first.value().fallbackCycles());
 }
 
 TEST(PipelineTest, FleetToSuiteToSweep)

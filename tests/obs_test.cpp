@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Unit tests for the observability layer: the JSON document model
+ * (dump/parse round-trips and error cases), counters and histograms
+ * (snapshot/diff/merge, percentile math), and the trace session's
+ * Chrome trace_event export, validated by parsing the emitted bytes
+ * back rather than inspecting in-memory structures.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "obs/counters.h"
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace cdpu::obs
+{
+namespace
+{
+
+// --- JsonValue ----------------------------------------------------------
+
+TEST(JsonTest, ScalarDump)
+{
+    EXPECT_EQ(JsonValue().dump(), "null");
+    EXPECT_EQ(JsonValue(true).dump(), "true");
+    EXPECT_EQ(JsonValue(false).dump(), "false");
+    EXPECT_EQ(JsonValue(static_cast<u64>(42)).dump(), "42");
+    EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonTest, U64SurvivesExactly)
+{
+    // 2^63 + 1 is not representable as a double; the u64 fast path
+    // must carry it through dump and parse unchanged.
+    u64 big = (1ull << 63) + 1;
+    std::string text = JsonValue(big).dump();
+    EXPECT_EQ(text, "9223372036854775809");
+    auto parsed = JsonValue::parse(text);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().asU64(), big);
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder)
+{
+    JsonValue object = JsonValue::object();
+    object.set("zebra", 1).set("apple", 2).set("mango", 3);
+    EXPECT_EQ(object.dump(), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+    object.set("zebra", 9); // Replacement keeps the original slot.
+    EXPECT_EQ(object.dump(), "{\"zebra\":9,\"apple\":2,\"mango\":3}");
+}
+
+TEST(JsonTest, StringEscaping)
+{
+    JsonValue value(std::string("a\"b\\c\n\t\x01"));
+    std::string text = value.dump();
+    auto parsed = JsonValue::parse(text);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().asString(), value.asString());
+}
+
+TEST(JsonTest, ParseRoundTripNested)
+{
+    const char *text =
+        "{\"a\": [1, 2.5, true, null], \"b\": {\"c\": \"x\"}}";
+    auto parsed = JsonValue::parse(text);
+    ASSERT_TRUE(parsed.ok());
+    const JsonValue &root = parsed.value();
+    ASSERT_TRUE(root.isObject());
+    ASSERT_TRUE(root.at("a").isArray());
+    EXPECT_EQ(root.at("a").size(), 4u);
+    EXPECT_DOUBLE_EQ(root.at("a").at(1).asDouble(), 2.5);
+    EXPECT_TRUE(root.at("a").at(2).asBool());
+    EXPECT_TRUE(root.at("a").at(3).isNull());
+    EXPECT_EQ(root.at("b").at("c").asString(), "x");
+
+    // Dump and reparse: structurally identical.
+    auto again = JsonValue::parse(root.dump());
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.value().dump(), root.dump());
+}
+
+TEST(JsonTest, PrettyPrintParsesBack)
+{
+    JsonValue object = JsonValue::object();
+    object.set("list", JsonValue::array());
+    auto parsed = JsonValue::parse(object.dump(2));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(parsed.value().at("list").isArray());
+}
+
+TEST(JsonTest, ParseErrors)
+{
+    EXPECT_FALSE(JsonValue::parse("").ok());
+    EXPECT_FALSE(JsonValue::parse("{").ok());
+    EXPECT_FALSE(JsonValue::parse("[1,]").ok());
+    EXPECT_FALSE(JsonValue::parse("{\"a\":1} trailing").ok());
+    EXPECT_FALSE(JsonValue::parse("'single'").ok());
+    EXPECT_FALSE(JsonValue::parse("{\"a\" 1}").ok());
+}
+
+// --- Counters and histograms -------------------------------------------
+
+TEST(CounterTest, RegistryHandlesAreStable)
+{
+    CounterRegistry registry;
+    Counter &hits = registry.counter("mem.l2.hits");
+    hits.add(3);
+    hits.increment();
+    // Same name returns the same counter.
+    EXPECT_EQ(registry.counter("mem.l2.hits").value(), 4u);
+    registry.counter("mem.l2.misses").set(7);
+
+    CounterSnapshot snapshot = registry.snapshot();
+    EXPECT_EQ(snapshot.at("mem.l2.hits"), 4u);
+    EXPECT_EQ(snapshot.at("mem.l2.misses"), 7u);
+    EXPECT_EQ(snapshot.at("no.such.counter"), 0u);
+    EXPECT_FALSE(snapshot.has("no.such.counter"));
+
+    registry.reset();
+    EXPECT_EQ(registry.counter("mem.l2.hits").value(), 0u);
+    // Names stay registered across reset.
+    EXPECT_TRUE(registry.snapshot().has("mem.l2.misses"));
+}
+
+TEST(CounterTest, SnapshotDiffIsolatesAWindow)
+{
+    CounterRegistry registry;
+    registry.counter("pu.cycles").add(100);
+    registry.histogram("pu.call_bytes").record(512);
+    CounterSnapshot before = registry.snapshot();
+
+    registry.counter("pu.cycles").add(40);
+    registry.counter("pu.calls").increment();
+    registry.histogram("pu.call_bytes").record(2048);
+    CounterSnapshot after = registry.snapshot();
+
+    CounterSnapshot delta = after.diff(before);
+    EXPECT_EQ(delta.at("pu.cycles"), 40u);
+    EXPECT_EQ(delta.at("pu.calls"), 1u); // Absent-before passes through.
+    EXPECT_EQ(delta.histograms.at("pu.call_bytes").count, 1u);
+    EXPECT_EQ(delta.histograms.at("pu.call_bytes").sum, 2048u);
+}
+
+TEST(CounterTest, DiffSaturatesAtZero)
+{
+    CounterSnapshot before;
+    before.counters["c"] = 10;
+    CounterSnapshot after;
+    after.counters["c"] = 4; // Reset between snapshots.
+    EXPECT_EQ(after.diff(before).at("c"), 0u);
+}
+
+TEST(CounterTest, MergeAccumulates)
+{
+    CounterRegistry a;
+    a.counter("pu.calls").add(2);
+    a.histogram("pu.call_cycles").record(10);
+    CounterRegistry b;
+    b.counter("pu.calls").add(3);
+    b.counter("pu.cycles").add(99);
+    b.histogram("pu.call_cycles").record(30);
+
+    CounterSnapshot merged = a.snapshot();
+    merged.merge(b.snapshot());
+    EXPECT_EQ(merged.at("pu.calls"), 5u);
+    EXPECT_EQ(merged.at("pu.cycles"), 99u);
+    const HistogramSnapshot &h = merged.histograms.at("pu.call_cycles");
+    EXPECT_EQ(h.count, 2u);
+    EXPECT_EQ(h.sum, 40u);
+    EXPECT_EQ(h.min, 10u);
+    EXPECT_EQ(h.max, 30u);
+}
+
+TEST(CounterTest, SnapshotJsonRoundTrip)
+{
+    CounterRegistry registry;
+    registry.counter("mem.dram.accesses").set(123456789ull);
+    registry.histogram("pu.call_bytes").record(4096);
+    auto parsed =
+        JsonValue::parse(registry.snapshot().toJsonString());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value()
+                  .at("counters")
+                  .at("mem.dram.accesses")
+                  .asU64(),
+              123456789ull);
+    EXPECT_EQ(
+        parsed.value().at("histograms").at("pu.call_bytes").at("count")
+            .asU64(),
+        1u);
+}
+
+TEST(HistogramTest, BucketOf)
+{
+    EXPECT_EQ(Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(Histogram::bucketOf(~0ull), 64u);
+}
+
+TEST(HistogramTest, PercentilesOfUniformRamp)
+{
+    Histogram histogram;
+    for (u64 v = 1; v <= 1000; ++v)
+        histogram.record(v);
+    const HistogramSnapshot &snapshot = histogram.snapshot();
+    EXPECT_EQ(snapshot.count, 1000u);
+    EXPECT_EQ(snapshot.min, 1u);
+    EXPECT_EQ(snapshot.max, 1000u);
+    EXPECT_DOUBLE_EQ(snapshot.mean(), 500.5);
+    // Log2 buckets are coarse: allow one bucket's width of slack.
+    EXPECT_NEAR(snapshot.percentile(0.5), 500, 260);
+    EXPECT_NEAR(snapshot.percentile(0.99), 990, 30);
+    // The extremes are exact thanks to the [min, max] clamp.
+    EXPECT_DOUBLE_EQ(snapshot.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(snapshot.percentile(1.0), 1000.0);
+}
+
+TEST(HistogramTest, PercentileOfEmptyAndSingle)
+{
+    Histogram histogram;
+    EXPECT_DOUBLE_EQ(histogram.snapshot().percentile(0.5), 0.0);
+    histogram.record(77);
+    EXPECT_DOUBLE_EQ(histogram.snapshot().percentile(0.5), 77.0);
+    EXPECT_DOUBLE_EQ(histogram.snapshot().percentile(0.99), 77.0);
+}
+
+// --- TraceSession -------------------------------------------------------
+
+TEST(TraceTest, EmitsWellFormedChromeTraceJson)
+{
+    TraceSession session;
+    session.setTrackName(0, "calls");
+    session.setTrackName(2, "compute");
+    session.span("call", "pu", 100, 50, 0);
+    session.span("compute", "pu", 110, 30, 2);
+    session.instant("tlb_miss", "mem", 125, 0);
+    session.counterSample("in_flight", 120, 7);
+    EXPECT_EQ(session.size(), 4u);
+
+    auto parsed = JsonValue::parse(session.toJsonString(1));
+    ASSERT_TRUE(parsed.ok());
+    const JsonValue &root = parsed.value();
+    EXPECT_EQ(root.at("displayTimeUnit").asString(), "ns");
+    const JsonValue &events = root.at("traceEvents");
+    ASSERT_TRUE(events.isArray());
+    // 4 events + 2 thread_name metadata records.
+    ASSERT_EQ(events.size(), 6u);
+
+    unsigned spans = 0, instants = 0, counters = 0, metadata = 0;
+    for (const JsonValue &event : events.items()) {
+        ASSERT_TRUE(event.isObject());
+        const std::string &phase = event.at("ph").asString();
+        EXPECT_EQ(event.at("pid").asU64(), 1u);
+        if (phase == "M") {
+            ++metadata;
+            EXPECT_EQ(event.at("name").asString(), "thread_name");
+            continue;
+        }
+        ASSERT_TRUE(event.has("ts"));
+        if (phase == "X") {
+            ++spans;
+            EXPECT_TRUE(event.has("dur"));
+        } else if (phase == "i") {
+            ++instants;
+            EXPECT_EQ(event.at("s").asString(), "t");
+        } else if (phase == "C") {
+            ++counters;
+            EXPECT_TRUE(event.at("args").has("value"));
+        }
+    }
+    EXPECT_EQ(spans, 2u);
+    EXPECT_EQ(instants, 1u);
+    EXPECT_EQ(counters, 1u);
+    EXPECT_EQ(metadata, 2u);
+}
+
+TEST(TraceTest, SpanFieldsSurviveExport)
+{
+    TraceSession session;
+    session.span("fetch", "pu", 1000, 250, 1);
+    auto parsed = JsonValue::parse(session.toJsonString());
+    ASSERT_TRUE(parsed.ok());
+    const JsonValue &event = parsed.value().at("traceEvents").at(0);
+    EXPECT_EQ(event.at("name").asString(), "fetch");
+    EXPECT_EQ(event.at("cat").asString(), "pu");
+    EXPECT_EQ(event.at("ts").asU64(), 1000u);
+    EXPECT_EQ(event.at("dur").asU64(), 250u);
+    EXPECT_EQ(event.at("tid").asU64(), 1u);
+}
+
+TEST(TraceTest, WriteFileAndClear)
+{
+    TraceSession session;
+    session.span("s", "c", 0, 10);
+    std::string path =
+        testing::TempDir() + "obs_test_out.trace.json";
+    ASSERT_TRUE(session.writeFile(path).ok());
+
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(file, nullptr);
+    std::string text;
+    char buffer[4096];
+    std::size_t n;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0)
+        text.append(buffer, n);
+    std::fclose(file);
+    std::remove(path.c_str());
+
+    auto parsed = JsonValue::parse(text);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().at("traceEvents").size(), 1u);
+
+    session.clear();
+    EXPECT_TRUE(session.empty());
+}
+
+TEST(TraceTest, WriteFileToBadPathFails)
+{
+    TraceSession session;
+    Status status = session.writeFile("/no/such/dir/out.json");
+    EXPECT_FALSE(status.ok());
+}
+
+TEST(TraceTest, ScopedSpanRecordsClockWindow)
+{
+    TraceSession session;
+    Tick clock = 100;
+    {
+        ScopedSpan span(&session, clock, "phase", "sim", 3);
+        clock = 175;
+    }
+    ASSERT_EQ(session.size(), 1u);
+    auto parsed = JsonValue::parse(session.toJsonString());
+    ASSERT_TRUE(parsed.ok());
+    const JsonValue &event = parsed.value().at("traceEvents").at(0);
+    EXPECT_EQ(event.at("ts").asU64(), 100u);
+    EXPECT_EQ(event.at("dur").asU64(), 75u);
+    EXPECT_EQ(event.at("tid").asU64(), 3u);
+
+    // Null session: a no-op, not a crash.
+    { ScopedSpan noop(nullptr, clock, "x", "y"); }
+    EXPECT_EQ(session.size(), 1u);
+}
+
+} // namespace
+} // namespace cdpu::obs

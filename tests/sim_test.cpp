@@ -7,7 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/rng.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "sim/stream_model.h"
 #include "sim/tlb.h"
 
@@ -52,6 +56,83 @@ TEST(EventQueueTest, CallbacksMayScheduleMore)
     Tick end = queue.runToCompletion();
     EXPECT_EQ(fired, 5);
     EXPECT_EQ(end, 28u);
+}
+
+TEST(EventQueueTest, SameTickFifoAcrossScheduleVariants)
+{
+    // The header's ordering contract: FIFO among same-tick events,
+    // across schedule()/scheduleIn() and for events a running callback
+    // schedules at the current tick.
+    EventQueue queue;
+    std::vector<int> order;
+    queue.schedule(5, [&] {
+        order.push_back(1);
+        // Scheduled mid-tick: must run after 2 and 3, which were
+        // enqueued for tick 5 before this callback ran.
+        queue.scheduleIn(0, [&] { order.push_back(4); });
+    });
+    queue.scheduleIn(5, [&] { order.push_back(2); });
+    queue.schedule(5, "labeled", [&] { order.push_back(3); });
+    queue.runToCompletion();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+    EXPECT_EQ(queue.now(), 5u);
+}
+
+#ifndef NDEBUG
+TEST(EventQueueDeathTest, ScheduleInOverflowAsserts)
+{
+    EXPECT_DEATH(
+        {
+            EventQueue queue;
+            queue.schedule(10, [] {});
+            queue.step();
+            queue.scheduleIn(std::numeric_limits<Tick>::max(), [] {});
+        },
+        "delay");
+}
+#endif
+
+TEST(EventQueueTest, AttachTraceMirrorsLabeledEvents)
+{
+    EventQueue queue;
+    obs::TraceSession session;
+    queue.attachTrace(&session, "sim");
+    queue.schedule(10, "line_done", [] {});
+    queue.schedule(20, [] {}); // Unlabeled: not traced.
+    queue.schedule(30, "drain", [] {});
+    queue.runToCompletion();
+    ASSERT_EQ(session.size(), 2u);
+
+    auto parsed = obs::JsonValue::parse(session.toJsonString());
+    ASSERT_TRUE(parsed.ok());
+    const obs::JsonValue &events = parsed.value().at("traceEvents");
+    EXPECT_EQ(events.at(0).at("name").asString(), "line_done");
+    EXPECT_EQ(events.at(0).at("ts").asU64(), 10u);
+    EXPECT_EQ(events.at(0).at("ph").asString(), "i");
+    EXPECT_EQ(events.at(0).at("cat").asString(), "sim");
+    EXPECT_EQ(events.at(1).at("ts").asU64(), 30u);
+
+    // Detach: later events stop mirroring.
+    queue.attachTrace(nullptr);
+    queue.schedule(40, "ignored", [] {});
+    queue.runToCompletion();
+    EXPECT_EQ(session.size(), 2u);
+}
+
+TEST(EventQueueTest, ScopedSpanTracksQueueClock)
+{
+    EventQueue queue;
+    obs::TraceSession session;
+    {
+        obs::ScopedSpan span(&session, queue.nowRef(), "busy", "sim");
+        queue.schedule(42, [] {});
+        queue.runToCompletion();
+    }
+    auto parsed = obs::JsonValue::parse(session.toJsonString());
+    ASSERT_TRUE(parsed.ok());
+    const obs::JsonValue &event = parsed.value().at("traceEvents").at(0);
+    EXPECT_EQ(event.at("ts").asU64(), 0u);
+    EXPECT_EQ(event.at("dur").asU64(), 42u);
 }
 
 TEST(CacheTest, HitsAfterFill)
@@ -191,6 +272,31 @@ TEST(StreamModelTest, DesAndAnalyticAgree)
                 << placementName(placement) << " " << bytes;
         }
     }
+}
+
+TEST(StreamModelTest, DesRecordsStreamCounters)
+{
+    PlacementModel model = placementModel(Placement::pcieNoCache);
+    MemoryHierarchy memory;
+    obs::CounterRegistry registry;
+    std::size_t bytes = 64 * kKiB;
+    simulateStreamDes(bytes, model, memory, 0, 64, &registry);
+
+    obs::CounterSnapshot snapshot = registry.snapshot();
+    EXPECT_EQ(snapshot.at("stream.lines"), bytes / 64);
+    // The 200 ns PCIe link saturates the bounded request window.
+    EXPECT_GT(snapshot.at("stream.window_full_stalls"), 0u);
+    const obs::HistogramSnapshot &occupancy =
+        snapshot.histograms.at("stream.in_flight");
+    EXPECT_EQ(occupancy.count, bytes / 64);
+    EXPECT_LE(occupancy.max, model.maxOutstanding);
+
+    // RoCC with no link latency never fills the window.
+    obs::CounterRegistry rocc_registry;
+    MemoryHierarchy rocc_memory;
+    simulateStreamDes(bytes, placementModel(Placement::rocc),
+                      rocc_memory, 0, 64, &rocc_registry);
+    EXPECT_EQ(rocc_registry.snapshot().at("stream.lines"), bytes / 64);
 }
 
 TEST(StreamModelTest, ZeroBytesCostNothing)
