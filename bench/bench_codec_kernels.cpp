@@ -2,7 +2,11 @@
  * @file
  * Google-benchmark microbenchmarks for the codec kernels on the host
  * machine: Snappy/ZstdLite compress+decompress across data classes,
- * plus the Huffman, FSE, and LZ77 stages in isolation.
+ * plus the Huffman, FSE, and LZ77 stages in isolation (decode-only
+ * variants isolate the word-wide fast paths). Every kernel reports an
+ * MB/s rate counter alongside google-benchmark's bytes_per_second, and
+ * the hot-path benchmarks attach mem::kernelStats() deltas (wild-copy
+ * bytes, refills, fast-path hits) as per-iteration counters.
  *
  * These measure THIS machine (the honest lzbench analogue); the
  * paper's Xeon numbers come from baseline::XeonCostModel and are
@@ -14,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "common/mem.h"
+#include "common/varint.h"
 #include "corpus/generators.h"
 #include "fse/decoder.h"
 #include "fse/encoder.h"
@@ -38,6 +44,46 @@ makeData(int cls_index, std::size_t size)
     return corpus::generate(classes[cls_index], size, rng);
 }
 
+/** Reports throughput as an explicit MB/s counter (1 MB = 1e6 bytes),
+ *  in addition to google-benchmark's bytes_per_second. */
+void
+setThroughput(benchmark::State &state, std::size_t bytes_per_iter)
+{
+    auto total =
+        static_cast<i64>(state.iterations() * bytes_per_iter);
+    state.SetBytesProcessed(total);
+    state.counters["MBps"] = benchmark::Counter(
+        static_cast<double>(total) * 1e-6, benchmark::Counter::kIsRate);
+}
+
+/** Attaches the mem::kernelStats() delta accumulated across the timed
+ *  loop as per-iteration counters. */
+void
+attachKernelCounters(benchmark::State &state,
+                     const mem::KernelStats &before)
+{
+    const mem::KernelStats &now = mem::kernelStats();
+    const double iters = static_cast<double>(state.iterations());
+    if (iters == 0)
+        return;
+    auto per_iter = [&](u64 after_v, u64 before_v) {
+        return static_cast<double>(after_v - before_v) / iters;
+    };
+    state.counters["wild_copy_bytes"] =
+        per_iter(now.wildCopyBytes, before.wildCopyBytes);
+    state.counters["fast_refills"] =
+        per_iter(now.bitioFastRefills + now.bitioBackwardFastRefills,
+                 before.bitioFastRefills +
+                     before.bitioBackwardFastRefills);
+    state.counters["slow_refills"] =
+        per_iter(now.bitioSlowRefills + now.bitioBackwardSlowRefills,
+                 before.bitioSlowRefills +
+                     before.bitioBackwardSlowRefills);
+    state.counters["snappy_fast_path_hits"] = per_iter(
+        now.snappyFastLiterals + now.snappyFastCopies,
+        before.snappyFastLiterals + before.snappyFastCopies);
+}
+
 void
 BM_SnappyCompress(benchmark::State &state)
 {
@@ -46,8 +92,7 @@ BM_SnappyCompress(benchmark::State &state)
         Bytes out = snappy::compress(data);
         benchmark::DoNotOptimize(out.data());
     }
-    state.SetBytesProcessed(
-        static_cast<i64>(state.iterations() * data.size()));
+    setThroughput(state, data.size());
     state.SetLabel(corpus::dataClassName(
         corpus::allDataClasses()[state.range(0)]));
 }
@@ -58,16 +103,46 @@ BM_SnappyDecompress(benchmark::State &state)
 {
     Bytes data = makeData(static_cast<int>(state.range(0)), 256 * kKiB);
     Bytes compressed = snappy::compress(data);
+    mem::KernelStats before = mem::kernelStats();
     for (auto _ : state) {
         auto out = snappy::decompress(compressed);
         benchmark::DoNotOptimize(out.value().data());
     }
-    state.SetBytesProcessed(
-        static_cast<i64>(state.iterations() * data.size()));
+    setThroughput(state, data.size());
+    attachKernelCounters(state, before);
     state.SetLabel(corpus::dataClassName(
         corpus::allDataClasses()[state.range(0)]));
 }
 BENCHMARK(BM_SnappyDecompress)->DenseRange(0, 5);
+
+/** Reference two-pass decode (element stream + replay), kept for the
+ *  hardware model: the honest before/after comparison for the
+ *  single-pass fast path above. */
+void
+BM_SnappyDecompressElementPath(benchmark::State &state)
+{
+    Bytes data = makeData(static_cast<int>(state.range(0)), 256 * kKiB);
+    Bytes compressed = snappy::compress(data);
+    std::size_t preamble = 0;
+    (void)getVarint(compressed, preamble);
+    u64 expected = snappy::uncompressedLength(compressed).value();
+    for (auto _ : state) {
+        std::vector<snappy::Element> elements;
+        if (!snappy::decodeElements(compressed, preamble, expected,
+                                    elements)
+                 .ok())
+            state.SkipWithError("decodeElements failed");
+        Bytes out;
+        if (!snappy::applyElements(compressed, elements, expected, out)
+                 .ok())
+            state.SkipWithError("applyElements failed");
+        benchmark::DoNotOptimize(out.data());
+    }
+    setThroughput(state, data.size());
+    state.SetLabel(corpus::dataClassName(
+        corpus::allDataClasses()[state.range(0)]));
+}
+BENCHMARK(BM_SnappyDecompressElementPath)->DenseRange(0, 5);
 
 void
 BM_ZstdLiteCompress(benchmark::State &state)
@@ -79,8 +154,7 @@ BM_ZstdLiteCompress(benchmark::State &state)
         auto out = zstdlite::compress(data, config);
         benchmark::DoNotOptimize(out.value().data());
     }
-    state.SetBytesProcessed(
-        static_cast<i64>(state.iterations() * data.size()));
+    setThroughput(state, data.size());
 }
 BENCHMARK(BM_ZstdLiteCompress)->Arg(1)->Arg(3)->Arg(9)->Arg(19);
 
@@ -89,12 +163,13 @@ BM_ZstdLiteDecompress(benchmark::State &state)
 {
     Bytes data = makeData(1, 256 * kKiB); // log
     auto compressed = zstdlite::compress(data);
+    mem::KernelStats before = mem::kernelStats();
     for (auto _ : state) {
         auto out = zstdlite::decompress(compressed.value());
         benchmark::DoNotOptimize(out.value().data());
     }
-    state.SetBytesProcessed(
-        static_cast<i64>(state.iterations() * data.size()));
+    setThroughput(state, data.size());
+    attachKernelCounters(state, before);
 }
 BENCHMARK(BM_ZstdLiteDecompress);
 
@@ -110,8 +185,7 @@ BM_Lz77Parse(benchmark::State &state)
         lz77::Parse parse = finder.parse(data);
         benchmark::DoNotOptimize(parse.sequences.data());
     }
-    state.SetBytesProcessed(
-        static_cast<i64>(state.iterations() * data.size()));
+    setThroughput(state, data.size());
 }
 BENCHMARK(BM_Lz77Parse)->Arg(9)->Arg(14)->Arg(17);
 
@@ -131,13 +205,35 @@ BM_HuffmanRoundTrip(benchmark::State &state)
         (void)decoder.decode(reader, data.size(), out);
         benchmark::DoNotOptimize(out.data());
     }
-    state.SetBytesProcessed(
-        static_cast<i64>(state.iterations() * data.size()));
+    setThroughput(state, data.size());
 }
 BENCHMARK(BM_HuffmanRoundTrip);
 
+/** Decode-only: isolates the table walk + word-wide bit refills. */
 void
-BM_FseRoundTrip(benchmark::State &state)
+BM_HuffmanDecode(benchmark::State &state)
+{
+    Bytes data = makeData(0, 128 * kKiB);
+    auto freqs = huffman::countFrequencies(data);
+    auto table = huffman::buildCodeTable(freqs).value();
+    auto decoder = huffman::Decoder::build(table).value();
+    BitWriter writer;
+    (void)huffman::encode(table, data, writer);
+    Bytes stream = writer.finish();
+    mem::KernelStats before = mem::kernelStats();
+    for (auto _ : state) {
+        BitReader reader(stream);
+        Bytes out;
+        (void)decoder.decode(reader, data.size(), out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    setThroughput(state, data.size());
+    attachKernelCounters(state, before);
+}
+BENCHMARK(BM_HuffmanDecode);
+
+Bytes
+makeSkewedSymbols()
 {
     // Skewed 16-symbol stream.
     Rng rng(7);
@@ -146,6 +242,13 @@ BM_FseRoundTrip(benchmark::State &state)
         double u = rng.uniform();
         symbols.push_back(static_cast<u8>(u * u * 16));
     }
+    return symbols;
+}
+
+void
+BM_FseRoundTrip(benchmark::State &state)
+{
+    Bytes symbols = makeSkewedSymbols();
     std::vector<u64> freqs(16, 0);
     for (u8 s : symbols)
         ++freqs[s];
@@ -161,10 +264,35 @@ BM_FseRoundTrip(benchmark::State &state)
         (void)fse::decodeAll(dec, reader, symbols.size(), out);
         benchmark::DoNotOptimize(out.data());
     }
-    state.SetBytesProcessed(
-        static_cast<i64>(state.iterations() * symbols.size()));
+    setThroughput(state, symbols.size());
 }
 BENCHMARK(BM_FseRoundTrip);
+
+/** Decode-only: isolates the tANS state walk + backward refills. */
+void
+BM_FseDecode(benchmark::State &state)
+{
+    Bytes symbols = makeSkewedSymbols();
+    std::vector<u64> freqs(16, 0);
+    for (u8 s : symbols)
+        ++freqs[s];
+    auto norm = fse::normalizeCounts(freqs, 9).value();
+    auto enc = fse::buildEncodeTable(norm).value();
+    auto dec = fse::buildDecodeTable(norm).value();
+    BitWriter writer;
+    (void)fse::encodeAll(enc, symbols, writer);
+    Bytes stream = writer.finish();
+    mem::KernelStats before = mem::kernelStats();
+    for (auto _ : state) {
+        auto reader = BackwardBitReader::open(stream).value();
+        Bytes out;
+        (void)fse::decodeAll(dec, reader, symbols.size(), out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    setThroughput(state, symbols.size());
+    attachKernelCounters(state, before);
+}
+BENCHMARK(BM_FseDecode);
 
 } // namespace
 

@@ -8,6 +8,10 @@
  *    which is the natural direction for tANS/FSE decoding (the encoder
  *    emits bits forward while consuming symbols backward, so the decoder
  *    consumes bits from the tail).
+ *
+ * Both readers refill from memory one unaligned 64-bit word at a time
+ * (common/mem.h) and only fall back to byte-stepping for streams
+ * shorter than a word; refill counts land in mem::kernelStats().
  */
 
 #ifndef CDPU_COMMON_BITIO_H_
@@ -16,6 +20,7 @@
 #include <cassert>
 
 #include "common/error.h"
+#include "common/mem.h"
 #include "common/types.h"
 
 namespace cdpu
@@ -125,17 +130,45 @@ class BitReader
     }
 
   private:
+    /**
+     * Extracts @p nbits starting at bit @p bitPos_ with a single
+     * unaligned word load when the stream allows it. @pre nbits >= 1,
+     * nbits <= 56, and bitPos_ + nbits within the stream.
+     */
     u64
     peekUnchecked(unsigned nbits) const
     {
+        assert(nbits <= 56);
+        if (nbits == 0)
+            return 0;
+        const u64 mask = (1ull << nbits) - 1;
+        const std::size_t byte = static_cast<std::size_t>(bitPos_ >> 3);
+        if (byte + 8 <= data_.size()) {
+            // Word refill: one load yields >= 57 valid bits after the
+            // sub-byte shift, enough for any legal nbits.
+            ++mem::kernelStats().bitioFastRefills;
+            return (mem::loadU64(data_.data() + byte) >>
+                    (bitPos_ & 7)) & mask;
+        }
+        if (data_.size() >= 8) {
+            // Within 8 bytes of the end: load the final word and shift
+            // to the cursor. The precondition bounds the shift below 64
+            // and guarantees the surviving bits cover nbits.
+            ++mem::kernelStats().bitioFastRefills;
+            const u64 base_bit = (data_.size() - 8) * 8;
+            return (mem::loadU64(data_.data() + data_.size() - 8) >>
+                    (bitPos_ - base_bit)) & mask;
+        }
+        // Streams shorter than one word: byte-step.
+        ++mem::kernelStats().bitioSlowRefills;
         u64 acc = 0;
         unsigned got = 0;
         u64 pos = bitPos_;
         while (got < nbits) {
-            u64 byte = data_[pos >> 3];
+            u64 b = data_[pos >> 3];
             unsigned offset = pos & 7;
             unsigned take = std::min<unsigned>(8 - offset, nbits - got);
-            acc |= ((byte >> offset) & ((1ull << take) - 1)) << got;
+            acc |= ((b >> offset) & ((1ull << take) - 1)) << got;
             got += take;
             pos += take;
         }
@@ -184,16 +217,39 @@ class BackwardBitReader
     Result<u64>
     read(unsigned nbits)
     {
+        assert(nbits <= 56);
         if (nbits > bitsLeft_)
             return Status::corrupt("backward bit stream underflow");
         bitsLeft_ -= nbits;
+        if (nbits == 0)
+            return u64{0};
+        const u64 mask = (1ull << nbits) - 1;
+        const std::size_t byte =
+            static_cast<std::size_t>(bitsLeft_ >> 3);
+        if (byte + 8 <= data_.size()) {
+            // Word refill at the new cursor; the sub-byte shift leaves
+            // >= 57 valid bits, enough for any legal nbits.
+            ++mem::kernelStats().bitioBackwardFastRefills;
+            return (mem::loadU64(data_.data() + byte) >>
+                    (bitsLeft_ & 7)) & mask;
+        }
+        if (data_.size() >= 8) {
+            // Near the stream tail: load the final word. The cursor
+            // plus nbits never passes the terminator bit, which bounds
+            // the shift below 64 and keeps nbits bits in range.
+            ++mem::kernelStats().bitioBackwardFastRefills;
+            const u64 base_bit = (data_.size() - 8) * 8;
+            return (mem::loadU64(data_.data() + data_.size() - 8) >>
+                    (bitsLeft_ - base_bit)) & mask;
+        }
+        ++mem::kernelStats().bitioBackwardSlowRefills;
         u64 acc = 0;
         for (unsigned got = 0; got < nbits;) {
             u64 pos = bitsLeft_ + got;
-            u64 byte = data_[pos >> 3];
+            u64 b = data_[pos >> 3];
             unsigned offset = pos & 7;
             unsigned take = std::min<unsigned>(8 - offset, nbits - got);
-            acc |= ((byte >> offset) & ((1ull << take) - 1)) << got;
+            acc |= ((b >> offset) & ((1ull << take) - 1)) << got;
             got += take;
         }
         return acc;

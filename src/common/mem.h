@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Fast-memory primitives shared by the software codec hot paths.
+ *
+ * Every decoder/encoder kernel in this repo used to move bytes one at a
+ * time; the levers that close the gap to production codecs (snappy,
+ * zstd, lz4) are the same everywhere: unaligned word loads/stores,
+ * "wild" copies that round up to 8-byte chunks into a slop margin, and
+ * ctz-based match-length counting. They live here so the codec layers
+ * (snappy, lz77, huffman, fse, zstdlite) share one audited
+ * implementation.
+ *
+ * None of these primitives touch memory outside what their contracts
+ * state; callers are responsible for providing the slop margins that
+ * wildCopy requires. The hardware-model code (src/cdpu) deliberately
+ * does NOT use this layer — it replays element streams at the
+ * granularity the PUs process them (see DESIGN.md, "Software fast-path
+ * kernels vs hardware-faithful modeling").
+ */
+
+#ifndef CDPU_COMMON_MEM_H_
+#define CDPU_COMMON_MEM_H_
+
+#include <bit>
+#include <cstring>
+
+#include "common/types.h"
+
+namespace cdpu::mem
+{
+
+/** Unaligned little-endian 16-bit load. */
+inline u16
+loadU16(const u8 *p)
+{
+    u16 v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+/** Unaligned little-endian 32-bit load. */
+inline u32
+loadU32(const u8 *p)
+{
+    u32 v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+/** Unaligned little-endian 64-bit load. */
+inline u64
+loadU64(const u8 *p)
+{
+    u64 v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+/** Unaligned 64-bit store. */
+inline void
+storeU64(u8 *p, u64 v)
+{
+    std::memcpy(p, &v, sizeof(v));
+}
+
+/**
+ * Slop margin (bytes) a destination buffer must provide past the
+ * nominal end for wildCopy targets. wildCopy rounds the copied length
+ * up to a multiple of 8, so a copy ending at the nominal end may write
+ * up to 7 bytes beyond it; fast-path literal copies batch up to two
+ * word stores, so 16 covers every kernel in this repo.
+ */
+inline constexpr std::size_t kWildCopySlop = 16;
+
+/**
+ * Process-wide fast-path accounting, exported into the observability
+ * CounterRegistry by obs::exportKernelStats(). Raw u64 fields (not
+ * obs::Counter handles) so common/ stays free of an obs dependency and
+ * hot loops pay exactly one add per event.
+ */
+struct KernelStats
+{
+    u64 wildCopyBytes = 0;          ///< Bytes moved through wildCopy().
+    u64 snappyFastLiterals = 0;     ///< Word-store literal fast-path hits.
+    u64 snappyCarefulLiterals = 0;  ///< Bounds-exact literal copies.
+    u64 snappyFastCopies = 0;       ///< Wild-copy match replays.
+    u64 snappyOverlapCopies = 0;    ///< Overlap-safe (offset < 8) replays.
+    u64 bitioFastRefills = 0;       ///< Word-load bit refills (forward).
+    u64 bitioSlowRefills = 0;       ///< Byte-step refills (tiny streams).
+    u64 bitioBackwardFastRefills = 0; ///< Word-load refills (backward).
+    u64 bitioBackwardSlowRefills = 0; ///< Byte-step refills (backward).
+    u64 matchWordCompares = 0;      ///< 8-byte probes in match counting.
+
+    void reset() { *this = KernelStats{}; }
+};
+
+/** The process-wide stats instance (not thread-safe; benches and tests
+ *  are single-threaded today). */
+inline KernelStats &
+kernelStats()
+{
+    static KernelStats stats;
+    return stats;
+}
+
+/**
+ * Copies @p n bytes from @p src to @p dst in 8-byte chunks.
+ *
+ * May read up to 7 bytes past src + n and write up to 7 bytes past
+ * dst + n (both bounded by kWildCopySlop). Regions must not overlap
+ * unless dst >= src + 8, in which case the chunked forward copy still
+ * replays an LZ match correctly (each chunk only reads bytes written
+ * at least 8 positions earlier).
+ */
+inline void
+wildCopy(u8 *dst, const u8 *src, std::size_t n)
+{
+    kernelStats().wildCopyBytes += n;
+    for (std::size_t i = 0; i < n; i += 8)
+        storeU64(dst + i, loadU64(src + i));
+}
+
+/**
+ * Overlap-safe incremental copy: replays @p n bytes from
+ * dst - offset into dst for small offsets (1 <= offset < 8), where a
+ * word-wide copy would read bytes not yet written. Writes exactly
+ * [dst, dst + n); no slop needed.
+ */
+inline void
+incrementalCopy(u8 *dst, std::size_t offset, std::size_t n)
+{
+    const u8 *src = dst - offset;
+    if (offset == 1) {
+        std::memset(dst, src[0], n);
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = src[i];
+}
+
+/**
+ * Number of leading bytes at which @p a and @p b agree, capped at
+ * @p limit. Reads only [a, a + limit) and [b, b + limit). Compares 8
+ * bytes per probe and resolves the first mismatch with a trailing-zero
+ * count on little-endian hosts; byte-steps the tail (and everything,
+ * on big-endian hosts).
+ */
+inline std::size_t
+countMatchingBytes(const u8 *a, const u8 *b, std::size_t limit)
+{
+    std::size_t n = 0;
+    if constexpr (std::endian::native == std::endian::little) {
+        u64 words = 0;
+        while (n + 8 <= limit) {
+            ++words;
+            u64 diff = loadU64(a + n) ^ loadU64(b + n);
+            if (diff != 0) {
+                kernelStats().matchWordCompares += words;
+                return n + (static_cast<unsigned>(std::countr_zero(diff))
+                            >> 3);
+            }
+            n += 8;
+        }
+        kernelStats().matchWordCompares += words;
+    }
+    while (n < limit && a[n] == b[n])
+        ++n;
+    return n;
+}
+
+} // namespace cdpu::mem
+
+#endif // CDPU_COMMON_MEM_H_

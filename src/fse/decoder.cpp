@@ -30,12 +30,22 @@ decodeAll(const DecodeTable &table, BackwardBitReader &reader,
 {
     Decoder decoder(table);
     CDPU_RETURN_IF_ERROR(decoder.initState(reader));
+    // Resize once and write by index; the count is known up front.
+    const std::size_t start = out.size();
+    out.resize(start + count);
+    u8 *dst = out.data() + start;
     for (std::size_t i = 0; i < count; ++i) {
-        out.push_back(decoder.peekSymbol());
-        CDPU_RETURN_IF_ERROR(decoder.update(reader));
+        dst[i] = decoder.peekSymbol();
+        Status updated = decoder.update(reader);
+        if (!updated.ok()) {
+            out.resize(start);
+            return updated;
+        }
     }
-    if (!decoder.atCleanEnd(reader))
+    if (!decoder.atCleanEnd(reader)) {
+        out.resize(start);
         return Status::corrupt("fse stream did not end cleanly");
+    }
     return Status::okStatus();
 }
 

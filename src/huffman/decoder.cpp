@@ -30,15 +30,26 @@ Decoder::build(const CodeTable &table)
 Status
 Decoder::decode(BitReader &reader, std::size_t count, Bytes &out) const
 {
+    // Resize once and write by index: the symbol count is known up
+    // front, so per-symbol push_back capacity checks are pure waste.
+    const std::size_t start = out.size();
+    out.resize(start + count);
+    u8 *dst = out.data() + start;
     for (std::size_t i = 0; i < count; ++i) {
         // Peek a full maxBits window (zero-padded near the end) and
         // advance by the matched code's length.
         u32 prefix = static_cast<u32>(reader.peek(maxBits_));
         const Entry &entry = table_[prefix];
-        if (entry.length == 0)
+        if (entry.length == 0) {
+            out.resize(start);
             return Status::corrupt("invalid huffman code");
-        CDPU_RETURN_IF_ERROR(reader.advance(entry.length));
-        out.push_back(static_cast<u8>(entry.symbol));
+        }
+        Status advanced = reader.advance(entry.length);
+        if (!advanced.ok()) {
+            out.resize(start);
+            return advanced;
+        }
+        dst[i] = static_cast<u8>(entry.symbol);
     }
     return Status::okStatus();
 }

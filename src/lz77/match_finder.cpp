@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+
+#include "common/mem.h"
 
 namespace cdpu::lz77
 {
@@ -10,20 +13,31 @@ Bytes
 reconstruct(const Parse &parse, ByteSpan input)
 {
     Bytes out;
-    out.reserve(parse.inputSize);
+    if (parse.inputSize == 0)
+        return out;
+    // Pre-size with the wild-copy slop margin so match replays can use
+    // word-chunked copies; the slop is trimmed before returning.
+    out.resize(parse.inputSize + mem::kWildCopySlop);
+    u8 *dst = out.data();
+    std::size_t op = 0;
     std::size_t cursor = 0;
     for (const auto &seq : parse.sequences) {
-        out.insert(out.end(), input.begin() + cursor,
-                   input.begin() + cursor + seq.literalLength);
+        std::memcpy(dst + op, input.data() + cursor, seq.literalLength);
+        op += seq.literalLength;
         cursor += seq.literalLength;
-        assert(seq.offset >= 1 && seq.offset <= out.size());
-        std::size_t from = out.size() - seq.offset;
-        for (u32 i = 0; i < seq.matchLength; ++i)
-            out.push_back(out[from + i]); // Overlapping copies are legal.
+        assert(seq.offset >= 1 && seq.offset <= op);
+        if (seq.offset >= 8)
+            mem::wildCopy(dst + op, dst + op - seq.offset,
+                          seq.matchLength);
+        else
+            mem::incrementalCopy(dst + op, seq.offset,
+                                 seq.matchLength); // Overlap is legal.
+        op += seq.matchLength;
         cursor += seq.matchLength;
     }
-    out.insert(out.end(), input.begin() + parse.literalTailStart,
-               input.begin() + parse.inputSize);
+    std::memcpy(dst + op, input.data() + parse.literalTailStart,
+                parse.inputSize - parse.literalTailStart);
+    out.resize(parse.inputSize);
     return out;
 }
 
@@ -35,11 +49,13 @@ u32
 MatchFinder::matchLengthAt(ByteSpan input, std::size_t a, std::size_t b,
                            u32 cap)
 {
-    u32 len = 0;
-    std::size_t limit = input.size();
-    while (b + len < limit && len < cap && input[a + len] == input[b + len])
-        ++len;
-    return len;
+    // Word-wide compare: 8 bytes per probe, first mismatch located via
+    // ctz. a < b, so both sides stay inside the buffer.
+    const std::size_t limit =
+        std::min<std::size_t>(cap, input.size() - b);
+    return static_cast<u32>(
+        mem::countMatchingBytes(input.data() + a, input.data() + b,
+                                limit));
 }
 
 MatchFinder::Candidate
@@ -74,6 +90,11 @@ MatchFinder::parse(ByteSpan input, MatchFinderStats *stats_out)
     MatchFinderStats stats;
     Parse parse;
     parse.inputSize = input.size();
+    // Typical corpora emit a match every few dozen bytes; reserving
+    // up front kills the log2(n) reallocation churn of push_back
+    // growth without overcommitting on incompressible data.
+    parse.sequences.reserve(
+        std::min<std::size_t>(input.size() / 32 + 4, 1u << 20));
 
     // Need minMatch hashable bytes plus slack for the 64-bit loads used
     // by the fibonacci64 hash.

@@ -1,0 +1,44 @@
+#include "obs/kernel_stats.h"
+
+namespace cdpu::obs
+{
+
+void
+exportKernelStats(CounterRegistry &registry,
+                  const mem::KernelStats &stats)
+{
+    registry.counter("kernel.mem.wild_copy_bytes")
+        .set(stats.wildCopyBytes);
+    registry.counter("kernel.snappy.fast_literals")
+        .set(stats.snappyFastLiterals);
+    registry.counter("kernel.snappy.careful_literals")
+        .set(stats.snappyCarefulLiterals);
+    registry.counter("kernel.snappy.fast_copies")
+        .set(stats.snappyFastCopies);
+    registry.counter("kernel.snappy.overlap_copies")
+        .set(stats.snappyOverlapCopies);
+    registry.counter("kernel.bitio.fast_refills")
+        .set(stats.bitioFastRefills);
+    registry.counter("kernel.bitio.slow_refills")
+        .set(stats.bitioSlowRefills);
+    registry.counter("kernel.bitio.backward_fast_refills")
+        .set(stats.bitioBackwardFastRefills);
+    registry.counter("kernel.bitio.backward_slow_refills")
+        .set(stats.bitioBackwardSlowRefills);
+    registry.counter("kernel.lz77.match_word_compares")
+        .set(stats.matchWordCompares);
+}
+
+void
+exportKernelStats(CounterRegistry &registry)
+{
+    exportKernelStats(registry, mem::kernelStats());
+}
+
+void
+resetKernelStats()
+{
+    mem::kernelStats().reset();
+}
+
+} // namespace cdpu::obs

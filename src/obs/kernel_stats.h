@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Bridge from the codec fast-path accounting (mem::KernelStats, raw
+ * u64 fields so common/ needs no obs dependency) into the
+ * CounterRegistry namespace "kernel.*", where bench telemetry and
+ * snapshot diff/merge tooling can consume it.
+ */
+
+#ifndef CDPU_OBS_KERNEL_STATS_H_
+#define CDPU_OBS_KERNEL_STATS_H_
+
+#include "common/mem.h"
+#include "obs/counters.h"
+
+namespace cdpu::obs
+{
+
+/**
+ * Publishes @p stats into @p registry under "kernel.*" (e.g.
+ * "kernel.mem.wild_copy_bytes", "kernel.bitio.fast_refills",
+ * "kernel.snappy.fast_copies"). Values are set, not accumulated, so
+ * repeated exports stay idempotent.
+ */
+void exportKernelStats(CounterRegistry &registry,
+                       const mem::KernelStats &stats);
+
+/** Publishes the process-wide mem::kernelStats() instance. */
+void exportKernelStats(CounterRegistry &registry);
+
+/** Zeroes the process-wide fast-path stats (bench/test setup). */
+void resetKernelStats();
+
+} // namespace cdpu::obs
+
+#endif // CDPU_OBS_KERNEL_STATS_H_

@@ -1,7 +1,9 @@
 #include "snappy/decompress.h"
 
 #include <algorithm>
+#include <cstring>
 
+#include "common/mem.h"
 #include "common/varint.h"
 
 namespace cdpu::snappy
@@ -28,9 +30,9 @@ decodeElements(ByteSpan data, std::size_t pos, u64 expected,
                     n |= static_cast<u32>(data[pos++]) << (8 * i);
             }
             el.length = n + 1;
-            el.src = pos;
             if (pos + el.length > data.size())
                 return Status::corrupt("literal body truncated");
+            el.src = pos;
             pos += el.length;
             break;
           }
@@ -98,15 +100,33 @@ applyElements(ByteSpan data, const std::vector<Element> &elements,
         } else {
             if (el.offset > out.size())
                 return Status::corrupt("copy offset exceeds history");
-            std::size_t from = out.size() - el.offset;
+            // Resize once, then replay by index: growing via per-byte
+            // push_back re-checks capacity (and may reallocate) on
+            // every byte of every copy.
+            std::size_t start = out.size();
+            std::size_t from = start - el.offset;
+            out.resize(start + el.length);
             for (u32 i = 0; i < el.length; ++i)
-                out.push_back(out[from + i]);
+                out[start + i] = out[from + i]; // Overlap is legal.
         }
     }
     if (out.size() != expected_size)
         return Status::internal("element replay size mismatch");
     return Status::okStatus();
 }
+
+namespace
+{
+
+/**
+ * Densest legal element: a copy2 turns 3 stream bytes into up to 64
+ * output bytes. A preamble claiming more than body * 64/3 bytes can
+ * therefore be rejected before allocating anything.
+ */
+constexpr u64 kMaxExpansionNum = 64;
+constexpr u64 kMaxExpansionDen = 3;
+
+} // namespace
 
 Result<Bytes>
 decompress(ByteSpan data)
@@ -115,15 +135,124 @@ decompress(ByteSpan data)
     auto length = getVarint(data, pos);
     if (!length.ok())
         return length.status();
-    if (length.value() > (1ull << 32))
+    const u64 expected = length.value();
+    // The format caps the uncompressed length at 32 bits; 2^32 itself
+    // is one past the cap.
+    if (expected >= (1ull << 32))
         return Status::corrupt("implausible uncompressed length");
-
-    std::vector<Element> elements;
-    CDPU_RETURN_IF_ERROR(
-        decodeElements(data, pos, length.value(), elements));
+    const std::size_t body = data.size() - pos;
+    if (expected * kMaxExpansionDen > body * kMaxExpansionNum)
+        return Status::corrupt("stream cannot produce claimed length");
 
     Bytes out;
-    CDPU_RETURN_IF_ERROR(applyElements(data, elements, length.value(), out));
+    if (expected == 0) {
+        if (body != 0)
+            return Status::corrupt("stream produces more than preamble");
+        return out;
+    }
+
+    // Single pass: validate and emit in one walk over the tag stream.
+    // The buffer is pre-sized with a slop margin so match replays and
+    // short literals can use rounded-up word copies without a
+    // per-element end-of-buffer branch; the slop is trimmed on return.
+    out.resize(expected + mem::kWildCopySlop);
+    u8 *dst = out.data();
+    std::size_t op = 0; // Bytes produced so far.
+    const u8 *ip = data.data() + pos;
+    const u8 *ip_end = data.data() + data.size();
+    mem::KernelStats &stats = mem::kernelStats();
+
+    while (ip < ip_end) {
+        const u8 tag = *ip++;
+        if ((tag & 3) == static_cast<u8>(ElementType::literal)) {
+            u32 n = tag >> 2;
+            u64 len;
+            if (n < kMaxInlineLiteral) {
+                len = n + 1; // 1..60
+                // Fast path: enough input left to round the read up to
+                // a word, and enough claimed output for the write (the
+                // slop margin absorbs the rounded-up store).
+                if (len + 8 <= static_cast<std::size_t>(ip_end - ip) &&
+                    op + len <= expected) {
+                    mem::wildCopy(dst + op, ip, len);
+                    ++stats.snappyFastLiterals;
+                    ip += len;
+                    op += len;
+                    continue;
+                }
+            } else {
+                const unsigned extra = n - kMaxInlineLiteral + 1; // 1..4
+                if (extra > static_cast<std::size_t>(ip_end - ip))
+                    return Status::corrupt("literal length truncated");
+                n = 0;
+                for (unsigned i = 0; i < extra; ++i)
+                    n |= static_cast<u32>(ip[i]) << (8 * i);
+                ip += extra;
+                len = static_cast<u64>(n) + 1;
+            }
+            // Careful path: exact bounds on both ends (stream tail or
+            // long literal).
+            if (len > static_cast<std::size_t>(ip_end - ip))
+                return Status::corrupt("literal body truncated");
+            if (op + len > expected)
+                return Status::corrupt(
+                    "stream produces more than preamble");
+            std::memcpy(dst + op, ip, len);
+            ++stats.snappyCarefulLiterals;
+            ip += len;
+            op += len;
+        } else {
+            u32 len;
+            u32 offset;
+            switch (static_cast<ElementType>(tag & 3)) {
+              case ElementType::copy1: {
+                if (ip_end - ip < 1)
+                    return Status::corrupt("copy1 truncated");
+                len = 4 + ((tag >> 2) & 0x7);
+                offset = (static_cast<u32>(tag >> 5) << 8) | *ip;
+                ip += 1;
+                break;
+              }
+              case ElementType::copy2: {
+                if (ip_end - ip < 2)
+                    return Status::corrupt("copy2 truncated");
+                len = (tag >> 2) + 1;
+                offset = mem::loadU16(ip);
+                ip += 2;
+                break;
+              }
+              default: { // copy4
+                if (ip_end - ip < 4)
+                    return Status::corrupt("copy4 truncated");
+                len = (tag >> 2) + 1;
+                offset = mem::loadU32(ip);
+                ip += 4;
+                break;
+              }
+            }
+            if (offset == 0)
+                return Status::corrupt("copy with zero offset");
+            if (offset > op)
+                return Status::corrupt("copy offset exceeds history");
+            if (op + len > expected)
+                return Status::corrupt(
+                    "stream produces more than preamble");
+            if (offset >= 8) {
+                // Word-chunked replay; the slop margin absorbs the
+                // rounded-up final store, and offset >= 8 guarantees
+                // every chunk reads bytes already written.
+                mem::wildCopy(dst + op, dst + op - offset, len);
+                ++stats.snappyFastCopies;
+            } else {
+                mem::incrementalCopy(dst + op, offset, len);
+                ++stats.snappyOverlapCopies;
+            }
+            op += len;
+        }
+    }
+    if (op != expected)
+        return Status::corrupt("stream produces less than preamble");
+    out.resize(expected);
     return out;
 }
 

@@ -17,16 +17,21 @@ Result<u64> uncompressedLength(ByteSpan data);
 /**
  * Decompresses a buffer produced by compress().
  *
- * Corrupt input (bad varint, out-of-range offsets, truncated literals,
- * or length mismatch) yields a corruptData status; the function never
- * reads outside @p data.
+ * Single-pass software fast path: validates and emits in one walk over
+ * the tag stream into a pre-sized output buffer, using word-wide
+ * literal and match copies (common/mem.h). Corrupt input (bad varint,
+ * out-of-range offsets, truncated literals, or length mismatch) yields
+ * a corruptData status; the function never reads outside @p data and
+ * its output is byte-identical to the decodeElements()/applyElements()
+ * reference path.
  */
 Result<Bytes> decompress(ByteSpan data);
 
 /**
- * Applies a decoded element stream to produce output. Shared between the
- * software decoder and the CDPU decompressor model, which replays the
- * same elements through its history-SRAM cycle model.
+ * Applies a decoded element stream to produce output. This is the
+ * element-granular reference path, retained for the CDPU decompressor
+ * model, which replays the same elements through its history-SRAM
+ * cycle model (the software fast path is decompress() above).
  */
 Status applyElements(ByteSpan data, const std::vector<Element> &elements,
                      u64 expected_size, Bytes &out);

@@ -1,7 +1,9 @@
 #include "zstdlite/decompress.h"
 
 #include <algorithm>
+#include <cstring>
 
+#include "common/mem.h"
 #include "common/varint.h"
 #include "zstdlite/literals.h"
 #include "zstdlite/sequences.h"
@@ -19,36 +21,68 @@ peekFrameHeader(ByteSpan data)
 namespace
 {
 
-/** Replays one compressed block's literals + sequences into @p out. */
+/**
+ * Replays one compressed block's literals + sequences into @p out.
+ *
+ * The block's regenerated size is known from its header, so the buffer
+ * is pre-sized once (with the wild-copy slop margin, trimmed before
+ * returning) and filled by cursor: literal runs memcpy in, match
+ * replays use word-chunked copies for offsets >= 8 and the
+ * overlap-safe incremental copy below that.
+ */
 Status
 executeBlock(const DecodedLiterals &literals,
              const std::vector<lz77::Sequence> &sequences,
              std::size_t regen_size, u64 window_size, Bytes &out)
 {
+    // Everything the block can produce is already decoded, so the
+    // claimed size is verifiable before the buffer grows — a corrupt
+    // header cannot force a large allocation.
+    u64 produced = literals.bytes.size();
+    for (const auto &seq : sequences)
+        produced += seq.matchLength;
+    if (produced != regen_size)
+        return Status::corrupt("block regenerated size mismatch");
+
+    const std::size_t base = out.size();
+    const std::size_t end = base + regen_size;
+    out.resize(end + mem::kWildCopySlop);
+    u8 *dst = out.data();
+    std::size_t op = base;
     std::size_t lit_cursor = 0;
-    std::size_t produced_before = out.size();
     for (const auto &seq : sequences) {
         if (lit_cursor + seq.literalLength > literals.bytes.size())
             return Status::corrupt("sequence literal budget exceeded");
-        out.insert(out.end(), literals.bytes.begin() + lit_cursor,
-                   literals.bytes.begin() + lit_cursor +
-                       seq.literalLength);
-        lit_cursor += seq.literalLength;
+        if (op + seq.literalLength > end)
+            return Status::corrupt("block regenerated size mismatch");
+        if (seq.literalLength != 0) {
+            std::memcpy(dst + op, literals.bytes.data() + lit_cursor,
+                        seq.literalLength);
+            op += seq.literalLength;
+            lit_cursor += seq.literalLength;
+        }
 
-        if (seq.offset == 0 || seq.offset > out.size())
+        if (seq.offset == 0 || seq.offset > op)
             return Status::corrupt("match offset exceeds history");
         if (seq.offset > window_size)
             return Status::corrupt("match offset exceeds window");
-        std::size_t from = out.size() - seq.offset;
-        for (u32 i = 0; i < seq.matchLength; ++i)
-            out.push_back(out[from + i]); // Overlap is legal (RLE-ish).
+        if (op + seq.matchLength > end)
+            return Status::corrupt("block regenerated size mismatch");
+        if (seq.offset >= 8)
+            mem::wildCopy(dst + op, dst + op - seq.offset,
+                          seq.matchLength);
+        else
+            mem::incrementalCopy(dst + op, seq.offset,
+                                 seq.matchLength); // Overlap is legal.
+        op += seq.matchLength;
     }
     // Remaining literals are the block's tail.
-    out.insert(out.end(), literals.bytes.begin() + lit_cursor,
-               literals.bytes.end());
-
-    if (out.size() - produced_before != regen_size)
+    const std::size_t tail = literals.bytes.size() - lit_cursor;
+    if (op + tail != end)
         return Status::corrupt("block regenerated size mismatch");
+    if (tail != 0)
+        std::memcpy(dst + op, literals.bytes.data() + lit_cursor, tail);
+    out.resize(end);
     return Status::okStatus();
 }
 

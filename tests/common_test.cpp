@@ -11,6 +11,7 @@
 #include "common/error.h"
 #include "common/hexdump.h"
 #include "common/histogram.h"
+#include "common/mem.h"
 #include "common/rng.h"
 #include "common/table.h"
 #include "common/varint.h"
@@ -137,6 +138,71 @@ TEST(BitIoTest, BackwardRejectsMissingTerminator)
     Bytes zeros(4, 0);
     EXPECT_FALSE(BackwardBitReader::open(zeros).ok());
     EXPECT_FALSE(BackwardBitReader::open({}).ok());
+}
+
+TEST(MemTest, UnalignedLoadsReadLittleEndian)
+{
+    const u8 bytes[] = {0x01, 0x02, 0x03, 0x04, 0x05,
+                        0x06, 0x07, 0x08, 0x09};
+    EXPECT_EQ(mem::loadU16(bytes + 1), 0x0302u);
+    EXPECT_EQ(mem::loadU32(bytes + 1), 0x05040302u);
+    EXPECT_EQ(mem::loadU64(bytes + 1), 0x0908070605040302ull);
+}
+
+TEST(MemTest, CountMatchingBytesFindsFirstMismatch)
+{
+    // Mismatch inside the first word, inside a later word, and at no
+    // position (full agreement up to the limit).
+    Bytes a(40, 0x5a);
+    Bytes b = a;
+    EXPECT_EQ(mem::countMatchingBytes(a.data(), b.data(), 40), 40u);
+    EXPECT_EQ(mem::countMatchingBytes(a.data(), b.data(), 13), 13u);
+    b[3] = 0;
+    EXPECT_EQ(mem::countMatchingBytes(a.data(), b.data(), 40), 3u);
+    b[3] = 0x5a;
+    b[21] = 0;
+    EXPECT_EQ(mem::countMatchingBytes(a.data(), b.data(), 40), 21u);
+    EXPECT_EQ(mem::countMatchingBytes(a.data(), b.data(), 21), 21u);
+    EXPECT_EQ(mem::countMatchingBytes(a.data(), b.data(), 0), 0u);
+}
+
+TEST(MemTest, WildCopyStaysInsideSlop)
+{
+    // A wild copy of n bytes may write up to the word-rounded end but
+    // never past dst + n + kWildCopySlop - 1.
+    Bytes src(24);
+    for (std::size_t i = 0; i < src.size(); ++i)
+        src[i] = static_cast<u8>(i + 1);
+    Bytes dst(9 + mem::kWildCopySlop, 0xcc);
+    mem::wildCopy(dst.data(), src.data(), 9);
+    for (std::size_t i = 0; i < 9; ++i)
+        EXPECT_EQ(dst[i], src[i]);
+    // Bytes beyond the rounded-up word must be untouched.
+    for (std::size_t i = 16; i < dst.size(); ++i)
+        EXPECT_EQ(dst[i], 0xcc);
+}
+
+TEST(MemTest, IncrementalCopyReplaysSmallOffsets)
+{
+    for (std::size_t offset : {1u, 2u, 3u, 5u, 7u}) {
+        Bytes buf(offset + 30, 0);
+        for (std::size_t i = 0; i < offset; ++i)
+            buf[i] = static_cast<u8>(i + 1);
+        mem::incrementalCopy(buf.data() + offset, offset, 30);
+        for (std::size_t i = 0; i < offset + 30; ++i)
+            EXPECT_EQ(buf[i], static_cast<u8>(i % offset + 1)) << i;
+    }
+}
+
+TEST(MemTest, KernelStatsAccumulateAndReset)
+{
+    mem::kernelStats().reset();
+    Bytes src(16, 1);
+    Bytes dst(16 + mem::kWildCopySlop, 0);
+    mem::wildCopy(dst.data(), src.data(), 12);
+    EXPECT_EQ(mem::kernelStats().wildCopyBytes, 12u);
+    mem::kernelStats().reset();
+    EXPECT_EQ(mem::kernelStats().wildCopyBytes, 0u);
 }
 
 TEST(RngTest, DeterministicForSeed)

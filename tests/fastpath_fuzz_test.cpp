@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Randomized round-trip fuzzing for the word-wide fast-path kernels.
+ *
+ * Every optimized path must be byte-identical to its scalar/two-pass
+ * reference: the single-pass Snappy decoder is checked against the
+ * retained decodeElements()/applyElements() element path, the bit
+ * readers against a byte-stepping reference reader, and the mem.h
+ * primitives against naive loops. Corpora span varied entropy, match
+ * density, overlap-heavy streams, incompressible data, tiny/empty
+ * inputs, and truncated streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/mem.h"
+#include "common/varint.h"
+#include "corpus/generators.h"
+#include "fse/decoder.h"
+#include "fse/encoder.h"
+#include "fse/normalize.h"
+#include "huffman/decoder.h"
+#include "huffman/encoder.h"
+#include "lz77/match_finder.h"
+#include "snappy/compress.h"
+#include "snappy/decompress.h"
+#include "zstdlite/compress.h"
+#include "zstdlite/decompress.h"
+
+namespace cdpu
+{
+namespace
+{
+
+/** The two-pass reference decoder the fast path replaced. */
+Result<Bytes>
+referenceSnappyDecompress(ByteSpan data)
+{
+    std::size_t pos = 0;
+    auto length = getVarint(data, pos);
+    if (!length.ok())
+        return length.status();
+    if (length.value() >= (1ull << 32))
+        return Status::corrupt("implausible uncompressed length");
+    std::vector<snappy::Element> elements;
+    CDPU_RETURN_IF_ERROR(
+        snappy::decodeElements(data, pos, length.value(), elements));
+    Bytes out;
+    CDPU_RETURN_IF_ERROR(
+        snappy::applyElements(data, elements, length.value(), out));
+    return out;
+}
+
+/** Fast path and element path must agree verdict-for-verdict and
+ *  byte-for-byte on @p stream. */
+void
+expectPathsAgree(ByteSpan stream)
+{
+    auto fast = snappy::decompress(stream);
+    auto ref = referenceSnappyDecompress(stream);
+    ASSERT_EQ(fast.ok(), ref.ok())
+        << "fast: " << fast.status().toString()
+        << " ref: " << ref.status().toString();
+    if (fast.ok())
+        EXPECT_EQ(fast.value(), ref.value());
+}
+
+TEST(SnappyFastPathFuzz, MatchesElementPathAcrossCorpora)
+{
+    Rng rng(101);
+    const std::size_t sizes[] = {0,  1,  2,  7,   8,    9,
+                                 63, 64, 65, 100, 4096, 70000};
+    for (auto cls : corpus::allDataClasses()) {
+        for (std::size_t size : sizes) {
+            Bytes data = corpus::generate(cls, size, rng);
+            Bytes compressed = snappy::compress(data);
+            auto fast = snappy::decompress(compressed);
+            ASSERT_TRUE(fast.ok()) << fast.status().toString();
+            EXPECT_EQ(fast.value(), data);
+            expectPathsAgree(compressed);
+        }
+    }
+}
+
+TEST(SnappyFastPathFuzz, MatchesElementPathOnMixedCorpora)
+{
+    Rng rng(103);
+    for (int trial = 0; trial < 8; ++trial) {
+        std::size_t size = 1 + rng.below(300 * kKiB);
+        Bytes data = corpus::generateMixed(size, rng, 2 * kKiB);
+        Bytes compressed = snappy::compress(data);
+        auto fast = snappy::decompress(compressed);
+        ASSERT_TRUE(fast.ok()) << fast.status().toString();
+        EXPECT_EQ(fast.value(), data);
+        expectPathsAgree(compressed);
+    }
+}
+
+/** Hand-built streams stressing the overlap (offset < 8) replay the
+ *  wild-copy fast path must not touch. */
+TEST(SnappyFastPathFuzz, OverlapHeavyStreams)
+{
+    Rng rng(107);
+    for (int trial = 0; trial < 200; ++trial) {
+        // Seed literal, then a run of copies biased toward tiny
+        // offsets and lengths crossing the 8-byte word boundary.
+        u32 seed_len = static_cast<u32>(rng.range(1, 12));
+        Bytes stream;
+        Bytes expected;
+        for (u32 i = 0; i < seed_len; ++i)
+            expected.push_back(static_cast<u8>(rng.below(256)));
+        u64 total = seed_len;
+        struct Op
+        {
+            u32 offset;
+            u32 length;
+        };
+        std::vector<Op> ops;
+        for (int copies = 0; copies < 12; ++copies) {
+            u32 offset = static_cast<u32>(
+                rng.range(1, std::min<u64>(total, 64)));
+            u32 length = static_cast<u32>(rng.range(4, 64));
+            ops.push_back({offset, length});
+            std::size_t from = expected.size() - offset;
+            for (u32 i = 0; i < length; ++i)
+                expected.push_back(expected[from + i]);
+            total += length;
+        }
+        putVarint(stream, expected.size());
+        // Seed literal element.
+        stream.push_back(static_cast<u8>((seed_len - 1) << 2));
+        stream.insert(stream.end(), expected.begin(),
+                      expected.begin() + seed_len);
+        for (const Op &op : ops) {
+            // copy2 encodes any offset <= 64 and length in [4, 64].
+            stream.push_back(static_cast<u8>(
+                static_cast<u8>(snappy::ElementType::copy2) |
+                ((op.length - 1) << 2)));
+            stream.push_back(static_cast<u8>(op.offset & 0xff));
+            stream.push_back(static_cast<u8>(op.offset >> 8));
+        }
+        auto fast = snappy::decompress(stream);
+        ASSERT_TRUE(fast.ok()) << fast.status().toString();
+        EXPECT_EQ(fast.value(), expected);
+        expectPathsAgree(stream);
+    }
+}
+
+TEST(SnappyFastPathFuzz, TruncatedAndMutatedStreamsAgree)
+{
+    Rng rng(109);
+    Bytes data = corpus::generateMixed(32 * kKiB, rng, 1 * kKiB);
+    Bytes compressed = snappy::compress(data);
+    for (int trial = 0; trial < 300; ++trial) {
+        Bytes cut(compressed.begin(),
+                  compressed.begin() + rng.below(compressed.size()));
+        EXPECT_FALSE(snappy::decompress(cut).ok());
+        EXPECT_FALSE(referenceSnappyDecompress(cut).ok());
+
+        Bytes mutated = compressed;
+        mutated[rng.below(mutated.size())] ^=
+            static_cast<u8>(1u << rng.below(8));
+        expectPathsAgree(mutated);
+    }
+}
+
+TEST(ZstdLiteFastPathFuzz, RoundTripsAcrossCorpora)
+{
+    Rng rng(113);
+    const std::size_t sizes[] = {0, 1, 9, 100, 4096, 100 * kKiB};
+    for (auto cls : corpus::allDataClasses()) {
+        for (std::size_t size : sizes) {
+            Bytes data = corpus::generate(cls, size, rng);
+            auto compressed = zstdlite::compress(data);
+            ASSERT_TRUE(compressed.ok());
+            auto out = zstdlite::decompress(compressed.value());
+            ASSERT_TRUE(out.ok()) << out.status().toString();
+            EXPECT_EQ(out.value(), data);
+        }
+    }
+}
+
+TEST(ZstdLiteFastPathFuzz, TruncationNeverCrashes)
+{
+    Rng rng(127);
+    Bytes data = corpus::generateMixed(64 * kKiB, rng, 4 * kKiB);
+    auto compressed = zstdlite::compress(data);
+    ASSERT_TRUE(compressed.ok());
+    for (int trial = 0; trial < 200; ++trial) {
+        Bytes cut(
+            compressed.value().begin(),
+            compressed.value().begin() +
+                rng.below(compressed.value().size()));
+        EXPECT_FALSE(zstdlite::decompress(cut).ok());
+    }
+}
+
+TEST(Lz77FastPathFuzz, ParseReconstructIsIdentity)
+{
+    Rng rng(131);
+    for (auto cls : corpus::allDataClasses()) {
+        for (std::size_t size : {0u, 1u, 7u, 8u, 9u, 4096u, 70000u}) {
+            Bytes data = corpus::generate(cls, size, rng);
+            for (bool lazy : {false, true}) {
+                lz77::MatchFinderConfig config;
+                config.lazyMatching = lazy;
+                lz77::MatchFinder finder(config);
+                lz77::Parse parse = finder.parse(data);
+                EXPECT_EQ(lz77::reconstruct(parse, data), data);
+            }
+        }
+    }
+}
+
+TEST(MemFuzz, CountMatchingBytesAgreesWithScalar)
+{
+    Rng rng(137);
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::size_t len = 1 + rng.below(96);
+        Bytes a(len);
+        Bytes b(len);
+        for (std::size_t i = 0; i < len; ++i) {
+            a[i] = static_cast<u8>(rng.below(4)); // Small alphabet:
+            b[i] = static_cast<u8>(rng.below(4)); // frequent agreement.
+        }
+        std::size_t limit = rng.below(len + 1);
+        std::size_t scalar = 0;
+        while (scalar < limit && a[scalar] == b[scalar])
+            ++scalar;
+        EXPECT_EQ(
+            mem::countMatchingBytes(a.data(), b.data(), limit), scalar);
+    }
+}
+
+TEST(MemFuzz, WildAndIncrementalCopyMatchReference)
+{
+    Rng rng(139);
+    for (int trial = 0; trial < 2000; ++trial) {
+        // Build a reference buffer byte-wise, then replay the same
+        // copy with the fast primitives into a slop-padded buffer.
+        std::size_t prefix = 1 + rng.below(64);
+        std::size_t offset = 1 + rng.below(prefix);
+        std::size_t len = rng.below(128);
+        Bytes reference(prefix + len + mem::kWildCopySlop, 0xee);
+        for (std::size_t i = 0; i < prefix; ++i)
+            reference[i] = static_cast<u8>(rng.below(256));
+        Bytes fast = reference;
+        for (std::size_t i = 0; i < len; ++i)
+            reference[prefix + i] = reference[prefix + i - offset];
+        if (offset >= 8)
+            mem::wildCopy(fast.data() + prefix,
+                          fast.data() + prefix - offset, len);
+        else
+            mem::incrementalCopy(fast.data() + prefix, offset, len);
+        // Bytes inside [prefix, prefix + len) must match exactly; the
+        // slop region may differ (wild copies round up to words).
+        EXPECT_TRUE(std::equal(reference.begin(),
+                               reference.begin() + prefix + len,
+                               fast.begin()));
+    }
+}
+
+/** Byte-stepping reference for both bit reader disciplines. */
+u64
+referenceExtractBits(ByteSpan data, u64 pos, unsigned nbits)
+{
+    u64 acc = 0;
+    for (unsigned got = 0; got < nbits;) {
+        u64 byte = data[(pos + got) >> 3];
+        unsigned offset = (pos + got) & 7;
+        unsigned take = std::min<unsigned>(8 - offset, nbits - got);
+        acc |= ((byte >> offset) & ((1ull << take) - 1)) << got;
+        got += take;
+    }
+    return acc;
+}
+
+TEST(BitIoFuzz, ForwardReaderMatchesByteSteppingReference)
+{
+    Rng rng(149);
+    for (int trial = 0; trial < 300; ++trial) {
+        // Stream sizes hug the word boundary to cover all three refill
+        // paths (word load, tail load, byte-stepping).
+        std::size_t nbytes = 1 + rng.below(24);
+        Bytes stream(nbytes);
+        for (auto &b : stream)
+            b = static_cast<u8>(rng.below(256));
+        BitReader reader(stream);
+        u64 pos = 0;
+        const u64 total = nbytes * 8;
+        while (pos < total) {
+            unsigned nbits = static_cast<unsigned>(
+                rng.range(1, std::min<u64>(56, total - pos)));
+            u64 expected = referenceExtractBits(stream, pos, nbits);
+            EXPECT_EQ(reader.peek(nbits), expected);
+            auto got = reader.read(nbits);
+            ASSERT_TRUE(got.ok());
+            EXPECT_EQ(got.value(), expected);
+            pos += nbits;
+        }
+        EXPECT_FALSE(reader.read(1).ok());
+    }
+}
+
+TEST(BitIoFuzz, RoundTripThroughWriterInBothDirections)
+{
+    Rng rng(151);
+    for (int trial = 0; trial < 300; ++trial) {
+        struct Packet
+        {
+            u64 value;
+            unsigned nbits;
+        };
+        std::vector<Packet> packets;
+        BitWriter writer;
+        std::size_t count = 1 + rng.below(64);
+        for (std::size_t i = 0; i < count; ++i) {
+            unsigned nbits = static_cast<unsigned>(rng.range(1, 56));
+            u64 value = rng.next() & ((1ull << nbits) - 1);
+            writer.put(value, nbits);
+            packets.push_back({value, nbits});
+        }
+        Bytes stream = writer.finish();
+
+        // Forward: packets come back in write order.
+        BitReader forward(stream);
+        for (const Packet &p : packets) {
+            auto got = forward.read(p.nbits);
+            ASSERT_TRUE(got.ok());
+            EXPECT_EQ(got.value(), p.value);
+        }
+
+        // Backward: packets come back most-recent-first.
+        auto backward = BackwardBitReader::open(stream);
+        ASSERT_TRUE(backward.ok());
+        for (std::size_t i = packets.size(); i-- > 0;) {
+            auto got = backward.value().read(packets[i].nbits);
+            ASSERT_TRUE(got.ok());
+            EXPECT_EQ(got.value(), packets[i].value);
+        }
+        EXPECT_EQ(backward.value().bitsLeft(), 0u);
+    }
+}
+
+TEST(EntropyFastPathFuzz, HuffmanRoundTripsOnVariedEntropy)
+{
+    Rng rng(157);
+    for (auto cls : corpus::allDataClasses()) {
+        for (std::size_t size : {1u, 9u, 1000u, 32768u}) {
+            Bytes data = corpus::generate(cls, size, rng);
+            auto table =
+                huffman::buildCodeTable(huffman::countFrequencies(data));
+            ASSERT_TRUE(table.ok());
+            auto decoder = huffman::Decoder::build(table.value());
+            ASSERT_TRUE(decoder.ok());
+            BitWriter writer;
+            ASSERT_TRUE(
+                huffman::encode(table.value(), data, writer).ok());
+            Bytes stream = writer.finish();
+            BitReader reader(stream);
+            Bytes out;
+            ASSERT_TRUE(
+                decoder.value().decode(reader, data.size(), out).ok());
+            EXPECT_EQ(out, data);
+        }
+    }
+}
+
+TEST(EntropyFastPathFuzz, FseRoundTripsOnVariedSkew)
+{
+    Rng rng(163);
+    for (int trial = 0; trial < 12; ++trial) {
+        std::size_t alphabet = 2 + rng.below(32);
+        std::size_t count = 1 + rng.below(20000);
+        double skew = 0.5 + rng.uniform() * 3.0;
+        Bytes symbols(count);
+        for (auto &s : symbols)
+            s = static_cast<u8>(
+                std::min<double>(std::pow(rng.uniform(), skew) *
+                                     static_cast<double>(alphabet),
+                                 static_cast<double>(alphabet - 1)));
+        std::vector<u64> freqs(alphabet, 0);
+        for (u8 s : symbols)
+            ++freqs[s];
+        unsigned log = fse::suggestTableLog(freqs, count);
+        auto norm = fse::normalizeCounts(freqs, log);
+        ASSERT_TRUE(norm.ok());
+        auto enc = fse::buildEncodeTable(norm.value());
+        auto dec = fse::buildDecodeTable(norm.value());
+        ASSERT_TRUE(enc.ok());
+        ASSERT_TRUE(dec.ok());
+        BitWriter writer;
+        ASSERT_TRUE(fse::encodeAll(enc.value(), symbols, writer).ok());
+        Bytes stream = writer.finish();
+        auto reader = BackwardBitReader::open(stream);
+        ASSERT_TRUE(reader.ok());
+        Bytes out;
+        ASSERT_TRUE(
+            fse::decodeAll(dec.value(), reader.value(), count, out)
+                .ok());
+        EXPECT_EQ(out, symbols);
+    }
+}
+
+} // namespace
+} // namespace cdpu

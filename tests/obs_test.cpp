@@ -14,6 +14,7 @@
 
 #include "obs/counters.h"
 #include "obs/json.h"
+#include "obs/kernel_stats.h"
 #include "obs/trace.h"
 
 namespace cdpu::obs
@@ -124,6 +125,37 @@ TEST(CounterTest, RegistryHandlesAreStable)
     EXPECT_EQ(registry.counter("mem.l2.hits").value(), 0u);
     // Names stay registered across reset.
     EXPECT_TRUE(registry.snapshot().has("mem.l2.misses"));
+}
+
+TEST(KernelStatsTest, ExportPublishesDottedCountersIdempotently)
+{
+    mem::KernelStats stats;
+    stats.wildCopyBytes = 123;
+    stats.snappyFastCopies = 4;
+    stats.bitioFastRefills = 9;
+
+    CounterRegistry registry;
+    exportKernelStats(registry, stats);
+    exportKernelStats(registry, stats); // set(), not add(): idempotent.
+    CounterSnapshot snapshot = registry.snapshot();
+    EXPECT_EQ(snapshot.at("kernel.mem.wild_copy_bytes"), 123u);
+    EXPECT_EQ(snapshot.at("kernel.snappy.fast_copies"), 4u);
+    EXPECT_EQ(snapshot.at("kernel.bitio.fast_refills"), 9u);
+    EXPECT_TRUE(snapshot.has("kernel.bitio.backward_fast_refills"));
+    EXPECT_TRUE(snapshot.has("kernel.lz77.match_word_compares"));
+}
+
+TEST(KernelStatsTest, ProcessWideInstanceTracksWildCopies)
+{
+    resetKernelStats();
+    Bytes src(32, 7);
+    Bytes dst(32 + mem::kWildCopySlop, 0);
+    mem::wildCopy(dst.data(), src.data(), 20);
+    CounterRegistry registry;
+    exportKernelStats(registry);
+    EXPECT_EQ(registry.snapshot().at("kernel.mem.wild_copy_bytes"),
+              20u);
+    resetKernelStats();
 }
 
 TEST(CounterTest, SnapshotDiffIsolatesAWindow)

@@ -8,6 +8,7 @@
 
 #include <cstring>
 
+#include "common/varint.h"
 #include "corpus/generators.h"
 #include "snappy/compress.h"
 #include "snappy/decompress.h"
@@ -120,6 +121,38 @@ TEST(SnappyCorruptionTest, TruncatedPreamble)
     EXPECT_FALSE(decompress({}).ok());
     Bytes only_continuation = {0x80};
     EXPECT_FALSE(decompress(only_continuation).ok());
+}
+
+TEST(SnappyCorruptionTest, LengthAtFormatCapIsRejected)
+{
+    // The format's uncompressed length is a 32-bit value; 2^32 exactly
+    // is one past the cap. Regression: the bound used to be `> 2^32`,
+    // which let 2^32 itself through to the decoder.
+    Bytes stream = {0x80, 0x80, 0x80, 0x80, 0x10}; // varint 2^32
+    auto out = decompress(stream);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.status().message(), "implausible uncompressed length");
+
+    // One below the cap passes the length gate (and then fails for the
+    // honest reason: the body cannot produce that much).
+    Bytes below_cap = {0xff, 0xff, 0xff, 0xff, 0x0f}; // varint 2^32-1
+    auto below = decompress(below_cap);
+    ASSERT_FALSE(below.ok());
+    EXPECT_NE(below.status().message(),
+              "implausible uncompressed length");
+}
+
+TEST(SnappyCorruptionTest, ImplausibleExpansionRejectedBeforeAllocating)
+{
+    // 16 MiB claimed from a 3-byte body exceeds the format's maximum
+    // expansion (64 output bytes per 3-byte copy2) and must be
+    // rejected up front.
+    Bytes stream;
+    putVarint(stream, 16 * kMiB);
+    stream.push_back(0x00);
+    stream.push_back('a');
+    stream.push_back('b');
+    EXPECT_FALSE(decompress(stream).ok());
 }
 
 TEST(SnappyCorruptionTest, BodyShorterThanPreamble)
