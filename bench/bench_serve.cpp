@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Fleet-replay throughput vs worker count.
+ *
+ * Replays one mixed-codec call stream through the serve engine at a
+ * sweep of worker counts and reports aggregate throughput and call
+ * latency percentiles — the software side of the paper's Section 3
+ * serving analysis: (de)compression capacity scales with cores thrown
+ * at independent calls, which is exactly the capacity a CDPU returns
+ * to the application. The 1-worker row doubles as the context-reuse
+ * baseline (same engine, no parallelism); replaySequential() is run
+ * first to verify the engine's outputs before timing anything.
+ *
+ * Flags: --calls N --min BYTES --max BYTES --seed S --workers CSV-free
+ * max (sweeps 1,2,4,..,max) --json PATH.
+ *
+ * Note: scaling is bounded by the host's cores; the committed
+ * BENCH_serve.json records host_cpus so a 1-core container's flat
+ * curve is not misread as an engine defect.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/engine.h"
+#include "serve/stream_builder.h"
+
+namespace cdpu
+{
+namespace
+{
+
+struct Row
+{
+    unsigned workers = 0;
+    double seconds = 0.0;
+    double mbPerSec = 0.0;
+    double p50Us = 0.0;
+    double p99Us = 0.0;
+    u64 steals = 0;
+};
+
+int
+run(int argc, char **argv)
+{
+    bench::banner("Fleet replay: aggregate throughput vs worker count",
+                  "Section 3 (serving: independent calls x cores)");
+
+    CliArgs args;
+    serve::StreamConfig stream_config;
+    unsigned max_workers = 8;
+    if (args.parse(argc, argv,
+                   {"calls", "min", "max", "seed", "workers", "json"})) {
+        stream_config.calls =
+            static_cast<std::size_t>(args.getInt("calls", 192));
+        stream_config.minCallBytes =
+            static_cast<std::size_t>(args.getInt("min", 1 * kKiB));
+        stream_config.maxCallBytes = static_cast<std::size_t>(
+            args.getInt("max", static_cast<i64>(48 * kKiB)));
+        stream_config.seed = static_cast<u64>(args.getInt("seed", 2023));
+        max_workers =
+            static_cast<unsigned>(args.getInt("workers", 8));
+    }
+    max_workers = std::max(1u, max_workers);
+
+    auto stream = serve::buildMixedStream(stream_config);
+    if (!stream.ok()) {
+        std::fprintf(stderr, "stream build failed: %s\n",
+                     stream.status().message().c_str());
+        return 1;
+    }
+
+    // Correctness gate before timing: the parallel engine must agree
+    // with the no-thread reference on every call.
+    serve::ReplayReport reference =
+        serve::replaySequential(stream.value());
+    if (reference.failed != 0) {
+        std::fprintf(stderr, "reference replay had %llu failures\n",
+                     static_cast<unsigned long long>(reference.failed));
+        return 1;
+    }
+
+    bench::BenchReport report("serve_replay", argc, argv);
+    report.config("calls", u64{stream.value().size()});
+    report.config("payload_bytes",
+                  u64{stream.value().totalPayloadBytes()});
+    report.config("seed", u64{stream_config.seed});
+    report.config("host_cpus",
+                  u64{std::thread::hardware_concurrency()});
+    report.config("policy", std::string("block"));
+
+    std::printf("\ncalls: %zu   payload: %.1f MiB   host cpus: %u\n\n",
+                stream.value().size(),
+                static_cast<double>(
+                    stream.value().totalPayloadBytes()) /
+                    static_cast<double>(kMiB),
+                std::thread::hardware_concurrency());
+    std::printf("%8s %10s %12s %10s %10s %8s\n", "workers", "sec",
+                "MB/s", "p50(us)", "p99(us)", "steals");
+
+    std::vector<Row> rows;
+    obs::JsonValue sweep = obs::JsonValue::array();
+    for (unsigned workers = 1; workers <= max_workers; workers *= 2) {
+        serve::EngineConfig config;
+        config.workers = workers;
+        serve::ReplayEngine engine(config);
+        serve::ReplayReport run_report = engine.run(stream.value());
+
+        // Differential check on every sweep point, not just in tests.
+        bool identical =
+            run_report.work.counters == reference.work.counters;
+        for (std::size_t i = 0; identical && i < stream.value().size();
+             ++i) {
+            identical =
+                run_report.outcomes[i].outputHash ==
+                reference.outcomes[i].outputHash;
+        }
+        if (!identical || run_report.failed != 0) {
+            std::fprintf(stderr,
+                         "parallel replay diverged at %u workers\n",
+                         workers);
+            return 1;
+        }
+
+        Row row;
+        row.workers = workers;
+        row.seconds = run_report.elapsedSeconds;
+        row.mbPerSec = static_cast<double>(run_report.bytesIn()) /
+                       1e6 / run_report.elapsedSeconds;
+        const auto &latency =
+            run_report.runtime.histograms.at("serve.latency_ns");
+        row.p50Us = latency.percentile(0.50) / 1e3;
+        row.p99Us = latency.percentile(0.99) / 1e3;
+        row.steals = run_report.runtime.at("serve.steals");
+        rows.push_back(row);
+
+        std::printf("%8u %10.3f %12.1f %10.1f %10.1f %8llu\n",
+                    row.workers, row.seconds, row.mbPerSec, row.p50Us,
+                    row.p99Us,
+                    static_cast<unsigned long long>(row.steals));
+
+        obs::JsonValue point = obs::JsonValue::object();
+        point.set("workers", u64{workers});
+        point.set("seconds", row.seconds);
+        point.set("mb_per_sec", row.mbPerSec);
+        point.set("p50_us", row.p50Us);
+        point.set("p99_us", row.p99Us);
+        point.set("steals", u64{row.steals});
+        sweep.push(std::move(point));
+
+        if (workers == 1)
+            report.counters(run_report.work);
+    }
+
+    double base = rows.front().mbPerSec;
+    double best = 0.0;
+    for (const Row &row : rows)
+        best = std::max(best, row.mbPerSec);
+    std::printf("\nbest speedup over 1 worker: %.2fx\n", best / base);
+
+    report.metric("sweep", std::move(sweep));
+    report.metric("mb_per_sec_1w", base);
+    report.metric("mb_per_sec_best", best);
+    report.metric("speedup_best", best / base);
+    Status written = report.write();
+    if (!written.ok()) {
+        std::fprintf(stderr, "%s\n", written.message().c_str());
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace cdpu
+
+int
+main(int argc, char **argv)
+{
+    return cdpu::run(argc, argv);
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Regenerates the committed golden vectors under tests/vectors/.
+ *
+ * Usage: make_golden_vectors <output-dir>
+ *
+ * Emits, for each corpus payload, the raw bytes plus one compressed
+ * frame per codec. The test suite asserts decode(frame) == raw, which
+ * pins every decoder's ability to consume historically produced
+ * frames — encoder changes are allowed (frames are not re-verified
+ * against the current encoder byte-for-byte), format breaks are not.
+ * Rerun this tool and re-commit only on an intentional format change.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "corpus/generators.h"
+#include "flatelite/compress.h"
+#include "gipfeli/gipfeli.h"
+#include "snappy/compress.h"
+#include "zstdlite/compress.h"
+
+namespace cdpu
+{
+namespace
+{
+
+bool
+writeFile(const std::string &path, const Bytes &data)
+{
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char *>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    std::printf("wrote %s (%zu bytes)\n", path.c_str(), data.size());
+    return true;
+}
+
+int
+run(const std::string &dir)
+{
+    struct Payload
+    {
+        const char *name;
+        corpus::DataClass cls;
+        std::size_t bytes;
+    };
+    // Three compressibility regimes (README: the only corpus property
+    // the pipeline depends on); sizes stay small enough to commit.
+    const Payload payloads[] = {
+        {"text", corpus::DataClass::textLike, 4096},
+        {"repetitive", corpus::DataClass::repetitive, 2048},
+        {"random", corpus::DataClass::randomBytes, 1024},
+    };
+
+    Rng rng(2023);
+    for (const Payload &payload : payloads) {
+        Bytes raw = corpus::generate(payload.cls, payload.bytes, rng);
+        std::string base = dir + "/" + payload.name;
+        if (!writeFile(base + ".raw", raw))
+            return 1;
+
+        Bytes frame = snappy::compress(raw);
+        if (!writeFile(base + ".snappy", frame))
+            return 1;
+
+        auto zstd = zstdlite::compress(raw);
+        if (!zstd.ok()) {
+            std::fprintf(stderr, "zstdlite: %s\n",
+                         zstd.status().message().c_str());
+            return 1;
+        }
+        if (!writeFile(base + ".zstdlite", zstd.value()))
+            return 1;
+
+        auto flate = flatelite::compress(raw);
+        if (!flate.ok()) {
+            std::fprintf(stderr, "flatelite: %s\n",
+                         flate.status().message().c_str());
+            return 1;
+        }
+        if (!writeFile(base + ".flatelite", flate.value()))
+            return 1;
+
+        if (!writeFile(base + ".gipfeli", gipfeli::compress(raw)))
+            return 1;
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace cdpu
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+        return 2;
+    }
+    return cdpu::run(argv[1]);
+}

@@ -73,7 +73,7 @@ storeU64(u8 *p, u64 v)
 inline constexpr std::size_t kWildCopySlop = 16;
 
 /**
- * Process-wide fast-path accounting, exported into the observability
+ * Per-thread fast-path accounting, exported into the observability
  * CounterRegistry by obs::exportKernelStats(). Raw u64 fields (not
  * obs::Counter handles) so common/ stays free of an obs dependency and
  * hot loops pay exactly one add per event.
@@ -92,14 +92,65 @@ struct KernelStats
     u64 matchWordCompares = 0;      ///< 8-byte probes in match counting.
 
     void reset() { *this = KernelStats{}; }
+
+    /** Accumulates @p other into this instance, field-wise. The serve
+     *  workers fold their thread's stats into a shared total this way
+     *  when they finish (under the caller's lock). */
+    void
+    merge(const KernelStats &other)
+    {
+        wildCopyBytes += other.wildCopyBytes;
+        snappyFastLiterals += other.snappyFastLiterals;
+        snappyCarefulLiterals += other.snappyCarefulLiterals;
+        snappyFastCopies += other.snappyFastCopies;
+        snappyOverlapCopies += other.snappyOverlapCopies;
+        bitioFastRefills += other.bitioFastRefills;
+        bitioSlowRefills += other.bitioSlowRefills;
+        bitioBackwardFastRefills += other.bitioBackwardFastRefills;
+        bitioBackwardSlowRefills += other.bitioBackwardSlowRefills;
+        matchWordCompares += other.matchWordCompares;
+    }
+
+    /** This instance minus @p before, field-wise (for windowing a
+     *  thread's stats around a batch of work). */
+    KernelStats
+    diff(const KernelStats &before) const
+    {
+        KernelStats out;
+        out.wildCopyBytes = wildCopyBytes - before.wildCopyBytes;
+        out.snappyFastLiterals =
+            snappyFastLiterals - before.snappyFastLiterals;
+        out.snappyCarefulLiterals =
+            snappyCarefulLiterals - before.snappyCarefulLiterals;
+        out.snappyFastCopies =
+            snappyFastCopies - before.snappyFastCopies;
+        out.snappyOverlapCopies =
+            snappyOverlapCopies - before.snappyOverlapCopies;
+        out.bitioFastRefills =
+            bitioFastRefills - before.bitioFastRefills;
+        out.bitioSlowRefills =
+            bitioSlowRefills - before.bitioSlowRefills;
+        out.bitioBackwardFastRefills =
+            bitioBackwardFastRefills - before.bitioBackwardFastRefills;
+        out.bitioBackwardSlowRefills =
+            bitioBackwardSlowRefills - before.bitioBackwardSlowRefills;
+        out.matchWordCompares =
+            matchWordCompares - before.matchWordCompares;
+        return out;
+    }
 };
 
-/** The process-wide stats instance (not thread-safe; benches and tests
- *  are single-threaded today). */
+/**
+ * The calling thread's stats instance. Thread-local so concurrent
+ * codec calls never race on the accounting: each thread accumulates
+ * privately and an aggregator (the serve engine, a bench main) merges
+ * the per-thread copies explicitly at a quiescent point. Single-thread
+ * callers see the old process-wide behavior unchanged.
+ */
 inline KernelStats &
 kernelStats()
 {
-    static KernelStats stats;
+    thread_local KernelStats stats;
     return stats;
 }
 

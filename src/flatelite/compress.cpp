@@ -160,9 +160,9 @@ encodeBlock(ByteSpan input, std::size_t block_start,
 
 } // namespace
 
-Result<Bytes>
-compress(ByteSpan input, const CompressorConfig &config, FileTrace *trace,
-         lz77::MatchFinderStats *stats_out)
+Status
+compressInto(ByteSpan input, Bytes &out, const CompressorConfig &config,
+             FileTrace *trace, lz77::MatchFinderStats *stats_out)
 {
     if (config.level < 1 || config.level > 9)
         return Status::invalid("flate level out of range");
@@ -171,7 +171,7 @@ compress(ByteSpan input, const CompressorConfig &config, FileTrace *trace,
         return Status::invalid("flate window log out of range");
     }
 
-    Bytes out;
+    out.clear();
     writeFrameHeader({config.windowLog, input.size()}, out);
     if (trace) {
         *trace = FileTrace{};
@@ -219,6 +219,16 @@ compress(ByteSpan input, const CompressorConfig &config, FileTrace *trace,
 
     if (trace)
         trace->compressedSize = out.size();
+    return Status::okStatus();
+}
+
+Result<Bytes>
+compress(ByteSpan input, const CompressorConfig &config, FileTrace *trace,
+         lz77::MatchFinderStats *stats_out)
+{
+    Bytes out;
+    CDPU_RETURN_IF_ERROR(
+        compressInto(input, out, config, trace, stats_out));
     return out;
 }
 

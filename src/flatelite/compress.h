@@ -33,6 +33,15 @@ Result<Bytes> compress(ByteSpan input, const CompressorConfig &config = {},
                        FileTrace *trace = nullptr,
                        lz77::MatchFinderStats *stats = nullptr);
 
+/**
+ * Context-reuse variant of compress(): emits into @p out, clearing it
+ * first but keeping its capacity (see snappy::compressInto).
+ */
+Status compressInto(ByteSpan input, Bytes &out,
+                    const CompressorConfig &config = {},
+                    FileTrace *trace = nullptr,
+                    lz77::MatchFinderStats *stats = nullptr);
+
 } // namespace cdpu::flatelite
 
 #endif // CDPU_FLATELITE_COMPRESS_H_

@@ -46,9 +46,10 @@ decodeSymbol(const huffman::Decoder &decoder, BitReader &reader)
 
 } // namespace
 
-Result<Bytes>
-decompress(ByteSpan data, FileTrace *trace)
+Status
+decompressInto(ByteSpan data, Bytes &out, FileTrace *trace)
 {
+    out.clear();
     std::size_t pos = 0;
     auto header = readFrameHeader(data, pos);
     if (!header.ok())
@@ -63,7 +64,6 @@ decompress(ByteSpan data, FileTrace *trace)
         trace->compressedSize = data.size();
     }
 
-    Bytes out;
     // Reserve conservatively: the claimed size is untrusted until the
     // stream fully decodes, so cap the up-front allocation.
     out.reserve(std::min<u64>(header.value().contentSize, 64 * kMiB));
@@ -213,6 +213,14 @@ decompress(ByteSpan data, FileTrace *trace)
         return Status::corrupt("flate content size mismatch");
     if (pos != data.size())
         return Status::corrupt("trailing bytes after flate frame");
+    return Status::okStatus();
+}
+
+Result<Bytes>
+decompress(ByteSpan data, FileTrace *trace)
+{
+    Bytes out;
+    CDPU_RETURN_IF_ERROR(decompressInto(data, out, trace));
     return out;
 }
 

@@ -106,10 +106,10 @@ getLiteral(BitReader &reader, const LiteralCode &code)
 
 } // namespace
 
-Bytes
-compress(ByteSpan input)
+void
+compressInto(ByteSpan input, Bytes &out)
 {
-    Bytes out;
+    out.clear();
     out.insert(out.end(), kMagic.begin(), kMagic.end());
     putVarint(out, input.size());
 
@@ -164,12 +164,20 @@ compress(ByteSpan input)
     Bytes stream = writer.finish();
     putVarint(out, stream.size());
     out.insert(out.end(), stream.begin(), stream.end());
+}
+
+Bytes
+compress(ByteSpan input)
+{
+    Bytes out;
+    compressInto(input, out);
     return out;
 }
 
-Result<Bytes>
-decompress(ByteSpan data)
+Status
+decompressInto(ByteSpan data, Bytes &out)
 {
+    out.clear();
     std::size_t pos = 0;
     if (data.size() < kMagic.size())
         return Status::corrupt("gipfeli frame truncated");
@@ -199,7 +207,6 @@ decompress(ByteSpan data)
         return Status::corrupt("gipfeli stream length mismatch");
     BitReader reader(data.subspan(pos, stream_bytes.value()));
 
-    Bytes out;
     // Reserve conservatively: the claimed size is untrusted until the
     // stream fully decodes, so cap the up-front allocation.
     out.reserve(std::min<u64>(content_size.value(), 64 * kMiB));
@@ -233,6 +240,14 @@ decompress(ByteSpan data)
         if (out.size() > content_size.value())
             return Status::corrupt("gipfeli output overruns");
     }
+    return Status::okStatus();
+}
+
+Result<Bytes>
+decompress(ByteSpan data)
+{
+    Bytes out;
+    CDPU_RETURN_IF_ERROR(decompressInto(data, out));
     return out;
 }
 

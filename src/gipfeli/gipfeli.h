@@ -41,6 +41,19 @@ Bytes compress(ByteSpan input);
 /** Decompresses; never crashes on corrupt input. */
 Result<Bytes> decompress(ByteSpan data);
 
+/**
+ * Context-reuse variant of compress(): emits into @p out, clearing it
+ * first but keeping its capacity (see snappy::compressInto).
+ */
+void compressInto(ByteSpan input, Bytes &out);
+
+/**
+ * Context-reuse variant of decompress(): decodes into @p out, clearing
+ * it first but keeping its capacity. On error @p out is left in an
+ * unspecified (but valid) state.
+ */
+Status decompressInto(ByteSpan data, Bytes &out);
+
 } // namespace cdpu::gipfeli
 
 #endif // CDPU_GIPFELI_GIPFELI_H_

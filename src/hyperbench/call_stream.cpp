@@ -1,0 +1,109 @@
+#include "hyperbench/call_stream.h"
+
+#include <algorithm>
+
+#include "snappy/compress.h"
+#include "zstdlite/compress.h"
+#include "zstdlite/format.h"
+
+namespace cdpu::hcb
+{
+
+std::vector<ServeCodec>
+allServeCodecs()
+{
+    return {ServeCodec::snappy, ServeCodec::zstdlite,
+            ServeCodec::flatelite, ServeCodec::gipfeli};
+}
+
+std::string
+serveCodecName(ServeCodec codec)
+{
+    switch (codec) {
+      case ServeCodec::snappy:
+        return "snappy";
+      case ServeCodec::zstdlite:
+        return "zstdlite";
+      case ServeCodec::flatelite:
+        return "flatelite";
+      case ServeCodec::gipfeli:
+        return "gipfeli";
+    }
+    return "unknown";
+}
+
+ServeCodec
+toServeCodec(Algorithm algorithm)
+{
+    return algorithm == Algorithm::snappy ? ServeCodec::snappy
+                                          : ServeCodec::zstdlite;
+}
+
+u64
+CallStream::append(ServeCodec codec, baseline::Direction direction,
+                   Bytes payload, int level, unsigned window_log)
+{
+    arena_.push_back(std::move(payload));
+    const Bytes &stored = arena_.back();
+    ReplayCall call;
+    call.id = static_cast<u64>(calls_.size());
+    call.codec = codec;
+    call.direction = direction;
+    call.payload = ByteSpan(stored.data(), stored.size());
+    call.level = level;
+    call.windowLog = window_log;
+    payloadBytes_ += stored.size();
+    calls_.push_back(call);
+    return call.id;
+}
+
+std::vector<CallBatch>
+CallStream::batches(std::size_t batch_size) const
+{
+    batch_size = std::max<std::size_t>(batch_size, 1);
+    std::vector<CallBatch> result;
+    result.reserve((calls_.size() + batch_size - 1) / batch_size);
+    for (std::size_t start = 0; start < calls_.size();
+         start += batch_size) {
+        CallBatch batch;
+        batch.calls = calls_.data() + start;
+        batch.count = std::min(batch_size, calls_.size() - start);
+        result.push_back(batch);
+    }
+    return result;
+}
+
+Status
+appendSuite(CallStream &stream, const Suite &suite)
+{
+    for (const BenchmarkFile &file : suite.files) {
+        ServeCodec codec = toServeCodec(file.algorithm);
+        int level = std::clamp(file.level, zstdlite::kMinLevel,
+                               zstdlite::kMaxLevel);
+        unsigned window_log =
+            std::clamp(file.windowLog, zstdlite::kMinWindowLog,
+                       zstdlite::kMaxWindowLog);
+        if (file.direction == Direction::compress) {
+            stream.append(codec, Direction::compress, file.data, level,
+                          window_log);
+            continue;
+        }
+        // Decompression calls consume previously-compressed traffic:
+        // pre-compress the file body with its sampled parameters.
+        Bytes frame;
+        if (codec == ServeCodec::snappy) {
+            snappy::compressInto(file.data, frame);
+        } else {
+            zstdlite::CompressorConfig config;
+            config.level = level;
+            config.windowLog = window_log;
+            CDPU_RETURN_IF_ERROR(
+                zstdlite::compressInto(file.data, frame, config));
+        }
+        stream.append(codec, Direction::decompress, std::move(frame),
+                      level, window_log);
+    }
+    return Status::okStatus();
+}
+
+} // namespace cdpu::hcb

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fleet-replay call descriptors.
+ *
+ * The paper's serving story (Section 3) is millions of independent
+ * (de)compression calls; HyperCompressBench models them as suite files
+ * with fleet-sampled parameters. This bridge turns those files into a
+ * flat stream of call descriptors, batched into fixed-size work units,
+ * so the serve layer can drain them through a worker pool. The stream
+ * owns all payload bytes; descriptors carry non-owning views, making a
+ * CallStream cheap to share read-only across worker threads.
+ */
+
+#ifndef CDPU_HYPERBENCH_CALL_STREAM_H_
+#define CDPU_HYPERBENCH_CALL_STREAM_H_
+
+#include <deque>
+
+#include "common/error.h"
+#include "hyperbench/suite_generator.h"
+
+namespace cdpu::hcb
+{
+
+/** Codec selector spanning the fleet's implemented-from-scratch
+ *  algorithms (DESIGN.md §2), not just the two the DSE focuses on. */
+enum class ServeCodec
+{
+    snappy,
+    zstdlite,
+    flatelite,
+    gipfeli,
+};
+
+/** All codecs, for iteration in tests and stream builders. */
+std::vector<ServeCodec> allServeCodecs();
+
+/** Human-readable codec name ("snappy", "zstdlite", ...). */
+std::string serveCodecName(ServeCodec codec);
+
+/** One (de)compression call to replay. */
+struct ReplayCall
+{
+    u64 id = 0; ///< Position in the stream; indexes replay outcomes.
+    ServeCodec codec = ServeCodec::snappy;
+    baseline::Direction direction = baseline::Direction::compress;
+    /** Uncompressed input (compress) or a frame produced by this
+     *  repo's codec (decompress). Views the stream's arena. */
+    ByteSpan payload;
+    int level = 3;           ///< ZstdLite / FlateLite effort level.
+    unsigned windowLog = 17; ///< ZstdLite window log.
+};
+
+/** A contiguous run of calls handed to a worker as one queue item. */
+struct CallBatch
+{
+    const ReplayCall *calls = nullptr;
+    std::size_t count = 0;
+};
+
+/** Owns call payloads and the ordered descriptor list. Append-only;
+ *  freeze it (stop appending) before sharing across threads. */
+class CallStream
+{
+  public:
+    /** Appends one call, taking ownership of @p payload. Returns the
+     *  call id. */
+    u64 append(ServeCodec codec, baseline::Direction direction,
+               Bytes payload, int level = 3, unsigned window_log = 17);
+
+    const std::vector<ReplayCall> &calls() const { return calls_; }
+    std::size_t size() const { return calls_.size(); }
+    bool empty() const { return calls_.empty(); }
+    std::size_t totalPayloadBytes() const { return payloadBytes_; }
+
+    /**
+     * Partitions the stream into batches of @p batch_size consecutive
+     * calls (last batch may be short). Batches view this stream, which
+     * must outlive them and stay unmodified while they are in flight.
+     */
+    std::vector<CallBatch> batches(std::size_t batch_size) const;
+
+  private:
+    std::deque<Bytes> arena_; ///< Stable storage for payload views.
+    std::vector<ReplayCall> calls_;
+    std::size_t payloadBytes_ = 0;
+};
+
+/**
+ * Appends every file of @p suite as one replay call. Compress-direction
+ * suites replay the uncompressed file body; decompress-direction suites
+ * replay a frame pre-compressed here (with the file's sampled level and
+ * window for ZStd), since the fleet's decompression calls consume
+ * previously-compressed traffic.
+ */
+Status appendSuite(CallStream &stream, const Suite &suite);
+
+/** Maps a baseline algorithm onto the serve codec that implements it. */
+ServeCodec toServeCodec(Algorithm algorithm);
+
+} // namespace cdpu::hcb
+
+#endif // CDPU_HYPERBENCH_CALL_STREAM_H_

@@ -206,4 +206,33 @@ CounterRegistry::reset()
         histogram->reset();
 }
 
+ShardedCounterRegistry::ShardedCounterRegistry(unsigned shards)
+{
+    if (shards == 0)
+        shards = 1;
+    shards_.reserve(shards);
+    for (unsigned i = 0; i < shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+CounterSnapshot
+ShardedCounterRegistry::mergedSnapshot() const
+{
+    CounterSnapshot merged;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        merged.merge(shard->registry.snapshot());
+    }
+    return merged;
+}
+
+void
+ShardedCounterRegistry::reset()
+{
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->registry.reset();
+    }
+}
+
 } // namespace cdpu::obs

@@ -21,7 +21,9 @@
 #include <array>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "obs/json.h"
 
@@ -129,6 +131,11 @@ struct CounterSnapshot
 /**
  * Owner of named counters and histograms. Handles returned by
  * counter()/histogram() stay valid for the registry's lifetime.
+ *
+ * NOT thread-safe: a registry (and the Counter/Histogram handles it
+ * hands out) must be confined to one thread at a time. Concurrent
+ * writers go through ShardedCounterRegistry below, which gives every
+ * writer thread its own shard and merges on snapshot.
  */
 class CounterRegistry
 {
@@ -144,6 +151,56 @@ class CounterRegistry
   private:
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/**
+ * Concurrency-safe counter front: N independent CounterRegistry
+ * shards, each guarded by its own mutex. The intended discipline is
+ * one writer thread per shard (worker i updates shard i), so a
+ * shard's lock is uncontended on the hot path and exists only to make
+ * mergedSnapshot() safe while writers are still running. Counting at
+ * per-call granularity (a handful of adds under one lock) keeps the
+ * locking cost negligible next to a codec invocation.
+ */
+class ShardedCounterRegistry
+{
+  public:
+    explicit ShardedCounterRegistry(unsigned shards = 1);
+
+    unsigned shardCount() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+
+    /** Runs @p fn(CounterRegistry &) under shard @p i's lock. */
+    template <typename Fn>
+    void
+    withShard(unsigned i, Fn &&fn)
+    {
+        Shard &shard = *shards_[i % shards_.size()];
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        fn(shard.registry);
+    }
+
+    /**
+     * Merge of every shard's snapshot (counters summed, histograms
+     * accumulated). Safe to call while writer threads are active; each
+     * shard is locked in turn, so the result is a consistent per-shard
+     * (not globally atomic) view.
+     */
+    CounterSnapshot mergedSnapshot() const;
+
+    /** Zeroes every shard (names stay registered). */
+    void reset();
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        CounterRegistry registry;
+    };
+
+    std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 } // namespace cdpu::obs

@@ -24,10 +24,10 @@ namespace cdpu::obs
 void exportKernelStats(CounterRegistry &registry,
                        const mem::KernelStats &stats);
 
-/** Publishes the process-wide mem::kernelStats() instance. */
+/** Publishes the calling thread's mem::kernelStats() instance. */
 void exportKernelStats(CounterRegistry &registry);
 
-/** Zeroes the process-wide fast-path stats (bench/test setup). */
+/** Zeroes the calling thread's fast-path stats (bench/test setup). */
 void resetKernelStats();
 
 } // namespace cdpu::obs

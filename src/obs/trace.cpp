@@ -10,6 +10,7 @@ TraceSession::span(const std::string &name,
                    const std::string &category, Tick start,
                    Tick duration, u32 track)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     events_.push_back(
         {'X', name, category, start, duration, 0, track});
 }
@@ -19,6 +20,7 @@ TraceSession::instant(const std::string &name,
                       const std::string &category, Tick when,
                       u32 track)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     events_.push_back({'i', name, category, when, 0, 0, track});
 }
 
@@ -26,18 +28,21 @@ void
 TraceSession::counterSample(const std::string &name, Tick when,
                             u64 value)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     events_.push_back({'C', name, "counter", when, 0, value, 0});
 }
 
 void
 TraceSession::setTrackName(u32 track, const std::string &name)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     trackNames_[track] = name;
 }
 
 void
 TraceSession::clear()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     events_.clear();
     trackNames_.clear();
 }
@@ -45,6 +50,7 @@ TraceSession::clear()
 JsonValue
 TraceSession::toJson() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     // One cycle is rendered as one microsecond (the format's native
     // unit); displayTimeUnit only affects the viewer's label.
     JsonValue trace_events = JsonValue::array();

@@ -18,6 +18,7 @@
 #define CDPU_OBS_TRACE_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,7 +32,15 @@ namespace cdpu::obs
 /** Timestamp type; mirrors sim::Tick (cycles since simulation start). */
 using Tick = u64;
 
-/** Records trace events and exports Chrome trace_event JSON. */
+/**
+ * Records trace events and exports Chrome trace_event JSON.
+ *
+ * All mutators and exporters are guarded by an internal mutex, so a
+ * session may be shared by concurrent recorders (e.g. fleet-replay
+ * workers) and exported while recording continues. Event order within
+ * one thread is preserved; interleaving across threads is whatever the
+ * lock hands out — viewers sort by timestamp anyway.
+ */
 class TraceSession
 {
   public:
@@ -49,8 +58,14 @@ class TraceSession
     /** Names @p track's lane in the viewer (thread_name metadata). */
     void setTrackName(u32 track, const std::string &name);
 
-    std::size_t size() const { return events_.size(); }
-    bool empty() const { return events_.empty(); }
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return events_.size();
+    }
+
+    bool empty() const { return size() == 0; }
     void clear();
 
     /** {"traceEvents": [...], "displayTimeUnit": "ns"}. */
@@ -72,6 +87,7 @@ class TraceSession
         u32 track = 0;
     };
 
+    mutable std::mutex mutex_;
     std::vector<TraceEvent> events_;
     std::map<u32, std::string> trackNames_;
 };

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Per-worker codec context.
+ *
+ * The fleet's serving processes keep long-lived (de)compression
+ * contexts so steady-state calls do not allocate (Section 3.2's
+ * software cost breakdown counts allocator time against the codec).
+ * A CodecContext owns one reusable output buffer and dispatches a
+ * ReplayCall to the matching codec's context-reuse entry point
+ * (*Into); after warm-up the buffer reaches the workload's maximum
+ * call size and subsequent calls run allocation-free.
+ *
+ * A context is single-threaded by construction: the engine gives each
+ * worker its own. Sharing one across threads is a data race.
+ */
+
+#ifndef CDPU_SERVE_CODEC_CONTEXT_H_
+#define CDPU_SERVE_CODEC_CONTEXT_H_
+
+#include "hyperbench/call_stream.h"
+
+namespace cdpu::serve
+{
+
+class CodecContext
+{
+  public:
+    /**
+     * Executes @p call, pointing @p output at the result. The view is
+     * valid until the next execute() on this context. Level/window
+     * parameters outside a codec's legal range are clamped, so any
+     * fleet-sampled call can execute on any codec.
+     */
+    Status execute(const hcb::ReplayCall &call, ByteSpan &output);
+
+    /** Bytes produced by the last successful execute(). */
+    std::size_t lastOutputSize() const { return out_.size(); }
+
+  private:
+    Bytes out_; ///< Reused across calls; capacity only grows.
+};
+
+} // namespace cdpu::serve
+
+#endif // CDPU_SERVE_CODEC_CONTEXT_H_

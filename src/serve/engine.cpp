@@ -1,0 +1,219 @@
+#include "serve/engine.h"
+
+#include <chrono>
+#include <thread>
+
+#include "obs/kernel_stats.h"
+
+namespace cdpu::serve
+{
+
+u64
+fnv1a(ByteSpan data)
+{
+    u64 hash = 0xcbf29ce484222325ull;
+    for (u8 byte : data) {
+        hash ^= byte;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Executes one call and fills its outcome slot + work counters.
+ *  Everything recorded here is deterministic in the call itself. */
+void
+runCall(CodecContext &context, const hcb::ReplayCall &call,
+        bool record_output, CallOutcome &outcome,
+        obs::CounterRegistry &work)
+{
+    ByteSpan output;
+    Status status = context.execute(call, output);
+    outcome.executed = true;
+    outcome.ok = status.ok();
+    if (status.ok()) {
+        outcome.outputBytes = output.size();
+        outcome.outputHash = fnv1a(output);
+        if (record_output)
+            outcome.output.assign(output.begin(), output.end());
+    }
+
+    work.counter("serve.calls").increment();
+    work.counter("serve.calls." + serveCodecName(call.codec))
+        .increment();
+    work.counter(call.direction == baseline::Direction::compress
+                     ? "serve.calls.compress"
+                     : "serve.calls.decompress")
+        .increment();
+    work.counter("serve.bytes.in").add(call.payload.size());
+    work.histogram("serve.call_bytes_in").record(call.payload.size());
+    if (status.ok()) {
+        work.counter("serve.bytes.out").add(outcome.outputBytes);
+        work.histogram("serve.call_bytes_out")
+            .record(outcome.outputBytes);
+    } else {
+        work.counter("serve.failures").increment();
+    }
+}
+
+} // namespace
+
+ReplayEngine::ReplayEngine(const EngineConfig &config) : config_(config)
+{
+    if (config_.workers == 0)
+        config_.workers = 1;
+    if (config_.shards == 0)
+        config_.shards = config_.workers;
+    if (config_.batchSize == 0)
+        config_.batchSize = 1;
+    if (config_.shardCapacity == 0)
+        config_.shardCapacity = 1;
+}
+
+ReplayReport
+ReplayEngine::run(const hcb::CallStream &stream)
+{
+    ReplayReport report;
+    report.outcomes.resize(stream.size());
+
+    obs::ShardedCounterRegistry work_registry(config_.workers);
+    obs::ShardedCounterRegistry runtime_registry(config_.workers);
+    ShardedWorkQueue<hcb::CallBatch> queue(
+        config_.shards, config_.shardCapacity, config_.policy);
+
+    std::mutex kernel_mutex;
+    mem::KernelStats kernel_total;
+
+    auto started = Clock::now();
+
+    std::vector<std::thread> workers;
+    workers.reserve(config_.workers);
+    for (unsigned w = 0; w < config_.workers; ++w) {
+        workers.emplace_back([&, w] {
+            CodecContext context;
+            mem::KernelStats before = mem::kernelStats();
+            hcb::CallBatch batch;
+            bool stolen = false;
+            u64 steals = 0;
+            u64 batches = 0;
+            while (queue.pop(w, batch, &stolen)) {
+                ++batches;
+                if (stolen)
+                    ++steals;
+                for (std::size_t i = 0; i < batch.count; ++i) {
+                    const hcb::ReplayCall &call = batch.calls[i];
+                    CallOutcome &outcome = report.outcomes[call.id];
+                    auto call_start = Clock::now();
+                    work_registry.withShard(w, [&](auto &registry) {
+                        runCall(context, call, config_.recordOutputs,
+                                outcome, registry);
+                    });
+                    u64 ns = static_cast<u64>(
+                        std::chrono::duration_cast<
+                            std::chrono::nanoseconds>(Clock::now() -
+                                                      call_start)
+                            .count());
+                    runtime_registry.withShard(w, [&](auto &registry) {
+                        registry.histogram("serve.latency_ns")
+                            .record(ns);
+                    });
+                }
+            }
+            runtime_registry.withShard(w, [&](auto &registry) {
+                registry.counter("serve.steals").add(steals);
+                registry.counter("serve.batches").add(batches);
+            });
+            mem::KernelStats delta = mem::kernelStats().diff(before);
+            std::lock_guard<std::mutex> lock(kernel_mutex);
+            kernel_total.merge(delta);
+        });
+    }
+
+    // Producer: feed batches round-robin across shards so every worker
+    // has a home stream of work; stealing levels the imbalance.
+    u64 dropped_calls = 0;
+    auto batches = stream.batches(config_.batchSize);
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+        unsigned home = static_cast<unsigned>(b % config_.shards);
+        if (!queue.push(home, batches[b]))
+            dropped_calls += batches[b].count;
+    }
+    queue.close();
+    for (auto &worker : workers)
+        worker.join();
+
+    report.elapsedSeconds =
+        std::chrono::duration<double>(Clock::now() - started).count();
+
+    report.work = work_registry.mergedSnapshot();
+    report.runtime = runtime_registry.mergedSnapshot();
+    report.kernel = kernel_total;
+
+    // Fold the merged fast-path totals into the deterministic
+    // snapshot under the usual "kernel.*" names.
+    obs::CounterRegistry kernel_registry;
+    obs::exportKernelStats(kernel_registry, kernel_total);
+    report.work.merge(kernel_registry.snapshot());
+
+    obs::CounterRegistry drop_registry;
+    drop_registry.counter("serve.drops").add(dropped_calls);
+    report.runtime.merge(drop_registry.snapshot());
+
+    for (const CallOutcome &outcome : report.outcomes) {
+        if (!outcome.executed)
+            continue;
+        ++report.executed;
+        if (!outcome.ok)
+            ++report.failed;
+    }
+    report.dropped = dropped_calls;
+    return report;
+}
+
+ReplayReport
+replaySequential(const hcb::CallStream &stream, bool record_outputs)
+{
+    ReplayReport report;
+    report.outcomes.resize(stream.size());
+
+    obs::CounterRegistry work_registry;
+    obs::CounterRegistry runtime_registry;
+    CodecContext context;
+    mem::KernelStats before = mem::kernelStats();
+
+    auto started = Clock::now();
+    for (const hcb::ReplayCall &call : stream.calls()) {
+        auto call_start = Clock::now();
+        runCall(context, call, record_outputs,
+                report.outcomes[call.id], work_registry);
+        u64 ns = static_cast<u64>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - call_start)
+                .count());
+        runtime_registry.histogram("serve.latency_ns").record(ns);
+    }
+    report.elapsedSeconds =
+        std::chrono::duration<double>(Clock::now() - started).count();
+
+    report.kernel = mem::kernelStats().diff(before);
+    report.work = work_registry.snapshot();
+    obs::CounterRegistry kernel_registry;
+    obs::exportKernelStats(kernel_registry, report.kernel);
+    report.work.merge(kernel_registry.snapshot());
+    report.runtime = runtime_registry.snapshot();
+
+    for (const CallOutcome &outcome : report.outcomes) {
+        if (!outcome.executed)
+            continue;
+        ++report.executed;
+        if (!outcome.ok)
+            ++report.failed;
+    }
+    return report;
+}
+
+} // namespace cdpu::serve

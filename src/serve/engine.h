@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Fleet-replay engine.
+ *
+ * Replays a CallStream — the unit of serving work in the paper's fleet
+ * analysis (Section 3: independent (de)compression calls, not files) —
+ * through a fixed pool of worker threads. Each worker owns a codec
+ * context and a home shard of the work queue, steals when its shard
+ * runs dry, and publishes observability into per-worker shards of a
+ * ShardedCounterRegistry.
+ *
+ * Determinism contract: with the block backpressure policy, the
+ * *work* a replay performs is a pure function of the stream — every
+ * call executes exactly once, so ReplayReport::work (call/byte
+ * counters, size histograms, kernel.* fast-path totals) and the
+ * per-call outcomes (sizes, hashes) are identical for any worker
+ * count, including the no-thread replaySequential() reference. What
+ * the scheduler decided — latencies, steals, drops — lands in
+ * ReplayReport::runtime and is NOT comparable across runs. The
+ * differential tests pin the first contract; the bench reports the
+ * second.
+ */
+
+#ifndef CDPU_SERVE_ENGINE_H_
+#define CDPU_SERVE_ENGINE_H_
+
+#include "common/mem.h"
+#include "obs/counters.h"
+#include "serve/codec_context.h"
+#include "serve/queue.h"
+
+namespace cdpu::serve
+{
+
+struct EngineConfig
+{
+    unsigned workers = 1;
+    /** Queue shards; 0 means one per worker (the stealing-friendly
+     *  default). */
+    unsigned shards = 0;
+    /** Batches a shard holds before producers feel backpressure. */
+    std::size_t shardCapacity = 8;
+    BackpressurePolicy policy = BackpressurePolicy::block;
+    /** Calls per queue item; amortizes queue traffic per the fleet's
+     *  small-call distribution (Figure 6: most calls are tiny). */
+    std::size_t batchSize = 8;
+    /** Keep each call's output bytes (differential tests); costly for
+     *  large streams, so benches leave it off and compare hashes. */
+    bool recordOutputs = false;
+};
+
+/** Per-call result slot; index in ReplayReport::outcomes == call id. */
+struct CallOutcome
+{
+    bool executed = false; ///< False when dropped by backpressure.
+    bool ok = false;
+    std::size_t outputBytes = 0;
+    u64 outputHash = 0; ///< FNV-1a of the output bytes.
+    Bytes output;       ///< Populated only with recordOutputs.
+};
+
+struct ReplayReport
+{
+    std::vector<CallOutcome> outcomes;
+
+    /** Deterministic accounting: serve.calls[.codec|.direction],
+     *  serve.bytes.{in,out}, serve.failures, call-size histograms,
+     *  and the merged kernel.* fast-path totals. Equal across worker
+     *  counts under the block policy. */
+    obs::CounterSnapshot work;
+
+    /** Scheduling-dependent accounting: serve.latency_ns,
+     *  serve.steals, serve.drops, serve.batches. */
+    obs::CounterSnapshot runtime;
+
+    /** Merged per-thread fast-path stats (also exported into work). */
+    mem::KernelStats kernel;
+
+    double elapsedSeconds = 0.0;
+    u64 executed = 0;
+    u64 dropped = 0;
+    u64 failed = 0;
+
+    u64 bytesIn() const { return work.at("serve.bytes.in"); }
+    u64 bytesOut() const { return work.at("serve.bytes.out"); }
+};
+
+class ReplayEngine
+{
+  public:
+    explicit ReplayEngine(const EngineConfig &config);
+
+    /** Replays @p stream to completion (producer-side push, worker
+     *  drain, shutdown barrier) and returns the report. The stream
+     *  must stay unmodified for the duration. */
+    ReplayReport run(const hcb::CallStream &stream);
+
+    const EngineConfig &config() const { return config_; }
+
+  private:
+    EngineConfig config_;
+};
+
+/**
+ * No-thread, no-queue reference replay: one codec context, calls in
+ * stream order. The differential oracle the engine is compared to.
+ */
+ReplayReport replaySequential(const hcb::CallStream &stream,
+                              bool record_outputs = false);
+
+/** FNV-1a 64-bit hash (outcome fingerprints). */
+u64 fnv1a(ByteSpan data);
+
+} // namespace cdpu::serve
+
+#endif // CDPU_SERVE_ENGINE_H_

@@ -1,0 +1,88 @@
+#include "serve/stream_builder.h"
+
+#include <algorithm>
+
+#include "corpus/generators.h"
+#include "flatelite/compress.h"
+#include "gipfeli/gipfeli.h"
+#include "snappy/compress.h"
+#include "zstdlite/compress.h"
+
+namespace cdpu::serve
+{
+
+namespace
+{
+
+/** Compresses @p body with @p codec so a decompress-direction call has
+ *  a genuine frame to consume. */
+Status
+frameFor(hcb::ServeCodec codec, ByteSpan body, int level,
+         unsigned window_log, Bytes &frame)
+{
+    switch (codec) {
+      case hcb::ServeCodec::snappy:
+        snappy::compressInto(body, frame);
+        return Status::okStatus();
+      case hcb::ServeCodec::zstdlite: {
+        zstdlite::CompressorConfig config;
+        config.level = level;
+        config.windowLog = window_log;
+        return zstdlite::compressInto(body, frame, config);
+      }
+      case hcb::ServeCodec::flatelite: {
+        flatelite::CompressorConfig config;
+        config.level = std::clamp(level, 1, 9);
+        config.windowLog =
+            std::clamp(window_log, flatelite::kMinWindowLog,
+                       flatelite::kMaxWindowLog);
+        return flatelite::compressInto(body, frame, config);
+      }
+      case hcb::ServeCodec::gipfeli:
+        gipfeli::compressInto(body, frame);
+        return Status::okStatus();
+    }
+    return Status::invalid("unknown serve codec");
+}
+
+} // namespace
+
+Result<hcb::CallStream>
+buildMixedStream(const StreamConfig &config)
+{
+    if (config.calls == 0)
+        return Status::invalid("stream needs at least one call");
+    if (config.minCallBytes == 0 ||
+        config.minCallBytes > config.maxCallBytes)
+        return Status::invalid("bad call-size range");
+
+    Rng rng(config.seed);
+    auto codecs = hcb::allServeCodecs();
+    auto classes = corpus::allDataClasses();
+
+    hcb::CallStream stream;
+    for (std::size_t i = 0; i < config.calls; ++i) {
+        hcb::ServeCodec codec = codecs[i % codecs.size()];
+        corpus::DataClass cls = classes[(i / codecs.size()) %
+                                        classes.size()];
+        std::size_t size = static_cast<std::size_t>(
+            rng.range(config.minCallBytes, config.maxCallBytes));
+        Bytes body = corpus::generate(cls, size, rng);
+        int level = static_cast<int>(rng.range(1, 9));
+        unsigned window_log = static_cast<unsigned>(rng.range(
+            zstdlite::kMinWindowLog, zstdlite::kMaxWindowLog - 7));
+        if (rng.chance(config.decompressFraction)) {
+            Bytes frame;
+            CDPU_RETURN_IF_ERROR(
+                frameFor(codec, body, level, window_log, frame));
+            stream.append(codec, baseline::Direction::decompress,
+                          std::move(frame), level, window_log);
+        } else {
+            stream.append(codec, baseline::Direction::compress,
+                          std::move(body), level, window_log);
+        }
+    }
+    return stream;
+}
+
+} // namespace cdpu::serve

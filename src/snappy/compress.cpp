@@ -82,11 +82,12 @@ maxCompressedSize(std::size_t input_size)
     return 32 + input_size + input_size / 6;
 }
 
-Bytes
-compress(ByteSpan input, const CompressorConfig &config,
-         lz77::MatchFinderStats *stats_out)
+void
+compressInto(ByteSpan input, Bytes &out,
+             const CompressorConfig &config,
+             lz77::MatchFinderStats *stats_out)
 {
-    Bytes out;
+    out.clear();
     out.reserve(std::min<std::size_t>(maxCompressedSize(input.size()),
                                       input.size() + 64));
     putVarint(out, input.size());
@@ -126,6 +127,14 @@ compress(ByteSpan input, const CompressorConfig &config,
 
     if (stats_out)
         *stats_out = total_stats;
+}
+
+Bytes
+compress(ByteSpan input, const CompressorConfig &config,
+         lz77::MatchFinderStats *stats_out)
+{
+    Bytes out;
+    compressInto(input, out, config, stats_out);
     return out;
 }
 

@@ -39,6 +39,16 @@ struct CompressorConfig
 Bytes compress(ByteSpan input, const CompressorConfig &config = {},
                lz77::MatchFinderStats *stats = nullptr);
 
+/**
+ * Context-reuse variant of compress(): emits into @p out, clearing it
+ * first but keeping its capacity, so repeated calls through one
+ * scratch buffer stop allocating once the buffer has grown to the
+ * workload's largest call.
+ */
+void compressInto(ByteSpan input, Bytes &out,
+                  const CompressorConfig &config = {},
+                  lz77::MatchFinderStats *stats = nullptr);
+
 /** Upper bound on compress() output size for @p input_size bytes. */
 std::size_t maxCompressedSize(std::size_t input_size);
 

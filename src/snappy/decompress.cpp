@@ -128,9 +128,10 @@ constexpr u64 kMaxExpansionDen = 3;
 
 } // namespace
 
-Result<Bytes>
-decompress(ByteSpan data)
+Status
+decompressInto(ByteSpan data, Bytes &out)
 {
+    out.clear();
     std::size_t pos = 0;
     auto length = getVarint(data, pos);
     if (!length.ok())
@@ -144,11 +145,10 @@ decompress(ByteSpan data)
     if (expected * kMaxExpansionDen > body * kMaxExpansionNum)
         return Status::corrupt("stream cannot produce claimed length");
 
-    Bytes out;
     if (expected == 0) {
         if (body != 0)
             return Status::corrupt("stream produces more than preamble");
-        return out;
+        return Status::okStatus();
     }
 
     // Single pass: validate and emit in one walk over the tag stream.
@@ -253,6 +253,14 @@ decompress(ByteSpan data)
     if (op != expected)
         return Status::corrupt("stream produces less than preamble");
     out.resize(expected);
+    return Status::okStatus();
+}
+
+Result<Bytes>
+decompress(ByteSpan data)
+{
+    Bytes out;
+    CDPU_RETURN_IF_ERROR(decompressInto(data, out));
     return out;
 }
 

@@ -28,6 +28,15 @@ Result<u64> uncompressedLength(ByteSpan data);
 Result<Bytes> decompress(ByteSpan data);
 
 /**
+ * Context-reuse variant of decompress(): decodes into @p out, clearing
+ * it first but keeping its capacity, so a serving loop that replays
+ * many calls through one scratch buffer allocates only when a call
+ * outgrows every previous one. On error @p out is left in an
+ * unspecified (but valid) state.
+ */
+Status decompressInto(ByteSpan data, Bytes &out);
+
+/**
  * Applies a decoded element stream to produce output. This is the
  * element-granular reference path, retained for the CDPU decompressor
  * model, which replays the same elements through its history-SRAM

@@ -125,9 +125,9 @@ flushBlock(PendingBlock &block, ByteSpan block_input, bool last,
 
 } // namespace
 
-Result<Bytes>
-compress(ByteSpan input, const CompressorConfig &config, FileTrace *trace,
-         lz77::MatchFinderStats *stats_out)
+Status
+compressInto(ByteSpan input, Bytes &out, const CompressorConfig &config,
+             FileTrace *trace, lz77::MatchFinderStats *stats_out)
 {
     if (config.level < kMinLevel || config.level > kMaxLevel)
         return Status::invalid("compression level out of range");
@@ -136,7 +136,7 @@ compress(ByteSpan input, const CompressorConfig &config, FileTrace *trace,
         return Status::invalid("window log out of range");
     }
 
-    Bytes out;
+    out.clear();
     writeFrameHeader({config.windowLog, input.size()}, out);
     if (trace) {
         *trace = FileTrace{};
@@ -208,6 +208,16 @@ compress(ByteSpan input, const CompressorConfig &config, FileTrace *trace,
 
     if (trace)
         trace->compressedSize = out.size();
+    return Status::okStatus();
+}
+
+Result<Bytes>
+compress(ByteSpan input, const CompressorConfig &config, FileTrace *trace,
+         lz77::MatchFinderStats *stats_out)
+{
+    Bytes out;
+    CDPU_RETURN_IF_ERROR(
+        compressInto(input, out, config, trace, stats_out));
     return out;
 }
 

@@ -47,6 +47,17 @@ Result<Bytes> compress(ByteSpan input, const CompressorConfig &config = {},
                        FileTrace *trace = nullptr,
                        lz77::MatchFinderStats *stats = nullptr);
 
+/**
+ * Context-reuse variant of compress(): emits into @p out, clearing it
+ * first but keeping its capacity, so a serving loop replaying many
+ * calls through one scratch buffer stops allocating once the buffer
+ * has grown to the workload's largest frame.
+ */
+Status compressInto(ByteSpan input, Bytes &out,
+                    const CompressorConfig &config = {},
+                    FileTrace *trace = nullptr,
+                    lz77::MatchFinderStats *stats = nullptr);
+
 } // namespace cdpu::zstdlite
 
 #endif // CDPU_ZSTDLITE_COMPRESS_H_

@@ -88,9 +88,10 @@ executeBlock(const DecodedLiterals &literals,
 
 } // namespace
 
-Result<Bytes>
-decompress(ByteSpan data, FileTrace *trace)
+Status
+decompressInto(ByteSpan data, Bytes &out, FileTrace *trace)
 {
+    out.clear();
     std::size_t pos = 0;
     auto header = readFrameHeader(data, pos);
     if (!header.ok())
@@ -105,7 +106,6 @@ decompress(ByteSpan data, FileTrace *trace)
         trace->compressedSize = data.size();
     }
 
-    Bytes out;
     // Reserve conservatively: the claimed size is untrusted until the
     // stream fully decodes, so cap the up-front allocation.
     out.reserve(std::min<u64>(header.value().contentSize, 64 * kMiB));
@@ -190,6 +190,14 @@ decompress(ByteSpan data, FileTrace *trace)
         return Status::corrupt("content size mismatch");
     if (pos != data.size())
         return Status::corrupt("trailing bytes after last block");
+    return Status::okStatus();
+}
+
+Result<Bytes>
+decompress(ByteSpan data, FileTrace *trace)
+{
+    Bytes out;
+    CDPU_RETURN_IF_ERROR(decompressInto(data, out, trace));
     return out;
 }
 

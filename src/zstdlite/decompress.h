@@ -24,6 +24,14 @@ Result<FrameHeader> peekFrameHeader(ByteSpan data);
  */
 Result<Bytes> decompress(ByteSpan data, FileTrace *trace = nullptr);
 
+/**
+ * Context-reuse variant of decompress(): decodes into @p out, clearing
+ * it first but keeping its capacity (see snappy::decompressInto). On
+ * error @p out is left in an unspecified (but valid) state.
+ */
+Status decompressInto(ByteSpan data, Bytes &out,
+                      FileTrace *trace = nullptr);
+
 } // namespace cdpu::zstdlite
 
 #endif // CDPU_ZSTDLITE_DECOMPRESS_H_

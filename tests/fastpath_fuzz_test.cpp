@@ -14,6 +14,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
 #include "common/mem.h"
 #include "common/varint.h"
@@ -24,6 +26,8 @@
 #include "huffman/decoder.h"
 #include "huffman/encoder.h"
 #include "lz77/match_finder.h"
+#include "serve/codec_context.h"
+#include "serve/engine.h"
 #include "snappy/compress.h"
 #include "snappy/decompress.h"
 #include "zstdlite/compress.h"
@@ -402,6 +406,169 @@ TEST(EntropyFastPathFuzz, FseRoundTripsOnVariedSkew)
                 .ok());
         EXPECT_EQ(out, symbols);
     }
+}
+
+// --- Concurrent fuzz mode --------------------------------------------
+//
+// The serve layer reuses codec contexts call after call while other
+// threads do the same; any hidden shared mutable state in a codec
+// (static scratch, misused thread_local, racy table init) would let
+// one thread's stream bleed into another's output. Each thread below
+// replays a workload whose results were precomputed sequentially;
+// every byte is compared. Failures are tallied in atomics and
+// asserted on the main thread.
+
+/** One thread's precomputed workload: payloads and expected frames. */
+struct ThreadWorkload
+{
+    std::vector<Bytes> payloads;
+    std::vector<hcb::ServeCodec> codecs;
+    std::vector<u64> expectedFrameHashes;
+};
+
+ThreadWorkload
+buildWorkload(u64 seed, std::size_t calls)
+{
+    Rng rng(seed);
+    auto classes = corpus::allDataClasses();
+    auto codecs = hcb::allServeCodecs();
+    ThreadWorkload workload;
+    serve::CodecContext context;
+    for (std::size_t i = 0; i < calls; ++i) {
+        auto cls = classes[rng.below(classes.size())];
+        std::size_t size = 1 + rng.below(24 * kKiB);
+        workload.payloads.push_back(corpus::generate(cls, size, rng));
+        workload.codecs.push_back(codecs[rng.below(codecs.size())]);
+
+        hcb::ReplayCall call;
+        call.codec = workload.codecs.back();
+        call.direction = baseline::Direction::compress;
+        call.payload = ByteSpan(workload.payloads.back().data(),
+                                workload.payloads.back().size());
+        ByteSpan frame;
+        Status status = context.execute(call, frame);
+        EXPECT_TRUE(status.ok()) << status.toString();
+        workload.expectedFrameHashes.push_back(serve::fnv1a(frame));
+    }
+    return workload;
+}
+
+TEST(ConcurrentFuzz, SharedProcessContextsNeverCrossContaminate)
+{
+    constexpr unsigned kThreads = 8;
+    constexpr std::size_t kCalls = 24;
+
+    // Phase 1 (sequential): per-thread workloads with expected frame
+    // hashes, computed through a fresh context.
+    std::vector<ThreadWorkload> workloads;
+    for (unsigned t = 0; t < kThreads; ++t)
+        workloads.push_back(buildWorkload(1000 + t, kCalls));
+
+    // Phase 2 (concurrent): every thread replays its workload through
+    // one long-lived context — compress must match the precomputed
+    // hash, decompress must return the original payload.
+    std::atomic<u64> frame_mismatches{0};
+    std::atomic<u64> roundtrip_mismatches{0};
+    std::atomic<u64> failures{0};
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            const ThreadWorkload &workload = workloads[t];
+            serve::CodecContext compress_context;
+            serve::CodecContext decompress_context;
+            for (int round = 0; round < 3; ++round) {
+                for (std::size_t i = 0; i < workload.payloads.size();
+                     ++i) {
+                    hcb::ReplayCall call;
+                    call.codec = workload.codecs[i];
+                    call.direction = baseline::Direction::compress;
+                    call.payload =
+                        ByteSpan(workload.payloads[i].data(),
+                                 workload.payloads[i].size());
+                    ByteSpan frame;
+                    if (!compress_context.execute(call, frame).ok()) {
+                        ++failures;
+                        continue;
+                    }
+                    if (serve::fnv1a(frame) !=
+                        workload.expectedFrameHashes[i])
+                        ++frame_mismatches;
+
+                    hcb::ReplayCall decode;
+                    decode.codec = workload.codecs[i];
+                    decode.direction = baseline::Direction::decompress;
+                    decode.payload = frame;
+                    ByteSpan out;
+                    if (!decompress_context.execute(decode, out).ok()) {
+                        ++failures;
+                        continue;
+                    }
+                    if (!std::equal(out.begin(), out.end(),
+                                    workload.payloads[i].begin(),
+                                    workload.payloads[i].end()))
+                        ++roundtrip_mismatches;
+                }
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(failures.load(), 0u);
+    EXPECT_EQ(frame_mismatches.load(), 0u);
+    EXPECT_EQ(roundtrip_mismatches.load(), 0u);
+}
+
+TEST(ConcurrentFuzz, MutatedStreamsAcrossThreadsKeepContextsUsable)
+{
+    // Decode corrupt frames concurrently, then prove the context still
+    // produces clean results: an error path that leaves residue in the
+    // reused output buffer would corrupt the next call.
+    constexpr unsigned kThreads = 8;
+    std::atomic<u64> post_error_mismatches{0};
+    std::atomic<u64> crashes_expected_ok{0};
+
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            Rng rng(7000 + t);
+            Bytes data = corpus::generateMixed(24 * kKiB, rng, kKiB);
+            Bytes good = snappy::compress(data);
+            serve::CodecContext context;
+            for (int trial = 0; trial < 40; ++trial) {
+                Bytes mutated = good;
+                // A handful of bit flips: decode either fails cleanly
+                // or succeeds; both verdicts must leave the context
+                // intact for the follow-up good call.
+                for (int flips = 0; flips < 3; ++flips)
+                    mutated[rng.below(mutated.size())] ^=
+                        static_cast<u8>(1u << rng.below(8));
+                hcb::ReplayCall bad;
+                bad.codec = hcb::ServeCodec::snappy;
+                bad.direction = baseline::Direction::decompress;
+                bad.payload = ByteSpan(mutated.data(), mutated.size());
+                ByteSpan out;
+                (void)context.execute(bad, out);
+
+                hcb::ReplayCall ok_call;
+                ok_call.codec = hcb::ServeCodec::snappy;
+                ok_call.direction = baseline::Direction::decompress;
+                ok_call.payload = ByteSpan(good.data(), good.size());
+                if (!context.execute(ok_call, out).ok()) {
+                    ++crashes_expected_ok;
+                    continue;
+                }
+                if (!std::equal(out.begin(), out.end(), data.begin(),
+                                data.end()))
+                    ++post_error_mismatches;
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(crashes_expected_ok.load(), 0u);
+    EXPECT_EQ(post_error_mismatches.load(), 0u);
 }
 
 } // namespace

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Golden-vector decode tests.
+ *
+ * tests/vectors/ holds committed frames produced by each codec's
+ * encoder (regenerate with examples/make_golden_vectors). Decoding
+ * them back to the committed raw bytes pins on-disk format stability:
+ * an encoder is free to evolve (better parses, different tables), but
+ * a decoder that can no longer consume yesterday's frames would break
+ * every consumer of stored compressed data — the serving fleet's
+ * compress-once-decompress-often traffic (Section 3.1) makes that the
+ * costliest regression a codec change can ship.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "flatelite/decompress.h"
+#include "gipfeli/gipfeli.h"
+#include "snappy/decompress.h"
+#include "zstdlite/decompress.h"
+
+namespace cdpu
+{
+namespace
+{
+
+Bytes
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << "missing vector file: " << path
+                    << " (regenerate with examples/make_golden_vectors)";
+    return Bytes(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+}
+
+class GoldenVectorsTest : public testing::TestWithParam<const char *>
+{
+  protected:
+    std::string base_ = std::string(CDPU_VECTOR_DIR) + "/" + GetParam();
+    Bytes raw_ = readFile(base_ + ".raw");
+};
+
+TEST_P(GoldenVectorsTest, SnappyDecodesCommittedFrame)
+{
+    auto out = snappy::decompress(readFile(base_ + ".snappy"));
+    ASSERT_TRUE(out.ok()) << out.status().message();
+    EXPECT_EQ(out.value(), raw_);
+}
+
+TEST_P(GoldenVectorsTest, ZstdLiteDecodesCommittedFrame)
+{
+    auto out = zstdlite::decompress(readFile(base_ + ".zstdlite"));
+    ASSERT_TRUE(out.ok()) << out.status().message();
+    EXPECT_EQ(out.value(), raw_);
+}
+
+TEST_P(GoldenVectorsTest, FlateLiteDecodesCommittedFrame)
+{
+    auto out = flatelite::decompress(readFile(base_ + ".flatelite"));
+    ASSERT_TRUE(out.ok()) << out.status().message();
+    EXPECT_EQ(out.value(), raw_);
+}
+
+TEST_P(GoldenVectorsTest, GipfeliDecodesCommittedFrame)
+{
+    auto out = gipfeli::decompress(readFile(base_ + ".gipfeli"));
+    ASSERT_TRUE(out.ok()) << out.status().message();
+    EXPECT_EQ(out.value(), raw_);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPayloads, GoldenVectorsTest,
+                         testing::Values("text", "repetitive",
+                                         "random"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+} // namespace
+} // namespace cdpu

@@ -11,6 +11,8 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "obs/counters.h"
 #include "obs/json.h"
@@ -379,6 +381,149 @@ TEST(TraceTest, ScopedSpanRecordsClockWindow)
     // Null session: a no-op, not a crash.
     { ScopedSpan noop(nullptr, clock, "x", "y"); }
     EXPECT_EQ(session.size(), 1u);
+}
+
+// --- ShardedCounterRegistry ------------------------------------------
+
+TEST(ShardedCounterTest, MergedSnapshotSumsAcrossShards)
+{
+    ShardedCounterRegistry sharded(4);
+    ASSERT_EQ(sharded.shardCount(), 4u);
+    for (unsigned shard = 0; shard < 4; ++shard) {
+        sharded.withShard(shard, [&](CounterRegistry &registry) {
+            registry.counter("serve.calls").add(shard + 1);
+            registry.histogram("latency").record(100 * (shard + 1));
+        });
+    }
+    // Shard 0 also owns a counter no other shard touches: merge must
+    // pass it through, not require presence everywhere.
+    sharded.withShard(0, [](CounterRegistry &registry) {
+        registry.counter("only.zero").add(7);
+    });
+
+    CounterSnapshot merged = sharded.mergedSnapshot();
+    EXPECT_EQ(merged.at("serve.calls"), 1u + 2 + 3 + 4);
+    EXPECT_EQ(merged.at("only.zero"), 7u);
+    const HistogramSnapshot &latency = merged.histograms.at("latency");
+    EXPECT_EQ(latency.count, 4u);
+    EXPECT_EQ(latency.sum, 100u + 200 + 300 + 400);
+    EXPECT_EQ(latency.min, 100u);
+    EXPECT_EQ(latency.max, 400u);
+}
+
+TEST(ShardedCounterTest, ShardIndexWrapsAndResetZeroes)
+{
+    ShardedCounterRegistry sharded(2);
+    sharded.withShard(5, [](CounterRegistry &registry) {
+        registry.counter("c").add(3); // 5 % 2 == shard 1
+    });
+    sharded.withShard(1, [](CounterRegistry &registry) {
+        registry.counter("c").add(4);
+    });
+    EXPECT_EQ(sharded.mergedSnapshot().at("c"), 7u);
+
+    sharded.reset();
+    CounterSnapshot after = sharded.mergedSnapshot();
+    EXPECT_EQ(after.at("c"), 0u); // name survives, value zeroed
+    EXPECT_TRUE(after.has("c"));
+}
+
+TEST(ShardedCounterTest, MergedSnapshotIsSafeDuringConcurrentWrites)
+{
+    constexpr unsigned kWriters = 4;
+    constexpr u64 kAddsPerWriter = 20000;
+    ShardedCounterRegistry sharded(kWriters);
+
+    std::vector<std::thread> writers;
+    for (unsigned w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&, w] {
+            for (u64 i = 0; i < kAddsPerWriter; ++i) {
+                sharded.withShard(w, [&](CounterRegistry &registry) {
+                    registry.counter("hits").increment();
+                    registry.histogram("value").record(i & 1023);
+                });
+            }
+        });
+    }
+    // Live snapshots while writers run: values are a consistent
+    // monotonic prefix, never garbage and never above the final total.
+    u64 last = 0;
+    for (int probe = 0; probe < 50; ++probe) {
+        u64 seen = sharded.mergedSnapshot().at("hits");
+        EXPECT_GE(seen, last);
+        EXPECT_LE(seen, kWriters * kAddsPerWriter);
+        last = seen;
+    }
+    for (auto &writer : writers)
+        writer.join();
+
+    CounterSnapshot final_snapshot = sharded.mergedSnapshot();
+    EXPECT_EQ(final_snapshot.at("hits"), kWriters * kAddsPerWriter);
+    EXPECT_EQ(final_snapshot.histograms.at("value").count,
+              kWriters * kAddsPerWriter);
+}
+
+TEST(KernelStatsTest, MergeAndDiffAreFieldWise)
+{
+    mem::KernelStats a;
+    a.wildCopyBytes = 100;
+    a.bitioFastRefills = 5;
+    mem::KernelStats b;
+    b.wildCopyBytes = 7;
+    b.matchWordCompares = 3;
+    a.merge(b);
+    EXPECT_EQ(a.wildCopyBytes, 107u);
+    EXPECT_EQ(a.bitioFastRefills, 5u);
+    EXPECT_EQ(a.matchWordCompares, 3u);
+
+    mem::KernelStats delta = a.diff(b);
+    EXPECT_EQ(delta.wildCopyBytes, 100u);
+    EXPECT_EQ(delta.matchWordCompares, 0u);
+    EXPECT_EQ(delta.bitioFastRefills, 5u);
+}
+
+TEST(KernelStatsTest, InstancesArePerThread)
+{
+    // The process-wide accessor hands each thread its own instance;
+    // a worker's codec activity must not bleed into this thread's.
+    mem::kernelStats().reset();
+    mem::KernelStats observed_in_thread;
+    std::thread worker([&] {
+        mem::kernelStats().reset();
+        mem::kernelStats().wildCopyBytes += 42;
+        observed_in_thread = mem::kernelStats();
+    });
+    worker.join();
+    EXPECT_EQ(observed_in_thread.wildCopyBytes, 42u);
+    EXPECT_EQ(mem::kernelStats().wildCopyBytes, 0u);
+}
+
+TEST(TraceTest, ConcurrentEmittersProduceCompleteExport)
+{
+    // TraceSession's mutators are mutex-guarded; N threads emitting
+    // spans concurrently must lose nothing and still export valid
+    // JSON (exercised under TSan in CI).
+    TraceSession session;
+    constexpr unsigned kThreads = 4;
+    constexpr int kSpansPerThread = 500;
+    std::vector<std::thread> emitters;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        emitters.emplace_back([&, t] {
+            for (int i = 0; i < kSpansPerThread; ++i) {
+                session.span("span", "cat", 100 * i, 100 * i + 50, t);
+                if (i % 100 == 0)
+                    session.instant("mark", "cat", 100 * i, t);
+            }
+        });
+    }
+    for (auto &emitter : emitters)
+        emitter.join();
+
+    EXPECT_EQ(session.size(),
+              kThreads * (kSpansPerThread + kSpansPerThread / 100));
+    auto parsed = JsonValue::parse(session.toJsonString());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+    EXPECT_EQ(parsed.value().at("traceEvents").size(), session.size());
 }
 
 } // namespace

@@ -1,0 +1,408 @@
+/**
+ * @file
+ * Serve-layer battery: queue semantics (stealing, backpressure,
+ * shutdown drain) and the engine's determinism contract — any worker
+ * count must replay a stream to byte-identical per-call outputs and
+ * an identical deterministic ("work") counter snapshot versus the
+ * no-thread sequential reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "serve/engine.h"
+#include "serve/queue.h"
+#include "serve/stream_builder.h"
+#include "snappy/decompress.h"
+#include "zstdlite/decompress.h"
+
+namespace cdpu::serve
+{
+namespace
+{
+
+// --- ShardedWorkQueue -------------------------------------------------
+
+TEST(ShardedWorkQueueTest, FifoWithinShard)
+{
+    ShardedWorkQueue<int> queue(1, 8, BackpressurePolicy::block);
+    EXPECT_TRUE(queue.push(0, 1));
+    EXPECT_TRUE(queue.push(0, 2));
+    EXPECT_TRUE(queue.push(0, 3));
+    int item = 0;
+    EXPECT_TRUE(queue.tryPop(0, item));
+    EXPECT_EQ(item, 1);
+    EXPECT_TRUE(queue.tryPop(0, item));
+    EXPECT_EQ(item, 2);
+    EXPECT_TRUE(queue.tryPop(0, item));
+    EXPECT_EQ(item, 3);
+    EXPECT_FALSE(queue.tryPop(0, item));
+}
+
+TEST(ShardedWorkQueueTest, DropPolicyRejectsWhenFull)
+{
+    ShardedWorkQueue<int> queue(2, 2, BackpressurePolicy::drop);
+    EXPECT_TRUE(queue.push(0, 1));
+    EXPECT_TRUE(queue.push(0, 2));
+    EXPECT_FALSE(queue.push(0, 3)); // shard 0 full -> shed
+    EXPECT_TRUE(queue.push(1, 4));  // shard 1 untouched
+    EXPECT_EQ(queue.pendingApprox(), 3);
+}
+
+TEST(ShardedWorkQueueTest, StealsFromOtherShards)
+{
+    ShardedWorkQueue<int> queue(4, 8, BackpressurePolicy::block);
+    EXPECT_TRUE(queue.push(0, 42));
+    int item = 0;
+    bool stolen = false;
+    // Home shard 2 is empty; the scan must find shard 0's item.
+    EXPECT_TRUE(queue.tryPop(2, item, &stolen));
+    EXPECT_EQ(item, 42);
+    EXPECT_TRUE(stolen);
+
+    EXPECT_TRUE(queue.push(1, 7));
+    EXPECT_TRUE(queue.pop(1, item, &stolen));
+    EXPECT_EQ(item, 7);
+    EXPECT_FALSE(stolen); // home hit
+}
+
+TEST(ShardedWorkQueueTest, CloseDrainsAcceptedItems)
+{
+    ShardedWorkQueue<int> queue(2, 8, BackpressurePolicy::block);
+    for (int i = 0; i < 6; ++i)
+        EXPECT_TRUE(queue.push(static_cast<unsigned>(i), i));
+    queue.close();
+    int seen = 0;
+    int item = 0;
+    while (queue.pop(0, item))
+        ++seen;
+    EXPECT_EQ(seen, 6); // nothing accepted is lost on shutdown
+}
+
+TEST(ShardedWorkQueueTest, PopBlocksUntilPushOrClose)
+{
+    ShardedWorkQueue<int> queue(1, 4, BackpressurePolicy::block);
+    std::atomic<int> got{-1};
+    std::thread consumer([&] {
+        int item = 0;
+        if (queue.pop(0, item))
+            got = item;
+    });
+    // The consumer parks; a push must wake it.
+    queue.push(0, 99);
+    consumer.join();
+    EXPECT_EQ(got.load(), 99);
+
+    std::atomic<bool> returned{false};
+    std::thread drained([&] {
+        int item = 0;
+        EXPECT_FALSE(queue.pop(0, item));
+        returned = true;
+    });
+    queue.close();
+    drained.join();
+    EXPECT_TRUE(returned.load());
+}
+
+TEST(ShardedWorkQueueTest, BlockPolicyWaitsForRoom)
+{
+    ShardedWorkQueue<int> queue(1, 1, BackpressurePolicy::block);
+    EXPECT_TRUE(queue.push(0, 1));
+    std::atomic<bool> second_accepted{false};
+    std::thread producer([&] {
+        second_accepted = queue.push(0, 2); // blocks on the full shard
+    });
+    int item = 0;
+    EXPECT_TRUE(queue.pop(0, item));
+    EXPECT_EQ(item, 1);
+    producer.join();
+    EXPECT_TRUE(second_accepted.load());
+    EXPECT_TRUE(queue.tryPop(0, item));
+    EXPECT_EQ(item, 2);
+}
+
+TEST(ShardedWorkQueueTest, ConcurrentProducersConsumersLoseNothing)
+{
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 4;
+    constexpr int kPerProducer = 250;
+    ShardedWorkQueue<int> queue(kConsumers, 16,
+                                BackpressurePolicy::block);
+    std::atomic<long> sum{0};
+    std::atomic<long> count{0};
+
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c) {
+        consumers.emplace_back([&, c] {
+            int item = 0;
+            while (queue.pop(static_cast<unsigned>(c), item)) {
+                sum += item;
+                ++count;
+            }
+        });
+    }
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                queue.push(static_cast<unsigned>(p),
+                           p * kPerProducer + i);
+        });
+    }
+    for (auto &producer : producers)
+        producer.join();
+    queue.close();
+    for (auto &consumer : consumers)
+        consumer.join();
+
+    long n = kProducers * kPerProducer;
+    EXPECT_EQ(count.load(), n);
+    EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+// --- Engine determinism ----------------------------------------------
+
+StreamConfig
+smallStreamConfig()
+{
+    StreamConfig config;
+    config.calls = 72;
+    config.minCallBytes = 512;
+    config.maxCallBytes = 12 * kKiB;
+    config.seed = 7;
+    return config;
+}
+
+void
+expectHistogramsEqual(const obs::CounterSnapshot &a,
+                      const obs::CounterSnapshot &b)
+{
+    ASSERT_EQ(a.histograms.size(), b.histograms.size());
+    for (const auto &[name, hist] : a.histograms) {
+        auto it = b.histograms.find(name);
+        ASSERT_NE(it, b.histograms.end()) << name;
+        EXPECT_EQ(hist.count, it->second.count) << name;
+        EXPECT_EQ(hist.sum, it->second.sum) << name;
+        EXPECT_EQ(hist.min, it->second.min) << name;
+        EXPECT_EQ(hist.max, it->second.max) << name;
+        EXPECT_EQ(hist.buckets, it->second.buckets) << name;
+    }
+}
+
+/** The core differential assertion: parallel == sequential, bytes and
+ *  deterministic counters both. */
+void
+expectReplayMatchesReference(const ReplayReport &parallel,
+                             const ReplayReport &reference)
+{
+    ASSERT_EQ(parallel.outcomes.size(), reference.outcomes.size());
+    EXPECT_EQ(parallel.executed, reference.executed);
+    EXPECT_EQ(parallel.failed, 0u);
+    EXPECT_EQ(parallel.dropped, 0u);
+    for (std::size_t i = 0; i < parallel.outcomes.size(); ++i) {
+        const CallOutcome &got = parallel.outcomes[i];
+        const CallOutcome &want = reference.outcomes[i];
+        ASSERT_TRUE(got.executed) << "call " << i;
+        EXPECT_EQ(got.ok, want.ok) << "call " << i;
+        EXPECT_EQ(got.outputBytes, want.outputBytes) << "call " << i;
+        EXPECT_EQ(got.outputHash, want.outputHash) << "call " << i;
+        EXPECT_EQ(got.output, want.output) << "call " << i;
+    }
+    EXPECT_EQ(parallel.work.counters, reference.work.counters);
+    expectHistogramsEqual(parallel.work, reference.work);
+}
+
+TEST(ReplayEngineTest, SequentialReferenceIsDeterministic)
+{
+    auto stream = buildMixedStream(smallStreamConfig());
+    ASSERT_TRUE(stream.ok());
+    ReplayReport first = replaySequential(stream.value(), true);
+    ReplayReport second = replaySequential(stream.value(), true);
+    EXPECT_EQ(first.failed, 0u);
+    expectReplayMatchesReference(second, first);
+}
+
+TEST(ReplayEngineTest, WorkerCountsAreByteIdenticalToSequential)
+{
+    auto stream = buildMixedStream(smallStreamConfig());
+    ASSERT_TRUE(stream.ok());
+    ReplayReport reference = replaySequential(stream.value(), true);
+    ASSERT_EQ(reference.failed, 0u);
+    ASSERT_EQ(reference.executed, stream.value().size());
+
+    for (unsigned workers : {1u, 2u, 8u}) {
+        EngineConfig config;
+        config.workers = workers;
+        config.recordOutputs = true;
+        ReplayEngine engine(config);
+        ReplayReport report = engine.run(stream.value());
+        SCOPED_TRACE(testing::Message() << workers << " workers");
+        expectReplayMatchesReference(report, reference);
+    }
+}
+
+TEST(ReplayEngineTest, SmallBatchesAndFewShardsStillMatch)
+{
+    auto stream = buildMixedStream(smallStreamConfig());
+    ASSERT_TRUE(stream.ok());
+    ReplayReport reference = replaySequential(stream.value(), true);
+
+    EngineConfig config;
+    config.workers = 4;
+    config.shards = 2;     // more workers than shards: heavy stealing
+    config.batchSize = 1;  // max queue traffic
+    config.shardCapacity = 2; // producer feels backpressure
+    config.recordOutputs = true;
+    ReplayEngine engine(config);
+    expectReplayMatchesReference(engine.run(stream.value()), reference);
+}
+
+TEST(ReplayEngineTest, ShutdownDrainExecutesEveryAcceptedCall)
+{
+    // Block policy + tiny queue: the producer stalls repeatedly and
+    // close() arrives while workers still hold queued batches. Every
+    // call must still execute exactly once.
+    auto stream = buildMixedStream(smallStreamConfig());
+    ASSERT_TRUE(stream.ok());
+    EngineConfig config;
+    config.workers = 2;
+    config.shardCapacity = 1;
+    config.batchSize = 3;
+    ReplayEngine engine(config);
+    ReplayReport report = engine.run(stream.value());
+    EXPECT_EQ(report.executed, stream.value().size());
+    EXPECT_EQ(report.dropped, 0u);
+    EXPECT_EQ(report.failed, 0u);
+    EXPECT_EQ(report.work.at("serve.calls"), stream.value().size());
+}
+
+TEST(ReplayEngineTest, DropPolicyAccountingIsConsistent)
+{
+    // Drops depend on scheduling, so assert the invariants rather than
+    // a drop count: executed + dropped covers the stream, outcomes
+    // agree with the counters, and nothing both dropped and executed.
+    auto stream = buildMixedStream(smallStreamConfig());
+    ASSERT_TRUE(stream.ok());
+    EngineConfig config;
+    config.workers = 2;
+    config.policy = BackpressurePolicy::drop;
+    config.shardCapacity = 1;
+    config.batchSize = 1;
+    ReplayEngine engine(config);
+    ReplayReport report = engine.run(stream.value());
+
+    EXPECT_EQ(report.executed + report.dropped, stream.value().size());
+    EXPECT_EQ(report.work.at("serve.calls"), report.executed);
+    EXPECT_EQ(report.runtime.at("serve.drops"), report.dropped);
+    u64 executed_outcomes = 0;
+    for (const CallOutcome &outcome : report.outcomes)
+        executed_outcomes += outcome.executed ? 1 : 0;
+    EXPECT_EQ(executed_outcomes, report.executed);
+    EXPECT_EQ(report.failed, 0u);
+}
+
+TEST(ReplayEngineTest, WorkCountersCoverEveryCodecAndDirection)
+{
+    StreamConfig stream_config = smallStreamConfig();
+    stream_config.calls = 64;
+    auto stream = buildMixedStream(stream_config);
+    ASSERT_TRUE(stream.ok());
+    ReplayEngine engine(EngineConfig{});
+    ReplayReport report = engine.run(stream.value());
+    EXPECT_EQ(report.work.at("serve.calls"), 64u);
+    for (auto codec : hcb::allServeCodecs()) {
+        EXPECT_GT(
+            report.work.at("serve.calls." + serveCodecName(codec)), 0u)
+            << serveCodecName(codec);
+    }
+    EXPECT_GT(report.work.at("serve.calls.compress"), 0u);
+    EXPECT_GT(report.work.at("serve.calls.decompress"), 0u);
+    EXPECT_GT(report.work.at("serve.bytes.in"), 0u);
+    EXPECT_GT(report.work.at("serve.bytes.out"), 0u);
+    // Fast-path kernel totals must survive the per-thread merge.
+    EXPECT_GT(report.work.at("kernel.mem.wild_copy_bytes"), 0u);
+}
+
+// --- CallStream / appendSuite ----------------------------------------
+
+TEST(CallStreamTest, BatchesPartitionTheStream)
+{
+    hcb::CallStream stream;
+    for (int i = 0; i < 10; ++i)
+        stream.append(hcb::ServeCodec::snappy,
+                      baseline::Direction::compress,
+                      Bytes{static_cast<u8>(i)});
+    auto batches = stream.batches(4);
+    ASSERT_EQ(batches.size(), 3u);
+    EXPECT_EQ(batches[0].count, 4u);
+    EXPECT_EQ(batches[1].count, 4u);
+    EXPECT_EQ(batches[2].count, 2u);
+    std::size_t covered = 0;
+    for (const auto &batch : batches) {
+        for (std::size_t i = 0; i < batch.count; ++i)
+            EXPECT_EQ(batch.calls[i].id, covered + i);
+        covered += batch.count;
+    }
+    EXPECT_EQ(covered, stream.size());
+}
+
+TEST(CallStreamTest, AppendSuitePreCompressesDecompressCalls)
+{
+    hcb::Suite suite;
+    suite.algorithm = baseline::Algorithm::snappy;
+    suite.direction = baseline::Direction::decompress;
+    hcb::BenchmarkFile file;
+    file.data = Bytes(4096, u8{'a'});
+    file.algorithm = baseline::Algorithm::snappy;
+    file.direction = baseline::Direction::decompress;
+    suite.files.push_back(file);
+    file.algorithm = baseline::Algorithm::zstd;
+    file.level = 3;
+    file.windowLog = 16;
+    suite.files.push_back(file);
+
+    hcb::CallStream stream;
+    ASSERT_TRUE(hcb::appendSuite(stream, suite).ok());
+    ASSERT_EQ(stream.size(), 2u);
+
+    // Each payload must be a real frame its codec can decode back to
+    // the original file body.
+    auto snappy_out = snappy::decompress(stream.calls()[0].payload);
+    ASSERT_TRUE(snappy_out.ok());
+    EXPECT_EQ(snappy_out.value(), suite.files[0].data);
+    auto zstd_out = zstdlite::decompress(stream.calls()[1].payload);
+    ASSERT_TRUE(zstd_out.ok());
+    EXPECT_EQ(zstd_out.value(), suite.files[1].data);
+}
+
+TEST(StreamBuilderTest, SameConfigSameStream)
+{
+    auto first = buildMixedStream(smallStreamConfig());
+    auto second = buildMixedStream(smallStreamConfig());
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(second.ok());
+    ASSERT_EQ(first.value().size(), second.value().size());
+    for (std::size_t i = 0; i < first.value().size(); ++i) {
+        const hcb::ReplayCall &a = first.value().calls()[i];
+        const hcb::ReplayCall &b = second.value().calls()[i];
+        EXPECT_EQ(a.codec, b.codec);
+        EXPECT_EQ(a.direction, b.direction);
+        EXPECT_EQ(fnv1a(a.payload), fnv1a(b.payload)) << "call " << i;
+    }
+}
+
+TEST(StreamBuilderTest, RejectsDegenerateConfigs)
+{
+    StreamConfig config;
+    config.calls = 0;
+    EXPECT_FALSE(buildMixedStream(config).ok());
+    config = StreamConfig{};
+    config.minCallBytes = 64;
+    config.maxCallBytes = 32;
+    EXPECT_FALSE(buildMixedStream(config).ok());
+}
+
+} // namespace
+} // namespace cdpu::serve
