@@ -32,8 +32,8 @@ main(int argc, char **argv)
         Bytes data = corpus::generateMixed(size, rng, 8 * kKiB);
         Bytes compressed = snappy::compress(data);
         double xeon_seconds =
-            xeon.seconds(baseline::Algorithm::snappy,
-                         baseline::Direction::decompress, size);
+            xeon.seconds(codec::CodecId::snappy,
+                         codec::Direction::decompress, size);
 
         std::vector<std::string> row = {TablePrinter::bytes(size)};
         for (auto placement :

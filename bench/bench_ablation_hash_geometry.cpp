@@ -22,7 +22,7 @@ main(int argc, char **argv)
     hcb::SuiteGenerator generator(
         fleet, bench::suiteConfigFromArgs(argc, argv));
     hcb::Suite suite = generator.generate(
-        baseline::Algorithm::snappy, baseline::Direction::compress);
+        codec::CodecId::snappy, codec::Direction::compress);
     dse::SweepRunner runner(suite);
 
     auto fn_name = [](lz77::HashFunction fn) {

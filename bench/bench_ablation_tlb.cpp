@@ -23,7 +23,7 @@ main(int argc, char **argv)
     hcb::SuiteGenerator generator(
         fleet, bench::suiteConfigFromArgs(argc, argv));
     hcb::Suite suite = generator.generate(
-        baseline::Algorithm::snappy, baseline::Direction::decompress);
+        codec::CodecId::snappy, codec::Direction::decompress);
     dse::SweepRunner runner(suite);
 
     bench::BenchReport report("ablation_tlb", argc, argv);

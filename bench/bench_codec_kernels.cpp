@@ -15,9 +15,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
+#include "codec/registry.h"
+#include "codec/session.h"
 #include "common/mem.h"
 #include "common/varint.h"
 #include "corpus/generators.h"
@@ -294,13 +298,114 @@ BM_FseDecode(benchmark::State &state)
 }
 BENCHMARK(BM_FseDecode);
 
+/** Whole-buffer round trip through the registry vtable at the codec's
+ *  default parameters — the same entry points the serve layer uses. */
+void
+runRegistryCompress(benchmark::State &state, codec::CodecId id)
+{
+    const codec::CodecVTable &vtable = codec::registry(id);
+    Bytes data = makeData(0, 256 * kKiB); // text
+    const codec::CodecParams params = vtable.caps.clamp(
+        vtable.caps.defaultLevel, vtable.caps.defaultWindowLog);
+    Bytes out;
+    for (auto _ : state) {
+        if (!vtable.compressInto(data, params, out).ok())
+            state.SkipWithError("compress failed");
+        benchmark::DoNotOptimize(out.data());
+    }
+    setThroughput(state, data.size());
+}
+
+void
+runRegistryDecompress(benchmark::State &state, codec::CodecId id)
+{
+    const codec::CodecVTable &vtable = codec::registry(id);
+    Bytes data = makeData(0, 256 * kKiB);
+    const codec::CodecParams params = vtable.caps.clamp(
+        vtable.caps.defaultLevel, vtable.caps.defaultWindowLog);
+    Bytes compressed;
+    if (!vtable.compressInto(data, params, compressed).ok()) {
+        state.SkipWithError("pre-compress failed");
+        return;
+    }
+    Bytes out;
+    for (auto _ : state) {
+        if (!vtable.decompressInto(compressed, out).ok())
+            state.SkipWithError("decompress failed");
+        benchmark::DoNotOptimize(out.data());
+    }
+    setThroughput(state, data.size());
+}
+
+/** Session-API round trip fed in 4 KiB chunks: what streaming RPC
+ *  traffic pays relative to the whole-buffer entry points. */
+void
+runRegistryStreamDecompress(benchmark::State &state, codec::CodecId id)
+{
+    const codec::CodecVTable &vtable = codec::registry(id);
+    Bytes data = makeData(0, 256 * kKiB);
+    const codec::CodecParams params = vtable.caps.clamp(
+        vtable.caps.defaultLevel, vtable.caps.defaultWindowLog);
+    // Streaming decoders consume the session container (for snappy it
+    // differs from the raw buffer format), so produce it with one.
+    Bytes compressed;
+    {
+        auto session = vtable.makeCompressSession(params);
+        if (!codec::compressAll(*session, data, 0, compressed).ok()) {
+            state.SkipWithError("session pre-compress failed");
+            return;
+        }
+    }
+    Bytes out;
+    for (auto _ : state) {
+        auto session = vtable.makeDecompressSession();
+        out.clear();
+        if (!codec::decompressAll(*session, compressed, 4 * kKiB, out)
+                 .ok())
+            state.SkipWithError("stream decompress failed");
+        benchmark::DoNotOptimize(out.data());
+    }
+    setThroughput(state, data.size());
+}
+
+/** Registers the registry-driven benchmarks (one trio per codec) and
+ *  publishes each codec's capability metadata into the benchmark
+ *  context so --json output is self-describing. */
+void
+registerRegistryBenchmarks()
+{
+    for (codec::CodecId id : codec::allCodecs()) {
+        std::string name = codec::codecName(id);
+        benchmark::RegisterBenchmark(
+            ("BM_Codec/" + name + "/compress").c_str(),
+            [id](benchmark::State &state) {
+                runRegistryCompress(state, id);
+            });
+        benchmark::RegisterBenchmark(
+            ("BM_Codec/" + name + "/decompress").c_str(),
+            [id](benchmark::State &state) {
+                runRegistryDecompress(state, id);
+            });
+        benchmark::RegisterBenchmark(
+            ("BM_Codec/" + name + "/stream_decompress").c_str(),
+            [id](benchmark::State &state) {
+                runRegistryStreamDecompress(state, id);
+            });
+        benchmark::AddCustomContext("codec." + name,
+                                    bench::codecCapsJson(id).dump(0));
+    }
+}
+
 } // namespace
 
 /**
  * Custom main so this binary honors the repo-wide `--json <path>`
- * telemetry flag: it is translated into google-benchmark's native
+ * telemetry flag (translated into google-benchmark's native
  * `--benchmark_out` / `--benchmark_out_format=json` pair before
- * benchmark::Initialize consumes argv.
+ * benchmark::Initialize consumes argv) and the registry-driven
+ * `--codec <name>` filter, which resolves the name through
+ * codec::codecFromName and narrows the run to that codec's
+ * BM_Codec/<name>/ benchmarks.
  */
 int
 main(int argc, char **argv)
@@ -309,6 +414,22 @@ main(int argc, char **argv)
     for (int i = 0; i < argc; ++i) {
         std::string arg = argv[i];
         std::string path;
+        if (arg.rfind("--codec=", 0) == 0 ||
+            (arg == "--codec" && i + 1 < argc)) {
+            std::string name = arg.rfind("--codec=", 0) == 0
+                                   ? arg.substr(8)
+                                   : std::string(argv[++i]);
+            auto id = cdpu::codec::codecFromName(name);
+            if (!id.ok()) {
+                std::fprintf(stderr, "--codec %s: %s\n", name.c_str(),
+                             id.status().message().c_str());
+                return 1;
+            }
+            arg_storage.push_back(
+                "--benchmark_filter=BM_Codec/" +
+                cdpu::codec::codecName(id.value()) + "/");
+            continue;
+        }
         if (arg.rfind("--json=", 0) == 0) {
             path = arg.substr(7);
         } else if (arg == "--json" && i + 1 < argc) {
@@ -320,6 +441,7 @@ main(int argc, char **argv)
         arg_storage.push_back("--benchmark_out=" + path);
         arg_storage.push_back("--benchmark_out_format=json");
     }
+    registerRegistryBenchmarks();
     std::vector<char *> args;
     for (std::string &arg : arg_storage)
         args.push_back(arg.data());

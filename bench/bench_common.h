@@ -16,6 +16,7 @@
 #include <fstream>
 #include <string>
 
+#include "codec/registry.h"
 #include "common/cli.h"
 #include "hyperbench/suite_generator.h"
 #include "obs/counters.h"
@@ -23,6 +24,38 @@
 
 namespace cdpu::bench
 {
+
+/** Capability metadata for one codec as a JSON object, so telemetry
+ *  records are self-describing about what the codec under test can do
+ *  (levels, window range, expansion bound, streaming support). */
+inline obs::JsonValue
+codecCapsJson(codec::CodecId id)
+{
+    const codec::CodecCaps &caps = codec::registry(id).caps;
+    obs::JsonValue json = obs::JsonValue::object();
+    json.set("name", caps.name);
+    json.set("display_name", caps.displayName);
+    json.set("has_levels", caps.hasLevels);
+    if (caps.hasLevels) {
+        json.set("min_level", caps.minLevel);
+        json.set("max_level", caps.maxLevel);
+    }
+    json.set("default_level", caps.defaultLevel);
+    json.set("has_window", caps.hasWindow);
+    if (caps.hasWindow) {
+        json.set("min_window_log", u64{caps.minWindowLog});
+        json.set("max_window_log", u64{caps.maxWindowLog});
+    }
+    json.set("default_window_log", u64{caps.defaultWindowLog});
+    json.set("max_expansion_num", u64{caps.maxExpansionNum});
+    json.set("max_expansion_den", u64{caps.maxExpansionDen});
+    json.set("max_expansion_slop", u64{caps.maxExpansionSlop});
+    json.set("incremental_compress", caps.incrementalCompress);
+    json.set("incremental_decompress", caps.incrementalDecompress);
+    json.set("streaming_shares_buffer_format",
+             caps.streamingSharesBufferFormat);
+    return json;
+}
 
 /** Prints the standard bench banner. */
 inline void

@@ -41,12 +41,12 @@ main(int argc, char **argv)
     TablePrinter series({"Month", "C-Snappy", "D-Snappy", "C-ZSTD",
                          "D-ZSTD", "C-Flate", "D-Flate"});
     std::vector<Channel> channels = {
-        {FleetAlgorithm::snappy, Direction::compress},
-        {FleetAlgorithm::snappy, Direction::decompress},
-        {FleetAlgorithm::zstd, Direction::compress},
-        {FleetAlgorithm::zstd, Direction::decompress},
-        {FleetAlgorithm::flate, Direction::compress},
-        {FleetAlgorithm::flate, Direction::decompress},
+        {FleetCodec::snappy, Direction::compress},
+        {FleetCodec::snappy, Direction::decompress},
+        {FleetCodec::zstd, Direction::compress},
+        {FleetCodec::zstd, Direction::decompress},
+        {FleetCodec::flate, Direction::compress},
+        {FleetCodec::flate, Direction::decompress},
     };
     std::vector<std::vector<double>> lines;
     for (const auto &channel : channels)

@@ -27,7 +27,7 @@ main(int argc, char **argv)
 
     // --- Figure 2a ------------------------------------------------------
     TablePrinter bytes_table({"Channel", "% of fleet uncomp. bytes"});
-    for (FleetAlgorithm algorithm : allFleetAlgorithms()) {
+    for (FleetCodec algorithm : allFleetCodecs()) {
         for (Direction direction :
              {Direction::compress, Direction::decompress}) {
             Channel channel{algorithm, direction};
@@ -73,14 +73,14 @@ main(int argc, char **argv)
     // --- Section 3.3.4 --------------------------------------------------
     baseline::XeonCostModel xeon;
     double snappy_cpb = 1.0 / xeon.throughputGBps(
-                                  baseline::Algorithm::snappy,
-                                  baseline::Direction::compress);
+                                  codec::CodecId::snappy,
+                                  codec::Direction::compress);
     double zstd_low_cpb = 1.0 / xeon.throughputGBps(
-                                    baseline::Algorithm::zstd,
-                                    baseline::Direction::compress, 3);
+                                    codec::CodecId::zstdlite,
+                                    codec::Direction::compress, 3);
     double zstd_high_cpb = 1.0 / xeon.throughputGBps(
-                                     baseline::Algorithm::zstd,
-                                     baseline::Direction::compress, 9);
+                                     codec::CodecId::zstdlite,
+                                     codec::Direction::compress, 9);
     TablePrinter cost_table({"Comparison", "Model", "Paper"});
     cost_table.addRow({"ZStd-low vs Snappy compress cost/B",
                        TablePrinter::num(zstd_low_cpb / snappy_cpb, 2) +
@@ -91,10 +91,10 @@ main(int argc, char **argv)
                                          2) +
                            "x",
                        "2.39x"});
-    double snappy_d = xeon.throughputGBps(baseline::Algorithm::snappy,
-                                          baseline::Direction::decompress);
-    double zstd_d = xeon.throughputGBps(baseline::Algorithm::zstd,
-                                        baseline::Direction::decompress);
+    double snappy_d = xeon.throughputGBps(codec::CodecId::snappy,
+                                          codec::Direction::decompress);
+    double zstd_d = xeon.throughputGBps(codec::CodecId::zstdlite,
+                                        codec::Direction::decompress);
     cost_table.addRow({"ZStd vs Snappy decompress cost/B",
                        TablePrinter::num(snappy_d / zstd_d, 2) + "x",
                        "1.63x (fleet aggregate)"});

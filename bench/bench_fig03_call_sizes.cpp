@@ -22,10 +22,10 @@ main(int argc, char **argv)
     auto records = sampler.sampleFinalMonth(150000);
 
     std::vector<Channel> channels = {
-        {FleetAlgorithm::snappy, Direction::compress},
-        {FleetAlgorithm::zstd, Direction::compress},
-        {FleetAlgorithm::snappy, Direction::decompress},
-        {FleetAlgorithm::zstd, Direction::decompress},
+        {FleetCodec::snappy, Direction::compress},
+        {FleetCodec::zstd, Direction::compress},
+        {FleetCodec::snappy, Direction::decompress},
+        {FleetCodec::zstd, Direction::decompress},
     };
 
     TablePrinter table({"ceil(lg2(B))", "Snappy-C", "ZSTD-C",

@@ -54,7 +54,7 @@ main(int argc, char **argv)
 
     fleet::FleetModel fleet;
     const WeightedHistogram &fleet_sizes = fleet.callSizeDistribution(
-        {fleet::FleetAlgorithm::snappy, fleet::Direction::compress});
+        {fleet::FleetCodec::snappy, fleet::Direction::compress});
 
     TablePrinter table(
         {"ceil(lg2(B))", "Open-source cum %", "Fleet Snappy-C cum %"});

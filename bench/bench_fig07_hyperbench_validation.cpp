@@ -31,16 +31,17 @@ main(int argc, char **argv)
                           "KS dist vs fleet", "Achieved ratio",
                           "Fleet ratio", "Ratio error"});
 
-    for (Algorithm algorithm : {Algorithm::snappy, Algorithm::zstd}) {
+    for (codec::CodecId algorithm :
+         {codec::CodecId::snappy, codec::CodecId::zstdlite}) {
         for (Direction direction :
              {Direction::compress, Direction::decompress}) {
             Suite suite = generator.generate(algorithm, direction);
             ValidationReport report =
                 validateSuite(suite, fleet, config.maxFileBytes);
 
-            std::string name = baseline::algorithmName(algorithm) +
+            std::string name = codec::codecDisplayName(algorithm) +
                                "-" +
-                               baseline::directionName(direction);
+                               codec::directionName(direction);
             telemetry.metric(name + "_ks_distance",
                              report.callSizeKsDistance);
             telemetry.metric(name + "_ratio_error",

@@ -22,7 +22,7 @@ main(int argc, char **argv)
     fleet::FleetModel fleet;
     hcb::SuiteGenerator generator(fleet, suite_config);
     hcb::Suite suite = generator.generate(
-        baseline::Algorithm::zstd, baseline::Direction::compress);
+        codec::CodecId::zstdlite, codec::Direction::compress);
     std::printf("Suite: %zu files, %s uncompressed\n\n",
                 suite.files.size(),
                 TablePrinter::bytes(suite.totalBytes()).c_str());

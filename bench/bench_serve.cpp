@@ -53,7 +53,8 @@ run(int argc, char **argv)
     serve::StreamConfig stream_config;
     unsigned max_workers = 8;
     if (args.parse(argc, argv,
-                   {"calls", "min", "max", "seed", "workers", "json"})) {
+                   {"calls", "min", "max", "seed", "workers", "codec",
+                    "streaming", "json"})) {
         stream_config.calls =
             static_cast<std::size_t>(args.getInt("calls", 192));
         stream_config.minCallBytes =
@@ -63,6 +64,21 @@ run(int argc, char **argv)
         stream_config.seed = static_cast<u64>(args.getInt("seed", 2023));
         max_workers =
             static_cast<unsigned>(args.getInt("workers", 8));
+        // --streaming P routes P% of calls through the codec session
+        // API instead of one whole-buffer call per payload.
+        stream_config.streamingFraction =
+            static_cast<double>(args.getInt("streaming", 0)) / 100.0;
+        std::string codec_name = args.getString("codec", "");
+        if (!codec_name.empty()) {
+            auto id = codec::codecFromName(codec_name);
+            if (!id.ok()) {
+                std::fprintf(stderr, "--codec %s: %s\n",
+                             codec_name.c_str(),
+                             id.status().message().c_str());
+                return 1;
+            }
+            stream_config.codecs = {id.value()};
+        }
     }
     max_workers = std::max(1u, max_workers);
 
@@ -91,6 +107,18 @@ run(int argc, char **argv)
     report.config("host_cpus",
                   u64{std::thread::hardware_concurrency()});
     report.config("policy", std::string("block"));
+    report.config("streaming_fraction",
+                  stream_config.streamingFraction);
+
+    // Self-describing telemetry: the capability metadata of every
+    // codec the stream exercises, straight from the registry.
+    obs::JsonValue codecs_json = obs::JsonValue::array();
+    const std::vector<codec::CodecId> &stream_codecs =
+        stream_config.codecs.empty() ? codec::allCodecs()
+                                     : stream_config.codecs;
+    for (codec::CodecId id : stream_codecs)
+        codecs_json.push(bench::codecCapsJson(id));
+    report.config("codecs", std::move(codecs_json));
 
     std::printf("\ncalls: %zu   payload: %.1f MiB   host cpus: %u\n\n",
                 stream.value().size(),

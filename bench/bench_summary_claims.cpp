@@ -15,8 +15,8 @@
 #include "dse/figure_tables.h"
 
 using namespace cdpu;
-using baseline::Algorithm;
-using baseline::Direction;
+using codec::CodecId;
+using Direction = codec::Direction;
 
 int
 main(int argc, char **argv)
@@ -30,19 +30,19 @@ main(int argc, char **argv)
     struct Entry
     {
         const char *name;
-        Algorithm algorithm;
+        CodecId algorithm;
         Direction direction;
         double paperSpeedup;
         double paperAreaMm2;
     };
     const Entry entries[] = {
-        {"Snappy decompress", Algorithm::snappy, Direction::decompress,
+        {"Snappy decompress", CodecId::snappy, Direction::decompress,
          10.4, 0.431},
-        {"Snappy compress", Algorithm::snappy, Direction::compress,
+        {"Snappy compress", CodecId::snappy, Direction::compress,
          16.2, 0.851},
-        {"ZStd decompress", Algorithm::zstd, Direction::decompress, 4.2,
+        {"ZStd decompress", CodecId::zstdlite, Direction::decompress, 4.2,
          1.90},
-        {"ZStd compress", Algorithm::zstd, Direction::compress, 15.8,
+        {"ZStd compress", CodecId::zstdlite, Direction::compress, 15.8,
          3.48},
     };
 
@@ -78,7 +78,7 @@ main(int argc, char **argv)
                 max_speedup = std::max(max_speedup, speedup);
             }
         }
-        if (entry.algorithm == Algorithm::zstd &&
+        if (entry.algorithm == CodecId::zstdlite &&
             entry.direction == Direction::decompress) {
             for (unsigned spec : {4u, 32u}) {
                 hw::CdpuConfig config;

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Prints the README's codec capability table straight from the
+ * registry (codec::allCodecs()), so documentation and code cannot
+ * drift: regenerate with `./codec_table --markdown` and paste the
+ * output into README.md when a codec is added or its caps change.
+ *
+ * Default output is the human TablePrinter form; --markdown emits the
+ * GitHub-flavored table the README embeds.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "codec/registry.h"
+#include "common/table.h"
+
+namespace cdpu
+{
+namespace
+{
+
+std::string
+levelRange(const codec::CodecCaps &caps)
+{
+    if (!caps.hasLevels)
+        return "-";
+    return std::to_string(caps.minLevel) + ".." +
+           std::to_string(caps.maxLevel) + " (default " +
+           std::to_string(caps.defaultLevel) + ")";
+}
+
+std::string
+windowRange(const codec::CodecCaps &caps)
+{
+    if (!caps.hasWindow)
+        return "-";
+    return "2^" + std::to_string(caps.minWindowLog) + "..2^" +
+           std::to_string(caps.maxWindowLog) + " (default 2^" +
+           std::to_string(caps.defaultWindowLog) + ")";
+}
+
+std::string
+streamingSupport(const codec::CodecCaps &caps)
+{
+    std::string compress =
+        caps.incrementalCompress ? "incremental" : "buffered";
+    std::string decompress =
+        caps.incrementalDecompress ? "incremental" : "buffered";
+    std::string cell = compress + " C / " + decompress + " D";
+    if (!caps.streamingSharesBufferFormat)
+        cell += " (framed)";
+    return cell;
+}
+
+int
+run(bool markdown)
+{
+    if (markdown) {
+        std::printf("| Codec | `--codec` name | Levels | Window | "
+                    "Streaming sessions |\n");
+        std::printf("|---|---|---|---|---|\n");
+        for (codec::CodecId id : codec::allCodecs()) {
+            const codec::CodecCaps &caps = codec::registry(id).caps;
+            std::printf("| %s | `%s` | %s | %s | %s |\n",
+                        caps.displayName, caps.name,
+                        levelRange(caps).c_str(),
+                        windowRange(caps).c_str(),
+                        streamingSupport(caps).c_str());
+        }
+        return 0;
+    }
+
+    TablePrinter table(
+        {"Codec", "Name", "Levels", "Window", "Streaming sessions"});
+    for (codec::CodecId id : codec::allCodecs()) {
+        const codec::CodecCaps &caps = codec::registry(id).caps;
+        table.addRow({caps.displayName, caps.name, levelRange(caps),
+                      windowRange(caps), streamingSupport(caps)});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
+
+} // namespace
+} // namespace cdpu
+
+int
+main(int argc, char **argv)
+{
+    bool markdown = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--markdown") == 0)
+            markdown = true;
+    }
+    return cdpu::run(markdown);
+}

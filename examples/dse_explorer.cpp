@@ -26,14 +26,14 @@ main(int argc, char **argv)
         return 1;
     }
 
-    baseline::Algorithm algorithm =
+    codec::CodecId algorithm =
         args.getString("algo", "snappy") == "zstd"
-            ? baseline::Algorithm::zstd
-            : baseline::Algorithm::snappy;
-    baseline::Direction direction =
+            ? codec::CodecId::zstdlite
+            : codec::CodecId::snappy;
+    codec::Direction direction =
         args.getString("dir", "decompress") == "compress"
-            ? baseline::Direction::compress
-            : baseline::Direction::decompress;
+            ? codec::Direction::compress
+            : codec::Direction::decompress;
 
     hw::CdpuConfig config;
     std::string placement = args.getString("placement", "rocc");
@@ -64,8 +64,8 @@ main(int argc, char **argv)
     hcb::Suite suite = generator.generate(algorithm, direction);
     std::printf("Evaluating %s on %s-%s (%zu files, %s)\n",
                 config.label().c_str(),
-                baseline::algorithmName(algorithm).c_str(),
-                baseline::directionName(direction).c_str(),
+                codec::codecDisplayName(algorithm).c_str(),
+                codec::directionName(direction).c_str(),
                 suite.files.size(),
                 TablePrinter::bytes(suite.totalBytes()).c_str());
 

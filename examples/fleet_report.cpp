@@ -50,7 +50,7 @@ main(int argc, char **argv)
             {row.label, TablePrinter::percent(row.measured)});
     std::printf("%s\n", libraries.render().c_str());
 
-    Channel snappy_d{FleetAlgorithm::snappy, Direction::decompress};
+    Channel snappy_d{FleetCodec::snappy, Direction::decompress};
     WeightedHistogram sizes = callSizeHistogram(records, snappy_d);
     std::printf("Snappy decompression: median call 2^%.0f bytes, 90th "
                 "percentile 2^%.0f bytes.\n",

@@ -38,15 +38,16 @@ main(int argc, char **argv)
 
     TablePrinter summary({"Suite", "Files", "Bytes", "KS vs fleet",
                           "Ratio", "Fleet ratio"});
-    for (Algorithm algorithm : {Algorithm::snappy, Algorithm::zstd}) {
+    for (codec::CodecId algorithm :
+         {codec::CodecId::snappy, codec::CodecId::zstdlite}) {
         for (Direction direction :
              {Direction::compress, Direction::decompress}) {
             Suite suite = generator.generate(algorithm, direction);
             ValidationReport report =
                 validateSuite(suite, fleet, config.maxFileBytes);
-            std::string name = baseline::algorithmName(algorithm) +
+            std::string name = codec::codecDisplayName(algorithm) +
                                "-" +
-                               baseline::directionName(direction);
+                               codec::directionName(direction);
             summary.addRow({name, std::to_string(suite.files.size()),
                             TablePrinter::bytes(suite.totalBytes()),
                             TablePrinter::num(report.callSizeKsDistance,

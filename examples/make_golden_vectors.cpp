@@ -16,11 +16,8 @@
 #include <fstream>
 #include <string>
 
+#include "codec/registry.h"
 #include "corpus/generators.h"
-#include "flatelite/compress.h"
-#include "gipfeli/gipfeli.h"
-#include "snappy/compress.h"
-#include "zstdlite/compress.h"
 
 namespace cdpu
 {
@@ -65,30 +62,25 @@ run(const std::string &dir)
         if (!writeFile(base + ".raw", raw))
             return 1;
 
-        Bytes frame = snappy::compress(raw);
-        if (!writeFile(base + ".snappy", frame))
-            return 1;
-
-        auto zstd = zstdlite::compress(raw);
-        if (!zstd.ok()) {
-            std::fprintf(stderr, "zstdlite: %s\n",
-                         zstd.status().message().c_str());
-            return 1;
+        // One frame per registered codec at its default parameters —
+        // the registry defaults are pinned to the historical encoder
+        // configs, so regenerating must not change committed frames.
+        for (codec::CodecId id : codec::allCodecs()) {
+            const codec::CodecVTable &vtable = codec::registry(id);
+            const codec::CodecParams params = vtable.caps.clamp(
+                vtable.caps.defaultLevel,
+                vtable.caps.defaultWindowLog);
+            Bytes frame;
+            Status status = vtable.compressInto(raw, params, frame);
+            if (!status.ok()) {
+                std::fprintf(stderr, "%s: %s\n",
+                             vtable.caps.name,
+                             status.message().c_str());
+                return 1;
+            }
+            if (!writeFile(base + "." + vtable.caps.name, frame))
+                return 1;
         }
-        if (!writeFile(base + ".zstdlite", zstd.value()))
-            return 1;
-
-        auto flate = flatelite::compress(raw);
-        if (!flate.ok()) {
-            std::fprintf(stderr, "flatelite: %s\n",
-                         flate.status().message().c_str());
-            return 1;
-        }
-        if (!writeFile(base + ".flatelite", flate.value()))
-            return 1;
-
-        if (!writeFile(base + ".gipfeli", gipfeli::compress(raw)))
-            return 1;
     }
     return 0;
 }

@@ -1,11 +1,9 @@
 #include "baseline/lzbench_harness.h"
 
+#include <algorithm>
 #include <chrono>
 
-#include "snappy/compress.h"
-#include "snappy/decompress.h"
-#include "zstdlite/compress.h"
-#include "zstdlite/decompress.h"
+#include "codec/registry.h"
 
 namespace cdpu::baseline
 {
@@ -24,31 +22,26 @@ secondsSince(Clock::time_point start)
 } // namespace
 
 Result<LzBenchResult>
-runLzBench(Algorithm algorithm, Direction direction, int level,
+runLzBench(codec::CodecId codec, Direction direction, int level,
            ByteSpan data, unsigned iterations)
 {
     if (iterations == 0)
         return Status::invalid("iterations must be positive");
 
+    const codec::CodecVTable &vtable = codec::registry(codec);
+    const codec::CodecParams params =
+        vtable.caps.clamp(level, vtable.caps.defaultWindowLog);
+
     LzBenchResult result;
-    result.algorithm = algorithm;
+    result.codec = codec;
     result.direction = direction;
-    result.level = level;
+    result.level = params.level;
     result.uncompressedBytes = data.size();
     result.iterations = iterations;
 
     // Produce the compressed form once (also the decompress input).
     Bytes compressed;
-    if (algorithm == Algorithm::snappy) {
-        compressed = snappy::compress(data);
-    } else {
-        zstdlite::CompressorConfig config;
-        config.level = level;
-        auto out = zstdlite::compress(data, config);
-        if (!out.ok())
-            return out.status();
-        compressed = std::move(out).value();
-    }
+    CDPU_RETURN_IF_ERROR(vtable.compressInto(data, params, compressed));
     result.compressedBytes = compressed.size();
 
     auto verify = [&](const Bytes &roundtrip) -> Status {
@@ -60,32 +53,17 @@ runLzBench(Algorithm algorithm, Direction direction, int level,
         return Status::okStatus();
     };
 
+    Bytes scratch;
     auto start = Clock::now();
     for (unsigned i = 0; i < iterations; ++i) {
         if (direction == Direction::compress) {
-            if (algorithm == Algorithm::snappy) {
-                Bytes out = snappy::compress(data);
-                result.compressedBytes = out.size();
-            } else {
-                zstdlite::CompressorConfig config;
-                config.level = level;
-                auto out = zstdlite::compress(data, config);
-                if (!out.ok())
-                    return out.status();
-                result.compressedBytes = out.value().size();
-            }
+            CDPU_RETURN_IF_ERROR(
+                vtable.compressInto(data, params, scratch));
+            result.compressedBytes = scratch.size();
         } else {
-            if (algorithm == Algorithm::snappy) {
-                auto out = snappy::decompress(compressed);
-                if (!out.ok())
-                    return out.status();
-                CDPU_RETURN_IF_ERROR(verify(out.value()));
-            } else {
-                auto out = zstdlite::decompress(compressed);
-                if (!out.ok())
-                    return out.status();
-                CDPU_RETURN_IF_ERROR(verify(out.value()));
-            }
+            CDPU_RETURN_IF_ERROR(
+                vtable.decompressInto(compressed, scratch));
+            CDPU_RETURN_IF_ERROR(verify(scratch));
         }
     }
     result.hostSeconds = secondsSince(start);

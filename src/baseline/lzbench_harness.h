@@ -6,7 +6,10 @@
  * Unlike XeonCostModel — which reports the paper's calibrated Xeon
  * numbers — this harness genuinely runs this repository's codecs on
  * the host and measures wall time, verifying round-trips as it goes.
- * The codec-kernel benchmark binary reports both, clearly labeled.
+ * It is codec-agnostic: any registered codec benches through the
+ * registry's uniform entry points, with parameters clamped to the
+ * codec's capability metadata. The codec-kernel benchmark binary
+ * reports both, clearly labeled.
  */
 
 #ifndef CDPU_BASELINE_LZBENCH_HARNESS_H_
@@ -19,10 +22,10 @@
 namespace cdpu::baseline
 {
 
-/** One measured (algorithm, direction, level) datapoint. */
+/** One measured (codec, direction, level) datapoint. */
 struct LzBenchResult
 {
-    Algorithm algorithm = Algorithm::snappy;
+    codec::CodecId codec = codec::CodecId::snappy;
     Direction direction = Direction::compress;
     int level = 3;
     std::size_t uncompressedBytes = 0;
@@ -51,7 +54,7 @@ struct LzBenchResult
 
 /** Runs compress (and optionally decompress) of @p data, verifying the
  *  round trip; @p iterations repeats for timing stability. */
-Result<LzBenchResult> runLzBench(Algorithm algorithm,
+Result<LzBenchResult> runLzBench(codec::CodecId codec,
                                  Direction direction, int level,
                                  ByteSpan data, unsigned iterations = 3);
 

@@ -6,25 +6,28 @@
 namespace cdpu::baseline
 {
 
-std::string
-algorithmName(Algorithm algorithm)
-{
-    return algorithm == Algorithm::snappy ? "Snappy" : "ZStd";
-}
-
-std::string
-directionName(Direction direction)
-{
-    return direction == Direction::compress ? "compress" : "decompress";
-}
-
 double
-XeonCostModel::throughputGBps(Algorithm algorithm, Direction direction,
-                              int level) const
+XeonCostModel::throughputGBps(codec::CodecId codec,
+                              Direction direction, int level) const
 {
-    if (algorithm == Algorithm::snappy) {
+    if (codec == codec::CodecId::snappy) {
         // Snappy has no levels.
         return direction == Direction::compress ? 0.36 : 1.1;
+    }
+
+    if (codec == codec::CodecId::gipfeli) {
+        // Gipfeli targets ~65% of Snappy's speed at better ratios
+        // (Lenhardt & Alakuijala, DCC'12); no levels.
+        return direction == Direction::compress ? 0.25 : 0.7;
+    }
+
+    if (codec == codec::CodecId::flatelite) {
+        // zlib-class DEFLATE on a Xeon core: decode is roughly fixed,
+        // encode slows toward level 9.
+        if (direction == Direction::decompress)
+            return 0.4;
+        int clamped = std::clamp(level, 1, 9);
+        return 0.14 * std::pow(0.82, clamped - 1);
     }
 
     if (direction == Direction::decompress) {
@@ -47,10 +50,10 @@ XeonCostModel::throughputGBps(Algorithm algorithm, Direction direction,
 }
 
 double
-XeonCostModel::seconds(Algorithm algorithm, Direction direction,
+XeonCostModel::seconds(codec::CodecId codec, Direction direction,
                        std::size_t uncompressed_bytes, int level) const
 {
-    double gbps = throughputGBps(algorithm, direction, level);
+    double gbps = throughputGBps(codec, direction, level);
     return callOverheadSeconds() +
            static_cast<double>(uncompressed_bytes) / (gbps * 1e9);
 }

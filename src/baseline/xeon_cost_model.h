@@ -11,44 +11,35 @@
  *   ZStd  decompress  0.94 GB/s     ZStd  compress  0.22 GB/s
  *
  * and to the fleet cost multipliers of Section 3.3.4 for level scaling
- * (ZStd-high pays 2.39x the per-byte cost of ZStd-low).
+ * (ZStd-high pays 2.39x the per-byte cost of ZStd-low). Flate and
+ * Gipfeli are not DSE targets, so their anchors are representative
+ * host-class figures (zlib-6 and the Gipfeli paper's ~3x-zlib claim),
+ * present so every registered codec prices through one model.
  */
 
 #ifndef CDPU_BASELINE_XEON_COST_MODEL_H_
 #define CDPU_BASELINE_XEON_COST_MODEL_H_
 
 #include <cstddef>
-#include <string>
+
+#include "codec/codec.h"
 
 namespace cdpu::baseline
 {
 
-/** The two algorithms the evaluation focuses on (Section 3.2). */
-enum class Algorithm
-{
-    snappy,
-    zstd,
-};
-
-enum class Direction
-{
-    compress,
-    decompress,
-};
-
-std::string algorithmName(Algorithm algorithm);
-std::string directionName(Direction direction);
+/** Call directions are the codec layer's; baseline adds no state. */
+using Direction = codec::Direction;
 
 /** Calibrated single-core Xeon throughput model. */
 class XeonCostModel
 {
   public:
     /** Sustained throughput over uncompressed bytes, in GB/s. */
-    double throughputGBps(Algorithm algorithm, Direction direction,
+    double throughputGBps(codec::CodecId codec, Direction direction,
                           int level = 3) const;
 
     /** Wall time to process @p uncompressed_bytes. */
-    double seconds(Algorithm algorithm, Direction direction,
+    double seconds(codec::CodecId codec, Direction direction,
                    std::size_t uncompressed_bytes, int level = 3) const;
 
     /** Per-call fixed software overhead (dispatch, allocation). */

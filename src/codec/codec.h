@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Codec identity: the single enum every layer dispatches on.
+ *
+ * The paper's fleet runs many (de)compression algorithms behind one
+ * usage profile (Section 3, Figure 2); this repository used to mirror
+ * that with two rival selectors (baseline::Algorithm for the DSE pair,
+ * hcb::ServeCodec for the serve layer) glued together by a conversion
+ * function. CodecId replaces both: one identifier per registered
+ * codec, resolved to behaviour through the registry (registry.h), so
+ * adding a codec is a registration instead of a fleet-wide edit.
+ */
+
+#ifndef CDPU_CODEC_CODEC_H_
+#define CDPU_CODEC_CODEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace cdpu::codec
+{
+
+/** Every codec implemented from scratch in this repository
+ *  (DESIGN.md §2). Values index the registry table. */
+enum class CodecId : u8
+{
+    snappy = 0,
+    zstdlite = 1,
+    flatelite = 2,
+    gipfeli = 3,
+};
+
+inline constexpr std::size_t kNumCodecs = 4;
+
+/** Which way a call moves bytes. Canonical home of the enum that the
+ *  baseline/hyperbench/serve layers all share. */
+enum class Direction
+{
+    compress,
+    decompress,
+};
+
+/** All registered codec ids, in registry order. */
+const std::vector<CodecId> &allCodecs();
+
+/** Stable lowercase identifier ("snappy", "zstdlite", ...): CLI flags,
+ *  counter names, golden-vector file extensions. */
+std::string codecName(CodecId id);
+
+/** Human-facing name ("Snappy", "ZStd", ...) for tables and reports. */
+std::string codecDisplayName(CodecId id);
+
+/** Resolves a lowercase identifier back to its id (CLI --codec). */
+Result<CodecId> codecFromName(const std::string &name);
+
+std::string directionName(Direction direction);
+
+} // namespace cdpu::codec
+
+#endif // CDPU_CODEC_CODEC_H_

@@ -1,0 +1,109 @@
+#include "codec/registry.h"
+
+#include <algorithm>
+#include <array>
+
+#include "codec/vtables.h"
+
+namespace cdpu::codec
+{
+
+namespace
+{
+
+/** Registration table: one accessor per CodecId, in enum order. */
+using VTableAccessor = const CodecVTable &(*)();
+constexpr std::array<VTableAccessor, kNumCodecs> kVTableAccessors = {
+    detail::snappyVTable,
+    detail::zstdliteVTable,
+    detail::flateliteVTable,
+    detail::gipfeliVTable,
+};
+
+} // namespace
+
+CodecParams
+CodecCaps::clamp(int level, unsigned window_log) const
+{
+    CodecParams params;
+    params.level = hasLevels ? std::clamp(level, minLevel, maxLevel)
+                             : defaultLevel;
+    params.windowLog =
+        hasWindow ? std::clamp(window_log, minWindowLog, maxWindowLog)
+                  : defaultWindowLog;
+    return params;
+}
+
+const CodecVTable &
+registry(CodecId id)
+{
+    return kVTableAccessors[static_cast<std::size_t>(id)]();
+}
+
+const std::vector<CodecId> &
+allCodecs()
+{
+    static const std::vector<CodecId> ids = [] {
+        std::vector<CodecId> all;
+        all.reserve(kNumCodecs);
+        for (std::size_t i = 0; i < kNumCodecs; ++i)
+            all.push_back(static_cast<CodecId>(i));
+        return all;
+    }();
+    return ids;
+}
+
+std::string
+codecName(CodecId id)
+{
+    return registry(id).caps.name;
+}
+
+std::string
+codecDisplayName(CodecId id)
+{
+    return registry(id).caps.displayName;
+}
+
+Result<CodecId>
+codecFromName(const std::string &name)
+{
+    for (CodecId id : allCodecs()) {
+        if (name == registry(id).caps.name)
+            return id;
+    }
+    return Status::invalid("unknown codec \"" + name + "\"");
+}
+
+std::string
+directionName(Direction direction)
+{
+    return direction == Direction::compress ? "compress" : "decompress";
+}
+
+Status
+compressInto(CodecId id, ByteSpan input, const CodecParams &params,
+             Bytes &out)
+{
+    return registry(id).compressInto(input, params, out);
+}
+
+Status
+decompressInto(CodecId id, ByteSpan input, Bytes &out)
+{
+    return registry(id).decompressInto(input, out);
+}
+
+std::unique_ptr<CompressSession>
+makeCompressSession(CodecId id, const CodecParams &params)
+{
+    return registry(id).makeCompressSession(params);
+}
+
+std::unique_ptr<DecompressSession>
+makeDecompressSession(CodecId id)
+{
+    return registry(id).makeDecompressSession();
+}
+
+} // namespace cdpu::codec

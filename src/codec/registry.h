@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Codec registry: one vtable per codec behind one interface.
+ *
+ * Modeled after tudocomp's modular registry of uniform compressor
+ * interfaces (PAPERS.md): each codec contributes a CodecVTable —
+ * whole-buffer entry points, capability metadata, and streaming
+ * session factories — and every dispatch site (serve contexts, the
+ * lzbench harness, the DSE runner, benches, examples) resolves
+ * behaviour through registry() instead of a hand-rolled switch.
+ *
+ * Adding a codec is a one-file registration:
+ *   1. add the CodecId enumerator (codec.h) and bump kNumCodecs;
+ *   2. write src/codec/<name>_codec.cpp defining its vtable (and, if
+ *      the format supports it, incremental sessions — otherwise use
+ *      the buffering adapters in <name>_codec.cpp's siblings);
+ *   3. list the vtable accessor in registry.cpp's table.
+ * Nothing above src/codec/ changes; a CI grep guard keeps it that way.
+ */
+
+#ifndef CDPU_CODEC_REGISTRY_H_
+#define CDPU_CODEC_REGISTRY_H_
+
+#include <memory>
+
+#include "codec/codec.h"
+#include "codec/session.h"
+
+namespace cdpu::codec
+{
+
+/** Clamped per-call parameters. Codecs without levels/windows ignore
+ *  the fields they do not use. */
+struct CodecParams
+{
+    int level = 0;
+    unsigned windowLog = 0;
+};
+
+/**
+ * Capability metadata: the registry's answer to "what can this codec
+ * legally run?". Callers clamp fleet-sampled parameters against this
+ * instead of hard-coding per-codec literals.
+ */
+struct CodecCaps
+{
+    CodecId id = CodecId::snappy;
+    const char *name = "";        ///< Stable lowercase identifier.
+    const char *displayName = ""; ///< Table/report label.
+
+    bool hasLevels = false;
+    int minLevel = 0;
+    int maxLevel = 0;
+    int defaultLevel = 0;
+
+    bool hasWindow = false;
+    unsigned minWindowLog = 0;
+    unsigned maxWindowLog = 0;
+    unsigned defaultWindowLog = 0;
+
+    /** Worst-case output growth bound: compressed size never exceeds
+     *  input_size * maxExpansionNum / maxExpansionDen + maxExpansionSlop
+     *  (the analytic form behind maxCompressedSize). */
+    unsigned maxExpansionNum = 1;
+    unsigned maxExpansionDen = 1;
+    std::size_t maxExpansionSlop = 0;
+
+    /** Whether each streaming direction is genuinely incremental
+     *  (bounded scratch) or a whole-buffer adapter. ZstdLite decode is
+     *  block-incremental while its compress session must buffer (the
+     *  frame header carries contentSize up front). */
+    bool incrementalCompress = false;
+    bool incrementalDecompress = false;
+
+    /** Whether session-produced streams use the same container as the
+     *  whole-buffer entry points. Snappy streams are framed
+     *  (framing_format.txt) while its buffer form is raw, mirroring
+     *  the real library's two container formats. */
+    bool streamingSharesBufferFormat = true;
+
+    /** Clamps fleet-sampled parameters into this codec's legal range,
+     *  so any sampled call can execute on any codec. */
+    CodecParams clamp(int level, unsigned window_log) const;
+};
+
+/** Uniform per-codec behaviour table. All function pointers are
+ *  non-null for every registered codec. */
+struct CodecVTable
+{
+    CodecCaps caps;
+
+    /** Compresses @p input into @p out (cleared first, capacity kept —
+     *  the context-reuse contract of the per-codec *Into calls). */
+    Status (*compressInto)(ByteSpan input, const CodecParams &params,
+                           Bytes &out);
+
+    /** Decompresses a whole buffer produced by compressInto. */
+    Status (*decompressInto)(ByteSpan input, Bytes &out);
+
+    /** Upper bound on compressInto output for @p input_size bytes. */
+    std::size_t (*maxCompressedSize)(std::size_t input_size);
+
+    /** Streaming session factories (session.h). */
+    std::unique_ptr<CompressSession> (*makeCompressSession)(
+        const CodecParams &params);
+    std::unique_ptr<DecompressSession> (*makeDecompressSession)();
+};
+
+/** The vtable for @p id. Never fails: every CodecId is registered. */
+const CodecVTable &registry(CodecId id);
+
+/** Convenience wrappers over registry(id). */
+Status compressInto(CodecId id, ByteSpan input,
+                    const CodecParams &params, Bytes &out);
+Status decompressInto(CodecId id, ByteSpan input, Bytes &out);
+std::unique_ptr<CompressSession> makeCompressSession(
+    CodecId id, const CodecParams &params);
+std::unique_ptr<DecompressSession> makeDecompressSession(CodecId id);
+
+} // namespace cdpu::codec
+
+#endif // CDPU_CODEC_REGISTRY_H_

@@ -1,0 +1,52 @@
+#include "codec/session.h"
+
+#include <algorithm>
+
+namespace cdpu::codec
+{
+
+CompressSession::~CompressSession() = default;
+DecompressSession::~DecompressSession() = default;
+
+namespace
+{
+
+template <typename Session>
+Status
+runAll(Session &session, ByteSpan input, std::size_t chunk_bytes,
+       Bytes &out)
+{
+    if (chunk_bytes == 0) {
+        CDPU_RETURN_IF_ERROR(session.feed(input));
+        session.drain(out);
+    } else {
+        for (std::size_t pos = 0; pos < input.size();
+             pos += chunk_bytes) {
+            std::size_t take =
+                std::min(chunk_bytes, input.size() - pos);
+            CDPU_RETURN_IF_ERROR(session.feed(input.subspan(pos, take)));
+            session.drain(out);
+        }
+    }
+    CDPU_RETURN_IF_ERROR(session.finish());
+    session.drain(out);
+    return Status::okStatus();
+}
+
+} // namespace
+
+Status
+compressAll(CompressSession &session, ByteSpan input,
+            std::size_t chunk_bytes, Bytes &out)
+{
+    return runAll(session, input, chunk_bytes, out);
+}
+
+Status
+decompressAll(DecompressSession &session, ByteSpan input,
+              std::size_t chunk_bytes, Bytes &out)
+{
+    return runAll(session, input, chunk_bytes, out);
+}
+
+} // namespace cdpu::codec

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Streaming codec sessions: incremental feed/drain over bounded scratch.
+ *
+ * The paper's Section 3.4 notes every fleet compression API ships in a
+ * stateless buffer form "and a streaming equivalent"; CODAG's
+ * streaming-window characterization (PAPERS.md) motivates chunked
+ * sessions over whole-buffer calls for RPC-style traffic. A session
+ * accepts input in arbitrarily sized chunks (feed), produces output
+ * incrementally into an internal pending buffer, and hands finished
+ * bytes to the caller on request (drain). finish() flushes the tail
+ * and validates stream termination — a truncated stream must fail
+ * with corruptData there, never end in a short success.
+ *
+ * Contract (pinned by codec_test's property battery):
+ *  - Compression output is invariant under feed() chunking: feeding
+ *    1 byte at a time and feeding the whole buffer produce identical
+ *    streams.
+ *  - Decompression of a session-produced stream yields the original
+ *    input, whether decompressed whole-buffer or chunk by chunk.
+ *  - After finish(), feed() is an error; drain() may be called at any
+ *    point and any number of times.
+ *
+ * Sessions are single-threaded; the serve layer gives each worker its
+ * own, exactly like CodecContext's scratch buffer.
+ */
+
+#ifndef CDPU_CODEC_SESSION_H_
+#define CDPU_CODEC_SESSION_H_
+
+#include "common/error.h"
+#include "common/types.h"
+
+namespace cdpu::codec
+{
+
+/** Incremental compressor. Obtain one from the registry
+ *  (makeCompressSession); the concrete framing is per-codec. */
+class CompressSession
+{
+  public:
+    virtual ~CompressSession();
+
+    /** Appends source bytes; may move finished output into the
+     *  pending buffer. */
+    virtual Status feed(ByteSpan chunk) = 0;
+
+    /** Declares end of input and flushes the remaining tail. */
+    virtual Status finish() = 0;
+
+    /** Moves pending output bytes to the end of @p out; returns the
+     *  number of bytes appended. Draining eagerly bounds the scratch
+     *  a long stream needs. */
+    virtual std::size_t drain(Bytes &out) = 0;
+};
+
+/** Incremental decompressor; mirror image of CompressSession. */
+class DecompressSession
+{
+  public:
+    virtual ~DecompressSession();
+
+    /** Appends compressed bytes; decodes every complete unit (frame
+     *  chunk / block) into the pending buffer. Corruption surfaces
+     *  here as soon as the offending unit is complete. */
+    virtual Status feed(ByteSpan chunk) = 0;
+
+    /** Declares end of stream. A partial trailing unit is corruption
+     *  (truncated input), not a short success. */
+    virtual Status finish() = 0;
+
+    /** Moves pending decoded bytes to the end of @p out. */
+    virtual std::size_t drain(Bytes &out) = 0;
+};
+
+/**
+ * Drives @p session over @p input in @p chunk_bytes-sized feeds
+ * (0 = one feed with the whole buffer), draining after every feed,
+ * and appends all output to @p out. The helper the serve layer and
+ * the property tests share.
+ */
+Status compressAll(CompressSession &session, ByteSpan input,
+                   std::size_t chunk_bytes, Bytes &out);
+Status decompressAll(DecompressSession &session, ByteSpan input,
+                     std::size_t chunk_bytes, Bytes &out);
+
+} // namespace cdpu::codec
+
+#endif // CDPU_CODEC_SESSION_H_

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Internal: per-codec vtable accessors wired into registry.cpp's
+ * table. Each accessor lives in its codec's own registration file
+ * (src/codec/<name>_codec.cpp) — the "one file per codec" seam.
+ */
+
+#ifndef CDPU_CODEC_VTABLES_H_
+#define CDPU_CODEC_VTABLES_H_
+
+#include "codec/registry.h"
+
+namespace cdpu::codec::detail
+{
+
+const CodecVTable &snappyVTable();
+const CodecVTable &zstdliteVTable();
+const CodecVTable &flateliteVTable();
+const CodecVTable &gipfeliVTable();
+
+} // namespace cdpu::codec::detail
+
+#endif // CDPU_CODEC_VTABLES_H_

@@ -2,33 +2,37 @@
 
 #include <cassert>
 
-#include "snappy/compress.h"
+#include "codec/registry.h"
 #include "zstdlite/compress.h"
 #include "zstdlite/decompress.h"
 
 namespace cdpu::dse
 {
 
-using baseline::Algorithm;
-using baseline::Direction;
+using codec::CodecId;
+using Direction = codec::Direction;
 
 SweepRunner::SweepRunner(const hcb::Suite &suite) : suite_(&suite)
 {
     for (const auto &file : suite.files) {
         totalBytes_ += file.data.size();
 
+        // The registry's whole-buffer entry point is the software
+        // reference for every codec; ZStd additionally records the
+        // decode trace its PU model replays.
+        const codec::CodecVTable &vtable = codec::registry(suite.codec);
+        const codec::CodecParams params =
+            vtable.caps.clamp(file.level, file.windowLog);
+        Bytes compressed;
+        Status status =
+            vtable.compressInto(file.data, params, compressed);
+        assert(status.ok());
+        (void)status;
+
         if (suite.direction == Direction::decompress) {
             // Software-compress once: this is the accelerator input.
-            if (suite.algorithm == Algorithm::snappy) {
-                compressedInputs_.push_back(
-                    snappy::compress(file.data));
-            } else {
-                zstdlite::CompressorConfig config;
-                config.level = file.level;
-                config.windowLog = file.windowLog;
-                auto out = zstdlite::compress(file.data, config);
-                assert(out.ok());
-                compressedInputs_.push_back(std::move(out).value());
+            compressedInputs_.push_back(std::move(compressed));
+            if (suite.codec == CodecId::zstdlite) {
                 zstdlite::FileTrace trace;
                 auto decoded =
                     zstdlite::decompress(compressedInputs_.back(),
@@ -40,17 +44,7 @@ SweepRunner::SweepRunner(const hcb::Suite &suite) : suite_(&suite)
         } else {
             // Compression suites: software-reference size for the
             // ratio-vs-SW series.
-            if (suite.algorithm == Algorithm::snappy) {
-                totalSwCompressed_ +=
-                    snappy::compress(file.data).size();
-            } else {
-                zstdlite::CompressorConfig config;
-                config.level = file.level;
-                config.windowLog = file.windowLog;
-                auto out = zstdlite::compress(file.data, config);
-                assert(out.ok());
-                totalSwCompressed_ += out.value().size();
-            }
+            totalSwCompressed_ += compressed.size();
         }
     }
 }
@@ -67,11 +61,14 @@ SweepRunner::softwareRatio() const
 DsePoint
 SweepRunner::run(const hw::CdpuConfig &config)
 {
-    if (suite_->algorithm == Algorithm::snappy) {
+    // PU selection is inherently per-codec: the DSE models Snappy and
+    // ZStd processing units (Figures 11-15).
+    if (suite_->codec == CodecId::snappy) {
         return suite_->direction == Direction::decompress
                    ? runSnappyDecompress(config)
                    : runSnappyCompress(config);
     }
+    assert(suite_->codec == CodecId::zstdlite);
     return suite_->direction == Direction::decompress
                ? runZstdDecompress(config)
                : runZstdCompress(config);
@@ -92,7 +89,7 @@ SweepRunner::runSnappyDecompress(const hw::CdpuConfig &config)
         point.accelCycles += result.value().cycles;
         point.historyFallbacks += result.value().historyFallbacks();
         point.xeonSeconds += xeon_.seconds(
-            Algorithm::snappy, Direction::decompress,
+            CodecId::snappy, Direction::decompress,
             suite_->files[i].data.size());
     }
     point.counters = pu.counters();
@@ -115,7 +112,7 @@ SweepRunner::runSnappyCompress(const hw::CdpuConfig &config)
         point.accelCycles += result.value().cycles;
         hw_compressed += result.value().outputBytes;
         point.xeonSeconds += xeon_.seconds(
-            Algorithm::snappy, Direction::compress, file.data.size());
+            CodecId::snappy, Direction::compress, file.data.size());
     }
     point.counters = pu.counters();
     point.hwRatio = static_cast<double>(totalBytes_) /
@@ -139,7 +136,7 @@ SweepRunner::runZstdDecompress(const hw::CdpuConfig &config)
         point.accelCycles += result.cycles;
         point.historyFallbacks += result.historyFallbacks();
         point.xeonSeconds += xeon_.seconds(
-            Algorithm::zstd, Direction::decompress,
+            CodecId::zstdlite, Direction::decompress,
             suite_->files[i].data.size(), suite_->files[i].level);
     }
     point.counters = pu.counters();
@@ -161,7 +158,7 @@ SweepRunner::runZstdCompress(const hw::CdpuConfig &config)
         point.accelSeconds += result.value().seconds(config.clockGhz);
         point.accelCycles += result.value().cycles;
         hw_compressed += result.value().outputBytes;
-        point.xeonSeconds += xeon_.seconds(Algorithm::zstd,
+        point.xeonSeconds += xeon_.seconds(CodecId::zstdlite,
                                            Direction::compress,
                                            file.data.size(), file.level);
     }

@@ -7,24 +7,24 @@
 namespace cdpu::fleet
 {
 
-std::vector<FleetAlgorithm>
-allFleetAlgorithms()
+std::vector<FleetCodec>
+allFleetCodecs()
 {
-    return {FleetAlgorithm::snappy, FleetAlgorithm::zstd,
-            FleetAlgorithm::flate, FleetAlgorithm::brotli,
-            FleetAlgorithm::gipfeli, FleetAlgorithm::lzo};
+    return {FleetCodec::snappy, FleetCodec::zstd,
+            FleetCodec::flate, FleetCodec::brotli,
+            FleetCodec::gipfeli, FleetCodec::lzo};
 }
 
 std::string
-fleetAlgorithmName(FleetAlgorithm algorithm)
+fleetCodecName(FleetCodec algorithm)
 {
     switch (algorithm) {
-      case FleetAlgorithm::snappy: return "Snappy";
-      case FleetAlgorithm::zstd: return "ZSTD";
-      case FleetAlgorithm::flate: return "Flate";
-      case FleetAlgorithm::brotli: return "Brotli";
-      case FleetAlgorithm::gipfeli: return "Gipfeli";
-      case FleetAlgorithm::lzo: return "LZO";
+      case FleetCodec::snappy: return "Snappy";
+      case FleetCodec::zstd: return "ZSTD";
+      case FleetCodec::flate: return "Flate";
+      case FleetCodec::brotli: return "Brotli";
+      case FleetCodec::gipfeli: return "Gipfeli";
+      case FleetCodec::lzo: return "LZO";
     }
     return "unknown";
 }
@@ -36,16 +36,16 @@ directionPrefix(Direction direction)
 }
 
 bool
-isHeavyweight(FleetAlgorithm algorithm)
+isHeavyweight(FleetCodec algorithm)
 {
     switch (algorithm) {
-      case FleetAlgorithm::zstd:
-      case FleetAlgorithm::flate:
-      case FleetAlgorithm::brotli:
+      case FleetCodec::zstd:
+      case FleetCodec::flate:
+      case FleetCodec::brotli:
         return true;
-      case FleetAlgorithm::snappy:
-      case FleetAlgorithm::gipfeli:
-      case FleetAlgorithm::lzo:
+      case FleetCodec::snappy:
+      case FleetCodec::gipfeli:
+      case FleetCodec::lzo:
         return false;
     }
     return false;
@@ -85,7 +85,7 @@ logistic(double month, double midpoint, double steepness)
 
 FleetModel::FleetModel()
 {
-    using A = FleetAlgorithm;
+    using A = FleetCodec;
     using D = Direction;
 
     // Figure 1 legend: final-slice cycle shares (percent / 100).
@@ -234,20 +234,20 @@ FleetModel::cycleShareAt(const Channel &channel, unsigned month) const
     // ZStd appears around month 48 and reaches a large share within
     // ~a year; Brotli ramps slowly; Gipfeli/LZO/Flate decline; Snappy
     // absorbs the remainder early on.
-    auto adoption = [month](FleetAlgorithm algorithm) {
+    auto adoption = [month](FleetCodec algorithm) {
         double m = month;
         switch (algorithm) {
-          case FleetAlgorithm::zstd:
+          case FleetCodec::zstd:
             return logistic(m, 57.0, 4.0);
-          case FleetAlgorithm::brotli:
+          case FleetCodec::brotli:
             return logistic(m, 60.0, 14.0);
-          case FleetAlgorithm::gipfeli:
+          case FleetCodec::gipfeli:
             return 1.0 + 24.0 * (1.0 - logistic(m, 30.0, 10.0));
-          case FleetAlgorithm::lzo:
+          case FleetCodec::lzo:
             return 1.0 + 30.0 * (1.0 - logistic(m, 24.0, 10.0));
-          case FleetAlgorithm::flate:
+          case FleetCodec::flate:
             return 1.0 + 2.5 * (1.0 - logistic(m, 40.0, 16.0));
-          case FleetAlgorithm::snappy:
+          case FleetCodec::snappy:
             return 1.0 + 0.8 * (1.0 - logistic(m, 44.0, 18.0));
         }
         return 1.0;
@@ -255,7 +255,7 @@ FleetModel::cycleShareAt(const Channel &channel, unsigned month) const
 
     double weighted = cycleShare(channel) * adoption(channel.algorithm);
     double total = 0;
-    for (FleetAlgorithm algorithm : allFleetAlgorithms()) {
+    for (FleetCodec algorithm : allFleetCodecs()) {
         for (Direction direction :
              {Direction::compress, Direction::decompress}) {
             Channel other{algorithm, direction};

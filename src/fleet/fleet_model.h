@@ -25,7 +25,7 @@ namespace cdpu::fleet
 {
 
 /** All six fleet algorithms (Section 2.2). */
-enum class FleetAlgorithm
+enum class FleetCodec
 {
     snappy,
     zstd,
@@ -41,17 +41,17 @@ enum class Direction
     decompress,
 };
 
-std::vector<FleetAlgorithm> allFleetAlgorithms();
-std::string fleetAlgorithmName(FleetAlgorithm algorithm);
+std::vector<FleetCodec> allFleetCodecs();
+std::string fleetCodecName(FleetCodec algorithm);
 std::string directionPrefix(Direction direction); ///< "C" or "D".
 
 /** Whether the taxonomy of Section 2.2 calls this heavyweight. */
-bool isHeavyweight(FleetAlgorithm algorithm);
+bool isHeavyweight(FleetCodec algorithm);
 
 /** One (algorithm, direction) usage channel. */
 struct Channel
 {
-    FleetAlgorithm algorithm = FleetAlgorithm::snappy;
+    FleetCodec algorithm = FleetCodec::snappy;
     Direction direction = Direction::compress;
 
     bool operator<(const Channel &other) const
@@ -65,7 +65,7 @@ struct Channel
     name() const
     {
         return directionPrefix(direction) + "-" +
-               fleetAlgorithmName(algorithm);
+               fleetCodecName(algorithm);
     }
 };
 

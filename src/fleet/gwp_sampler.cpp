@@ -11,7 +11,7 @@ GwpSampler::sampleAt(unsigned month)
     record.channel = model_->sampleChannelAt(month, rng_);
     record.library = model_->sampleLibrary(rng_);
     record.callBytes = model_->sampleCallSize(record.channel, rng_);
-    if (record.channel.algorithm == FleetAlgorithm::zstd) {
+    if (record.channel.algorithm == FleetCodec::zstd) {
         record.zstdLevel = model_->sampleZstdLevel(rng_);
         record.windowBytes =
             model_->sampleWindowSize(record.channel.direction, rng_);

@@ -14,7 +14,7 @@ channelCycleShares(const std::vector<ProfileRecord> &records,
         ++counts[record.channel.name()];
 
     std::vector<ShareRow> rows;
-    for (FleetAlgorithm algorithm : allFleetAlgorithms()) {
+    for (FleetCodec algorithm : allFleetCodecs()) {
         for (Direction direction :
              {Direction::compress, Direction::decompress}) {
             Channel channel{algorithm, direction};
@@ -65,7 +65,7 @@ zstdLevelShares(const std::vector<ProfileRecord> &records)
     std::map<int, double> byte_mass;
     double total = 0;
     for (const auto &record : records) {
-        if (record.channel.algorithm != FleetAlgorithm::zstd ||
+        if (record.channel.algorithm != FleetCodec::zstd ||
             record.channel.direction != Direction::compress) {
             continue;
         }
@@ -124,7 +124,7 @@ windowSizeHistogram(const std::vector<ProfileRecord> &records,
 {
     WeightedHistogram histogram;
     for (const auto &record : records) {
-        if (record.channel.algorithm != FleetAlgorithm::zstd ||
+        if (record.channel.algorithm != FleetCodec::zstd ||
             record.channel.direction != direction ||
             record.windowBytes == 0) {
             continue;

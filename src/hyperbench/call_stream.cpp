@@ -2,46 +2,15 @@
 
 #include <algorithm>
 
-#include "snappy/compress.h"
-#include "zstdlite/compress.h"
-#include "zstdlite/format.h"
+#include "codec/registry.h"
 
 namespace cdpu::hcb
 {
 
-std::vector<ServeCodec>
-allServeCodecs()
-{
-    return {ServeCodec::snappy, ServeCodec::zstdlite,
-            ServeCodec::flatelite, ServeCodec::gipfeli};
-}
-
-std::string
-serveCodecName(ServeCodec codec)
-{
-    switch (codec) {
-      case ServeCodec::snappy:
-        return "snappy";
-      case ServeCodec::zstdlite:
-        return "zstdlite";
-      case ServeCodec::flatelite:
-        return "flatelite";
-      case ServeCodec::gipfeli:
-        return "gipfeli";
-    }
-    return "unknown";
-}
-
-ServeCodec
-toServeCodec(Algorithm algorithm)
-{
-    return algorithm == Algorithm::snappy ? ServeCodec::snappy
-                                          : ServeCodec::zstdlite;
-}
-
 u64
-CallStream::append(ServeCodec codec, baseline::Direction direction,
-                   Bytes payload, int level, unsigned window_log)
+CallStream::append(codec::CodecId codec, Direction direction,
+                   Bytes payload, int level, unsigned window_log,
+                   bool streaming, std::size_t chunk_bytes)
 {
     arena_.push_back(std::move(payload));
     const Bytes &stored = arena_.back();
@@ -52,6 +21,8 @@ CallStream::append(ServeCodec codec, baseline::Direction direction,
     call.payload = ByteSpan(stored.data(), stored.size());
     call.level = level;
     call.windowLog = window_log;
+    call.streaming = streaming;
+    call.chunkBytes = chunk_bytes;
     payloadBytes_ += stored.size();
     calls_.push_back(call);
     return call.id;
@@ -77,31 +48,21 @@ Status
 appendSuite(CallStream &stream, const Suite &suite)
 {
     for (const BenchmarkFile &file : suite.files) {
-        ServeCodec codec = toServeCodec(file.algorithm);
-        int level = std::clamp(file.level, zstdlite::kMinLevel,
-                               zstdlite::kMaxLevel);
-        unsigned window_log =
-            std::clamp(file.windowLog, zstdlite::kMinWindowLog,
-                       zstdlite::kMaxWindowLog);
+        const codec::CodecVTable &vtable = codec::registry(file.codec);
+        const codec::CodecParams params =
+            vtable.caps.clamp(file.level, file.windowLog);
         if (file.direction == Direction::compress) {
-            stream.append(codec, Direction::compress, file.data, level,
-                          window_log);
+            stream.append(file.codec, Direction::compress, file.data,
+                          params.level, params.windowLog);
             continue;
         }
         // Decompression calls consume previously-compressed traffic:
         // pre-compress the file body with its sampled parameters.
         Bytes frame;
-        if (codec == ServeCodec::snappy) {
-            snappy::compressInto(file.data, frame);
-        } else {
-            zstdlite::CompressorConfig config;
-            config.level = level;
-            config.windowLog = window_log;
-            CDPU_RETURN_IF_ERROR(
-                zstdlite::compressInto(file.data, frame, config));
-        }
-        stream.append(codec, Direction::decompress, std::move(frame),
-                      level, window_log);
+        CDPU_RETURN_IF_ERROR(
+            vtable.compressInto(file.data, params, frame));
+        stream.append(file.codec, Direction::decompress,
+                      std::move(frame), params.level, params.windowLog);
     }
     return Status::okStatus();
 }

@@ -9,6 +9,13 @@
  * so the serve layer can drain them through a worker pool. The stream
  * owns all payload bytes; descriptors carry non-owning views, making a
  * CallStream cheap to share read-only across worker threads.
+ *
+ * Calls carry a codec::CodecId — the single codec selector shared by
+ * every layer (registry, serve contexts, DSE, benches) — and may be
+ * marked streaming, in which case the serve layer executes them
+ * through the codec's session API in chunkBytes-sized feeds (the
+ * paper's Section 3.4: every fleet compression API has a streaming
+ * equivalent).
  */
 
 #ifndef CDPU_HYPERBENCH_CALL_STREAM_H_
@@ -22,33 +29,24 @@
 namespace cdpu::hcb
 {
 
-/** Codec selector spanning the fleet's implemented-from-scratch
- *  algorithms (DESIGN.md §2), not just the two the DSE focuses on. */
-enum class ServeCodec
-{
-    snappy,
-    zstdlite,
-    flatelite,
-    gipfeli,
-};
-
-/** All codecs, for iteration in tests and stream builders. */
-std::vector<ServeCodec> allServeCodecs();
-
-/** Human-readable codec name ("snappy", "zstdlite", ...). */
-std::string serveCodecName(ServeCodec codec);
-
 /** One (de)compression call to replay. */
 struct ReplayCall
 {
     u64 id = 0; ///< Position in the stream; indexes replay outcomes.
-    ServeCodec codec = ServeCodec::snappy;
-    baseline::Direction direction = baseline::Direction::compress;
+    codec::CodecId codec = codec::CodecId::snappy;
+    Direction direction = Direction::compress;
     /** Uncompressed input (compress) or a frame produced by this
-     *  repo's codec (decompress). Views the stream's arena. */
+     *  repo's codec (decompress). Views the stream's arena. For
+     *  streaming decompress calls the frame uses the codec's session
+     *  container (snappy: the framing format). */
     ByteSpan payload;
-    int level = 3;           ///< ZstdLite / FlateLite effort level.
-    unsigned windowLog = 17; ///< ZstdLite window log.
+    int level = 3;           ///< Effort level (codecs with levels).
+    unsigned windowLog = 17; ///< Window log (codecs with windows).
+    /** Execute through the codec's streaming session API. */
+    bool streaming = false;
+    /** Session feed granularity in bytes (0 = one whole-buffer feed);
+     *  meaningful only when streaming. */
+    std::size_t chunkBytes = 0;
 };
 
 /** A contiguous run of calls handed to a worker as one queue item. */
@@ -65,8 +63,9 @@ class CallStream
   public:
     /** Appends one call, taking ownership of @p payload. Returns the
      *  call id. */
-    u64 append(ServeCodec codec, baseline::Direction direction,
-               Bytes payload, int level = 3, unsigned window_log = 17);
+    u64 append(codec::CodecId codec, Direction direction,
+               Bytes payload, int level = 3, unsigned window_log = 17,
+               bool streaming = false, std::size_t chunk_bytes = 0);
 
     const std::vector<ReplayCall> &calls() const { return calls_; }
     std::size_t size() const { return calls_.size(); }
@@ -90,13 +89,10 @@ class CallStream
  * Appends every file of @p suite as one replay call. Compress-direction
  * suites replay the uncompressed file body; decompress-direction suites
  * replay a frame pre-compressed here (with the file's sampled level and
- * window for ZStd), since the fleet's decompression calls consume
- * previously-compressed traffic.
+ * window clamped to the codec's capabilities), since the fleet's
+ * decompression calls consume previously-compressed traffic.
  */
 Status appendSuite(CallStream &stream, const Suite &suite);
-
-/** Maps a baseline algorithm onto the serve codec that implements it. */
-ServeCodec toServeCodec(Algorithm algorithm);
 
 } // namespace cdpu::hcb
 

@@ -2,9 +2,8 @@
 
 #include <algorithm>
 
+#include "codec/registry.h"
 #include "corpus/generators.h"
-#include "snappy/compress.h"
-#include "zstdlite/compress.h"
 
 namespace cdpu::hcb
 {
@@ -13,22 +12,18 @@ namespace
 {
 
 double
-measureRatio(Algorithm algorithm, ByteSpan chunk, int zstd_level)
+measureRatio(codec::CodecId codec, ByteSpan chunk, int level)
 {
-    std::size_t compressed_size;
-    if (algorithm == Algorithm::snappy) {
-        compressed_size = snappy::compress(chunk).size();
-    } else {
-        zstdlite::CompressorConfig config;
-        config.level = zstd_level;
-        auto out = zstdlite::compress(chunk, config);
-        // Synthetic chunks with valid parameters cannot fail.
-        compressed_size = out.value().size();
-    }
-    return compressed_size == 0
-               ? 1.0
-               : static_cast<double>(chunk.size()) /
-                     static_cast<double>(compressed_size);
+    const codec::CodecVTable &vtable = codec::registry(codec);
+    const codec::CodecParams params =
+        vtable.caps.clamp(level, vtable.caps.defaultWindowLog);
+    Bytes out;
+    // Synthetic chunks with clamped parameters cannot fail.
+    Status status = vtable.compressInto(chunk, params, out);
+    if (!status.ok() || out.empty())
+        return 1.0;
+    return static_cast<double>(chunk.size()) /
+           static_cast<double>(out.size());
 }
 
 } // namespace
@@ -38,35 +33,33 @@ ChunkLibrary::ChunkLibrary(const ChunkLibraryConfig &config, Rng &rng)
     for (corpus::DataClass cls : corpus::allDataClasses()) {
         Bytes buffer = corpus::generate(cls, config.perClassBytes, rng);
         for (auto &chunk : corpus::chunk(buffer, config.chunkBytes)) {
-            RatedChunk snappy_chunk;
-            snappy_chunk.ratio = measureRatio(
-                Algorithm::snappy, chunk.data, config.zstdLevel);
-            RatedChunk zstd_chunk;
-            zstd_chunk.ratio = measureRatio(Algorithm::zstd, chunk.data,
-                                            config.zstdLevel);
-            zstd_chunk.data = chunk.data;
-            snappy_chunk.data = std::move(chunk.data);
-            snappyTable_.push_back(std::move(snappy_chunk));
-            zstdTable_.push_back(std::move(zstd_chunk));
+            for (codec::CodecId codec : codec::allCodecs()) {
+                RatedChunk rated;
+                rated.ratio = measureRatio(codec, chunk.data,
+                                           config.zstdLevel);
+                rated.data = chunk.data;
+                tables_[static_cast<std::size_t>(codec)].push_back(
+                    std::move(rated));
+            }
         }
     }
     auto by_ratio = [](const RatedChunk &a, const RatedChunk &b) {
         return a.ratio < b.ratio;
     };
-    std::sort(snappyTable_.begin(), snappyTable_.end(), by_ratio);
-    std::sort(zstdTable_.begin(), zstdTable_.end(), by_ratio);
+    for (auto &table : tables_)
+        std::sort(table.begin(), table.end(), by_ratio);
 }
 
 const std::vector<RatedChunk> &
-ChunkLibrary::table(Algorithm algorithm) const
+ChunkLibrary::table(codec::CodecId codec) const
 {
-    return algorithm == Algorithm::snappy ? snappyTable_ : zstdTable_;
+    return tables_[static_cast<std::size_t>(codec)];
 }
 
 std::size_t
-ChunkLibrary::closestIndex(Algorithm algorithm, double target) const
+ChunkLibrary::closestIndex(codec::CodecId codec, double target) const
 {
-    const auto &chunks = table(algorithm);
+    const auto &chunks = table(codec);
     auto it = std::lower_bound(
         chunks.begin(), chunks.end(), target,
         [](const RatedChunk &chunk, double t) { return chunk.ratio < t; });
@@ -82,9 +75,9 @@ ChunkLibrary::closestIndex(Algorithm algorithm, double target) const
 }
 
 std::pair<double, double>
-ChunkLibrary::ratioRange(Algorithm algorithm) const
+ChunkLibrary::ratioRange(codec::CodecId codec) const
 {
-    const auto &chunks = table(algorithm);
+    const auto &chunks = table(codec);
     return {chunks.front().ratio, chunks.back().ratio};
 }
 

@@ -4,24 +4,25 @@
  * HyperCompressBench generator (Section 4).
  *
  * Corpus buffers are split into fixed-size chunks; every chunk is run
- * through the supported algorithm/parameter pairs to obtain its
- * compression ratio, and the chunks are indexed by ratio so the greedy
- * assembler can select the chunk closest to a target.
+ * through all registered codecs (the paper's "all supported
+ * algorithm/parameter pairs") to obtain its compression ratio, and
+ * the chunks are indexed by ratio so the greedy assembler can select
+ * the chunk closest to a target.
  */
 
 #ifndef CDPU_HYPERBENCH_CHUNK_LIBRARY_H_
 #define CDPU_HYPERBENCH_CHUNK_LIBRARY_H_
 
-#include "baseline/xeon_cost_model.h"
+#include <array>
+
+#include "codec/codec.h"
 #include "common/rng.h"
 #include "corpus/chunker.h"
 
 namespace cdpu::hcb
 {
 
-using baseline::Algorithm;
-
-/** A chunk with its measured per-algorithm compression ratio. */
+/** A chunk with its measured per-codec compression ratio. */
 struct RatedChunk
 {
     Bytes data;
@@ -36,14 +37,14 @@ struct ChunkLibraryConfig
      *  that multi-MiB benchmark files need not repeat chunks, which
      *  would fabricate long-range redundancy the fleet data lacks. */
     std::size_t perClassBytes = 2 * kMiB;
-    /** ZStd level used for the ZStd ratio measurement. */
+    /** Level used for the ratio measurement of codecs with levels. */
     int zstdLevel = 3;
 };
 
 /**
- * Ratio-sorted chunk store, one table per algorithm.
+ * Ratio-sorted chunk store, one table per registered codec.
  *
- * Construction compresses every chunk with both algorithms, exactly as
+ * Construction compresses every chunk with every codec, exactly as
  * the paper's generator runs each chunk through all supported
  * algorithm/parameter pairs.
  */
@@ -53,18 +54,17 @@ class ChunkLibrary
     /** Builds the library from the synthetic corpora. */
     ChunkLibrary(const ChunkLibraryConfig &config, Rng &rng);
 
-    /** Chunks sorted ascending by ratio under @p algorithm. */
-    const std::vector<RatedChunk> &table(Algorithm algorithm) const;
+    /** Chunks sorted ascending by ratio under @p codec. */
+    const std::vector<RatedChunk> &table(codec::CodecId codec) const;
 
     /** Index of the chunk whose ratio is closest to @p target. */
-    std::size_t closestIndex(Algorithm algorithm, double target) const;
+    std::size_t closestIndex(codec::CodecId codec, double target) const;
 
-    /** Ratio span available for @p algorithm (min, max). */
-    std::pair<double, double> ratioRange(Algorithm algorithm) const;
+    /** Ratio span available for @p codec (min, max). */
+    std::pair<double, double> ratioRange(codec::CodecId codec) const;
 
   private:
-    std::vector<RatedChunk> snappyTable_;
-    std::vector<RatedChunk> zstdTable_;
+    std::array<std::vector<RatedChunk>, codec::kNumCodecs> tables_;
 };
 
 } // namespace cdpu::hcb

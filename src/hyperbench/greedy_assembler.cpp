@@ -3,8 +3,7 @@
 #include <algorithm>
 #include <deque>
 
-#include "snappy/compress.h"
-#include "zstdlite/compress.h"
+#include "codec/registry.h"
 
 namespace cdpu::hcb
 {
@@ -19,12 +18,15 @@ namespace
 constexpr std::size_t kEvalSegmentBytes = 64 * kKiB;
 
 std::size_t
-compressedSize(Algorithm algorithm, ByteSpan segment)
+compressedSize(codec::CodecId codec, ByteSpan segment)
 {
-    if (algorithm == Algorithm::snappy)
-        return snappy::compress(segment).size();
-    auto out = zstdlite::compress(segment);
-    return out.value().size();
+    const codec::CodecVTable &vtable = codec::registry(codec);
+    const codec::CodecParams params = vtable.caps.clamp(
+        vtable.caps.defaultLevel, vtable.caps.defaultWindowLog);
+    Bytes out;
+    if (!vtable.compressInto(segment, params, out).ok())
+        return segment.size();
+    return out.size();
 }
 
 } // namespace
@@ -33,8 +35,8 @@ Bytes
 assembleFile(const ChunkLibrary &library, const FileTarget &target,
              Rng &rng)
 {
-    const auto &chunks = library.table(target.algorithm);
-    auto [min_ratio, max_ratio] = library.ratioRange(target.algorithm);
+    const auto &chunks = library.table(target.codec);
+    auto [min_ratio, max_ratio] = library.ratioRange(target.codec);
 
     Bytes file;
     file.reserve(target.sizeBytes + 8 * kKiB);
@@ -69,7 +71,7 @@ assembleFile(const ChunkLibrary &library, const FileTarget &target,
             remaining_bytes / remaining_budget, min_ratio, max_ratio);
 
         std::size_t index =
-            library.closestIndex(target.algorithm, needed_ratio);
+            library.closestIndex(target.codec, needed_ratio);
         // Random jitter around the closest index ("random shuffles"),
         // retrying until the pick is not in the recent-use window.
         for (int attempt = 0; attempt < 16; ++attempt) {
@@ -99,7 +101,7 @@ assembleFile(const ChunkLibrary &library, const FileTarget &target,
             ByteSpan segment(file.data() + segment_start,
                              file.size() - segment_start);
             measured_compressed += static_cast<double>(
-                compressedSize(target.algorithm, segment));
+                compressedSize(target.codec, segment));
             segment_start = file.size();
             segment_estimate = 0;
         }

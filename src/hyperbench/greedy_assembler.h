@@ -16,7 +16,7 @@ namespace cdpu::hcb
 /** Target parameters for one benchmark file. */
 struct FileTarget
 {
-    Algorithm algorithm = Algorithm::snappy;
+    codec::CodecId codec = codec::CodecId::snappy;
     std::size_t sizeBytes = 64 * kKiB;
     double targetRatio = 2.0;
 };

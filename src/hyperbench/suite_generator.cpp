@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "codec/registry.h"
 #include "common/histogram.h"
-#include "zstdlite/compress.h"
 
 namespace cdpu::hcb
 {
@@ -18,17 +18,37 @@ Suite::totalBytes() const
     return total;
 }
 
+namespace
+{
+
+/** Whether @p codec borrows the fast byte-oriented (Snappy) fleet
+ *  channel or the entropy-coded (ZStd) one. */
+bool
+usesSnappyChannel(codec::CodecId codec)
+{
+    return codec == codec::CodecId::snappy ||
+           codec == codec::CodecId::gipfeli;
+}
+
+} // namespace
+
 fleet::Channel
-toFleetChannel(Algorithm algorithm, Direction direction)
+toFleetChannel(codec::CodecId codec, Direction direction)
 {
     fleet::Channel channel;
-    channel.algorithm = algorithm == Algorithm::snappy
-                            ? fleet::FleetAlgorithm::snappy
-                            : fleet::FleetAlgorithm::zstd;
+    channel.algorithm = usesSnappyChannel(codec)
+                            ? fleet::FleetCodec::snappy
+                            : fleet::FleetCodec::zstd;
     channel.direction = direction == Direction::compress
                             ? fleet::Direction::compress
                             : fleet::Direction::decompress;
     return channel;
+}
+
+std::string
+fleetRatioBin(codec::CodecId codec)
+{
+    return usesSnappyChannel(codec) ? "Snappy" : "ZSTD [-inf,3]";
 }
 
 SuiteGenerator::SuiteGenerator(const fleet::FleetModel &fleet,
@@ -105,18 +125,17 @@ planFileSizes(const fleet::FleetModel &fleet,
 } // namespace
 
 Suite
-SuiteGenerator::generate(Algorithm algorithm, Direction direction)
+SuiteGenerator::generate(codec::CodecId codec, Direction direction)
 {
     Suite suite;
-    suite.algorithm = algorithm;
+    suite.codec = codec;
     suite.direction = direction;
 
-    fleet::Channel channel = toFleetChannel(algorithm, direction);
-    auto [min_ratio, max_ratio] = library_.ratioRange(algorithm);
+    const codec::CodecCaps &caps = codec::registry(codec).caps;
+    fleet::Channel channel = toFleetChannel(codec, direction);
+    auto [min_ratio, max_ratio] = library_.ratioRange(codec);
     const double fleet_ratio =
-        algorithm == Algorithm::snappy
-            ? fleet_->aggregateRatio("Snappy")
-            : fleet_->aggregateRatio("ZSTD [-inf,3]");
+        fleet_->aggregateRatio(fleetRatioBin(codec));
 
     std::vector<std::size_t> sizes =
         planFileSizes(*fleet_, channel, config_, rng_);
@@ -124,11 +143,13 @@ SuiteGenerator::generate(Algorithm algorithm, Direction direction)
 
     for (std::size_t file_size : sizes) {
         BenchmarkFile file;
-        file.algorithm = algorithm;
+        file.codec = codec;
         file.direction = direction;
+        file.level = caps.defaultLevel;
+        file.windowLog = caps.defaultWindowLog;
 
         FileTarget target;
-        target.algorithm = algorithm;
+        target.codec = codec;
         target.sizeBytes = file_size;
 
         // Per-file ratio: log-normal spread around the fleet aggregate
@@ -138,18 +159,20 @@ SuiteGenerator::generate(Algorithm algorithm, Direction direction)
             std::clamp(fleet_ratio * spread, min_ratio, max_ratio);
         file.targetRatio = target.targetRatio;
 
-        if (algorithm == Algorithm::zstd) {
-            file.level = std::clamp(fleet_->sampleZstdLevel(rng_),
-                                    zstdlite::kMinLevel,
-                                    zstdlite::kMaxLevel);
+        // Codecs with levels/windows take fleet-sampled parameters,
+        // clamped to the registry's capability metadata instead of
+        // per-codec literals.
+        if (caps.hasLevels || caps.hasWindow) {
+            int sampled_level = fleet_->sampleZstdLevel(rng_);
             std::size_t window = fleet_->sampleWindowSize(
                 direction == Direction::compress
                     ? fleet::Direction::compress
                     : fleet::Direction::decompress,
                 rng_);
-            file.windowLog = std::clamp<unsigned>(
-                ceilLog2(window), zstdlite::kMinWindowLog,
-                zstdlite::kMaxWindowLog);
+            const codec::CodecParams params = caps.clamp(
+                sampled_level, static_cast<unsigned>(ceilLog2(window)));
+            file.level = params.level;
+            file.windowLog = params.windowLog;
         }
 
         file.data = assembleFile(library_, target, rng_);

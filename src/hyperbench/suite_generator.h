@@ -2,10 +2,10 @@
  * @file
  * HyperCompressBench suite generation.
  *
- * For each (algorithm, direction) pair, the generator samples target
- * parameters (call size, ZStd level, window size, target ratio) from
- * the fleet model's published distributions and assembles benchmark
- * files from the chunk library until the suite represents the fleet's
+ * For each (codec, direction) pair, the generator samples target
+ * parameters (call size, level, window size, target ratio) from the
+ * fleet model's published distributions and assembles benchmark files
+ * from the chunk library until the suite represents the fleet's
  * byte-weighted call distribution (Section 4).
  */
 
@@ -18,23 +18,23 @@
 namespace cdpu::hcb
 {
 
-using baseline::Direction;
+using Direction = codec::Direction;
 
 /** One generated benchmark file with its application parameters. */
 struct BenchmarkFile
 {
     Bytes data;              ///< Uncompressed content.
-    Algorithm algorithm = Algorithm::snappy;
+    codec::CodecId codec = codec::CodecId::snappy;
     Direction direction = Direction::compress;
-    int level = 3;           ///< ZStd level to apply.
-    unsigned windowLog = 16; ///< ZStd window log to apply.
+    int level = 3;           ///< Effort level (codecs with levels).
+    unsigned windowLog = 16; ///< Window log (codecs with windows).
     double targetRatio = 2.0;
 };
 
-/** One (algorithm, direction) suite. */
+/** One (codec, direction) suite. */
 struct Suite
 {
-    Algorithm algorithm = Algorithm::snappy;
+    codec::CodecId codec = codec::CodecId::snappy;
     Direction direction = Direction::compress;
     std::vector<BenchmarkFile> files;
 
@@ -51,7 +51,7 @@ struct SuiteConfig
     u64 seed = 2023;
 };
 
-/** Generates the four suites: (Snappy, ZStd) x (compress, decompress). */
+/** Generates fleet-shaped suites for any registered codec. */
 class SuiteGenerator
 {
   public:
@@ -59,7 +59,7 @@ class SuiteGenerator
                    const SuiteConfig &config);
 
     /** Builds one suite (deterministic given the config seed). */
-    Suite generate(Algorithm algorithm, Direction direction);
+    Suite generate(codec::CodecId codec, Direction direction);
 
     const ChunkLibrary &library() const { return library_; }
 
@@ -70,8 +70,18 @@ class SuiteGenerator
     ChunkLibrary library_;
 };
 
-/** Maps a baseline algorithm to its fleet channel. */
-fleet::Channel toFleetChannel(Algorithm algorithm, Direction direction);
+/**
+ * Maps a codec to its fleet channel. The fleet model publishes Snappy
+ * and ZStd distributions (Figure 2); codecs outside that pair borrow
+ * the structurally closest channel — Gipfeli behaves like the fast
+ * byte-oriented class (Snappy), Flate like the entropy-coded class
+ * (ZStd).
+ */
+fleet::Channel toFleetChannel(codec::CodecId codec,
+                              Direction direction);
+
+/** The Figure 2c aggregate-ratio bin backing @p codec's targets. */
+std::string fleetRatioBin(codec::CodecId codec);
 
 } // namespace cdpu::hcb
 

@@ -1,7 +1,6 @@
 #include "hyperbench/suite_validator.h"
 
-#include "snappy/compress.h"
-#include "zstdlite/compress.h"
+#include "codec/registry.h"
 
 namespace cdpu::hcb
 {
@@ -27,20 +26,17 @@ validateSuite(const Suite &suite, const fleet::FleetModel &fleet,
 
     std::size_t total_raw = 0;
     std::size_t total_compressed = 0;
+    Bytes scratch;
     for (const auto &file : suite.files) {
         report.suiteCallSizes.add(
             ceilLog2(file.data.size()),
             static_cast<double>(file.data.size()));
         total_raw += file.data.size();
-        if (file.algorithm == Algorithm::snappy) {
-            total_compressed += snappy::compress(file.data).size();
-        } else {
-            zstdlite::CompressorConfig config;
-            config.level = file.level;
-            config.windowLog = file.windowLog;
-            auto out = zstdlite::compress(file.data, config);
-            total_compressed += out.value().size();
-        }
+        const codec::CodecVTable &vtable = codec::registry(file.codec);
+        const codec::CodecParams params =
+            vtable.caps.clamp(file.level, file.windowLog);
+        if (vtable.compressInto(file.data, params, scratch).ok())
+            total_compressed += scratch.size();
     }
     report.achievedRatio =
         total_compressed == 0
@@ -49,15 +45,13 @@ validateSuite(const Suite &suite, const fleet::FleetModel &fleet,
                   static_cast<double>(total_compressed);
 
     fleet::Channel channel =
-        toFleetChannel(suite.algorithm, suite.direction);
+        toFleetChannel(suite.codec, suite.direction);
     WeightedHistogram fleet_capped =
         cappedFleetCallSizes(fleet, channel, cap_bytes);
     report.callSizeKsDistance = WeightedHistogram::ksDistance(
         report.suiteCallSizes, fleet_capped);
 
-    report.fleetRatio = suite.algorithm == Algorithm::snappy
-                            ? fleet.aggregateRatio("Snappy")
-                            : fleet.aggregateRatio("ZSTD [-inf,3]");
+    report.fleetRatio = fleet.aggregateRatio(fleetRatioBin(suite.codec));
     return report;
 }
 

@@ -1,14 +1,6 @@
 #include "serve/codec_context.h"
 
-#include <algorithm>
-
-#include "flatelite/compress.h"
-#include "flatelite/decompress.h"
-#include "gipfeli/gipfeli.h"
-#include "snappy/compress.h"
-#include "snappy/decompress.h"
-#include "zstdlite/compress.h"
-#include "zstdlite/decompress.h"
+#include "codec/registry.h"
 
 namespace cdpu::serve
 {
@@ -16,57 +8,31 @@ namespace cdpu::serve
 Status
 CodecContext::execute(const hcb::ReplayCall &call, ByteSpan &output)
 {
-    using hcb::ServeCodec;
+    const codec::CodecVTable &vtable = codec::registry(call.codec);
+    const codec::CodecParams params =
+        vtable.caps.clamp(call.level, call.windowLog);
     const bool compressing =
-        call.direction == baseline::Direction::compress;
-    switch (call.codec) {
-      case ServeCodec::snappy:
+        call.direction == codec::Direction::compress;
+
+    if (call.streaming) {
+        // Session path: output accumulates across feeds, so clear the
+        // reused buffer up front (the *Into entry points do their own
+        // clearing).
+        out_.clear();
         if (compressing) {
-            snappy::compressInto(call.payload, out_);
+            auto session = vtable.makeCompressSession(params);
+            CDPU_RETURN_IF_ERROR(codec::compressAll(
+                *session, call.payload, call.chunkBytes, out_));
         } else {
-            CDPU_RETURN_IF_ERROR(
-                snappy::decompressInto(call.payload, out_));
+            auto session = vtable.makeDecompressSession();
+            CDPU_RETURN_IF_ERROR(codec::decompressAll(
+                *session, call.payload, call.chunkBytes, out_));
         }
-        break;
-      case ServeCodec::zstdlite:
-        if (compressing) {
-            zstdlite::CompressorConfig config;
-            config.level = std::clamp(call.level, zstdlite::kMinLevel,
-                                      zstdlite::kMaxLevel);
-            config.windowLog =
-                std::clamp(call.windowLog, zstdlite::kMinWindowLog,
-                           zstdlite::kMaxWindowLog);
-            CDPU_RETURN_IF_ERROR(
-                zstdlite::compressInto(call.payload, out_, config));
-        } else {
-            CDPU_RETURN_IF_ERROR(
-                zstdlite::decompressInto(call.payload, out_));
-        }
-        break;
-      case ServeCodec::flatelite:
-        if (compressing) {
-            flatelite::CompressorConfig config;
-            // Flate's level/window ranges are narrower than ZStd's
-            // fleet-sampled parameters; clamp rather than reject.
-            config.level = std::clamp(call.level, 1, 9);
-            config.windowLog =
-                std::clamp(call.windowLog, flatelite::kMinWindowLog,
-                           flatelite::kMaxWindowLog);
-            CDPU_RETURN_IF_ERROR(
-                flatelite::compressInto(call.payload, out_, config));
-        } else {
-            CDPU_RETURN_IF_ERROR(
-                flatelite::decompressInto(call.payload, out_));
-        }
-        break;
-      case ServeCodec::gipfeli:
-        if (compressing) {
-            gipfeli::compressInto(call.payload, out_);
-        } else {
-            CDPU_RETURN_IF_ERROR(
-                gipfeli::decompressInto(call.payload, out_));
-        }
-        break;
+    } else if (compressing) {
+        CDPU_RETURN_IF_ERROR(
+            vtable.compressInto(call.payload, params, out_));
+    } else {
+        CDPU_RETURN_IF_ERROR(vtable.decompressInto(call.payload, out_));
     }
     output = ByteSpan(out_.data(), out_.size());
     return Status::okStatus();

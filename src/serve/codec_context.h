@@ -6,9 +6,11 @@
  * contexts so steady-state calls do not allocate (Section 3.2's
  * software cost breakdown counts allocator time against the codec).
  * A CodecContext owns one reusable output buffer and dispatches a
- * ReplayCall to the matching codec's context-reuse entry point
- * (*Into); after warm-up the buffer reaches the workload's maximum
- * call size and subsequent calls run allocation-free.
+ * ReplayCall through the codec registry: whole-buffer calls hit the
+ * codec's context-reuse entry points (*Into), streaming calls run a
+ * session in chunkBytes-sized feeds. After warm-up the buffer reaches
+ * the workload's maximum call size and whole-buffer calls run
+ * allocation-free.
  *
  * A context is single-threaded by construction: the engine gives each
  * worker its own. Sharing one across threads is a data race.
@@ -28,8 +30,9 @@ class CodecContext
     /**
      * Executes @p call, pointing @p output at the result. The view is
      * valid until the next execute() on this context. Level/window
-     * parameters outside a codec's legal range are clamped, so any
-     * fleet-sampled call can execute on any codec.
+     * parameters outside a codec's legal range are clamped against the
+     * registry's capability metadata, so any fleet-sampled call can
+     * execute on any codec.
      */
     Status execute(const hcb::ReplayCall &call, ByteSpan &output);
 

@@ -43,9 +43,9 @@ runCall(CodecContext &context, const hcb::ReplayCall &call,
     }
 
     work.counter("serve.calls").increment();
-    work.counter("serve.calls." + serveCodecName(call.codec))
+    work.counter("serve.calls." + codec::codecName(call.codec))
         .increment();
-    work.counter(call.direction == baseline::Direction::compress
+    work.counter(call.direction == codec::Direction::compress
                      ? "serve.calls.compress"
                      : "serve.calls.decompress")
         .increment();

@@ -2,11 +2,8 @@
 
 #include <algorithm>
 
+#include "codec/registry.h"
 #include "corpus/generators.h"
-#include "flatelite/compress.h"
-#include "gipfeli/gipfeli.h"
-#include "snappy/compress.h"
-#include "zstdlite/compress.h"
 
 namespace cdpu::serve
 {
@@ -15,34 +12,19 @@ namespace
 {
 
 /** Compresses @p body with @p codec so a decompress-direction call has
- *  a genuine frame to consume. */
+ *  a genuine frame to consume. Streaming calls decode through the
+ *  codec's session API, so their frames are produced by it too (the
+ *  containers differ for snappy: framed stream vs raw buffer). */
 Status
-frameFor(hcb::ServeCodec codec, ByteSpan body, int level,
-         unsigned window_log, Bytes &frame)
+frameFor(codec::CodecId codec, ByteSpan body,
+         const codec::CodecParams &params, bool streaming, Bytes &frame)
 {
-    switch (codec) {
-      case hcb::ServeCodec::snappy:
-        snappy::compressInto(body, frame);
-        return Status::okStatus();
-      case hcb::ServeCodec::zstdlite: {
-        zstdlite::CompressorConfig config;
-        config.level = level;
-        config.windowLog = window_log;
-        return zstdlite::compressInto(body, frame, config);
-      }
-      case hcb::ServeCodec::flatelite: {
-        flatelite::CompressorConfig config;
-        config.level = std::clamp(level, 1, 9);
-        config.windowLog =
-            std::clamp(window_log, flatelite::kMinWindowLog,
-                       flatelite::kMaxWindowLog);
-        return flatelite::compressInto(body, frame, config);
-      }
-      case hcb::ServeCodec::gipfeli:
-        gipfeli::compressInto(body, frame);
-        return Status::okStatus();
+    if (streaming) {
+        auto session = codec::makeCompressSession(codec, params);
+        frame.clear();
+        return codec::compressAll(*session, body, 0, frame);
     }
-    return Status::invalid("unknown serve codec");
+    return codec::compressInto(codec, body, params, frame);
 }
 
 } // namespace
@@ -57,29 +39,41 @@ buildMixedStream(const StreamConfig &config)
         return Status::invalid("bad call-size range");
 
     Rng rng(config.seed);
-    auto codecs = hcb::allServeCodecs();
+    const std::vector<codec::CodecId> &codecs =
+        config.codecs.empty() ? codec::allCodecs() : config.codecs;
     auto classes = corpus::allDataClasses();
 
     hcb::CallStream stream;
     for (std::size_t i = 0; i < config.calls; ++i) {
-        hcb::ServeCodec codec = codecs[i % codecs.size()];
+        codec::CodecId id = codecs[i % codecs.size()];
         corpus::DataClass cls = classes[(i / codecs.size()) %
                                         classes.size()];
         std::size_t size = static_cast<std::size_t>(
             rng.range(config.minCallBytes, config.maxCallBytes));
         Bytes body = corpus::generate(cls, size, rng);
         int level = static_cast<int>(rng.range(1, 9));
-        unsigned window_log = static_cast<unsigned>(rng.range(
-            zstdlite::kMinWindowLog, zstdlite::kMaxWindowLog - 7));
+        unsigned window_log =
+            static_cast<unsigned>(rng.range(10, 20));
+        const codec::CodecParams params =
+            codec::registry(id).caps.clamp(level, window_log);
+
+        // Streaming calls feed sessions in power-of-two chunks from
+        // 512 B to 32 KiB, sampled per call.
+        bool streaming = rng.chance(config.streamingFraction);
+        std::size_t chunk_bytes =
+            streaming ? std::size_t{1} << rng.range(9, 15) : 0;
+
         if (rng.chance(config.decompressFraction)) {
             Bytes frame;
             CDPU_RETURN_IF_ERROR(
-                frameFor(codec, body, level, window_log, frame));
-            stream.append(codec, baseline::Direction::decompress,
-                          std::move(frame), level, window_log);
+                frameFor(id, body, params, streaming, frame));
+            stream.append(id, codec::Direction::decompress,
+                          std::move(frame), level, window_log,
+                          streaming, chunk_bytes);
         } else {
-            stream.append(codec, baseline::Direction::compress,
-                          std::move(body), level, window_log);
+            stream.append(id, codec::Direction::compress,
+                          std::move(body), level, window_log, streaming,
+                          chunk_bytes);
         }
     }
     return stream;

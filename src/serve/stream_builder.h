@@ -2,12 +2,13 @@
  * @file
  * Mixed-codec replay-stream construction.
  *
- * Produces deterministic call streams that exercise all four codecs in
- * both directions over the synthetic corpus classes — the shape of
- * fleet traffic the engine replays when a full HyperCompressBench
- * suite (fleet model + greedy assembly) is more machinery than a test
- * or benchmark needs. Given equal configs, two builds yield identical
- * streams, which is what the differential tests rely on.
+ * Produces deterministic call streams that exercise every registered
+ * codec in both directions over the synthetic corpus classes — the
+ * shape of fleet traffic the engine replays when a full
+ * HyperCompressBench suite (fleet model + greedy assembly) is more
+ * machinery than a test or benchmark needs. Given equal configs, two
+ * builds yield identical streams, which is what the differential
+ * tests rely on.
  */
 
 #ifndef CDPU_SERVE_STREAM_BUILDER_H_
@@ -28,13 +29,23 @@ struct StreamConfig
      *  way: bytes are compressed once and decompressed many times
      *  (Section 3.1). */
     double decompressFraction = 0.5;
+    /** Fraction of calls executed through the codec's streaming
+     *  session API (RPC-style chunked traffic) instead of one
+     *  whole-buffer call; their feed granularity is RNG-sampled.
+     *  Streaming decompress payloads use the session container. */
+    double streamingFraction = 0.0;
+    /** Codecs to round-robin across. Empty means every codec in the
+     *  registry (codec::allCodecs()); bench_serve's --codec flag
+     *  narrows this to one. */
+    std::vector<codec::CodecId> codecs;
     u64 seed = 2023;
 };
 
 /**
  * Builds a stream of @p config.calls mixed calls: codec and data class
  * round-robin with RNG-jittered sizes, direction sampled from
- * decompressFraction. Deterministic in the config.
+ * decompressFraction, streaming execution from streamingFraction.
+ * Deterministic in the config.
  */
 Result<hcb::CallStream> buildMixedStream(const StreamConfig &config);
 

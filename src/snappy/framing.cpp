@@ -79,18 +79,145 @@ FrameWriter::emitChunk(ByteSpan payload)
     }
 }
 
-Bytes
-FrameWriter::finish()
+std::size_t
+FrameWriter::drainInto(Bytes &out)
+{
+    std::size_t appended = out_.size();
+    out.insert(out.end(), out_.begin(), out_.end());
+    out_.clear();
+    return appended;
+}
+
+void
+FrameWriter::finishInto(Bytes &out)
 {
     if (!pending_.empty()) {
         emitChunk(pending_);
         pending_.clear();
     }
-    Bytes result = std::move(out_);
+    out.insert(out.end(), out_.begin(), out_.end());
     out_.clear();
     putChunkHeader(out_, ChunkType::streamIdentifier, 6);
     out_.insert(out_.end(), kStreamIdentifier, kStreamIdentifier + 6);
+}
+
+Bytes
+FrameWriter::finish()
+{
+    Bytes result;
+    finishInto(result);
     return result;
+}
+
+Status
+FrameReader::processChunk(u8 type_byte, ByteSpan body)
+{
+    if (type_byte == static_cast<u8>(ChunkType::streamIdentifier)) {
+        if (body.size() != 6 ||
+            !std::equal(body.begin(), body.end(), kStreamIdentifier)) {
+            return Status::corrupt("bad stream identifier");
+        }
+        sawIdentifier_ = true;
+        return Status::okStatus();
+    }
+    if (!sawIdentifier_)
+        return Status::corrupt("data before stream identifier");
+
+    switch (type_byte) {
+      case static_cast<u8>(ChunkType::compressedData): {
+        if (body.size() < 4)
+            return Status::corrupt("compressed chunk too short");
+        u32 expected = unmaskCrc(getLe32(body, 0));
+        CDPU_RETURN_IF_ERROR(decompressInto(body.subspan(4), scratch_));
+        if (scratch_.size() > kMaxChunkPayload)
+            return Status::corrupt("chunk exceeds 64 KiB limit");
+        if (crc32c(scratch_) != expected)
+            return Status::corrupt("chunk CRC mismatch");
+        out_.insert(out_.end(), scratch_.begin(), scratch_.end());
+        break;
+      }
+      case static_cast<u8>(ChunkType::uncompressedData): {
+        if (body.size() < 4)
+            return Status::corrupt("uncompressed chunk too short");
+        ByteSpan payload = body.subspan(4);
+        if (payload.size() > kMaxChunkPayload)
+            return Status::corrupt("chunk exceeds 64 KiB limit");
+        if (crc32c(payload) != unmaskCrc(getLe32(body, 0)))
+            return Status::corrupt("chunk CRC mismatch");
+        out_.insert(out_.end(), payload.begin(), payload.end());
+        break;
+      }
+      default:
+        // Spec: 0x02-0x7f are unskippable, 0x80-0xfd and padding
+        // are skippable.
+        if (type_byte >= 0x02 && type_byte <= 0x7f)
+            return Status::corrupt("unskippable unknown chunk");
+        break; // skip
+    }
+    return Status::okStatus();
+}
+
+Status
+FrameReader::feed(ByteSpan data)
+{
+    if (!failed_.ok())
+        return failed_;
+    buffer_.insert(buffer_.end(), data.begin(), data.end());
+
+    // Decode every chunk whose header and body are both complete.
+    while (cursor_ + 4 <= buffer_.size()) {
+        std::size_t length =
+            buffer_[cursor_ + 1] |
+            (static_cast<std::size_t>(buffer_[cursor_ + 2]) << 8) |
+            (static_cast<std::size_t>(buffer_[cursor_ + 3]) << 16);
+        if (cursor_ + 4 + length > buffer_.size())
+            break; // Body incomplete; wait for more bytes.
+        u8 type_byte = buffer_[cursor_];
+        ByteSpan body(buffer_.data() + cursor_ + 4, length);
+        failed_ = processChunk(type_byte, body);
+        if (!failed_.ok())
+            return failed_;
+        cursor_ += 4 + length;
+    }
+
+    // Compact the consumed prefix once it dominates the buffer, so a
+    // long stream decodes over bounded scratch.
+    if (cursor_ > 64 * kKiB && cursor_ > buffer_.size() / 2) {
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() +
+                          static_cast<std::ptrdiff_t>(cursor_));
+        cursor_ = 0;
+    }
+    return Status::okStatus();
+}
+
+Status
+FrameReader::finish()
+{
+    if (!failed_.ok())
+        return failed_;
+    // A partial trailing chunk is a truncated stream: report the
+    // corruption instead of a short success.
+    if (cursor_ != buffer_.size()) {
+        failed_ = cursor_ + 4 > buffer_.size()
+                      ? Status::corrupt("framing chunk header truncated")
+                      : Status::corrupt("framing chunk body truncated");
+        return failed_;
+    }
+    if (!sawIdentifier_) {
+        failed_ = Status::corrupt("missing stream identifier");
+        return failed_;
+    }
+    return Status::okStatus();
+}
+
+std::size_t
+FrameReader::drainInto(Bytes &out)
+{
+    std::size_t appended = out_.size();
+    out.insert(out.end(), out_.begin(), out_.end());
+    out_.clear();
+    return appended;
 }
 
 Bytes
@@ -104,75 +231,11 @@ frameCompress(ByteSpan data)
 Result<Bytes>
 frameDecompress(ByteSpan framed)
 {
-    std::size_t pos = 0;
+    FrameReader reader;
+    CDPU_RETURN_IF_ERROR(reader.feed(framed));
+    CDPU_RETURN_IF_ERROR(reader.finish());
     Bytes out;
-    bool saw_identifier = false;
-
-    while (pos < framed.size()) {
-        if (pos + 4 > framed.size())
-            return Status::corrupt("framing chunk header truncated");
-        u8 type_byte = framed[pos];
-        std::size_t length = framed[pos + 1] |
-                             (static_cast<std::size_t>(framed[pos + 2])
-                              << 8) |
-                             (static_cast<std::size_t>(framed[pos + 3])
-                              << 16);
-        pos += 4;
-        if (pos + length > framed.size())
-            return Status::corrupt("framing chunk body truncated");
-        ByteSpan body = framed.subspan(pos, length);
-        pos += length;
-
-        if (type_byte ==
-            static_cast<u8>(ChunkType::streamIdentifier)) {
-            if (length != 6 ||
-                !std::equal(body.begin(), body.end(),
-                            kStreamIdentifier)) {
-                return Status::corrupt("bad stream identifier");
-            }
-            saw_identifier = true;
-            continue;
-        }
-        if (!saw_identifier)
-            return Status::corrupt("data before stream identifier");
-
-        switch (type_byte) {
-          case static_cast<u8>(ChunkType::compressedData): {
-            if (length < 4)
-                return Status::corrupt("compressed chunk too short");
-            u32 expected = unmaskCrc(getLe32(body, 0));
-            auto payload = decompress(body.subspan(4));
-            if (!payload.ok())
-                return payload.status();
-            if (payload.value().size() > kMaxChunkPayload)
-                return Status::corrupt("chunk exceeds 64 KiB limit");
-            if (crc32c(payload.value()) != expected)
-                return Status::corrupt("chunk CRC mismatch");
-            out.insert(out.end(), payload.value().begin(),
-                       payload.value().end());
-            break;
-          }
-          case static_cast<u8>(ChunkType::uncompressedData): {
-            if (length < 4)
-                return Status::corrupt("uncompressed chunk too short");
-            ByteSpan payload = body.subspan(4);
-            if (payload.size() > kMaxChunkPayload)
-                return Status::corrupt("chunk exceeds 64 KiB limit");
-            if (crc32c(payload) != unmaskCrc(getLe32(body, 0)))
-                return Status::corrupt("chunk CRC mismatch");
-            out.insert(out.end(), payload.begin(), payload.end());
-            break;
-          }
-          default:
-            // Spec: 0x02-0x7f are unskippable, 0x80-0xfd and padding
-            // are skippable.
-            if (type_byte >= 0x02 && type_byte <= 0x7f)
-                return Status::corrupt("unskippable unknown chunk");
-            break; // skip
-        }
-    }
-    if (!saw_identifier)
-        return Status::corrupt("missing stream identifier");
+    reader.drainInto(out);
     return out;
 }
 

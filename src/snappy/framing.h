@@ -8,6 +8,13 @@
  * chunk followed by compressed/uncompressed data chunks of at most
  * 64 KiB of source data, each carrying a masked CRC-32C. Arbitrary
  * skippable and padding chunks are tolerated on decode.
+ *
+ * Both directions are incremental so the codec layer's streaming
+ * sessions can run over bounded scratch: FrameWriter accepts input in
+ * any granularity and emits a chunk per 64 KiB window; FrameReader
+ * accepts framed bytes in any granularity and decodes every chunk the
+ * moment it is complete. A stream that ends mid-chunk is corrupt —
+ * finish() reports corruptData, never a short success.
  */
 
 #ifndef CDPU_SNAPPY_FRAMING_H_
@@ -34,6 +41,9 @@ inline constexpr std::size_t kMaxChunkPayload = 65536;
  * Incremental framed compressor. Feed any amount of data through
  * write(); each internal 64 KiB window becomes one chunk (compressed
  * when that wins, uncompressed otherwise, as the spec recommends).
+ * Emitted chunks depend only on cumulative input, never on write()
+ * granularity, so chunked and whole-buffer use produce identical
+ * streams.
  */
 class FrameWriter
 {
@@ -43,8 +53,17 @@ class FrameWriter
     /** Appends more source data. */
     void write(ByteSpan data);
 
-    /** Flushes buffered data into a final chunk and returns the
-     *  complete framed stream. The writer resets for reuse. */
+    /** Moves chunks finished so far to the end of @p out (incremental
+     *  drain; does not flush the partial window). Returns the number
+     *  of bytes appended. */
+    std::size_t drainInto(Bytes &out);
+
+    /** Flushes buffered data into a final chunk, appends everything
+     *  undrained to @p out, and resets the writer for reuse. */
+    void finishInto(Bytes &out);
+
+    /** One-shot form of finishInto: returns the complete framed
+     *  stream (including previously undrained chunks). */
     Bytes finish();
 
   private:
@@ -55,13 +74,49 @@ class FrameWriter
     CompressorConfig config_;
 };
 
+/**
+ * Incremental framed decompressor. feed() decodes every chunk that is
+ * complete in the bytes seen so far (verifying the stream identifier
+ * and per-chunk CRCs); drainInto() hands decoded bytes to the caller;
+ * finish() validates termination — leftover partial-chunk bytes mean
+ * the stream was truncated and yield corruptData.
+ *
+ * Errors are sticky: after a corrupt chunk every later call reports
+ * the same status.
+ */
+class FrameReader
+{
+  public:
+    /** Appends framed bytes and decodes all complete chunks. */
+    Status feed(ByteSpan data);
+
+    /** Declares end of stream; fails if a chunk is still partial or
+     *  the stream identifier never appeared. */
+    Status finish();
+
+    /** Moves decoded bytes to the end of @p out; returns the count. */
+    std::size_t drainInto(Bytes &out);
+
+  private:
+    Status processChunk(u8 type_byte, ByteSpan body);
+
+    Bytes buffer_;              ///< Undecoded framed bytes.
+    std::size_t cursor_ = 0;    ///< Start of the first unparsed chunk.
+    Bytes out_;                 ///< Decoded, undrained bytes.
+    Bytes scratch_;             ///< Per-chunk decode scratch.
+    bool sawIdentifier_ = false;
+    Status failed_;
+};
+
 /** One-shot framed compression. */
 Bytes frameCompress(ByteSpan data);
 
 /**
  * Decodes a framed stream, verifying the stream identifier and every
  * chunk CRC. Returns the reassembled source data; corrupt framing,
- * bad CRCs, or truncated chunks fail with corruptData.
+ * bad CRCs, or truncated chunks fail with corruptData. Implemented on
+ * FrameReader, so whole-buffer and incremental decode agree byte for
+ * byte.
  */
 Result<Bytes> frameDecompress(ByteSpan framed);
 

@@ -19,16 +19,16 @@ TEST(XeonCostModelTest, PaperAnchorsAtDefaultLevel)
 {
     XeonCostModel model;
     EXPECT_DOUBLE_EQ(
-        model.throughputGBps(Algorithm::snappy, Direction::decompress),
+        model.throughputGBps(codec::CodecId::snappy, Direction::decompress),
         1.1);
     EXPECT_DOUBLE_EQ(
-        model.throughputGBps(Algorithm::snappy, Direction::compress),
+        model.throughputGBps(codec::CodecId::snappy, Direction::compress),
         0.36);
     EXPECT_DOUBLE_EQ(
-        model.throughputGBps(Algorithm::zstd, Direction::decompress),
+        model.throughputGBps(codec::CodecId::zstdlite, Direction::decompress),
         0.94);
     EXPECT_DOUBLE_EQ(
-        model.throughputGBps(Algorithm::zstd, Direction::compress),
+        model.throughputGBps(codec::CodecId::zstdlite, Direction::compress),
         0.22);
 }
 
@@ -37,7 +37,7 @@ TEST(XeonCostModelTest, ZstdCompressSlowsWithLevel)
     XeonCostModel model;
     double prev = 1e18;
     for (int level : {-1, 1, 3, 5, 9, 15, 22}) {
-        double gbps = model.throughputGBps(Algorithm::zstd,
+        double gbps = model.throughputGBps(codec::CodecId::zstdlite,
                                            Direction::compress, level);
         EXPECT_LT(gbps, prev) << level;
         EXPECT_GT(gbps, 0.0);
@@ -51,9 +51,9 @@ TEST(XeonCostModelTest, HighLevelCostMultiplierNearPaper)
     // per-byte cost of low-level. Compare level 9 (the byte-weighted
     // centre of the [4,22] bin is low) against level 3.
     XeonCostModel model;
-    double low = model.throughputGBps(Algorithm::zstd,
+    double low = model.throughputGBps(codec::CodecId::zstdlite,
                                       Direction::compress, 3);
-    double high = model.throughputGBps(Algorithm::zstd,
+    double high = model.throughputGBps(codec::CodecId::zstdlite,
                                        Direction::compress, 9);
     EXPECT_NEAR(low / high, 2.39, 0.6);
 }
@@ -61,9 +61,9 @@ TEST(XeonCostModelTest, HighLevelCostMultiplierNearPaper)
 TEST(XeonCostModelTest, SnappyVsZstdDecompressRelation)
 {
     XeonCostModel model;
-    double snappy = model.throughputGBps(Algorithm::snappy,
+    double snappy = model.throughputGBps(codec::CodecId::snappy,
                                          Direction::decompress);
-    double zstd = model.throughputGBps(Algorithm::zstd,
+    double zstd = model.throughputGBps(codec::CodecId::zstdlite,
                                        Direction::decompress);
     EXPECT_GT(snappy, zstd); // lightweight decodes faster
 }
@@ -71,9 +71,9 @@ TEST(XeonCostModelTest, SnappyVsZstdDecompressRelation)
 TEST(XeonCostModelTest, SecondsScaleLinearly)
 {
     XeonCostModel model;
-    double one = model.seconds(Algorithm::snappy, Direction::decompress,
+    double one = model.seconds(codec::CodecId::snappy, Direction::decompress,
                                1 * kMiB);
-    double two = model.seconds(Algorithm::snappy, Direction::decompress,
+    double two = model.seconds(codec::CodecId::snappy, Direction::decompress,
                                2 * kMiB);
     EXPECT_NEAR(two - one, one - model.callOverheadSeconds(), 1e-9);
 }
@@ -83,7 +83,8 @@ TEST(LzBenchHarnessTest, MeasuresAndVerifies)
     Rng rng(1);
     Bytes data = corpus::generate(corpus::DataClass::logLike, 256 * kKiB,
                                   rng);
-    for (Algorithm algorithm : {Algorithm::snappy, Algorithm::zstd}) {
+    for (codec::CodecId algorithm :
+         {codec::CodecId::snappy, codec::CodecId::zstdlite}) {
         for (Direction direction :
              {Direction::compress, Direction::decompress}) {
             auto result = runLzBench(algorithm, direction, 3, data, 2);
@@ -99,7 +100,7 @@ TEST(LzBenchHarnessTest, RejectsZeroIterations)
 {
     Bytes data = {1, 2, 3};
     EXPECT_FALSE(
-        runLzBench(Algorithm::snappy, Direction::compress, 3, data, 0)
+        runLzBench(codec::CodecId::snappy, Direction::compress, 3, data, 0)
             .ok());
 }
 

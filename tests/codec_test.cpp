@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Codec-core battery: the registry's structural invariants and the
+ * session contract from session.h, asserted uniformly over every
+ * registered codec — whole-buffer round trips across data classes,
+ * scratch-buffer reuse through the *Into entry points, streaming
+ * sessions at chunk sizes {1, 7, 4096, whole} with byte-identical
+ * output at every granularity, the analytic maxCompressedSize bound
+ * on incompressible input, and truncation surfacing as corruptData
+ * at finish() instead of a short success.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/registry.h"
+#include "codec/session.h"
+#include "corpus/generators.h"
+
+namespace cdpu::codec
+{
+namespace
+{
+
+/** The chunk granularities every streaming assertion runs at; 0 is
+ *  the whole-buffer feed. */
+constexpr std::size_t kChunkSizes[] = {1, 7, 4096, 0};
+
+CodecParams
+defaultParams(const CodecVTable &vtable)
+{
+    return vtable.caps.clamp(vtable.caps.defaultLevel,
+                             vtable.caps.defaultWindowLog);
+}
+
+// --- Registry structure ----------------------------------------------
+
+TEST(CodecRegistryTest, EveryCodecIsRegisteredAndSelfConsistent)
+{
+    ASSERT_EQ(allCodecs().size(), kNumCodecs);
+    for (CodecId id : allCodecs()) {
+        const CodecVTable &vtable = registry(id);
+        EXPECT_EQ(vtable.caps.id, id);
+        EXPECT_NE(vtable.compressInto, nullptr);
+        EXPECT_NE(vtable.decompressInto, nullptr);
+        EXPECT_NE(vtable.maxCompressedSize, nullptr);
+        EXPECT_NE(vtable.makeCompressSession, nullptr);
+        EXPECT_NE(vtable.makeDecompressSession, nullptr);
+        EXPECT_STRNE(vtable.caps.name, "");
+        auto back = codecFromName(codecName(id));
+        ASSERT_TRUE(back.ok()) << codecName(id);
+        EXPECT_EQ(back.value(), id);
+    }
+    EXPECT_FALSE(codecFromName("no-such-codec").ok());
+}
+
+TEST(CodecRegistryTest, ClampKeepsParametersInsideCaps)
+{
+    for (CodecId id : allCodecs()) {
+        const CodecCaps &caps = registry(id).caps;
+        for (int level : {-1000, 0, 3, 1000}) {
+            for (unsigned window_log : {0u, 12u, 99u}) {
+                CodecParams params = caps.clamp(level, window_log);
+                if (caps.hasLevels) {
+                    EXPECT_GE(params.level, caps.minLevel);
+                    EXPECT_LE(params.level, caps.maxLevel);
+                } else {
+                    EXPECT_EQ(params.level, caps.defaultLevel);
+                }
+                if (caps.hasWindow) {
+                    EXPECT_GE(params.windowLog, caps.minWindowLog);
+                    EXPECT_LE(params.windowLog, caps.maxWindowLog);
+                } else {
+                    EXPECT_EQ(params.windowLog, caps.defaultWindowLog);
+                }
+            }
+        }
+    }
+}
+
+// --- Whole-buffer round trips ----------------------------------------
+
+TEST(CodecRoundTripTest, EveryCodecEveryDataClass)
+{
+    Rng rng(101);
+    for (CodecId id : allCodecs()) {
+        const CodecVTable &vtable = registry(id);
+        const CodecParams params = defaultParams(vtable);
+        for (corpus::DataClass cls : corpus::allDataClasses()) {
+            for (std::size_t size : {std::size_t{1}, 4 * kKiB,
+                                     std::size_t{100000}}) {
+                SCOPED_TRACE(testing::Message()
+                             << codecName(id) << " "
+                             << corpus::dataClassName(cls) << " "
+                             << size);
+                Bytes data = corpus::generate(cls, size, rng);
+                Bytes compressed;
+                ASSERT_TRUE(
+                    vtable.compressInto(data, params, compressed).ok());
+                EXPECT_LE(compressed.size(),
+                          vtable.maxCompressedSize(data.size()));
+                Bytes decoded;
+                ASSERT_TRUE(
+                    vtable.decompressInto(compressed, decoded).ok());
+                EXPECT_EQ(decoded, data);
+            }
+        }
+    }
+}
+
+TEST(CodecRoundTripTest, IntoEntryPointsReuseOneScratchBuffer)
+{
+    Rng rng(202);
+    // One pair of buffers across every codec and size: the serve
+    // layer's allocation-free steady state. Stale capacity or stale
+    // contents from the previous codec must never leak through.
+    Bytes compressed;
+    Bytes decoded;
+    for (std::size_t size : {90000u, 333u, 48000u, 1u}) {
+        for (CodecId id : allCodecs()) {
+            SCOPED_TRACE(testing::Message()
+                         << codecName(id) << " " << size);
+            Bytes data = corpus::generateMixed(size, rng, 4 * kKiB);
+            const CodecVTable &vtable = registry(id);
+            ASSERT_TRUE(vtable
+                            .compressInto(data, defaultParams(vtable),
+                                          compressed)
+                            .ok());
+            ASSERT_TRUE(
+                vtable.decompressInto(compressed, decoded).ok());
+            EXPECT_EQ(decoded, data);
+        }
+    }
+}
+
+TEST(CodecRoundTripTest, MaxCompressedSizeBoundsIncompressibleInput)
+{
+    Rng rng(303);
+    for (CodecId id : allCodecs()) {
+        const CodecVTable &vtable = registry(id);
+        const CodecCaps &caps = vtable.caps;
+        for (std::size_t size :
+             {std::size_t{1}, std::size_t{100}, 64 * kKiB,
+              std::size_t{120 * kKiB + 1}, 256 * kKiB}) {
+            SCOPED_TRACE(testing::Message()
+                         << codecName(id) << " " << size);
+            Bytes data = corpus::generate(
+                corpus::DataClass::randomBytes, size, rng);
+            Bytes compressed;
+            ASSERT_TRUE(vtable
+                            .compressInto(data, defaultParams(vtable),
+                                          compressed)
+                            .ok());
+            // The vtable's analytic bound and the caps' advertised
+            // expansion formula must both hold.
+            EXPECT_LE(compressed.size(),
+                      vtable.maxCompressedSize(size));
+            EXPECT_LE(compressed.size(),
+                      size * caps.maxExpansionNum /
+                              caps.maxExpansionDen +
+                          caps.maxExpansionSlop);
+        }
+    }
+}
+
+// --- Streaming sessions ----------------------------------------------
+
+TEST(CodecSessionTest, CompressionIsChunkGranularityInvariant)
+{
+    Rng rng(404);
+    Bytes data = corpus::generateMixed(100000, rng, 8 * kKiB);
+    for (CodecId id : allCodecs()) {
+        const CodecVTable &vtable = registry(id);
+        const CodecParams params = defaultParams(vtable);
+        Bytes reference;
+        for (std::size_t chunk : kChunkSizes) {
+            SCOPED_TRACE(testing::Message()
+                         << codecName(id) << " chunk " << chunk);
+            auto session = vtable.makeCompressSession(params);
+            Bytes out;
+            ASSERT_TRUE(compressAll(*session, data, chunk, out).ok());
+            if (reference.empty())
+                reference = out;
+            else
+                EXPECT_EQ(out, reference);
+        }
+        ASSERT_FALSE(reference.empty());
+
+        // The session stream round-trips through a session decoder at
+        // every feed granularity, always to the same bytes.
+        for (std::size_t chunk : kChunkSizes) {
+            SCOPED_TRACE(testing::Message() << codecName(id)
+                                            << " decode chunk "
+                                            << chunk);
+            auto session = vtable.makeDecompressSession();
+            Bytes decoded;
+            ASSERT_TRUE(
+                decompressAll(*session, reference, chunk, decoded)
+                    .ok());
+            EXPECT_EQ(decoded, data);
+        }
+
+        // When the session stream shares the whole-buffer container,
+        // the two entry points must be interchangeable both ways.
+        if (vtable.caps.streamingSharesBufferFormat) {
+            Bytes decoded;
+            ASSERT_TRUE(
+                vtable.decompressInto(reference, decoded).ok());
+            EXPECT_EQ(decoded, data);
+
+            Bytes whole;
+            ASSERT_TRUE(
+                vtable.compressInto(data, params, whole).ok());
+            auto session = vtable.makeDecompressSession();
+            Bytes streamed;
+            ASSERT_TRUE(
+                decompressAll(*session, whole, 4096, streamed).ok());
+            EXPECT_EQ(streamed, data);
+        }
+    }
+}
+
+TEST(CodecSessionTest, EmptyStreamRoundTrips)
+{
+    for (CodecId id : allCodecs()) {
+        SCOPED_TRACE(codecName(id));
+        const CodecVTable &vtable = registry(id);
+        auto compress =
+            vtable.makeCompressSession(defaultParams(vtable));
+        Bytes frame;
+        ASSERT_TRUE(compressAll(*compress, {}, 0, frame).ok());
+        auto decompress = vtable.makeDecompressSession();
+        Bytes decoded;
+        ASSERT_TRUE(decompressAll(*decompress, frame, 1, decoded).ok());
+        EXPECT_TRUE(decoded.empty());
+    }
+}
+
+TEST(CodecSessionTest, FeedAfterFinishIsInvalid)
+{
+    Rng rng(505);
+    Bytes data = corpus::generateMixed(4 * kKiB, rng);
+    for (CodecId id : allCodecs()) {
+        SCOPED_TRACE(codecName(id));
+        const CodecVTable &vtable = registry(id);
+        auto compress =
+            vtable.makeCompressSession(defaultParams(vtable));
+        ASSERT_TRUE(compress->feed(data).ok());
+        ASSERT_TRUE(compress->finish().ok());
+        Bytes frame;
+        compress->drain(frame);
+        EXPECT_EQ(compress->feed(data).code(),
+                  StatusCode::invalidArgument);
+
+        auto decompress = vtable.makeDecompressSession();
+        ASSERT_TRUE(decompress->feed(frame).ok());
+        ASSERT_TRUE(decompress->finish().ok());
+        EXPECT_EQ(decompress->feed(frame).code(),
+                  StatusCode::invalidArgument);
+    }
+}
+
+TEST(CodecSessionTest, TruncationIsCorruptionNeverShortSuccess)
+{
+    Rng rng(606);
+    Bytes data = corpus::generateMixed(100000, rng, 8 * kKiB);
+    for (CodecId id : allCodecs()) {
+        const CodecVTable &vtable = registry(id);
+        auto compress =
+            vtable.makeCompressSession(defaultParams(vtable));
+        Bytes frame;
+        ASSERT_TRUE(compressAll(*compress, data, 0, frame).ok());
+        ASSERT_GT(frame.size(), 2u);
+
+        // Dropping the last byte cuts a unit mid-body for every
+        // codec's container: decode must fail — by finish() at the
+        // latest — and fail as corruption.
+        for (std::size_t cut : {frame.size() - 1, frame.size() / 2,
+                                std::size_t{2}}) {
+            SCOPED_TRACE(testing::Message()
+                         << codecName(id) << " cut " << cut);
+            ByteSpan truncated(frame.data(), cut);
+            auto session = vtable.makeDecompressSession();
+            Bytes decoded;
+            Status status =
+                decompressAll(*session, truncated, 4096, decoded);
+            // A cut that lands exactly on a unit boundary can be a
+            // legal prefix for self-delimiting containers without an
+            // end marker; it must never reconstruct the full input.
+            if (status.ok())
+                EXPECT_LT(decoded.size(), data.size());
+            else
+                EXPECT_EQ(status.code(), StatusCode::corruptData);
+        }
+
+        // The last-byte cut specifically must never succeed.
+        auto session = vtable.makeDecompressSession();
+        Bytes decoded;
+        EXPECT_EQ(decompressAll(*session,
+                                ByteSpan(frame.data(),
+                                         frame.size() - 1),
+                                0, decoded)
+                      .code(),
+                  StatusCode::corruptData);
+    }
+}
+
+TEST(CodecSessionTest, CorruptionSticksAcrossSubsequentCalls)
+{
+    Rng rng(707);
+    Bytes data = corpus::generateMixed(32 * kKiB, rng);
+    for (CodecId id : allCodecs()) {
+        SCOPED_TRACE(codecName(id));
+        const CodecVTable &vtable = registry(id);
+        auto compress =
+            vtable.makeCompressSession(defaultParams(vtable));
+        Bytes frame;
+        ASSERT_TRUE(compressAll(*compress, data, 0, frame).ok());
+
+        auto session = vtable.makeDecompressSession();
+        Bytes decoded;
+        Status status = decompressAll(
+            *session, ByteSpan(frame.data(), frame.size() - 3), 0,
+            decoded);
+        ASSERT_FALSE(status.ok());
+        // The session stays failed: more input cannot resurrect it.
+        EXPECT_FALSE(
+            session->feed(ByteSpan(frame.data() + frame.size() - 3, 3))
+                .ok());
+    }
+}
+
+} // namespace
+} // namespace cdpu::codec

@@ -15,8 +15,8 @@ namespace cdpu::dse
 namespace
 {
 
-using baseline::Algorithm;
-using baseline::Direction;
+using codec::CodecId;
+using Direction = codec::Direction;
 
 /** Small suites shared by all DSE tests (expensive to build). */
 class DseTest : public ::testing::Test
@@ -50,7 +50,7 @@ hcb::SuiteGenerator *DseTest::generator_ = nullptr;
 TEST_F(DseTest, SnappyDecompressPlacementOrdering)
 {
     hcb::Suite suite =
-        generator_->generate(Algorithm::snappy, Direction::decompress);
+        generator_->generate(CodecId::snappy, Direction::decompress);
     SweepRunner runner(suite);
 
     std::map<sim::Placement, double> speedups;
@@ -75,7 +75,7 @@ TEST_F(DseTest, SnappyDecompressPlacementOrdering)
 TEST_F(DseTest, SnappyDecompressSramMonotonicity)
 {
     hcb::Suite suite =
-        generator_->generate(Algorithm::snappy, Direction::decompress);
+        generator_->generate(CodecId::snappy, Direction::decompress);
     SweepRunner runner(suite);
 
     double prev = 1e18;
@@ -92,7 +92,7 @@ TEST_F(DseTest, SnappyDecompressSramMonotonicity)
 TEST_F(DseTest, SnappyCompressRatioAndSpeed)
 {
     hcb::Suite suite =
-        generator_->generate(Algorithm::snappy, Direction::compress);
+        generator_->generate(CodecId::snappy, Direction::compress);
     SweepRunner runner(suite);
 
     hw::CdpuConfig full;
@@ -114,7 +114,7 @@ TEST_F(DseTest, SnappyCompressRatioAndSpeed)
 TEST_F(DseTest, ZstdDecompressSpeculationScaling)
 {
     hcb::Suite suite =
-        generator_->generate(Algorithm::zstd, Direction::decompress);
+        generator_->generate(CodecId::zstdlite, Direction::decompress);
     SweepRunner runner(suite);
 
     std::map<unsigned, double> speedups;
@@ -132,7 +132,7 @@ TEST_F(DseTest, ZstdDecompressSpeculationScaling)
 TEST_F(DseTest, ZstdCompressRatioTrailsSoftware)
 {
     hcb::Suite suite =
-        generator_->generate(Algorithm::zstd, Direction::compress);
+        generator_->generate(CodecId::zstdlite, Direction::compress);
     SweepRunner runner(suite);
     DsePoint point = runner.run(hw::CdpuConfig{});
     // Section 6.5: the accelerator reaches only part of the software
@@ -145,7 +145,7 @@ TEST_F(DseTest, ZstdCompressRatioTrailsSoftware)
 TEST_F(DseTest, FigureTablesRenderAllRows)
 {
     hcb::Suite suite =
-        generator_->generate(Algorithm::snappy, Direction::decompress);
+        generator_->generate(CodecId::snappy, Direction::decompress);
     SweepRunner runner(suite);
     std::string table = figure11(runner);
     EXPECT_NE(table.find("RoCC"), std::string::npos);
@@ -159,7 +159,7 @@ TEST_F(DseTest, FigureTablesRenderAllRows)
 TEST_F(DseTest, AreaNumbersFlowThroughPoints)
 {
     hcb::Suite suite =
-        generator_->generate(Algorithm::zstd, Direction::compress);
+        generator_->generate(CodecId::zstdlite, Direction::compress);
     SweepRunner runner(suite);
     DsePoint point = runner.run(hw::CdpuConfig{});
     EXPECT_NEAR(point.areaMm2, 3.48, 0.05);

@@ -422,7 +422,7 @@ TEST(EntropyFastPathFuzz, FseRoundTripsOnVariedSkew)
 struct ThreadWorkload
 {
     std::vector<Bytes> payloads;
-    std::vector<hcb::ServeCodec> codecs;
+    std::vector<codec::CodecId> codecs;
     std::vector<u64> expectedFrameHashes;
 };
 
@@ -431,7 +431,7 @@ buildWorkload(u64 seed, std::size_t calls)
 {
     Rng rng(seed);
     auto classes = corpus::allDataClasses();
-    auto codecs = hcb::allServeCodecs();
+    const auto &codecs = codec::allCodecs();
     ThreadWorkload workload;
     serve::CodecContext context;
     for (std::size_t i = 0; i < calls; ++i) {
@@ -442,7 +442,7 @@ buildWorkload(u64 seed, std::size_t calls)
 
         hcb::ReplayCall call;
         call.codec = workload.codecs.back();
-        call.direction = baseline::Direction::compress;
+        call.direction = codec::Direction::compress;
         call.payload = ByteSpan(workload.payloads.back().data(),
                                 workload.payloads.back().size());
         ByteSpan frame;
@@ -481,7 +481,7 @@ TEST(ConcurrentFuzz, SharedProcessContextsNeverCrossContaminate)
                      ++i) {
                     hcb::ReplayCall call;
                     call.codec = workload.codecs[i];
-                    call.direction = baseline::Direction::compress;
+                    call.direction = codec::Direction::compress;
                     call.payload =
                         ByteSpan(workload.payloads[i].data(),
                                  workload.payloads[i].size());
@@ -496,7 +496,7 @@ TEST(ConcurrentFuzz, SharedProcessContextsNeverCrossContaminate)
 
                     hcb::ReplayCall decode;
                     decode.codec = workload.codecs[i];
-                    decode.direction = baseline::Direction::decompress;
+                    decode.direction = codec::Direction::decompress;
                     decode.payload = frame;
                     ByteSpan out;
                     if (!decompress_context.execute(decode, out).ok()) {
@@ -544,15 +544,15 @@ TEST(ConcurrentFuzz, MutatedStreamsAcrossThreadsKeepContextsUsable)
                     mutated[rng.below(mutated.size())] ^=
                         static_cast<u8>(1u << rng.below(8));
                 hcb::ReplayCall bad;
-                bad.codec = hcb::ServeCodec::snappy;
-                bad.direction = baseline::Direction::decompress;
+                bad.codec = codec::CodecId::snappy;
+                bad.direction = codec::Direction::decompress;
                 bad.payload = ByteSpan(mutated.data(), mutated.size());
                 ByteSpan out;
                 (void)context.execute(bad, out);
 
                 hcb::ReplayCall ok_call;
-                ok_call.codec = hcb::ServeCodec::snappy;
-                ok_call.direction = baseline::Direction::decompress;
+                ok_call.codec = codec::CodecId::snappy;
+                ok_call.direction = codec::Direction::decompress;
                 ok_call.payload = ByteSpan(good.data(), good.size());
                 if (!context.execute(ok_call, out).ok()) {
                     ++crashes_expected_ok;

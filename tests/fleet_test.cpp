@@ -22,14 +22,14 @@ class FleetModelTest : public ::testing::Test
 TEST_F(FleetModelTest, FinalCycleSharesMatchFigure1Legend)
 {
     EXPECT_NEAR(model_.cycleShare(
-                    {FleetAlgorithm::snappy, Direction::compress}),
+                    {FleetCodec::snappy, Direction::compress}),
                 0.195, 1e-9);
     EXPECT_NEAR(model_.cycleShare(
-                    {FleetAlgorithm::zstd, Direction::decompress}),
+                    {FleetCodec::zstd, Direction::decompress}),
                 0.258, 1e-9);
     // All shares sum to ~1.
     double total = 0;
-    for (FleetAlgorithm algorithm : allFleetAlgorithms())
+    for (FleetCodec algorithm : allFleetCodecs())
         for (Direction direction :
              {Direction::compress, Direction::decompress})
             total += model_.cycleShare({algorithm, direction});
@@ -40,7 +40,7 @@ TEST_F(FleetModelTest, DecompressShareNearPaper)
 {
     // Section 3.2: 56% of (de)compression cycles are decompression.
     double decompress = 0;
-    for (FleetAlgorithm algorithm : allFleetAlgorithms())
+    for (FleetCodec algorithm : allFleetCodecs())
         decompress +=
             model_.cycleShare({algorithm, Direction::decompress});
     EXPECT_NEAR(decompress, 0.56, 0.01);
@@ -50,7 +50,7 @@ TEST_F(FleetModelTest, MonthlySharesNormalizePerMonth)
 {
     for (unsigned month : {0u, 30u, 60u, 95u}) {
         double total = 0;
-        for (FleetAlgorithm algorithm : allFleetAlgorithms())
+        for (FleetCodec algorithm : allFleetCodecs())
             for (Direction direction :
                  {Direction::compress, Direction::decompress})
                 total +=
@@ -65,9 +65,9 @@ TEST_F(FleetModelTest, ZstdAdoptionTakesAboutAYearTo10Percent)
     // (de)compression cycles in roughly a year.
     auto zstd_share = [&](unsigned month) {
         return model_.cycleShareAt(
-                   {FleetAlgorithm::zstd, Direction::compress}, month) +
+                   {FleetCodec::zstd, Direction::compress}, month) +
                model_.cycleShareAt(
-                   {FleetAlgorithm::zstd, Direction::decompress},
+                   {FleetCodec::zstd, Direction::decompress},
                    month);
     };
     EXPECT_LT(zstd_share(40), 0.02);  // pre-introduction
@@ -97,7 +97,7 @@ TEST_F(FleetModelTest, ByteSharesMatchSection331)
     double total_comp = 0;
     double heavy_deco = 0;
     double total_deco = 0;
-    for (FleetAlgorithm algorithm : allFleetAlgorithms()) {
+    for (FleetCodec algorithm : allFleetCodecs()) {
         double c =
             model_.byteShare({algorithm, Direction::compress});
         double d =
@@ -168,7 +168,7 @@ TEST_F(FleetModelTest, LibrarySharesMatchFigure4)
 
 TEST_F(FleetModelTest, CallSizeMediansMatchFigure3)
 {
-    using A = FleetAlgorithm;
+    using A = FleetCodec;
     auto median_bin = [&](A algorithm, Direction direction) {
         return model_
             .callSizeDistribution({algorithm, direction})
@@ -247,7 +247,7 @@ TEST(GwpSamplerTest, CallSizeCdfConverges)
     FleetModel model;
     GwpSampler sampler(model, 11);
     auto records = sampler.sampleFinalMonth(120000);
-    Channel channel{FleetAlgorithm::snappy, Direction::decompress};
+    Channel channel{FleetCodec::snappy, Direction::decompress};
     WeightedHistogram measured = callSizeHistogram(records, channel);
     double distance = WeightedHistogram::ksDistance(
         measured, model.callSizeDistribution(channel));
@@ -273,7 +273,7 @@ TEST(GwpSamplerTest, TimelineShowsZstdAdoption)
     GwpSampler sampler(model, 15);
     auto records = sampler.sampleTimeline(600);
     auto series = channelTimeline(
-        records, {FleetAlgorithm::zstd, Direction::decompress});
+        records, {FleetCodec::zstd, Direction::decompress});
     ASSERT_EQ(series.size(), FleetModel::kMonths);
     EXPECT_LT(series[24], 0.02);
     EXPECT_GT(series[95], 0.18);

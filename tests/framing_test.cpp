@@ -171,6 +171,68 @@ TEST(FramingTest, PayloadBitFlipsAreCaughtByCrc)
     EXPECT_EQ(undetected, 0);
 }
 
+TEST(FramingTest, ReaderDecodesAnyFeedGranularity)
+{
+    Rng rng(21);
+    Bytes data = corpus::generateMixed(150 * kKiB, rng);
+    Bytes framed = frameCompress(data);
+    for (std::size_t chunk :
+         {std::size_t{1}, std::size_t{7}, std::size_t{4096}}) {
+        FrameReader reader;
+        Bytes decoded;
+        std::size_t pos = 0;
+        while (pos < framed.size()) {
+            std::size_t take =
+                std::min(chunk, framed.size() - pos);
+            ASSERT_TRUE(
+                reader.feed(ByteSpan(framed.data() + pos, take)).ok())
+                << chunk;
+            reader.drainInto(decoded);
+            pos += take;
+        }
+        ASSERT_TRUE(reader.finish().ok()) << chunk;
+        reader.drainInto(decoded);
+        EXPECT_EQ(decoded, data) << chunk;
+    }
+}
+
+TEST(FramingTest, ReaderReportsTruncatedHeaderAndBodyAtFinish)
+{
+    Rng rng(22);
+    Bytes data = corpus::generateMixed(100 * kKiB, rng);
+    Bytes framed = frameCompress(data);
+    // A cut inside the 4-byte chunk header and one inside a chunk
+    // body must both surface as corruptData when finish() declares
+    // end of stream — never as a short success.
+    for (std::size_t cut : {framed.size() - 1, framed.size() - 6,
+                            std::size_t{12}, std::size_t{2}}) {
+        FrameReader reader;
+        Status fed = reader.feed(ByteSpan(framed.data(), cut));
+        if (fed.ok()) {
+            Status finished = reader.finish();
+            ASSERT_FALSE(finished.ok()) << cut;
+            EXPECT_EQ(finished.code(), StatusCode::corruptData) << cut;
+        } else {
+            EXPECT_EQ(fed.code(), StatusCode::corruptData) << cut;
+        }
+    }
+}
+
+TEST(FramingTest, ReaderErrorsAreSticky)
+{
+    Bytes framed = frameCompress(Bytes(1000, u8{'x'}));
+    // Corrupt the first data chunk's CRC.
+    framed[14] ^= 0x01;
+    FrameReader reader;
+    Status first = reader.feed(framed);
+    ASSERT_FALSE(first.ok());
+    EXPECT_EQ(first.code(), StatusCode::corruptData);
+    // Clean bytes cannot resurrect a failed reader.
+    Bytes good = frameCompress(Bytes(10, u8{'y'}));
+    EXPECT_FALSE(reader.feed(good).ok());
+    EXPECT_FALSE(reader.finish().ok());
+}
+
 TEST(FramingTest, TruncationRejected)
 {
     Rng rng(8);

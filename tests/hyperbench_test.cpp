@@ -59,7 +59,8 @@ SuiteConfig HyperBenchTest::suiteConfig_;
 
 TEST_F(HyperBenchTest, LibraryCoversAWideRatioRange)
 {
-    for (Algorithm algorithm : {Algorithm::snappy, Algorithm::zstd}) {
+    for (codec::CodecId algorithm :
+         {codec::CodecId::snappy, codec::CodecId::zstdlite}) {
         auto [lo, hi] = library_->ratioRange(algorithm);
         EXPECT_LT(lo, 1.1) << "random chunks must be incompressible";
         EXPECT_GT(hi, 4.0) << "repetitive chunks must compress well";
@@ -69,7 +70,8 @@ TEST_F(HyperBenchTest, LibraryCoversAWideRatioRange)
 
 TEST_F(HyperBenchTest, LibraryTablesAreSortedByRatio)
 {
-    for (Algorithm algorithm : {Algorithm::snappy, Algorithm::zstd}) {
+    for (codec::CodecId algorithm :
+         {codec::CodecId::snappy, codec::CodecId::zstdlite}) {
         const auto &table = library_->table(algorithm);
         for (std::size_t i = 1; i < table.size(); ++i)
             EXPECT_GE(table[i].ratio, table[i - 1].ratio);
@@ -78,10 +80,10 @@ TEST_F(HyperBenchTest, LibraryTablesAreSortedByRatio)
 
 TEST_F(HyperBenchTest, ClosestIndexFindsNearestRatio)
 {
-    const auto &table = library_->table(Algorithm::snappy);
+    const auto &table = library_->table(codec::CodecId::snappy);
     for (double target : {1.0, 2.0, 3.5, 100.0}) {
         std::size_t index =
-            library_->closestIndex(Algorithm::snappy, target);
+            library_->closestIndex(codec::CodecId::snappy, target);
         ASSERT_LT(index, table.size());
         // No other chunk is strictly closer.
         double best = std::abs(table[index].ratio - target);
@@ -107,7 +109,7 @@ TEST_F(HyperBenchTest, AssembledFileTracksTargetRatio)
     Rng rng(9);
     for (double target_ratio : {1.2, 2.0, 3.5}) {
         FileTarget target;
-        target.algorithm = Algorithm::snappy;
+        target.codec = codec::CodecId::snappy;
         target.sizeBytes = 512 * kKiB;
         target.targetRatio = target_ratio;
         Bytes file = assembleFile(*library_, target, rng);
@@ -122,7 +124,7 @@ TEST_F(HyperBenchTest, AssembledFileTracksTargetRatio)
 TEST_F(HyperBenchTest, SuitesHaveRequestedShape)
 {
     Suite suite =
-        generator_->generate(Algorithm::zstd, Direction::compress);
+        generator_->generate(codec::CodecId::zstdlite, Direction::compress);
     // The size plan targets the configured count approximately.
     EXPECT_GE(suite.files.size(), suiteConfig_.filesPerSuite / 3);
     EXPECT_LE(suite.files.size(), suiteConfig_.filesPerSuite * 20);
@@ -148,8 +150,8 @@ TEST_F(HyperBenchTest, GenerationIsDeterministicForSeed)
     config.seed = 4242;
     SuiteGenerator g1(*fleet_, config);
     SuiteGenerator g2(*fleet_, config);
-    Suite s1 = g1.generate(Algorithm::snappy, Direction::decompress);
-    Suite s2 = g2.generate(Algorithm::snappy, Direction::decompress);
+    Suite s1 = g1.generate(codec::CodecId::snappy, Direction::decompress);
+    Suite s2 = g2.generate(codec::CodecId::snappy, Direction::decompress);
     ASSERT_EQ(s1.files.size(), s2.files.size());
     for (std::size_t i = 0; i < s1.files.size(); ++i)
         EXPECT_EQ(s1.files[i].data, s2.files[i].data);
@@ -161,15 +163,16 @@ TEST_F(HyperBenchTest, ValidationReproducesFigure7)
     // fleet distributions, and achieved ratios land within 5-10%.
     // With laptop-scale file counts we allow a slightly wider band for
     // the KS distance (the paper uses 8,000-10,000 files).
-    for (Algorithm algorithm : {Algorithm::snappy, Algorithm::zstd}) {
+    for (codec::CodecId algorithm :
+         {codec::CodecId::snappy, codec::CodecId::zstdlite}) {
         for (Direction direction :
              {Direction::compress, Direction::decompress}) {
             Suite suite = generator_->generate(algorithm, direction);
             ValidationReport report = validateSuite(
                 suite, *fleet_, suiteConfig_.maxFileBytes);
             EXPECT_LT(report.callSizeKsDistance, 0.12)
-                << algorithmName(algorithm) << " "
-                << directionName(direction);
+                << codec::codecDisplayName(algorithm) << " "
+                << codec::directionName(direction);
             EXPECT_GT(report.achievedRatio, 1.2);
         }
     }
@@ -178,7 +181,7 @@ TEST_F(HyperBenchTest, ValidationReproducesFigure7)
 TEST_F(HyperBenchTest, SnappySuiteRatioNearFleetAggregate)
 {
     Suite suite =
-        generator_->generate(Algorithm::snappy, Direction::compress);
+        generator_->generate(codec::CodecId::snappy, Direction::compress);
     ValidationReport report =
         validateSuite(suite, *fleet_, suiteConfig_.maxFileBytes);
     // Paper: within 5-10% of fleet ratios; allow 15% at this scale.
@@ -188,7 +191,7 @@ TEST_F(HyperBenchTest, SnappySuiteRatioNearFleetAggregate)
 
 TEST_F(HyperBenchTest, CappedFleetHistogramFoldsTail)
 {
-    fleet::Channel channel = toFleetChannel(Algorithm::snappy,
+    fleet::Channel channel = toFleetChannel(codec::CodecId::snappy,
                                             Direction::compress);
     WeightedHistogram capped =
         cappedFleetCallSizes(*fleet_, channel, 1 * kMiB);
@@ -202,7 +205,7 @@ TEST_F(HyperBenchTest, CappedFleetHistogramFoldsTail)
 TEST_F(HyperBenchTest, SuiteFilesRoundTrip)
 {
     Suite suite =
-        generator_->generate(Algorithm::snappy, Direction::decompress);
+        generator_->generate(codec::CodecId::snappy, Direction::decompress);
     for (std::size_t i = 0; i < std::min<std::size_t>(5, suite.files.size());
          ++i) {
         Bytes compressed = snappy::compress(suite.files[i].data);

@@ -174,7 +174,7 @@ TEST(PipelineTest, FleetToSuiteToSweep)
     config.seed = 31415;
     hcb::SuiteGenerator generator(fleet, config);
     hcb::Suite suite = generator.generate(
-        baseline::Algorithm::snappy, baseline::Direction::decompress);
+        codec::CodecId::snappy, codec::Direction::decompress);
     ASSERT_FALSE(suite.files.empty());
 
     dse::SweepRunner runner(suite);
@@ -196,10 +196,10 @@ TEST(PipelineTest, SweepIsDeterministic)
     config.seed = 2718;
     hcb::SuiteGenerator g1(fleet, config);
     hcb::SuiteGenerator g2(fleet, config);
-    hcb::Suite s1 = g1.generate(baseline::Algorithm::zstd,
-                                baseline::Direction::decompress);
-    hcb::Suite s2 = g2.generate(baseline::Algorithm::zstd,
-                                baseline::Direction::decompress);
+    hcb::Suite s1 = g1.generate(codec::CodecId::zstdlite,
+                                codec::Direction::decompress);
+    hcb::Suite s2 = g2.generate(codec::CodecId::zstdlite,
+                                codec::Direction::decompress);
     dse::SweepRunner r1(s1);
     dse::SweepRunner r2(s2);
     EXPECT_DOUBLE_EQ(r1.run(hw::CdpuConfig{}).accelSeconds,
@@ -216,7 +216,7 @@ TEST(PipelineTest, FramingOverSuiteFiles)
     config.seed = 12;
     hcb::SuiteGenerator generator(fleet, config);
     hcb::Suite suite = generator.generate(
-        baseline::Algorithm::snappy, baseline::Direction::compress);
+        codec::CodecId::snappy, codec::Direction::compress);
     for (std::size_t i = 0;
          i < std::min<std::size_t>(4, suite.files.size()); ++i) {
         const Bytes &data = suite.files[i].data;

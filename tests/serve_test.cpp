@@ -12,6 +12,8 @@
 #include <atomic>
 #include <thread>
 
+#include "codec/registry.h"
+#include "corpus/generators.h"
 #include "serve/engine.h"
 #include "serve/queue.h"
 #include "serve/stream_builder.h"
@@ -243,6 +245,81 @@ TEST(ReplayEngineTest, WorkerCountsAreByteIdenticalToSequential)
     }
 }
 
+TEST(ReplayEngineTest, StreamingCallMixMatchesSequential)
+{
+    // Half the calls run through codec sessions in RNG-sized chunks;
+    // the engine's parallel == sequential contract must hold over the
+    // mixed execution paths exactly as over whole-buffer calls.
+    StreamConfig config = smallStreamConfig();
+    config.calls = 96;
+    config.streamingFraction = 0.5;
+    auto stream = buildMixedStream(config);
+    ASSERT_TRUE(stream.ok());
+
+    std::size_t streaming_calls = 0;
+    for (const hcb::ReplayCall &call : stream.value().calls())
+        streaming_calls += call.streaming ? 1 : 0;
+    ASSERT_GT(streaming_calls, 16u) << "mix lost its streaming half";
+    ASSERT_LT(streaming_calls, stream.value().size());
+
+    ReplayReport reference = replaySequential(stream.value(), true);
+    ASSERT_EQ(reference.failed, 0u);
+    ASSERT_EQ(reference.executed, stream.value().size());
+    for (unsigned workers : {2u, 8u}) {
+        EngineConfig engine_config;
+        engine_config.workers = workers;
+        engine_config.recordOutputs = true;
+        ReplayEngine engine(engine_config);
+        SCOPED_TRACE(testing::Message() << workers << " workers");
+        expectReplayMatchesReference(engine.run(stream.value()),
+                                     reference);
+    }
+}
+
+TEST(CodecContextTest, StreamingExecutionMatchesWholeBuffer)
+{
+    Rng rng(11);
+    Bytes payload = corpus::generateMixed(40 * kKiB, rng, 4 * kKiB);
+    CodecContext context;
+    for (codec::CodecId id : codec::allCodecs()) {
+        SCOPED_TRACE(codec::codecName(id));
+        hcb::ReplayCall whole;
+        whole.codec = id;
+        whole.direction = codec::Direction::compress;
+        whole.payload = ByteSpan(payload.data(), payload.size());
+        ByteSpan out;
+        ASSERT_TRUE(context.execute(whole, out).ok());
+        Bytes whole_frame(out.begin(), out.end());
+
+        hcb::ReplayCall streamed = whole;
+        streamed.streaming = true;
+        streamed.chunkBytes = 1024;
+        ASSERT_TRUE(context.execute(streamed, out).ok());
+        Bytes streamed_frame(out.begin(), out.end());
+
+        // Chunk granularity must not show in the bytes.
+        streamed.chunkBytes = 77;
+        ASSERT_TRUE(context.execute(streamed, out).ok());
+        EXPECT_EQ(Bytes(out.begin(), out.end()), streamed_frame);
+
+        if (codec::registry(id).caps.streamingSharesBufferFormat) {
+            EXPECT_EQ(streamed_frame, whole_frame);
+        } else {
+            // Different container (snappy framing): the streamed
+            // frame must still decode back through a streaming call.
+            hcb::ReplayCall decode;
+            decode.codec = id;
+            decode.direction = codec::Direction::decompress;
+            decode.payload = ByteSpan(streamed_frame.data(),
+                                      streamed_frame.size());
+            decode.streaming = true;
+            decode.chunkBytes = 512;
+            ASSERT_TRUE(context.execute(decode, out).ok());
+            EXPECT_EQ(Bytes(out.begin(), out.end()), payload);
+        }
+    }
+}
+
 TEST(ReplayEngineTest, SmallBatchesAndFewShardsStillMatch)
 {
     auto stream = buildMixedStream(smallStreamConfig());
@@ -312,10 +389,10 @@ TEST(ReplayEngineTest, WorkCountersCoverEveryCodecAndDirection)
     ReplayEngine engine(EngineConfig{});
     ReplayReport report = engine.run(stream.value());
     EXPECT_EQ(report.work.at("serve.calls"), 64u);
-    for (auto codec : hcb::allServeCodecs()) {
+    for (codec::CodecId codec : codec::allCodecs()) {
         EXPECT_GT(
-            report.work.at("serve.calls." + serveCodecName(codec)), 0u)
-            << serveCodecName(codec);
+            report.work.at("serve.calls." + codec::codecName(codec)), 0u)
+            << codec::codecName(codec);
     }
     EXPECT_GT(report.work.at("serve.calls.compress"), 0u);
     EXPECT_GT(report.work.at("serve.calls.decompress"), 0u);
@@ -331,8 +408,8 @@ TEST(CallStreamTest, BatchesPartitionTheStream)
 {
     hcb::CallStream stream;
     for (int i = 0; i < 10; ++i)
-        stream.append(hcb::ServeCodec::snappy,
-                      baseline::Direction::compress,
+        stream.append(codec::CodecId::snappy,
+                      codec::Direction::compress,
                       Bytes{static_cast<u8>(i)});
     auto batches = stream.batches(4);
     ASSERT_EQ(batches.size(), 3u);
@@ -351,14 +428,14 @@ TEST(CallStreamTest, BatchesPartitionTheStream)
 TEST(CallStreamTest, AppendSuitePreCompressesDecompressCalls)
 {
     hcb::Suite suite;
-    suite.algorithm = baseline::Algorithm::snappy;
-    suite.direction = baseline::Direction::decompress;
+    suite.codec = codec::CodecId::snappy;
+    suite.direction = codec::Direction::decompress;
     hcb::BenchmarkFile file;
     file.data = Bytes(4096, u8{'a'});
-    file.algorithm = baseline::Algorithm::snappy;
-    file.direction = baseline::Direction::decompress;
+    file.codec = codec::CodecId::snappy;
+    file.direction = codec::Direction::decompress;
     suite.files.push_back(file);
-    file.algorithm = baseline::Algorithm::zstd;
+    file.codec = codec::CodecId::zstdlite;
     file.level = 3;
     file.windowLog = 16;
     suite.files.push_back(file);
