@@ -158,8 +158,7 @@ run(int argc, char **argv)
         row.seconds = run_report.elapsedSeconds;
         row.mbPerSec = static_cast<double>(run_report.bytesIn()) /
                        1e6 / run_report.elapsedSeconds;
-        const auto &latency =
-            run_report.runtime.histograms.at("serve.latency_ns");
+        const auto &latency = run_report.latency();
         row.p50Us = latency.percentile(0.50) / 1e3;
         row.p99Us = latency.percentile(0.99) / 1e3;
         row.steals = run_report.runtime.at("serve.steals");

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fuzz smoke battery: the hardening contract at CI scale.
+ *
+ *   ./build/examples/fuzz_smoke --iterations 10000 --seed-base 0
+ *
+ * Runs the deterministic corruption battery (harden/fuzz_driver.h)
+ * for every registered codec in both directions and exits nonzero on
+ * any contract violation: a fault-class status, an over-allocation
+ * past the analytic decode bound, a streaming-vs-whole-buffer error
+ * divergence, or a non-sticky session error. CI runs this under
+ * ASan/UBSan with fixed seeds (DESIGN.md §11); any failure line
+ * carries the (codec, class, seed) triple to replay it.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/cli.h"
+#include "harden/fuzz_driver.h"
+
+using namespace cdpu;
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args;
+    if (!args.parse(argc, argv, {"iterations", "seed-base",
+                                 "max-payload", "codec",
+                                 "direction"})) {
+        return 1;
+    }
+    auto iterations =
+        static_cast<u64>(args.getInt("iterations", 10000));
+    auto seed_base = static_cast<u64>(args.getInt("seed-base", 0));
+    auto max_payload =
+        static_cast<std::size_t>(args.getInt("max-payload", 4096));
+    std::string only_codec = args.getString("codec", "");
+    std::string only_direction = args.getString("direction", "");
+
+    bool clean = true;
+    for (codec::CodecId id : codec::allCodecs()) {
+        if (!only_codec.empty() && codec::codecName(id) != only_codec)
+            continue;
+        for (codec::Direction direction :
+             {codec::Direction::decompress,
+              codec::Direction::compress}) {
+            if (!only_direction.empty() &&
+                codec::directionName(direction) != only_direction) {
+                continue;
+            }
+            harden::FuzzConfig config;
+            config.codec = id;
+            config.direction = direction;
+            config.iterations = iterations;
+            config.seedBase = seed_base;
+            config.maxPayloadBytes = max_payload;
+            harden::FuzzReport report = harden::runFuzz(config);
+            std::printf("%s\n", report.summary(config).c_str());
+            for (const harden::FuzzFailure &failure : report.failures) {
+                std::printf("  FAIL %s: %s\n",
+                            harden::describeSpec(failure.spec).c_str(),
+                            failure.what.c_str());
+            }
+            clean = clean && report.ok();
+        }
+    }
+    if (!clean) {
+        std::printf("fuzz smoke: contract violations found\n");
+        return 1;
+    }
+    std::printf("fuzz smoke: clean\n");
+    return 0;
+}

@@ -105,6 +105,58 @@ class Status
 };
 
 /**
+ * Coarse failure classes over StatusCode, the unit of comparison for
+ * differential checks: a decoder fed the same bytes whole-buffer and
+ * through a streaming session must land in the same class (messages
+ * and exact codes may differ by path; the class may not). Decode paths
+ * fed corrupt data must report dataError — usageError is for caller
+ * mistakes, and fault means the library itself misbehaved.
+ */
+enum class FailureClass
+{
+    none,          ///< StatusCode::ok.
+    dataError,     ///< corruptData: the bytes are bad.
+    usageError,    ///< invalidArgument/unsupported: the caller is wrong.
+    resourceError, ///< bufferTooSmall.
+    fault,         ///< internal/ioError: the library is wrong.
+};
+
+constexpr FailureClass
+failureClass(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::ok: return FailureClass::none;
+      case StatusCode::corruptData: return FailureClass::dataError;
+      case StatusCode::invalidArgument:
+      case StatusCode::unsupported: return FailureClass::usageError;
+      case StatusCode::bufferTooSmall:
+        return FailureClass::resourceError;
+      case StatusCode::internal:
+      case StatusCode::ioError: return FailureClass::fault;
+    }
+    return FailureClass::fault;
+}
+
+inline FailureClass
+failureClass(const Status &status)
+{
+    return failureClass(status.code());
+}
+
+constexpr const char *
+failureClassName(FailureClass cls)
+{
+    switch (cls) {
+      case FailureClass::none: return "none";
+      case FailureClass::dataError: return "data_error";
+      case FailureClass::usageError: return "usage_error";
+      case FailureClass::resourceError: return "resource_error";
+      case FailureClass::fault: return "fault";
+    }
+    return "unknown";
+}
+
+/**
  * Value-or-error wrapper. Access value() only after checking ok();
  * accessing the value of a failed Result is undefined.
  */

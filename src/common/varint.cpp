@@ -30,6 +30,26 @@ getVarint(ByteSpan data, std::size_t &pos)
     return Status::corrupt("varint longer than 10 bytes");
 }
 
+Result<u32>
+getVarint32(ByteSpan data, std::size_t &pos)
+{
+    u32 value = 0;
+    for (unsigned n = 0; n < 5; ++n) {
+        if (pos >= data.size())
+            return Status::corrupt("varint truncated");
+        u8 byte = data[pos++];
+        // Byte 5 holds bits 28-31: a set continuation bit or any
+        // payload above bit 31 pushes the value past 2^32 (or into a
+        // non-canonical >5-byte encoding).
+        if (n == 4 && (byte & 0xf0) != 0)
+            return Status::corrupt("varint exceeds 32 bits");
+        value |= static_cast<u32>(byte & 0x7f) << (7 * n);
+        if ((byte & 0x80) == 0)
+            return value;
+    }
+    return Status::corrupt("varint longer than 5 bytes");
+}
+
 std::size_t
 varintSize(u64 value)
 {

@@ -24,6 +24,17 @@ void putVarint(Bytes &out, u64 value);
  */
 Result<u64> getVarint(ByteSpan data, std::size_t &pos);
 
+/**
+ * Decodes a 32-bit varint: at most 5 bytes, value < 2^32.
+ *
+ * Snappy's preamble caps lengths at 32 bits, so its decoder must hold
+ * the wire format to the matching encoding bound: a fifth byte may
+ * carry only bits 28-31 (high nibble clear, no continuation), and
+ * anything longer — including non-canonical zero-padded encodings that
+ * getVarint() would accept — is corruptData, not a value.
+ */
+Result<u32> getVarint32(ByteSpan data, std::size_t &pos);
+
 /** Number of bytes putVarint would emit for @p value. */
 std::size_t varintSize(u64 value);
 

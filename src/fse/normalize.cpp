@@ -18,6 +18,8 @@ normalizeCounts(const std::vector<u64> &freqs, unsigned table_log)
     u64 total = 0;
     std::size_t used = 0;
     for (u64 f : freqs) {
+        if (f > ~total) // Running sum would wrap.
+            return Status::invalid("fse frequency total overflows");
         total += f;
         used += f != 0;
     }
@@ -25,6 +27,12 @@ normalizeCounts(const std::vector<u64> &freqs, unsigned table_log)
         return Status::invalid("fse alphabet is empty");
     if (used > table_size)
         return Status::invalid("fse alphabet larger than table");
+    // The proportional-scaling product freqs[sym] * table_size must
+    // not wrap u64 (table_size <= 2^kMaxTableLog): totals this large
+    // cannot come from a real stream, so reject them cleanly instead
+    // of normalizing garbage.
+    if (total >= (1ull << (63 - kMaxTableLog)))
+        return Status::invalid("fse frequency total too large");
 
     NormalizedCounts norm;
     norm.tableLog = table_log;

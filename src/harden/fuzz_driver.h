@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic fuzz battery over the codec registry.
+ *
+ * One contract, enforced everywhere: feeding a decoder mutated bytes
+ * either round-trips (the mutation landed somewhere inert) or returns
+ * a clean dataError — never a crash, never a fault-class status, never
+ * output past the analytic decode tripwire, and streaming sessions
+ * land in the same FailureClass as the whole-buffer entry point at
+ * every chunk granularity, with the error sticky across later calls.
+ * The compress direction runs the same battery shape on arbitrary
+ * payloads: compression must always succeed, respect the CodecCaps
+ * expansion bound, stay chunk-granularity invariant, and round-trip.
+ *
+ * Every iteration is a pure function of (codec, class, seedBase + i);
+ * a failure report carries the triple, so any finding replays with a
+ * one-line driver call (DESIGN.md §11).
+ */
+
+#ifndef CDPU_HARDEN_FUZZ_DRIVER_H_
+#define CDPU_HARDEN_FUZZ_DRIVER_H_
+
+#include "codec/registry.h"
+#include "harden/injector.h"
+
+namespace cdpu::harden
+{
+
+struct FuzzConfig
+{
+    codec::CodecId codec = codec::CodecId::snappy;
+    codec::Direction direction = codec::Direction::decompress;
+    u64 iterations = 1000;
+    /** Iteration i draws from the triple (codec, class, seedBase+i). */
+    u64 seedBase = 0;
+    /** Largest corpus payload a base frame compresses. */
+    std::size_t maxPayloadBytes = 4 * kKiB;
+    /** Session feed granularities; 0 is the whole-buffer feed. */
+    std::vector<std::size_t> chunkSizes = {1, 7, 0};
+    /** Also drive streaming sessions and compare error classes. */
+    bool checkStreaming = true;
+};
+
+/** One contract violation, replayable from its spec. */
+struct FuzzFailure
+{
+    MutationSpec spec;
+    std::string what;
+};
+
+struct FuzzReport
+{
+    u64 iterations = 0;
+    /** Decode direction: mutated frames that still decoded cleanly. */
+    u64 survivors = 0;
+    /** Decode direction: mutated frames rejected with dataError. */
+    u64 cleanRejects = 0;
+    /** Largest output any single decode produced. */
+    u64 maxOutputBytes = 0;
+    std::vector<FuzzFailure> failures;
+
+    bool ok() const { return failures.empty(); }
+    /** "snappy/decompress: 10000 iterations, 9980 clean rejects..." */
+    std::string summary(const FuzzConfig &config) const;
+};
+
+/** Runs the battery for one codec/direction. Deterministic in
+ *  @p config; never throws, never aborts — violations land in
+ *  FuzzReport::failures. */
+FuzzReport runFuzz(const FuzzConfig &config);
+
+/**
+ * Decode-output tripwire: any single decode of a frame this battery
+ * can construct (mutations of <= maxPayloadBytes-sized compressions)
+ * that produces more than this many bytes is an allocation bug, with
+ * margin above every codec's analytic per-unit decode bound (snappy's
+ * 64/3 element expansion, zstdlite's kMaxBlockRegenSize block cap,
+ * the 64 KiB framing chunk cap).
+ */
+inline constexpr u64 kMaxFuzzOutputBytes = 16 * kMiB;
+
+} // namespace cdpu::harden
+
+#endif // CDPU_HARDEN_FUZZ_DRIVER_H_

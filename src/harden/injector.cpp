@@ -1,0 +1,431 @@
+#include "harden/injector.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "flatelite/format.h"
+#include "gipfeli/gipfeli.h"
+#include "snappy/framing.h"
+#include "zstdlite/format.h"
+
+namespace cdpu::harden
+{
+
+const std::vector<MutationClass> &
+allMutationClasses()
+{
+    static const std::vector<MutationClass> kAll = {
+        MutationClass::bitFlip,       MutationClass::truncate,
+        MutationClass::lengthTamper,  MutationClass::crcTamper,
+        MutationClass::chunkTypeSwap, MutationClass::splice,
+    };
+    return kAll;
+}
+
+std::string
+mutationClassName(MutationClass cls)
+{
+    switch (cls) {
+      case MutationClass::bitFlip: return "bit_flip";
+      case MutationClass::truncate: return "truncate";
+      case MutationClass::lengthTamper: return "length_tamper";
+      case MutationClass::crcTamper: return "crc_tamper";
+      case MutationClass::chunkTypeSwap: return "chunk_type_swap";
+      case MutationClass::splice: return "splice";
+    }
+    return "unknown";
+}
+
+u64
+mutationSeed(const MutationSpec &spec)
+{
+    // SplitMix64-style finalizer over the packed triple, so adjacent
+    // seeds (the driver uses seedBase + i) land far apart in Rng space.
+    u64 x = spec.seed;
+    x ^= (static_cast<u64>(spec.codec) << 56) |
+         (static_cast<u64>(spec.cls) << 48);
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::string
+describeSpec(const MutationSpec &spec)
+{
+    return "codec=" + codec::codecName(spec.codec) +
+           " class=" + mutationClassName(spec.cls) +
+           " seed=" + std::to_string(spec.seed);
+}
+
+namespace
+{
+
+/** Skips a varint's bytes (no value decoding); false when the frame
+ *  ends mid-varint or the encoding exceeds 10 bytes. */
+bool
+skipVarint(ByteSpan frame, std::size_t &pos)
+{
+    for (std::size_t n = 0; n < 10 && pos < frame.size(); ++n) {
+        if (!(frame[pos++] & 0x80))
+            return true;
+    }
+    return false;
+}
+
+/** Boundaries of a snappy framed stream: every chunk start, each data
+ *  chunk's CRC edges and payload start. */
+void
+snappyStreamOffsets(ByteSpan frame, std::vector<std::size_t> &offsets)
+{
+    std::size_t pos = 0;
+    while (pos + 4 <= frame.size()) {
+        offsets.push_back(pos);
+        u8 type = frame[pos];
+        std::size_t length = frame[pos + 1] |
+                             (static_cast<std::size_t>(frame[pos + 2])
+                              << 8) |
+                             (static_cast<std::size_t>(frame[pos + 3])
+                              << 16);
+        std::size_t body = pos + 4;
+        if (body > frame.size() || length > frame.size() - body)
+            break;
+        offsets.push_back(body);
+        if ((type == static_cast<u8>(snappy::ChunkType::compressedData) ||
+             type ==
+                 static_cast<u8>(snappy::ChunkType::uncompressedData)) &&
+            length >= 4) {
+            offsets.push_back(body + 4); // CRC | payload edge.
+        }
+        pos = body + length;
+    }
+}
+
+/** Boundaries of the magic/windowLog/contentSize header plus the block
+ *  skeleton shared (modulo field widths) by zstdlite and flatelite:
+ *  u8 header, varint regenSize, then a type-dependent body. */
+void
+blockFrameOffsets(ByteSpan frame, std::size_t magic_size,
+                  bool zstd_blocks, std::vector<std::size_t> &offsets)
+{
+    if (frame.size() <= magic_size + 1)
+        return;
+    offsets.push_back(magic_size);     // magic | windowLog edge.
+    offsets.push_back(magic_size + 1); // windowLog | contentSize edge.
+    std::size_t pos = magic_size + 1;
+    if (!skipVarint(frame, pos))
+        return;
+    offsets.push_back(pos); // header | first block edge.
+
+    bool last = false;
+    while (!last && pos < frame.size()) {
+        u8 header = frame[pos++];
+        last = header & 1;
+        u8 type = (header >> 1) & 3;
+        std::size_t regen_start = pos;
+        u64 regen = 0;
+        {
+            std::size_t probe = pos;
+            for (unsigned n = 0; n < 10 && probe < frame.size(); ++n) {
+                u8 byte = frame[probe++];
+                regen |= static_cast<u64>(byte & 0x7f) << (7 * n);
+                if (!(byte & 0x80))
+                    break;
+            }
+        }
+        if (!skipVarint(frame, pos))
+            return;
+        offsets.push_back(regen_start);
+        offsets.push_back(pos); // regenSize | body edge.
+        if (zstd_blocks) {
+            // 0 raw / 1 rle / 2 compressed.
+            if (type == 0) {
+                pos += regen;
+            } else if (type == 1) {
+                pos += 1;
+            } else {
+                u64 comp = 0;
+                std::size_t probe = pos;
+                for (unsigned n = 0; n < 10 && probe < frame.size();
+                     ++n) {
+                    u8 byte = frame[probe++];
+                    comp |= static_cast<u64>(byte & 0x7f) << (7 * n);
+                    if (!(byte & 0x80))
+                        break;
+                }
+                if (!skipVarint(frame, pos))
+                    return;
+                offsets.push_back(pos); // compSize | sections edge.
+                pos += comp;
+            }
+        } else {
+            // FlateLite: bit1 selects raw vs compressed; only the raw
+            // body is skippable without decoding the bitstream.
+            if (!(header & 2))
+                pos = pos + regen;
+            else
+                return;
+        }
+        if (pos > frame.size())
+            return;
+        offsets.push_back(pos); // block | next block edge.
+    }
+}
+
+/** Positions of likely length fields under the frame's grammar: the
+ *  byte ranges a lengthTamper mutation rewrites. */
+std::vector<std::pair<std::size_t, std::size_t>>
+lengthFieldRanges(codec::CodecId id, FrameKind kind, ByteSpan frame)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    auto varint_range = [&](std::size_t start) {
+        std::size_t pos = start;
+        if (skipVarint(frame, pos) && pos > start)
+            ranges.emplace_back(start, pos - start);
+    };
+    switch (id) {
+      case codec::CodecId::snappy:
+        if (kind == FrameKind::buffer) {
+            varint_range(0); // Preamble uncompressed length.
+        } else {
+            // Every chunk's 24-bit length field.
+            std::size_t pos = 0;
+            while (pos + 4 <= frame.size()) {
+                ranges.emplace_back(pos + 1, 3);
+                std::size_t length =
+                    frame[pos + 1] |
+                    (static_cast<std::size_t>(frame[pos + 2]) << 8) |
+                    (static_cast<std::size_t>(frame[pos + 3]) << 16);
+                if (length > frame.size() - pos - 4)
+                    break;
+                pos += 4 + length;
+            }
+        }
+        break;
+      case codec::CodecId::zstdlite:
+        varint_range(zstdlite::kMagic.size() + 1); // contentSize.
+        break;
+      case codec::CodecId::flatelite:
+        varint_range(flatelite::kMagic.size() + 1);
+        break;
+      case codec::CodecId::gipfeli:
+        varint_range(gipfeli::kMagic.size());
+        break;
+    }
+    // Block/chunk-level varints surface through structuralOffsets; add
+    // the varint starting at each interior boundary as a candidate.
+    for (std::size_t offset :
+         CorruptionInjector::structuralOffsets(id, kind, frame)) {
+        if (offset == 0 || offset >= frame.size())
+            continue;
+        varint_range(offset);
+    }
+    return ranges;
+}
+
+std::size_t
+pickOffset(const std::vector<std::size_t> &offsets, Rng &rng)
+{
+    return offsets[rng.below(offsets.size())];
+}
+
+} // namespace
+
+std::vector<std::size_t>
+CorruptionInjector::structuralOffsets(codec::CodecId id, FrameKind kind,
+                                      ByteSpan frame)
+{
+    std::vector<std::size_t> offsets = {0, frame.size()};
+    switch (id) {
+      case codec::CodecId::snappy:
+        if (kind == FrameKind::buffer) {
+            std::size_t pos = 0;
+            if (skipVarint(frame, pos))
+                offsets.push_back(pos); // Preamble | element edge.
+        } else {
+            snappyStreamOffsets(frame, offsets);
+        }
+        break;
+      case codec::CodecId::zstdlite:
+        blockFrameOffsets(frame, zstdlite::kMagic.size(), true, offsets);
+        break;
+      case codec::CodecId::flatelite:
+        blockFrameOffsets(frame, flatelite::kMagic.size(), false,
+                          offsets);
+        break;
+      case codec::CodecId::gipfeli: {
+        // magic | contentSize varint | per-call body (tables + stream).
+        std::size_t pos = gipfeli::kMagic.size();
+        if (frame.size() > pos) {
+            offsets.push_back(pos);
+            if (skipVarint(frame, pos))
+                offsets.push_back(pos);
+        }
+        break;
+      }
+    }
+    std::sort(offsets.begin(), offsets.end());
+    offsets.erase(std::unique(offsets.begin(), offsets.end()),
+                  offsets.end());
+    // Clamp anything a damaged skeleton walked past the end.
+    while (!offsets.empty() && offsets.back() > frame.size())
+        offsets.pop_back();
+    if (offsets.empty() || offsets.back() != frame.size())
+        offsets.push_back(frame.size());
+    return offsets;
+}
+
+Bytes
+CorruptionInjector::mutate(ByteSpan frame, const MutationSpec &spec,
+                           FrameKind kind, ByteSpan donor)
+{
+    Rng rng(mutationSeed(spec));
+    Bytes out(frame.begin(), frame.end());
+    if (frame.empty() && spec.cls != MutationClass::splice)
+        return out;
+
+    switch (spec.cls) {
+      case MutationClass::bitFlip: {
+        std::size_t flips = 1 + rng.below(8);
+        for (std::size_t i = 0; i < flips; ++i) {
+            std::size_t bit = rng.below(out.size() * 8);
+            out[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+        }
+        break;
+      }
+      case MutationClass::truncate: {
+        auto offsets = structuralOffsets(spec.codec, kind, frame);
+        std::size_t cut = pickOffset(offsets, rng);
+        // Half the time shift by one byte to land mid-field.
+        if (rng.chance(0.5)) {
+            if (rng.chance(0.5) && cut > 0)
+                --cut;
+            else if (cut < frame.size())
+                ++cut;
+        }
+        out.resize(cut);
+        break;
+      }
+      case MutationClass::lengthTamper: {
+        auto ranges = lengthFieldRanges(spec.codec, kind, frame);
+        if (ranges.empty()) {
+            out[rng.below(out.size())] = 0xff;
+            break;
+        }
+        auto [start, len] = ranges[rng.below(ranges.size())];
+        switch (rng.below(4)) {
+          case 0: // Huge: saturate every byte (varints grow, LE
+                  // fields max out).
+            for (std::size_t i = 0; i < len; ++i)
+                out[start + i] = 0xff;
+            break;
+          case 1: // Zero the field.
+            for (std::size_t i = 0; i < len; ++i)
+                out[start + i] = 0;
+            break;
+          case 2: // Off-by-one on the low byte.
+            out[start] = static_cast<u8>(out[start] + 1);
+            break;
+          default: // Random low byte (keeps varint shape half the
+                   // time).
+            out[start] = static_cast<u8>(rng.next());
+            break;
+        }
+        break;
+      }
+      case MutationClass::crcTamper: {
+        if (spec.codec == codec::CodecId::snappy &&
+            kind == FrameKind::stream) {
+            // Flip a bit inside a data chunk's masked CRC field.
+            std::size_t pos = 0;
+            std::vector<std::size_t> crc_fields;
+            while (pos + 4 <= frame.size()) {
+                u8 type = frame[pos];
+                std::size_t length =
+                    frame[pos + 1] |
+                    (static_cast<std::size_t>(frame[pos + 2]) << 8) |
+                    (static_cast<std::size_t>(frame[pos + 3]) << 16);
+                if (length > frame.size() - pos - 4)
+                    break;
+                if ((type == static_cast<u8>(
+                                 snappy::ChunkType::compressedData) ||
+                     type == static_cast<u8>(
+                                 snappy::ChunkType::uncompressedData)) &&
+                    length >= 4) {
+                    crc_fields.push_back(pos + 4);
+                }
+                pos += 4 + length;
+            }
+            if (!crc_fields.empty()) {
+                std::size_t field =
+                    crc_fields[rng.below(crc_fields.size())];
+                out[field + rng.below(4)] ^=
+                    static_cast<u8>(1u << rng.below(8));
+                break;
+            }
+        }
+        // No integrity field in this grammar: damage the stream tail,
+        // where content-size/termination validation must catch it.
+        std::size_t tail = out.size() - 1 -
+                           rng.below(std::min<std::size_t>(out.size(),
+                                                           4));
+        out[tail] ^= static_cast<u8>(1u << rng.below(8));
+        break;
+      }
+      case MutationClass::chunkTypeSwap: {
+        if (spec.codec == codec::CodecId::snappy &&
+            kind == FrameKind::stream) {
+            // Rewrite a chunk type byte across the spec's interesting
+            // ranges: data, reserved-unskippable, skippable, padding,
+            // identifier.
+            static constexpr u8 kTypes[] = {0x00, 0x01, 0x02, 0x7f,
+                                            0x80, 0xfe, 0xff};
+            std::size_t pos = 0;
+            std::vector<std::size_t> headers;
+            while (pos + 4 <= frame.size()) {
+                headers.push_back(pos);
+                std::size_t length =
+                    frame[pos + 1] |
+                    (static_cast<std::size_t>(frame[pos + 2]) << 8) |
+                    (static_cast<std::size_t>(frame[pos + 3]) << 16);
+                if (length > frame.size() - pos - 4)
+                    break;
+                pos += 4 + length;
+            }
+            if (!headers.empty()) {
+                out[headers[rng.below(headers.size())]] =
+                    kTypes[rng.below(std::size(kTypes))];
+                break;
+            }
+        }
+        // Block-structured frames keep their discriminator in the
+        // low bits of each unit's first byte; elsewhere the first
+        // byte after a boundary is the nearest equivalent.
+        auto offsets = structuralOffsets(spec.codec, kind, frame);
+        std::size_t offset = pickOffset(offsets, rng);
+        if (offset >= out.size())
+            offset = out.size() - 1;
+        out[offset] ^= static_cast<u8>(1 + rng.below(7));
+        break;
+      }
+      case MutationClass::splice: {
+        ByteSpan tail_source = donor.empty() ? frame : donor;
+        auto head_offsets =
+            structuralOffsets(spec.codec, kind, frame);
+        auto tail_offsets =
+            structuralOffsets(spec.codec, kind, tail_source);
+        std::size_t head = pickOffset(head_offsets, rng);
+        std::size_t tail = pickOffset(tail_offsets, rng);
+        out.assign(frame.begin(),
+                   frame.begin() + static_cast<std::ptrdiff_t>(head));
+        out.insert(out.end(),
+                   tail_source.begin() +
+                       static_cast<std::ptrdiff_t>(tail),
+                   tail_source.end());
+        break;
+      }
+    }
+    return out;
+}
+
+} // namespace cdpu::harden

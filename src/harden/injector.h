@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Registry-driven corruption injector.
+ *
+ * Decode paths in a hyperscale fleet see wire corruption and
+ * attacker-shaped bytes millions of times per second (the paper's
+ * Section 3 serving context; Section 5's units must reject malformed
+ * input without wedging the pipeline). The injector turns any valid
+ * compressed frame into a structured family of invalid-or-damaged
+ * neighbours: bit flips, truncation at structural boundaries,
+ * length-field/varint tampering, CRC tampering, chunk-type swaps, and
+ * splices of two frames. Every mutation is a pure function of the
+ * (codec, class, seed) triple — no wall-clock, no global state — so a
+ * fuzz failure replays from the triple its report names (DESIGN.md
+ * §11).
+ */
+
+#ifndef CDPU_HARDEN_INJECTOR_H_
+#define CDPU_HARDEN_INJECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "codec/codec.h"
+#include "common/types.h"
+
+namespace cdpu::harden
+{
+
+/** Structured mutation families, ordered as the fuzz driver cycles
+ *  through them. */
+enum class MutationClass : u8
+{
+    bitFlip = 0,   ///< Flip 1..8 random bits anywhere in the frame.
+    truncate,      ///< Cut at (or one byte around) a structural boundary.
+    lengthTamper,  ///< Rewrite a length field / varint (zero, huge, ±1).
+    crcTamper,     ///< Damage an integrity field (or trailing bytes for
+                   ///< codecs without one).
+    chunkTypeSwap, ///< Rewrite a chunk/block type discriminator.
+    splice,        ///< Head of one frame + tail of another, cut at
+                   ///< structural boundaries.
+};
+
+inline constexpr std::size_t kNumMutationClasses = 6;
+
+/** All classes, in enum order (iteration in drivers and tests). */
+const std::vector<MutationClass> &allMutationClasses();
+
+/** Stable lowercase class name for reports ("bit_flip", ...). */
+std::string mutationClassName(MutationClass cls);
+
+/**
+ * Which container grammar a frame follows. For codecs whose streaming
+ * sessions share the whole-buffer container the two are identical;
+ * snappy's session output is framed (framing_format.txt) while its
+ * buffer form is a raw preamble + element stream.
+ */
+enum class FrameKind
+{
+    buffer,
+    stream,
+};
+
+/** The reproduction triple. Two equal specs over equal input frames
+ *  produce byte-identical mutations. */
+struct MutationSpec
+{
+    codec::CodecId codec = codec::CodecId::snappy;
+    MutationClass cls = MutationClass::bitFlip;
+    u64 seed = 0;
+};
+
+/** Mixes the triple into the RNG seed the mutation draws from. */
+u64 mutationSeed(const MutationSpec &spec);
+
+/** "codec=snappy class=bit_flip seed=42" — the replay line a failure
+ *  report carries. */
+std::string describeSpec(const MutationSpec &spec);
+
+class CorruptionInjector
+{
+  public:
+    /**
+     * Structural boundaries of @p frame under @p kind's grammar:
+     * offsets where one field or unit ends and the next begins
+     * (header/varint ends, chunk and block starts, CRC edges), always
+     * including 0 and frame.size(). The walk is a best-effort skeleton
+     * parse — it never validates, and stops at the first byte it
+     * cannot skeleton-parse — so it accepts frames that are already
+     * damaged. Sorted and deduplicated.
+     */
+    static std::vector<std::size_t> structuralOffsets(codec::CodecId id,
+                                                      FrameKind kind,
+                                                      ByteSpan frame);
+
+    /**
+     * Applies @p spec's mutation class to @p frame and returns the
+     * mutated copy. @p donor feeds the splice class (ignored by the
+     * others); when empty, splice folds the frame onto itself. The
+     * result is deterministic in (spec, frame, donor) and may
+     * occasionally equal the input (e.g. an empty frame): callers
+     * treat "still decodes" as a legal outcome.
+     */
+    static Bytes mutate(ByteSpan frame, const MutationSpec &spec,
+                        FrameKind kind, ByteSpan donor = {});
+};
+
+} // namespace cdpu::harden
+
+#endif // CDPU_HARDEN_INJECTOR_H_

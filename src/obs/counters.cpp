@@ -120,6 +120,14 @@ CounterSnapshot::has(const std::string &name) const
     return counters.count(name) != 0;
 }
 
+const HistogramSnapshot &
+CounterSnapshot::histogramAt(const std::string &name) const
+{
+    static const HistogramSnapshot kEmpty;
+    auto it = histograms.find(name);
+    return it == histograms.end() ? kEmpty : it->second;
+}
+
 CounterSnapshot
 CounterSnapshot::diff(const CounterSnapshot &before) const
 {

@@ -114,6 +114,13 @@ struct CounterSnapshot
     bool has(const std::string &name) const;
 
     /**
+     * Histogram snapshot by name; an empty (count == 0) snapshot when
+     * absent. The histogram mirror of at(): a never-touched stream
+     * reads as zero instead of throwing out of the underlying map.
+     */
+    const HistogramSnapshot &histogramAt(const std::string &name) const;
+
+    /**
      * This snapshot minus @p before, entry-wise (entries absent from
      * @p before pass through; counters saturate at 0). The usual idiom
      * for per-call accounting: snapshot, run, snapshot, diff.

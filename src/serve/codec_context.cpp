@@ -8,6 +8,22 @@ namespace cdpu::serve
 Status
 CodecContext::execute(const hcb::ReplayCall &call, ByteSpan &output)
 {
+    Status status = executeInto(call);
+    if (!status.ok()) {
+        // A failed call must not poison the reused scratch: streaming
+        // drains accumulate partial output before the error surfaces,
+        // and a stale lastOutputSize() would misreport the failure.
+        // clear() keeps the capacity, so reuse stays allocation-free.
+        out_.clear();
+        return status;
+    }
+    output = ByteSpan(out_.data(), out_.size());
+    return status;
+}
+
+Status
+CodecContext::executeInto(const hcb::ReplayCall &call)
+{
     const codec::CodecVTable &vtable = codec::registry(call.codec);
     const codec::CodecParams params =
         vtable.caps.clamp(call.level, call.windowLog);
@@ -21,21 +37,16 @@ CodecContext::execute(const hcb::ReplayCall &call, ByteSpan &output)
         out_.clear();
         if (compressing) {
             auto session = vtable.makeCompressSession(params);
-            CDPU_RETURN_IF_ERROR(codec::compressAll(
-                *session, call.payload, call.chunkBytes, out_));
-        } else {
-            auto session = vtable.makeDecompressSession();
-            CDPU_RETURN_IF_ERROR(codec::decompressAll(
-                *session, call.payload, call.chunkBytes, out_));
+            return codec::compressAll(*session, call.payload,
+                                      call.chunkBytes, out_);
         }
-    } else if (compressing) {
-        CDPU_RETURN_IF_ERROR(
-            vtable.compressInto(call.payload, params, out_));
-    } else {
-        CDPU_RETURN_IF_ERROR(vtable.decompressInto(call.payload, out_));
+        auto session = vtable.makeDecompressSession();
+        return codec::decompressAll(*session, call.payload,
+                                    call.chunkBytes, out_);
     }
-    output = ByteSpan(out_.data(), out_.size());
-    return Status::okStatus();
+    if (compressing)
+        return vtable.compressInto(call.payload, params, out_);
+    return vtable.decompressInto(call.payload, out_);
 }
 
 } // namespace cdpu::serve

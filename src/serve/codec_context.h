@@ -36,10 +36,13 @@ class CodecContext
      */
     Status execute(const hcb::ReplayCall &call, ByteSpan &output);
 
-    /** Bytes produced by the last successful execute(). */
+    /** Bytes produced by the last successful execute(); 0 after a
+     *  failed call (a failure never leaves partial output behind). */
     std::size_t lastOutputSize() const { return out_.size(); }
 
   private:
+    Status executeInto(const hcb::ReplayCall &call);
+
     Bytes out_; ///< Reused across calls; capacity only grows.
 };
 

@@ -81,8 +81,16 @@ struct ReplayReport
     u64 dropped = 0;
     u64 failed = 0;
 
+    /** All accessors read 0 / empty for streams that executed no
+     *  calls: CounterSnapshot::at and histogramAt treat never-touched
+     *  entries as zero instead of throwing. */
     u64 bytesIn() const { return work.at("serve.bytes.in"); }
     u64 bytesOut() const { return work.at("serve.bytes.out"); }
+    const obs::HistogramSnapshot &
+    latency() const
+    {
+        return runtime.histogramAt("serve.latency_ns");
+    }
 };
 
 class ReplayEngine

@@ -82,7 +82,10 @@ Result<u64>
 uncompressedLength(ByteSpan data)
 {
     std::size_t pos = 0;
-    return getVarint(data, pos);
+    auto length = getVarint32(data, pos);
+    if (!length.ok())
+        return length.status();
+    return static_cast<u64>(length.value());
 }
 
 Status
@@ -133,14 +136,13 @@ decompressInto(ByteSpan data, Bytes &out)
 {
     out.clear();
     std::size_t pos = 0;
-    auto length = getVarint(data, pos);
+    // The format caps the uncompressed length at 32 bits; getVarint32
+    // holds the wire encoding to that bound (<= 5 canonical bytes), so
+    // over-long encodings and values >= 2^32 both die here.
+    auto length = getVarint32(data, pos);
     if (!length.ok())
         return length.status();
     const u64 expected = length.value();
-    // The format caps the uncompressed length at 32 bits; 2^32 itself
-    // is one past the cap.
-    if (expected >= (1ull << 32))
-        return Status::corrupt("implausible uncompressed length");
     const std::size_t body = data.size() - pos;
     if (expected * kMaxExpansionDen > body * kMaxExpansionNum)
         return Status::corrupt("stream cannot produce claimed length");

@@ -125,8 +125,22 @@ FrameReader::processChunk(u8 type_byte, ByteSpan body)
 
     switch (type_byte) {
       case static_cast<u8>(ChunkType::compressedData): {
+        // The CRC field alone needs 4 bytes; a lying chunk-length
+        // header must not let getLe32 read past the body.
         if (body.size() < 4)
             return Status::corrupt("compressed chunk too short");
+        // Bound the chunk before decoding it: the 24-bit chunk length
+        // admits bodies far larger than any 64 KiB payload can
+        // compress to, and the claimed uncompressed length is checked
+        // up front so an oversized claim cannot size the scratch
+        // buffer first.
+        if (body.size() > 4 + maxCompressedSize(kMaxChunkPayload))
+            return Status::corrupt("chunk exceeds 64 KiB limit");
+        auto claimed = uncompressedLength(body.subspan(4));
+        if (!claimed.ok())
+            return claimed.status();
+        if (claimed.value() > kMaxChunkPayload)
+            return Status::corrupt("chunk exceeds 64 KiB limit");
         u32 expected = unmaskCrc(getLe32(body, 0));
         CDPU_RETURN_IF_ERROR(decompressInto(body.subspan(4), scratch_));
         if (scratch_.size() > kMaxChunkPayload)

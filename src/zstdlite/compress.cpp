@@ -173,16 +173,20 @@ compressInto(ByteSpan input, Bytes &out, const CompressorConfig &config,
 
     for (const auto &seq : parse.sequences) {
         u32 literal_len = seq.literalLength;
-        if (literal_len > kMaxSeqLiteralRun) {
+        while (literal_len > kMaxSeqLiteralRun) {
             // Move the head of the run into the current block as tail
-            // literals, then cut the block.
+            // literals and cut — in slabs of at most kBlockTarget, so
+            // one giant run can never mint a block past the decoder's
+            // kMaxBlockRegenSize bound.
             u32 head = literal_len - kMaxSeqLiteralRun;
+            u32 take =
+                std::min<u32>(head, static_cast<u32>(kBlockTarget));
             block.literals.insert(block.literals.end(),
                                   input.begin() + cursor,
-                                  input.begin() + cursor + head);
-            block.regenSize += head;
-            cursor += head;
-            literal_len = kMaxSeqLiteralRun;
+                                  input.begin() + cursor + take);
+            block.regenSize += take;
+            cursor += take;
+            literal_len -= take;
             CDPU_RETURN_IF_ERROR(flush(false));
         }
         block.literals.insert(block.literals.end(),
@@ -198,12 +202,23 @@ compressInto(ByteSpan input, Bytes &out, const CompressorConfig &config,
             CDPU_RETURN_IF_ERROR(flush(false));
     }
 
-    // Trailing literals after the last sequence.
-    std::size_t tail = input.size() - parse.literalTailStart;
-    block.literals.insert(block.literals.end(),
-                          input.begin() + cursor, input.end());
-    block.regenSize += tail;
-    cursor += tail;
+    // Trailing literals after the last sequence, in slabs that keep
+    // every block under the decoder's kMaxBlockRegenSize bound.
+    while (cursor < input.size()) {
+        std::size_t room = block.regenSize < kBlockTarget
+                               ? kBlockTarget - block.regenSize
+                               : 0;
+        if (room == 0) {
+            CDPU_RETURN_IF_ERROR(flush(false));
+            room = kBlockTarget;
+        }
+        std::size_t take = std::min(input.size() - cursor, room);
+        block.literals.insert(block.literals.end(),
+                              input.begin() + cursor,
+                              input.begin() + cursor + take);
+        block.regenSize += take;
+        cursor += take;
+    }
     CDPU_RETURN_IF_ERROR(flush(true));
 
     if (trace)

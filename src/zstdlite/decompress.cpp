@@ -110,6 +110,11 @@ decodeBlock(ByteSpan data, std::size_t &pos, u64 window_size,
     auto regen = getVarint(data, pos);
     if (!regen.ok())
         return regen.status();
+    // The format bound comes first: it holds even when a tampered
+    // content size would admit more, so the RLE insert and the section
+    // caps below never allocate past one block's legal maximum.
+    if (regen.value() > kMaxBlockRegenSize)
+        return Status::corrupt("block size exceeds format bound");
     if (out.size() + regen.value() > content_size)
         return Status::corrupt("blocks exceed content size");
     std::size_t regen_size = regen.value();
@@ -143,10 +148,12 @@ decodeBlock(ByteSpan data, std::size_t &pos, u64 window_size,
         pos += comp_size.value();
 
         std::size_t body_pos = 0;
-        auto literals = decodeLiteralsSection(body, body_pos);
+        auto literals = decodeLiteralsSection(body, body_pos,
+                                              regen_size);
         if (!literals.ok())
             return literals.status();
-        auto sequences = decodeSequencesSection(body, body_pos);
+        auto sequences = decodeSequencesSection(
+            body, body_pos, regen_size / kMinMatchLength + 1);
         if (!sequences.ok())
             return sequences.status();
         if (body_pos != body.size())

@@ -58,6 +58,20 @@ inline constexpr u32 kMaxMatchLength = 131074;
 /** Shortest match ZstdLite emits (zstd's minimum). */
 inline constexpr u32 kMinMatchLength = 3;
 
+/**
+ * Hard ceiling on a single block's regenerated size, enforced on
+ * decode before anything is allocated. The encoder cuts a block once
+ * it reaches kBlockTarget, and the last append before the cut is at
+ * most one sequence (<= kMaxSeqLiteralRun literals plus a
+ * <= kMaxMatchLength match) or one literal slab (<= kBlockTarget), so
+ * no legal block claims more. A corrupt regenSize/litCount/seqCount
+ * header therefore cannot force a multi-GiB allocation from a few
+ * bytes of input — the RLE-block and literals caps derive from this
+ * bound (zstd proper pins blocks at 128 KiB for the same reason).
+ */
+inline constexpr std::size_t kMaxBlockRegenSize =
+    kBlockTarget + kMaxSeqLiteralRun + kMaxMatchLength;
+
 enum class BlockType : u8
 {
     raw = 0,

@@ -98,7 +98,8 @@ encodeLiteralsSection(ByteSpan literals, Bytes &out,
 }
 
 Result<DecodedLiterals>
-decodeLiteralsSection(ByteSpan data, std::size_t &pos)
+decodeLiteralsSection(ByteSpan data, std::size_t &pos,
+                      std::size_t max_literals)
 {
     if (pos >= data.size())
         return Status::corrupt("literals section truncated");
@@ -111,8 +112,11 @@ decodeLiteralsSection(ByteSpan data, std::size_t &pos)
     auto count = getVarint(data, pos);
     if (!count.ok())
         return count.status();
-    if (count.value() > (1ull << 32))
-        return Status::corrupt("implausible literal count");
+    // Checked before any mode allocates: RLE assigns and Huffman
+    // reserves lit_count bytes, so the claim must fit the block bound
+    // first.
+    if (count.value() > max_literals)
+        return Status::corrupt("literal count exceeds block bound");
     std::size_t lit_count = count.value();
 
     switch (result.mode) {

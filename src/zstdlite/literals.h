@@ -28,9 +28,17 @@ void encodeLiteralsSection(ByteSpan literals, Bytes &out,
                            LiteralsMode *mode_out = nullptr,
                            std::size_t *stream_bytes_out = nullptr);
 
-/** Decodes one literals section starting at @p pos (advanced past it). */
+/**
+ * Decodes one literals section starting at @p pos (advanced past it).
+ *
+ * @p max_literals is the enclosing block's regenerated size: every
+ * literal lands in the block's output, so a count above it is
+ * corruption — and checking before decoding means a tampered count
+ * cannot size an allocation (a 10-byte RLE section once claimed 4 GiB).
+ */
 Result<DecodedLiterals> decodeLiteralsSection(ByteSpan data,
-                                              std::size_t &pos);
+                                              std::size_t &pos,
+                                              std::size_t max_literals);
 
 } // namespace cdpu::zstdlite
 

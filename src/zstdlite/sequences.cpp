@@ -182,14 +182,17 @@ encodeSequencesSection(const std::vector<lz77::Sequence> &sequences,
 }
 
 Result<DecodedSequences>
-decodeSequencesSection(ByteSpan data, std::size_t &pos)
+decodeSequencesSection(ByteSpan data, std::size_t &pos,
+                       std::size_t max_sequences)
 {
     DecodedSequences result;
     auto count = getVarint(data, pos);
     if (!count.ok())
         return count.status();
-    if (count.value() > (1ull << 30))
-        return Status::corrupt("implausible sequence count");
+    // Checked before the reserve below: a tampered count once forced
+    // a 2^30-entry reservation from a handful of bytes.
+    if (count.value() > max_sequences)
+        return Status::corrupt("sequence count exceeds block bound");
     std::size_t num_sequences = count.value();
     if (num_sequences == 0)
         return result;

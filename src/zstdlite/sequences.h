@@ -43,9 +43,17 @@ struct DecodedSequences
     bool dynamicTables = false;
 };
 
-/** Decodes one sequences section starting at @p pos (advanced). */
-Result<DecodedSequences> decodeSequencesSection(ByteSpan data,
-                                                std::size_t &pos);
+/**
+ * Decodes one sequences section starting at @p pos (advanced).
+ *
+ * @p max_sequences bounds the claimed count before anything is
+ * reserved: every sequence contributes a match of at least
+ * kMinMatchLength bytes to the block, so the enclosing block's
+ * regenerated size caps how many sequences it can legally carry
+ * (regen / kMinMatchLength + 1).
+ */
+Result<DecodedSequences> decodeSequencesSection(
+    ByteSpan data, std::size_t &pos, std::size_t max_sequences);
 
 } // namespace cdpu::zstdlite
 

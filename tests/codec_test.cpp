@@ -304,6 +304,61 @@ TEST(CodecSessionTest, TruncationIsCorruptionNeverShortSuccess)
     }
 }
 
+TEST(CodecSessionTest, StreamingErrorClassMatchesWholeBufferDecode)
+{
+    // A corrupt frame fed to a streaming decoder — at any chunk
+    // granularity — must land in the same failure class as the
+    // whole-buffer entry point, and the error must stay sticky.
+    // Regression (zstdlite): block-boundary corruption once surfaced
+    // as invalidArgument from the chunked path while decompressInto
+    // reported corruptData.
+    Rng rng(808);
+    Bytes data = corpus::generateMixed(64 * kKiB, rng);
+    for (CodecId id : allCodecs()) {
+        const CodecVTable &vtable = registry(id);
+        if (!vtable.caps.streamingSharesBufferFormat)
+            continue; // snappy sessions speak the framing container
+        auto compress =
+            vtable.makeCompressSession(defaultParams(vtable));
+        Bytes frame;
+        ASSERT_TRUE(compressAll(*compress, data, 0, frame).ok());
+        ASSERT_GT(frame.size(), 8u);
+
+        // Corrupt a spread of positions: magic, header, block
+        // interior, tail.
+        for (std::size_t where : {std::size_t{0}, std::size_t{5},
+                                  frame.size() / 2, frame.size() - 2}) {
+            Bytes mutated = frame;
+            mutated[where] ^= 0x20;
+            Bytes whole_out;
+            Status whole = vtable.decompressInto(
+                ByteSpan(mutated.data(), mutated.size()), whole_out);
+
+            for (std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                      std::size_t{0}}) {
+                SCOPED_TRACE(testing::Message()
+                             << codecName(id) << " byte " << where
+                             << " chunk " << chunk);
+                auto session = vtable.makeDecompressSession();
+                Bytes decoded;
+                Status streamed =
+                    decompressAll(*session, mutated, chunk, decoded);
+                EXPECT_EQ(failureClass(streamed), failureClass(whole))
+                    << streamed.toString() << " vs "
+                    << whole.toString();
+                if (whole.ok() && streamed.ok()) {
+                    EXPECT_EQ(decoded, whole_out);
+                }
+                if (!streamed.ok()) {
+                    // Sticky: finishing again reports the same class.
+                    EXPECT_EQ(failureClass(session->finish()),
+                              failureClass(streamed));
+                }
+            }
+        }
+    }
+}
+
 TEST(CodecSessionTest, CorruptionSticksAcrossSubsequentCalls)
 {
     Rng rng(707);

@@ -79,6 +79,74 @@ TEST(VarintTest, OverlongFails)
     EXPECT_FALSE(getVarint(buf, pos).ok());
 }
 
+TEST(Varint32Test, AcceptsCanonicalEncodingsUpToMax)
+{
+    const u32 cases[] = {0, 1, 127, 128, 16384, 0xffffu, 0xffffffffu};
+    for (u32 v : cases) {
+        Bytes buf;
+        putVarint(buf, v);
+        std::size_t pos = 0;
+        auto decoded = getVarint32(buf, pos);
+        ASSERT_TRUE(decoded.ok()) << v;
+        EXPECT_EQ(decoded.value(), v);
+        EXPECT_EQ(pos, buf.size());
+    }
+}
+
+TEST(Varint32Test, RejectsValuesPast32Bits)
+{
+    // 2^32 exactly: five bytes with payload bit 32 set. Regression:
+    // the 64-bit reader accepted this and callers compared `> 2^32`,
+    // letting 2^32 itself through.
+    Bytes four_gib = {0x80, 0x80, 0x80, 0x80, 0x10};
+    std::size_t pos = 0;
+    auto out = getVarint32(four_gib, pos);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.status().code(), StatusCode::corruptData);
+
+    Bytes big;
+    putVarint(big, u64{1} << 40);
+    pos = 0;
+    EXPECT_FALSE(getVarint32(big, pos).ok());
+}
+
+TEST(Varint32Test, RejectsNonCanonicalOverlongEncodings)
+{
+    // The value 1 padded to six bytes: a continuation bit on the fifth
+    // byte can never be canonical for a 32-bit value.
+    Bytes overlong = {0x81, 0x80, 0x80, 0x80, 0x80, 0x00};
+    std::size_t pos = 0;
+    EXPECT_FALSE(getVarint32(overlong, pos).ok());
+}
+
+TEST(Varint32Test, TruncatedFails)
+{
+    Bytes buf = {0x80, 0x80};
+    std::size_t pos = 0;
+    EXPECT_FALSE(getVarint32(buf, pos).ok());
+}
+
+TEST(FailureClassTest, PartitionsEveryStatusCode)
+{
+    EXPECT_EQ(failureClass(StatusCode::ok), FailureClass::none);
+    EXPECT_EQ(failureClass(StatusCode::corruptData),
+              FailureClass::dataError);
+    EXPECT_EQ(failureClass(StatusCode::invalidArgument),
+              FailureClass::usageError);
+    EXPECT_EQ(failureClass(StatusCode::unsupported),
+              FailureClass::usageError);
+    EXPECT_EQ(failureClass(StatusCode::bufferTooSmall),
+              FailureClass::resourceError);
+    EXPECT_EQ(failureClass(StatusCode::internal), FailureClass::fault);
+    EXPECT_EQ(failureClass(StatusCode::ioError), FailureClass::fault);
+
+    EXPECT_EQ(failureClass(Status::corrupt("x")),
+              FailureClass::dataError);
+    EXPECT_EQ(failureClass(Status::okStatus()), FailureClass::none);
+    EXPECT_STREQ(failureClassName(FailureClass::dataError),
+                 "data_error");
+}
+
 TEST(BitIoTest, ForwardRoundTrip)
 {
     BitWriter writer;

@@ -11,7 +11,9 @@
 #include <cstring>
 
 #include "common/crc32c.h"
+#include "common/varint.h"
 #include "corpus/generators.h"
+#include "snappy/compress.h"
 #include "snappy/framing.h"
 
 namespace cdpu::snappy
@@ -249,6 +251,63 @@ TEST(FramingTest, TruncationRejected)
             EXPECT_LT(out.value().size(), data.size());
         }
     }
+}
+
+TEST(FramingTest, ShortDataChunkBodiesRejected)
+{
+    // Data chunks shorter than their 4-byte CRC field must fail as
+    // corruption, not read past the body.
+    for (u8 type : {u8{0x00}, u8{0x01}}) {
+        for (u8 body_len : {u8{0}, u8{1}, u8{3}}) {
+            SCOPED_TRACE(testing::Message()
+                         << "type " << int(type) << " len "
+                         << int(body_len));
+            Bytes framed = frameCompress({});
+            framed.push_back(type);
+            framed.insert(framed.end(), {body_len, 0, 0});
+            framed.insert(framed.end(), body_len, u8{0xab});
+            auto out = frameDecompress(framed);
+            ASSERT_FALSE(out.ok());
+            EXPECT_EQ(out.status().code(), StatusCode::corruptData);
+        }
+    }
+}
+
+TEST(FramingTest, OversizedChunkBodyRejectedBeforeDecoding)
+{
+    // A compressed chunk body larger than any legal compression of
+    // 64 KiB must be rejected up front: the 24-bit length field could
+    // otherwise command a multi-megabyte buffer per chunk.
+    std::size_t body_len = 4 + maxCompressedSize(kMaxChunkPayload) + 1;
+    Bytes framed = frameCompress({});
+    framed.push_back(0x00);
+    framed.push_back(static_cast<u8>(body_len & 0xff));
+    framed.push_back(static_cast<u8>((body_len >> 8) & 0xff));
+    framed.push_back(static_cast<u8>((body_len >> 16) & 0xff));
+    framed.insert(framed.end(), body_len, u8{0});
+    auto out = frameDecompress(framed);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.status().code(), StatusCode::corruptData);
+    EXPECT_EQ(out.status().message(), "chunk exceeds 64 KiB limit");
+}
+
+TEST(FramingTest, ChunkClaimingOversizedPayloadRejectedBeforeDecoding)
+{
+    // A legal-sized body whose Snappy preamble claims more than the
+    // 64 KiB chunk cap must be rejected before the decoder allocates.
+    Bytes body = {0, 0, 0, 0}; // placeholder CRC
+    putVarint(body, 1u << 24); // claimed uncompressed length: 16 MiB
+    body.push_back(0x00);
+    Bytes framed = frameCompress({});
+    framed.push_back(0x00);
+    framed.push_back(static_cast<u8>(body.size() & 0xff));
+    framed.push_back(static_cast<u8>((body.size() >> 8) & 0xff));
+    framed.push_back(static_cast<u8>((body.size() >> 16) & 0xff));
+    framed.insert(framed.end(), body.begin(), body.end());
+    auto out = frameDecompress(framed);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.status().code(), StatusCode::corruptData);
+    EXPECT_EQ(out.status().message(), "chunk exceeds 64 KiB limit");
 }
 
 } // namespace

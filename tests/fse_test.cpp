@@ -64,6 +64,56 @@ TEST(NormalizeTest, RejectsEmptyAndOversized)
     EXPECT_FALSE(normalizeCounts(too_many, 5).ok()); // 100 > 32 slots
 }
 
+TEST(NormalizeTest, SingleSymbolTakesWholeTable)
+{
+    std::vector<u64> freqs = {0, 0, 1000, 0};
+    auto norm = normalizeCounts(freqs, 6);
+    ASSERT_TRUE(norm.ok());
+    EXPECT_EQ(norm.value().counts[2], 64u);
+    EXPECT_EQ(norm.value().counts[0], 0u);
+    EXPECT_TRUE(buildEncodeTable(norm.value()).ok());
+    EXPECT_TRUE(buildDecodeTable(norm.value()).ok());
+}
+
+TEST(NormalizeTest, AllEqualFrequenciesSplitEvenly)
+{
+    // Exactly one slot per symbol: the tightest legal fit.
+    std::vector<u64> freqs(32, 7);
+    auto norm = normalizeCounts(freqs, 5);
+    ASSERT_TRUE(norm.ok());
+    for (u32 c : norm.value().counts)
+        EXPECT_EQ(c, 1u);
+    EXPECT_TRUE(buildDecodeTable(norm.value()).ok());
+}
+
+TEST(NormalizeTest, HugeTotalsScaleOrFailCleanly)
+{
+    // Totals far above the table size still normalize: sum exact,
+    // every present symbol >= 1.
+    std::vector<u64> freqs = {u64{1} << 40, u64{1} << 39, 123};
+    auto norm = normalizeCounts(freqs, 6);
+    ASSERT_TRUE(norm.ok());
+    u64 sum = 0;
+    for (u32 c : norm.value().counts) {
+        EXPECT_GE(c, 1u);
+        sum += c;
+    }
+    EXPECT_EQ(sum, 64u);
+
+    // Totals that would wrap the accumulator or the scaling multiply
+    // must fail cleanly instead of producing a wrapped table.
+    // Regression: both used to wrap silently.
+    std::vector<u64> wrap = {~u64{0}, ~u64{0}};
+    auto wrapped = normalizeCounts(wrap, 6);
+    ASSERT_FALSE(wrapped.ok());
+    EXPECT_EQ(wrapped.status().code(), StatusCode::invalidArgument);
+
+    std::vector<u64> too_big = {u64{1} << 55, 1};
+    auto big = normalizeCounts(too_big, 6);
+    ASSERT_FALSE(big.ok());
+    EXPECT_EQ(big.status().code(), StatusCode::invalidArgument);
+}
+
 TEST(NormalizeTest, SerializationRoundTrips)
 {
     std::vector<u64> freqs = {7, 0, 3, 900, 22, 0, 1};

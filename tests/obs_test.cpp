@@ -179,6 +179,23 @@ TEST(CounterTest, SnapshotDiffIsolatesAWindow)
     EXPECT_EQ(delta.histograms.at("pu.call_bytes").sum, 2048u);
 }
 
+TEST(CounterTest, AbsentNamesReadZeroAndEmpty)
+{
+    // Reading a counter or histogram that was never touched must be a
+    // harmless zero, not a throw: report accessors run on empty
+    // replays. Regression: callers used histograms.at(), which throws
+    // on a replay whose stream recorded no latency samples.
+    CounterSnapshot snap;
+    EXPECT_EQ(snap.at("never.touched"), 0u);
+    const HistogramSnapshot &hist = snap.histogramAt("never.touched");
+    EXPECT_EQ(hist.count, 0u);
+    EXPECT_EQ(hist.sum, 0u);
+
+    snap.counters["present"] = 7;
+    EXPECT_EQ(snap.at("present"), 7u);
+    EXPECT_EQ(snap.histogramAt("present").count, 0u);
+}
+
 TEST(CounterTest, DiffSaturatesAtZero)
 {
     CounterSnapshot before;

@@ -320,6 +320,57 @@ TEST(CodecContextTest, StreamingExecutionMatchesWholeBuffer)
     }
 }
 
+TEST(ReplayEngineTest, EmptyStreamReportReadsZeroes)
+{
+    // A replay that executed nothing has untouched counters; every
+    // report accessor must read 0/empty. Regression: the latency
+    // accessor path used histograms.at(), which throws on a stream
+    // that recorded no samples.
+    hcb::CallStream empty;
+    ReplayReport sequential = replaySequential(empty);
+    EXPECT_EQ(sequential.bytesIn(), 0u);
+    EXPECT_EQ(sequential.bytesOut(), 0u);
+    EXPECT_EQ(sequential.latency().count, 0u);
+
+    ReplayEngine engine(EngineConfig{});
+    ReplayReport parallel = engine.run(empty);
+    EXPECT_EQ(parallel.executed, 0u);
+    EXPECT_EQ(parallel.bytesIn(), 0u);
+    EXPECT_EQ(parallel.bytesOut(), 0u);
+    EXPECT_EQ(parallel.latency().count, 0u);
+}
+
+TEST(CodecContextTest, FailedCallDoesNotPoisonReusedScratch)
+{
+    Rng rng(31);
+    Bytes payload = corpus::generateMixed(16 * kKiB, rng, 4 * kKiB);
+    hcb::ReplayCall compress;
+    compress.codec = codec::CodecId::zstdlite;
+    compress.direction = codec::Direction::compress;
+    compress.payload = ByteSpan(payload.data(), payload.size());
+
+    CodecContext fresh;
+    ByteSpan out;
+    ASSERT_TRUE(fresh.execute(compress, out).ok());
+    Bytes expected(out.begin(), out.end());
+
+    // Same call on a context that just failed a decode: the failure
+    // must leave no partial output behind and the next call must be
+    // byte-identical to a fresh context's.
+    CodecContext reused;
+    ASSERT_TRUE(reused.execute(compress, out).ok());
+    Bytes junk = {0xff, 0xee, 0xdd, 0xcc, 0xbb, 0xaa};
+    hcb::ReplayCall bad;
+    bad.codec = codec::CodecId::zstdlite;
+    bad.direction = codec::Direction::decompress;
+    bad.payload = ByteSpan(junk.data(), junk.size());
+    ASSERT_FALSE(reused.execute(bad, out).ok());
+    EXPECT_EQ(reused.lastOutputSize(), 0u);
+
+    ASSERT_TRUE(reused.execute(compress, out).ok());
+    EXPECT_EQ(Bytes(out.begin(), out.end()), expected);
+}
+
 TEST(ReplayEngineTest, SmallBatchesAndFewShardsStillMatch)
 {
     auto stream = buildMixedStream(smallStreamConfig());

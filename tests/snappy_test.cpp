@@ -127,11 +127,12 @@ TEST(SnappyCorruptionTest, LengthAtFormatCapIsRejected)
 {
     // The format's uncompressed length is a 32-bit value; 2^32 exactly
     // is one past the cap. Regression: the bound used to be `> 2^32`,
-    // which let 2^32 itself through to the decoder.
+    // which let 2^32 itself through to the decoder. The canonical
+    // varint32 reader now rejects it at parse time.
     Bytes stream = {0x80, 0x80, 0x80, 0x80, 0x10}; // varint 2^32
     auto out = decompress(stream);
     ASSERT_FALSE(out.ok());
-    EXPECT_EQ(out.status().message(), "implausible uncompressed length");
+    EXPECT_EQ(out.status().message(), "varint exceeds 32 bits");
 
     // One below the cap passes the length gate (and then fails for the
     // honest reason: the body cannot produce that much).
@@ -140,6 +141,22 @@ TEST(SnappyCorruptionTest, LengthAtFormatCapIsRejected)
     ASSERT_FALSE(below.ok());
     EXPECT_NE(below.status().message(),
               "implausible uncompressed length");
+}
+
+TEST(SnappyCorruptionTest, OverlongPreambleVarintRejected)
+{
+    // A compliant encoder emits at most five preamble bytes; padding a
+    // small length with continuation bytes is non-canonical and used
+    // to be accepted (the reader allowed up to ten bytes).
+    Bytes compressed = compress(Bytes{'h', 'i'});
+    ASSERT_GE(compressed.size(), 1u);
+    ASSERT_EQ(compressed[0], 2u); // one-byte varint preamble
+    Bytes overlong = {0x82, 0x80, 0x80, 0x80, 0x80, 0x00};
+    overlong.insert(overlong.end(), compressed.begin() + 1,
+                    compressed.end());
+    auto out = decompress(overlong);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.status().code(), StatusCode::corruptData);
 }
 
 TEST(SnappyCorruptionTest, ImplausibleExpansionRejectedBeforeAllocating)
