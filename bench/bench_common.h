@@ -12,7 +12,9 @@
 #ifndef CDPU_BENCH_BENCH_COMMON_H_
 #define CDPU_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <string>
 
@@ -55,6 +57,25 @@ codecCapsJson(codec::CodecId id)
     json.set("streaming_shares_buffer_format",
              caps.streamingSharesBufferFormat);
     return json;
+}
+
+/**
+ * ISO-8601 UTC wall-clock stamp. Honesty field for committed bench
+ * records: steady-clock durations say how long a run took, but only
+ * wall-clock endpoints say *when* it ran — a record regenerated months
+ * after the code changed is a stale claim, and the timestamps make
+ * that checkable.
+ */
+inline std::string
+wallClockUtc()
+{
+    const std::time_t now = std::chrono::system_clock::to_time_t(
+        std::chrono::system_clock::now());
+    std::tm parts{};
+    gmtime_r(&now, &parts);
+    char buffer[32];
+    std::strftime(buffer, sizeof buffer, "%Y-%m-%dT%H:%M:%SZ", &parts);
+    return buffer;
 }
 
 /** Prints the standard bench banner. */

@@ -12,19 +12,30 @@
  * first to verify the engine's outputs before timing anything.
  *
  * Flags: --calls N --min BYTES --max BYTES --seed S --workers CSV-free
- * max (sweeps 1,2,4,..,max) --json PATH.
+ * max (sweeps 1,2,4,..,max) --json PATH, plus the telemetry pipeline:
+ * --telemetry attaches an obs::Telemetry hub (per-call spans sampled
+ * 1-in---span-period, per-worker flight rings, metrics samples every
+ * --metrics-every completed calls, dimensioned latency) and --slo
+ * declares comma-separated targets ("any:decompress:p99:4096:250us")
+ * evaluated against the final sweep point. Telemetry is off by
+ * default so the headline numbers carry zero instrumentation cost;
+ * CI's overhead guard runs both configurations and fails the build if
+ * the attached hub costs more than 5% throughput.
  *
  * Note: scaling is bounded by the host's cores; the committed
- * BENCH_serve.json records host_cpus so a 1-core container's flat
- * curve is not misread as an engine defect.
+ * BENCH_serve.json records host_cpus, wall-clock endpoints, and a
+ * core_bound flag so a 1-core container's flat curve is not misread
+ * as an engine defect.
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "codec/obs_bridge.h"
 #include "serve/engine.h"
 #include "serve/stream_builder.h"
 
@@ -52,9 +63,14 @@ run(int argc, char **argv)
     CliArgs args;
     serve::StreamConfig stream_config;
     unsigned max_workers = 8;
+    bool telemetry_on = false;
+    u64 span_period = 64;
+    u64 metrics_every = 32;
+    std::string slo_specs;
     if (args.parse(argc, argv,
                    {"calls", "min", "max", "seed", "workers", "codec",
-                    "streaming", "json"})) {
+                    "streaming", "json", "telemetry", "span-period",
+                    "metrics-every", "slo"})) {
         stream_config.calls =
             static_cast<std::size_t>(args.getInt("calls", 192));
         stream_config.minCallBytes =
@@ -79,6 +95,13 @@ run(int argc, char **argv)
             }
             stream_config.codecs = {id.value()};
         }
+        telemetry_on = args.getBool("telemetry", false);
+        span_period =
+            static_cast<u64>(args.getInt("span-period", 64));
+        metrics_every =
+            static_cast<u64>(args.getInt("metrics-every", 32));
+        slo_specs = args.getString(
+            "slo", "any:decompress:p99:0:50ms,any:compress:p99:0:50ms");
     }
     max_workers = std::max(1u, max_workers);
 
@@ -99,16 +122,27 @@ run(int argc, char **argv)
         return 1;
     }
 
+    const std::string wall_clock_start = bench::wallClockUtc();
+    const unsigned host_cpus = std::thread::hardware_concurrency();
+
     bench::BenchReport report("serve_replay", argc, argv);
     report.config("calls", u64{stream.value().size()});
     report.config("payload_bytes",
                   u64{stream.value().totalPayloadBytes()});
     report.config("seed", u64{stream_config.seed});
-    report.config("host_cpus",
-                  u64{std::thread::hardware_concurrency()});
+    report.config("host_cpus", u64{host_cpus});
+    // Honesty flag: sweep points beyond the host's cores time-slice
+    // workers on shared cores, so their scaling is meaningless.
+    report.config("core_bound", max_workers > host_cpus);
+    report.config("wall_clock_start", wall_clock_start);
     report.config("policy", std::string("block"));
     report.config("streaming_fraction",
                   stream_config.streamingFraction);
+    report.config("telemetry", telemetry_on);
+    if (telemetry_on) {
+        report.config("span_period", u64{span_period});
+        report.config("metrics_every", u64{metrics_every});
+    }
 
     // Self-describing telemetry: the capability metadata of every
     // codec the stream exercises, straight from the registry.
@@ -131,9 +165,30 @@ run(int argc, char **argv)
 
     std::vector<Row> rows;
     obs::JsonValue sweep = obs::JsonValue::array();
+    // Telemetry from the widest sweep point (a fresh hub per point
+    // keeps each point's spans/metrics self-contained).
+    obs::JsonValue telemetry_doc;
+    obs::SloTracker slo;
+    if (telemetry_on) {
+        Status declared = slo.declareSpecs(slo_specs);
+        if (!declared.ok()) {
+            std::fprintf(stderr, "--slo: %s\n",
+                         declared.message().c_str());
+            return 1;
+        }
+    }
     for (unsigned workers = 1; workers <= max_workers; workers *= 2) {
         serve::EngineConfig config;
         config.workers = workers;
+        std::unique_ptr<obs::Telemetry> tele;
+        if (telemetry_on) {
+            obs::TelemetryConfig tc;
+            tc.spanSamplePeriod = span_period;
+            tc.metricsEveryCalls = metrics_every;
+            tele = std::make_unique<obs::Telemetry>(
+                tc, workers, codec::codecFlightNamer());
+            config.telemetry = tele.get();
+        }
         serve::ReplayEngine engine(config);
         serve::ReplayReport run_report = engine.run(stream.value());
 
@@ -171,15 +226,40 @@ run(int argc, char **argv)
 
         obs::JsonValue point = obs::JsonValue::object();
         point.set("workers", u64{workers});
+        point.set("core_bound", workers > host_cpus);
         point.set("seconds", row.seconds);
         point.set("mb_per_sec", row.mbPerSec);
         point.set("p50_us", row.p50Us);
         point.set("p99_us", row.p99Us);
+        point.set("p999_us", run_report.latency().percentile(0.999) / 1e3);
         point.set("steals", u64{row.steals});
+        if (tele) {
+            point.set("spans_sampled", u64{run_report.spansSampled});
+            point.set("metrics_samples", u64{run_report.metricsSamples});
+        }
         sweep.push(std::move(point));
 
         if (workers == 1)
             report.counters(run_report.work);
+
+        // The widest point's telemetry becomes the committed document:
+        // spans, the time series, the SLO scorecard over dimensioned
+        // latency, and any fault dump.
+        if (tele && workers * 2 > max_workers) {
+            telemetry_doc = obs::JsonValue::object();
+            telemetry_doc.set("workers", u64{workers});
+            telemetry_doc.set("spans", tele->spans().toJson());
+            if (run_report.metricsSamples)
+                telemetry_doc.set(
+                    "metrics_series",
+                    run_report.metricsSeries.at("metrics_series"));
+            obs::CounterSnapshot merged = run_report.runtime;
+            merged.merge(run_report.work);
+            telemetry_doc.set("slo",
+                              slo.toJson(merged).at("slo"));
+            if (tele->hasFaultDump())
+                telemetry_doc.set("fault_dump", tele->faultDump());
+        }
     }
 
     double base = rows.front().mbPerSec;
@@ -192,6 +272,9 @@ run(int argc, char **argv)
     report.metric("mb_per_sec_1w", base);
     report.metric("mb_per_sec_best", best);
     report.metric("speedup_best", best / base);
+    if (telemetry_on)
+        report.metric("telemetry", std::move(telemetry_doc));
+    report.metric("wall_clock_end", bench::wallClockUtc());
     Status written = report.write();
     if (!written.ok()) {
         std::fprintf(stderr, "%s\n", written.message().c_str());

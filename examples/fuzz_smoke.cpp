@@ -14,8 +14,10 @@
  */
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
+#include "codec/obs_bridge.h"
 #include "common/cli.h"
 #include "harden/fuzz_driver.h"
 
@@ -27,7 +29,8 @@ main(int argc, char **argv)
     CliArgs args;
     if (!args.parse(argc, argv, {"iterations", "seed-base",
                                  "max-payload", "codec",
-                                 "direction"})) {
+                                 "direction", "flight-dump",
+                                 "tripwire"})) {
         return 1;
     }
     auto iterations =
@@ -37,6 +40,20 @@ main(int argc, char **argv)
         static_cast<std::size_t>(args.getInt("max-payload", 4096));
     std::string only_codec = args.getString("codec", "");
     std::string only_direction = args.getString("direction", "");
+    // --flight-dump PATH: attach a telemetry hub so every battery
+    // records per-iteration flight events; the first contract
+    // violation's recent history is written to PATH as an
+    // obsctl-renderable fault dump.
+    std::string dump_path = args.getString("flight-dump", "");
+    // --tripwire BYTES lowers the decode-output allocation tripwire
+    // (default: the analytic bound). Setting it absurdly low forces a
+    // deterministic violation — the supported way to demo/verify the
+    // fault-dump path end to end.
+    auto tripwire = static_cast<u64>(args.getInt(
+        "tripwire", static_cast<i64>(harden::kMaxFuzzOutputBytes)));
+
+    obs::TelemetryConfig tc;
+    obs::Telemetry telemetry(tc, 1, codec::codecFlightNamer());
 
     bool clean = true;
     for (codec::CodecId id : codec::allCodecs()) {
@@ -55,6 +72,9 @@ main(int argc, char **argv)
             config.iterations = iterations;
             config.seedBase = seed_base;
             config.maxPayloadBytes = max_payload;
+            config.outputTripwireBytes = tripwire;
+            if (!dump_path.empty())
+                config.telemetry = &telemetry;
             harden::FuzzReport report = harden::runFuzz(config);
             std::printf("%s\n", report.summary(config).c_str());
             for (const harden::FuzzFailure &failure : report.failures) {
@@ -66,6 +86,12 @@ main(int argc, char **argv)
         }
     }
     if (!clean) {
+        if (!dump_path.empty() && telemetry.hasFaultDump()) {
+            std::ofstream out(dump_path, std::ios::binary);
+            out << telemetry.faultDump().dump(1) << '\n';
+            std::printf("flight dump (first violation) written to %s\n",
+                        dump_path.c_str());
+        }
         std::printf("fuzz smoke: contract violations found\n");
         return 1;
     }

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Codec-aware encodings for the generic obs flight-recorder schema.
+ *
+ * obs::FlightEvent keeps kind/direction/outcome as raw small integers
+ * so the observability layer stays below the codec layer; every
+ * producer that records codec calls (serve engine, harden fuzz
+ * driver, benches) uses these helpers so dumps from different layers
+ * agree on the encoding and render with the same names.
+ */
+
+#ifndef CDPU_CODEC_OBS_BRIDGE_H_
+#define CDPU_CODEC_OBS_BRIDGE_H_
+
+#include "codec/codec.h"
+#include "common/error.h"
+#include "obs/flight_recorder.h"
+
+namespace cdpu::codec
+{
+
+inline u8
+flightKind(CodecId id)
+{
+    return static_cast<u8>(id);
+}
+
+inline u8
+flightDirection(Direction direction)
+{
+    return direction == Direction::compress ? 0 : 1;
+}
+
+inline u8
+flightOutcome(const Status &status)
+{
+    return static_cast<u8>(failureClass(status));
+}
+
+inline std::string
+flightKindName(u8 kind)
+{
+    if (kind < kNumCodecs)
+        return codecName(static_cast<CodecId>(kind));
+    return "kind" + std::to_string(kind);
+}
+
+inline std::string
+flightDirectionName(u8 direction)
+{
+    return direction == 0 ? "compress" : "decompress";
+}
+
+inline std::string
+flightOutcomeName(u8 outcome)
+{
+    return failureClassName(static_cast<FailureClass>(outcome));
+}
+
+/** The namer serve/harden hand to obs when dumping flight history. */
+inline obs::FlightNamer
+codecFlightNamer()
+{
+    return {&flightKindName, &flightDirectionName, &flightOutcomeName};
+}
+
+} // namespace cdpu::codec
+
+#endif // CDPU_CODEC_OBS_BRIDGE_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/span.h"
+
 namespace cdpu::codec
 {
 
@@ -11,15 +13,21 @@ DecompressSession::~DecompressSession() = default;
 namespace
 {
 
+/** Session phase boundaries report through the thread-local phase
+ *  hook: when the serve layer samples the surrounding call, its span
+ *  collects feed/finish annotations; otherwise each call below is one
+ *  null-pointer test (obs::annotatePhase). */
 template <typename Session>
 Status
 runAll(Session &session, ByteSpan input, std::size_t chunk_bytes,
        Bytes &out)
 {
     if (chunk_bytes == 0) {
+        obs::annotatePhase("session.feed", input.size());
         CDPU_RETURN_IF_ERROR(session.feed(input));
         session.drain(out);
     } else {
+        obs::annotatePhase("session.feed", input.size());
         for (std::size_t pos = 0; pos < input.size();
              pos += chunk_bytes) {
             std::size_t take =
@@ -28,6 +36,7 @@ runAll(Session &session, ByteSpan input, std::size_t chunk_bytes,
             session.drain(out);
         }
     }
+    obs::annotatePhase("session.finish", out.size());
     CDPU_RETURN_IF_ERROR(session.finish());
     session.drain(out);
     return Status::okStatus();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "codec/obs_bridge.h"
 #include "codec/session.h"
 #include "common/rng.h"
 #include "corpus/generators.h"
@@ -118,6 +119,8 @@ class Battery
         : config_(config), vtable_(codec::registry(config.codec)),
           base_(buildCorpus(config))
     {
+        if (config_.telemetry && config_.telemetry->flightEnabled())
+            ring_ = &config_.telemetry->flight().ring(0);
     }
 
     FuzzReport
@@ -142,10 +145,38 @@ class Battery
     void
     fail(const MutationSpec &spec, std::string what)
     {
+        // The battery is single-threaded, so by the time a violation
+        // surfaces the ring writer is quiescent and the dump is exact:
+        // the last events are literally the iterations leading here.
+        if (config_.telemetry) {
+            config_.telemetry->noteFault(
+                "fuzz " + codec::codecName(config_.codec) + "/" +
+                    codec::directionName(config_.direction) +
+                    " seed=" + std::to_string(spec.seed) + ": " + what,
+                obs::SpanRecorder::nowNs());
+        }
         // Cap the list: one pathological run should not OOM the
         // report; the count still tells the story.
         if (report_.failures.size() < 64)
             report_.failures.push_back({spec, std::move(what)});
+    }
+
+    /** One flight event per iteration: always-on recent history. */
+    void
+    recordFlight(u64 iteration, const Status &status, u64 bytes_in,
+                 u64 bytes_out)
+    {
+        if (!ring_)
+            return;
+        obs::FlightEvent event;
+        event.id = iteration;
+        event.timestampNs = obs::SpanRecorder::nowNs();
+        event.kind = codec::flightKind(config_.codec);
+        event.direction = codec::flightDirection(config_.direction);
+        event.outcome = codec::flightOutcome(status);
+        event.bytesIn = bytes_in;
+        event.bytesOut = bytes_out;
+        ring_->record(event);
     }
 
     /** A decode status must be ok or a data error — usage errors,
@@ -179,8 +210,9 @@ class Battery
 
         Bytes whole;
         Status whole_status = vtable_.decompressInto(mutated, whole);
+        recordFlight(i, whole_status, mutated.size(), whole.size());
         checkDecodeStatus(spec, whole_status, "whole-buffer");
-        if (whole.size() > kMaxFuzzOutputBytes) {
+        if (whole.size() > config_.outputTripwireBytes) {
             fail(spec, "whole-buffer decode produced " +
                            std::to_string(whole.size()) +
                            " bytes, past the allocation tripwire");
@@ -219,7 +251,7 @@ class Battery
             DriveResult reference =
                 driveDecode(*reference_session, stream_mutated, 0);
             checkDecodeStatus(spec, reference.status, "stream");
-            if (reference.out.size() > kMaxFuzzOutputBytes) {
+            if (reference.out.size() > config_.outputTripwireBytes) {
                 fail(spec, "stream decode produced " +
                                std::to_string(reference.out.size()) +
                                " bytes, past the allocation tripwire");
@@ -314,6 +346,7 @@ class Battery
 
         Bytes compressed;
         Status cs = vtable_.compressInto(payload, params, compressed);
+        recordFlight(i, cs, payload.size(), compressed.size());
         if (!cs.ok()) {
             fail(spec, "compress failed on legal input: " +
                            cs.toString());
@@ -380,6 +413,7 @@ class Battery
     const codec::CodecVTable &vtable_;
     BaseFrames base_;
     FuzzReport report_;
+    obs::FlightRing *ring_ = nullptr;
 };
 
 } // namespace

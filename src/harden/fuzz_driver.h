@@ -22,9 +22,20 @@
 
 #include "codec/registry.h"
 #include "harden/injector.h"
+#include "obs/telemetry.h"
 
 namespace cdpu::harden
 {
+
+/**
+ * Decode-output tripwire: any single decode of a frame this battery
+ * can construct (mutations of <= maxPayloadBytes-sized compressions)
+ * that produces more than this many bytes is an allocation bug, with
+ * margin above every codec's analytic per-unit decode bound (snappy's
+ * 64/3 element expansion, zstdlite's kMaxBlockRegenSize block cap,
+ * the 64 KiB framing chunk cap).
+ */
+inline constexpr u64 kMaxFuzzOutputBytes = 16 * kMiB;
 
 struct FuzzConfig
 {
@@ -39,6 +50,19 @@ struct FuzzConfig
     std::vector<std::size_t> chunkSizes = {1, 7, 0};
     /** Also drive streaming sessions and compare error classes. */
     bool checkStreaming = true;
+    /** Decode-output allocation tripwire; the default is the analytic
+     *  bound above. Tests lower it to force a deterministic failure
+     *  and exercise the fault-dump path. */
+    u64 outputTripwireBytes = kMaxFuzzOutputBytes;
+    /**
+     * Optional telemetry hub (not owned). The battery records one
+     * flight event per iteration into ring 0 — (iteration, codec,
+     * direction, outcome class, frame/output sizes) — and the first
+     * contract violation freezes the recent history as a fault dump
+     * (Telemetry::faultDump), so "iteration 8731 failed" arrives with
+     * the events leading up to it.
+     */
+    obs::Telemetry *telemetry = nullptr;
 };
 
 /** One contract violation, replayable from its spec. */
@@ -68,16 +92,6 @@ struct FuzzReport
  *  @p config; never throws, never aborts — violations land in
  *  FuzzReport::failures. */
 FuzzReport runFuzz(const FuzzConfig &config);
-
-/**
- * Decode-output tripwire: any single decode of a frame this battery
- * can construct (mutations of <= maxPayloadBytes-sized compressions)
- * that produces more than this many bytes is an allocation bug, with
- * margin above every codec's analytic per-unit decode bound (snappy's
- * 64/3 element expansion, zstdlite's kMaxBlockRegenSize block cap,
- * the 64 KiB framing chunk cap).
- */
-inline constexpr u64 kMaxFuzzOutputBytes = 16 * kMiB;
 
 } // namespace cdpu::harden
 

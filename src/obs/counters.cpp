@@ -46,6 +46,14 @@ HistogramSnapshot::percentile(double q) const
         double last = static_cast<double>(seen + buckets[i] - 1);
         if (rank <= last) {
             auto [lo, hi] = bucketRange(i);
+            // Narrow the end buckets to the observed extremes before
+            // interpolating: assuming samples span the full power-of-
+            // two range collapses every high quantile of a
+            // single-bucket distribution onto the clamp at max, making
+            // p99 and p999 indistinguishable. With the observed
+            // [min, max] as the interpolation range they separate.
+            lo = std::max(lo, static_cast<double>(min));
+            hi = std::min(hi, static_cast<double>(max));
             double fraction =
                 buckets[i] > 1 ? (rank - first) / (last - first) : 0.0;
             double value = lo + fraction * (hi - lo);
@@ -98,6 +106,7 @@ HistogramSnapshot::toJson() const
     out.set("p50", percentile(0.50));
     out.set("p90", percentile(0.90));
     out.set("p99", percentile(0.99));
+    out.set("p999", percentile(0.999));
     JsonValue nonzero = JsonValue::object();
     for (unsigned i = 0; i < kBuckets; ++i) {
         if (buckets[i])

@@ -1,0 +1,129 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace cdpu::obs
+{
+
+FlightRing::FlightRing(std::size_t capacity)
+{
+    capacity = std::max<std::size_t>(capacity, 8);
+    capacity = std::bit_ceil(capacity);
+    slots_ = std::vector<Slot>(capacity);
+    mask_ = capacity - 1;
+}
+
+std::vector<FlightEvent>
+FlightRing::dump(std::size_t last_k) const
+{
+    const u64 head = head_.load(std::memory_order_acquire);
+    const u64 available = std::min<u64>(head, slots_.size());
+    const u64 take = std::min<u64>(last_k, available);
+    std::vector<FlightEvent> out;
+    out.reserve(static_cast<std::size_t>(take));
+    for (u64 i = head - take; i < head; ++i) {
+        const Slot &slot = slots_[i & mask_];
+        FlightEvent event;
+        event.id = slot.id.load(std::memory_order_relaxed);
+        event.timestampNs =
+            slot.timestampNs.load(std::memory_order_relaxed);
+        const u64 meta = slot.meta.load(std::memory_order_relaxed);
+        event.kind = static_cast<u8>(meta & 0xff);
+        event.direction = static_cast<u8>((meta >> 8) & 0xff);
+        event.outcome = static_cast<u8>((meta >> 16) & 0xff);
+        event.bytesIn = slot.bytesIn.load(std::memory_order_relaxed);
+        event.bytesOut = slot.bytesOut.load(std::memory_order_relaxed);
+        out.push_back(event);
+    }
+    return out;
+}
+
+FlightRecorder::FlightRecorder(unsigned rings,
+                               std::size_t capacity_per_ring)
+{
+    if (rings == 0)
+        rings = 1;
+    rings_.reserve(rings);
+    for (unsigned i = 0; i < rings; ++i)
+        rings_.push_back(std::make_unique<FlightRing>(capacity_per_ring));
+}
+
+u64
+FlightRecorder::recorded() const
+{
+    u64 total = 0;
+    for (const auto &ring : rings_)
+        total += ring->recorded();
+    return total;
+}
+
+std::vector<FlightEvent>
+FlightRecorder::dumpMerged(std::size_t last_k) const
+{
+    std::vector<FlightEvent> merged;
+    for (const auto &ring : rings_) {
+        std::vector<FlightEvent> part = ring->dump(last_k);
+        merged.insert(merged.end(), part.begin(), part.end());
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const FlightEvent &a, const FlightEvent &b) {
+                         return a.timestampNs < b.timestampNs;
+                     });
+    if (merged.size() > last_k)
+        merged.erase(merged.begin(),
+                     merged.end() - static_cast<std::ptrdiff_t>(last_k));
+    return merged;
+}
+
+namespace
+{
+
+JsonValue
+renderField(u8 value, std::string (*namer)(u8))
+{
+    if (namer)
+        return JsonValue(namer(value));
+    return JsonValue(static_cast<u64>(value));
+}
+
+} // namespace
+
+JsonValue
+flightEventsToJson(const std::vector<FlightEvent> &events,
+                   const FlightNamer &namer)
+{
+    JsonValue list = JsonValue::array();
+    for (const FlightEvent &event : events) {
+        JsonValue row = JsonValue::object();
+        row.set("id", event.id);
+        row.set("t_ns", event.timestampNs);
+        row.set("kind", renderField(event.kind, namer.kind));
+        row.set("direction",
+                renderField(event.direction, namer.direction));
+        row.set("outcome", renderField(event.outcome, namer.outcome));
+        row.set("bytes_in", event.bytesIn);
+        row.set("bytes_out", event.bytesOut);
+        list.push(std::move(row));
+    }
+    JsonValue document = JsonValue::object();
+    document.set("flight_events", std::move(list));
+    return document;
+}
+
+JsonValue
+FlightRecorder::dumpJson(std::size_t last_k,
+                         const FlightNamer &namer) const
+{
+    JsonValue document =
+        flightEventsToJson(dumpMerged(last_k), namer);
+    document.set("rings", static_cast<u64>(rings_.size()));
+    document.set("capacity_per_ring",
+                 static_cast<u64>(rings_.empty()
+                                      ? 0
+                                      : rings_.front()->capacity()));
+    document.set("recorded_total", recorded());
+    return document;
+}
+
+} // namespace cdpu::obs

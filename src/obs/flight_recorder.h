@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Always-on flight recorder: per-thread lock-free event rings.
+ *
+ * The fleet's most valuable telemetry is the cheapest kind: a bounded
+ * recent-history buffer that is always running, so the moments before
+ * a fault are available after the fact without having paid for a full
+ * trace. Each ring is single-writer (the owning worker thread) and
+ * costs a handful of relaxed atomic stores per call; any thread may
+ * dump a ring at any time. A dump taken while the writer is mid-lap
+ * may contain torn events (fields from two different records); dumps
+ * taken after a fault — the intended use — see a quiesced writer and
+ * are exact. The serve engine and the harden fuzz driver both dump
+ * the last-K events on any failure, turning "iteration 8731 failed"
+ * into a replayable recent-history report.
+ *
+ * The event schema is deliberately generic (kind/direction/outcome as
+ * small integers) so obs stays independent of the codec layer; callers
+ * that know the encoding pass a FlightNamer to render dumps with
+ * human-readable names.
+ */
+
+#ifndef CDPU_OBS_FLIGHT_RECORDER_H_
+#define CDPU_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace cdpu::obs
+{
+
+/** One recorded call: the unit the ring stores and dumps. */
+struct FlightEvent
+{
+    u64 id = 0;          ///< Caller-assigned (call id, fuzz iteration).
+    u64 timestampNs = 0; ///< Steady-clock nanoseconds (caller-stamped).
+    u8 kind = 0;         ///< Caller encoding; serve/harden: CodecId.
+    u8 direction = 0;    ///< Caller encoding; 0 compress, 1 decompress.
+    u8 outcome = 0;      ///< Caller encoding; serve/harden: FailureClass.
+    u64 bytesIn = 0;
+    u64 bytesOut = 0;
+};
+
+/** Renders FlightEvent integer fields as names in dumps. Defaults
+ *  print the raw numbers, so obs needs no codec knowledge. */
+struct FlightNamer
+{
+    std::string (*kind)(u8) = nullptr;
+    std::string (*direction)(u8) = nullptr;
+    std::string (*outcome)(u8) = nullptr;
+};
+
+/**
+ * Fixed-capacity single-writer event ring. record() is wait-free: five
+ * relaxed stores and one release publish. dump() may run concurrently
+ * from any thread (see the torn-event caveat in the file comment).
+ */
+class FlightRing
+{
+  public:
+    /** @p capacity is rounded up to a power of two (min 8). */
+    explicit FlightRing(std::size_t capacity);
+
+    FlightRing(const FlightRing &) = delete;
+    FlightRing &operator=(const FlightRing &) = delete;
+
+    /** Appends @p event, overwriting the oldest once full. Single
+     *  writer only. */
+    void
+    record(const FlightEvent &event)
+    {
+        const u64 head = head_.load(std::memory_order_relaxed);
+        Slot &slot = slots_[head & mask_];
+        slot.id.store(event.id, std::memory_order_relaxed);
+        slot.timestampNs.store(event.timestampNs,
+                               std::memory_order_relaxed);
+        slot.meta.store(packMeta(event), std::memory_order_relaxed);
+        slot.bytesIn.store(event.bytesIn, std::memory_order_relaxed);
+        slot.bytesOut.store(event.bytesOut, std::memory_order_relaxed);
+        head_.store(head + 1, std::memory_order_release);
+    }
+
+    /** Events recorded so far (monotonic; not capped by capacity). */
+    u64 recorded() const { return head_.load(std::memory_order_acquire); }
+
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Last min(@p last_k, recorded, capacity) events, oldest first. */
+    std::vector<FlightEvent> dump(std::size_t last_k) const;
+
+  private:
+    struct Slot
+    {
+        std::atomic<u64> id{0};
+        std::atomic<u64> timestampNs{0};
+        std::atomic<u64> meta{0};
+        std::atomic<u64> bytesIn{0};
+        std::atomic<u64> bytesOut{0};
+    };
+
+    static u64
+    packMeta(const FlightEvent &event)
+    {
+        return static_cast<u64>(event.kind) |
+               (static_cast<u64>(event.direction) << 8) |
+               (static_cast<u64>(event.outcome) << 16);
+    }
+
+    std::vector<Slot> slots_;
+    u64 mask_ = 0;
+    std::atomic<u64> head_{0};
+};
+
+/**
+ * A bank of rings, one per worker thread, created up front so workers
+ * never allocate or synchronize to reach their ring. dumpMerged()
+ * interleaves every ring's recent history by timestamp — the
+ * cross-worker view of "what was the engine doing just before this".
+ */
+class FlightRecorder
+{
+  public:
+    FlightRecorder(unsigned rings, std::size_t capacity_per_ring);
+
+    unsigned ringCount() const
+    {
+        return static_cast<unsigned>(rings_.size());
+    }
+
+    /** Ring for writer @p i (modulo the ring count). */
+    FlightRing &ring(unsigned i) { return *rings_[i % rings_.size()]; }
+
+    /** Total events recorded across rings. */
+    u64 recorded() const;
+
+    /** Last @p last_k events across all rings, oldest first
+     *  (per-ring last-k merged and sorted by timestamp). */
+    std::vector<FlightEvent> dumpMerged(std::size_t last_k) const;
+
+    /** {"flight_events": [...], "rings": N, "capacity": C}. Fields are
+     *  rendered through @p namer when its callbacks are set. */
+    JsonValue dumpJson(std::size_t last_k,
+                       const FlightNamer &namer = {}) const;
+
+  private:
+    std::vector<std::unique_ptr<FlightRing>> rings_;
+};
+
+/** Renders a dumped event list as the standard dump document. */
+JsonValue flightEventsToJson(const std::vector<FlightEvent> &events,
+                             const FlightNamer &namer = {});
+
+} // namespace cdpu::obs
+
+#endif // CDPU_OBS_FLIGHT_RECORDER_H_

@@ -310,6 +310,45 @@ class Parser
         }
     }
 
+    /** Reads exactly four hex digits (the body of a \\u escape). */
+    Result<unsigned>
+    parseHex4()
+    {
+        if (pos_ + 4 > text_.size())
+            return Result<unsigned>(
+                failStatus("truncated \\u escape"));
+        unsigned code = 0;
+        auto [ptr, ec] = std::from_chars(
+            text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+        if (ec != std::errc() || ptr != text_.data() + pos_ + 4)
+            return Result<unsigned>(failStatus("bad \\u escape"));
+        pos_ += 4;
+        return Result<unsigned>(code);
+    }
+
+    static void
+    appendUtf8(std::string &out, unsigned code)
+    {
+        if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else if (code < 0x10000) {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(
+                static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+            out.push_back(
+                static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+            out.push_back(
+                static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+    }
+
     Result<std::string>
     parseString()
     {
@@ -321,6 +360,13 @@ class Parser
             if (c == '"')
                 return out;
             if (c != '\\') {
+                // Raw control characters are illegal inside JSON
+                // strings (RFC 8259 §7); a writer must escape them.
+                // Rejecting keeps hostile names from round-tripping
+                // into differently-parsed documents.
+                if (static_cast<unsigned char>(c) < 0x20)
+                    return Result<std::string>(failStatus(
+                        "unescaped control character in string"));
                 out.push_back(c);
                 continue;
             }
@@ -337,34 +383,33 @@ class Parser
               case 'r': out.push_back('\r'); break;
               case 't': out.push_back('\t'); break;
               case 'u': {
-                if (pos_ + 4 > text_.size())
-                    return Result<std::string>(
-                        failStatus("truncated \\u escape"));
-                unsigned code = 0;
-                auto [ptr, ec] = std::from_chars(
-                    text_.data() + pos_, text_.data() + pos_ + 4,
-                    code, 16);
-                if (ec != std::errc() ||
-                    ptr != text_.data() + pos_ + 4)
-                    return Result<std::string>(
-                        failStatus("bad \\u escape"));
-                pos_ += 4;
-                // Basic-multilingual-plane only; encode as UTF-8.
-                if (code < 0x80) {
-                    out.push_back(static_cast<char>(code));
-                } else if (code < 0x800) {
-                    out.push_back(
-                        static_cast<char>(0xC0 | (code >> 6)));
-                    out.push_back(
-                        static_cast<char>(0x80 | (code & 0x3F)));
-                } else {
-                    out.push_back(
-                        static_cast<char>(0xE0 | (code >> 12)));
-                    out.push_back(static_cast<char>(
-                        0x80 | ((code >> 6) & 0x3F)));
-                    out.push_back(
-                        static_cast<char>(0x80 | (code & 0x3F)));
+                auto unit = parseHex4();
+                if (!unit.ok())
+                    return Result<std::string>(unit.status());
+                unsigned code = unit.value();
+                // Surrogate pairs: a high surrogate must be followed
+                // by \uDC00-\uDFFF (combined into one code point); a
+                // lone surrogate in either half is invalid, not a
+                // character to pass through.
+                if (code >= 0xD800 && code <= 0xDBFF) {
+                    if (pos_ + 2 > text_.size() ||
+                        text_[pos_] != '\\' || text_[pos_ + 1] != 'u')
+                        return Result<std::string>(failStatus(
+                            "unpaired high surrogate in \\u escape"));
+                    pos_ += 2;
+                    auto low = parseHex4();
+                    if (!low.ok())
+                        return Result<std::string>(low.status());
+                    if (low.value() < 0xDC00 || low.value() > 0xDFFF)
+                        return Result<std::string>(failStatus(
+                            "unpaired high surrogate in \\u escape"));
+                    code = 0x10000 + ((code - 0xD800) << 10) +
+                           (low.value() - 0xDC00);
+                } else if (code >= 0xDC00 && code <= 0xDFFF) {
+                    return Result<std::string>(failStatus(
+                        "unpaired low surrogate in \\u escape"));
                 }
+                appendUtf8(out, code);
                 break;
               }
               default:

@@ -1,0 +1,103 @@
+#include "obs/metrics.h"
+
+namespace cdpu::obs
+{
+
+MetricsSampler::MetricsSampler(const ShardedCounterRegistry &registry,
+                               std::size_t capacity)
+    : MetricsSampler(
+          std::vector<const ShardedCounterRegistry *>{&registry},
+          capacity)
+{
+}
+
+MetricsSampler::MetricsSampler(
+    std::vector<const ShardedCounterRegistry *> registries,
+    std::size_t capacity)
+    : registries_(std::move(registries)),
+      capacity_(capacity == 0 ? 1 : capacity)
+{
+}
+
+void
+MetricsSampler::sample(u64 stamp_ns)
+{
+    // Snapshot outside the sampler lock would allow two concurrent
+    // samplers to diff against the same previous_, double-counting a
+    // window; taking it inside keeps intervals disjoint.
+    std::lock_guard<std::mutex> lock(mutex_);
+    CounterSnapshot current;
+    for (const ShardedCounterRegistry *registry : registries_)
+        current.merge(registry->mergedSnapshot());
+    Interval interval;
+    interval.seq = ++seq_;
+    interval.stampNs = stamp_ns;
+    interval.windowNs =
+        previousStampNs_ ? stamp_ns - std::min(previousStampNs_, stamp_ns)
+                         : 0;
+    interval.delta = current.diff(previous_);
+    previous_ = std::move(current);
+    previousStampNs_ = stamp_ns;
+    intervals_.push_back(std::move(interval));
+    while (intervals_.size() > capacity_)
+        intervals_.pop_front();
+}
+
+std::vector<MetricsSampler::Interval>
+MetricsSampler::series() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {intervals_.begin(), intervals_.end()};
+}
+
+JsonValue
+MetricsSampler::toJson(const std::string &bytes_counter,
+                       const std::string &calls_counter,
+                       const std::string &latency_histogram) const
+{
+    std::vector<Interval> snapshot;
+    u64 total_samples = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        snapshot.assign(intervals_.begin(), intervals_.end());
+        total_samples = seq_;
+    }
+    JsonValue rows = JsonValue::array();
+    for (const Interval &interval : snapshot) {
+        JsonValue row = JsonValue::object();
+        row.set("seq", interval.seq);
+        row.set("t_ns", interval.stampNs);
+        row.set("window_ns", interval.windowNs);
+        const u64 bytes = interval.delta.at(bytes_counter);
+        const u64 calls = interval.delta.at(calls_counter);
+        row.set("bytes_in", bytes);
+        row.set("calls", calls);
+        if (interval.windowNs) {
+            const double seconds =
+                static_cast<double>(interval.windowNs) / 1e9;
+            row.set("mb_per_sec",
+                    static_cast<double>(bytes) / 1e6 / seconds);
+            row.set("calls_per_sec",
+                    static_cast<double>(calls) / seconds);
+        }
+        const HistogramSnapshot &latency =
+            interval.delta.histogramAt(latency_histogram);
+        if (latency.count) {
+            row.set("latency_count", latency.count);
+            row.set("p50_us", latency.percentile(0.50) / 1e3);
+            row.set("p99_us", latency.percentile(0.99) / 1e3);
+            row.set("p999_us", latency.percentile(0.999) / 1e3);
+        }
+        rows.push(std::move(row));
+    }
+    JsonValue series_json = JsonValue::object();
+    series_json.set("samples", total_samples);
+    series_json.set("retained",
+                    static_cast<u64>(snapshot.size()));
+    series_json.set("intervals", std::move(rows));
+    JsonValue document = JsonValue::object();
+    document.set("metrics_series", std::move(series_json));
+    return document;
+}
+
+} // namespace cdpu::obs

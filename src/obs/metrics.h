@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Time-series metrics: periodic snapshots of a live counter registry.
+ *
+ * End-of-run aggregates hide exactly the behaviours a serving fleet
+ * cares about — warm-up, backpressure stalls, multi-core scaling — so
+ * the sampler turns the ShardedCounterRegistry into ring-buffered
+ * interval deltas: each sample() diffs the current merged snapshot
+ * against the previous one and keeps the last N deltas. Benches emit
+ * the series as throughput/latency curves instead of a single number.
+ *
+ * Sampling can be clocked two ways: a timer thread for wall-clock
+ * periods, or the engine's "every N calls" trigger, which makes the
+ * number of samples a deterministic function of the stream (the mode
+ * the tests pin). sample() is thread-safe and may race live writers:
+ * mergedSnapshot() locks each shard in turn, so an interval is a
+ * consistent per-shard (not globally atomic) view — the standard
+ * monitoring tradeoff.
+ */
+
+#ifndef CDPU_OBS_METRICS_H_
+#define CDPU_OBS_METRICS_H_
+
+#include <deque>
+#include <mutex>
+
+#include "obs/counters.h"
+
+namespace cdpu::obs
+{
+
+class MetricsSampler
+{
+  public:
+    /** One interval: what changed between two consecutive samples. */
+    struct Interval
+    {
+        u64 seq = 0;      ///< Sample number, from 1.
+        u64 stampNs = 0;  ///< Caller-supplied steady-clock stamp.
+        u64 windowNs = 0; ///< Stamp delta to the previous sample.
+        CounterSnapshot delta;
+    };
+
+    /** Samples @p registry (not owned; must outlive the sampler),
+     *  keeping the most recent @p capacity intervals. */
+    MetricsSampler(const ShardedCounterRegistry &registry,
+                   std::size_t capacity);
+
+    /** Samples the merged view of several registries — the serve
+     *  engine splits deterministic work counters from scheduling
+     *  counters but the time series wants both. */
+    MetricsSampler(
+        std::vector<const ShardedCounterRegistry *> registries,
+        std::size_t capacity);
+
+    /** Takes one sample at @p stamp_ns (steady-clock nanoseconds).
+     *  Thread-safe; concurrent callers serialize. */
+    void sample(u64 stamp_ns);
+
+    u64
+    sampleCount() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return seq_;
+    }
+
+    /** Retained intervals, oldest first. */
+    std::vector<Interval> series() const;
+
+    /**
+     * {"metrics_series": {...}} with one row per interval: the raw
+     * window, plus derived throughput (from @p bytes_counter) and
+     * p50/p99/p999 latency (from @p latency_histogram, sub-bucket
+     * interpolated) when those streams exist in the deltas.
+     */
+    JsonValue toJson(
+        const std::string &bytes_counter = "serve.bytes.in",
+        const std::string &calls_counter = "serve.calls",
+        const std::string &latency_histogram = "serve.latency_ns") const;
+
+  private:
+    std::vector<const ShardedCounterRegistry *> registries_;
+    std::size_t capacity_;
+    mutable std::mutex mutex_;
+    CounterSnapshot previous_;
+    u64 previousStampNs_ = 0;
+    u64 seq_ = 0;
+    std::deque<Interval> intervals_;
+};
+
+} // namespace cdpu::obs
+
+#endif // CDPU_OBS_METRICS_H_

@@ -1,0 +1,268 @@
+#include "obs/slo.h"
+
+#include <charconv>
+
+namespace cdpu::obs
+{
+
+std::string
+dimensionedLatencyName(std::string_view codec,
+                       std::string_view direction, unsigned size_class)
+{
+    std::string name = kDimLatencyPrefix;
+    name += '.';
+    name += codec;
+    name += '.';
+    name += direction;
+    name += ".sz";
+    name += std::to_string(size_class);
+    return name;
+}
+
+namespace
+{
+
+/** Splits "snappy.decompress.sz12" into its three dimensions.
+ *  Returns false for names that do not follow the cell grammar. */
+bool
+splitCellName(std::string_view tail, std::string_view &codec,
+              std::string_view &direction, unsigned &size_class)
+{
+    const std::size_t first = tail.find('.');
+    if (first == std::string_view::npos)
+        return false;
+    const std::size_t second = tail.find('.', first + 1);
+    if (second == std::string_view::npos)
+        return false;
+    codec = tail.substr(0, first);
+    direction = tail.substr(first + 1, second - first - 1);
+    std::string_view class_part = tail.substr(second + 1);
+    if (class_part.rfind("sz", 0) != 0)
+        return false;
+    class_part.remove_prefix(2);
+    unsigned value = 0;
+    auto [ptr, ec] = std::from_chars(
+        class_part.data(), class_part.data() + class_part.size(), value);
+    if (ec != std::errc() || ptr != class_part.data() + class_part.size())
+        return false;
+    size_class = value;
+    return true;
+}
+
+/** Lower bound of a log2 size class (Histogram::bucketOf inverse). */
+u64
+classLowerBound(unsigned size_class)
+{
+    if (size_class == 0)
+        return 0;
+    return u64{1} << (size_class - 1);
+}
+
+bool
+matchesDimension(const std::string &filter, std::string_view value)
+{
+    return filter.empty() || filter == "any" || filter == value;
+}
+
+Result<u64>
+parseWithSuffix(std::string_view text,
+                const std::vector<std::pair<std::string_view, u64>>
+                    &suffixes,
+                const char *what)
+{
+    u64 value = 0;
+    auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc() || ptr == text.data())
+        return Result<u64>(Status::invalid(
+            std::string("bad ") + what + " in SLO spec: '" +
+            std::string(text) + "'"));
+    std::string_view suffix =
+        text.substr(static_cast<std::size_t>(ptr - text.data()));
+    for (const auto &[name, scale] : suffixes) {
+        if (suffix == name)
+            return Result<u64>(value * scale);
+    }
+    return Result<u64>(Status::invalid(
+        std::string("bad ") + what + " suffix in SLO spec: '" +
+        std::string(suffix) + "'"));
+}
+
+} // namespace
+
+Result<SloTarget>
+SloTarget::parse(const std::string &spec)
+{
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t colon = spec.find(':', start);
+        fields.push_back(spec.substr(
+            start, colon == std::string::npos ? colon : colon - start));
+        if (colon == std::string::npos)
+            break;
+        start = colon + 1;
+    }
+    if (fields.size() != 5)
+        return Result<SloTarget>(Status::invalid(
+            "SLO spec needs codec:direction:quantile:max_bytes:"
+            "threshold, got '" +
+            spec + "'"));
+
+    SloTarget target;
+    target.codec = fields[0] == "any" ? "" : fields[0];
+    target.direction = fields[1] == "any" ? "" : fields[1];
+    if (!target.direction.empty() && target.direction != "compress" &&
+        target.direction != "decompress")
+        return Result<SloTarget>(Status::invalid(
+            "SLO direction must be compress/decompress/any: '" +
+            fields[1] + "'"));
+
+    const std::string &quantile = fields[2];
+    if (quantile.size() < 2 || quantile[0] != 'p')
+        return Result<SloTarget>(Status::invalid(
+            "SLO quantile must look like p99: '" + quantile + "'"));
+    double q = 0.0;
+    double scale = 0.1;
+    for (std::size_t i = 1; i < quantile.size(); ++i) {
+        if (quantile[i] < '0' || quantile[i] > '9')
+            return Result<SloTarget>(Status::invalid(
+                "SLO quantile must look like p99: '" + quantile + "'"));
+        q += (quantile[i] - '0') * scale;
+        scale /= 10.0;
+    }
+    target.quantile = q;
+
+    if (fields[3] == "any" || fields[3] == "0") {
+        target.maxCallBytes = ~0ull;
+    } else {
+        auto bytes = parseWithSuffix(
+            fields[3],
+            {{"", 1}, {"k", kKiB}, {"K", kKiB}, {"KiB", kKiB},
+             {"m", kMiB}, {"M", kMiB}, {"MiB", kMiB}},
+            "max_bytes");
+        if (!bytes.ok())
+            return Result<SloTarget>(bytes.status());
+        target.maxCallBytes = bytes.value();
+    }
+
+    auto threshold = parseWithSuffix(
+        fields[4],
+        {{"", 1}, {"ns", 1}, {"us", 1000}, {"ms", 1000000},
+         {"s", 1000000000}},
+        "threshold");
+    if (!threshold.ok())
+        return Result<SloTarget>(threshold.status());
+    target.thresholdNs = threshold.value();
+
+    target.name = (target.codec.empty() ? "any" : target.codec) + ":" +
+                  (target.direction.empty() ? "any" : target.direction) +
+                  ":" + quantile + ":" + fields[3] + ":" + fields[4];
+    return Result<SloTarget>(std::move(target));
+}
+
+JsonValue
+SloTarget::toJson() const
+{
+    JsonValue out = JsonValue::object();
+    out.set("name", name);
+    out.set("codec", codec.empty() ? "any" : codec);
+    out.set("direction", direction.empty() ? "any" : direction);
+    out.set("quantile", quantile);
+    if (maxCallBytes != ~0ull)
+        out.set("max_call_bytes", maxCallBytes);
+    out.set("threshold_ns", thresholdNs);
+    return out;
+}
+
+JsonValue
+SloResult::toJson() const
+{
+    JsonValue out = target.toJson();
+    out.set("evaluated", evaluated);
+    out.set("samples", samples);
+    if (evaluated) {
+        out.set("observed_ns", observedNs);
+        out.set("pass", pass);
+    }
+    return out;
+}
+
+Status
+SloTracker::declareSpecs(const std::string &specs)
+{
+    std::size_t start = 0;
+    while (start <= specs.size()) {
+        std::size_t comma = specs.find(',', start);
+        std::string spec = specs.substr(
+            start, comma == std::string::npos ? comma : comma - start);
+        if (!spec.empty()) {
+            auto target = SloTarget::parse(spec);
+            if (!target.ok())
+                return target.status();
+            declare(std::move(target).value());
+        }
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return Status::okStatus();
+}
+
+std::vector<SloResult>
+SloTracker::evaluate(const CounterSnapshot &snapshot) const
+{
+    const std::string prefix = std::string(kDimLatencyPrefix) + ".";
+    std::vector<SloResult> results;
+    results.reserve(targets_.size());
+    for (const SloTarget &target : targets_) {
+        SloResult result;
+        result.target = target;
+        HistogramSnapshot merged;
+        bool saw_cell = false;
+        for (const auto &[name, histogram] : snapshot.histograms) {
+            if (name.rfind(prefix, 0) != 0)
+                continue;
+            std::string_view codec, direction;
+            unsigned size_class = 0;
+            if (!splitCellName(
+                    std::string_view(name).substr(prefix.size()), codec,
+                    direction, size_class))
+                continue;
+            saw_cell = true;
+            if (!matchesDimension(target.codec, codec) ||
+                !matchesDimension(target.direction, direction))
+                continue;
+            if (classLowerBound(size_class) > target.maxCallBytes)
+                continue;
+            merged.merge(histogram);
+        }
+        // Unfiltered targets can fall back to the aggregate stream
+        // when the run recorded no dimensioned cells at all.
+        if (!saw_cell && target.codec.empty() &&
+            target.direction.empty() && target.maxCallBytes == ~0ull)
+            merged = snapshot.histogramAt("serve.latency_ns");
+        result.samples = merged.count;
+        if (merged.count) {
+            result.evaluated = true;
+            result.observedNs = merged.percentile(target.quantile);
+            result.pass = result.observedNs <=
+                          static_cast<double>(target.thresholdNs);
+        }
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+JsonValue
+SloTracker::toJson(const CounterSnapshot &snapshot) const
+{
+    JsonValue list = JsonValue::array();
+    for (const SloResult &result : evaluate(snapshot))
+        list.push(result.toJson());
+    JsonValue document = JsonValue::object();
+    document.set("slo", std::move(list));
+    return document;
+}
+
+} // namespace cdpu::obs

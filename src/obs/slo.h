@@ -1,0 +1,111 @@
+/**
+ * @file
+ * SLO attribution: dimensioned latency histograms + declared targets.
+ *
+ * An aggregate p99 cannot say *which* traffic is slow. The serve layer
+ * therefore records latency into dimension-labelled histograms —
+ * codec × direction × log2-size-class, encoded into the counter name
+ * as "serve.latency_ns.by.<codec>.<direction>.sz<class>" — and an
+ * SloTracker evaluates declared targets ("p99 decompress latency for
+ * calls ≤ 4 KiB stays under 250 µs") against those histograms using
+ * sub-bucket-interpolated percentiles, merging every size class at or
+ * below the target's bound.
+ *
+ * Targets parse from a compact spec so benches can declare them on the
+ * command line (see SloTarget::parse); DESIGN.md §12 documents the
+ * format.
+ */
+
+#ifndef CDPU_OBS_SLO_H_
+#define CDPU_OBS_SLO_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/counters.h"
+
+namespace cdpu::obs
+{
+
+/** Base name of the dimensioned latency family. */
+inline constexpr const char *kDimLatencyPrefix = "serve.latency_ns.by";
+
+/**
+ * Histogram name for one (codec, direction, size-class) cell.
+ * @p size_class is Histogram::bucketOf(input bytes), so the cell holds
+ * calls whose input size falls in [2^(c-1), 2^c).
+ */
+std::string dimensionedLatencyName(std::string_view codec,
+                                   std::string_view direction,
+                                   unsigned size_class);
+
+/** One declared service-level objective. */
+struct SloTarget
+{
+    std::string name;      ///< Report label.
+    std::string codec;     ///< Stable codec name; "" or "any" = all.
+    std::string direction; ///< "compress"/"decompress"; "" = both.
+    double quantile = 0.99;
+    /** Include size classes whose lower bound is <= this (i.e. every
+     *  class that can contain calls of at most this size; filtering is
+     *  at log2-class granularity). ~0 = all sizes. */
+    u64 maxCallBytes = ~0ull;
+    u64 thresholdNs = 0;
+
+    /**
+     * Parses "codec:direction:pQQ:max_bytes:threshold", e.g.
+     * "any:decompress:p99:4096:250us". Threshold takes ns/us/ms/s
+     * suffixes (bare number = ns); max_bytes 0 or "any" = unbounded;
+     * quantile is p50/p90/p99/p999/... (digits after 'p' read as a
+     * decimal fraction: p999 = 0.999).
+     */
+    static Result<SloTarget> parse(const std::string &spec);
+
+    JsonValue toJson() const;
+};
+
+/** One target's evaluation against a snapshot. */
+struct SloResult
+{
+    SloTarget target;
+    bool evaluated = false; ///< False when no samples matched.
+    u64 samples = 0;
+    double observedNs = 0.0;
+    bool pass = false; ///< Meaningful only when evaluated.
+
+    JsonValue toJson() const;
+};
+
+/**
+ * Holds declared targets and evaluates them against counter
+ * snapshots. Stateless between calls; cheap to copy.
+ */
+class SloTracker
+{
+  public:
+    void declare(SloTarget target) { targets_.push_back(std::move(target)); }
+
+    /** Parses and declares a comma-separated spec list. */
+    Status declareSpecs(const std::string &specs);
+
+    const std::vector<SloTarget> &targets() const { return targets_; }
+    bool empty() const { return targets_.empty(); }
+
+    /**
+     * Evaluates every target against @p snapshot's dimensioned
+     * histograms (falling back to the aggregate "serve.latency_ns"
+     * stream for targets with no codec/direction/size filter when no
+     * dimensioned cells exist).
+     */
+    std::vector<SloResult> evaluate(const CounterSnapshot &snapshot) const;
+
+    /** {"slo": [ {target..., observed_ns, pass}... ]}. */
+    JsonValue toJson(const CounterSnapshot &snapshot) const;
+
+  private:
+    std::vector<SloTarget> targets_;
+};
+
+} // namespace cdpu::obs
+
+#endif // CDPU_OBS_SLO_H_

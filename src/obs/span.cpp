@@ -1,0 +1,113 @@
+#include "obs/span.h"
+
+namespace cdpu::obs
+{
+
+u64
+SpanRecorder::nowNs()
+{
+    return static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+ActiveSpan
+SpanRecorder::begin(u64 key, const char *name, const char *category,
+                    u32 track)
+{
+    if (!shouldSample(key))
+        return ActiveSpan();
+    return ActiveSpan(this, key, name, category, track);
+}
+
+void
+SpanRecorder::record(SpanRecord record)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.push_back(std::move(record));
+}
+
+JsonValue
+SpanRecorder::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    JsonValue spans = JsonValue::array();
+    for (const SpanRecord &record : records_) {
+        JsonValue row = JsonValue::object();
+        row.set("key", record.key);
+        row.set("name", record.name);
+        row.set("category", record.category);
+        row.set("start_ns", record.startNs);
+        row.set("duration_ns", record.durationNs);
+        row.set("track", static_cast<u64>(record.track));
+        if (!record.phases.empty()) {
+            JsonValue phases = JsonValue::array();
+            for (const SpanPhase &phase : record.phases) {
+                JsonValue entry = JsonValue::object();
+                entry.set("label", phase.label);
+                entry.set("offset_ns", phase.offsetNs);
+                if (phase.bytes)
+                    entry.set("bytes", phase.bytes);
+                phases.push(std::move(entry));
+            }
+            row.set("phases", std::move(phases));
+        }
+        spans.push(std::move(row));
+    }
+    JsonValue document = JsonValue::object();
+    document.set("span_period", period_);
+    document.set("spans", std::move(spans));
+    return document;
+}
+
+void
+SpanRecorder::exportTo(TraceSession &session) const
+{
+    // Copy under our lock, emit outside it: TraceSession has its own
+    // mutex and holding both invites ordering mistakes.
+    std::vector<SpanRecord> copied = records();
+    for (const SpanRecord &record : copied) {
+        // Chrome trace "ts" is microseconds; keep ns fidelity by
+        // emitting ns as the tick value (displayTimeUnit is a label).
+        session.span(record.name, record.category, record.startNs,
+                     record.durationNs, record.track);
+        for (const SpanPhase &phase : record.phases)
+            session.instant(phase.label, record.category,
+                            record.startNs + phase.offsetNs,
+                            record.track);
+    }
+}
+
+PhaseHook &
+threadPhaseHook()
+{
+    thread_local PhaseHook hook;
+    return hook;
+}
+
+namespace
+{
+
+void
+spanPhaseTrampoline(void *ctx, const char *label, u64 bytes)
+{
+    static_cast<ActiveSpan *>(ctx)->phase(label, bytes);
+}
+
+} // namespace
+
+SpanPhaseScope::SpanPhaseScope(ActiveSpan &span)
+{
+    PhaseHook &slot = threadPhaseHook();
+    previous_ = slot;
+    if (span.sampled())
+        slot = {&spanPhaseTrampoline, &span};
+}
+
+SpanPhaseScope::~SpanPhaseScope()
+{
+    threadPhaseHook() = previous_;
+}
+
+} // namespace cdpu::obs

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Sampled per-call spans with phase annotations.
+ *
+ * Tracing every fleet call is unaffordable; tracing a deterministic
+ * 1-in-N slice is nearly free and still reconstructs the latency
+ * distribution's shape. A SpanRecorder makes the sampling decision
+ * from the caller-supplied key alone (key % period == 0), so the
+ * sampled population is a pure function of the work stream — the same
+ * calls are sampled at any worker count, which is what makes span
+ * counts assertable in the differential tests. Unsampled calls pay
+ * exactly one branch and one modulo; only sampled calls take clock
+ * readings, build label strings, or touch the recorder's lock.
+ *
+ * A sampled ActiveSpan can be annotated with phases (named offsets,
+ * e.g. the codec session's feed/finish boundaries) and exports both to
+ * the existing Chrome-trace sink (spans as "X" events, phases as
+ * instants) and to a structured JSON stream for obsctl.
+ */
+
+#ifndef CDPU_OBS_SPAN_H_
+#define CDPU_OBS_SPAN_H_
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace cdpu::obs
+{
+
+/** One named offset inside a span (codec phase, queue handoff). */
+struct SpanPhase
+{
+    std::string label;
+    u64 offsetNs = 0;
+    u64 bytes = 0;
+};
+
+/** One completed sampled span. */
+struct SpanRecord
+{
+    u64 key = 0; ///< The sampling key (serve: call id).
+    std::string name;
+    std::string category;
+    u64 startNs = 0;
+    u64 durationNs = 0;
+    u32 track = 0;
+    std::vector<SpanPhase> phases;
+};
+
+class ActiveSpan;
+
+/**
+ * Collects sampled spans. Thread-safe: workers record concurrently
+ * under an internal mutex — only sampled spans reach it, so at 1-in-N
+ * sampling the lock sees 1/N of the call rate.
+ */
+class SpanRecorder
+{
+  public:
+    /** Samples keys where key % @p period == 0; 0 disables sampling
+     *  entirely. */
+    explicit SpanRecorder(u64 period) : period_(period) {}
+
+    u64 period() const { return period_; }
+
+    bool
+    shouldSample(u64 key) const
+    {
+        return period_ != 0 && key % period_ == 0;
+    }
+
+    /** Begins a span for @p key. Returns an inactive span (all methods
+     *  no-ops) when the key is not sampled. @p name/@p category are
+     *  only materialized for sampled keys. */
+    ActiveSpan begin(u64 key, const char *name, const char *category,
+                     u32 track = 0);
+
+    void record(SpanRecord record);
+
+    u64
+    sampledCount() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return static_cast<u64>(records_.size());
+    }
+
+    std::vector<SpanRecord>
+    records() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return records_;
+    }
+
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        records_.clear();
+    }
+
+    /** {"span_period": N, "spans": [...]} — the structured stream. */
+    JsonValue toJson() const;
+
+    /** Re-emits every sampled span into @p session: the span as an
+     *  "X" event on its track, each phase as an instant. */
+    void exportTo(TraceSession &session) const;
+
+    /** Monotonic nanosecond stamp shared by every span this recorder
+     *  produces (steady clock, process-relative). */
+    static u64 nowNs();
+
+  private:
+    u64 period_;
+    mutable std::mutex mutex_;
+    std::vector<SpanRecord> records_;
+};
+
+/**
+ * In-flight span handle. Inactive handles (unsampled keys, or a null
+ * recorder) make every method a no-op; the object is cheap to create
+ * and move on the hot path.
+ */
+class ActiveSpan
+{
+  public:
+    ActiveSpan() = default;
+
+    ActiveSpan(ActiveSpan &&other) noexcept { *this = std::move(other); }
+
+    ActiveSpan &
+    operator=(ActiveSpan &&other) noexcept
+    {
+        if (this != &other) {
+            end();
+            recorder_ = other.recorder_;
+            record_ = std::move(other.record_);
+            other.recorder_ = nullptr;
+        }
+        return *this;
+    }
+
+    ActiveSpan(const ActiveSpan &) = delete;
+    ActiveSpan &operator=(const ActiveSpan &) = delete;
+
+    ~ActiveSpan() { end(); }
+
+    bool sampled() const { return recorder_ != nullptr; }
+
+    /** Appends a phase annotation at the current clock offset. */
+    void
+    phase(const char *label, u64 bytes = 0)
+    {
+        if (!recorder_)
+            return;
+        record_.phases.push_back(
+            {label, SpanRecorder::nowNs() - record_.startNs, bytes});
+    }
+
+    /** Finishes and records the span; idempotent. */
+    void
+    end()
+    {
+        if (!recorder_)
+            return;
+        record_.durationNs = SpanRecorder::nowNs() - record_.startNs;
+        recorder_->record(std::move(record_));
+        recorder_ = nullptr;
+    }
+
+  private:
+    friend class SpanRecorder;
+
+    ActiveSpan(SpanRecorder *recorder, u64 key, const char *name,
+               const char *category, u32 track)
+        : recorder_(recorder)
+    {
+        record_.key = key;
+        record_.name = name;
+        record_.category = category;
+        record_.track = track;
+        record_.startNs = SpanRecorder::nowNs();
+    }
+
+    SpanRecorder *recorder_ = nullptr;
+    SpanRecord record_;
+};
+
+/**
+ * Thread-local phase callback: the bridge instrumented layers (codec
+ * sessions, serve contexts) report phase boundaries through without
+ * knowing whether — or by whom — the current call is being traced.
+ * When no scope is installed the hook is null and annotatePhase() is
+ * one pointer test.
+ */
+struct PhaseHook
+{
+    void (*fn)(void *ctx, const char *label, u64 bytes) = nullptr;
+    void *ctx = nullptr;
+};
+
+/** The calling thread's hook slot. */
+PhaseHook &threadPhaseHook();
+
+/** Reports a phase boundary to whatever scope is installed, if any.
+ *  The single call sites in codec::compressAll/decompressAll and
+ *  serve::CodecContext pay one branch when nothing listens. */
+inline void
+annotatePhase(const char *label, u64 bytes = 0)
+{
+    const PhaseHook &hook = threadPhaseHook();
+    if (hook.fn)
+        hook.fn(hook.ctx, label, bytes);
+}
+
+/**
+ * Routes this thread's annotatePhase() calls into @p span for the
+ * scope's lifetime. Installed only around sampled calls, so unsampled
+ * calls leave the hook null. Restores the previous hook on exit
+ * (scopes nest).
+ */
+class SpanPhaseScope
+{
+  public:
+    explicit SpanPhaseScope(ActiveSpan &span);
+    ~SpanPhaseScope();
+
+    SpanPhaseScope(const SpanPhaseScope &) = delete;
+    SpanPhaseScope &operator=(const SpanPhaseScope &) = delete;
+
+  private:
+    PhaseHook previous_;
+};
+
+} // namespace cdpu::obs
+
+#endif // CDPU_OBS_SPAN_H_

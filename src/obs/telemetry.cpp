@@ -1,0 +1,53 @@
+#include "obs/telemetry.h"
+
+namespace cdpu::obs
+{
+
+Telemetry::Telemetry(const TelemetryConfig &config, unsigned writers,
+                     const FlightNamer &namer)
+    : config_(config), namer_(namer),
+      spans_(config.spanSamplePeriod),
+      flight_(writers, config.flightRingCapacity == 0
+                           ? 8
+                           : config.flightRingCapacity)
+{
+}
+
+void
+Telemetry::noteFault(const std::string &what, u64 stamp_ns)
+{
+    std::lock_guard<std::mutex> lock(faultMutex_);
+    ++faults_;
+    if (hasFaultDump_ || !flightEnabled())
+        return;
+    JsonValue dump = flight_.dumpJson(config_.flightDumpLastK, namer_);
+    JsonValue fault = JsonValue::object();
+    fault.set("what", what);
+    fault.set("t_ns", stamp_ns);
+    dump.set("fault", std::move(fault));
+    faultDump_ = std::move(dump);
+    hasFaultDump_ = true;
+}
+
+bool
+Telemetry::hasFaultDump() const
+{
+    std::lock_guard<std::mutex> lock(faultMutex_);
+    return hasFaultDump_;
+}
+
+JsonValue
+Telemetry::faultDump() const
+{
+    std::lock_guard<std::mutex> lock(faultMutex_);
+    return faultDump_;
+}
+
+u64
+Telemetry::faultCount() const
+{
+    std::lock_guard<std::mutex> lock(faultMutex_);
+    return faults_;
+}
+
+} // namespace cdpu::obs

@@ -1,6 +1,7 @@
 #include "serve/codec_context.h"
 
 #include "codec/registry.h"
+#include "obs/span.h"
 
 namespace cdpu::serve
 {
@@ -44,6 +45,10 @@ CodecContext::executeInto(const hcb::ReplayCall &call)
         return codec::decompressAll(*session, call.payload,
                                     call.chunkBytes, out_);
     }
+    // One-shot path: the codec runs as a single opaque step, so mark
+    // the dispatch boundary for whatever span is tracing this call
+    // (one null-pointer test when nothing listens).
+    obs::annotatePhase("ctx.oneshot", call.payload.size());
     if (compressing)
         return vtable.compressInto(call.payload, params, out_);
     return vtable.decompressInto(call.payload, out_);

@@ -1,9 +1,12 @@
 #include "serve/engine.h"
 
 #include <chrono>
+#include <optional>
 #include <thread>
 
+#include "codec/obs_bridge.h"
 #include "obs/kernel_stats.h"
+#include "obs/metrics.h"
 
 namespace cdpu::serve
 {
@@ -25,8 +28,9 @@ namespace
 using Clock = std::chrono::steady_clock;
 
 /** Executes one call and fills its outcome slot + work counters.
- *  Everything recorded here is deterministic in the call itself. */
-void
+ *  Everything recorded here is deterministic in the call itself.
+ *  Returns the codec status so telemetry can classify the outcome. */
+Status
 runCall(CodecContext &context, const hcb::ReplayCall &call,
         bool record_output, CallOutcome &outcome,
         obs::CounterRegistry &work)
@@ -58,6 +62,93 @@ runCall(CodecContext &context, const hcb::ReplayCall &call,
     } else {
         work.counter("serve.failures").increment();
     }
+    return status;
+}
+
+/**
+ * Per-worker telemetry state. Dimensioned latency cells are resolved
+ * (name built, histogram registered) at most once per
+ * codec x direction x size-class and cached as raw pointers —
+ * CounterRegistry handles are stable for the registry's lifetime, so
+ * after the first call to a cell the hot path is pointer->record().
+ */
+struct WorkerTelemetry
+{
+    obs::Telemetry *hub = nullptr;
+    obs::FlightRing *ring = nullptr;
+    const std::array<std::string, codec::kNumCodecs> *codecNames =
+        nullptr;
+    std::array<obs::Histogram *,
+               codec::kNumCodecs * 2 * obs::HistogramSnapshot::kBuckets>
+        dimCells{};
+
+    bool dimensioned() const
+    {
+        return hub != nullptr && hub->config().dimensionedLatency;
+    }
+
+    /** Records @p ns into the call's dimension cell. Must run under
+     *  the owning shard's lock (@p registry is that shard). */
+    void
+    recordDimensioned(obs::CounterRegistry &registry,
+                      const hcb::ReplayCall &call, u64 ns)
+    {
+        const unsigned kind = static_cast<unsigned>(call.codec);
+        const unsigned dir =
+            call.direction == codec::Direction::compress ? 0 : 1;
+        const unsigned size_class =
+            obs::Histogram::bucketOf(call.payload.size());
+        const std::size_t index =
+            (static_cast<std::size_t>(kind) * 2 + dir) *
+                obs::HistogramSnapshot::kBuckets +
+            size_class;
+        obs::Histogram *&cell = dimCells[index];
+        if (!cell)
+            cell = &registry.histogram(obs::dimensionedLatencyName(
+                (*codecNames)[kind],
+                dir == 0 ? "compress" : "decompress", size_class));
+        cell->record(ns);
+    }
+
+    void
+    recordFlight(const hcb::ReplayCall &call, const CallOutcome &outcome,
+                 const Status &status)
+    {
+        if (!ring)
+            return;
+        obs::FlightEvent event;
+        event.id = call.id;
+        event.timestampNs = obs::SpanRecorder::nowNs();
+        event.kind = codec::flightKind(call.codec);
+        event.direction = codec::flightDirection(call.direction);
+        event.outcome = codec::flightOutcome(status);
+        event.bytesIn = call.payload.size();
+        event.bytesOut = outcome.outputBytes;
+        ring->record(event);
+    }
+
+    void
+    noteFailure(const hcb::ReplayCall &call, const Status &status)
+    {
+        if (!hub)
+            return;
+        hub->noteFault("serve call " + std::to_string(call.id) + " (" +
+                           codec::codecName(call.codec) + " " +
+                           codec::directionName(call.direction) +
+                           "): " + status.message(),
+                       obs::SpanRecorder::nowNs());
+    }
+};
+
+/** Stable codec-name table for span labels and dimension cells, built
+ *  from the registry's enumeration (never a codec switch). */
+std::array<std::string, codec::kNumCodecs>
+codecNameTable()
+{
+    std::array<std::string, codec::kNumCodecs> names;
+    for (codec::CodecId id : codec::allCodecs())
+        names[static_cast<std::size_t>(id)] = codec::codecName(id);
+    return names;
 }
 
 } // namespace
@@ -88,6 +179,25 @@ ReplayEngine::run(const hcb::CallStream &stream)
     std::mutex kernel_mutex;
     mem::KernelStats kernel_total;
 
+    obs::Telemetry *tele = config_.telemetry;
+    const std::array<std::string, codec::kNumCodecs> codec_names =
+        tele ? codecNameTable()
+             : std::array<std::string, codec::kNumCodecs>{};
+    const u64 spans_before = tele ? tele->spans().sampledCount() : 0;
+
+    // Metrics sampling is clocked on executed calls, not wall time, so
+    // the sample count is a pure function of the stream: the worker
+    // whose fetch_add crosses a multiple of metricsEveryCalls takes
+    // the sample.
+    const u64 metrics_every = tele ? tele->config().metricsEveryCalls : 0;
+    std::optional<obs::MetricsSampler> sampler;
+    if (metrics_every != 0)
+        sampler.emplace(
+            std::vector<const obs::ShardedCounterRegistry *>{
+                &work_registry, &runtime_registry},
+            tele->config().metricsCapacity);
+    std::atomic<u64> completed_calls{0};
+
     auto started = Clock::now();
 
     std::vector<std::thread> workers;
@@ -95,6 +205,13 @@ ReplayEngine::run(const hcb::CallStream &stream)
     for (unsigned w = 0; w < config_.workers; ++w) {
         workers.emplace_back([&, w] {
             CodecContext context;
+            WorkerTelemetry wt;
+            if (tele) {
+                wt.hub = tele;
+                wt.codecNames = &codec_names;
+                if (tele->flightEnabled())
+                    wt.ring = &tele->flight().ring(w);
+            }
             mem::KernelStats before = mem::kernelStats();
             hcb::CallBatch batch;
             bool stolen = false;
@@ -107,20 +224,60 @@ ReplayEngine::run(const hcb::CallStream &stream)
                 for (std::size_t i = 0; i < batch.count; ++i) {
                     const hcb::ReplayCall &call = batch.calls[i];
                     CallOutcome &outcome = report.outcomes[call.id];
+
+                    // Span sampling keys on the call id, so the
+                    // sampled set is identical at any worker count.
+                    obs::ActiveSpan span;
+                    std::optional<obs::SpanPhaseScope> phases;
+                    if (tele) {
+                        span = tele->spans().begin(
+                            call.id,
+                            codec_names[static_cast<std::size_t>(
+                                            call.codec)]
+                                .c_str(),
+                            call.direction ==
+                                    codec::Direction::compress
+                                ? "compress"
+                                : "decompress",
+                            w);
+                        if (span.sampled())
+                            phases.emplace(span);
+                    }
+
                     auto call_start = Clock::now();
+                    Status status = Status::okStatus();
                     work_registry.withShard(w, [&](auto &registry) {
-                        runCall(context, call, config_.recordOutputs,
-                                outcome, registry);
+                        status = runCall(context, call,
+                                         config_.recordOutputs,
+                                         outcome, registry);
                     });
                     u64 ns = static_cast<u64>(
                         std::chrono::duration_cast<
                             std::chrono::nanoseconds>(Clock::now() -
                                                       call_start)
                             .count());
+                    phases.reset();
+                    span.end();
+
+                    if (tele) {
+                        wt.recordFlight(call, outcome, status);
+                        if (!status.ok())
+                            wt.noteFailure(call, status);
+                    }
                     runtime_registry.withShard(w, [&](auto &registry) {
                         registry.histogram("serve.latency_ns")
                             .record(ns);
+                        if (wt.dimensioned())
+                            wt.recordDimensioned(registry, call, ns);
                     });
+                    if (sampler) {
+                        const u64 done =
+                            completed_calls.fetch_add(
+                                1, std::memory_order_relaxed) +
+                            1;
+                        if (done % metrics_every == 0)
+                            sampler->sample(obs::SpanRecorder::nowNs());
+                    }
                 }
             }
             runtime_registry.withShard(w, [&](auto &registry) {
@@ -163,6 +320,13 @@ ReplayEngine::run(const hcb::CallStream &stream)
     drop_registry.counter("serve.drops").add(dropped_calls);
     report.runtime.merge(drop_registry.snapshot());
 
+    if (tele)
+        report.spansSampled = tele->spans().sampledCount() - spans_before;
+    if (sampler) {
+        report.metricsSamples = sampler->sampleCount();
+        report.metricsSeries = sampler->toJson();
+    }
+
     for (const CallOutcome &outcome : report.outcomes) {
         if (!outcome.executed)
             continue;
@@ -175,7 +339,8 @@ ReplayEngine::run(const hcb::CallStream &stream)
 }
 
 ReplayReport
-replaySequential(const hcb::CallStream &stream, bool record_outputs)
+replaySequential(const hcb::CallStream &stream, bool record_outputs,
+                 obs::Telemetry *telemetry)
 {
     ReplayReport report;
     report.outcomes.resize(stream.size());
@@ -183,18 +348,56 @@ replaySequential(const hcb::CallStream &stream, bool record_outputs)
     obs::CounterRegistry work_registry;
     obs::CounterRegistry runtime_registry;
     CodecContext context;
+
+    const std::array<std::string, codec::kNumCodecs> codec_names =
+        telemetry ? codecNameTable()
+                  : std::array<std::string, codec::kNumCodecs>{};
+    WorkerTelemetry wt;
+    if (telemetry) {
+        wt.hub = telemetry;
+        wt.codecNames = &codec_names;
+        if (telemetry->flightEnabled())
+            wt.ring = &telemetry->flight().ring(0);
+    }
+    const u64 spans_before =
+        telemetry ? telemetry->spans().sampledCount() : 0;
+
     mem::KernelStats before = mem::kernelStats();
 
     auto started = Clock::now();
     for (const hcb::ReplayCall &call : stream.calls()) {
+        obs::ActiveSpan span;
+        std::optional<obs::SpanPhaseScope> phases;
+        if (telemetry) {
+            span = telemetry->spans().begin(
+                call.id,
+                codec_names[static_cast<std::size_t>(call.codec)]
+                    .c_str(),
+                call.direction == codec::Direction::compress
+                    ? "compress"
+                    : "decompress",
+                0);
+            if (span.sampled())
+                phases.emplace(span);
+        }
         auto call_start = Clock::now();
-        runCall(context, call, record_outputs,
-                report.outcomes[call.id], work_registry);
+        CallOutcome &outcome = report.outcomes[call.id];
+        Status status = runCall(context, call, record_outputs, outcome,
+                                work_registry);
         u64 ns = static_cast<u64>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 Clock::now() - call_start)
                 .count());
+        phases.reset();
+        span.end();
+        if (telemetry) {
+            wt.recordFlight(call, outcome, status);
+            if (!status.ok())
+                wt.noteFailure(call, status);
+        }
         runtime_registry.histogram("serve.latency_ns").record(ns);
+        if (wt.dimensioned())
+            wt.recordDimensioned(runtime_registry, call, ns);
     }
     report.elapsedSeconds =
         std::chrono::duration<double>(Clock::now() - started).count();
@@ -205,6 +408,10 @@ replaySequential(const hcb::CallStream &stream, bool record_outputs)
     obs::exportKernelStats(kernel_registry, report.kernel);
     report.work.merge(kernel_registry.snapshot());
     report.runtime = runtime_registry.snapshot();
+
+    if (telemetry)
+        report.spansSampled =
+            telemetry->spans().sampledCount() - spans_before;
 
     for (const CallOutcome &outcome : report.outcomes) {
         if (!outcome.executed)

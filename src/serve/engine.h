@@ -26,6 +26,7 @@
 
 #include "common/mem.h"
 #include "obs/counters.h"
+#include "obs/telemetry.h"
 #include "serve/codec_context.h"
 #include "serve/queue.h"
 
@@ -47,6 +48,17 @@ struct EngineConfig
     /** Keep each call's output bytes (differential tests); costly for
      *  large streams, so benches leave it off and compare hashes. */
     bool recordOutputs = false;
+    /**
+     * Optional telemetry hub (not owned; must outlive the run). Null
+     * is the compiled-in-but-idle configuration: no spans, no flight
+     * events, no metrics samples, no per-call cost. With a hub:
+     * per-call spans sampled on call id (deterministic across worker
+     * counts), flight events into the worker's ring, dimensioned
+     * latency histograms, metrics samples every
+     * config.metricsEveryCalls completed calls, and a fault dump on
+     * the first failed call.
+     */
+    obs::Telemetry *telemetry = nullptr;
 };
 
 /** Per-call result slot; index in ReplayReport::outcomes == call id. */
@@ -75,6 +87,16 @@ struct ReplayReport
 
     /** Merged per-thread fast-path stats (also exported into work). */
     mem::KernelStats kernel;
+
+    /** Time-series metrics document ({"metrics_series": ...}); JSON
+     *  null unless the run's telemetry hub enabled metrics sampling. */
+    obs::JsonValue metricsSeries;
+    /** Metrics samples taken during this run (deterministic in the
+     *  stream: floor(executed calls / metricsEveryCalls)). */
+    u64 metricsSamples = 0;
+    /** Spans this run sampled (deterministic in the stream under
+     *  key-based sampling, independent of worker count). */
+    u64 spansSampled = 0;
 
     double elapsedSeconds = 0.0;
     u64 executed = 0;
@@ -114,7 +136,8 @@ class ReplayEngine
  * stream order. The differential oracle the engine is compared to.
  */
 ReplayReport replaySequential(const hcb::CallStream &stream,
-                              bool record_outputs = false);
+                              bool record_outputs = false,
+                              obs::Telemetry *telemetry = nullptr);
 
 /** FNV-1a 64-bit hash (outcome fingerprints). */
 u64 fnv1a(ByteSpan data);

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "codec/obs_bridge.h"
 #include "codec/registry.h"
 #include "codec/session.h"
 #include "corpus/generators.h"
@@ -170,6 +171,52 @@ TEST(FuzzDriverTest, ReportsAreDeterministic)
     EXPECT_EQ(first.summary(config), second.summary(config));
     // A battery that never rejects anything is not mutating.
     EXPECT_GT(first.cleanRejects, 0u);
+}
+
+TEST(FuzzDriverTest, TripwireViolationFreezesFaultDump)
+{
+    // A 1-byte output tripwire makes the first successful decode a
+    // deterministic contract violation; the attached hub must capture
+    // the flight history around it.
+    obs::TelemetryConfig tc;
+    obs::Telemetry telemetry(tc, 1, codec::codecFlightNamer());
+
+    FuzzConfig config;
+    config.codec = codec::CodecId::snappy;
+    config.direction = codec::Direction::decompress;
+    config.iterations = 200;
+    config.outputTripwireBytes = 1;
+    config.telemetry = &telemetry;
+    FuzzReport report = runFuzz(config);
+    EXPECT_FALSE(report.ok());
+    EXPECT_GE(telemetry.faultCount(), 1u);
+    ASSERT_TRUE(telemetry.hasFaultDump());
+
+    const obs::JsonValue dump = telemetry.faultDump();
+    ASSERT_TRUE(dump.has("flight_events"));
+    EXPECT_GT(dump.at("flight_events").size(), 0u);
+    ASSERT_TRUE(dump.has("fault"));
+    EXPECT_NE(dump.at("fault").at("what").asString().find("tripwire"),
+              std::string::npos)
+        << dump.at("fault").at("what").asString();
+}
+
+TEST(FuzzDriverTest, FlightRingRecordsEveryIteration)
+{
+    obs::TelemetryConfig tc;
+    obs::Telemetry telemetry(tc, 1, codec::codecFlightNamer());
+
+    FuzzConfig config;
+    config.codec = codec::CodecId::snappy;
+    config.direction = codec::Direction::decompress;
+    config.iterations = 150;
+    config.telemetry = &telemetry;
+    FuzzReport report = runFuzz(config);
+    EXPECT_TRUE(report.ok());
+    EXPECT_FALSE(telemetry.hasFaultDump());
+    // One flight event per iteration, clean run or not.
+    EXPECT_EQ(telemetry.flight().ring(0).recorded(),
+              config.iterations);
 }
 
 } // namespace

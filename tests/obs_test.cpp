@@ -105,6 +105,53 @@ TEST(JsonTest, ParseErrors)
     EXPECT_FALSE(JsonValue::parse("{\"a\" 1}").ok());
 }
 
+TEST(JsonTest, RejectsRawControlCharactersInStrings)
+{
+    // RFC 8259 §7: control characters must arrive escaped. A raw
+    // newline or NUL inside a string is a malformed document, not a
+    // character to pass through.
+    EXPECT_FALSE(JsonValue::parse("\"a\nb\"").ok());
+    EXPECT_FALSE(JsonValue::parse("\"a\tb\"").ok());
+    EXPECT_FALSE(JsonValue::parse(std::string("\"a\0b\"", 5)).ok());
+    EXPECT_FALSE(JsonValue::parse("{\"k\x01\": 1}").ok());
+    // The escaped spellings of the same strings are fine.
+    auto escaped = JsonValue::parse("\"a\\nb\"");
+    ASSERT_TRUE(escaped.ok());
+    EXPECT_EQ(escaped.value().asString(), "a\nb");
+}
+
+TEST(JsonTest, HostileStringsRoundTripThroughDump)
+{
+    // Keys and values full of quotes, backslashes, and control bytes
+    // must survive a dump/parse cycle byte-for-byte — these are the
+    // strings a corrupt corpus file or fuzz artifact feeds the
+    // telemetry pipeline.
+    JsonValue object = JsonValue::object();
+    object.set("he\"said\\", JsonValue(std::string("\x01\x1f\n\r\t")));
+    object.set("\b\f", JsonValue(std::string("plain")));
+    auto parsed = JsonValue::parse(object.dump());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().at("he\"said\\").asString(),
+              std::string("\x01\x1f\n\r\t"));
+    EXPECT_EQ(parsed.value().at("\b\f").asString(), "plain");
+    EXPECT_EQ(parsed.value().dump(), object.dump());
+}
+
+TEST(JsonTest, SurrogatePairsDecodeAndLoneSurrogatesFail)
+{
+    // \uD83D\uDE00 is U+1F600; it must combine into one 4-byte UTF-8
+    // sequence, not two 3-byte WTF-8 halves.
+    auto emoji = JsonValue::parse("\"\\ud83d\\ude00\"");
+    ASSERT_TRUE(emoji.ok());
+    EXPECT_EQ(emoji.value().asString(), "\xF0\x9F\x98\x80");
+    // Either half alone, or a high half followed by a non-low unit,
+    // is invalid.
+    EXPECT_FALSE(JsonValue::parse("\"\\ud83d\"").ok());
+    EXPECT_FALSE(JsonValue::parse("\"\\ude00\"").ok());
+    EXPECT_FALSE(JsonValue::parse("\"\\ud83d\\u0041\"").ok());
+    EXPECT_FALSE(JsonValue::parse("\"\\ud83dx\"").ok());
+}
+
 // --- Counters and histograms -------------------------------------------
 
 TEST(CounterTest, RegistryHandlesAreStable)
@@ -271,6 +318,39 @@ TEST(HistogramTest, PercentilesOfUniformRamp)
     // The extremes are exact thanks to the [min, max] clamp.
     EXPECT_DOUBLE_EQ(snapshot.percentile(0.0), 1.0);
     EXPECT_DOUBLE_EQ(snapshot.percentile(1.0), 1000.0);
+}
+
+TEST(HistogramTest, HighQuantilesSeparateInsideOneBucket)
+{
+    // Regression: values 600..799 all land in the [512, 1024) log2
+    // bucket. Interpolating over the full bucket range used to clamp
+    // every high quantile to max, so p99 == p999 == 799 and latency
+    // SLOs could not tell them apart. With the [min, max] narrowing
+    // they interpolate inside the observed range.
+    Histogram histogram;
+    for (u64 v = 600; v < 800; ++v)
+        histogram.record(v);
+    const HistogramSnapshot &snapshot = histogram.snapshot();
+    const double p50 = snapshot.percentile(0.50);
+    const double p99 = snapshot.percentile(0.99);
+    const double p999 = snapshot.percentile(0.999);
+    EXPECT_GT(p99, p50);
+    EXPECT_GT(p999, p99);
+    EXPECT_NEAR(p50, 699.5, 2.0);
+    EXPECT_NEAR(p99, 798, 2.0);
+    EXPECT_NEAR(p999, 799, 1.0);
+    EXPECT_LE(p999, static_cast<double>(snapshot.max));
+    EXPECT_GE(p50, static_cast<double>(snapshot.min));
+}
+
+TEST(HistogramTest, SnapshotJsonCarriesP999)
+{
+    Histogram histogram;
+    for (u64 v = 1; v <= 100; ++v)
+        histogram.record(v);
+    const JsonValue out = histogram.snapshot().toJson();
+    ASSERT_TRUE(out.has("p999"));
+    EXPECT_GE(out.at("p999").asDouble(), out.at("p99").asDouble());
 }
 
 TEST(HistogramTest, PercentileOfEmptyAndSingle)

@@ -10,8 +10,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
 #include <thread>
 
+#include "codec/obs_bridge.h"
 #include "codec/registry.h"
 #include "corpus/generators.h"
 #include "serve/engine.h"
@@ -451,6 +453,172 @@ TEST(ReplayEngineTest, WorkCountersCoverEveryCodecAndDirection)
     EXPECT_GT(report.work.at("serve.bytes.out"), 0u);
     // Fast-path kernel totals must survive the per-thread merge.
     EXPECT_GT(report.work.at("kernel.mem.wild_copy_bytes"), 0u);
+}
+
+// --- Telemetry --------------------------------------------------------
+
+std::set<u64>
+sampledKeys(const obs::SpanRecorder &spans)
+{
+    std::set<u64> keys;
+    for (const obs::SpanRecord &record : spans.records())
+        keys.insert(record.key);
+    return keys;
+}
+
+TEST(ReplayTelemetryTest, SpanSetIsDeterministicAcrossWorkerCounts)
+{
+    // Key-based sampling: the sampled set is a pure function of the
+    // stream (call ids), so sequential and every worker count must
+    // sample the exact same keys — not just the same count.
+    StreamConfig stream_config = smallStreamConfig();
+    stream_config.calls = 96;
+    auto stream = buildMixedStream(stream_config);
+    ASSERT_TRUE(stream.ok());
+
+    obs::TelemetryConfig tc;
+    tc.spanSamplePeriod = 8;
+    obs::Telemetry reference_tele(tc, 1, codec::codecFlightNamer());
+    ReplayReport reference =
+        replaySequential(stream.value(), false, &reference_tele);
+    EXPECT_EQ(reference.spansSampled, 96u / 8u);
+    const std::set<u64> reference_keys =
+        sampledKeys(reference_tele.spans());
+    ASSERT_EQ(reference_keys.size(), 12u);
+    for (u64 key : reference_keys)
+        EXPECT_EQ(key % 8, 0u) << key;
+
+    for (unsigned workers : {1u, 2u, 8u}) {
+        SCOPED_TRACE(testing::Message() << workers << " workers");
+        obs::Telemetry tele(tc, workers, codec::codecFlightNamer());
+        EngineConfig config;
+        config.workers = workers;
+        config.telemetry = &tele;
+        ReplayEngine engine(config);
+        ReplayReport report = engine.run(stream.value());
+        EXPECT_EQ(report.spansSampled, reference.spansSampled);
+        EXPECT_EQ(sampledKeys(tele.spans()), reference_keys);
+    }
+}
+
+TEST(ReplayTelemetryTest, AttachedHubDoesNotPerturbWorkCounters)
+{
+    auto stream = buildMixedStream(smallStreamConfig());
+    ASSERT_TRUE(stream.ok());
+    ReplayReport reference = replaySequential(stream.value(), true);
+    ASSERT_EQ(reference.failed, 0u);
+
+    obs::TelemetryConfig tc;
+    tc.spanSamplePeriod = 4;
+    tc.metricsEveryCalls = 16;
+    obs::Telemetry tele(tc, 4, codec::codecFlightNamer());
+    EngineConfig config;
+    config.workers = 4;
+    config.recordOutputs = true;
+    config.telemetry = &tele;
+    ReplayEngine engine(config);
+    ReplayReport report = engine.run(stream.value());
+    // Telemetry observes the work; it must not change it.
+    expectReplayMatchesReference(report, reference);
+}
+
+TEST(ReplayTelemetryTest, MetricsSampleCountIsDeterministic)
+{
+    StreamConfig stream_config = smallStreamConfig();
+    stream_config.calls = 96;
+    auto stream = buildMixedStream(stream_config);
+    ASSERT_TRUE(stream.ok());
+
+    obs::TelemetryConfig tc;
+    tc.spanSamplePeriod = 0;
+    tc.metricsEveryCalls = 10;
+    for (unsigned workers : {1u, 2u, 8u}) {
+        SCOPED_TRACE(testing::Message() << workers << " workers");
+        obs::Telemetry tele(tc, workers, codec::codecFlightNamer());
+        EngineConfig config;
+        config.workers = workers;
+        config.telemetry = &tele;
+        ReplayEngine engine(config);
+        ReplayReport report = engine.run(stream.value());
+        // floor(96 / 10): the trigger fires on every 10th completion
+        // regardless of which worker crosses the threshold.
+        EXPECT_EQ(report.metricsSamples, 9u);
+        ASSERT_TRUE(report.metricsSeries.has("metrics_series"));
+        EXPECT_EQ(report.metricsSeries.at("metrics_series")
+                      .at("samples")
+                      .asU64(),
+                  9u);
+    }
+}
+
+TEST(ReplayTelemetryTest, DimensionedCellsCoverEveryCall)
+{
+    StreamConfig stream_config = smallStreamConfig();
+    stream_config.calls = 64;
+    auto stream = buildMixedStream(stream_config);
+    ASSERT_TRUE(stream.ok());
+
+    obs::TelemetryConfig tc;
+    tc.spanSamplePeriod = 0;
+    obs::Telemetry tele(tc, 2, codec::codecFlightNamer());
+    EngineConfig config;
+    config.workers = 2;
+    config.telemetry = &tele;
+    ReplayEngine engine(config);
+    ReplayReport report = engine.run(stream.value());
+    ASSERT_EQ(report.executed, 64u);
+
+    // Every executed call lands in exactly one
+    // serve.latency_ns.by.<codec>.<direction>.sz<class> cell.
+    u64 total = 0;
+    for (const auto &[name, hist] : report.runtime.histograms) {
+        if (name.rfind("serve.latency_ns.by.", 0) == 0)
+            total += hist.count;
+    }
+    EXPECT_EQ(total, report.executed);
+}
+
+TEST(ReplayTelemetryTest, FailedCallFreezesFlightDump)
+{
+    StreamConfig stream_config = smallStreamConfig();
+    stream_config.calls = 24;
+    auto stream = buildMixedStream(stream_config);
+    ASSERT_TRUE(stream.ok());
+    // Append a decompress call whose payload is garbage: the codec
+    // must classify it dataError, and the hub must freeze the flight
+    // history around the failure.
+    const u64 bad_id = stream.value().append(
+        codec::CodecId::snappy, codec::Direction::decompress,
+        Bytes{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff});
+
+    obs::TelemetryConfig tc;
+    tc.spanSamplePeriod = 0;
+    obs::Telemetry tele(tc, 2, codec::codecFlightNamer());
+    EngineConfig config;
+    config.workers = 2;
+    config.telemetry = &tele;
+    ReplayEngine engine(config);
+    ReplayReport report = engine.run(stream.value());
+    EXPECT_EQ(report.failed, 1u);
+    EXPECT_EQ(tele.faultCount(), 1u);
+    ASSERT_TRUE(tele.hasFaultDump());
+
+    const obs::JsonValue dump = tele.faultDump();
+    ASSERT_TRUE(dump.has("flight_events"));
+    ASSERT_TRUE(dump.has("fault"));
+    bool found = false;
+    for (const obs::JsonValue &event :
+         dump.at("flight_events").items()) {
+        if (event.at("id").asU64() != bad_id)
+            continue;
+        found = true;
+        EXPECT_EQ(event.at("kind").asString(), "snappy");
+        EXPECT_EQ(event.at("direction").asString(), "decompress");
+        EXPECT_EQ(event.at("outcome").asString(), "data_error");
+    }
+    EXPECT_TRUE(found)
+        << "failing call missing from flight dump: "
+        << dump.dump(0);
 }
 
 // --- CallStream / appendSuite ----------------------------------------
