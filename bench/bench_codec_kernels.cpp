@@ -22,6 +22,7 @@
 #include "bench_common.h"
 #include "codec/registry.h"
 #include "codec/session.h"
+#include "common/kernels.h"
 #include "common/mem.h"
 #include "common/varint.h"
 #include "corpus/generators.h"
@@ -298,6 +299,148 @@ BM_FseDecode(benchmark::State &state)
 }
 BENCHMARK(BM_FseDecode);
 
+// --- Tier-pinned decode benchmarks -----------------------------------
+//
+// One decode benchmark per (kernel, tier) pair, with the tier forced
+// inside the timed function: BM_TierDecode/<kernel>/<class>/<tier>.
+// Comparing the <tier> rows of one <kernel>/<class> group gives the
+// honest SIMD-vs-scalar speedup on identical inputs; the per-tier
+// kernel counters attached below prove the vector path actually ran.
+
+/** Attaches the per-tier attribution counters accumulated across the
+ *  timed loop, proving which tier's kernels executed. */
+void
+attachTierCounters(benchmark::State &state, kernels::Tier tier,
+                   const mem::KernelStats &before)
+{
+    const mem::KernelStats &now = mem::kernelStats();
+    const double iters = static_cast<double>(state.iterations());
+    if (iters == 0)
+        return;
+    const unsigned t = static_cast<unsigned>(tier);
+    auto per_iter = [&](u64 after_v, u64 before_v) {
+        return static_cast<double>(after_v - before_v) / iters;
+    };
+    state.counters["tier_wild_copy_bytes"] = per_iter(
+        now.tierWildCopyBytes[t], before.tierWildCopyBytes[t]);
+    state.counters["tier_crc32c_bytes"] =
+        per_iter(now.tierCrc32cBytes[t], before.tierCrc32cBytes[t]);
+    state.counters["tier_hash_positions"] = per_iter(
+        now.tierHashPositions[t], before.tierHashPositions[t]);
+    state.counters["tier_huffman_symbols"] =
+        per_iter(now.tierHuffSymbols[t], before.tierHuffSymbols[t]);
+}
+
+/** Restores the entry tier when the benchmark body ends. */
+class BenchTierGuard
+{
+  public:
+    explicit BenchTierGuard(kernels::Tier tier)
+        : saved_(kernels::activeTier())
+    {
+        (void)kernels::setActiveTier(tier);
+    }
+    ~BenchTierGuard() { (void)kernels::setActiveTier(saved_); }
+
+  private:
+    kernels::Tier saved_;
+};
+
+void
+runSnappyDecompressAtTier(benchmark::State &state, kernels::Tier tier,
+                          int cls_index)
+{
+    BenchTierGuard guard(tier);
+    Bytes data = makeData(cls_index, 256 * kKiB);
+    Bytes compressed = snappy::compress(data);
+    mem::KernelStats before = mem::kernelStats();
+    Bytes out;
+    for (auto _ : state) {
+        if (!snappy::decompressInto(compressed, out).ok())
+            state.SkipWithError("decompress failed");
+        benchmark::DoNotOptimize(out.data());
+    }
+    setThroughput(state, data.size());
+    attachTierCounters(state, tier, before);
+}
+
+void
+runZstdLiteDecompressAtTier(benchmark::State &state,
+                            kernels::Tier tier, int cls_index)
+{
+    BenchTierGuard guard(tier);
+    Bytes data = makeData(cls_index, 256 * kKiB);
+    auto compressed = zstdlite::compress(data);
+    mem::KernelStats before = mem::kernelStats();
+    Bytes out;
+    for (auto _ : state) {
+        if (!zstdlite::decompressInto(compressed.value(), out).ok())
+            state.SkipWithError("decompress failed");
+        benchmark::DoNotOptimize(out.data());
+    }
+    setThroughput(state, data.size());
+    attachTierCounters(state, tier, before);
+}
+
+void
+runHuffmanDecodeAtTier(benchmark::State &state, kernels::Tier tier)
+{
+    BenchTierGuard guard(tier);
+    Bytes data = makeData(0, 128 * kKiB);
+    auto table =
+        huffman::buildCodeTable(huffman::countFrequencies(data))
+            .value();
+    auto decoder = huffman::Decoder::build(table).value();
+    BitWriter writer;
+    (void)huffman::encode(table, data, writer);
+    Bytes stream = writer.finish();
+    mem::KernelStats before = mem::kernelStats();
+    for (auto _ : state) {
+        BitReader reader(stream);
+        Bytes out;
+        (void)decoder.decode(reader, data.size(), out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    setThroughput(state, data.size());
+    attachTierCounters(state, tier, before);
+}
+
+void
+registerTierBenchmarks()
+{
+    auto classes = corpus::allDataClasses();
+    for (kernels::Tier tier : kernels::availableTiers()) {
+        const std::string suffix = kernels::tierName(tier);
+        for (std::size_t cls = 0; cls < classes.size(); ++cls) {
+            std::string cls_name = corpus::dataClassName(classes[cls]);
+            benchmark::RegisterBenchmark(
+                ("BM_TierDecode/snappy/" + cls_name + "/" + suffix)
+                    .c_str(),
+                [tier, cls](benchmark::State &state) {
+                    runSnappyDecompressAtTier(state, tier,
+                                              static_cast<int>(cls));
+                });
+        }
+        // ZstdLite exercises wild copies + the fused Huffman literal
+        // decode; text and log are the compressible classes the CI
+        // speedup guard watches.
+        for (int cls : {0, 1}) {
+            std::string cls_name = corpus::dataClassName(classes[cls]);
+            benchmark::RegisterBenchmark(
+                ("BM_TierDecode/zstdlite/" + cls_name + "/" + suffix)
+                    .c_str(),
+                [tier, cls](benchmark::State &state) {
+                    runZstdLiteDecompressAtTier(state, tier, cls);
+                });
+        }
+        benchmark::RegisterBenchmark(
+            ("BM_TierDecode/huffman/text/" + suffix).c_str(),
+            [tier](benchmark::State &state) {
+                runHuffmanDecodeAtTier(state, tier);
+            });
+    }
+}
+
 /** Whole-buffer round trip through the registry vtable at the codec's
  *  default parameters — the same entry points the serve layer uses. */
 void
@@ -402,10 +545,12 @@ registerRegistryBenchmarks()
  * Custom main so this binary honors the repo-wide `--json <path>`
  * telemetry flag (translated into google-benchmark's native
  * `--benchmark_out` / `--benchmark_out_format=json` pair before
- * benchmark::Initialize consumes argv) and the registry-driven
+ * benchmark::Initialize consumes argv), the registry-driven
  * `--codec <name>` filter, which resolves the name through
  * codec::codecFromName and narrows the run to that codec's
- * BM_Codec/<name>/ benchmarks.
+ * BM_Codec/<name>/ benchmarks, and `--kernel-tier <name>`, which
+ * forces the SIMD kernel tier for every non-pinned benchmark
+ * (overriding the CDPU_KERNEL_TIER environment override).
  */
 int
 main(int argc, char **argv)
@@ -414,6 +559,20 @@ main(int argc, char **argv)
     for (int i = 0; i < argc; ++i) {
         std::string arg = argv[i];
         std::string path;
+        if (arg.rfind("--kernel-tier=", 0) == 0 ||
+            (arg == "--kernel-tier" && i + 1 < argc)) {
+            std::string name = arg.rfind("--kernel-tier=", 0) == 0
+                                   ? arg.substr(14)
+                                   : std::string(argv[++i]);
+            cdpu::Status status = cdpu::kernels::applyTierOverride(name);
+            if (!status.ok()) {
+                std::fprintf(stderr, "--kernel-tier %s: %s\n",
+                             name.c_str(),
+                             status.message().c_str());
+                return 1;
+            }
+            continue;
+        }
         if (arg.rfind("--codec=", 0) == 0 ||
             (arg == "--codec" && i + 1 < argc)) {
             std::string name = arg.rfind("--codec=", 0) == 0
@@ -442,6 +601,28 @@ main(int argc, char **argv)
         arg_storage.push_back("--benchmark_out_format=json");
     }
     registerRegistryBenchmarks();
+    registerTierBenchmarks();
+    // Every --json record carries the kernel-tier provenance: which
+    // tier the non-pinned benchmarks ran at, what the host detected,
+    // and the raw CPU feature summary.
+    benchmark::AddCustomContext(
+        "kernel.active_tier",
+        cdpu::kernels::tierName(cdpu::kernels::activeTier()));
+    benchmark::AddCustomContext(
+        "kernel.detected_tier",
+        cdpu::kernels::tierName(cdpu::kernels::detectedTier()));
+    benchmark::AddCustomContext("kernel.cpu_features",
+                                cdpu::kernels::cpuFeatureSummary());
+    {
+        std::string tiers;
+        for (cdpu::kernels::Tier tier :
+             cdpu::kernels::availableTiers()) {
+            if (!tiers.empty())
+                tiers += ",";
+            tiers += cdpu::kernels::tierName(tier);
+        }
+        benchmark::AddCustomContext("kernel.available_tiers", tiers);
+    }
     std::vector<char *> args;
     for (std::string &arg : arg_storage)
         args.push_back(arg.data());

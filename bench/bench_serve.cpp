@@ -36,6 +36,7 @@
 
 #include "bench_common.h"
 #include "codec/obs_bridge.h"
+#include "common/kernels.h"
 #include "serve/engine.h"
 #include "serve/stream_builder.h"
 
@@ -70,7 +71,7 @@ run(int argc, char **argv)
     if (args.parse(argc, argv,
                    {"calls", "min", "max", "seed", "workers", "codec",
                     "streaming", "json", "telemetry", "span-period",
-                    "metrics-every", "slo"})) {
+                    "metrics-every", "slo", "kernel-tier"})) {
         stream_config.calls =
             static_cast<std::size_t>(args.getInt("calls", 192));
         stream_config.minCallBytes =
@@ -102,6 +103,16 @@ run(int argc, char **argv)
             static_cast<u64>(args.getInt("metrics-every", 32));
         slo_specs = args.getString(
             "slo", "any:decompress:p99:0:50ms,any:compress:p99:0:50ms");
+        std::string tier_name = args.getString("kernel-tier", "");
+        if (!tier_name.empty()) {
+            Status tier_status = kernels::applyTierOverride(tier_name);
+            if (!tier_status.ok()) {
+                std::fprintf(stderr, "--kernel-tier %s: %s\n",
+                             tier_name.c_str(),
+                             tier_status.message().c_str());
+                return 1;
+            }
+        }
     }
     max_workers = std::max(1u, max_workers);
 
@@ -139,6 +150,13 @@ run(int argc, char **argv)
     report.config("streaming_fraction",
                   stream_config.streamingFraction);
     report.config("telemetry", telemetry_on);
+    // Kernel-tier provenance: which SIMD tier produced these numbers.
+    report.config("kernel_tier",
+                  std::string(kernels::tierName(kernels::activeTier())));
+    report.config(
+        "kernel_detected_tier",
+        std::string(kernels::tierName(kernels::detectedTier())));
+    report.config("kernel_cpu_features", kernels::cpuFeatureSummary());
     if (telemetry_on) {
         report.config("span_period", u64{span_period});
         report.config("metrics_every", u64{metrics_every});

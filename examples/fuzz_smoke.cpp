@@ -17,8 +17,11 @@
 #include <fstream>
 #include <string>
 
+#include <vector>
+
 #include "codec/obs_bridge.h"
 #include "common/cli.h"
+#include "common/kernels.h"
 #include "harden/fuzz_driver.h"
 
 using namespace cdpu;
@@ -30,8 +33,26 @@ main(int argc, char **argv)
     if (!args.parse(argc, argv, {"iterations", "seed-base",
                                  "max-payload", "codec",
                                  "direction", "flight-dump",
-                                 "tripwire"})) {
+                                 "tripwire", "kernel-tier"})) {
         return 1;
+    }
+    // --kernel-tier NAME pins the SIMD kernel tier for the whole
+    // battery; --kernel-tier all repeats the battery at every tier the
+    // host can run (the per-tier CI leg). Default: the detected tier
+    // (or CDPU_KERNEL_TIER).
+    std::string tier_arg = args.getString("kernel-tier", "");
+    std::vector<kernels::Tier> tiers = {kernels::activeTier()};
+    if (tier_arg == "all") {
+        tiers = kernels::availableTiers();
+    } else if (!tier_arg.empty()) {
+        Status tier_status = kernels::applyTierOverride(tier_arg);
+        if (!tier_status.ok()) {
+            std::fprintf(stderr, "--kernel-tier %s: %s\n",
+                         tier_arg.c_str(),
+                         tier_status.message().c_str());
+            return 1;
+        }
+        tiers = {kernels::activeTier()};
     }
     auto iterations =
         static_cast<u64>(args.getInt("iterations", 10000));
@@ -56,33 +77,49 @@ main(int argc, char **argv)
     obs::Telemetry telemetry(tc, 1, codec::codecFlightNamer());
 
     bool clean = true;
-    for (codec::CodecId id : codec::allCodecs()) {
-        if (!only_codec.empty() && codec::codecName(id) != only_codec)
-            continue;
-        for (codec::Direction direction :
-             {codec::Direction::decompress,
-              codec::Direction::compress}) {
-            if (!only_direction.empty() &&
-                codec::directionName(direction) != only_direction) {
+    for (kernels::Tier tier : tiers) {
+        Status tier_status = kernels::setActiveTier(tier);
+        if (!tier_status.ok()) {
+            std::fprintf(stderr, "kernel tier: %s\n",
+                         tier_status.message().c_str());
+            return 1;
+        }
+        if (tiers.size() > 1)
+            std::printf("=== kernel tier: %s ===\n",
+                        kernels::tierName(tier));
+        for (codec::CodecId id : codec::allCodecs()) {
+            if (!only_codec.empty() &&
+                codec::codecName(id) != only_codec) {
                 continue;
             }
-            harden::FuzzConfig config;
-            config.codec = id;
-            config.direction = direction;
-            config.iterations = iterations;
-            config.seedBase = seed_base;
-            config.maxPayloadBytes = max_payload;
-            config.outputTripwireBytes = tripwire;
-            if (!dump_path.empty())
-                config.telemetry = &telemetry;
-            harden::FuzzReport report = harden::runFuzz(config);
-            std::printf("%s\n", report.summary(config).c_str());
-            for (const harden::FuzzFailure &failure : report.failures) {
-                std::printf("  FAIL %s: %s\n",
-                            harden::describeSpec(failure.spec).c_str(),
-                            failure.what.c_str());
+            for (codec::Direction direction :
+                 {codec::Direction::decompress,
+                  codec::Direction::compress}) {
+                if (!only_direction.empty() &&
+                    codec::directionName(direction) != only_direction) {
+                    continue;
+                }
+                harden::FuzzConfig config;
+                config.codec = id;
+                config.direction = direction;
+                config.iterations = iterations;
+                config.seedBase = seed_base;
+                config.maxPayloadBytes = max_payload;
+                config.outputTripwireBytes = tripwire;
+                if (!dump_path.empty())
+                    config.telemetry = &telemetry;
+                harden::FuzzReport report = harden::runFuzz(config);
+                std::printf("%s\n", report.summary(config).c_str());
+                for (const harden::FuzzFailure &failure :
+                     report.failures) {
+                    std::printf(
+                        "  FAIL [%s] %s: %s\n",
+                        kernels::tierName(tier),
+                        harden::describeSpec(failure.spec).c_str(),
+                        failure.what.c_str());
+                }
+                clean = clean && report.ok();
             }
-            clean = clean && report.ok();
         }
     }
     if (!clean) {

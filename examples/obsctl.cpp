@@ -66,6 +66,24 @@ renderProvenance(const JsonValue &document)
     if (config->has("wall_clock_start"))
         std::printf("started:   %s\n",
                     config->at("wall_clock_start").asString().c_str());
+    if (config->has("kernel_tier")) {
+        std::printf("kernels:   %s tier",
+                    config->at("kernel_tier").asString().c_str());
+        if (config->has("kernel_detected_tier") &&
+            config->at("kernel_detected_tier").asString() !=
+                config->at("kernel_tier").asString()) {
+            std::printf("   [detected: %s]",
+                        config->at("kernel_detected_tier")
+                            .asString()
+                            .c_str());
+        }
+        if (config->has("kernel_cpu_features"))
+            std::printf("   (%s)",
+                        config->at("kernel_cpu_features")
+                            .asString()
+                            .c_str());
+        std::printf("\n");
+    }
     std::printf("\n");
 }
 

@@ -1,43 +1,21 @@
 #include "common/crc32c.h"
 
-#include <array>
+#include "common/kernels.h"
+#include "common/mem.h"
 
 namespace cdpu
 {
 
-namespace
-{
-
-/** Byte-at-a-time table for the reflected Castagnoli polynomial. */
-std::array<u32, 256>
-makeTable()
-{
-    std::array<u32, 256> table{};
-    for (u32 i = 0; i < 256; ++i) {
-        u32 crc = i;
-        for (int bit = 0; bit < 8; ++bit)
-            crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0);
-        table[i] = crc;
-    }
-    return table;
-}
-
-const std::array<u32, 256> &
-table()
-{
-    static const std::array<u32, 256> kTable = makeTable();
-    return kTable;
-}
-
-} // namespace
-
 u32
 crc32cUpdate(u32 crc, ByteSpan data)
 {
-    crc = ~crc;
-    for (u8 byte : data)
-        crc = (crc >> 8) ^ table()[(crc ^ byte) & 0xff];
-    return ~crc;
+    // The tier kernels operate on the raw reflected state; the ~crc
+    // conditioning stays here so every tier computes the identical
+    // public function (SSE4.2's crc32 instruction implements exactly
+    // this byte-table recurrence in hardware).
+    mem::KernelStats &stats = mem::kernelStats();
+    stats.tierCrc32cBytes[kernels::activeTierIndex()] += data.size();
+    return ~kernels::ops().crc32cUpdate(~crc, data.data(), data.size());
 }
 
 u32

@@ -22,8 +22,10 @@
 #define CDPU_COMMON_MEM_H_
 
 #include <bit>
+#include <cassert>
 #include <cstring>
 
+#include "common/kernels.h"
 #include "common/types.h"
 
 namespace cdpu::mem
@@ -66,11 +68,17 @@ storeU64(u8 *p, u64 v)
 /**
  * Slop margin (bytes) a destination buffer must provide past the
  * nominal end for wildCopy targets. wildCopy rounds the copied length
- * up to a multiple of 8, so a copy ending at the nominal end may write
- * up to 7 bytes beyond it; fast-path literal copies batch up to two
- * word stores, so 16 covers every kernel in this repo.
+ * up to a multiple of the active tier's store width
+ * (kernels::storeWidth, at most 32 for AVX2), so a copy ending at the
+ * nominal end may write up to 31 bytes beyond it — and the source must
+ * be readable over the same rounded range. 32 covers every tier; the
+ * margin is tier-independent so buffer reservations never depend on
+ * which tier happens to be active.
  */
-inline constexpr std::size_t kWildCopySlop = 16;
+inline constexpr std::size_t kWildCopySlop = 32;
+
+static_assert(kWildCopySlop >= 32,
+              "slop must cover the widest kernel tier's store round-up");
 
 /**
  * Per-thread fast-path accounting, exported into the observability
@@ -91,6 +99,15 @@ struct KernelStats
     u64 bitioBackwardSlowRefills = 0; ///< Byte-step refills (backward).
     u64 matchWordCompares = 0;      ///< 8-byte probes in match counting.
 
+    /** Per-tier attribution, indexed by kernels::activeTierIndex().
+     *  The totals above stay tier-invariant (they count work the codec
+     *  asked for); these arrays record which tier executed it, proving
+     *  in exported counters that a vector path actually ran. */
+    u64 tierWildCopyBytes[kernels::kNumTiers] = {};
+    u64 tierCrc32cBytes[kernels::kNumTiers] = {};
+    u64 tierHashPositions[kernels::kNumTiers] = {};
+    u64 tierHuffSymbols[kernels::kNumTiers] = {};
+
     void reset() { *this = KernelStats{}; }
 
     /** Accumulates @p other into this instance, field-wise. The serve
@@ -109,6 +126,12 @@ struct KernelStats
         bitioBackwardFastRefills += other.bitioBackwardFastRefills;
         bitioBackwardSlowRefills += other.bitioBackwardSlowRefills;
         matchWordCompares += other.matchWordCompares;
+        for (unsigned t = 0; t < kernels::kNumTiers; ++t) {
+            tierWildCopyBytes[t] += other.tierWildCopyBytes[t];
+            tierCrc32cBytes[t] += other.tierCrc32cBytes[t];
+            tierHashPositions[t] += other.tierHashPositions[t];
+            tierHuffSymbols[t] += other.tierHuffSymbols[t];
+        }
     }
 
     /** This instance minus @p before, field-wise (for windowing a
@@ -136,6 +159,16 @@ struct KernelStats
             bitioBackwardSlowRefills - before.bitioBackwardSlowRefills;
         out.matchWordCompares =
             matchWordCompares - before.matchWordCompares;
+        for (unsigned t = 0; t < kernels::kNumTiers; ++t) {
+            out.tierWildCopyBytes[t] =
+                tierWildCopyBytes[t] - before.tierWildCopyBytes[t];
+            out.tierCrc32cBytes[t] =
+                tierCrc32cBytes[t] - before.tierCrc32cBytes[t];
+            out.tierHashPositions[t] =
+                tierHashPositions[t] - before.tierHashPositions[t];
+            out.tierHuffSymbols[t] =
+                tierHuffSymbols[t] - before.tierHuffSymbols[t];
+        }
         return out;
     }
 };
@@ -155,20 +188,61 @@ kernelStats()
 }
 
 /**
- * Copies @p n bytes from @p src to @p dst in 8-byte chunks.
+ * Copies @p n bytes from @p src to @p dst in chunks of up to the
+ * active kernel tier's store width.
  *
- * May read up to 7 bytes past src + n and write up to 7 bytes past
- * dst + n (both bounded by kWildCopySlop). Regions must not overlap
- * unless dst >= src + 8, in which case the chunked forward copy still
- * replays an LZ match correctly (each chunk only reads bytes written
- * at least 8 positions earlier).
+ * May read up to kWildCopySlop - 1 bytes past src + n and write up to
+ * kWildCopySlop - 1 bytes past dst + n. Regions must not overlap
+ * unless dst >= src + 8; the tiers clamp their chunk width to the
+ * forward distance, so an LZ match replay produces the same bytes in
+ * [dst, dst + n) at every tier (only slop bytes may differ, and every
+ * call site trims slop).
  */
 inline void
 wildCopy(u8 *dst, const u8 *src, std::size_t n)
 {
-    kernelStats().wildCopyBytes += n;
+    KernelStats &stats = kernelStats();
+    stats.wildCopyBytes += n;
+    stats.tierWildCopyBytes[kernels::activeTierIndex()] += n;
+    // Inline chunk loops keyed on the active tier's store width rather
+    // than an indirect call through the dispatch table: most copies are
+    // a handful of bytes, where call overhead would eat the vector win.
+    // The fixed-size memcpy blocks compile to unaligned vector moves at
+    // the baseline ISA. Chunk width is clamped to the forward overlap
+    // distance (src > dst wraps to a huge value), which makes every
+    // width W <= dist produce the scalar byte-by-byte LZ replay
+    // semantics inside [dst, dst + n).
+    const std::size_t dist = static_cast<std::size_t>(
+        reinterpret_cast<std::uintptr_t>(dst) -
+        reinterpret_cast<std::uintptr_t>(src));
+    const unsigned width = kernels::detail::activeChunkWidth;
+    if (width >= 32 && dist >= 32) {
+        for (std::size_t i = 0; i < n; i += 32)
+            std::memcpy(dst + i, src + i, 32);
+        return;
+    }
+    if (width >= 16 && dist >= 16) {
+        for (std::size_t i = 0; i < n; i += 16)
+            std::memcpy(dst + i, src + i, 16);
+        return;
+    }
     for (std::size_t i = 0; i < n; i += 8)
         storeU64(dst + i, loadU64(src + i));
+}
+
+/**
+ * wildCopy with the slop contract spelled out: @p capacity_end is one
+ * past the destination buffer's last writable byte. Debug builds
+ * assert the buffer really provides kWildCopySlop bytes of slack past
+ * dst + n — the contract the AVX2 tier's 32-byte stores depend on.
+ */
+inline void
+wildCopy(u8 *dst, const u8 *src, std::size_t n, const u8 *capacity_end)
+{
+    assert(dst + n + kWildCopySlop <= capacity_end &&
+           "wildCopy destination lacks the kWildCopySlop slack");
+    (void)capacity_end;
+    wildCopy(dst, src, n);
 }
 
 /**

@@ -1,5 +1,8 @@
 #include "huffman/decoder.h"
 
+#include "common/kernels.h"
+#include "common/mem.h"
+
 namespace cdpu::huffman
 {
 
@@ -24,6 +27,31 @@ Decoder::build(const CodeTable &table)
             decoder.table_[idx] = {static_cast<u16>(sym), len};
         }
     }
+
+    // Fuse a second symbol into each window where it provably fits.
+    // Indexing table_ at prefix >> len0 zero-extends the high bits, so
+    // the second entry is trustworthy exactly when its code lies
+    // entirely inside the real (non-extended) bits: len0 + len1 <=
+    // maxBits. Prefix-free codes make that low-bits lookup unambiguous.
+    decoder.pairs_.assign(decoder.table_.size(), PairEntry{});
+    for (u32 prefix = 0; prefix < decoder.table_.size(); ++prefix) {
+        const Entry &first = decoder.table_[prefix];
+        if (first.length == 0)
+            continue;
+        PairEntry pair;
+        pair.sym0 = static_cast<u8>(first.symbol);
+        pair.bits = first.length;
+        pair.count = 1;
+        const Entry &second = decoder.table_[prefix >> first.length];
+        if (second.length != 0 &&
+            first.length + second.length <= table.maxBits) {
+            pair.sym1 = static_cast<u8>(second.symbol);
+            pair.bits =
+                static_cast<u8>(first.length + second.length);
+            pair.count = 2;
+        }
+        decoder.pairs_[prefix] = pair;
+    }
     return decoder;
 }
 
@@ -35,10 +63,28 @@ Decoder::decode(BitReader &reader, std::size_t count, Bytes &out) const
     const std::size_t start = out.size();
     out.resize(start + count);
     u8 *dst = out.data() + start;
-    for (std::size_t i = 0; i < count; ++i) {
+    // The pair fast path runs on SIMD tiers only; the scalar tier
+    // keeps the one-symbol-per-peek reference loop, which is what the
+    // cross-tier byte-identity batteries compare against. Any window
+    // the pair table can't fuse — long codes, the stream tail, an
+    // invalid prefix — drops into the reference step for that symbol,
+    // so outputs AND error verdicts match the scalar path exactly.
+    const bool fuse_pairs =
+        kernels::activeTier() != kernels::Tier::scalar;
+    std::size_t i = 0;
+    while (i < count) {
         // Peek a full maxBits window (zero-padded near the end) and
         // advance by the matched code's length.
         u32 prefix = static_cast<u32>(reader.peek(maxBits_));
+        if (fuse_pairs && i + 1 < count) {
+            const PairEntry &pair = pairs_[prefix];
+            if (pair.count == 2 && reader.advance(pair.bits).ok()) {
+                dst[i] = pair.sym0;
+                dst[i + 1] = pair.sym1;
+                i += 2;
+                continue;
+            }
+        }
         const Entry &entry = table_[prefix];
         if (entry.length == 0) {
             out.resize(start);
@@ -50,7 +96,10 @@ Decoder::decode(BitReader &reader, std::size_t count, Bytes &out) const
             return advanced;
         }
         dst[i] = static_cast<u8>(entry.symbol);
+        ++i;
     }
+    mem::kernelStats()
+        .tierHuffSymbols[kernels::activeTierIndex()] += count;
     return Status::okStatus();
 }
 

@@ -45,7 +45,24 @@ class Decoder
     Decoder() = default;
 
   private:
+    /**
+     * Precomputed two-symbol decode step for one maxBits window: the
+     * first code plus, when the following code also fits entirely
+     * inside the same window, the second. count == 2 entries let the
+     * hot loop emit two symbols per peek/advance; count <= 1 windows
+     * (long codes, invalid prefixes) fall back to the single-symbol
+     * step, which keeps error verdicts identical to the scalar path.
+     */
+    struct PairEntry
+    {
+        u8 sym0 = 0;
+        u8 sym1 = 0;
+        u8 bits = 0;  ///< Total code bits consumed by the pair.
+        u8 count = 0; ///< Symbols decodable from this window (0-2).
+    };
+
     std::vector<Entry> table_;
+    std::vector<PairEntry> pairs_;
     unsigned maxBits_ = 0;
 };
 

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/kernels.h"
+#include "common/mem.h"
+
 namespace cdpu::lz77
 {
 
@@ -71,11 +74,52 @@ MatchHashTable::hashAt(ByteSpan data, std::size_t pos) const
 }
 
 void
+MatchHashTable::hashRun(ByteSpan data, std::size_t pos,
+                        std::size_t count, u32 *hashes_out) const
+{
+    const unsigned shift = 32 - config_.log2Entries;
+    // The run kernels read up to 15 bytes past the final 4-byte
+    // window; only dispatch to them when the buffer provides that
+    // slack. Geometry-only condition: the same positions take the
+    // same path at every tier, so hash values (and therefore parses)
+    // are tier-invariant by construction, not by luck.
+    const bool slack_ok = data.size() - pos >= count + 19;
+    if (slack_ok && count > 0) {
+        switch (config_.hashFunction) {
+          case HashFunction::multiplicative:
+            mem::kernelStats()
+                .tierHashPositions[kernels::activeTierIndex()] += count;
+            kernels::ops().hashMul32Run(data.data() + pos, count,
+                                        0x1e35a7bdu, shift, hashes_out);
+            return;
+          case HashFunction::xorShift:
+            mem::kernelStats()
+                .tierHashPositions[kernels::activeTierIndex()] += count;
+            kernels::ops().hashXorShiftRun(data.data() + pos, count,
+                                           0x2c1b3c6du, shift,
+                                           hashes_out);
+            return;
+          case HashFunction::fibonacci64:
+            break; // 64-bit multiply: no vector lane for it; scalar.
+        }
+    }
+    mem::kernelStats().tierHashPositions[0] += count;
+    for (std::size_t i = 0; i < count; ++i)
+        hashes_out[i] = hashAt(data, pos + i);
+}
+
+void
 MatchHashTable::lookupAndInsert(ByteSpan data, std::size_t pos,
                                 std::vector<u32> &candidates_out)
 {
+    lookupAndInsertHashed(hashAt(data, pos), pos, candidates_out);
+}
+
+void
+MatchHashTable::lookupAndInsertHashed(u32 hash, std::size_t pos,
+                                      std::vector<u32> &candidates_out)
+{
     candidates_out.clear();
-    u32 hash = hashAt(data, pos);
     u32 *set = &slots_[static_cast<std::size_t>(hash) * config_.ways];
     // Most-recent-first: walk backwards from the slot before the FIFO
     // victim pointer.

@@ -59,11 +59,30 @@ class MatchHashTable
     void lookupAndInsert(ByteSpan data, std::size_t pos,
                          std::vector<u32> &candidates_out);
 
+    /** lookupAndInsert with a precomputed hashAt(data, pos) value —
+     *  the entry point for callers that batch-hash positions through
+     *  hashRun() ahead of the probe loop. */
+    void lookupAndInsertHashed(u32 hash, std::size_t pos,
+                               std::vector<u32> &candidates_out);
+
     /** Records @p pos without collecting candidates (used when skipping). */
     void insert(ByteSpan data, std::size_t pos);
 
     /** Hash of the minMatch-byte prefix at @p pos (exposed for tests). */
     u32 hashAt(ByteSpan data, std::size_t pos) const;
+
+    /**
+     * Hashes @p count consecutive positions starting at @p pos into
+     * @p hashes_out; hashes_out[i] == hashAt(data, pos + i) exactly,
+     * at every kernel tier. Uses the active tier's multi-lane kernel
+     * when the hash function has one and the buffer leaves it enough
+     * read slack — a condition of buffer geometry alone, never of the
+     * tier, so the scalar fallback fires identically everywhere.
+     * @pre pos + count + minMatch bytes - 1 positions are hashable
+     *      (the caller's hash_limit already guarantees this).
+     */
+    void hashRun(ByteSpan data, std::size_t pos, std::size_t count,
+                 u32 *hashes_out) const;
 
     const HashTableConfig &config() const { return config_; }
 

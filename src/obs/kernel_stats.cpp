@@ -1,5 +1,9 @@
 #include "obs/kernel_stats.h"
 
+#include <string>
+
+#include "common/kernels.h"
+
 namespace cdpu::obs
 {
 
@@ -27,6 +31,22 @@ exportKernelStats(CounterRegistry &registry,
         .set(stats.bitioBackwardSlowRefills);
     registry.counter("kernel.lz77.match_word_compares")
         .set(stats.matchWordCompares);
+    // Per-tier attribution: one counter per kernel per tier the host
+    // can actually run, proving (in exported telemetry, not just local
+    // asserts) that a vector path executed. Unavailable tiers are
+    // omitted rather than exported as zeros.
+    for (kernels::Tier tier : kernels::availableTiers()) {
+        const unsigned t = static_cast<unsigned>(tier);
+        const std::string suffix = kernels::tierName(tier);
+        registry.counter("kernel.wild_copy." + suffix)
+            .set(stats.tierWildCopyBytes[t]);
+        registry.counter("kernel.crc32c." + suffix)
+            .set(stats.tierCrc32cBytes[t]);
+        registry.counter("kernel.lz77_hash." + suffix)
+            .set(stats.tierHashPositions[t]);
+        registry.counter("kernel.huffman_decode." + suffix)
+            .set(stats.tierHuffSymbols[t]);
+    }
 }
 
 void

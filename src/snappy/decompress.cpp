@@ -172,11 +172,17 @@ decompressInto(ByteSpan data, Bytes &out)
             if (n < kMaxInlineLiteral) {
                 len = n + 1; // 1..60
                 // Fast path: enough input left to round the read up to
-                // a word, and enough claimed output for the write (the
-                // slop margin absorbs the rounded-up store).
-                if (len + 8 <= static_cast<std::size_t>(ip_end - ip) &&
+                // the widest kernel tier's chunk, and enough claimed
+                // output for the write (the slop margin absorbs the
+                // rounded-up store). The guard uses the constant
+                // kWildCopySlop, not the active tier's width, so the
+                // fast/careful split — and its counters — stay
+                // tier-invariant.
+                if (len + mem::kWildCopySlop <=
+                        static_cast<std::size_t>(ip_end - ip) &&
                     op + len <= expected) {
-                    mem::wildCopy(dst + op, ip, len);
+                    mem::wildCopy(dst + op, ip, len,
+                                  dst + out.size());
                     ++stats.snappyFastLiterals;
                     ip += len;
                     op += len;
@@ -240,10 +246,12 @@ decompressInto(ByteSpan data, Bytes &out)
                 return Status::corrupt(
                     "stream produces more than preamble");
             if (offset >= 8) {
-                // Word-chunked replay; the slop margin absorbs the
+                // Chunked replay; the slop margin absorbs the
                 // rounded-up final store, and offset >= 8 guarantees
-                // every chunk reads bytes already written.
-                mem::wildCopy(dst + op, dst + op - offset, len);
+                // every chunk reads bytes already written (the tiers
+                // clamp chunk width to the offset).
+                mem::wildCopy(dst + op, dst + op - offset, len,
+                              dst + out.size());
                 ++stats.snappyFastCopies;
             } else {
                 mem::incrementalCopy(dst + op, offset, len);

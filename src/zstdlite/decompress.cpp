@@ -70,7 +70,7 @@ executeBlock(const DecodedLiterals &literals,
             return Status::corrupt("block regenerated size mismatch");
         if (seq.offset >= 8)
             mem::wildCopy(dst + op, dst + op - seq.offset,
-                          seq.matchLength);
+                          seq.matchLength, dst + out.size());
         else
             mem::incrementalCopy(dst + op, seq.offset,
                                  seq.matchLength); // Overlap is legal.

@@ -14,6 +14,8 @@
 
 #include "codec/registry.h"
 #include "codec/session.h"
+#include "common/kernels.h"
+#include "common/mem.h"
 #include "corpus/generators.h"
 
 namespace cdpu::codec
@@ -161,6 +163,89 @@ TEST(CodecRoundTripTest, MaxCompressedSizeBoundsIncompressibleInput)
         }
     }
 }
+
+// --- Cross-tier determinism ------------------------------------------
+
+/** Forces the parameterized SIMD kernel tier for the test body. */
+class CodecTierTest : public ::testing::TestWithParam<kernels::Tier>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        saved_ = kernels::activeTier();
+        ASSERT_TRUE(kernels::setActiveTier(GetParam()).ok());
+    }
+
+    void TearDown() override { (void)kernels::setActiveTier(saved_); }
+
+  private:
+    kernels::Tier saved_ = kernels::Tier::scalar;
+};
+
+TEST_P(CodecTierTest, EveryCodecByteIdenticalToScalar)
+{
+    // The kernel-tier contract at the registry boundary: whichever
+    // tier is active, every codec must emit the same compressed bytes,
+    // decode to the same plaintext, and do the same tier-invariant
+    // work (wild-copy bytes and match compares; refill counts are a
+    // decode-loop-shape property and legitimately shrink on the fused
+    // Huffman path).
+    Rng rng(909);
+    for (CodecId id : allCodecs()) {
+        const CodecVTable &vtable = registry(id);
+        const CodecParams params = defaultParams(vtable);
+        for (corpus::DataClass cls : corpus::allDataClasses()) {
+            SCOPED_TRACE(testing::Message()
+                         << codecName(id) << " "
+                         << corpus::dataClassName(cls) << " tier "
+                         << kernels::tierName(GetParam()));
+            Bytes data = corpus::generate(cls, 60000, rng);
+
+            ASSERT_TRUE(
+                kernels::setActiveTier(kernels::Tier::scalar).ok());
+            mem::KernelStats before = mem::kernelStats();
+            Bytes ref_comp;
+            Bytes ref_out;
+            ASSERT_TRUE(
+                vtable.compressInto(data, params, ref_comp).ok());
+            ASSERT_TRUE(
+                vtable.decompressInto(ref_comp, ref_out).ok());
+            mem::KernelStats scalar_stats =
+                mem::kernelStats().diff(before);
+
+            ASSERT_TRUE(kernels::setActiveTier(GetParam()).ok());
+            before = mem::kernelStats();
+            Bytes tier_comp;
+            Bytes tier_out;
+            ASSERT_TRUE(
+                vtable.compressInto(data, params, tier_comp).ok());
+            ASSERT_TRUE(
+                vtable.decompressInto(tier_comp, tier_out).ok());
+            mem::KernelStats tier_stats =
+                mem::kernelStats().diff(before);
+
+            EXPECT_EQ(tier_comp, ref_comp);
+            EXPECT_EQ(tier_out, ref_out);
+            EXPECT_EQ(ref_out, data);
+            EXPECT_EQ(tier_stats.wildCopyBytes,
+                      scalar_stats.wildCopyBytes);
+            EXPECT_EQ(tier_stats.matchWordCompares,
+                      scalar_stats.matchWordCompares);
+            EXPECT_EQ(tier_stats.snappyFastLiterals,
+                      scalar_stats.snappyFastLiterals);
+            EXPECT_EQ(tier_stats.snappyFastCopies,
+                      scalar_stats.snappyFastCopies);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAvailableTiers, CodecTierTest,
+    ::testing::ValuesIn(kernels::availableTiers()),
+    [](const ::testing::TestParamInfo<kernels::Tier> &info) {
+        return kernels::tierName(info.param);
+    });
 
 // --- Streaming sessions ----------------------------------------------
 

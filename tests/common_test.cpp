@@ -11,6 +11,7 @@
 #include "common/error.h"
 #include "common/hexdump.h"
 #include "common/histogram.h"
+#include "common/kernels.h"
 #include "common/mem.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -236,18 +237,29 @@ TEST(MemTest, CountMatchingBytesFindsFirstMismatch)
 
 TEST(MemTest, WildCopyStaysInsideSlop)
 {
-    // A wild copy of n bytes may write up to the word-rounded end but
-    // never past dst + n + kWildCopySlop - 1.
-    Bytes src(24);
+    // A wild copy of n bytes may write up to the end rounded to the
+    // tier's store width, but never past dst + n + kWildCopySlop - 1.
+    // Run it at every tier the host offers: the nominal bytes must
+    // match at all of them, and writes must stay inside that tier's
+    // rounded region.
+    const kernels::Tier original = kernels::activeTier();
+    Bytes src(9 + mem::kWildCopySlop);
     for (std::size_t i = 0; i < src.size(); ++i)
         src[i] = static_cast<u8>(i + 1);
-    Bytes dst(9 + mem::kWildCopySlop, 0xcc);
-    mem::wildCopy(dst.data(), src.data(), 9);
-    for (std::size_t i = 0; i < 9; ++i)
-        EXPECT_EQ(dst[i], src[i]);
-    // Bytes beyond the rounded-up word must be untouched.
-    for (std::size_t i = 16; i < dst.size(); ++i)
-        EXPECT_EQ(dst[i], 0xcc);
+    for (kernels::Tier tier : kernels::availableTiers()) {
+        ASSERT_TRUE(kernels::setActiveTier(tier).ok());
+        const std::size_t width = kernels::storeWidth(tier);
+        const std::size_t rounded = (9 + width - 1) / width * width;
+        Bytes dst(9 + mem::kWildCopySlop, 0xcc);
+        mem::wildCopy(dst.data(), src.data(), 9);
+        for (std::size_t i = 0; i < 9; ++i)
+            EXPECT_EQ(dst[i], src[i]) << kernels::tierName(tier);
+        // Bytes beyond this tier's rounded-up end must be untouched.
+        for (std::size_t i = rounded; i < dst.size(); ++i)
+            EXPECT_EQ(dst[i], 0xcc)
+                << kernels::tierName(tier) << " byte " << i;
+    }
+    ASSERT_TRUE(kernels::setActiveTier(original).ok());
 }
 
 TEST(MemTest, IncrementalCopyReplaysSmallOffsets)

@@ -17,12 +17,14 @@
 #include <atomic>
 #include <thread>
 
+#include "common/kernels.h"
 #include "common/mem.h"
 #include "common/varint.h"
 #include "corpus/generators.h"
 #include "fse/decoder.h"
 #include "fse/encoder.h"
 #include "fse/normalize.h"
+#include "huffman/code_builder.h"
 #include "huffman/decoder.h"
 #include "huffman/encoder.h"
 #include "lz77/match_finder.h"
@@ -407,6 +409,261 @@ TEST(EntropyFastPathFuzz, FseRoundTripsOnVariedSkew)
         EXPECT_EQ(out, symbols);
     }
 }
+
+// --- Cross-tier byte-identity battery --------------------------------
+//
+// The SIMD kernel tier's contract (common/kernels.h): every tier
+// computes the same function, so compressed bytes, decoded bytes, and
+// the tier-invariant work counters must be identical whichever tier is
+// active. Each test below replays the same inputs at the scalar
+// reference tier and at the parameterized tier and compares
+// everything. Forward bit-reader refill counters are deliberately NOT
+// compared: the Huffman pair fast path decodes two symbols per peek,
+// so SIMD tiers legitimately do fewer refills — that is the speedup,
+// not a divergence.
+
+/** Forces the parameterized tier for the test body; restores after. */
+class TierFuzz : public ::testing::TestWithParam<kernels::Tier>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        saved_ = kernels::activeTier();
+        ASSERT_TRUE(kernels::setActiveTier(GetParam()).ok());
+    }
+
+    void TearDown() override { (void)kernels::setActiveTier(saved_); }
+
+  private:
+    kernels::Tier saved_ = kernels::Tier::scalar;
+};
+
+/** The work counters that must not depend on the active tier. */
+void
+expectTierInvariantCountersEqual(const mem::KernelStats &tier,
+                                 const mem::KernelStats &scalar)
+{
+    EXPECT_EQ(tier.wildCopyBytes, scalar.wildCopyBytes);
+    EXPECT_EQ(tier.snappyFastLiterals, scalar.snappyFastLiterals);
+    EXPECT_EQ(tier.snappyCarefulLiterals, scalar.snappyCarefulLiterals);
+    EXPECT_EQ(tier.snappyFastCopies, scalar.snappyFastCopies);
+    EXPECT_EQ(tier.snappyOverlapCopies, scalar.snappyOverlapCopies);
+    EXPECT_EQ(tier.matchWordCompares, scalar.matchWordCompares);
+    EXPECT_EQ(tier.bitioBackwardFastRefills,
+              scalar.bitioBackwardFastRefills);
+    EXPECT_EQ(tier.bitioBackwardSlowRefills,
+              scalar.bitioBackwardSlowRefills);
+}
+
+/** Runs @p body at the scalar tier and again at @p tier, returning the
+ *  KernelStats delta of each run through the out-params. */
+template <typename Body>
+void
+runAtBothTiers(kernels::Tier tier, Body body,
+               mem::KernelStats &scalar_stats_out,
+               mem::KernelStats &tier_stats_out)
+{
+    ASSERT_TRUE(kernels::setActiveTier(kernels::Tier::scalar).ok());
+    mem::KernelStats before = mem::kernelStats();
+    body();
+    scalar_stats_out = mem::kernelStats().diff(before);
+
+    ASSERT_TRUE(kernels::setActiveTier(tier).ok());
+    before = mem::kernelStats();
+    body();
+    tier_stats_out = mem::kernelStats().diff(before);
+}
+
+TEST_P(TierFuzz, SnappyByteIdenticalToScalar)
+{
+    Rng rng(211);
+    for (auto cls : corpus::allDataClasses()) {
+        for (std::size_t size : {0u, 9u, 100u, 4096u, 70000u}) {
+            Bytes data = corpus::generate(cls, size, rng);
+            Bytes ref_comp;
+            Bytes ref_out;
+            Bytes tier_comp;
+            Bytes tier_out;
+            bool scalar_pass = true;
+            mem::KernelStats scalar_stats;
+            mem::KernelStats tier_stats;
+            runAtBothTiers(
+                GetParam(),
+                [&] {
+                    Bytes comp = snappy::compress(data);
+                    auto out = snappy::decompress(comp);
+                    ASSERT_TRUE(out.ok()) << out.status().toString();
+                    if (scalar_pass) {
+                        ref_comp = comp;
+                        ref_out = out.value();
+                        scalar_pass = false;
+                    } else {
+                        tier_comp = comp;
+                        tier_out = std::move(out).value();
+                    }
+                },
+                scalar_stats, tier_stats);
+            EXPECT_EQ(tier_comp, ref_comp);
+            EXPECT_EQ(tier_out, ref_out);
+            EXPECT_EQ(ref_out, data);
+            expectTierInvariantCountersEqual(tier_stats, scalar_stats);
+        }
+    }
+}
+
+TEST_P(TierFuzz, ZstdLiteByteIdenticalToScalar)
+{
+    Rng rng(223);
+    for (auto cls : corpus::allDataClasses()) {
+        for (std::size_t size : {1u, 100u, 4096u, 80000u}) {
+            Bytes data = corpus::generate(cls, size, rng);
+            Bytes ref_comp;
+            Bytes ref_out;
+            Bytes tier_comp;
+            Bytes tier_out;
+            bool scalar_pass = true;
+            mem::KernelStats scalar_stats;
+            mem::KernelStats tier_stats;
+            runAtBothTiers(
+                GetParam(),
+                [&] {
+                    auto comp = zstdlite::compress(data);
+                    ASSERT_TRUE(comp.ok());
+                    auto out = zstdlite::decompress(comp.value());
+                    ASSERT_TRUE(out.ok()) << out.status().toString();
+                    if (scalar_pass) {
+                        ref_comp = comp.value();
+                        ref_out = std::move(out).value();
+                        scalar_pass = false;
+                    } else {
+                        tier_comp = comp.value();
+                        tier_out = std::move(out).value();
+                    }
+                },
+                scalar_stats, tier_stats);
+            EXPECT_EQ(tier_comp, ref_comp);
+            EXPECT_EQ(tier_out, ref_out);
+            EXPECT_EQ(ref_out, data);
+            expectTierInvariantCountersEqual(tier_stats, scalar_stats);
+        }
+    }
+}
+
+TEST_P(TierFuzz, Lz77ParseIdenticalToScalar)
+{
+    // Parses are only tier-invariant if the multi-lane hash kernels
+    // are bit-exact; compare the full sequence stream, not just the
+    // reconstruction.
+    Rng rng(227);
+    for (auto cls : corpus::allDataClasses()) {
+        Bytes data = corpus::generate(cls, 48 * kKiB, rng);
+        for (auto fn : {lz77::HashFunction::multiplicative,
+                        lz77::HashFunction::xorShift,
+                        lz77::HashFunction::fibonacci64}) {
+            for (bool lazy : {false, true}) {
+                lz77::MatchFinderConfig config;
+                config.hashTable.hashFunction = fn;
+                config.hashTable.minMatch =
+                    fn == lz77::HashFunction::fibonacci64 ? 5 : 4;
+                config.lazyMatching = lazy;
+
+                ASSERT_TRUE(
+                    kernels::setActiveTier(kernels::Tier::scalar).ok());
+                lz77::MatchFinder scalar_finder(config);
+                lz77::MatchFinderStats scalar_stats;
+                lz77::Parse ref = scalar_finder.parse(data, &scalar_stats);
+
+                ASSERT_TRUE(kernels::setActiveTier(GetParam()).ok());
+                lz77::MatchFinder tier_finder(config);
+                lz77::MatchFinderStats tier_stats;
+                lz77::Parse got = tier_finder.parse(data, &tier_stats);
+
+                ASSERT_EQ(got.sequences.size(), ref.sequences.size());
+                for (std::size_t i = 0; i < ref.sequences.size(); ++i) {
+                    EXPECT_EQ(got.sequences[i].literalLength,
+                              ref.sequences[i].literalLength);
+                    EXPECT_EQ(got.sequences[i].matchLength,
+                              ref.sequences[i].matchLength);
+                    EXPECT_EQ(got.sequences[i].offset,
+                              ref.sequences[i].offset);
+                }
+                EXPECT_EQ(got.literalTailStart, ref.literalTailStart);
+                EXPECT_EQ(tier_stats.positionsHashed,
+                          scalar_stats.positionsHashed);
+                EXPECT_EQ(tier_stats.candidateProbes,
+                          scalar_stats.candidateProbes);
+                EXPECT_EQ(tier_stats.matchesEmitted,
+                          scalar_stats.matchesEmitted);
+                EXPECT_EQ(lz77::reconstruct(got, data), data);
+            }
+        }
+    }
+}
+
+TEST_P(TierFuzz, HuffmanDecodeIdenticalIncludingErrorVerdicts)
+{
+    Rng rng(229);
+    for (auto cls : corpus::allDataClasses()) {
+        Bytes data = corpus::generate(cls, 20000, rng);
+        if (data.empty())
+            continue;
+        auto table =
+            huffman::buildCodeTable(huffman::countFrequencies(data));
+        ASSERT_TRUE(table.ok());
+        auto decoder = huffman::Decoder::build(table.value());
+        ASSERT_TRUE(decoder.ok());
+        BitWriter writer;
+        ASSERT_TRUE(huffman::encode(table.value(), data, writer).ok());
+        Bytes stream = writer.finish();
+
+        auto decodeAll = [&](ByteSpan bits, Bytes &out) {
+            BitReader reader(bits);
+            return decoder.value().decode(reader, data.size(), out);
+        };
+
+        // Clean stream: identical bytes.
+        ASSERT_TRUE(
+            kernels::setActiveTier(kernels::Tier::scalar).ok());
+        Bytes ref_out;
+        Status ref_status = decodeAll(stream, ref_out);
+        ASSERT_TRUE(kernels::setActiveTier(GetParam()).ok());
+        Bytes tier_out;
+        Status tier_status = decodeAll(stream, tier_out);
+        EXPECT_EQ(tier_status.ok(), ref_status.ok());
+        EXPECT_EQ(tier_out, ref_out);
+        EXPECT_EQ(ref_out, data);
+
+        // Truncated and mutated streams: identical verdict classes and
+        // identical partial behavior (both paths roll back to empty).
+        for (int trial = 0; trial < 60; ++trial) {
+            Bytes broken = stream;
+            if (trial % 2 == 0 && broken.size() > 1) {
+                broken.resize(1 + rng.below(broken.size() - 1));
+            } else {
+                broken[rng.below(broken.size())] ^=
+                    static_cast<u8>(1u << rng.below(8));
+            }
+            ASSERT_TRUE(
+                kernels::setActiveTier(kernels::Tier::scalar).ok());
+            Bytes ref_broken;
+            Status ref_verdict = decodeAll(broken, ref_broken);
+            ASSERT_TRUE(kernels::setActiveTier(GetParam()).ok());
+            Bytes tier_broken;
+            Status tier_verdict = decodeAll(broken, tier_broken);
+            EXPECT_EQ(tier_verdict.ok(), ref_verdict.ok());
+            EXPECT_EQ(tier_verdict.code(), ref_verdict.code());
+            EXPECT_EQ(tier_broken, ref_broken);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAvailableTiers, TierFuzz,
+    ::testing::ValuesIn(kernels::availableTiers()),
+    [](const ::testing::TestParamInfo<kernels::Tier> &info) {
+        return kernels::tierName(info.param);
+    });
 
 // --- Concurrent fuzz mode --------------------------------------------
 //

@@ -12,6 +12,7 @@
 #include "codec/obs_bridge.h"
 #include "codec/registry.h"
 #include "codec/session.h"
+#include "common/kernels.h"
 #include "corpus/generators.h"
 #include "harden/fuzz_driver.h"
 #include "harden/injector.h"
@@ -154,6 +155,42 @@ TEST(FuzzDriverTest, CompressBatteryIsCleanForEveryCodec)
         config.maxPayloadBytes = 2 * kKiB;
         expectClean(config);
     }
+}
+
+TEST(FuzzDriverTest, DecodeBatteryVerdictsAreTierInvariant)
+{
+    // Each iteration's verdict (survive vs clean reject, and the
+    // decoded bytes behind a survivor) is a pure function of the
+    // mutation triple — so the whole report must be identical at every
+    // SIMD kernel tier. A diverging survivors/cleanRejects count means
+    // a vector kernel decoded mutated input differently from scalar.
+    const kernels::Tier entry_tier = kernels::activeTier();
+    for (codec::CodecId id : codec::allCodecs()) {
+        FuzzConfig config;
+        config.codec = id;
+        config.direction = codec::Direction::decompress;
+        config.iterations = 400;
+        config.maxPayloadBytes = 2 * kKiB;
+
+        ASSERT_TRUE(
+            kernels::setActiveTier(kernels::Tier::scalar).ok());
+        FuzzReport reference = runFuzz(config);
+        EXPECT_TRUE(reference.ok());
+        for (kernels::Tier tier : kernels::availableTiers()) {
+            SCOPED_TRACE(testing::Message()
+                         << codec::codecName(id) << " tier "
+                         << kernels::tierName(tier));
+            ASSERT_TRUE(kernels::setActiveTier(tier).ok());
+            FuzzReport report = runFuzz(config);
+            for (const FuzzFailure &failure : report.failures)
+                ADD_FAILURE() << describeSpec(failure.spec) << ": "
+                              << failure.what;
+            EXPECT_EQ(report.survivors, reference.survivors);
+            EXPECT_EQ(report.cleanRejects, reference.cleanRejects);
+            EXPECT_EQ(report.maxOutputBytes, reference.maxOutputBytes);
+        }
+    }
+    ASSERT_TRUE(kernels::setActiveTier(entry_tier).ok());
 }
 
 TEST(FuzzDriverTest, ReportsAreDeterministic)
