@@ -33,7 +33,8 @@ main(int argc, char **argv)
     if (!args.parse(argc, argv, {"iterations", "seed-base",
                                  "max-payload", "codec",
                                  "direction", "flight-dump",
-                                 "tripwire", "kernel-tier"})) {
+                                 "tripwire", "kernel-tier",
+                                 "grammar"})) {
         return 1;
     }
     // --kernel-tier NAME pins the SIMD kernel tier for the whole
@@ -72,6 +73,25 @@ main(int argc, char **argv)
     // fault-dump path end to end.
     auto tripwire = static_cast<u64>(args.getInt(
         "tripwire", static_cast<i64>(harden::kMaxFuzzOutputBytes)));
+    // --grammar buffer|container|all selects the decode battery's
+    // frame grammar: the default codec grammars, the block-parallel
+    // container (index-driven allocation under the same tripwire), or
+    // both. Compress batteries are grammar-independent and run once.
+    std::string grammar = args.getString("grammar", "buffer");
+    std::vector<harden::FrameKind> grammars;
+    if (grammar == "buffer") {
+        grammars = {harden::FrameKind::buffer};
+    } else if (grammar == "container") {
+        grammars = {harden::FrameKind::container};
+    } else if (grammar == "all") {
+        grammars = {harden::FrameKind::buffer,
+                    harden::FrameKind::container};
+    } else {
+        std::fprintf(stderr,
+                     "--grammar %s: want buffer|container|all\n",
+                     grammar.c_str());
+        return 1;
+    }
 
     obs::TelemetryConfig tc;
     obs::Telemetry telemetry(tc, 1, codec::codecFlightNamer());
@@ -99,26 +119,34 @@ main(int argc, char **argv)
                     codec::directionName(direction) != only_direction) {
                     continue;
                 }
-                harden::FuzzConfig config;
-                config.codec = id;
-                config.direction = direction;
-                config.iterations = iterations;
-                config.seedBase = seed_base;
-                config.maxPayloadBytes = max_payload;
-                config.outputTripwireBytes = tripwire;
-                if (!dump_path.empty())
-                    config.telemetry = &telemetry;
-                harden::FuzzReport report = harden::runFuzz(config);
-                std::printf("%s\n", report.summary(config).c_str());
-                for (const harden::FuzzFailure &failure :
-                     report.failures) {
-                    std::printf(
-                        "  FAIL [%s] %s: %s\n",
-                        kernels::tierName(tier),
-                        harden::describeSpec(failure.spec).c_str(),
-                        failure.what.c_str());
+                const std::vector<harden::FrameKind> kinds =
+                    direction == codec::Direction::decompress
+                        ? grammars
+                        : std::vector<harden::FrameKind>{
+                              harden::FrameKind::buffer};
+                for (harden::FrameKind kind : kinds) {
+                    harden::FuzzConfig config;
+                    config.codec = id;
+                    config.direction = direction;
+                    config.frameKind = kind;
+                    config.iterations = iterations;
+                    config.seedBase = seed_base;
+                    config.maxPayloadBytes = max_payload;
+                    config.outputTripwireBytes = tripwire;
+                    if (!dump_path.empty())
+                        config.telemetry = &telemetry;
+                    harden::FuzzReport report = harden::runFuzz(config);
+                    std::printf("%s\n", report.summary(config).c_str());
+                    for (const harden::FuzzFailure &failure :
+                         report.failures) {
+                        std::printf(
+                            "  FAIL [%s] %s: %s\n",
+                            kernels::tierName(tier),
+                            harden::describeSpec(failure.spec).c_str(),
+                            failure.what.c_str());
+                    }
+                    clean = clean && report.ok();
                 }
-                clean = clean && report.ok();
             }
         }
     }

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "codec/registry.h"
+#include "container/container.h"
 #include "corpus/generators.h"
 
 namespace cdpu
@@ -79,6 +80,25 @@ run(const std::string &dir)
                 return 1;
             }
             if (!writeFile(base + "." + vtable.caps.name, frame))
+                return 1;
+
+            // Block-parallel container frame around the same codec;
+            // 512-byte blocks make every payload multi-block, so the
+            // committed vectors pin the index grammar, not just a
+            // degenerate one-entry frame (DESIGN.md §14).
+            container::WriteOptions copts;
+            copts.blockBytes = 512;
+            Bytes container_frame;
+            status =
+                container::write(id, raw, copts, container_frame);
+            if (!status.ok()) {
+                std::fprintf(stderr, "container %s: %s\n",
+                             vtable.caps.name,
+                             status.message().c_str());
+                return 1;
+            }
+            if (!writeFile(base + ".container-" + vtable.caps.name,
+                           container_frame))
                 return 1;
         }
     }

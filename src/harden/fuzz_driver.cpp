@@ -5,6 +5,7 @@
 #include "codec/obs_bridge.h"
 #include "codec/session.h"
 #include "common/rng.h"
+#include "container/container.h"
 #include "corpus/generators.h"
 
 namespace cdpu::harden
@@ -19,8 +20,9 @@ namespace
 struct BaseFrames
 {
     std::vector<Bytes> payloads;
-    std::vector<Bytes> bufferFrames; ///< compressInto output.
-    std::vector<Bytes> streamFrames; ///< Session (stream grammar).
+    std::vector<Bytes> bufferFrames;    ///< compressInto output.
+    std::vector<Bytes> streamFrames;    ///< Session (stream grammar).
+    std::vector<Bytes> containerFrames; ///< Block-parallel container.
 };
 
 BaseFrames
@@ -58,6 +60,17 @@ buildCorpus(const FuzzConfig &config)
         auto session = vtable.makeCompressSession(params);
         (void)codec::compressAll(*session, payload, 0, stream);
         base.streamFrames.push_back(std::move(stream));
+
+        if (config.frameKind == FrameKind::container) {
+            // Small blocks make every payload a multi-block frame, so
+            // the index the mutations target actually has entries.
+            container::WriteOptions wopts;
+            wopts.blockBytes = 256;
+            Bytes frame_bytes;
+            (void)container::write(config.codec, payload, wopts,
+                                   frame_bytes);
+            base.containerFrames.push_back(std::move(frame_bytes));
+        }
     }
     return base;
 }
@@ -132,10 +145,12 @@ class Battery
             spec.cls =
                 allMutationClasses()[i % allMutationClasses().size()];
             spec.seed = config_.seedBase + i;
-            if (config_.direction == codec::Direction::decompress)
-                decodeIteration(spec, i);
-            else
+            if (config_.direction != codec::Direction::decompress)
                 compressIteration(spec, i);
+            else if (config_.frameKind == FrameKind::container)
+                containerIteration(spec, i);
+            else
+                decodeIteration(spec, i);
             ++report_.iterations;
         }
         return std::move(report_);
@@ -267,6 +282,70 @@ class Battery
                             chunked, "chunked vs whole-feed stream",
                             chunk);
             checkSticky(spec, *session, chunked.status);
+        }
+    }
+
+    /**
+     * Container-grammar leg: mutate a multi-block container frame,
+     * then hold decodeSequential and decodeParallel(2) to the shared
+     * contract — ok-or-dataError only, no output past the tripwire
+     * (DecodeOptions::maxOutputBytes carries it into the index
+     * validator), and sequential/parallel agreement on FailureClass,
+     * bytes, and the deterministic work counters.
+     */
+    void
+    containerIteration(const MutationSpec &spec, u64 i)
+    {
+        Rng pick(mutationSeed(spec) ^ 0x91cc0fadeull);
+        const std::size_t index =
+            pick.below(base_.containerFrames.size());
+        const std::size_t donor_index =
+            pick.below(base_.containerFrames.size());
+
+        Bytes mutated = CorruptionInjector::mutate(
+            base_.containerFrames[index], spec, FrameKind::container,
+            base_.containerFrames[donor_index]);
+
+        container::DecodeOptions options;
+        options.maxOutputBytes = config_.outputTripwireBytes;
+
+        Bytes sequential;
+        container::DecodeReport sequential_report;
+        Status ss = container::decodeSequential(
+            mutated, sequential, options, &sequential_report);
+        recordFlight(i, ss, mutated.size(), sequential.size());
+        checkDecodeStatus(spec, ss, "container sequential");
+        if (sequential.size() > config_.outputTripwireBytes) {
+            fail(spec, "container decode produced " +
+                           std::to_string(sequential.size()) +
+                           " bytes, past the allocation tripwire");
+        }
+        report_.maxOutputBytes =
+            std::max<u64>(report_.maxOutputBytes, sequential.size());
+        if (ss.ok())
+            ++report_.survivors;
+        else
+            ++report_.cleanRejects;
+
+        Bytes parallel;
+        container::DecodeReport parallel_report;
+        Status ps = container::decodeParallel(mutated, 2, parallel,
+                                              options, &parallel_report);
+        checkDecodeStatus(spec, ps, "container parallel");
+        if (failureClass(ss) != failureClass(ps)) {
+            fail(spec, "container sequential/parallel verdict "
+                       "divergence: " +
+                           ss.toString() + " vs " + ps.toString());
+            return;
+        }
+        if (ss.ok() && sequential != parallel) {
+            fail(spec, "container parallel output diverges from the "
+                       "sequential reference");
+        }
+        if (sequential_report.work.counters !=
+            parallel_report.work.counters) {
+            fail(spec, "container work counters depend on the "
+                       "schedule");
         }
     }
 
@@ -421,8 +500,12 @@ class Battery
 std::string
 FuzzReport::summary(const FuzzConfig &config) const
 {
-    std::string line = codec::codecName(config.codec) + "/" +
-                       codec::directionName(config.direction) + ": " +
+    std::string line = codec::codecName(config.codec) +
+                       (config.frameKind == FrameKind::container
+                            ? "+container"
+                            : "") +
+                       "/" + codec::directionName(config.direction) +
+                       ": " +
                        std::to_string(iterations) + " iterations";
     if (config.direction == codec::Direction::decompress) {
         line += ", " + std::to_string(cleanRejects) + " clean rejects, " +

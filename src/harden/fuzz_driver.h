@@ -46,6 +46,18 @@ struct FuzzConfig
     u64 seedBase = 0;
     /** Largest corpus payload a base frame compresses. */
     std::size_t maxPayloadBytes = 4 * kKiB;
+    /**
+     * Grammar the decode battery mutates. `buffer` (the default) is
+     * the whole-buffer/stream battery; `container` fuzzes the
+     * block-parallel container instead: base frames are multi-block
+     * container::write() output around the codec, mutations use the
+     * container grammar, and every iteration cross-checks
+     * decodeSequential against decodeParallel(2) for identical
+     * FailureClass, bytes, and work counters. The outputTripwireBytes
+     * bound doubles as DecodeOptions::maxOutputBytes, so an index-
+     * driven allocation lie trips the same wire as a decoder bug.
+     */
+    FrameKind frameKind = FrameKind::buffer;
     /** Session feed granularities; 0 is the whole-buffer feed. */
     std::vector<std::size_t> chunkSizes = {1, 7, 0};
     /** Also drive streaming sessions and compare error classes. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/rng.h"
+#include "container/container.h"
 #include "flatelite/format.h"
 #include "gipfeli/gipfeli.h"
 #include "snappy/framing.h"
@@ -172,12 +173,131 @@ blockFrameOffsets(ByteSpan frame, std::size_t magic_size,
     }
 }
 
+/** Reads a varint's value and advances @p pos; false when the frame
+ *  ends mid-varint. */
+bool
+probeVarint(ByteSpan frame, std::size_t &pos, u64 &value)
+{
+    value = 0;
+    for (unsigned n = 0; n < 10 && pos < frame.size(); ++n) {
+        u8 byte = frame[pos++];
+        value |= static_cast<u64>(byte & 0x7f) << (7 * n);
+        if (!(byte & 0x80))
+            return true;
+    }
+    return false;
+}
+
+/** Skeleton of the block-parallel container (DESIGN.md §14): header
+ *  byte edges, each index varint edge, the CRC's both edges, and every
+ *  block boundary in the data section. Walks the claimed entry count
+ *  but stops wherever the (possibly already-damaged) frame runs out. */
+void
+containerFrameOffsets(ByteSpan frame, std::vector<std::size_t> &offsets)
+{
+    const std::size_t header = container::kMagic.size() + 3;
+    if (frame.size() < header)
+        return;
+    for (std::size_t pos = container::kMagic.size(); pos <= header;
+         ++pos)
+        offsets.push_back(pos); // magic|version|codec|flags edges.
+    std::size_t pos = header;
+    u64 block_count = 0;
+    if (!probeVarint(frame, pos, block_count))
+        return;
+    offsets.push_back(pos); // blockCount | totalRegen edge.
+    if (!skipVarint(frame, pos))
+        return;
+    offsets.push_back(pos); // totalRegen | entries edge.
+
+    std::vector<u64> comp_sizes;
+    for (u64 i = 0; i < block_count && pos < frame.size(); ++i) {
+        if (!skipVarint(frame, pos)) // offset
+            return;
+        offsets.push_back(pos);
+        u64 comp = 0;
+        if (!probeVarint(frame, pos, comp))
+            return;
+        offsets.push_back(pos);
+        if (!skipVarint(frame, pos)) // regenSize
+            return;
+        offsets.push_back(pos); // entry | next entry edge.
+        comp_sizes.push_back(comp);
+    }
+    if (frame.size() - pos < 4)
+        return;
+    offsets.push_back(pos + 4); // CRC | data edge.
+    const std::size_t data = pos + 4;
+    u64 boundary = 0;
+    for (u64 comp : comp_sizes) {
+        if (comp > frame.size() - data - boundary)
+            break;
+        boundary += comp;
+        offsets.push_back(data + static_cast<std::size_t>(boundary));
+    }
+}
+
+/** Byte position of the container's 4-byte index CRC, or frame.size()
+ *  when the skeleton ends before one. */
+std::size_t
+containerCrcPos(ByteSpan frame)
+{
+    std::size_t pos = container::kMagic.size() + 3;
+    if (frame.size() < pos)
+        return frame.size();
+    u64 block_count = 0;
+    if (!probeVarint(frame, pos, block_count) || !skipVarint(frame, pos))
+        return frame.size();
+    for (u64 i = 0; i < block_count && pos < frame.size(); ++i) {
+        if (!skipVarint(frame, pos) || !skipVarint(frame, pos) ||
+            !skipVarint(frame, pos))
+            return frame.size();
+    }
+    return frame.size() - pos >= 4 ? pos : frame.size();
+}
+
+/** Index varint ranges of a container frame: blockCount, totalRegen,
+ *  and every entry's offset/compSize/regenSize — the fields an
+ *  index-offset tamper or regen-size lie rewrites. */
+std::vector<std::pair<std::size_t, std::size_t>>
+containerLengthRanges(ByteSpan frame)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    std::size_t pos = container::kMagic.size() + 3;
+    if (frame.size() < pos)
+        return ranges;
+    u64 block_count = 0;
+    {
+        std::size_t start = pos;
+        if (!probeVarint(frame, pos, block_count))
+            return ranges;
+        ranges.emplace_back(start, pos - start);
+    }
+    {
+        std::size_t start = pos;
+        if (!skipVarint(frame, pos))
+            return ranges;
+        ranges.emplace_back(start, pos - start);
+    }
+    for (u64 i = 0; i < block_count && pos < frame.size(); ++i) {
+        for (int field = 0; field < 3; ++field) {
+            std::size_t start = pos;
+            if (!skipVarint(frame, pos))
+                return ranges;
+            ranges.emplace_back(start, pos - start);
+        }
+    }
+    return ranges;
+}
+
 /** Positions of likely length fields under the frame's grammar: the
  *  byte ranges a lengthTamper mutation rewrites. */
 std::vector<std::pair<std::size_t, std::size_t>>
 lengthFieldRanges(codec::CodecId id, FrameKind kind, ByteSpan frame)
 {
     std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    if (kind == FrameKind::container)
+        return containerLengthRanges(frame);
     auto varint_range = [&](std::size_t start) {
         std::size_t pos = start;
         if (skipVarint(frame, pos) && pos > start)
@@ -236,6 +356,20 @@ CorruptionInjector::structuralOffsets(codec::CodecId id, FrameKind kind,
                                       ByteSpan frame)
 {
     std::vector<std::size_t> offsets = {0, frame.size()};
+    if (kind == FrameKind::container) {
+        // The container grammar is the same for every inner codec;
+        // intra-block offsets are the inner codec's business and the
+        // block-level fuzz legs already cover them.
+        containerFrameOffsets(frame, offsets);
+        std::sort(offsets.begin(), offsets.end());
+        offsets.erase(std::unique(offsets.begin(), offsets.end()),
+                      offsets.end());
+        while (!offsets.empty() && offsets.back() > frame.size())
+            offsets.pop_back();
+        if (offsets.empty() || offsets.back() != frame.size())
+            offsets.push_back(frame.size());
+        return offsets;
+    }
     switch (id) {
       case codec::CodecId::snappy:
         if (kind == FrameKind::buffer) {
@@ -334,6 +468,17 @@ CorruptionInjector::mutate(ByteSpan frame, const MutationSpec &spec,
         break;
       }
       case MutationClass::crcTamper: {
+        if (kind == FrameKind::container) {
+            // Flip a bit inside the index CRC so a byte-perfect index
+            // arrives with a wrong checksum (and vice versa the other
+            // classes leave the CRC stale over a tampered index).
+            std::size_t crc = containerCrcPos(frame);
+            if (crc < frame.size()) {
+                out[crc + rng.below(4)] ^=
+                    static_cast<u8>(1u << rng.below(8));
+                break;
+            }
+        }
         if (spec.codec == codec::CodecId::snappy &&
             kind == FrameKind::stream) {
             // Flip a bit inside a data chunk's masked CRC field.
@@ -373,6 +518,18 @@ CorruptionInjector::mutate(ByteSpan frame, const MutationSpec &spec,
         break;
       }
       case MutationClass::chunkTypeSwap: {
+        if (kind == FrameKind::container &&
+            frame.size() >= container::kMagic.size() + 3) {
+            // The container's discriminators are the version, codec-id,
+            // and flags bytes right after the magic.
+            static constexpr u8 kDiscriminators[] = {0x00, 0x01, 0x02,
+                                                     0x03, 0x7f, 0xff};
+            std::size_t byte =
+                container::kMagic.size() + rng.below(3);
+            out[byte] = kDiscriminators[rng.below(
+                std::size(kDiscriminators))];
+            break;
+        }
         if (spec.codec == codec::CodecId::snappy &&
             kind == FrameKind::stream) {
             // Rewrite a chunk type byte across the spec's interesting

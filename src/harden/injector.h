@@ -53,12 +53,17 @@ std::string mutationClassName(MutationClass cls);
  * Which container grammar a frame follows. For codecs whose streaming
  * sessions share the whole-buffer container the two are identical;
  * snappy's session output is framed (framing_format.txt) while its
- * buffer form is a raw preamble + element stream.
+ * buffer form is a raw preamble + element stream. `container` is the
+ * block-parallel container (container/container.h, DESIGN.md §14):
+ * the MutationSpec's codec is the inner block codec, and mutations
+ * target the frame index — offset/size varints, the index CRC, the
+ * version/codec/flags bytes, and block-boundary splices.
  */
 enum class FrameKind
 {
     buffer,
     stream,
+    container,
 };
 
 /** The reproduction triple. Two equal specs over equal input frames

@@ -1,0 +1,52 @@
+#include "sim/container_scenario.h"
+
+#include <algorithm>
+
+namespace cdpu::sim
+{
+
+ContainerSimReport
+simulateContainerDecode(const ContainerScenario &scenario)
+{
+    const unsigned pus = std::max(1u, scenario.pus);
+    ContainerSimReport report;
+    report.puBusyCycles.assign(pus, 0);
+    report.puBlocks.assign(pus, 0);
+
+    // freeAt[p]: cycle PU p finishes its current block. The dispatcher
+    // itself is serial: block i cannot be handed off before the i-th
+    // dispatch slot, which is what keeps tiny blocks from scaling.
+    std::vector<Tick> free_at(pus, 0);
+    Tick dispatcher = 0;
+    for (Tick cycles : scenario.blockCycles) {
+        dispatcher += scenario.dispatchCycles;
+        const std::size_t pick = static_cast<std::size_t>(
+            std::min_element(free_at.begin(), free_at.end()) -
+            free_at.begin());
+        const Tick start = std::max(free_at[pick], dispatcher);
+        free_at[pick] = start + cycles;
+        report.puBusyCycles[pick] += cycles;
+        report.puBlocks[pick] += 1;
+        report.totalBlockCycles += cycles;
+    }
+
+    report.makespan = *std::max_element(free_at.begin(), free_at.end());
+    const Tick single_pu =
+        report.totalBlockCycles +
+        scenario.dispatchCycles * scenario.blockCycles.size();
+    report.speedup =
+        report.makespan > 0
+            ? static_cast<double>(single_pu) /
+                  static_cast<double>(report.makespan)
+            : 1.0;
+    if (report.makespan > 0) {
+        double busy = 0.0;
+        for (Tick cycles : report.puBusyCycles)
+            busy += static_cast<double>(cycles);
+        report.utilization =
+            busy / (static_cast<double>(report.makespan) * pus);
+    }
+    return report;
+}
+
+} // namespace cdpu::sim

@@ -16,6 +16,7 @@
 
 #include <fstream>
 
+#include "container/container.h"
 #include "flatelite/decompress.h"
 #include "gipfeli/gipfeli.h"
 #include "snappy/decompress.h"
@@ -69,6 +70,27 @@ TEST_P(GoldenVectorsTest, GipfeliDecodesCommittedFrame)
     auto out = gipfeli::decompress(readFile(base_ + ".gipfeli"));
     ASSERT_TRUE(out.ok()) << out.status().message();
     EXPECT_EQ(out.value(), raw_);
+}
+
+TEST_P(GoldenVectorsTest, ContainerDecodesCommittedFrame)
+{
+    // Container vectors pin the index grammar (DESIGN.md §14) on top
+    // of each codec's block format; both decode paths must consume
+    // yesterday's frames.
+    for (codec::CodecId id : codec::allCodecs()) {
+        SCOPED_TRACE(codec::codecName(id));
+        Bytes frame = readFile(base_ + ".container-" +
+                               codec::codecName(id));
+        Bytes sequential;
+        Status ss = container::decodeSequential(frame, sequential);
+        ASSERT_TRUE(ss.ok()) << ss.toString();
+        EXPECT_EQ(sequential, raw_);
+
+        Bytes parallel;
+        Status ps = container::decodeParallel(frame, 2, parallel);
+        ASSERT_TRUE(ps.ok()) << ps.toString();
+        EXPECT_EQ(parallel, raw_);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPayloads, GoldenVectorsTest,

@@ -9,10 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "codec/obs_bridge.h"
 #include "codec/registry.h"
 #include "codec/session.h"
 #include "common/kernels.h"
+#include "container/container.h"
 #include "corpus/generators.h"
 #include "harden/fuzz_driver.h"
 #include "harden/injector.h"
@@ -144,6 +147,41 @@ TEST(FuzzDriverTest, DecodeBatteryIsCleanForEveryCodec)
     }
 }
 
+TEST(InjectorTest, ContainerStructuralOffsetsWalkTheIndex)
+{
+    Rng rng(99);
+    Bytes payload = corpus::generate(corpus::DataClass::textLike,
+                                     4 * kKiB, rng);
+    for (codec::CodecId id : codec::allCodecs()) {
+        SCOPED_TRACE(codec::codecName(id));
+        container::WriteOptions options;
+        options.blockBytes = 512;
+        Bytes frame;
+        ASSERT_TRUE(container::write(id, payload, options, frame).ok());
+
+        auto offsets = CorruptionInjector::structuralOffsets(
+            id, FrameKind::container, frame);
+        ASSERT_GE(offsets.size(), 2u);
+        EXPECT_EQ(offsets.front(), 0u);
+        EXPECT_EQ(offsets.back(), frame.size());
+        for (std::size_t i = 1; i < offsets.size(); ++i)
+            EXPECT_LT(offsets[i - 1], offsets[i]);
+        // The walk must see the header edges and (8 blocks' worth of)
+        // index + data structure, not just the endpoints.
+        EXPECT_GT(offsets.size(), 10u);
+        EXPECT_NE(std::find(offsets.begin(), offsets.end(),
+                            container::kMagic.size()),
+                  offsets.end());
+
+        // Damaged input must not wedge the container walker either.
+        Bytes garbage(64, u8{0xff});
+        auto damaged = CorruptionInjector::structuralOffsets(
+            id, FrameKind::container, garbage);
+        EXPECT_EQ(damaged.front(), 0u);
+        EXPECT_EQ(damaged.back(), garbage.size());
+    }
+}
+
 TEST(FuzzDriverTest, CompressBatteryIsCleanForEveryCodec)
 {
     for (codec::CodecId id : codec::allCodecs()) {
@@ -155,6 +193,40 @@ TEST(FuzzDriverTest, CompressBatteryIsCleanForEveryCodec)
         config.maxPayloadBytes = 2 * kKiB;
         expectClean(config);
     }
+}
+
+TEST(FuzzDriverTest, ContainerBatteryIsCleanForEveryCodec)
+{
+    // Acceptance floor: >= 1000 container-grammar iterations with zero
+    // contract violations; snappy carries the full thousand, the rest
+    // keep the battery broad at CI cost.
+    for (codec::CodecId id : codec::allCodecs()) {
+        SCOPED_TRACE(codec::codecName(id));
+        FuzzConfig config;
+        config.codec = id;
+        config.direction = codec::Direction::decompress;
+        config.frameKind = FrameKind::container;
+        config.iterations =
+            id == codec::CodecId::snappy ? 1000 : 350;
+        config.maxPayloadBytes = 2 * kKiB;
+        expectClean(config);
+    }
+}
+
+TEST(FuzzDriverTest, ContainerBatteryIsDeterministic)
+{
+    FuzzConfig config;
+    config.codec = codec::CodecId::zstdlite;
+    config.direction = codec::Direction::decompress;
+    config.frameKind = FrameKind::container;
+    config.iterations = 200;
+    config.seedBase = 77;
+    FuzzReport first = runFuzz(config);
+    FuzzReport second = runFuzz(config);
+    EXPECT_EQ(first.survivors, second.survivors);
+    EXPECT_EQ(first.cleanRejects, second.cleanRejects);
+    EXPECT_EQ(first.maxOutputBytes, second.maxOutputBytes);
+    EXPECT_EQ(first.failures.size(), second.failures.size());
 }
 
 TEST(FuzzDriverTest, DecodeBatteryVerdictsAreTierInvariant)

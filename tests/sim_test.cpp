@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "obs/counters.h"
 #include "obs/trace.h"
+#include "sim/container_scenario.h"
 #include "sim/stream_model.h"
 #include "sim/tlb.h"
 
@@ -358,6 +359,76 @@ TEST(TlbTest, SmallTlbThrashesOnWideRanges)
     }
     EXPECT_EQ(big_misses, 64u);
     EXPECT_EQ(small_misses, 128u);
+}
+
+TEST(ContainerScenarioTest, SinglePuIsTheSerialSum)
+{
+    ContainerScenario scenario;
+    scenario.blockCycles = {100, 200, 300};
+    scenario.pus = 1;
+    ContainerSimReport report = simulateContainerDecode(scenario);
+    EXPECT_EQ(report.makespan, 600u);
+    EXPECT_EQ(report.totalBlockCycles, 600u);
+    EXPECT_DOUBLE_EQ(report.speedup, 1.0);
+    EXPECT_DOUBLE_EQ(report.utilization, 1.0);
+    EXPECT_EQ(report.puBlocks, (std::vector<u64>{3}));
+}
+
+TEST(ContainerScenarioTest, EqualBlocksScaleToThePuCount)
+{
+    ContainerScenario scenario;
+    scenario.blockCycles.assign(16, 1000);
+    scenario.pus = 4;
+    ContainerSimReport report = simulateContainerDecode(scenario);
+    EXPECT_EQ(report.makespan, 4000u);
+    EXPECT_DOUBLE_EQ(report.speedup, 4.0);
+    EXPECT_DOUBLE_EQ(report.utilization, 1.0);
+    for (u64 blocks : report.puBlocks)
+        EXPECT_EQ(blocks, 4u);
+}
+
+TEST(ContainerScenarioTest, OneGiantBlockBoundsTheMakespan)
+{
+    // Amdahl at block granularity: a dominant block caps speedup no
+    // matter how many PUs the stream spans.
+    ContainerScenario scenario;
+    scenario.blockCycles = {10000, 10, 10, 10};
+    scenario.pus = 8;
+    ContainerSimReport report = simulateContainerDecode(scenario);
+    EXPECT_EQ(report.makespan, 10000u);
+    EXPECT_LT(report.speedup, 1.01);
+}
+
+TEST(ContainerScenarioTest, DispatchOverheadSerializesTinyBlocks)
+{
+    // When dispatch costs as much as decode, the serial dispatcher is
+    // the bottleneck and extra PUs cannot push speedup past ~1x.
+    ContainerScenario scenario;
+    scenario.blockCycles.assign(64, 10);
+    scenario.dispatchCycles = 10;
+    scenario.pus = 8;
+    ContainerSimReport report = simulateContainerDecode(scenario);
+    EXPECT_GE(report.makespan, 640u);
+    EXPECT_LE(report.speedup, 2.01);
+}
+
+TEST(ContainerScenarioTest, DeterministicAndClampsDegenerateInputs)
+{
+    ContainerScenario scenario;
+    scenario.blockCycles = {7, 3, 9, 1, 4};
+    scenario.pus = 0; // Clamped to 1.
+    ContainerSimReport first = simulateContainerDecode(scenario);
+    ContainerSimReport second = simulateContainerDecode(scenario);
+    EXPECT_EQ(first.makespan, second.makespan);
+    EXPECT_EQ(first.puBusyCycles, second.puBusyCycles);
+    EXPECT_EQ(first.makespan, 24u);
+
+    ContainerScenario empty;
+    empty.pus = 4;
+    ContainerSimReport report = simulateContainerDecode(empty);
+    EXPECT_EQ(report.makespan, 0u);
+    EXPECT_DOUBLE_EQ(report.speedup, 1.0);
+    EXPECT_DOUBLE_EQ(report.utilization, 0.0);
 }
 
 } // namespace
