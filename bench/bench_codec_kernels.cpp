@@ -33,6 +33,7 @@
 #include "lz77/match_finder.h"
 #include "snappy/compress.h"
 #include "snappy/decompress.h"
+#include "transform/transform.h"
 #include "zstdlite/compress.h"
 #include "zstdlite/decompress.h"
 
@@ -101,7 +102,7 @@ BM_SnappyCompress(benchmark::State &state)
     state.SetLabel(corpus::dataClassName(
         corpus::allDataClasses()[state.range(0)]));
 }
-BENCHMARK(BM_SnappyCompress)->DenseRange(0, 5);
+BENCHMARK(BM_SnappyCompress)->DenseRange(0, 8);
 
 void
 BM_SnappyDecompress(benchmark::State &state)
@@ -118,7 +119,7 @@ BM_SnappyDecompress(benchmark::State &state)
     state.SetLabel(corpus::dataClassName(
         corpus::allDataClasses()[state.range(0)]));
 }
-BENCHMARK(BM_SnappyDecompress)->DenseRange(0, 5);
+BENCHMARK(BM_SnappyDecompress)->DenseRange(0, 8);
 
 /** Reference two-pass decode (element stream + replay), kept for the
  *  hardware model: the honest before/after comparison for the
@@ -147,7 +148,7 @@ BM_SnappyDecompressElementPath(benchmark::State &state)
     state.SetLabel(corpus::dataClassName(
         corpus::allDataClasses()[state.range(0)]));
 }
-BENCHMARK(BM_SnappyDecompressElementPath)->DenseRange(0, 5);
+BENCHMARK(BM_SnappyDecompressElementPath)->DenseRange(0, 8);
 
 void
 BM_ZstdLiteCompress(benchmark::State &state)
@@ -441,6 +442,29 @@ registerTierBenchmarks()
     }
 }
 
+/** Attaches the per-stage wall-time breakdown accumulated across the
+ *  timed loop as `transform.<stage>.ns` per-iteration counters, so a
+ *  pipeline's headline number is attributable to its stages. No-ops
+ *  (adds nothing) for base codecs, whose deltas are all zero. */
+void
+attachStageCounters(benchmark::State &state,
+                    const transform::StageStats &before)
+{
+    const transform::StageStats delta =
+        transform::stageStats().diff(before);
+    const double iters = static_cast<double>(state.iterations());
+    if (iters == 0)
+        return;
+    for (transform::StageId stage : transform::allStages()) {
+        const auto i = static_cast<std::size_t>(stage);
+        const u64 ns = delta.applyNs[i] + delta.invertNs[i];
+        if (ns == 0)
+            continue;
+        state.counters["transform." + transform::stageName(stage) +
+                       ".ns"] = static_cast<double>(ns) / iters;
+    }
+}
+
 /** Whole-buffer round trip through the registry vtable at the codec's
  *  default parameters — the same entry points the serve layer uses. */
 void
@@ -450,6 +474,8 @@ runRegistryCompress(benchmark::State &state, codec::CodecId id)
     Bytes data = makeData(0, 256 * kKiB); // text
     const codec::CodecParams params = vtable.caps.clamp(
         vtable.caps.defaultLevel, vtable.caps.defaultWindowLog);
+    const transform::StageStats stages_before =
+        transform::stageStats();
     Bytes out;
     for (auto _ : state) {
         if (!vtable.compressInto(data, params, out).ok())
@@ -457,6 +483,7 @@ runRegistryCompress(benchmark::State &state, codec::CodecId id)
         benchmark::DoNotOptimize(out.data());
     }
     setThroughput(state, data.size());
+    attachStageCounters(state, stages_before);
 }
 
 void
@@ -471,6 +498,8 @@ runRegistryDecompress(benchmark::State &state, codec::CodecId id)
         state.SkipWithError("pre-compress failed");
         return;
     }
+    const transform::StageStats stages_before =
+        transform::stageStats();
     Bytes out;
     for (auto _ : state) {
         if (!vtable.decompressInto(compressed, out).ok())
@@ -478,6 +507,43 @@ runRegistryDecompress(benchmark::State &state, codec::CodecId id)
         benchmark::DoNotOptimize(out.data());
     }
     setThroughput(state, data.size());
+    attachStageCounters(state, stages_before);
+}
+
+/**
+ * Ratio benchmark over one (codec, data class) cell: the headline
+ * comparison for the preconditioner pipelines. A pipeline earns its
+ * place by beating its bare terminal codec's ratio on a matching
+ * class (delta+snappy on timeseries, shred+zstdlite on columnar, ...);
+ * the committed BENCH_kernels.json carries these cells so the claim
+ * is checkable. The `ratio` counter is uncompressed/compressed; the
+ * stage counters break the compress time down per transform.
+ */
+void
+runRegistryRatio(benchmark::State &state, codec::CodecId id,
+                 int cls_index)
+{
+    const codec::CodecVTable &vtable = codec::registry(id);
+    Bytes data = makeData(cls_index, 256 * kKiB);
+    const codec::CodecParams params = vtable.caps.clamp(
+        vtable.caps.defaultLevel, vtable.caps.defaultWindowLog);
+    const transform::StageStats stages_before =
+        transform::stageStats();
+    Bytes compressed;
+    for (auto _ : state) {
+        if (!vtable.compressInto(data, params, compressed).ok())
+            state.SkipWithError("compress failed");
+        benchmark::DoNotOptimize(compressed.data());
+    }
+    setThroughput(state, data.size());
+    attachStageCounters(state, stages_before);
+    if (!compressed.empty())
+        state.counters["ratio"] =
+            static_cast<double>(data.size()) /
+            static_cast<double>(compressed.size());
+    state.SetLabel(corpus::dataClassName(
+        corpus::allDataClasses()[static_cast<std::size_t>(
+            cls_index)]));
 }
 
 /** Session-API round trip fed in 4 KiB chunks: what streaming RPC
@@ -511,12 +577,14 @@ runRegistryStreamDecompress(benchmark::State &state, codec::CodecId id)
     setThroughput(state, data.size());
 }
 
-/** Registers the registry-driven benchmarks (one trio per codec) and
- *  publishes each codec's capability metadata into the benchmark
- *  context so --json output is self-describing. */
+/** Registers the registry-driven benchmarks (one trio per codec, plus
+ *  the ratio cells over the preconditioner data classes) and publishes
+ *  each codec's capability metadata into the benchmark context so
+ *  --json output is self-describing. */
 void
 registerRegistryBenchmarks()
 {
+    const auto classes = corpus::allDataClasses();
     for (codec::CodecId id : codec::allCodecs()) {
         std::string name = codec::codecName(id);
         benchmark::RegisterBenchmark(
@@ -534,6 +602,24 @@ registerRegistryBenchmarks()
             [id](benchmark::State &state) {
                 runRegistryStreamDecompress(state, id);
             });
+        // Ratio cells: text as the legacy anchor plus the three
+        // preconditioner classes the pipelines target.
+        for (corpus::DataClass cls :
+             {corpus::DataClass::textLike, corpus::DataClass::timeSeries,
+              corpus::DataClass::columnarNumeric,
+              corpus::DataClass::imagePlane}) {
+            int cls_index = -1;
+            for (std::size_t i = 0; i < classes.size(); ++i)
+                if (classes[i] == cls)
+                    cls_index = static_cast<int>(i);
+            benchmark::RegisterBenchmark(
+                ("BM_CodecRatio/" + name + "/" +
+                 corpus::dataClassName(cls))
+                    .c_str(),
+                [id, cls_index](benchmark::State &state) {
+                    runRegistryRatio(state, id, cls_index);
+                });
+        }
         benchmark::AddCustomContext("codec." + name,
                                     bench::codecCapsJson(id).dump(0));
     }
@@ -584,9 +670,18 @@ main(int argc, char **argv)
                              id.status().message().c_str());
                 return 1;
             }
+            // The filter is a regex; escape the '+' in pipeline spec
+            // names so "delta+snappy" matches literally. Matches both
+            // the BM_Codec trio and the BM_CodecRatio cells.
+            std::string escaped;
+            for (char c : cdpu::codec::codecName(id.value())) {
+                if (c == '+')
+                    escaped += '\\';
+                escaped += c;
+            }
             arg_storage.push_back(
-                "--benchmark_filter=BM_Codec/" +
-                cdpu::codec::codecName(id.value()) + "/");
+                "--benchmark_filter=BM_Codec(Ratio)?/" + escaped +
+                "/");
             continue;
         }
         if (arg.rfind("--json=", 0) == 0) {

@@ -56,6 +56,15 @@ codecCapsJson(codec::CodecId id)
     json.set("incremental_decompress", caps.incrementalDecompress);
     json.set("streaming_shares_buffer_format",
              caps.streamingSharesBufferFormat);
+    json.set("is_pipeline", caps.isPipeline);
+    if (caps.isPipeline) {
+        json.set("terminal", codec::codecName(codec::toCodecId(
+                                 caps.terminal)));
+        obs::JsonValue stages = obs::JsonValue::array();
+        for (transform::StageId stage : caps.stages)
+            stages.push(obs::JsonValue(transform::stageName(stage)));
+        json.set("stages", std::move(stages));
+    }
     return json;
 }
 

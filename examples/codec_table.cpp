@@ -54,30 +54,41 @@ streamingSupport(const codec::CodecCaps &caps)
     return cell;
 }
 
+std::string
+kind(const codec::CodecCaps &caps)
+{
+    if (!caps.isPipeline)
+        return "base";
+    std::string cell = "pipeline -> ";
+    cell += codec::codecName(codec::toCodecId(caps.terminal));
+    return cell;
+}
+
 int
 run(bool markdown)
 {
     if (markdown) {
-        std::printf("| Codec | `--codec` name | Levels | Window | "
-                    "Streaming sessions |\n");
-        std::printf("|---|---|---|---|---|\n");
+        std::printf("| Codec | `--codec` name | Kind | Levels | "
+                    "Window | Streaming sessions |\n");
+        std::printf("|---|---|---|---|---|---|\n");
         for (codec::CodecId id : codec::allCodecs()) {
             const codec::CodecCaps &caps = codec::registry(id).caps;
-            std::printf("| %s | `%s` | %s | %s | %s |\n",
-                        caps.displayName, caps.name,
-                        levelRange(caps).c_str(),
+            std::printf("| %s | `%s` | %s | %s | %s | %s |\n",
+                        caps.displayName.c_str(), caps.name.c_str(),
+                        kind(caps).c_str(), levelRange(caps).c_str(),
                         windowRange(caps).c_str(),
                         streamingSupport(caps).c_str());
         }
         return 0;
     }
 
-    TablePrinter table(
-        {"Codec", "Name", "Levels", "Window", "Streaming sessions"});
+    TablePrinter table({"Codec", "Name", "Kind", "Levels", "Window",
+                        "Streaming sessions"});
     for (codec::CodecId id : codec::allCodecs()) {
         const codec::CodecCaps &caps = codec::registry(id).caps;
-        table.addRow({caps.displayName, caps.name, levelRange(caps),
-                      windowRange(caps), streamingSupport(caps)});
+        table.addRow({caps.displayName, caps.name, kind(caps),
+                      levelRange(caps), windowRange(caps),
+                      streamingSupport(caps)});
     }
     std::printf("%s", table.render().c_str());
     return 0;

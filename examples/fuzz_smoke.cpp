@@ -61,6 +61,20 @@ main(int argc, char **argv)
     auto max_payload =
         static_cast<std::size_t>(args.getInt("max-payload", 4096));
     std::string only_codec = args.getString("codec", "");
+    if (!only_codec.empty()) {
+        // Resolve through the registry: surfaces the known-names
+        // listing on typos, and registers an ad-hoc pipeline spec
+        // (e.g. --codec delta+rle+snappy) so it appears in
+        // allCodecs() for the loop below.
+        auto id = codec::codecFromName(only_codec);
+        if (!id.ok()) {
+            std::fprintf(stderr, "--codec %s: %s\n",
+                         only_codec.c_str(),
+                         id.status().message().c_str());
+            return 1;
+        }
+        only_codec = codec::codecName(id.value());
+    }
     std::string only_direction = args.getString("direction", "");
     // --flight-dump PATH: attach a telemetry hub so every battery
     // records per-iteration flight events; the first contract

@@ -75,7 +75,7 @@ run(const std::string &dir)
             Status status = vtable.compressInto(raw, params, frame);
             if (!status.ok()) {
                 std::fprintf(stderr, "%s: %s\n",
-                             vtable.caps.name,
+                             vtable.caps.name.c_str(),
                              status.message().c_str());
                 return 1;
             }
@@ -93,7 +93,7 @@ run(const std::string &dir)
                 container::write(id, raw, copts, container_frame);
             if (!status.ok()) {
                 std::fprintf(stderr, "container %s: %s\n",
-                             vtable.caps.name,
+                             vtable.caps.name.c_str(),
                              status.message().c_str());
                 return 1;
             }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "codec/registry.h"
+
 namespace cdpu::baseline
 {
 
@@ -10,6 +12,11 @@ double
 XeonCostModel::throughputGBps(codec::CodecId codec,
                               Direction direction, int level) const
 {
+    // The measured software anchors exist for the base wire formats;
+    // a pipeline costs as its terminal codec (its stage overhead is
+    // second-order next to the match/entropy loops being modeled).
+    codec = codec::toCodecId(codec::terminalBase(codec));
+
     if (codec == codec::CodecId::snappy) {
         // Snappy has no levels.
         return direction == Direction::compress ? 0.36 : 1.1;

@@ -16,20 +16,24 @@
 #ifndef CDPU_CODEC_ADAPTER_SESSIONS_H_
 #define CDPU_CODEC_ADAPTER_SESSIONS_H_
 
+#include <functional>
+#include <utility>
+
 #include "codec/registry.h"
 
 namespace cdpu::codec::detail
 {
 
-/** Accumulates input; compresses once at finish(). */
+/** Accumulates input; compresses once at finish(). std::function so
+ *  pipeline codecs can buffer through their composed entry points. */
 class BufferedCompressSession final : public CompressSession
 {
   public:
-    using CompressFn = Status (*)(ByteSpan input,
-                                  const CodecParams &params, Bytes &out);
+    using CompressFn = std::function<Status(
+        ByteSpan input, const CodecParams &params, Bytes &out)>;
 
     BufferedCompressSession(CompressFn fn, const CodecParams &params)
-        : fn_(fn), params_(params)
+        : fn_(std::move(fn)), params_(params)
     {
     }
 
@@ -73,9 +77,13 @@ class BufferedCompressSession final : public CompressSession
 class BufferedDecompressSession final : public DecompressSession
 {
   public:
-    using DecompressFn = Status (*)(ByteSpan input, Bytes &out);
+    using DecompressFn =
+        std::function<Status(ByteSpan input, Bytes &out)>;
 
-    explicit BufferedDecompressSession(DecompressFn fn) : fn_(fn) {}
+    explicit BufferedDecompressSession(DecompressFn fn)
+        : fn_(std::move(fn))
+    {
+    }
 
     Status feed(ByteSpan chunk) override
     {

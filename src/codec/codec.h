@@ -1,14 +1,25 @@
 /**
  * @file
- * Codec identity: the single enum every layer dispatches on.
+ * Codec identity: the handle every layer dispatches on.
  *
  * The paper's fleet runs many (de)compression algorithms behind one
  * usage profile (Section 3, Figure 2); this repository used to mirror
- * that with two rival selectors (baseline::Algorithm for the DSE pair,
- * hcb::ServeCodec for the serve layer) glued together by a conversion
- * function. CodecId replaces both: one identifier per registered
- * codec, resolved to behaviour through the registry (registry.h), so
- * adding a codec is a registration instead of a fleet-wide edit.
+ * that with a closed u8 enum sized by kNumCodecs, baked into loops
+ * across baseline, hyperbench, serve, harden, container, and dse.
+ * That shape cannot admit composed pipeline codecs (spec.h), so the
+ * identity is now split:
+ *
+ *  - BaseCodecId — the closed set of from-scratch codecs with their
+ *    own wire formats (DESIGN.md §2). Stable u8 values; the container
+ *    header and golden vectors depend on them.
+ *  - CodecId — a dynamic registry handle. Values below kNumBaseCodecs
+ *    are the base codecs (numerically identical to BaseCodecId);
+ *    higher values are pipeline codecs assigned in registration
+ *    order. Layers above src/codec/ never assume a fixed count: they
+ *    enumerate allCodecs() and resolve behaviour via registry().
+ *
+ * A CI grep guard bans kNumCodecs-style range loops and raw
+ * static_cast<CodecId> outside this directory.
  */
 
 #ifndef CDPU_CODEC_CODEC_H_
@@ -23,9 +34,9 @@
 namespace cdpu::codec
 {
 
-/** Every codec implemented from scratch in this repository
- *  (DESIGN.md §2). Values index the registry table. */
-enum class CodecId : u8
+/** The closed set of from-scratch wire formats. Values are container
+ *  wire bytes and registry slots 0..kNumBaseCodecs-1; never reorder. */
+enum class BaseCodecId : u8
 {
     snappy = 0,
     zstdlite = 1,
@@ -33,7 +44,27 @@ enum class CodecId : u8
     gipfeli = 3,
 };
 
-inline constexpr std::size_t kNumCodecs = 4;
+inline constexpr std::size_t kNumBaseCodecs = 4;
+
+/**
+ * Dynamic registry handle. The named enumerators are the base codecs
+ * (same numeric values as BaseCodecId); pipeline codecs registered at
+ * startup or via codecFromName() get consecutive higher values.
+ */
+enum class CodecId : u16
+{
+    snappy = 0,
+    zstdlite = 1,
+    flatelite = 2,
+    gipfeli = 3,
+};
+
+/** The registry handle of a base codec (identity on numeric value). */
+constexpr CodecId
+toCodecId(BaseCodecId base)
+{
+    return static_cast<CodecId>(static_cast<u8>(base));
+}
 
 /** Which way a call moves bytes. Canonical home of the enum that the
  *  baseline/hyperbench/serve layers all share. */
@@ -43,18 +74,43 @@ enum class Direction
     decompress,
 };
 
-/** All registered codec ids, in registry order. */
-const std::vector<CodecId> &allCodecs();
+/** Snapshot of all registered codec ids, in registration order. By
+ *  value: codecFromName() can grow the registry at any time, so there
+ *  is no stable reference to hand out. */
+std::vector<CodecId> allCodecs();
 
-/** Stable lowercase identifier ("snappy", "zstdlite", ...): CLI flags,
- *  counter names, golden-vector file extensions. */
+/** Number of registered codecs right now (== allCodecs().size()). */
+std::size_t registeredCodecCount();
+
+/** Stable lowercase identifier ("snappy", "delta+snappy", ...): CLI
+ *  flags, counter names, golden-vector file extensions. */
 std::string codecName(CodecId id);
 
-/** Human-facing name ("Snappy", "ZStd", ...) for tables and reports. */
+/** Human-facing name ("Snappy", ...) for tables and reports. */
 std::string codecDisplayName(CodecId id);
 
-/** Resolves a lowercase identifier back to its id (CLI --codec). */
+/**
+ * Resolves an identifier back to its id (CLI --codec). A spec string
+ * containing '+' (e.g. "delta+rle+snappy") parses as a pipeline and
+ * registers it on first use. Unknown names fail with a Status listing
+ * every registered spec name.
+ */
 Result<CodecId> codecFromName(const std::string &name);
+
+/**
+ * Validates a container codec wire byte against the closed base set.
+ * The only sanctioned byte→CodecId conversion outside the registry;
+ * anything >= kNumBaseCodecs is corruptData (the container's pipeline
+ * escape byte is handled before this in container/format.cpp).
+ */
+inline Result<CodecId>
+baseCodecFromWire(u8 wire)
+{
+    if (wire >= kNumBaseCodecs)
+        return Status::corrupt("unregistered base codec wire id " +
+                               std::to_string(wire));
+    return toCodecId(static_cast<BaseCodecId>(wire));
+}
 
 std::string directionName(Direction direction);
 

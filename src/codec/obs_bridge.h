@@ -22,7 +22,11 @@ namespace cdpu::codec
 inline u8
 flightKind(CodecId id)
 {
-    return static_cast<u8>(id);
+    // The flight schema keeps kind as one byte; the dynamic registry
+    // can exceed 255 entries, so the tail shares a sentinel. Dumps
+    // stay exact for the base codecs and the curated pipelines.
+    std::size_t index = static_cast<std::size_t>(id);
+    return index < 255 ? static_cast<u8>(index) : u8{255};
 }
 
 inline u8
@@ -40,7 +44,7 @@ flightOutcome(const Status &status)
 inline std::string
 flightKindName(u8 kind)
 {
-    if (kind < kNumCodecs)
+    if (kind < 255 && kind < registeredCodecCount())
         return codecName(static_cast<CodecId>(kind));
     return "kind" + std::to_string(kind);
 }

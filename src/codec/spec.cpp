@@ -1,0 +1,84 @@
+#include "codec/spec.h"
+
+#include "codec/registry.h"
+#include "codec/vtables.h"
+
+namespace cdpu::codec
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitSpec(const std::string &text)
+{
+    std::vector<std::string> tokens;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t plus = text.find('+', start);
+        if (plus == std::string::npos) {
+            tokens.push_back(text.substr(start));
+            return tokens;
+        }
+        tokens.push_back(text.substr(start, plus - start));
+        start = plus + 1;
+    }
+}
+
+Result<BaseCodecId>
+baseFromName(const std::string &name)
+{
+    for (std::size_t i = 0; i < kNumBaseCodecs; ++i) {
+        auto base = static_cast<BaseCodecId>(i);
+        if (detail::baseVTable(base).caps.name == name)
+            return base;
+    }
+    return Status::invalid("pipeline terminal \"" + name +
+                           "\" is not a base codec");
+}
+
+} // namespace
+
+Result<CodecSpec>
+CodecSpec::parse(const std::string &text)
+{
+    std::vector<std::string> tokens = splitSpec(text);
+    if (tokens.size() < 2)
+        return Status::invalid(
+            "pipeline spec \"" + text +
+            "\" needs at least one stage and a terminal codec");
+    for (const std::string &token : tokens) {
+        if (token.empty())
+            return Status::invalid("pipeline spec \"" + text +
+                                   "\" has an empty token");
+    }
+    if (tokens.size() - 1 > kMaxPipelineStages)
+        return Status::invalid(
+            "pipeline spec \"" + text + "\" exceeds " +
+            std::to_string(kMaxPipelineStages) + " stages");
+    CodecSpec spec;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+        Result<transform::StageId> stage =
+            transform::stageFromName(tokens[i]);
+        if (!stage.ok())
+            return stage.status();
+        spec.stages.push_back(stage.value());
+    }
+    Result<BaseCodecId> terminal = baseFromName(tokens.back());
+    if (!terminal.ok())
+        return terminal.status();
+    spec.terminal = terminal.value();
+    return spec;
+}
+
+std::string
+CodecSpec::toString() const
+{
+    std::string text;
+    for (transform::StageId stage : stages)
+        text += transform::stageName(stage) + "+";
+    text += detail::baseVTable(terminal).caps.name;
+    return text;
+}
+
+} // namespace cdpu::codec

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * CodecSpec: a pipeline codec described as data.
+ *
+ * A spec is an ordered list of preconditioner stages (transform/) in
+ * front of a terminal base codec, written as a '+'-joined string:
+ *
+ *     spec     := stage '+' { stage '+' } base-codec
+ *     stage    := "delta" | "rle" | "mtf" | "bwt" | "shred"
+ *     base     := "snappy" | "zstdlite" | "flatelite" | "gipfeli"
+ *
+ * e.g. "delta+rle+snappy" (grammar: DESIGN.md §15). Compression
+ * applies the stages left to right, then the terminal codec;
+ * decompression undoes the terminal codec, then inverts the stages
+ * right to left. parse/toString round-trip exactly, and the string is
+ * the pipeline's registered codec name — CLI flags, counters, golden
+ * vector extensions, and the container header spell pipelines this
+ * way.
+ */
+
+#ifndef CDPU_CODEC_SPEC_H_
+#define CDPU_CODEC_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "codec/codec.h"
+#include "transform/transform.h"
+
+namespace cdpu::codec
+{
+
+/** Registration admits at most this many stages per pipeline: keeps
+ *  composed expansion bounds and per-call overhead sane, and bounds
+ *  what a hostile container header can make the registry build. */
+inline constexpr std::size_t kMaxPipelineStages = 4;
+
+struct CodecSpec
+{
+    /** Stages in application (compress) order; always non-empty. */
+    std::vector<transform::StageId> stages;
+    BaseCodecId terminal = BaseCodecId::snappy;
+
+    /**
+     * Parses a spec string. Fails with invalidArgument when the
+     * string has no '+', a stage token is unknown, the terminal token
+     * is not a base codec, a token is empty, or the stage count
+     * exceeds kMaxPipelineStages.
+     */
+    static Result<CodecSpec> parse(const std::string &text);
+
+    /** Canonical spec string ("delta+rle+snappy"). */
+    std::string toString() const;
+};
+
+/**
+ * Registers the pipeline described by @p spec and returns its id.
+ * Idempotent: re-registering an already-registered spec returns the
+ * existing id. Fails only when the registry is full.
+ */
+Result<CodecId> registerPipeline(const CodecSpec &spec);
+
+} // namespace cdpu::codec
+
+#endif // CDPU_CODEC_SPEC_H_

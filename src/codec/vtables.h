@@ -1,14 +1,18 @@
 /**
  * @file
  * Internal: per-codec vtable accessors wired into registry.cpp's
- * table. Each accessor lives in its codec's own registration file
- * (src/codec/<name>_codec.cpp) — the "one file per codec" seam.
+ * base table. Each accessor lives in its codec's own registration
+ * file (src/codec/<name>_codec.cpp) — the "one file per codec" seam.
+ * Pipeline vtables are built on demand from a CodecSpec instead.
  */
 
 #ifndef CDPU_CODEC_VTABLES_H_
 #define CDPU_CODEC_VTABLES_H_
 
+#include <memory>
+
 #include "codec/registry.h"
+#include "codec/spec.h"
 
 namespace cdpu::codec::detail
 {
@@ -17,6 +21,15 @@ const CodecVTable &snappyVTable();
 const CodecVTable &zstdliteVTable();
 const CodecVTable &flateliteVTable();
 const CodecVTable &gipfeliVTable();
+
+/** The base codec's vtable, without touching the dynamic registry —
+ *  safe to call during registry initialisation. */
+const CodecVTable &baseVTable(BaseCodecId base);
+
+/** Composes a pipeline vtable from @p spec (pipeline_codec.cpp):
+ *  stage-chained entry points, buffered sessions, multiplied caps.
+ *  caps.id is filled in by the registry at registration time. */
+std::unique_ptr<CodecVTable> makePipelineVTable(const CodecSpec &spec);
 
 } // namespace cdpu::codec::detail
 

@@ -39,6 +39,20 @@ inline constexpr std::array<u8, 4> kMagic = {'C', 'D', 'P', 'C'};
 inline constexpr u8 kVersion = 1;
 
 /**
+ * Codec-byte escape for pipeline codecs: base codecs keep their
+ * stable one-byte BaseCodecId (committed v1 frames stay valid), while
+ * kPipelineCodecByte announces that a varint-length spec string (the
+ * pipeline's registered name, e.g. "delta+snappy") follows the flags
+ * byte. Encoding a base codec through the escape is non-canonical and
+ * rejected.
+ */
+inline constexpr u8 kPipelineCodecByte = 0xff;
+
+/** Cap on the escape's spec-string length: longest legal spec is
+ *  4 stages + terminal, far below this; anything bigger is a lie. */
+inline constexpr std::size_t kMaxSpecNameBytes = 64;
+
+/**
  * Hard cap on the index's block count. The index is the only part of
  * the format whose claimed sizes drive allocation before any codec
  * validation runs, so both its entry count and its claimed output

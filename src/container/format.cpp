@@ -5,6 +5,7 @@
  * Byte layout (all integers little-endian, varints LEB128):
  *
  *   magic[4]="CDPC"  version u8  codecId u8  flags u8 (=0)
+ *   [codecId==0xff: specLen varint, specLen spec-name bytes]
  *   blockCount varint   totalRegen varint
  *   blockCount x (offset varint, compSize varint, regenSize varint)
  *   indexCrc u32        <- CRC-32C over every preceding byte
@@ -15,6 +16,12 @@
  * check the parser enforces, so a tampered index has to lie
  * coherently across four constraints and a CRC before any claim of
  * its reaches an allocation or a codec.
+ *
+ * Base codecs are identified by their stable BaseCodecId byte;
+ * pipeline codecs use the kPipelineCodecByte escape followed by their
+ * spec string, which the parser resolves (and, for well-formed specs,
+ * registers) through codecFromName. An unparseable spec is
+ * corruptData like any other malformed header field.
  */
 
 #include "container/container.h"
@@ -95,8 +102,15 @@ write(codec::CodecId id, ByteSpan input, const WriteOptions &options,
 
     out.insert(out.end(), kMagic.begin(), kMagic.end());
     out.push_back(kVersion);
-    out.push_back(static_cast<u8>(id));
-    out.push_back(0); // flags: reserved, must be zero.
+    if (caps.isPipeline) {
+        out.push_back(kPipelineCodecByte);
+        out.push_back(0); // flags: reserved, must be zero.
+        putVarint(out, caps.name.size());
+        out.insert(out.end(), caps.name.begin(), caps.name.end());
+    } else {
+        out.push_back(static_cast<u8>(id));
+        out.push_back(0); // flags: reserved, must be zero.
+    }
     putVarint(out, block_count);
     putVarint(out, input.size());
     u64 offset = 0;
@@ -125,7 +139,8 @@ parseIndex(ByteSpan frame)
                                std::to_string(version));
     }
     const u8 codec_byte = frame[pos++];
-    if (codec_byte >= codec::kNumCodecs) {
+    if (codec_byte >= codec::kNumBaseCodecs &&
+        codec_byte != kPipelineCodecByte) {
         return Status::corrupt("unknown container codec id " +
                                std::to_string(codec_byte));
     }
@@ -136,7 +151,42 @@ parseIndex(ByteSpan frame)
     }
 
     FrameIndex index;
-    index.codec = static_cast<codec::CodecId>(codec_byte);
+    if (codec_byte == kPipelineCodecByte) {
+        Result<u64> spec_len = getVarint(frame, pos);
+        if (!spec_len.ok())
+            return Status::corrupt("truncated container spec length");
+        if (spec_len.value() > kMaxSpecNameBytes) {
+            return Status::corrupt(
+                "container spec name claims " +
+                std::to_string(spec_len.value()) + " bytes, over the " +
+                std::to_string(kMaxSpecNameBytes) + "-byte cap");
+        }
+        const std::size_t len =
+            static_cast<std::size_t>(spec_len.value());
+        if (frame.size() - pos < len)
+            return Status::corrupt("truncated container spec name");
+        std::string spec(reinterpret_cast<const char *>(frame.data()) +
+                             pos,
+                         len);
+        pos += len;
+        Result<codec::CodecId> id = codec::codecFromName(spec);
+        if (!id.ok()) {
+            return Status::corrupt("container spec \"" + spec +
+                                   "\" is not a codec: " +
+                                   id.status().message());
+        }
+        if (!codec::registry(id.value()).caps.isPipeline) {
+            return Status::corrupt(
+                "container spec \"" + spec +
+                "\" names a base codec; base codecs use their wire id");
+        }
+        index.codec = id.value();
+    } else {
+        Result<codec::CodecId> id = codec::baseCodecFromWire(codec_byte);
+        if (!id.ok())
+            return id.status();
+        index.codec = id.value();
+    }
 
     Result<u64> block_count = getVarint(frame, pos);
     if (!block_count.ok())

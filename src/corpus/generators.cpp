@@ -218,14 +218,103 @@ makeRepetitive(std::size_t size, Rng &rng)
     return out;
 }
 
+Bytes
+makeTimeSeries(std::size_t size, Rng &rng)
+{
+    // A bounded random walk with occasional level shifts: adjacent
+    // samples differ by a few counts, so a delta stage maps the
+    // stream onto a tiny alphabet while raw LZ sees few exact
+    // repeats.
+    Bytes out;
+    out.reserve(size);
+    double level = 128.0;
+    while (out.size() < size) {
+        if (rng.chance(0.002))
+            level = 32.0 + 192.0 * rng.uniform(); // regime change
+        level += rng.uniform() * 6.0 - 3.0;
+        if (level < 0.0)
+            level = 0.0;
+        if (level > 255.0)
+            level = 255.0;
+        out.push_back(static_cast<u8>(level));
+    }
+    return out;
+}
+
+Bytes
+makeColumnarNumeric(std::size_t size, Rng &rng)
+{
+    // Fixed 8-byte records: u32 LE incrementing id + u32 LE metric
+    // from a small range. Row-major the fields interleave and defeat
+    // LZ matching; a shred stage regroups each byte plane (constant
+    // high bytes, slowly-varying low bytes) into long runs.
+    Bytes out;
+    out.reserve(size + 8);
+    u32 id = static_cast<u32>(rng.below(1000));
+    while (out.size() < size) {
+        id += 1 + static_cast<u32>(rng.below(3));
+        u32 metric = 1000 + static_cast<u32>(rng.below(500));
+        for (int b = 0; b < 4; ++b)
+            out.push_back(static_cast<u8>(id >> (8 * b)));
+        for (int b = 0; b < 4; ++b)
+            out.push_back(static_cast<u8>(metric >> (8 * b)));
+    }
+    out.resize(size);
+    return out;
+}
+
+Bytes
+makeImagePlane(std::size_t size, Rng &rng)
+{
+    // Smooth 2D luminance: rows of width 256 following a slowly
+    // drifting gradient plus mild noise — horizontally adjacent
+    // pixels differ by a little, which is exactly the redundancy a
+    // byte-delta stage exposes.
+    constexpr std::size_t kWidth = 256;
+    Bytes out;
+    out.reserve(size + kWidth);
+    double row_base = 64.0 + 128.0 * rng.uniform();
+    double slope = rng.uniform() * 0.5 - 0.25;
+    while (out.size() < size) {
+        row_base += rng.uniform() * 4.0 - 2.0;
+        slope += rng.uniform() * 0.1 - 0.05;
+        if (slope > 0.5)
+            slope = 0.5;
+        if (slope < -0.5)
+            slope = -0.5;
+        double value = row_base;
+        for (std::size_t x = 0; x < kWidth; ++x) {
+            value += slope + (rng.uniform() - 0.5);
+            double clamped = value;
+            if (clamped < 0.0)
+                clamped = 0.0;
+            if (clamped > 255.0)
+                clamped = 255.0;
+            out.push_back(static_cast<u8>(clamped));
+        }
+    }
+    out.resize(size);
+    return out;
+}
+
 } // namespace
 
 std::vector<DataClass>
 allDataClasses()
 {
-    return {DataClass::textLike, DataClass::logLike,
+    return {DataClass::textLike,        DataClass::logLike,
+            DataClass::numericTabular,  DataClass::protobufLike,
+            DataClass::randomBytes,     DataClass::repetitive,
+            DataClass::timeSeries,      DataClass::columnarNumeric,
+            DataClass::imagePlane};
+}
+
+std::vector<DataClass>
+fleetDataClasses()
+{
+    return {DataClass::textLike,       DataClass::logLike,
             DataClass::numericTabular, DataClass::protobufLike,
-            DataClass::randomBytes, DataClass::repetitive};
+            DataClass::randomBytes,    DataClass::repetitive};
 }
 
 std::string
@@ -238,6 +327,9 @@ dataClassName(DataClass cls)
       case DataClass::protobufLike: return "protobuf";
       case DataClass::randomBytes: return "random";
       case DataClass::repetitive: return "repetitive";
+      case DataClass::timeSeries: return "timeseries";
+      case DataClass::columnarNumeric: return "columnar";
+      case DataClass::imagePlane: return "image";
     }
     return "unknown";
 }
@@ -252,6 +344,10 @@ generate(DataClass cls, std::size_t size, Rng &rng)
       case DataClass::protobufLike: return makeProtobufLike(size, rng);
       case DataClass::randomBytes: return makeRandomBytes(size, rng);
       case DataClass::repetitive: return makeRepetitive(size, rng);
+      case DataClass::timeSeries: return makeTimeSeries(size, rng);
+      case DataClass::columnarNumeric:
+        return makeColumnarNumeric(size, rng);
+      case DataClass::imagePlane: return makeImagePlane(size, rng);
     }
     return {};
 }

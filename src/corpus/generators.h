@@ -22,7 +22,10 @@
 namespace cdpu::corpus
 {
 
-/** Data classes with distinct entropy/duplication profiles. */
+/** Data classes with distinct entropy/duplication profiles. The last
+ *  three are the preconditioner-pipeline classes: byte streams whose
+ *  redundancy is invisible to a plain LZ parse until a transform
+ *  stage (delta, shredding, BWT) rearranges it. */
 enum class DataClass
 {
     textLike,      ///< Word-sampled English-ish prose (ratio ~2-3x).
@@ -31,10 +34,20 @@ enum class DataClass
     protobufLike,  ///< Varint/tag-heavy binary records (ratio ~1.5-3x).
     randomBytes,   ///< Incompressible (ratio ~1.0x).
     repetitive,    ///< Long exact repeats (ratio >> 4x).
+    timeSeries,    ///< Smooth sensor samples: small steps, rare shifts.
+    columnarNumeric, ///< Fixed 8-byte records of correlated LE fields.
+    imagePlane,    ///< 2D luminance gradients, row stride 256.
 };
 
-/** All classes, for iteration in tests and the chunk library. */
+/** All classes, for iteration in tests and class-swept benches. */
 std::vector<DataClass> allDataClasses();
+
+/** The classes modeling the fleet's library mix (Figure 4) — the set
+ *  the hyperbench chunk library rates and assembles from. Excludes
+ *  the preconditioner classes, which model pipeline-targeted corpora
+ *  rather than fleet traffic, so fleet-seeded suites stay
+ *  byte-reproducible across registry growth. */
+std::vector<DataClass> fleetDataClasses();
 
 /** Human-readable class name. */
 std::string dataClassName(DataClass cls);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "codec/registry.h"
 #include "common/rng.h"
 #include "container/container.h"
 #include "flatelite/format.h"
@@ -19,6 +20,7 @@ allMutationClasses()
         MutationClass::bitFlip,       MutationClass::truncate,
         MutationClass::lengthTamper,  MutationClass::crcTamper,
         MutationClass::chunkTypeSwap, MutationClass::splice,
+        MutationClass::stageHeaderTamper,
     };
     return kAll;
 }
@@ -33,6 +35,8 @@ mutationClassName(MutationClass cls)
       case MutationClass::crcTamper: return "crc_tamper";
       case MutationClass::chunkTypeSwap: return "chunk_type_swap";
       case MutationClass::splice: return "splice";
+      case MutationClass::stageHeaderTamper:
+        return "stage_header_tamper";
     }
     return "unknown";
 }
@@ -43,7 +47,7 @@ mutationSeed(const MutationSpec &spec)
     // SplitMix64-style finalizer over the packed triple, so adjacent
     // seeds (the driver uses seedBase + i) land far apart in Rng space.
     u64 x = spec.seed;
-    x ^= (static_cast<u64>(spec.codec) << 56) |
+    x ^= ((static_cast<u64>(spec.codec) & 0xff) << 56) |
          (static_cast<u64>(spec.cls) << 48);
     x += 0x9e3779b97f4a7c15ull;
     x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
@@ -188,6 +192,33 @@ probeVarint(ByteSpan frame, std::size_t &pos, u64 &value)
     return false;
 }
 
+/**
+ * End of the container's header: magic/version/codec/flags plus, when
+ * the codec byte is the pipeline escape, the varint-length spec-name
+ * region. Pushes the spec region's interior edges when @p offsets is
+ * given; returns frame.size() when the skeleton runs out.
+ */
+std::size_t
+containerHeaderEnd(ByteSpan frame, std::vector<std::size_t> *offsets)
+{
+    const std::size_t fixed = container::kMagic.size() + 3;
+    if (frame.size() < fixed)
+        return frame.size();
+    std::size_t pos = fixed;
+    if (frame[container::kMagic.size() + 1] ==
+        container::kPipelineCodecByte) {
+        u64 spec_len = 0;
+        if (!probeVarint(frame, pos, spec_len))
+            return frame.size();
+        if (offsets)
+            offsets->push_back(pos); // specLen | name edge.
+        if (spec_len > frame.size() - pos)
+            return frame.size();
+        pos += static_cast<std::size_t>(spec_len);
+    }
+    return pos;
+}
+
 /** Skeleton of the block-parallel container (DESIGN.md §14): header
  *  byte edges, each index varint edge, the CRC's both edges, and every
  *  block boundary in the data section. Walks the claimed entry count
@@ -195,13 +226,16 @@ probeVarint(ByteSpan frame, std::size_t &pos, u64 &value)
 void
 containerFrameOffsets(ByteSpan frame, std::vector<std::size_t> &offsets)
 {
-    const std::size_t header = container::kMagic.size() + 3;
-    if (frame.size() < header)
+    const std::size_t fixed = container::kMagic.size() + 3;
+    if (frame.size() < fixed)
         return;
-    for (std::size_t pos = container::kMagic.size(); pos <= header;
+    for (std::size_t pos = container::kMagic.size(); pos <= fixed;
          ++pos)
         offsets.push_back(pos); // magic|version|codec|flags edges.
-    std::size_t pos = header;
+    std::size_t pos = containerHeaderEnd(frame, &offsets);
+    if (pos >= frame.size())
+        return;
+    offsets.push_back(pos); // header | blockCount edge.
     u64 block_count = 0;
     if (!probeVarint(frame, pos, block_count))
         return;
@@ -242,8 +276,8 @@ containerFrameOffsets(ByteSpan frame, std::vector<std::size_t> &offsets)
 std::size_t
 containerCrcPos(ByteSpan frame)
 {
-    std::size_t pos = container::kMagic.size() + 3;
-    if (frame.size() < pos)
+    std::size_t pos = containerHeaderEnd(frame, nullptr);
+    if (pos >= frame.size())
         return frame.size();
     u64 block_count = 0;
     if (!probeVarint(frame, pos, block_count) || !skipVarint(frame, pos))
@@ -263,8 +297,8 @@ std::vector<std::pair<std::size_t, std::size_t>>
 containerLengthRanges(ByteSpan frame)
 {
     std::vector<std::pair<std::size_t, std::size_t>> ranges;
-    std::size_t pos = container::kMagic.size() + 3;
-    if (frame.size() < pos)
+    std::size_t pos = containerHeaderEnd(frame, nullptr);
+    if (pos >= frame.size())
         return ranges;
     u64 block_count = 0;
     {
@@ -303,8 +337,16 @@ lengthFieldRanges(codec::CodecId id, FrameKind kind, ByteSpan frame)
         if (skipVarint(frame, pos) && pos > start)
             ranges.emplace_back(start, pos - start);
     };
-    switch (id) {
-      case codec::CodecId::snappy:
+    // A pipeline's buffer/stream frames are its terminal codec's wire
+    // format wrapping staged bytes, so length fields sit where the
+    // terminal grammar puts them. Codecs whose sessions share the
+    // buffer container (every pipeline) follow the buffer grammar
+    // even for stream frames.
+    if (kind == FrameKind::stream &&
+        codec::registry(id).caps.streamingSharesBufferFormat)
+        kind = FrameKind::buffer;
+    switch (codec::terminalBase(id)) {
+      case codec::BaseCodecId::snappy:
         if (kind == FrameKind::buffer) {
             varint_range(0); // Preamble uncompressed length.
         } else {
@@ -322,13 +364,13 @@ lengthFieldRanges(codec::CodecId id, FrameKind kind, ByteSpan frame)
             }
         }
         break;
-      case codec::CodecId::zstdlite:
+      case codec::BaseCodecId::zstdlite:
         varint_range(zstdlite::kMagic.size() + 1); // contentSize.
         break;
-      case codec::CodecId::flatelite:
+      case codec::BaseCodecId::flatelite:
         varint_range(flatelite::kMagic.size() + 1);
         break;
-      case codec::CodecId::gipfeli:
+      case codec::BaseCodecId::gipfeli:
         varint_range(gipfeli::kMagic.size());
         break;
     }
@@ -370,8 +412,15 @@ CorruptionInjector::structuralOffsets(codec::CodecId id, FrameKind kind,
             offsets.push_back(frame.size());
         return offsets;
     }
-    switch (id) {
-      case codec::CodecId::snappy:
+    // Pipelines wrap staged bytes in their terminal codec's wire
+    // format, so the terminal grammar is the one with boundaries;
+    // shared-format sessions emit buffer frames even under kind
+    // stream.
+    if (kind == FrameKind::stream &&
+        codec::registry(id).caps.streamingSharesBufferFormat)
+        kind = FrameKind::buffer;
+    switch (codec::terminalBase(id)) {
+      case codec::BaseCodecId::snappy:
         if (kind == FrameKind::buffer) {
             std::size_t pos = 0;
             if (skipVarint(frame, pos))
@@ -380,14 +429,14 @@ CorruptionInjector::structuralOffsets(codec::CodecId id, FrameKind kind,
             snappyStreamOffsets(frame, offsets);
         }
         break;
-      case codec::CodecId::zstdlite:
+      case codec::BaseCodecId::zstdlite:
         blockFrameOffsets(frame, zstdlite::kMagic.size(), true, offsets);
         break;
-      case codec::CodecId::flatelite:
+      case codec::BaseCodecId::flatelite:
         blockFrameOffsets(frame, flatelite::kMagic.size(), false,
                           offsets);
         break;
-      case codec::CodecId::gipfeli: {
+      case codec::BaseCodecId::gipfeli: {
         // magic | contentSize varint | per-call body (tables + stream).
         std::size_t pos = gipfeli::kMagic.size();
         if (frame.size() > pos) {
@@ -563,6 +612,52 @@ CorruptionInjector::mutate(ByteSpan frame, const MutationSpec &spec,
         if (offset >= out.size())
             offset = out.size() - 1;
         out[offset] ^= static_cast<u8>(1 + rng.below(7));
+        break;
+      }
+      case MutationClass::stageHeaderTamper: {
+        const codec::CodecCaps &caps = codec::registry(spec.codec).caps;
+        if (caps.isPipeline && kind != FrameKind::container) {
+            // Pipeline frames are the terminal codec's wire format
+            // wrapping stage-framed bytes. Unwrap the terminal layer,
+            // damage the leading stage header (tag byte or claimed
+            // raw-size varint), and re-wrap — the corruption then
+            // survives a clean terminal decode and must be caught by
+            // the stage inverter's own validation.
+            const codec::CodecVTable &terminal =
+                codec::registry(codec::toCodecId(caps.terminal));
+            Bytes staged;
+            if (terminal.decompressInto(frame, staged).ok() &&
+                !staged.empty()) {
+                std::size_t byte = rng.below(
+                    std::min<std::size_t>(staged.size(), 4));
+                switch (rng.below(3)) {
+                  case 0:
+                    staged[byte] = 0xff;
+                    break;
+                  case 1:
+                    staged[byte] = 0x00;
+                    break;
+                  default:
+                    staged[byte] ^=
+                        static_cast<u8>(1 + rng.below(255));
+                    break;
+                }
+                const codec::CodecParams params = terminal.caps.clamp(
+                    terminal.caps.defaultLevel,
+                    terminal.caps.defaultWindowLog);
+                Bytes rewrapped;
+                if (terminal.compressInto(staged, params, rewrapped)
+                        .ok()) {
+                    out = std::move(rewrapped);
+                    break;
+                }
+            }
+        }
+        // Base codecs (and container frames, whose stage headers live
+        // inside blocks): deterministic leading-byte tamper.
+        std::size_t byte =
+            rng.below(std::min<std::size_t>(out.size(), 8));
+        out[byte] ^= static_cast<u8>(1 + rng.below(255));
         break;
       }
       case MutationClass::splice: {

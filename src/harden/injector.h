@@ -39,9 +39,13 @@ enum class MutationClass : u8
     chunkTypeSwap, ///< Rewrite a chunk/block type discriminator.
     splice,        ///< Head of one frame + tail of another, cut at
                    ///< structural boundaries.
+    stageHeaderTamper, ///< Pipeline codecs: decode the terminal frame,
+                       ///< tamper the leading stage header (tag /
+                       ///< claimed raw size), re-encode. Base codecs:
+                       ///< deterministic leading-byte tamper.
 };
 
-inline constexpr std::size_t kNumMutationClasses = 6;
+inline constexpr std::size_t kNumMutationClasses = 7;
 
 /** All classes, in enum order (iteration in drivers and tests). */
 const std::vector<MutationClass> &allMutationClasses();

@@ -30,10 +30,15 @@ measureRatio(codec::CodecId codec, ByteSpan chunk, int level)
 
 ChunkLibrary::ChunkLibrary(const ChunkLibraryConfig &config, Rng &rng)
 {
-    for (corpus::DataClass cls : corpus::allDataClasses()) {
+    const std::vector<codec::CodecId> codecs = codec::allCodecs();
+    tables_.resize(codecs.size());
+    // Fleet classes only: the library models the fleet's library mix,
+    // and drawing from the fixed fleet set keeps seeded suites
+    // byte-stable as the codec registry grows.
+    for (corpus::DataClass cls : corpus::fleetDataClasses()) {
         Bytes buffer = corpus::generate(cls, config.perClassBytes, rng);
         for (auto &chunk : corpus::chunk(buffer, config.chunkBytes)) {
-            for (codec::CodecId codec : codec::allCodecs()) {
+            for (codec::CodecId codec : codecs) {
                 RatedChunk rated;
                 rated.ratio = measureRatio(codec, chunk.data,
                                            config.zstdLevel);

@@ -13,7 +13,7 @@
 #ifndef CDPU_HYPERBENCH_CHUNK_LIBRARY_H_
 #define CDPU_HYPERBENCH_CHUNK_LIBRARY_H_
 
-#include <array>
+#include <vector>
 
 #include "codec/codec.h"
 #include "common/rng.h"
@@ -64,7 +64,9 @@ class ChunkLibrary
     std::pair<double, double> ratioRange(codec::CodecId codec) const;
 
   private:
-    std::array<std::vector<RatedChunk>, codec::kNumCodecs> tables_;
+    /** One table per codec registered at construction time, indexed by
+     *  CodecId value. Codecs registered later are not rated. */
+    std::vector<std::vector<RatedChunk>> tables_;
 };
 
 } // namespace cdpu::hcb

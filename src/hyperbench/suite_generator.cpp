@@ -22,12 +22,15 @@ namespace
 {
 
 /** Whether @p codec borrows the fast byte-oriented (Snappy) fleet
- *  channel or the entropy-coded (ZStd) one. */
+ *  channel or the entropy-coded (ZStd) one. Pipelines ride the
+ *  channel of their terminal codec — the stage chain does not change
+ *  which fleet usage profile the call shows up under. */
 bool
 usesSnappyChannel(codec::CodecId codec)
 {
-    return codec == codec::CodecId::snappy ||
-           codec == codec::CodecId::gipfeli;
+    codec::BaseCodecId base = codec::terminalBase(codec);
+    return base == codec::BaseCodecId::snappy ||
+           base == codec::BaseCodecId::gipfeli;
 }
 
 } // namespace

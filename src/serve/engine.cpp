@@ -76,11 +76,10 @@ struct WorkerTelemetry
 {
     obs::Telemetry *hub = nullptr;
     obs::FlightRing *ring = nullptr;
-    const std::array<std::string, codec::kNumCodecs> *codecNames =
-        nullptr;
-    std::array<obs::Histogram *,
-               codec::kNumCodecs * 2 * obs::HistogramSnapshot::kBuckets>
-        dimCells{};
+    const std::vector<std::string> *codecNames = nullptr;
+    /** Sized on first use from the name table: the registry is
+     *  dynamic, so the cell count is a run property, not a constant. */
+    std::vector<obs::Histogram *> dimCells;
 
     bool dimensioned() const
     {
@@ -98,6 +97,9 @@ struct WorkerTelemetry
             call.direction == codec::Direction::compress ? 0 : 1;
         const unsigned size_class =
             obs::Histogram::bucketOf(call.payload.size());
+        if (dimCells.empty())
+            dimCells.resize(codecNames->size() * 2 *
+                            obs::HistogramSnapshot::kBuckets);
         const std::size_t index =
             (static_cast<std::size_t>(kind) * 2 + dir) *
                 obs::HistogramSnapshot::kBuckets +
@@ -142,12 +144,12 @@ struct WorkerTelemetry
 
 /** Stable codec-name table for span labels and dimension cells, built
  *  from the registry's enumeration (never a codec switch). */
-std::array<std::string, codec::kNumCodecs>
+std::vector<std::string>
 codecNameTable()
 {
-    std::array<std::string, codec::kNumCodecs> names;
+    std::vector<std::string> names;
     for (codec::CodecId id : codec::allCodecs())
-        names[static_cast<std::size_t>(id)] = codec::codecName(id);
+        names.push_back(codec::codecName(id));
     return names;
 }
 
@@ -180,9 +182,8 @@ ReplayEngine::run(const hcb::CallStream &stream)
     mem::KernelStats kernel_total;
 
     obs::Telemetry *tele = config_.telemetry;
-    const std::array<std::string, codec::kNumCodecs> codec_names =
-        tele ? codecNameTable()
-             : std::array<std::string, codec::kNumCodecs>{};
+    const std::vector<std::string> codec_names =
+        tele ? codecNameTable() : std::vector<std::string>{};
     const u64 spans_before = tele ? tele->spans().sampledCount() : 0;
 
     // Metrics sampling is clocked on executed calls, not wall time, so
@@ -349,9 +350,8 @@ replaySequential(const hcb::CallStream &stream, bool record_outputs,
     obs::CounterRegistry runtime_registry;
     CodecContext context;
 
-    const std::array<std::string, codec::kNumCodecs> codec_names =
-        telemetry ? codecNameTable()
-                  : std::array<std::string, codec::kNumCodecs>{};
+    const std::vector<std::string> codec_names =
+        telemetry ? codecNameTable() : std::vector<std::string>{};
     WorkerTelemetry wt;
     if (telemetry) {
         wt.hub = telemetry;

@@ -12,6 +12,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "codec/registry.h"
 #include "codec/session.h"
 #include "common/kernels.h"
@@ -38,7 +41,11 @@ defaultParams(const CodecVTable &vtable)
 
 TEST(CodecRegistryTest, EveryCodecIsRegisteredAndSelfConsistent)
 {
-    ASSERT_EQ(allCodecs().size(), kNumCodecs);
+    // The base codecs plus the curated pipelines registered at
+    // startup; codecFromName can append more later in the process.
+    ASSERT_GE(allCodecs().size(), kNumBaseCodecs + 3);
+    std::set<std::string> names;
+    std::size_t pipelines = 0;
     for (CodecId id : allCodecs()) {
         const CodecVTable &vtable = registry(id);
         EXPECT_EQ(vtable.caps.id, id);
@@ -47,12 +54,30 @@ TEST(CodecRegistryTest, EveryCodecIsRegisteredAndSelfConsistent)
         EXPECT_NE(vtable.maxCompressedSize, nullptr);
         EXPECT_NE(vtable.makeCompressSession, nullptr);
         EXPECT_NE(vtable.makeDecompressSession, nullptr);
-        EXPECT_STRNE(vtable.caps.name, "");
+        EXPECT_FALSE(vtable.caps.name.empty());
+        EXPECT_TRUE(names.insert(vtable.caps.name).second)
+            << "duplicate name " << vtable.caps.name;
+        if (vtable.caps.isPipeline) {
+            ++pipelines;
+            EXPECT_FALSE(vtable.caps.stages.empty());
+        }
         auto back = codecFromName(codecName(id));
         ASSERT_TRUE(back.ok()) << codecName(id);
         EXPECT_EQ(back.value(), id);
     }
+    EXPECT_GE(pipelines, 3u);
+    // The four base codecs keep their historical enum slots.
+    for (CodecId id : {CodecId::snappy, CodecId::zstdlite,
+                       CodecId::flatelite, CodecId::gipfeli}) {
+        EXPECT_FALSE(registry(id).caps.isPipeline);
+    }
     EXPECT_FALSE(codecFromName("no-such-codec").ok());
+    // The error message names every registered codec so CLI users can
+    // discover pipelines.
+    auto missing = codecFromName("no-such-codec");
+    EXPECT_NE(missing.status().toString().find("delta+snappy"),
+              std::string::npos)
+        << missing.status().toString();
 }
 
 TEST(CodecRegistryTest, ClampKeepsParametersInsideCaps)

@@ -16,6 +16,7 @@
 
 #include <fstream>
 
+#include "codec/registry.h"
 #include "container/container.h"
 #include "flatelite/decompress.h"
 #include "gipfeli/gipfeli.h"
@@ -70,6 +71,21 @@ TEST_P(GoldenVectorsTest, GipfeliDecodesCommittedFrame)
     auto out = gipfeli::decompress(readFile(base_ + ".gipfeli"));
     ASSERT_TRUE(out.ok()) << out.status().message();
     EXPECT_EQ(out.value(), raw_);
+}
+
+TEST_P(GoldenVectorsTest, RegistryDecodesCommittedFrame)
+{
+    // One committed frame per registered codec — including the curated
+    // preconditioner pipelines, whose stage wire format (DESIGN.md
+    // §15) is pinned here the same way the base formats are.
+    for (codec::CodecId id : codec::allCodecs()) {
+        SCOPED_TRACE(codec::codecName(id));
+        Bytes frame = readFile(base_ + "." + codec::codecName(id));
+        Bytes out;
+        Status status = codec::decompressInto(id, frame, out);
+        ASSERT_TRUE(status.ok()) << status.toString();
+        EXPECT_EQ(out, raw_);
+    }
 }
 
 TEST_P(GoldenVectorsTest, ContainerDecodesCommittedFrame)

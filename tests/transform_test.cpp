@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Transform-stage battery: the exact-inverse property every
+ * preconditioner stage must hold for a pipeline codec to be lossless,
+ * asserted over every corpus class and a size ladder spanning empty
+ * input to multi-block BWT. The stage header (tag + claimed raw size)
+ * is the only metadata a pipeline decoder trusts, so its validators
+ * get their own adversarial section: a tampered tag, a lying size, or
+ * a truncated body must surface as corruptData before any allocation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "corpus/generators.h"
+#include "transform/transform.h"
+
+namespace cdpu::transform
+{
+namespace
+{
+
+/** Empty, single byte, sub-header, page-ish, and past the 64 KiB BWT
+ *  block boundary into multi-block territory. */
+constexpr std::size_t kSizes[] = {0, 1, 7, 4096, 1 * kMiB};
+
+TEST(TransformStageTest, EveryStageEveryClassEverySizeRoundTrips)
+{
+    Rng rng(7001);
+    for (StageId stage : allStages()) {
+        for (corpus::DataClass cls : corpus::allDataClasses()) {
+            for (std::size_t size : kSizes) {
+                SCOPED_TRACE(testing::Message()
+                             << stageName(stage) << " "
+                             << corpus::dataClassName(cls) << " "
+                             << size);
+                Bytes data = corpus::generate(cls, size, rng);
+                Bytes encoded;
+                ASSERT_TRUE(apply(stage, data, encoded).ok());
+                EXPECT_LE(encoded.size(),
+                          maxEncodedSize(stage, data.size()));
+                const StageExpansion bound = stageExpansion(stage);
+                EXPECT_LE(encoded.size(),
+                          data.size() * bound.num / bound.den +
+                              bound.slop);
+                Bytes decoded;
+                ASSERT_TRUE(invert(stage, encoded, decoded).ok());
+                EXPECT_EQ(decoded, data);
+            }
+        }
+    }
+}
+
+TEST(TransformStageTest, StageNamesRoundTripAndStayStable)
+{
+    EXPECT_EQ(allStages().size(), kNumStages);
+    for (StageId stage : allStages()) {
+        auto back = stageFromName(stageName(stage));
+        ASSERT_TRUE(back.ok()) << stageName(stage);
+        EXPECT_EQ(back.value(), stage);
+    }
+    EXPECT_EQ(stageName(StageId::delta), "delta");
+    EXPECT_EQ(stageName(StageId::bwt), "bwt");
+    EXPECT_FALSE(stageFromName("no-such-stage").ok());
+}
+
+TEST(TransformStageTest, OutputBuffersAreReplacedNotAppended)
+{
+    Rng rng(7002);
+    Bytes data = corpus::generate(corpus::DataClass::textLike, 512, rng);
+    for (StageId stage : allStages()) {
+        SCOPED_TRACE(stageName(stage));
+        Bytes encoded{0xde, 0xad};
+        ASSERT_TRUE(apply(stage, data, encoded).ok());
+        Bytes decoded{0xbe, 0xef};
+        ASSERT_TRUE(invert(stage, encoded, decoded).ok());
+        EXPECT_EQ(decoded, data);
+    }
+}
+
+// --- BWT block framing ------------------------------------------------
+
+/** Exact block boundary, one under, one over, and several blocks: the
+ *  primary-index bookkeeping must hold per block, not just globally. */
+TEST(TransformBwtTest, BlockBoundarySizesRoundTrip)
+{
+    Rng rng(7003);
+    for (std::size_t size :
+         {kBwtBlockBytes - 1, kBwtBlockBytes, kBwtBlockBytes + 1,
+          3 * kBwtBlockBytes + 17}) {
+        SCOPED_TRACE(size);
+        Bytes data = corpus::generate(corpus::DataClass::textLike, size,
+                                      rng);
+        Bytes encoded;
+        ASSERT_TRUE(apply(StageId::bwt, data, encoded).ok());
+        Bytes decoded;
+        ASSERT_TRUE(invert(StageId::bwt, encoded, decoded).ok());
+        EXPECT_EQ(decoded, data);
+    }
+}
+
+TEST(TransformBwtTest, PeriodicAndConstantInputsRoundTrip)
+{
+    // Rotation sorting must stay a total order under ties: constant
+    // and short-period inputs make every rotation compare equal for
+    // long prefixes.
+    for (std::size_t size : {std::size_t{2}, std::size_t{255},
+                             kBwtBlockBytes, kBwtBlockBytes + 3}) {
+        SCOPED_TRACE(size);
+        Bytes constant(size, u8{0x41});
+        Bytes encoded;
+        ASSERT_TRUE(apply(StageId::bwt, constant, encoded).ok());
+        Bytes decoded;
+        ASSERT_TRUE(invert(StageId::bwt, encoded, decoded).ok());
+        EXPECT_EQ(decoded, constant);
+
+        Bytes periodic(size);
+        for (std::size_t i = 0; i < size; ++i)
+            periodic[i] = static_cast<u8>(i % 3);
+        ASSERT_TRUE(apply(StageId::bwt, periodic, encoded).ok());
+        ASSERT_TRUE(invert(StageId::bwt, encoded, decoded).ok());
+        EXPECT_EQ(decoded, periodic);
+    }
+}
+
+TEST(TransformBwtTest, EmptyInputIsAHeaderOnlyFrame)
+{
+    Bytes encoded;
+    ASSERT_TRUE(apply(StageId::bwt, {}, encoded).ok());
+    ASSERT_GE(encoded.size(), 2u); // tag + varint 0, no blocks.
+    Bytes decoded{1, 2, 3};
+    ASSERT_TRUE(invert(StageId::bwt, encoded, decoded).ok());
+    EXPECT_TRUE(decoded.empty());
+}
+
+TEST(TransformBwtTest, OutOfRangePrimaryIndexIsCorrupt)
+{
+    Bytes data(100, u8{0x2a});
+    Bytes encoded;
+    ASSERT_TRUE(apply(StageId::bwt, data, encoded).ok());
+    // Frame: tag, varint rawSize(100)=1 byte, varint blockLen(100),
+    // varint primary. Saturate the primary varint's low byte upward
+    // until it exceeds blockLen.
+    Bytes tampered = encoded;
+    tampered[3] = 0x7f; // primary = 127 > blockLen = 100.
+    Bytes decoded;
+    EXPECT_EQ(invert(StageId::bwt, tampered, decoded).code(),
+              StatusCode::corruptData);
+}
+
+// --- Stage header validation ------------------------------------------
+
+TEST(TransformHeaderTest, MismatchedTagIsCorrupt)
+{
+    Rng rng(7004);
+    Bytes data = corpus::generate(corpus::DataClass::logLike, 256, rng);
+    for (StageId stage : allStages()) {
+        SCOPED_TRACE(stageName(stage));
+        Bytes encoded;
+        ASSERT_TRUE(apply(stage, data, encoded).ok());
+
+        // Inverting with a different stage must reject the tag.
+        for (StageId other : allStages()) {
+            if (other == stage)
+                continue;
+            Bytes decoded;
+            EXPECT_EQ(invert(other, encoded, decoded).code(),
+                      StatusCode::corruptData);
+        }
+
+        // Clobbering the tag byte entirely must reject too.
+        Bytes tampered = encoded;
+        tampered[0] = 0xff;
+        Bytes decoded;
+        EXPECT_EQ(invert(stage, tampered, decoded).code(),
+                  StatusCode::corruptData);
+    }
+}
+
+TEST(TransformHeaderTest, LyingRawSizeIsCorruptNotAnAllocation)
+{
+    Rng rng(7005);
+    Bytes data = corpus::generate(corpus::DataClass::textLike, 1024,
+                                  rng);
+    for (StageId stage : allStages()) {
+        SCOPED_TRACE(stageName(stage));
+        Bytes encoded;
+        ASSERT_TRUE(apply(stage, data, encoded).ok());
+        // Replace the varint raw size with a 5-byte huge claim. The
+        // inverter must reject it against the body's analytic bound
+        // instead of reserving gigabytes.
+        Bytes tampered;
+        tampered.push_back(encoded[0]);
+        for (u8 b : {0xff, 0xff, 0xff, 0xff, 0x0f})
+            tampered.push_back(b);
+        std::size_t varint_end = 1;
+        while (varint_end < encoded.size() &&
+               (encoded[varint_end] & 0x80))
+            ++varint_end;
+        ++varint_end;
+        tampered.insert(tampered.end(), encoded.begin() + varint_end,
+                        encoded.end());
+        Bytes decoded;
+        EXPECT_EQ(invert(stage, tampered, decoded).code(),
+                  StatusCode::corruptData);
+    }
+}
+
+TEST(TransformHeaderTest, TruncationIsCorrupt)
+{
+    Rng rng(7006);
+    Bytes data = corpus::generate(corpus::DataClass::repetitive, 2048,
+                                  rng);
+    for (StageId stage : allStages()) {
+        SCOPED_TRACE(stageName(stage));
+        Bytes encoded;
+        ASSERT_TRUE(apply(stage, data, encoded).ok());
+        for (std::size_t cut :
+             {std::size_t{0}, std::size_t{1}, encoded.size() / 2,
+              encoded.size() - 1}) {
+            Bytes decoded;
+            EXPECT_EQ(invert(stage,
+                             ByteSpan(encoded.data(), cut),
+                             decoded)
+                          .code(),
+                      StatusCode::corruptData)
+                << "cut " << cut;
+        }
+    }
+}
+
+// --- Stage stats ------------------------------------------------------
+
+TEST(TransformStatsTest, ApplyAndInvertAttributeBytes)
+{
+    Rng rng(7007);
+    Bytes data = corpus::generate(corpus::DataClass::timeSeries,
+                                  32 * kKiB, rng);
+    const StageStats before = stageStats();
+    Bytes encoded;
+    ASSERT_TRUE(apply(StageId::delta, data, encoded).ok());
+    Bytes decoded;
+    ASSERT_TRUE(invert(StageId::delta, encoded, decoded).ok());
+    const StageStats delta = stageStats().diff(before);
+    const auto idx = static_cast<std::size_t>(StageId::delta);
+    EXPECT_EQ(delta.applyBytes[idx], data.size());
+    EXPECT_EQ(delta.invertBytes[idx], data.size());
+    EXPECT_GT(delta.applyNs[idx], 0u);
+    EXPECT_GT(delta.invertNs[idx], 0u);
+    // Untouched stages stay untouched.
+    const auto rle = static_cast<std::size_t>(StageId::rle);
+    EXPECT_EQ(delta.applyBytes[rle], 0u);
+}
+
+} // namespace
+} // namespace cdpu::transform
