@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Daemon serving latency/throughput vs worker count, over the wire.
+ *
+ * Where bench_serve replays in-process, this bench measures the full
+ * serving path the paper's Section 3 daemons run: wire-protocol
+ * framing, admission control, the sharded queue, and per-worker codec
+ * contexts — by starting a real cdpud Daemon on a unix-domain socket
+ * and driving a mixed-codec plan through client connections at each
+ * worker count. Every response is byte-compared against a local
+ * registry execution of the same call, so the timing rows are backed
+ * by a zero-mismatch differential gate.
+ *
+ * Latency rows are the daemon's own serve.latency_ns histogram
+ * (admission to response write): p50/p99/p999 per sweep point, with
+ * the --slo scorecard evaluated against the final point.
+ *
+ * Honesty: host_cpus and core_bound are recorded, and the speedup
+ * headline follows container::speedupHeadline — on a <=1-cpu host the
+ * record carries NO speedup_best claim (time-slicing is not scaling).
+ *
+ * Flags: --calls N --min BYTES --max BYTES --seed S --workers MAX
+ * --connections C --admission block|drop|deadline --worker-delay-ns N
+ * --slo SPECS --json PATH --merge-into PATH (attach the daemon rows
+ * under metrics.daemon of an existing BENCH_serve.json record).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/kernels.h"
+#include "container/container.h"
+#include "serve/client.h"
+#include "serve/codec_context.h"
+#include "serve/daemon.h"
+#include "serve/stream_builder.h"
+
+namespace cdpu
+{
+namespace
+{
+
+struct Row
+{
+    unsigned workers = 0;
+    double seconds = 0.0;
+    double mbPerSec = 0.0;
+    double p50Us = 0.0;
+    double p99Us = 0.0;
+    double p999Us = 0.0;
+};
+
+struct PlannedCall
+{
+    serve::WireRequest request;
+    Bytes expected;
+};
+
+int
+run(int argc, char **argv)
+{
+    bench::banner("Daemon serving: wire-protocol latency vs workers",
+                  "Section 3 (compression as a service)");
+
+    CliArgs args;
+    serve::StreamConfig stream_config;
+    stream_config.calls = 96;
+    unsigned max_workers = 4;
+    std::size_t connections = 3;
+    std::string admission_name = "block";
+    u64 worker_delay_ns = 0;
+    std::string slo_specs =
+        "any:compress:p99:0:250ms,any:decompress:p99:0:250ms";
+    std::string merge_into;
+    if (args.parse(argc, argv,
+                   {"calls", "min", "max", "seed", "workers",
+                    "connections", "admission", "worker-delay-ns",
+                    "slo", "json", "merge-into", "kernel-tier"})) {
+        stream_config.calls =
+            static_cast<std::size_t>(args.getInt("calls", 96));
+        stream_config.minCallBytes =
+            static_cast<std::size_t>(args.getInt("min", 1 * kKiB));
+        stream_config.maxCallBytes = static_cast<std::size_t>(
+            args.getInt("max", static_cast<i64>(32 * kKiB)));
+        stream_config.seed =
+            static_cast<u64>(args.getInt("seed", 2023));
+        max_workers =
+            static_cast<unsigned>(args.getInt("workers", 4));
+        connections = std::max<std::size_t>(
+            1,
+            static_cast<std::size_t>(args.getInt("connections", 3)));
+        admission_name = args.getString("admission", "block");
+        worker_delay_ns =
+            static_cast<u64>(args.getInt("worker-delay-ns", 0));
+        slo_specs = args.getString("slo", slo_specs);
+        merge_into = args.getString("merge-into", "");
+        std::string tier_name = args.getString("kernel-tier", "");
+        if (!tier_name.empty()) {
+            Status tier_status =
+                kernels::applyTierOverride(tier_name);
+            if (!tier_status.ok()) {
+                std::fprintf(stderr, "--kernel-tier %s: %s\n",
+                             tier_name.c_str(),
+                             tier_status.message().c_str());
+                return 1;
+            }
+        }
+    }
+    max_workers = std::max(1u, max_workers);
+    // Wire requests carry whole buffers; sessions stay in-process.
+    stream_config.streamingFraction = 0.0;
+
+    auto admission =
+        serve::admissionPolicyFromName(admission_name);
+    if (!admission.ok()) {
+        std::fprintf(stderr, "%s\n",
+                     admission.status().message().c_str());
+        return 1;
+    }
+
+    obs::SloTracker slo;
+    Status declared = slo.declareSpecs(slo_specs);
+    if (!declared.ok()) {
+        std::fprintf(stderr, "--slo: %s\n",
+                     declared.message().c_str());
+        return 1;
+    }
+
+    auto stream = serve::buildMixedStream(stream_config);
+    if (!stream.ok()) {
+        std::fprintf(stderr, "stream build failed: %s\n",
+                     stream.status().message().c_str());
+        return 1;
+    }
+
+    // Plan: one wire request per stream call, expected bytes from a
+    // local registry execution of the identical call.
+    serve::CodecContext reference;
+    std::vector<PlannedCall> plan;
+    plan.reserve(stream.value().size());
+    u64 payload_bytes = 0;
+    for (const hcb::ReplayCall &call : stream.value().calls()) {
+        PlannedCall planned;
+        planned.request.requestId = call.id + 1;
+        planned.request.tenantId = call.id % 4;
+        planned.request.codecSpec = codec::codecName(call.codec);
+        planned.request.direction = call.direction;
+        planned.request.level = call.level;
+        planned.request.windowLog = call.windowLog;
+        planned.request.payload.assign(call.payload.begin(),
+                                       call.payload.end());
+        payload_bytes += call.payload.size();
+        ByteSpan expected;
+        Status executed = reference.execute(call, expected);
+        if (!executed.ok()) {
+            std::fprintf(stderr,
+                         "reference call %llu failed: %s\n",
+                         static_cast<unsigned long long>(call.id),
+                         executed.message().c_str());
+            return 1;
+        }
+        planned.expected.assign(expected.begin(), expected.end());
+        plan.push_back(std::move(planned));
+    }
+
+    const std::string wall_clock_start = bench::wallClockUtc();
+    const unsigned host_cpus = std::thread::hardware_concurrency();
+
+    bench::BenchReport report("serve_daemon", argc, argv);
+    report.config("calls", u64{plan.size()});
+    report.config("payload_bytes", payload_bytes);
+    report.config("seed", u64{stream_config.seed});
+    report.config("host_cpus", u64{host_cpus});
+    report.config("core_bound", max_workers > host_cpus);
+    report.config("wall_clock_start", wall_clock_start);
+    report.config("admission",
+                  std::string(serve::admissionPolicyName(
+                      admission.value())));
+    report.config("connections", u64{connections});
+    report.config("transport", std::string("unix"));
+    report.config("kernel_tier",
+                  std::string(kernels::tierName(
+                      kernels::activeTier())));
+
+    std::printf("\ncalls: %zu   payload: %.1f MiB   host cpus: %u\n\n",
+                plan.size(),
+                static_cast<double>(payload_bytes) /
+                    static_cast<double>(kMiB),
+                host_cpus);
+    std::printf("%8s %10s %12s %10s %10s %10s\n", "workers", "sec",
+                "MB/s", "p50(us)", "p99(us)", "p99.9(us)");
+
+    std::vector<Row> rows;
+    obs::JsonValue sweep = obs::JsonValue::array();
+    obs::JsonValue slo_json;
+    u64 total_mismatches = 0;
+
+    std::vector<unsigned> worker_counts;
+    for (unsigned w = 1; w <= max_workers; w *= 2)
+        worker_counts.push_back(w);
+    if (worker_counts.back() != max_workers)
+        worker_counts.push_back(max_workers);
+
+    for (unsigned workers : worker_counts) {
+        std::ostringstream socket_path;
+        socket_path << "/tmp/cdpud-bench-" << ::getpid() << "-"
+                    << workers << ".sock";
+        serve::DaemonConfig config;
+        config.unixPath = socket_path.str();
+        config.workers = workers;
+        config.admission = admission.value();
+        config.workerDelayNs = worker_delay_ns;
+        serve::Daemon daemon(config);
+        Status started = daemon.start();
+        if (!started.ok()) {
+            std::fprintf(stderr, "daemon start: %s\n",
+                         started.message().c_str());
+            return 1;
+        }
+
+        std::vector<serve::DaemonClient> clients;
+        for (std::size_t c = 0; c < connections; ++c) {
+            auto client = serve::DaemonClient::connectToUnix(
+                config.unixPath);
+            if (!client.ok()) {
+                std::fprintf(stderr, "connect: %s\n",
+                             client.status().message().c_str());
+                return 1;
+            }
+            clients.push_back(std::move(client.value()));
+        }
+
+        std::vector<u64> mismatches(connections, 0);
+        std::vector<std::thread> drivers;
+        const auto start = std::chrono::steady_clock::now();
+        for (std::size_t c = 0; c < connections; ++c) {
+            drivers.emplace_back([&, c] {
+                for (std::size_t i = c; i < plan.size();
+                     i += connections) {
+                    auto response =
+                        clients[c].call(plan[i].request);
+                    if (!response.ok() ||
+                        response.value().code !=
+                            serve::WireCode::ok ||
+                        response.value().payload !=
+                            plan[i].expected) {
+                        ++mismatches[c];
+                    }
+                }
+            });
+        }
+        for (auto &driver : drivers)
+            driver.join();
+        const double seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+
+        obs::CounterSnapshot live = daemon.counters();
+        serve::DaemonReport drained = daemon.drain();
+        ::unlink(config.unixPath.c_str());
+
+        u64 point_mismatches = 0;
+        for (u64 m : mismatches)
+            point_mismatches += m;
+        total_mismatches += point_mismatches;
+        if (drained.executed != plan.size() ||
+            point_mismatches != 0) {
+            std::fprintf(stderr,
+                         "differential gate failed at %u workers: "
+                         "%llu executed, %llu mismatches\n",
+                         workers,
+                         static_cast<unsigned long long>(
+                             drained.executed),
+                         static_cast<unsigned long long>(
+                             point_mismatches));
+            return 1;
+        }
+
+        const obs::HistogramSnapshot &latency =
+            live.histogramAt("serve.latency_ns");
+        Row row;
+        row.workers = workers;
+        row.seconds = seconds;
+        row.mbPerSec = (static_cast<double>(payload_bytes) /
+                        static_cast<double>(kMiB)) /
+                       seconds;
+        row.p50Us = latency.percentile(0.50) / 1e3;
+        row.p99Us = latency.percentile(0.99) / 1e3;
+        row.p999Us = latency.percentile(0.999) / 1e3;
+        rows.push_back(row);
+        std::printf("%8u %10.3f %12.1f %10.0f %10.0f %10.0f\n",
+                    workers, seconds, row.mbPerSec, row.p50Us,
+                    row.p99Us, row.p999Us);
+
+        obs::JsonValue point = obs::JsonValue::object();
+        point.set("workers", u64{workers});
+        point.set("seconds", seconds);
+        point.set("mb_per_sec", row.mbPerSec);
+        point.set("latency_p50_us", row.p50Us);
+        point.set("latency_p99_us", row.p99Us);
+        point.set("latency_p999_us", row.p999Us);
+        point.set("core_bound", workers > host_cpus);
+        point.set("mismatches", point_mismatches);
+        sweep.push(std::move(point));
+
+        if (workers == worker_counts.back()) {
+            obs::CounterSnapshot merged = drained.runtime;
+            merged.merge(drained.work);
+            slo_json = slo.toJson(merged).at("slo");
+        }
+    }
+
+    double base = rows.front().mbPerSec;
+    double best = 0.0;
+    for (const Row &row : rows)
+        best = std::max(best, row.mbPerSec);
+
+    obs::JsonValue headline = obs::JsonValue::object();
+    container::speedupHeadline(headline, host_cpus, base, best);
+
+    report.metric("sweep", std::move(sweep));
+    report.metric("mb_per_sec_1w", headline.at("mb_per_sec_1w"));
+    report.metric("mb_per_sec_best",
+                  headline.at("mb_per_sec_best"));
+    report.metric("core_bound", headline.at("core_bound"));
+    if (headline.has("speedup_best")) {
+        report.metric("speedup_best", headline.at("speedup_best"));
+        std::printf("\nbest speedup over 1 worker: %.2fx\n",
+                    best / base);
+    } else {
+        std::printf("\nhost has %u cpu(s): core_bound record, no "
+                    "speedup headline\n",
+                    host_cpus);
+    }
+    report.metric("mismatches", total_mismatches);
+    report.metric("slo", slo_json);
+    report.metric("wall_clock_end", bench::wallClockUtc());
+    Status written = report.write();
+    if (!written.ok()) {
+        std::fprintf(stderr, "%s\n", written.message().c_str());
+        return 1;
+    }
+
+    // --merge-into: attach the daemon rows to an existing
+    // BENCH_serve.json record under metrics.daemon, preserving the
+    // replay content around it.
+    if (!merge_into.empty()) {
+        std::ifstream in(merge_into, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "--merge-into: cannot read %s\n",
+                         merge_into.c_str());
+            return 1;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        auto record = obs::JsonValue::parse(text.str());
+        if (!record.ok()) {
+            std::fprintf(stderr, "--merge-into: %s\n",
+                         record.status().message().c_str());
+            return 1;
+        }
+        obs::JsonValue daemon_doc = obs::JsonValue::object();
+        obs::JsonValue daemon_sweep = obs::JsonValue::array();
+        for (const Row &row : rows) {
+            obs::JsonValue point = obs::JsonValue::object();
+            point.set("workers", u64{row.workers});
+            point.set("mb_per_sec", row.mbPerSec);
+            point.set("latency_p50_us", row.p50Us);
+            point.set("latency_p99_us", row.p99Us);
+            point.set("latency_p999_us", row.p999Us);
+            daemon_sweep.push(std::move(point));
+        }
+        daemon_doc.set("sweep", std::move(daemon_sweep));
+        daemon_doc.set("host_cpus", u64{host_cpus});
+        daemon_doc.set("core_bound", headline.at("core_bound"));
+        daemon_doc.set("mb_per_sec_1w",
+                       headline.at("mb_per_sec_1w"));
+        daemon_doc.set("mb_per_sec_best",
+                       headline.at("mb_per_sec_best"));
+        if (headline.has("speedup_best"))
+            daemon_doc.set("speedup_best",
+                           headline.at("speedup_best"));
+        daemon_doc.set("admission",
+                       std::string(serve::admissionPolicyName(
+                           admission.value())));
+        daemon_doc.set("mismatches", total_mismatches);
+        daemon_doc.set("slo", slo_json);
+        daemon_doc.set("wall_clock", bench::wallClockUtc());
+        obs::JsonValue metrics = record.value().at("metrics");
+        metrics.set("daemon", std::move(daemon_doc));
+        record.value().set("metrics", std::move(metrics));
+        std::ofstream out(merge_into, std::ios::binary);
+        out << record.value().dump(1) << '\n';
+        std::printf("[telemetry] merged daemon rows into %s\n",
+                    merge_into.c_str());
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace cdpu
+
+int
+main(int argc, char **argv)
+{
+    return cdpu::run(argc, argv);
+}

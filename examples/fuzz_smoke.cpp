@@ -23,6 +23,7 @@
 #include "common/cli.h"
 #include "common/kernels.h"
 #include "harden/fuzz_driver.h"
+#include "harden/wire_grammar.h"
 
 using namespace cdpu;
 
@@ -92,6 +93,28 @@ main(int argc, char **argv)
     // container (index-driven allocation under the same tripwire), or
     // both. Compress batteries are grammar-independent and run once.
     std::string grammar = args.getString("grammar", "buffer");
+    // --grammar wire runs the daemon wire-request battery instead:
+    // it is codec-independent (the codec spec is part of the frame),
+    // so it bypasses the per-codec loop entirely.
+    if (grammar == "wire") {
+        harden::WireFuzzConfig config;
+        config.iterations = iterations;
+        config.seedBase = seed_base;
+        config.maxPayloadBytes = max_payload;
+        harden::WireFuzzReport report = harden::runWireFuzz(config);
+        std::printf("%s\n", report.summary(config).c_str());
+        for (const harden::WireFuzzFailure &failure : report.failures)
+            std::printf("  FAIL class=%s seed=%llu: %s\n",
+                        harden::mutationClassName(failure.cls).c_str(),
+                        static_cast<unsigned long long>(failure.seed),
+                        failure.what.c_str());
+        if (!report.ok()) {
+            std::printf("fuzz smoke: contract violations found\n");
+            return 1;
+        }
+        std::printf("fuzz smoke: clean\n");
+        return 0;
+    }
     std::vector<harden::FrameKind> grammars;
     if (grammar == "buffer") {
         grammars = {harden::FrameKind::buffer};
@@ -102,7 +125,7 @@ main(int argc, char **argv)
                     harden::FrameKind::container};
     } else {
         std::fprintf(stderr,
-                     "--grammar %s: want buffer|container|all\n",
+                     "--grammar %s: want buffer|container|all|wire\n",
                      grammar.c_str());
         return 1;
     }

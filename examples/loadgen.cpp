@@ -1,0 +1,369 @@
+/**
+ * @file
+ * loadgen: open-loop wire-protocol client for cdpud.
+ *
+ *   ./build/examples/cdpud --socket /tmp/cdpud.sock &
+ *   ./build/examples/loadgen --socket /tmp/cdpud.sock --calls 500
+ *
+ * Drives the fleet-model call mix (src/fleet: channel cycle shares,
+ * call sizes, ZStd levels/windows) through the daemon's wire protocol
+ * and differentially verifies every response: before sending, each
+ * call's expected bytes are computed with a local CodecContext — the
+ * same registry execution path the daemon's workers run — so a single
+ * payload byte out of place counts as a mismatch. The paper's fleet
+ * codecs without an in-repo implementation ride their
+ * nearest-capability stand-ins (brotli->zstdlite, lzo->snappy), the
+ * same mapping HyperCompressBench uses.
+ *
+ * Open loop: call i has an absolute send time start + i/rate; senders
+ * sleep until the schedule says go, never waiting for responses (a
+ * slow server builds backlog instead of slowing the generator).
+ * Receivers match responses by request id (the daemon may answer out
+ * of order) and record client-side round-trip latency.
+ *
+ * Flags:
+ *   --socket PATH     unix-domain daemon socket (default /tmp/cdpud.sock)
+ *   --host H --tcp-port N   TCP instead of unix
+ *   --calls N         total calls (default 200)
+ *   --connections C   parallel connections (default 2)
+ *   --rate R          calls/second across all connections; 0 = send
+ *                     as fast as possible (default 400)
+ *   --cap BYTES       call-size cap fed to the fleet sampler
+ *   --tenants T       spread calls over tenant ids 0..T-1 (default 1)
+ *   --deadline-ms D   per-request deadline (0 = none)
+ *   --seed S          sampling seed
+ *   --json PATH       write metrics (mismatches, errors, RTT
+ *                     percentiles) for CI to assert against
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "codec/registry.h"
+#include "common/cli.h"
+#include "corpus/generators.h"
+#include "fleet/fleet_model.h"
+#include "obs/counters.h"
+#include "serve/client.h"
+#include "serve/codec_context.h"
+
+using namespace cdpu;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Registry stand-in for each fleet codec (see file comment). */
+const char *
+registryNameFor(fleet::FleetCodec algorithm)
+{
+    switch (algorithm) {
+      case fleet::FleetCodec::snappy: return "snappy";
+      case fleet::FleetCodec::zstd: return "zstdlite";
+      case fleet::FleetCodec::flate: return "flatelite";
+      case fleet::FleetCodec::brotli: return "zstdlite";
+      case fleet::FleetCodec::gipfeli: return "gipfeli";
+      case fleet::FleetCodec::lzo: return "snappy";
+    }
+    return "snappy";
+}
+
+struct PlannedCall
+{
+    serve::WireRequest request;
+    Bytes expected;
+};
+
+struct ConnectionStats
+{
+    obs::Histogram rttNs;
+    u64 responses = 0;
+    u64 mismatches = 0;
+    u64 errors = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs args;
+    if (!args.parse(argc, argv,
+                    {"socket", "host", "tcp-port", "calls",
+                     "connections", "rate", "cap", "tenants",
+                     "deadline-ms", "seed", "json"})) {
+        return 1;
+    }
+    const std::string socket_path =
+        args.getString("socket", "/tmp/cdpud.sock");
+    const std::string host = args.getString("host", "127.0.0.1");
+    const i64 tcp_port = args.getInt("tcp-port", -1);
+    const auto total_calls =
+        static_cast<std::size_t>(args.getInt("calls", 200));
+    const auto connections =
+        std::max<std::size_t>(
+            1, static_cast<std::size_t>(args.getInt("connections", 2)));
+    const double rate = static_cast<double>(args.getInt("rate", 400));
+    const auto cap =
+        static_cast<std::size_t>(args.getInt("cap", 64 * kKiB));
+    const auto tenants = std::max<u64>(
+        1, static_cast<u64>(args.getInt("tenants", 1)));
+    const u64 deadline_ns =
+        static_cast<u64>(args.getInt("deadline-ms", 0)) * 1000000ull;
+    const auto seed = static_cast<u64>(args.getInt("seed", 2023));
+
+    // Plan every call up front: fleet-mix sampling plus the local
+    // reference execution that later convicts the daemon of any byte
+    // mismatch. Reference and daemon share the registry clamp path.
+    fleet::FleetModel model;
+    Rng rng(seed);
+    auto classes = corpus::allDataClasses();
+    serve::CodecContext reference;
+    std::vector<PlannedCall> plan;
+    plan.reserve(total_calls);
+    for (std::size_t i = 0; i < total_calls; ++i) {
+        fleet::Channel channel = model.sampleChannel(rng);
+        auto codec_id = codec::codecFromName(
+            registryNameFor(channel.algorithm));
+        if (!codec_id.ok()) {
+            std::fprintf(stderr, "loadgen: %s\n",
+                         codec_id.status().message().c_str());
+            return 1;
+        }
+        const bool is_zstd =
+            channel.algorithm == fleet::FleetCodec::zstd ||
+            channel.algorithm == fleet::FleetCodec::brotli;
+
+        PlannedCall call;
+        call.request.requestId = i + 1;
+        call.request.tenantId = i % tenants;
+        call.request.codecSpec = registryNameFor(channel.algorithm);
+        call.request.direction =
+            channel.direction == fleet::Direction::compress
+                ? codec::Direction::compress
+                : codec::Direction::decompress;
+        call.request.level =
+            is_zstd ? model.sampleZstdLevel(rng)
+                    : static_cast<i32>(rng.range(1, 9));
+        call.request.windowLog =
+            static_cast<u32>(rng.range(10, 20));
+        call.request.deadlineNs = deadline_ns;
+
+        std::size_t size = model.sampleCallSize(
+            channel, rng, cap ? cap : std::size_t{64 * kKiB});
+        Bytes body = corpus::generate(
+            classes[i % classes.size()], std::max<std::size_t>(1, size),
+            rng);
+        if (call.request.direction == codec::Direction::decompress) {
+            const codec::CodecParams params =
+                codec::registry(codec_id.value())
+                    .caps.clamp(call.request.level,
+                                call.request.windowLog);
+            Bytes frame;
+            Status framed = codec::compressInto(
+                codec_id.value(), ByteSpan(body.data(), body.size()),
+                params, frame);
+            if (!framed.ok()) {
+                std::fprintf(stderr, "loadgen: framing failed: %s\n",
+                             framed.message().c_str());
+                return 1;
+            }
+            call.request.payload = std::move(frame);
+        } else {
+            call.request.payload = std::move(body);
+        }
+
+        hcb::ReplayCall ref;
+        ref.id = call.request.requestId;
+        ref.codec = codec_id.value();
+        ref.direction = call.request.direction;
+        ref.payload = ByteSpan(call.request.payload.data(),
+                               call.request.payload.size());
+        ref.level = call.request.level;
+        ref.windowLog = call.request.windowLog;
+        ByteSpan expected;
+        Status executed = reference.execute(ref, expected);
+        if (!executed.ok()) {
+            std::fprintf(stderr,
+                         "loadgen: reference call %zu failed: %s\n", i,
+                         executed.message().c_str());
+            return 1;
+        }
+        call.expected.assign(expected.begin(), expected.end());
+        plan.push_back(std::move(call));
+    }
+
+    // Connect, then fan the plan round-robin over the connections.
+    std::vector<serve::DaemonClient> clients;
+    for (std::size_t c = 0; c < connections; ++c) {
+        auto client =
+            tcp_port >= 0
+                ? serve::DaemonClient::connectToTcp(
+                      host, static_cast<u16>(tcp_port))
+                : serve::DaemonClient::connectToUnix(socket_path);
+        if (!client.ok()) {
+            std::fprintf(stderr, "loadgen: connect: %s\n",
+                         client.status().message().c_str());
+            return 1;
+        }
+        clients.push_back(std::move(client.value()));
+    }
+
+    std::vector<std::vector<const PlannedCall *>> per_conn(connections);
+    for (std::size_t i = 0; i < plan.size(); ++i)
+        per_conn[i % connections].push_back(&plan[i]);
+
+    std::vector<ConnectionStats> stats(connections);
+    std::vector<std::thread> senders, receivers;
+    const auto start = Clock::now();
+
+    for (std::size_t c = 0; c < connections; ++c) {
+        // Shared send-time map: sender stamps, receiver consumes.
+        auto sent_at = std::make_shared<
+            std::pair<std::mutex, std::map<u64, Clock::time_point>>>();
+
+        receivers.emplace_back([&, c, sent_at] {
+            serve::DaemonClient &client = clients[c];
+            ConnectionStats &s = stats[c];
+            for (std::size_t i = 0; i < per_conn[c].size(); ++i) {
+                auto response = client.receive();
+                if (!response.ok()) {
+                    std::fprintf(stderr,
+                                 "loadgen: receive: %s\n",
+                                 response.status().message().c_str());
+                    s.errors += per_conn[c].size() - i;
+                    return;
+                }
+                const auto now = Clock::now();
+                ++s.responses;
+                Clock::time_point sent;
+                {
+                    std::lock_guard<std::mutex> lock(sent_at->first);
+                    auto it = sent_at->second.find(
+                        response.value().requestId);
+                    if (it != sent_at->second.end()) {
+                        sent = it->second;
+                        sent_at->second.erase(it);
+                    }
+                }
+                if (sent != Clock::time_point{})
+                    s.rttNs.record(static_cast<u64>(
+                        std::chrono::duration_cast<
+                            std::chrono::nanoseconds>(now - sent)
+                            .count()));
+                if (response.value().code != serve::WireCode::ok) {
+                    ++s.errors;
+                    continue;
+                }
+                const PlannedCall *expected = nullptr;
+                for (const PlannedCall *p : per_conn[c])
+                    if (p->request.requestId ==
+                        response.value().requestId) {
+                        expected = p;
+                        break;
+                    }
+                if (!expected ||
+                    response.value().payload != expected->expected)
+                    ++s.mismatches;
+            }
+        });
+
+        senders.emplace_back([&, c, sent_at] {
+            serve::DaemonClient &client = clients[c];
+            for (std::size_t i = 0; i < per_conn[c].size(); ++i) {
+                const PlannedCall *call = per_conn[c][i];
+                if (rate > 0.0) {
+                    // Open loop: global call index sets the absolute
+                    // send time, independent of responses.
+                    const std::size_t global =
+                        i * connections + c;
+                    const auto due =
+                        start + std::chrono::nanoseconds(
+                                    static_cast<u64>(
+                                        1e9 * static_cast<double>(
+                                                  global) /
+                                        rate));
+                    std::this_thread::sleep_until(due);
+                }
+                {
+                    std::lock_guard<std::mutex> lock(sent_at->first);
+                    sent_at->second[call->request.requestId] =
+                        Clock::now();
+                }
+                Status sent = client.send(call->request);
+                if (!sent.ok()) {
+                    std::fprintf(stderr, "loadgen: send: %s\n",
+                                 sent.message().c_str());
+                    return;
+                }
+            }
+        });
+    }
+    for (auto &thread : senders)
+        thread.join();
+    for (auto &thread : receivers)
+        thread.join();
+    const double wall_seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    obs::HistogramSnapshot rtt;
+    u64 responses = 0, mismatches = 0, errors = 0;
+    for (const ConnectionStats &s : stats) {
+        rtt.merge(s.rttNs.snapshot());
+        responses += s.responses;
+        mismatches += s.mismatches;
+        errors += s.errors;
+    }
+
+    const double p50_us = rtt.percentile(0.50) / 1e3;
+    const double p99_us = rtt.percentile(0.99) / 1e3;
+    const double p999_us = rtt.percentile(0.999) / 1e3;
+    std::printf("loadgen: %zu calls, %llu responses, %llu errors, "
+                "%llu mismatches in %.2fs (%.0f calls/s)\n",
+                plan.size(),
+                static_cast<unsigned long long>(responses),
+                static_cast<unsigned long long>(errors),
+                static_cast<unsigned long long>(mismatches),
+                wall_seconds,
+                static_cast<double>(responses) / wall_seconds);
+    std::printf("  rtt p50 %.0fus  p99 %.0fus  p99.9 %.0fus\n", p50_us,
+                p99_us, p999_us);
+
+    const std::string json_path = args.getString("json", "");
+    if (!json_path.empty()) {
+        obs::JsonValue doc = obs::JsonValue::object();
+        doc.set("bench", std::string("loadgen"));
+        obs::JsonValue config = obs::JsonValue::object();
+        config.set("calls", u64{plan.size()});
+        config.set("connections", u64{connections});
+        config.set("rate", rate);
+        config.set("tenants", tenants);
+        config.set("seed", seed);
+        doc.set("config", std::move(config));
+        obs::JsonValue metrics = obs::JsonValue::object();
+        metrics.set("responses", responses);
+        metrics.set("errors", errors);
+        metrics.set("mismatches", mismatches);
+        metrics.set("rtt_p50_us", p50_us);
+        metrics.set("rtt_p99_us", p99_us);
+        metrics.set("rtt_p999_us", p999_us);
+        metrics.set("wall_seconds", wall_seconds);
+        doc.set("metrics", std::move(metrics));
+        std::ofstream out(json_path, std::ios::binary);
+        out << doc.dump(1) << '\n';
+    }
+
+    // Nonzero exit on any divergence: CI treats loadgen as the wire
+    // differential gate, not just a traffic source.
+    return (mismatches == 0 && errors == 0 &&
+            responses == plan.size())
+               ? 0
+               : 1;
+}

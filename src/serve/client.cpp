@@ -1,0 +1,56 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+
+namespace cdpu::serve
+{
+
+Result<DaemonClient>
+DaemonClient::connectToUnix(const std::string &path)
+{
+    auto fd = connectUnix(path);
+    CDPU_RETURN_IF_ERROR(fd.status());
+    return DaemonClient(std::move(fd.value()));
+}
+
+Result<DaemonClient>
+DaemonClient::connectToTcp(const std::string &host, u16 port)
+{
+    auto fd = connectTcp(host, port);
+    CDPU_RETURN_IF_ERROR(fd.status());
+    return DaemonClient(std::move(fd.value()));
+}
+
+Status
+DaemonClient::send(const WireRequest &request)
+{
+    return writeRequestFrame(fd_.get(), request);
+}
+
+Result<WireResponse>
+DaemonClient::receive()
+{
+    WireResponse response;
+    FrameReadOutcome outcome;
+    CDPU_RETURN_IF_ERROR(
+        readResponseFrame(fd_.get(), limits_, response, outcome));
+    if (outcome.wasEof)
+        return Status::io("server closed the connection");
+    return response;
+}
+
+Result<WireResponse>
+DaemonClient::call(const WireRequest &request)
+{
+    CDPU_RETURN_IF_ERROR(send(request));
+    return receive();
+}
+
+void
+DaemonClient::finishSending()
+{
+    if (fd_.valid())
+        ::shutdown(fd_.get(), SHUT_WR);
+}
+
+} // namespace cdpu::serve

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Client side of the cdpud wire protocol.
+ *
+ * DaemonClient owns one connection and speaks whole frames. Two usage
+ * shapes:
+ *  - call(): synchronous request/response, one in flight — the shape
+ *    tests and simple tools want.
+ *  - send()/receive(): decoupled halves for pipelined clients (the
+ *    loadgen's open-loop driver sends from one thread and drains
+ *    responses from another; the daemon may answer out of order, so
+ *    pipelined callers match on WireResponse::requestId).
+ *
+ * All socket traffic rides the EINTR-safe loops in serve/net.h; a
+ * server that vanishes mid-frame surfaces as corruptData, a clean
+ * close between frames as ioError("server closed the connection").
+ */
+
+#ifndef CDPU_SERVE_CLIENT_H_
+#define CDPU_SERVE_CLIENT_H_
+
+#include "serve/net.h"
+
+namespace cdpu::serve
+{
+
+class DaemonClient
+{
+  public:
+    /** Disconnected shell (Result<T> needs it); use the factories. */
+    DaemonClient() = default;
+
+    static Result<DaemonClient> connectToUnix(const std::string &path);
+    static Result<DaemonClient> connectToTcp(const std::string &host,
+                                             u16 port);
+
+    DaemonClient(DaemonClient &&) = default;
+    DaemonClient &operator=(DaemonClient &&) = default;
+
+    /** Writes one request frame (send half of a pipelined client). */
+    Status send(const WireRequest &request);
+
+    /** Reads one response frame; a clean server close is ioError. */
+    Result<WireResponse> receive();
+
+    /** send() + receive(): synchronous, one request in flight. */
+    Result<WireResponse> call(const WireRequest &request);
+
+    /** Shuts down the write side so the server sees EOF after the
+     *  in-flight requests (pipelined clients signal "no more"). */
+    void finishSending();
+
+    int fd() const { return fd_.get(); }
+
+    WireLimits &limits() { return limits_; }
+
+  private:
+    explicit DaemonClient(Fd fd) : fd_(std::move(fd)) {}
+
+    Fd fd_;
+    WireLimits limits_;
+};
+
+} // namespace cdpu::serve
+
+#endif // CDPU_SERVE_CLIENT_H_

@@ -1,0 +1,701 @@
+#include "serve/daemon.h"
+
+#include <cerrno>
+#include <chrono>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "codec/obs_bridge.h"
+#include "codec/registry.h"
+#include "obs/slo.h"
+#include "serve/codec_context.h"
+
+namespace cdpu::serve
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Poll interval for the deadline admission policy's bounded wait. */
+constexpr auto kAdmitPollInterval = std::chrono::microseconds(100);
+
+std::string
+tenantCounterName(const char *family, u64 tenant)
+{
+    return std::string(family) + ".t" + std::to_string(tenant);
+}
+
+/**
+ * Nudges the accept loop's poll via the self-pipe. Plain write(), not
+ * writeFull(): the self-pipe is a pipe, and send() on a non-socket
+ * fails with ENOTSOCK. The pipe is nonblocking; a full pipe (EAGAIN)
+ * means a wake is already pending, which is all a nudge needs.
+ */
+void
+wakeAcceptLoop(int wake_fd)
+{
+    if (wake_fd < 0)
+        return;
+    const u8 byte = 1;
+    ssize_t wrote;
+    do {
+        wrote = ::write(wake_fd, &byte, 1);
+    } while (wrote < 0 && errno == EINTR);
+}
+
+} // namespace
+
+const char *
+admissionPolicyName(AdmissionPolicy policy)
+{
+    switch (policy) {
+      case AdmissionPolicy::block: return "block";
+      case AdmissionPolicy::drop: return "drop";
+      case AdmissionPolicy::deadline: return "deadline";
+    }
+    return "unknown";
+}
+
+Result<AdmissionPolicy>
+admissionPolicyFromName(const std::string &name)
+{
+    if (name == "block")
+        return AdmissionPolicy::block;
+    if (name == "drop")
+        return AdmissionPolicy::drop;
+    if (name == "deadline")
+        return AdmissionPolicy::deadline;
+    return Status::invalid("unknown admission policy \"" + name +
+                           "\" (block, drop, deadline)");
+}
+
+/** One live client connection. Shared by the reader thread and any
+ *  worker holding a job from it; the write mutex serializes response
+ *  frames from concurrent workers. */
+struct Daemon::Connection
+{
+    u64 id = 0;
+    Fd fd;
+    std::mutex writeMutex;
+    std::atomic<bool> dead{false};
+    std::atomic<bool> readerDone{false};
+    std::thread reader;
+
+    /** Writes one frame; after the first failure the connection is
+     *  dead and further responses are dropped silently (the peer is
+     *  gone — there is nobody to tell). */
+    void
+    send(const WireResponse &response)
+    {
+        if (dead.load(std::memory_order_relaxed))
+            return;
+        std::lock_guard<std::mutex> lock(writeMutex);
+        if (dead.load(std::memory_order_relaxed))
+            return;
+        if (!writeResponseFrame(fd.get(), response).ok())
+            dead.store(true, std::memory_order_relaxed);
+    }
+};
+
+/** One admitted request travelling reader -> queue -> worker. Owns its
+ *  payload; dropping the job (queue rejection, daemon teardown) frees
+ *  the buffer with it — rejected calls must not leak. */
+struct Daemon::Job
+{
+    std::shared_ptr<Connection> conn;
+    u64 requestId = 0;
+    u64 tenantId = 0;
+    codec::CodecId codec = codec::CodecId::snappy;
+    codec::Direction direction = codec::Direction::compress;
+    i32 level = 0;
+    u32 windowLog = 0;
+    Bytes payload;
+    bool hasDeadline = false;
+    Clock::time_point deadline{};
+    Clock::time_point admitted{};
+};
+
+Daemon::Daemon(const DaemonConfig &config) : config_(config)
+{
+    if (config_.workers == 0)
+        config_.workers = 1;
+    if (config_.shards == 0)
+        config_.shards = config_.workers;
+    if (config_.shardCapacity == 0)
+        config_.shardCapacity = 1;
+}
+
+Daemon::~Daemon()
+{
+    if (started_.load())
+        drain();
+}
+
+Status
+Daemon::start()
+{
+    if (started_.load())
+        return Status::invalid("daemon already started");
+    if (config_.unixPath.empty() && !config_.tcpEnabled)
+        return Status::invalid("daemon needs a unix path or TCP");
+
+    // The underlying queue blocks producers only under the block
+    // admission policy; drop and deadline need an immediate answer
+    // from push() so the reject path can respond to the client.
+    queue_ = std::make_unique<ShardedWorkQueue<Job>>(
+        config_.shards, config_.shardCapacity,
+        config_.admission == AdmissionPolicy::block
+            ? BackpressurePolicy::block
+            : BackpressurePolicy::drop);
+    work_ = std::make_unique<obs::ShardedCounterRegistry>(
+        config_.workers);
+    // One extra runtime shard: index `workers` belongs to the
+    // reader/admission threads (withShard serializes them on it).
+    runtime_ = std::make_unique<obs::ShardedCounterRegistry>(
+        config_.workers + 1);
+
+    if (!config_.unixPath.empty()) {
+        auto fd = listenUnix(config_.unixPath);
+        CDPU_RETURN_IF_ERROR(fd.status());
+        unixListener_ = std::move(fd.value());
+    }
+    if (config_.tcpEnabled) {
+        auto fd = listenTcp(config_.tcpPort, boundTcpPort_);
+        CDPU_RETURN_IF_ERROR(fd.status());
+        tcpListener_ = std::move(fd.value());
+    }
+
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0)
+        return Status::io("self-pipe creation failed");
+    wakeRead_ = Fd(pipe_fds[0]);
+    wakeWrite_ = Fd(pipe_fds[1]);
+    // Nonblocking on both ends: wakes are nudges, not data. A full
+    // pipe must never block an exiting reader, and the accept loop
+    // drains whatever accumulated without risking a blocking read.
+    for (int fd : pipe_fds) {
+        const int flags = ::fcntl(fd, F_GETFL, 0);
+        if (flags < 0 ||
+            ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+            return Status::io("self-pipe O_NONBLOCK failed");
+    }
+
+    workerThreads_.reserve(config_.workers);
+    for (unsigned w = 0; w < config_.workers; ++w)
+        workerThreads_.emplace_back([this, w] { workerLoop(w); });
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+
+    started_.store(true);
+    return Status::okStatus();
+}
+
+void
+Daemon::acceptLoop()
+{
+    const unsigned admission_shard = config_.workers;
+    for (;;) {
+        // Reap readers that finished organically (client went away) so
+        // a long-lived daemon does not accumulate joinable threads.
+        {
+            std::lock_guard<std::mutex> lock(connMutex_);
+            for (auto it = connections_.begin();
+                 it != connections_.end();) {
+                if ((*it)->readerDone.load() &&
+                    (*it)->reader.joinable()) {
+                    (*it)->reader.join();
+                    it = connections_.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+
+        pollfd fds[3];
+        nfds_t count = 0;
+        fds[count++] = {wakeRead_.get(), POLLIN, 0};
+        int unix_index = -1, tcp_index = -1;
+        if (unixListener_.valid()) {
+            unix_index = static_cast<int>(count);
+            fds[count++] = {unixListener_.get(), POLLIN, 0};
+        }
+        if (tcpListener_.valid()) {
+            tcp_index = static_cast<int>(count);
+            fds[count++] = {tcpListener_.get(), POLLIN, 0};
+        }
+        int ready = ::poll(fds, count, -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if ((fds[0].revents & (POLLIN | POLLHUP)) != 0) {
+            // A self-pipe nudge: drain() shutting us down, or a reader
+            // that exited and wants its connection reaped (closing the
+            // fd the peer is still watching). Consume the pending
+            // nudges, then let the loop's reap pass run.
+            u8 drained_bytes[64];
+            while (::read(fds[0].fd, drained_bytes,
+                          sizeof drained_bytes) > 0) {
+            }
+            if (draining_.load())
+                break;
+            continue;
+        }
+
+        for (int index : {unix_index, tcp_index}) {
+            if (index < 0 ||
+                (fds[index].revents & POLLIN) == 0)
+                continue;
+            auto accepted = acceptConnection(fds[index].fd);
+            if (!accepted.ok())
+                continue;
+            auto conn = std::make_shared<Connection>();
+            conn->fd = std::move(accepted.value());
+            runtime_->withShard(admission_shard, [](auto &registry) {
+                registry.counter("serve.daemon.connections")
+                    .increment();
+            });
+            std::lock_guard<std::mutex> lock(connMutex_);
+            conn->id = nextConnId_++;
+            connections_.push_back(conn);
+            conn->reader = std::thread(
+                [this, conn] { connectionLoop(conn); });
+        }
+    }
+}
+
+void
+Daemon::sendError(const std::shared_ptr<Connection> &conn,
+                  u64 request_id, WireCode code, std::string message)
+{
+    WireResponse response;
+    response.requestId = request_id;
+    response.code = code;
+    if (message.size() > config_.limits.maxMessageBytes)
+        message.resize(config_.limits.maxMessageBytes);
+    response.message = std::move(message);
+    conn->send(response);
+}
+
+void
+Daemon::connectionLoop(std::shared_ptr<Connection> conn)
+{
+    const unsigned admission_shard = config_.workers;
+    for (;;) {
+        WireRequest request;
+        FrameReadOutcome outcome;
+        Status status = readRequestFrame(conn->fd.get(),
+                                         config_.limits, request,
+                                         outcome);
+        if (!status.ok()) {
+            // Grammar violation or mid-frame truncation: the byte
+            // stream cannot be resynchronized, so answer (best
+            // effort — the request id may not have survived parsing)
+            // and hang up.
+            runtime_->withShard(admission_shard, [](auto &registry) {
+                registry.counter("serve.daemon.malformed").increment();
+            });
+            sendError(conn, 0, WireCode::malformedRequest,
+                      status.message());
+            break;
+        }
+        if (outcome.wasEof)
+            break; // Clean close between frames.
+        runtime_->withShard(admission_shard, [](auto &registry) {
+            registry.counter("serve.daemon.requests").increment();
+        });
+        admit(conn, std::move(request));
+    }
+    conn->readerDone.store(true);
+    // Wake the accept loop so the dead connection is reaped promptly:
+    // without the nudge a poll with no listener traffic would hold the
+    // fd open indefinitely and the peer would never see the hang-up.
+    wakeAcceptLoop(wakeWrite_.get());
+}
+
+void
+Daemon::admit(const std::shared_ptr<Connection> &conn,
+              WireRequest &&request)
+{
+    const unsigned admission_shard = config_.workers;
+    auto countAdmission = [&](const char *name, bool per_tenant) {
+        const u64 tenant = request.tenantId;
+        runtime_->withShard(
+            admission_shard, [&](auto &registry) {
+                registry.counter(name).increment();
+                if (per_tenant)
+                    registry
+                        .counter(tenantCounterName(name, tenant))
+                        .increment();
+            });
+    };
+
+    if (draining_.load()) {
+        countAdmission("serve.daemon.shutdown_rejects", false);
+        sendError(conn, request.requestId, WireCode::shuttingDown,
+                  "daemon is draining");
+        return;
+    }
+
+    // Resolve the codec spec through the registry. codecFromName
+    // returns its errors as Status, but a hostile spec reaching a
+    // deeper layer must still not unwind this thread — a serving
+    // daemon converts *every* failure into a wire response.
+    Result<codec::CodecId> codec_id =
+        Status::internal("codec resolution did not run");
+    try {
+        codec_id = codec::codecFromName(request.codecSpec);
+    } catch (const std::exception &e) {
+        codec_id = Status::internal(std::string("codecFromName threw: ") +
+                                    e.what());
+    } catch (...) {
+        codec_id = Status::internal("codecFromName threw");
+    }
+    if (!codec_id.ok()) {
+        countAdmission("serve.daemon.unknown_codec", false);
+        sendError(conn, request.requestId, WireCode::unknownCodec,
+                  codec_id.status().message());
+        return;
+    }
+
+    // Tenant quota check-and-bill under one lock so concurrent
+    // connections of one tenant cannot double-spend the budget.
+    const char *quota_reject = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(quotaMutex_);
+        auto quota = config_.quotas.find(request.tenantId);
+        if (quota != config_.quotas.end()) {
+            TenantUsage &used = usage_[request.tenantId];
+            if (quota->second.maxCalls != 0 &&
+                used.calls + 1 > quota->second.maxCalls) {
+                quota_reject = "tenant call quota exhausted";
+            } else if (quota->second.maxBytes != 0 &&
+                       used.bytes + request.payload.size() >
+                           quota->second.maxBytes) {
+                quota_reject = "tenant byte quota exhausted";
+            } else {
+                used.calls += 1;
+                used.bytes += request.payload.size();
+            }
+        }
+    }
+    if (quota_reject) {
+        countAdmission("serve.daemon.quota_rejects", true);
+        sendError(conn, request.requestId, WireCode::quotaExceeded,
+                  quota_reject);
+        return;
+    }
+
+    Job job;
+    job.conn = conn;
+    job.requestId = request.requestId;
+    job.tenantId = request.tenantId;
+    job.codec = codec_id.value();
+    job.direction = request.direction;
+    job.level = request.level;
+    job.windowLog = request.windowLog;
+    job.payload = std::move(request.payload);
+    job.admitted = Clock::now();
+    if (request.deadlineNs != 0) {
+        job.hasDeadline = true;
+        job.deadline = job.admitted +
+                       std::chrono::nanoseconds(request.deadlineNs);
+    }
+
+    const unsigned home = static_cast<unsigned>(conn->id);
+    const u64 request_id = job.requestId;
+
+    switch (config_.admission) {
+      case AdmissionPolicy::block:
+        // Lossless: a full shard backpressures this reader (and so
+        // the client socket). push() fails only when the queue closed
+        // under us mid-drain.
+        if (!queue_->push(home, std::move(job))) {
+            countAdmission("serve.daemon.shutdown_rejects", false);
+            sendError(conn, request_id, WireCode::shuttingDown,
+                      "daemon is draining");
+        }
+        return;
+      case AdmissionPolicy::drop:
+        if (!queue_->push(home, std::move(job))) {
+            // The Job (and its payload buffer) died with the failed
+            // push; all that remains is to attribute the shed load to
+            // the tenant it belonged to and answer.
+            countAdmission("serve.daemon.drops", true);
+            sendError(conn, request_id, WireCode::overloaded,
+                      "queue full (drop policy)");
+        }
+        return;
+      case AdmissionPolicy::deadline: {
+        // Wait only as long as the request itself is willing to wait.
+        // tryPush leaves the job intact on failure, so the retry loop
+        // never re-pushes a moved-from item.
+        for (;;) {
+            if (queue_->tryPush(home, job))
+                return;
+            if (draining_.load()) {
+                countAdmission("serve.daemon.shutdown_rejects", false);
+                sendError(conn, request_id, WireCode::shuttingDown,
+                          "daemon is draining");
+                return;
+            }
+            if (job.hasDeadline && Clock::now() >= job.deadline) {
+                countAdmission("serve.daemon.deadline_rejects", true);
+                sendError(conn, request_id,
+                          WireCode::deadlineExceeded,
+                          "deadline expired before admission");
+                return;
+            }
+            std::this_thread::sleep_for(kAdmitPollInterval);
+        }
+      }
+    }
+}
+
+void
+Daemon::workerLoop(unsigned worker)
+{
+    CodecContext context;
+    obs::Telemetry *tele = config_.telemetry;
+
+    // Dimensioned latency cells, pointer-cached per worker as in the
+    // replay engine — but sized lazily against the *live* registry
+    // count: a wire request naming a new pipeline spec grows the codec
+    // registry mid-run, and a fixed-at-start table would index out of
+    // bounds on the first call of the freshly admitted codec.
+    std::vector<obs::Histogram *> dim_cells;
+
+    Job job;
+    while (queue_->pop(worker, job)) {
+        const std::string codec_name = codec::codecName(job.codec);
+        const bool compressing =
+            job.direction == codec::Direction::compress;
+
+        if (job.hasDeadline && Clock::now() >= job.deadline) {
+            runtime_->withShard(worker, [&](auto &registry) {
+                registry.counter("serve.daemon.deadline_expired")
+                    .increment();
+                registry
+                    .counter(tenantCounterName(
+                        "serve.daemon.deadline_expired", job.tenantId))
+                    .increment();
+            });
+            sendError(job.conn, job.requestId,
+                      WireCode::deadlineExceeded,
+                      "deadline expired in queue");
+            job = Job(); // Release payload + connection promptly.
+            continue;
+        }
+
+        if (config_.workerDelayNs != 0)
+            std::this_thread::sleep_for(
+                std::chrono::nanoseconds(config_.workerDelayNs));
+
+        hcb::ReplayCall call;
+        call.id = job.requestId;
+        call.codec = job.codec;
+        call.direction = job.direction;
+        call.payload = ByteSpan(job.payload.data(),
+                                job.payload.size());
+        call.level = job.level;
+        call.windowLog = job.windowLog;
+
+        const auto started = Clock::now();
+        ByteSpan output;
+        Status status = Status::okStatus();
+        // A codec failure must be a wire response, never an unwound
+        // worker thread — catch-all as the last line of defence even
+        // though registry codecs report through Status.
+        try {
+            status = context.execute(call, output);
+        } catch (const std::exception &e) {
+            status = Status::internal(std::string("codec threw: ") +
+                                      e.what());
+        } catch (...) {
+            status = Status::internal("codec threw a non-exception");
+        }
+        const u64 service_ns = static_cast<u64>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - started)
+                .count());
+
+        // Work accounting: same names as the replay engine, so the
+        // SLO tracker, obsctl, and the benches read either source.
+        work_->withShard(worker, [&](auto &registry) {
+            registry.counter("serve.calls").increment();
+            registry.counter("serve.calls." + codec_name).increment();
+            registry
+                .counter(compressing ? "serve.calls.compress"
+                                     : "serve.calls.decompress")
+                .increment();
+            registry.counter("serve.bytes.in").add(job.payload.size());
+            registry.histogram("serve.call_bytes_in")
+                .record(job.payload.size());
+            registry
+                .counter(tenantCounterName("serve.tenant.calls",
+                                           job.tenantId))
+                .increment();
+            registry
+                .counter(tenantCounterName("serve.tenant.bytes_in",
+                                           job.tenantId))
+                .add(job.payload.size());
+            if (status.ok()) {
+                registry.counter("serve.bytes.out").add(output.size());
+                registry.histogram("serve.call_bytes_out")
+                    .record(output.size());
+            } else {
+                registry.counter("serve.failures").increment();
+            }
+        });
+
+        // End-to-end latency (admission to response write) into the
+        // aggregate and dimensioned histograms.
+        const u64 latency_ns = static_cast<u64>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - job.admitted)
+                .count());
+        runtime_->withShard(worker, [&](auto &registry) {
+            registry.histogram("serve.latency_ns").record(latency_ns);
+            const unsigned dir = compressing ? 0 : 1;
+            const unsigned size_class =
+                obs::Histogram::bucketOf(job.payload.size());
+            const std::size_t index =
+                (static_cast<std::size_t>(job.codec) * 2 + dir) *
+                    obs::HistogramSnapshot::kBuckets +
+                size_class;
+            if (index >= dim_cells.size())
+                dim_cells.resize(codec::registeredCodecCount() * 2 *
+                                 obs::HistogramSnapshot::kBuckets);
+            obs::Histogram *&cell = dim_cells[index];
+            if (!cell)
+                cell = &registry.histogram(
+                    obs::dimensionedLatencyName(
+                        codec_name,
+                        compressing ? "compress" : "decompress",
+                        size_class));
+            cell->record(latency_ns);
+            registry.counter("serve.daemon.responses").increment();
+        });
+
+        if (tele) {
+            if (tele->flightEnabled()) {
+                obs::FlightEvent event;
+                event.id = job.requestId;
+                event.timestampNs = obs::SpanRecorder::nowNs();
+                event.kind = codec::flightKind(job.codec);
+                event.direction = codec::flightDirection(job.direction);
+                event.outcome = codec::flightOutcome(status);
+                event.bytesIn = job.payload.size();
+                event.bytesOut = output.size();
+                tele->flight().ring(worker).record(event);
+            }
+            if (!status.ok())
+                tele->noteFault(
+                    "daemon call " + std::to_string(job.requestId) +
+                        " (" + codec_name + " " +
+                        codec::directionName(job.direction) +
+                        "): " + status.message(),
+                    obs::SpanRecorder::nowNs());
+        }
+
+        WireResponse response;
+        response.requestId = job.requestId;
+        response.code = wireCodeFor(status);
+        response.serviceNs = service_ns;
+        if (status.ok()) {
+            response.payload.assign(output.begin(), output.end());
+        } else {
+            response.message = status.message();
+            if (response.message.size() >
+                config_.limits.maxMessageBytes)
+                response.message.resize(config_.limits.maxMessageBytes);
+        }
+        job.conn->send(response);
+        job = Job();
+    }
+}
+
+obs::CounterSnapshot
+Daemon::counters() const
+{
+    obs::CounterSnapshot merged;
+    if (work_)
+        merged = work_->mergedSnapshot();
+    if (runtime_)
+        merged.merge(runtime_->mergedSnapshot());
+    return merged;
+}
+
+DaemonReport
+Daemon::drain()
+{
+    std::lock_guard<std::mutex> drain_lock(drainMutex_);
+    if (drained_)
+        return finalReport_;
+    drained_ = true;
+    if (!started_.load())
+        return finalReport_;
+
+    draining_.store(true);
+
+    // Wake and retire the accept loop; no new connections after this.
+    wakeAcceptLoop(wakeWrite_.get());
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    unixListener_.reset();
+    tcpListener_.reset();
+    if (!config_.unixPath.empty())
+        ::unlink(config_.unixPath.c_str());
+
+    // Shut the read side of every live connection: readers finish the
+    // frame-admission they are in, then see EOF and exit. In-flight
+    // (admitted) requests stay queued and will be answered.
+    std::vector<std::shared_ptr<Connection>> conns;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        conns = connections_;
+    }
+    for (auto &conn : conns)
+        ::shutdown(conn->fd.get(), SHUT_RD);
+    for (auto &conn : conns)
+        if (conn->reader.joinable())
+            conn->reader.join();
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        connections_.clear();
+    }
+
+    // Close the queue only after every producer (reader) is gone:
+    // pop() then returns false exactly when the queue is drained, so
+    // every admitted job executes before the workers exit.
+    if (queue_)
+        queue_->close();
+    for (auto &worker : workerThreads_)
+        if (worker.joinable())
+            worker.join();
+    workerThreads_.clear();
+
+    if (work_)
+        finalReport_.work = work_->mergedSnapshot();
+    if (runtime_)
+        finalReport_.runtime = runtime_->mergedSnapshot();
+    const obs::CounterSnapshot &run = finalReport_.runtime;
+    const obs::CounterSnapshot &work = finalReport_.work;
+    finalReport_.connections = run.at("serve.daemon.connections");
+    finalReport_.requests = run.at("serve.daemon.requests");
+    finalReport_.executed = work.at("serve.calls");
+    finalReport_.failed = work.at("serve.failures");
+    finalReport_.dropped = run.at("serve.daemon.drops");
+    finalReport_.quotaRejected = run.at("serve.daemon.quota_rejects");
+    finalReport_.deadlineRejected =
+        run.at("serve.daemon.deadline_rejects") +
+        run.at("serve.daemon.deadline_expired");
+    finalReport_.malformed = run.at("serve.daemon.malformed");
+    return finalReport_;
+}
+
+} // namespace cdpu::serve

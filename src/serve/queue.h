@@ -106,6 +106,32 @@ template <typename T> class ShardedWorkQueue
     }
 
     /**
+     * Non-blocking push: enqueues on shard (@p home % shards) when it
+     * has room, moving from @p item only on success. A full shard or a
+     * closed queue returns false with @p item intact — the caller
+     * keeps ownership, so a bounded-wait producer (the daemon's
+     * deadline admission policy) can retry the same item until its
+     * deadline expires instead of losing it to a consumed-by-value
+     * push().
+     */
+    bool tryPush(unsigned home, T &item)
+    {
+        Shard &shard = *shards_[home % shards_.size()];
+        {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            if (shard.items.size() >= capacity_ || isClosed())
+                return false;
+            shard.items.push_back(std::move(item));
+        }
+        {
+            std::lock_guard<std::mutex> lock(signalMutex_);
+            ++pending_;
+        }
+        workAvailable_.notify_one();
+        return true;
+    }
+
+    /**
      * Dequeues into @p item, preferring shard (@p home % shards) and
      * scanning the others when it is dry. Blocks while the queue is
      * open but empty. Returns false only when closed and fully

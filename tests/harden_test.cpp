@@ -19,6 +19,7 @@
 #include "corpus/generators.h"
 #include "harden/fuzz_driver.h"
 #include "harden/injector.h"
+#include "harden/wire_grammar.h"
 
 namespace cdpu::harden
 {
@@ -326,6 +327,82 @@ TEST(FuzzDriverTest, FlightRingRecordsEveryIteration)
     // One flight event per iteration, clean run or not.
     EXPECT_EQ(telemetry.flight().ring(0).recorded(),
               config.iterations);
+}
+
+// --- Wire-request grammar (the daemon's first parser) -----------------
+
+TEST(WireGrammarTest, MutationsAreDeterministicInClassAndSeed)
+{
+    serve::WireRequest request;
+    request.requestId = 77;
+    request.codecSpec = "delta+rle+snappy";
+    request.payload = Bytes(512, 0xa5);
+    const Bytes frame = serve::encodeRequest(request);
+    serve::WireRequest donor_request;
+    donor_request.requestId = 78;
+    donor_request.codecSpec = "zstdlite";
+    const Bytes donor = serve::encodeRequest(donor_request);
+
+    std::size_t distinct_across_seeds = 0;
+    for (MutationClass cls : allMutationClasses()) {
+        SCOPED_TRACE(mutationClassName(cls));
+        Bytes first = mutateWireRequest(frame, cls, 42, donor);
+        Bytes second = mutateWireRequest(frame, cls, 42, donor);
+        EXPECT_EQ(first, second);
+        if (mutateWireRequest(frame, cls, 43, donor) != first)
+            ++distinct_across_seeds;
+    }
+    EXPECT_GT(distinct_across_seeds, 0u);
+}
+
+TEST(WireGrammarTest, StructuralOffsetsAreSortedUniqueAndBounded)
+{
+    serve::WireRequest request;
+    request.codecSpec = "snappy";
+    request.payload = Bytes(96, 0x3c);
+    const Bytes frame = serve::encodeRequest(request);
+
+    const std::vector<std::size_t> offsets =
+        wireStructuralOffsets(frame);
+    ASSERT_FALSE(offsets.empty());
+    EXPECT_TRUE(std::is_sorted(offsets.begin(), offsets.end()));
+    EXPECT_EQ(std::adjacent_find(offsets.begin(), offsets.end()),
+              offsets.end());
+    EXPECT_LE(offsets.back(), frame.size());
+    // The header field edges and the header/spec edge must be present.
+    EXPECT_NE(std::find(offsets.begin(), offsets.end(),
+                        serve::kRequestHeaderBytes),
+              offsets.end());
+}
+
+TEST(WireGrammarTest, FuzzBatteryIsCleanAtCiScale)
+{
+    WireFuzzConfig config;
+    config.iterations = 150;
+    config.seedBase = 7;
+    WireFuzzReport report = runWireFuzz(config);
+    EXPECT_TRUE(report.ok()) << report.summary(config);
+    // One trial per (iteration, mutation class).
+    EXPECT_EQ(report.trials,
+              config.iterations * allMutationClasses().size());
+    // The battery must exercise both verdicts: grammar rejections and
+    // canonical acceptances (a mutator that only ever breaks frames
+    // is not probing the accept path).
+    EXPECT_GT(report.mutantsRejected, 0u);
+    EXPECT_GT(report.mutantsAccepted, 0u);
+    EXPECT_GT(report.prefixesChecked, 0u);
+}
+
+TEST(WireGrammarTest, FuzzReportsAreDeterministic)
+{
+    WireFuzzConfig config;
+    config.iterations = 60;
+    config.seedBase = 11;
+    WireFuzzReport first = runWireFuzz(config);
+    WireFuzzReport second = runWireFuzz(config);
+    EXPECT_EQ(first.mutantsRejected, second.mutantsRejected);
+    EXPECT_EQ(first.mutantsAccepted, second.mutantsAccepted);
+    EXPECT_EQ(first.prefixesChecked, second.prefixesChecked);
 }
 
 } // namespace

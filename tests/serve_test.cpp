@@ -55,6 +55,26 @@ TEST(ShardedWorkQueueTest, DropPolicyRejectsWhenFull)
     EXPECT_EQ(queue.pendingApprox(), 3);
 }
 
+TEST(ShardedWorkQueueTest, TryPushLeavesTheItemIntactOnFailure)
+{
+    // The daemon's deadline admission retries tryPush until the
+    // request's deadline expires; a failed attempt must not consume
+    // the job (push() takes by value and would destroy it).
+    ShardedWorkQueue<std::string> queue(1, 1,
+                                        BackpressurePolicy::drop);
+    std::string keep = "payload-survives-rejection";
+    EXPECT_TRUE(queue.tryPush(0, keep)); // Moved in: shard now full.
+    keep = "payload-survives-rejection";
+    EXPECT_FALSE(queue.tryPush(0, keep));
+    EXPECT_EQ(keep, "payload-survives-rejection");
+
+    std::string out;
+    EXPECT_TRUE(queue.tryPop(0, out));
+    EXPECT_TRUE(queue.tryPush(0, keep)); // Room again: move succeeds.
+    queue.close();
+    EXPECT_FALSE(queue.tryPush(0, out)); // Closed always rejects.
+}
+
 TEST(ShardedWorkQueueTest, StealsFromOtherShards)
 {
     ShardedWorkQueue<int> queue(4, 8, BackpressurePolicy::block);
